@@ -1,0 +1,117 @@
+#ifndef SOBC_BENCH_BENCH_UTIL_H_
+#define SOBC_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the table/figure reproduction binaries. Each binary
+// regenerates one table or figure of the paper's evaluation (Section 6); it
+// prints the same rows/series the paper reports, at laptop-scale sizes by
+// default. SOBC_SCALE=paper switches to the paper's sizes (hours of
+// runtime); SOBC_BENCH_EDGES / SOBC_BENCH_RUNS tune the workload.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "gen/dataset_profiles.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "graph/graph.h"
+
+namespace sobc {
+namespace bench {
+
+/// Default laptop-scale stand-ins for the paper's synthetic sizes
+/// (1k/10k/100k/1000k). SOBC_SCALE=paper restores the original sizes.
+inline std::vector<std::size_t> SyntheticSizes() {
+  if (UsePaperScale()) return {1000, 10000, 100000, 1000000};
+  return {500, 1000, 2000, 4000};
+}
+
+/// Scale for real-graph stand-ins: full size under SOBC_SCALE=paper,
+/// otherwise capped.
+inline std::size_t ProfileScale(const DatasetProfile& profile,
+                                std::size_t cap = 2000) {
+  if (UsePaperScale()) return profile.paper_vertices;
+  return std::min(profile.paper_vertices, cap);
+}
+
+inline std::size_t StreamEdges(std::size_t fallback = 30) {
+  return static_cast<std::size_t>(GetEnvInt(
+      "SOBC_BENCH_EDGES",
+      UsePaperScale() ? 100 : static_cast<std::int64_t>(fallback)));
+}
+
+/// Median wall time of a full Brandes recomputation — the baseline every
+/// speedup in Section 6 is measured against.
+inline double TimeBrandes(const Graph& graph, int runs = 1) {
+  std::vector<double> times;
+  for (int r = 0; r < runs; ++r) {
+    WallTimer timer;
+    BcScores scores = ComputeBrandes(graph);
+    times.push_back(timer.Seconds());
+    // Keep the optimizer honest.
+    if (scores.vbc.empty() && graph.NumVertices() > 0) std::abort();
+  }
+  return Summary(times).Median();
+}
+
+/// Per-update speedups of the sequential framework over Brandes: applies
+/// `stream` through a fresh DynamicBc and divides the (fixed) Brandes
+/// baseline time by each update's time, mirroring Section 6.1.
+struct SpeedupSeries {
+  std::vector<double> speedups;
+  std::vector<double> update_seconds;
+};
+
+inline Result<SpeedupSeries> MeasureSequentialSpeedups(
+    const Graph& graph, const EdgeStream& stream,
+    const DynamicBcOptions& options, double brandes_seconds) {
+  auto bc = DynamicBc::Create(graph, options);
+  if (!bc.ok()) return bc.status();
+  SpeedupSeries series;
+  for (const EdgeUpdate& update : stream) {
+    WallTimer timer;
+    SOBC_RETURN_NOT_OK((*bc)->Apply(update));
+    const double seconds = timer.Seconds();
+    series.update_seconds.push_back(seconds);
+    series.speedups.push_back(brandes_seconds / seconds);
+  }
+  return series;
+}
+
+/// Prints one "name: min med max" row.
+inline void PrintMinMedMax(const std::string& name, const Summary& summary) {
+  std::printf("%-18s %8.1f %8.1f %8.1f\n", name.c_str(), summary.Min(),
+              summary.Median(), summary.Max());
+}
+
+/// Section header in the bench output.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void ScaleNote() {
+  if (UsePaperScale()) {
+    std::printf("# scale: paper (full sizes)\n");
+  } else {
+    std::printf(
+        "# scale: laptop default (SOBC_SCALE=paper restores full sizes; "
+        "shapes, not absolute numbers, are the reproduction target)\n");
+  }
+}
+
+/// Temp directory for out-of-core files.
+inline std::string BenchTempDir() {
+  const std::string dir = GetEnvString("TMPDIR", "/tmp");
+  return dir;
+}
+
+}  // namespace bench
+}  // namespace sobc
+
+#endif  // SOBC_BENCH_BENCH_UTIL_H_

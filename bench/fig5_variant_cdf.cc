@@ -1,0 +1,94 @@
+// Reproduces Figure 5: CDF of the per-edge speedup over Brandes for the
+// three framework versions — MP (in memory, predecessor lists), MO (in
+// memory, neighbor scan) and DO (on disk) — on two synthetic and two real
+// stand-ins, edge additions, single machine.
+//
+// Shape to look for: MO dominates MP (removing the predecessor lists is a
+// win, Section 6.1), and DO trails both because every source pays disk
+// I/O — while still beating Brandes comfortably.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+namespace sobc {
+namespace {
+
+int RunGraph(const std::string& name, const Graph& graph, Rng* rng) {
+  const double brandes = bench::TimeBrandes(graph);
+  EdgeStream stream =
+      RandomAdditionStream(graph, bench::StreamEdges(25), rng);
+
+  struct VariantCase {
+    const char* label;
+    BcVariant variant;
+  };
+  const VariantCase variants[] = {
+      {"MP", BcVariant::kMemoryPredecessors},
+      {"MO", BcVariant::kMemory},
+      {"DO", BcVariant::kOutOfCore},
+  };
+  for (const VariantCase& vc : variants) {
+    DynamicBcOptions options;
+    options.variant = vc.variant;
+    if (vc.variant == BcVariant::kOutOfCore) {
+      options.storage_path =
+          bench::BenchTempDir() + "/sobc_fig5_" + name + ".bin";
+    }
+    auto series =
+        bench::MeasureSequentialSpeedups(graph, stream, options, brandes);
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s %s: %s\n", name.c_str(), vc.label,
+                   series.status().ToString().c_str());
+      return 1;
+    }
+    const Summary summary(series->speedups);
+    std::printf("\n%s-%s speedup CDF (median %.0f):\n", name.c_str(),
+                vc.label, summary.Median());
+    std::printf("%s", RenderCdf(summary, 9).c_str());
+  }
+  return 0;
+}
+
+int Run() {
+  bench::ScaleNote();
+  bench::Banner("Figure 5: speedup CDF of MP/MO/DO, single machine");
+
+  Rng rng(5);
+  const std::size_t synth_small = UsePaperScale() ? 1000 : 500;
+  const std::size_t synth_large = UsePaperScale() ? 10000 : 1500;
+  {
+    Graph g = BuildProfileGraph(SyntheticSocialProfile(synth_small),
+                                synth_small, &rng);
+    if (RunGraph("synthetic" + std::to_string(synth_small), g, &rng) != 0) {
+      return 1;
+    }
+  }
+  {
+    Graph g = BuildProfileGraph(SyntheticSocialProfile(synth_large),
+                                synth_large, &rng);
+    if (RunGraph("synthetic" + std::to_string(synth_large), g, &rng) != 0) {
+      return 1;
+    }
+  }
+  for (const char* name : {"ca-GrQc", "wikielections"}) {
+    const DatasetProfile* profile = FindProfile(name);
+    Graph g = BuildProfileGraph(*profile, bench::ProfileScale(*profile, 1200),
+                                &rng);
+    if (RunGraph(name, g, &rng) != 0) return 1;
+  }
+  std::printf(
+      "\n# paper reference (Fig. 5): MO always right of MP; DO ~10x for 1k"
+      " and ~30x for 10k\n"
+      "# (median). At laptop scale the mmap'ed store sits fully in page"
+      " cache, so DO\n"
+      "# may match MO here; the disk gap reopens once records exceed"
+      " memory.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sobc
+
+int main() { return sobc::Run(); }

@@ -1,0 +1,74 @@
+// Reproduces Figure 9: Girvan-Newman community detection by continuous
+// removal of the highest-betweenness edge — the incremental framework
+// versus recomputing Brandes after every removal, on synthetic social
+// graphs of three sizes. The y-axis is the cumulative speedup after k
+// removals.
+//
+// Shape to look for: speedup above 1 everywhere and growing with both
+// graph size and the number of removals (the paper reports roughly an
+// order of magnitude).
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/girvan_newman.h"
+#include "bench_util.h"
+
+namespace sobc {
+namespace {
+
+int Run() {
+  bench::ScaleNote();
+  bench::Banner("Figure 9: Girvan-Newman speedup vs edges removed");
+
+  Rng rng(9);
+  const std::vector<std::size_t> sizes =
+      UsePaperScale() ? std::vector<std::size_t>{1000, 10000, 100000}
+                      : std::vector<std::size_t>{300, 600, 1200};
+  const std::vector<std::size_t> checkpoints = {10, 30, 100};
+
+  std::printf("%10s", "removed");
+  for (std::size_t n : sizes) std::printf("   %8zu", n);
+  std::printf("\n");
+
+  // Per size: run both drivers once to the deepest checkpoint and report
+  // cumulative step-time ratios at each checkpoint.
+  std::vector<std::vector<double>> speedups(checkpoints.size());
+  for (std::size_t n : sizes) {
+    Graph g = BuildProfileGraph(SyntheticSocialProfile(n), n, &rng);
+    GirvanNewmanOptions options;
+    options.max_removals = checkpoints.back();
+    auto incremental = GirvanNewmanIncremental(g, options);
+    auto recompute = GirvanNewmanRecompute(g, options);
+    if (!incremental.ok() || !recompute.ok()) {
+      std::fprintf(stderr, "GN failed for n=%zu\n", n);
+      return 1;
+    }
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+      double inc = 0.0;
+      double rec = 0.0;
+      const std::size_t k =
+          std::min(checkpoints[c], incremental->steps.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        inc += incremental->steps[i].seconds;
+        rec += recompute->steps[i].seconds;
+      }
+      speedups[c].push_back(inc > 0.0 ? rec / inc : 0.0);
+    }
+  }
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    std::printf("%10zu", checkpoints[c]);
+    for (double s : speedups[c]) std::printf("   %7.1fx", s);
+    std::printf("\n");
+  }
+  std::printf(
+      "\n# paper reference (Fig. 9): speedup ~2-10x across 1k/10k/100k,"
+      " increasing with\n"
+      "# removals as the graph fragments and updates localize.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sobc
+
+int main() { return sobc::Run(); }

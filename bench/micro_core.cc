@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark) for the core building blocks: Brandes
+// sweeps, incremental updates, the out-of-core store, generators and graph
+// analytics. These are engineering benchmarks, not paper reproductions —
+// use them to catch regressions in the hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/connected_components.h"
+#include "analysis/graph_stats.h"
+#include "bc/bd_store_disk.h"
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "common/rng.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "graph/graph.h"
+
+namespace sobc {
+namespace {
+
+Graph MakeSocial(std::size_t n) {
+  Rng rng(42);
+  return GenerateSocialGraph(n, SocialGraphParams::PaperDefaults(), &rng);
+}
+
+void BM_BrandesSingleSource(benchmark::State& state) {
+  const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+  SourceBcData data;
+  VertexId s = 0;
+  for (auto _ : state) {
+    BrandesSingleSource(g, s, BrandesOptions{}, &data, nullptr);
+    s = static_cast<VertexId>((s + 1) % g.NumVertices());
+    benchmark::DoNotOptimize(data.delta.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_BrandesSingleSource)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BrandesFull(benchmark::State& state) {
+  const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    BcScores scores = ComputeBrandes(g);
+    benchmark::DoNotOptimize(scores.vbc.data());
+  }
+}
+BENCHMARK(BM_BrandesFull)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalAddRemoveRoundTrip(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = MakeSocial(n);
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  if (!bc.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  Rng rng(7);
+  EdgeStream candidates = RandomAdditionStream(g, 64, &rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const EdgeUpdate& e = candidates[i % candidates.size()];
+    ++i;
+    if (!(*bc)->Apply({e.u, e.v, EdgeOp::kAdd}).ok() ||
+        !(*bc)->Apply({e.u, e.v, EdgeOp::kRemove}).ok()) {
+      state.SkipWithError("apply failed");
+      return;
+    }
+  }
+  state.SetLabel("add+remove per iteration");
+}
+BENCHMARK(BM_IncrementalAddRemoveRoundTrip)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DiskStoreViewApply(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::string path = "/tmp/sobc_micro_store.bin";
+  auto store = DiskBdStore::Create(path, n);
+  if (!store.ok()) {
+    state.SkipWithError("store create failed");
+    return;
+  }
+  SourceView view;
+  VertexId s = 0;
+  std::vector<BdPatch> patch = {BdPatch{0, 1, 2, 3.0}};
+  for (auto _ : state) {
+    if (!(*store)->View(s, &view).ok()) {
+      state.SkipWithError("view failed");
+      return;
+    }
+    patch[0].vertex = s;
+    if (!(*store)->Apply(s, patch, {}).ok()) {
+      state.SkipWithError("apply failed");
+      return;
+    }
+    s = static_cast<VertexId>((s + 1) % n);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(18 * n));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DiskStoreViewApply)->Arg(512)->Arg(2048);
+
+void BM_SocialGenerator(benchmark::State& state) {
+  for (auto _ : state) {
+    Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+}
+BENCHMARK(BM_SocialGenerator)->Arg(1024)->Arg(4096);
+
+void BM_ComponentLabels(benchmark::State& state) {
+  const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto labels = ComponentLabels(g);
+    benchmark::DoNotOptimize(labels.data());
+  }
+}
+BENCHMARK(BM_ComponentLabels)->Arg(1024)->Arg(4096);
+
+void BM_AverageClustering(benchmark::State& state) {
+  const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AverageClustering(g));
+  }
+}
+BENCHMARK(BM_AverageClustering)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace sobc
+
+BENCHMARK_MAIN();

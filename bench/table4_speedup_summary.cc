@@ -1,0 +1,80 @@
+// Reproduces Table 4: min/median/max per-edge speedup over Brandes for
+// additions and removals, on every dataset (synthetic sizes + the six
+// real-graph stand-ins).
+//
+// The paper's Table 4 is measured with the out-of-core DO version on the
+// cluster; the default here is the in-memory MO variant for runtime
+// reasons — set SOBC_VARIANT=do for the out-of-core variant. Shapes to
+// look for: speedups grow from the smallest synthetic size and dip again
+// at the largest; low-clustering graphs (amazon) sit well below
+// high-clustering ones (facebook, dblp); removals roughly match additions.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+namespace sobc {
+namespace {
+
+DynamicBcOptions VariantFromEnv(const std::string& dataset) {
+  DynamicBcOptions options;
+  if (GetEnvString("SOBC_VARIANT", "mo") == "do") {
+    options.variant = BcVariant::kOutOfCore;
+    options.storage_path =
+        bench::BenchTempDir() + "/sobc_t4_" + dataset + ".bin";
+  }
+  return options;
+}
+
+int RunDataset(const std::string& name, const Graph& graph, Rng* rng,
+               std::size_t edges) {
+  const double brandes = bench::TimeBrandes(graph);
+  EdgeStream additions = RandomAdditionStream(graph, edges, rng);
+  EdgeStream removals = RandomRemovalStream(graph, edges, rng);
+  auto add = bench::MeasureSequentialSpeedups(graph, additions,
+                                              VariantFromEnv(name), brandes);
+  auto rem = bench::MeasureSequentialSpeedups(graph, removals,
+                                              VariantFromEnv(name), brandes);
+  if (!add.ok() || !rem.ok()) {
+    std::fprintf(stderr, "%s failed\n", name.c_str());
+    return 1;
+  }
+  const Summary sa(add->speedups);
+  const Summary sr(rem->speedups);
+  std::printf("%-16s | %7.0f %7.0f %7.0f | %7.0f %7.0f %7.0f\n",
+              name.c_str(), sa.Min(), sa.Median(), sa.Max(), sr.Min(),
+              sr.Median(), sr.Max());
+  return 0;
+}
+
+int Run() {
+  bench::ScaleNote();
+  bench::Banner("Table 4: speedup over Brandes, min/med/max");
+  std::printf("%-16s | %23s | %23s\n", "", "addition", "removal");
+  std::printf("%-16s | %7s %7s %7s | %7s %7s %7s\n", "dataset", "min", "med",
+              "max", "min", "med", "max");
+
+  Rng rng(4);
+  const std::size_t edges = bench::StreamEdges(25);
+  for (std::size_t n : bench::SyntheticSizes()) {
+    const DatasetProfile profile = SyntheticSocialProfile(n);
+    Graph g = BuildProfileGraph(profile, n, &rng);
+    if (RunDataset(profile.name, g, &rng, edges) != 0) return 1;
+  }
+  for (const DatasetProfile& profile : RealGraphProfiles()) {
+    Graph g = BuildProfileGraph(profile, bench::ProfileScale(profile), &rng);
+    if (RunDataset(profile.name, g, &rng, edges) != 0) return 1;
+  }
+  std::printf(
+      "\n# paper reference (Table 4, DO on cluster): e.g. synthetic 10k"
+      " add 16/34/62,\n"
+      "# facebook add 10/66/462, amazon add 2/4/15 — amazon lowest, "
+      "facebook/wiki highest.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sobc
+
+int main() { return sobc::Run(); }

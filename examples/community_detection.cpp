@@ -1,0 +1,80 @@
+// Community detection with Girvan-Newman driven by *online* edge
+// betweenness (the use case of Section 6.3). The classical algorithm was
+// abandoned because it recomputes all-pairs betweenness after every edge
+// removal; with the incremental framework each removal only refreshes the
+// affected region, so the same hierarchy comes out several times faster.
+//
+// Run:  ./community_detection [vertices] [removals]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/connected_components.h"
+#include "analysis/girvan_newman.h"
+#include "common/rng.h"
+#include "gen/social_generator.h"
+#include "graph/graph.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  const std::size_t removals =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 25;
+
+  sobc::Rng rng(7);
+  sobc::Graph graph = sobc::GenerateSocialGraph(
+      n, sobc::SocialGraphParams::PaperDefaults(), &rng);
+  std::printf("social graph: %zu vertices, %zu edges, %zu component(s)\n",
+              graph.NumVertices(), graph.NumEdges(),
+              sobc::NumComponents(graph));
+
+  sobc::GirvanNewmanOptions options;
+  options.max_removals = removals;
+
+  auto incremental = sobc::GirvanNewmanIncremental(graph, options);
+  if (!incremental.ok()) {
+    std::fprintf(stderr, "%s\n", incremental.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\nincremental Girvan-Newman: %zu highest-betweenness edges removed "
+      "in %.3fs (init %.3fs + steps %.3fs)\n",
+      incremental->steps.size(), incremental->TotalSeconds(),
+      incremental->init_seconds,
+      incremental->TotalSeconds() - incremental->init_seconds);
+  std::size_t components = 1;
+  for (const auto& step : incremental->steps) {
+    if (step.num_components != components) {
+      std::printf("  removing (%u,%u) (EBC=%.0f) split off a community "
+                  "-> %zu component(s)\n",
+                  step.removed.u, step.removed.v, step.ebc,
+                  step.num_components);
+      components = step.num_components;
+    }
+  }
+  if (components == 1) {
+    std::printf("  (no split within %zu removals; deepen with argv[2])\n",
+                incremental->steps.size());
+  }
+
+  auto recompute = sobc::GirvanNewmanRecompute(graph, options);
+  if (!recompute.ok()) {
+    std::fprintf(stderr, "%s\n", recompute.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\nbaseline (full Brandes after every removal): %.3fs\n"
+      "speedup from online edge betweenness: %.1fx\n",
+      recompute->TotalSeconds(),
+      recompute->TotalSeconds() / incremental->TotalSeconds());
+
+  // Show the community structure uncovered so far.
+  sobc::Graph peeled = graph;
+  for (const auto& step : incremental->steps) {
+    (void)peeled.RemoveEdge(step.removed.u, step.removed.v);
+  }
+  const auto sizes = sobc::ComponentSizes(sobc::ComponentLabels(peeled));
+  std::printf("component sizes after peeling:");
+  for (std::size_t size : sizes) std::printf(" %zu", size);
+  std::printf("\n");
+  return 0;
+}

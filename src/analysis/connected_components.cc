@@ -1,0 +1,79 @@
+#include "analysis/connected_components.h"
+
+#include <algorithm>
+
+namespace sobc {
+
+std::vector<std::size_t> ComponentLabels(const Graph& graph) {
+  const std::size_t n = graph.NumVertices();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> labels(n, kNone);
+  std::vector<VertexId> queue;
+  std::size_t next = 0;
+  for (VertexId start = 0; start < n; ++start) {
+    if (labels[start] != kNone) continue;
+    const std::size_t label = next++;
+    labels[start] = label;
+    queue.clear();
+    queue.push_back(start);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      auto visit = [&](VertexId w) {
+        if (labels[w] == kNone) {
+          labels[w] = label;
+          queue.push_back(w);
+        }
+      };
+      for (VertexId w : graph.OutNeighbors(v)) visit(w);
+      if (graph.directed()) {
+        for (VertexId w : graph.InNeighbors(v)) visit(w);
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<std::size_t> ComponentSizes(
+    const std::vector<std::size_t>& labels) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t label : labels) {
+    if (label >= sizes.size()) sizes.resize(label + 1, 0);
+    ++sizes[label];
+  }
+  return sizes;
+}
+
+std::size_t NumComponents(const Graph& graph) {
+  const auto labels = ComponentLabels(graph);
+  std::size_t max_label = 0;
+  for (std::size_t label : labels) max_label = std::max(max_label, label + 1);
+  return max_label;
+}
+
+Graph LargestConnectedComponent(const Graph& graph,
+                                std::vector<VertexId>* original_ids) {
+  const auto labels = ComponentLabels(graph);
+  const auto sizes = ComponentSizes(labels);
+  Graph lcc(graph.directed());
+  if (sizes.empty()) return lcc;
+  const std::size_t best =
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin();
+
+  std::vector<VertexId> remap(graph.NumVertices(), kInvalidVertex);
+  if (original_ids != nullptr) original_ids->clear();
+  VertexId next = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (labels[v] != best) continue;
+    remap[v] = next++;
+    if (original_ids != nullptr) original_ids->push_back(v);
+  }
+  if (next > 0) lcc.EnsureVertex(next - 1);
+  graph.ForEachEdge([&](VertexId u, VertexId v) {
+    if (remap[u] != kInvalidVertex && remap[v] != kInvalidVertex) {
+      (void)lcc.AddEdge(remap[u], remap[v]);
+    }
+  });
+  return lcc;
+}
+
+}  // namespace sobc

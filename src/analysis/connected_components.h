@@ -1,0 +1,30 @@
+#ifndef SOBC_ANALYSIS_CONNECTED_COMPONENTS_H_
+#define SOBC_ANALYSIS_CONNECTED_COMPONENTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Per-vertex component label in [0, #components). For directed graphs
+/// these are weakly connected components (edge direction ignored).
+std::vector<std::size_t> ComponentLabels(const Graph& graph);
+
+/// Sizes indexed by component label.
+std::vector<std::size_t> ComponentSizes(
+    const std::vector<std::size_t>& labels);
+
+std::size_t NumComponents(const Graph& graph);
+
+/// Extracts the largest connected component with densely re-numbered
+/// vertices (the paper evaluates on the LCC of every real graph). When
+/// `original_ids` is non-null it receives, per new id, the vertex's id in
+/// the input graph.
+Graph LargestConnectedComponent(const Graph& graph,
+                                std::vector<VertexId>* original_ids = nullptr);
+
+}  // namespace sobc
+
+#endif  // SOBC_ANALYSIS_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,55 @@
+#ifndef SOBC_ANALYSIS_GIRVAN_NEWMAN_H_
+#define SOBC_ANALYSIS_GIRVAN_NEWMAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// One iteration of Girvan–Newman: the removed highest-betweenness edge,
+/// its score, the component count afterwards, and the time the iteration
+/// took (edge selection + betweenness refresh, excluding bookkeeping).
+struct GirvanNewmanStep {
+  EdgeKey removed;
+  double ebc = 0.0;
+  std::size_t num_components = 0;
+  double seconds = 0.0;
+};
+
+struct GirvanNewmanResult {
+  /// Time to obtain the initial edge betweenness (one Brandes run; for the
+  /// incremental driver this also builds the BD store).
+  double init_seconds = 0.0;
+  std::vector<GirvanNewmanStep> steps;
+
+  double TotalSeconds() const;
+  /// Component count after the final removal.
+  std::size_t FinalComponents() const;
+};
+
+struct GirvanNewmanOptions {
+  /// Stop after this many edge removals (0 = remove every edge, the full
+  /// dendrogram).
+  std::size_t max_removals = 0;
+  /// Stop early once the graph splits into at least this many components
+  /// (0 = no early stop) — the community-detection use of Section 6.3.
+  std::size_t target_components = 0;
+};
+
+/// Girvan–Newman by incremental edge betweenness: removes the top-EBC edge
+/// and lets the dynamic framework refresh scores (the paper's Section 6.3
+/// use case, Figure 9).
+Result<GirvanNewmanResult> GirvanNewmanIncremental(
+    const Graph& graph, const GirvanNewmanOptions& options);
+
+/// The classical baseline: recomputes all edge betweenness from scratch
+/// with Brandes after every removal.
+Result<GirvanNewmanResult> GirvanNewmanRecompute(
+    const Graph& graph, const GirvanNewmanOptions& options);
+
+}  // namespace sobc
+
+#endif  // SOBC_ANALYSIS_GIRVAN_NEWMAN_H_

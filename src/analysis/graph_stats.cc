@@ -1,0 +1,108 @@
+#include "analysis/graph_stats.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bc/bc_types.h"
+
+namespace sobc {
+
+double AverageDegree(const Graph& graph) {
+  const std::size_t n = graph.NumVertices();
+  if (n == 0) return 0.0;
+  const double m = static_cast<double>(graph.NumEdges());
+  return (graph.directed() ? m : 2.0 * m) / static_cast<double>(n);
+}
+
+double AverageClustering(const Graph& graph, Rng* rng, std::size_t sample) {
+  const std::size_t n = graph.NumVertices();
+  if (n == 0) return 0.0;
+  const bool sampled = rng != nullptr && sample > 0 && sample < n;
+  const std::size_t count = sampled ? sample : n;
+
+  std::vector<std::uint32_t> mark(n, 0);
+  std::uint32_t epoch = 0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const VertexId v = sampled ? static_cast<VertexId>(rng->Uniform(n))
+                               : static_cast<VertexId>(i);
+    const auto neighbors = graph.OutNeighbors(v);
+    const std::size_t k = neighbors.size();
+    if (k < 2) continue;
+    ++epoch;
+    for (VertexId u : neighbors) mark[u] = epoch;
+    std::size_t links = 0;
+    for (VertexId u : neighbors) {
+      for (VertexId w : graph.OutNeighbors(u)) {
+        if (mark[w] == epoch) ++links;  // counts each link twice
+      }
+    }
+    total += static_cast<double>(links) / static_cast<double>(k * (k - 1));
+  }
+  return total / static_cast<double>(count);
+}
+
+double EffectiveDiameter(const Graph& graph, double percentile, Rng* rng,
+                         std::size_t sample_sources) {
+  const std::size_t n = graph.NumVertices();
+  if (n == 0) return 0.0;
+  const bool sampled =
+      rng != nullptr && sample_sources > 0 && sample_sources < n;
+  const std::size_t count = sampled ? sample_sources : n;
+
+  // Histogram of pairwise hop distances over the sampled sources.
+  std::vector<std::uint64_t> histogram;
+  std::vector<Distance> dist(n);
+  std::vector<VertexId> queue;
+  for (std::size_t i = 0; i < count; ++i) {
+    const VertexId s = sampled ? static_cast<VertexId>(rng->Uniform(n))
+                               : static_cast<VertexId>(i);
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    queue.clear();
+    dist[s] = 0;
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId w : graph.OutNeighbors(v)) {
+        if (dist[w] != kUnreachable) continue;
+        dist[w] = dist[v] + 1;
+        if (dist[w] >= histogram.size()) histogram.resize(dist[w] + 1, 0);
+        ++histogram[dist[w]];
+        queue.push_back(w);
+      }
+    }
+  }
+  std::uint64_t reachable = 0;
+  for (std::uint64_t c : histogram) reachable += c;
+  if (reachable == 0) return 0.0;
+
+  // Smallest d with CDF(d) >= percentile, linearly interpolated between
+  // integer distances (the KONECT convention Table 2 uses).
+  const double target = percentile * static_cast<double>(reachable);
+  double cumulative = 0.0;
+  for (std::size_t d = 1; d < histogram.size(); ++d) {
+    const double prev = cumulative;
+    cumulative += static_cast<double>(histogram[d]);
+    if (cumulative >= target) {
+      const double span = cumulative - prev;
+      if (span <= 0.0) return static_cast<double>(d);
+      return static_cast<double>(d - 1) + (target - prev) / span;
+    }
+  }
+  return static_cast<double>(histogram.size() - 1);
+}
+
+GraphStats ComputeGraphStats(const Graph& graph, Rng* rng, std::size_t sample,
+                             std::size_t sample_sources) {
+  GraphStats stats;
+  stats.vertices = graph.NumVertices();
+  stats.edges = graph.NumEdges();
+  stats.average_degree = AverageDegree(graph);
+  stats.clustering = AverageClustering(graph, rng, sample);
+  stats.effective_diameter =
+      EffectiveDiameter(graph, 0.9, rng, sample_sources);
+  return stats;
+}
+
+}  // namespace sobc

@@ -1,0 +1,44 @@
+#ifndef SOBC_ANALYSIS_GRAPH_STATS_H_
+#define SOBC_ANALYSIS_GRAPH_STATS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// The dataset descriptors of Table 2.
+struct GraphStats {
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  double average_degree = 0.0;       // 2m/n (m/n for directed)
+  double clustering = 0.0;           // average local clustering coefficient
+  double effective_diameter = 0.0;   // interpolated 90th pct of distances
+};
+
+/// Average degree: 2m/n for undirected graphs, m/n for directed.
+double AverageDegree(const Graph& graph);
+
+/// Average local clustering coefficient (Watts–Strogatz): mean over all
+/// vertices of (#links among neighbors) / (deg*(deg-1)/2), with degree<2
+/// vertices contributing zero. When `sample` > 0 and smaller than n, the
+/// mean is estimated from that many uniformly sampled vertices.
+double AverageClustering(const Graph& graph, Rng* rng = nullptr,
+                         std::size_t sample = 0);
+
+/// Effective diameter: the (interpolated) distance within which
+/// `percentile` of all connected ordered pairs fall, estimated by BFS from
+/// `sample_sources` random sources (all sources when 0 or >= n).
+double EffectiveDiameter(const Graph& graph, double percentile = 0.9,
+                         Rng* rng = nullptr, std::size_t sample_sources = 0);
+
+/// All of the above in one pass (sampling bounds keep it cheap on large
+/// graphs: `sample` for clustering, `sample_sources` for the diameter).
+GraphStats ComputeGraphStats(const Graph& graph, Rng* rng = nullptr,
+                             std::size_t sample = 0,
+                             std::size_t sample_sources = 0);
+
+}  // namespace sobc
+
+#endif  // SOBC_ANALYSIS_GRAPH_STATS_H_

@@ -1,0 +1,51 @@
+#include "analysis/top_k.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sobc {
+
+std::vector<std::pair<VertexId, double>> TopKVertices(
+    const std::vector<double>& vbc, std::size_t k) {
+  std::vector<std::pair<VertexId, double>> ranked;
+  ranked.reserve(vbc.size());
+  for (VertexId v = 0; v < vbc.size(); ++v) ranked.emplace_back(v, vbc[v]);
+  k = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  ranked.resize(k);
+  return ranked;
+}
+
+std::vector<std::pair<EdgeKey, double>> TopKEdges(const EbcMap& ebc,
+                                                  std::size_t k) {
+  std::vector<std::pair<EdgeKey, double>> ranked(ebc.begin(), ebc.end());
+  k = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  ranked.resize(k);
+  return ranked;
+}
+
+double TopKOverlap(const std::vector<double>& a, const std::vector<double>& b,
+                   std::size_t k) {
+  const auto top_a = TopKVertices(a, k);
+  const auto top_b = TopKVertices(b, k);
+  if (top_a.empty() && top_b.empty()) return 1.0;
+  std::unordered_set<VertexId> set_a;
+  for (const auto& [v, score] : top_a) set_a.insert(v);
+  std::size_t common = 0;
+  for (const auto& [v, score] : top_b) common += set_a.count(v);
+  const std::size_t unions = top_a.size() + top_b.size() - common;
+  return unions == 0 ? 1.0
+                     : static_cast<double>(common) /
+                           static_cast<double>(unions);
+}
+
+}  // namespace sobc

@@ -1,0 +1,30 @@
+#ifndef SOBC_ANALYSIS_TOP_K_H_
+#define SOBC_ANALYSIS_TOP_K_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Highest-betweenness vertices, descending by score (stable tie-break by
+/// id). The "emerging leaders" application the paper's conclusion sketches.
+std::vector<std::pair<VertexId, double>> TopKVertices(
+    const std::vector<double>& vbc, std::size_t k);
+
+/// Highest-betweenness edges, descending (ties by canonical key).
+std::vector<std::pair<EdgeKey, double>> TopKEdges(const EbcMap& ebc,
+                                                  std::size_t k);
+
+/// Jaccard similarity of the top-k vertex sets of two score vectors — the
+/// standard way to quantify how well an approximation (or a stale
+/// snapshot) preserves the leaderboard.
+double TopKOverlap(const std::vector<double>& a, const std::vector<double>& b,
+                   std::size_t k);
+
+}  // namespace sobc
+
+#endif  // SOBC_ANALYSIS_TOP_K_H_

@@ -1,0 +1,38 @@
+#include "bc/approx_brandes.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bc/brandes.h"
+
+namespace sobc {
+
+BcScores ComputeApproxBrandes(const Graph& graph,
+                              const ApproxBrandesOptions& options, Rng* rng) {
+  const std::size_t n = graph.NumVertices();
+  BcScores scores;
+  scores.vbc.assign(n, 0.0);
+  if (n == 0) return scores;
+
+  const std::size_t k = std::min(options.num_sources, n);
+  // Sample k distinct sources (partial Fisher-Yates over the id range).
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = v;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng->Uniform(n - i);
+    std::swap(ids[i], ids[j]);
+  }
+
+  BrandesOptions brandes;
+  brandes.compute_ebc = options.compute_ebc;
+  SourceBcData data;
+  for (std::size_t i = 0; i < k; ++i) {
+    BrandesSingleSource(graph, ids[i], brandes, &data, &scores);
+  }
+  const double scale = static_cast<double>(n) / static_cast<double>(k);
+  for (double& v : scores.vbc) v *= scale;
+  for (auto& [key, value] : scores.ebc) value *= scale;
+  return scores;
+}
+
+}  // namespace sobc

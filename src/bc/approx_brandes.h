@@ -1,0 +1,32 @@
+#ifndef SOBC_BC_APPROX_BRANDES_H_
+#define SOBC_BC_APPROX_BRANDES_H_
+
+#include <cstddef>
+
+#include "bc/bc_types.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Source-sampled betweenness estimation (Brandes & Pich style, the
+/// randomized alternative the paper's related-work section discusses [8]):
+/// runs the single-source sweep from `num_sources` uniformly sampled
+/// sources and scales dependencies by n / num_sources.
+///
+/// The estimate is unbiased; its variance shrinks with the sample. The
+/// paper's point — and the reason the exact incremental framework exists —
+/// is that accuracy degrades on large graphs for a fixed sample size; this
+/// implementation exists as the library's fast approximate path and as the
+/// baseline that motivates the exact one.
+struct ApproxBrandesOptions {
+  std::size_t num_sources = 64;
+  bool compute_ebc = true;
+};
+
+BcScores ComputeApproxBrandes(const Graph& graph,
+                              const ApproxBrandesOptions& options, Rng* rng);
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_APPROX_BRANDES_H_

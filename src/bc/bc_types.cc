@@ -1,0 +1,11 @@
+#include "bc/bc_types.h"
+
+namespace sobc {
+
+void BcScores::Merge(const BcScores& other) {
+  if (vbc.size() < other.vbc.size()) vbc.resize(other.vbc.size(), 0.0);
+  for (std::size_t i = 0; i < other.vbc.size(); ++i) vbc[i] += other.vbc[i];
+  for (const auto& [key, value] : other.ebc) ebc[key] += value;
+}
+
+}  // namespace sobc

@@ -1,0 +1,67 @@
+#ifndef SOBC_BC_BC_TYPES_H_
+#define SOBC_BC_BC_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Hop distance from a source. 32 bits in memory; the on-disk column stores
+/// 16 bits (paper Section 5.1 uses 8; 16 avoids overflow on high-diameter
+/// graphs while keeping the fixed-width columnar layout).
+using Distance = std::uint32_t;
+
+/// Sentinel distance for vertices unreachable from the source.
+inline constexpr Distance kUnreachable = std::numeric_limits<Distance>::max();
+
+/// Number of shortest paths from the source. The paper stores 2 bytes on
+/// disk; path counts overflow 16 bits even on mid-size social graphs, so we
+/// widen to 64 (see DESIGN.md, substitution 4).
+using PathCount = std::uint64_t;
+
+/// Edge betweenness map, keyed by canonical edge key.
+using EbcMap = std::unordered_map<EdgeKey, double, EdgeKeyHash>;
+
+/// Betweenness scores for the whole graph (or a partition's partial sums).
+/// VBC is indexed by vertex id; EBC is keyed by canonical edge key. Scores
+/// follow the paper's ordered-pair convention: each unordered pair {s,t} of
+/// an undirected graph contributes from both directions (no halving).
+struct BcScores {
+  std::vector<double> vbc;
+  EbcMap ebc;
+
+  /// Adds `other` element-wise (the Reduce step of the MapReduce embodiment).
+  void Merge(const BcScores& other);
+};
+
+/// The per-source betweenness data BD[s] of Section 3: distance, number of
+/// shortest paths, and accumulated dependency for every vertex. The optional
+/// predecessor lists back the paper's "MP" variant; they are absent (empty)
+/// in the MO/DO variants, which scan neighbors instead.
+struct SourceBcData {
+  std::vector<Distance> d;
+  std::vector<PathCount> sigma;
+  std::vector<double> delta;
+  std::vector<std::vector<VertexId>> preds;  // only for kPredecessorLists
+
+  void Resize(std::size_t n) {
+    d.assign(n, kUnreachable);
+    sigma.assign(n, 0);
+    delta.assign(n, 0.0);
+  }
+};
+
+/// Whether the backtracking phase uses stored predecessor lists (the paper's
+/// MP variant) or scans neighbors filtering by level (MO/DO variants).
+enum class PredMode : std::uint8_t {
+  kScanNeighbors = 0,
+  kPredecessorLists = 1,
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_BC_TYPES_H_

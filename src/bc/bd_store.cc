@@ -1,0 +1,98 @@
+#include "bc/bd_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sobc {
+
+VertexId InMemoryBdStore::source_end() const {
+  if (limit_ == kInvalidVertex) {
+    return static_cast<VertexId>(num_vertices_);
+  }
+  return std::min(limit_, static_cast<VertexId>(num_vertices_));
+}
+
+Status InMemoryBdStore::CheckSource(VertexId s) const {
+  if (s < begin_ || s >= source_end() || s - begin_ >= records_.size()) {
+    return Status::OutOfRange("source " + std::to_string(s) +
+                              " outside store partition");
+  }
+  return Status::OK();
+}
+
+Status InMemoryBdStore::View(VertexId s, SourceView* view) {
+  SOBC_RETURN_NOT_OK(CheckSource(s));
+  const SourceBcData& rec = records_[s - begin_];
+  view->d = rec.d.data();
+  view->sigma = rec.sigma.data();
+  view->delta = rec.delta.data();
+  view->n = rec.d.size();
+  view->preds = mode_ == PredMode::kPredecessorLists ? &rec.preds : nullptr;
+  return Status::OK();
+}
+
+Status InMemoryBdStore::Apply(VertexId s, const std::vector<BdPatch>& patches,
+                              const PredPatchList& pred_patches) {
+  SOBC_RETURN_NOT_OK(CheckSource(s));
+  SourceBcData& rec = Record(s);
+  for (const BdPatch& p : patches) {
+    rec.d[p.vertex] = p.d;
+    rec.sigma[p.vertex] = p.sigma;
+    rec.delta[p.vertex] = p.delta;
+  }
+  if (mode_ == PredMode::kPredecessorLists) {
+    for (const auto& [vertex, preds] : pred_patches) {
+      rec.preds[vertex] = preds;
+    }
+  }
+  return Status::OK();
+}
+
+Status InMemoryBdStore::PeekDistances(VertexId s, VertexId a, VertexId b,
+                                      Distance* da, Distance* db) {
+  SOBC_RETURN_NOT_OK(CheckSource(s));
+  const SourceBcData& rec = Record(s);
+  *da = rec.d[a];
+  *db = rec.d[b];
+  return Status::OK();
+}
+
+Status InMemoryBdStore::PutInitial(VertexId s, SourceBcData&& data) {
+  if (s < begin_ || (limit_ != kInvalidVertex && s >= limit_)) {
+    return Status::OutOfRange("source " + std::to_string(s) +
+                              " outside store partition");
+  }
+  num_vertices_ = std::max(num_vertices_, data.d.size());
+  const std::size_t index = s - begin_;
+  if (index >= records_.size()) records_.resize(index + 1);
+  if (mode_ != PredMode::kPredecessorLists) data.preds.clear();
+  records_[index] = std::move(data);
+  return Status::OK();
+}
+
+Status InMemoryBdStore::Grow(std::size_t new_n) {
+  const std::size_t old_n = num_vertices_;
+  if (new_n < old_n) {
+    return Status::InvalidArgument("store cannot shrink");
+  }
+  for (SourceBcData& rec : records_) {
+    rec.d.resize(new_n, kUnreachable);
+    rec.sigma.resize(new_n, 0);
+    rec.delta.resize(new_n, 0.0);
+    if (mode_ == PredMode::kPredecessorLists) rec.preds.resize(new_n);
+  }
+  num_vertices_ = new_n;
+  // New sources that fall in this partition start as isolated vertices.
+  const auto first = static_cast<VertexId>(std::max<std::size_t>(old_n, begin_));
+  for (VertexId s = first; s < source_end(); ++s) {
+    SourceBcData rec;
+    rec.Resize(new_n);
+    if (mode_ == PredMode::kPredecessorLists) rec.preds.resize(new_n);
+    rec.d[s] = 0;
+    rec.sigma[s] = 1;
+    SOBC_RETURN_NOT_OK(PutInitial(s, std::move(rec)));
+  }
+  return Status::OK();
+}
+
+}  // namespace sobc

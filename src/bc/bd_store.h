@@ -1,0 +1,124 @@
+#ifndef SOBC_BC_BD_STORE_H_
+#define SOBC_BC_BD_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Read-only borrowed view of one source's betweenness data BD[s].
+/// Pointers remain valid until the next View/Apply/Grow call on the store.
+struct SourceView {
+  const Distance* d = nullptr;
+  const PathCount* sigma = nullptr;
+  const double* delta = nullptr;
+  std::size_t n = 0;
+  /// Predecessor lists; nullptr unless the store runs in MP mode.
+  const std::vector<std::vector<VertexId>>* preds = nullptr;
+};
+
+/// One modified entry of BD[s] produced by an incremental update.
+struct BdPatch {
+  VertexId vertex = kInvalidVertex;
+  Distance d = kUnreachable;
+  PathCount sigma = 0;
+  double delta = 0.0;
+};
+
+/// Replacement predecessor lists for vertices whose DAG neighborhood
+/// changed (MP mode only).
+using PredPatchList = std::vector<std::pair<VertexId, std::vector<VertexId>>>;
+
+/// Storage backend for the per-source data structures of Section 3. Two
+/// implementations exist: InMemoryBdStore below (the paper's MP/MO
+/// variants) and DiskBdStore (the out-of-core DO variant of Section 5.1).
+///
+/// A store may hold all sources or just a contiguous partition of them —
+/// the unit the paper distributes across machines (Section 5.2, one range
+/// of ~n/p sources per mapper). Sources are always addressed by their
+/// global vertex id.
+class BdStore {
+ public:
+  virtual ~BdStore() = default;
+
+  /// Number of vertices per record (the graph's |V|).
+  virtual std::size_t num_vertices() const = 0;
+
+  /// First source this store holds.
+  virtual VertexId source_begin() const = 0;
+  /// One past the last source this store holds.
+  virtual VertexId source_end() const = 0;
+
+  /// Number of sources currently held.
+  std::size_t num_sources() const { return source_end() - source_begin(); }
+
+  /// Borrows BD[s] for reading.
+  virtual Status View(VertexId s, SourceView* view) = 0;
+
+  /// Applies modified entries of BD[s] (and new predecessor lists in MP
+  /// mode). Patches are produced against the view returned by View(s).
+  virtual Status Apply(VertexId s, const std::vector<BdPatch>& patches,
+                       const PredPatchList& pred_patches) = 0;
+
+  /// Reads only d[a] and d[b] of BD[s]. Backs the dd==0 skip of Section
+  /// 5.1: the out-of-core store answers this without loading the record.
+  virtual Status PeekDistances(VertexId s, VertexId a, VertexId b,
+                               Distance* da, Distance* db) = 0;
+
+  /// Writes the initial record for source s (Step 1 of the framework).
+  virtual Status PutInitial(VertexId s, SourceBcData&& data) = 0;
+
+  /// Grows the vertex set to new_n: existing records gain unreachable
+  /// entries; new sources that fall into this store's partition start as
+  /// isolated vertices (d[s][s]=0, sigma=1).
+  virtual Status Grow(std::size_t new_n) = 0;
+
+  virtual PredMode pred_mode() const = 0;
+};
+
+/// Heap-backed store: the paper's in-memory variants (MP with predecessor
+/// lists, MO without). Space O(n^2/p) per partition, plus O(nm/p) with
+/// predecessor lists.
+class InMemoryBdStore : public BdStore {
+ public:
+  /// A store for sources [source_begin, source_limit). The default holds
+  /// every source; a partition's last share may pass kInvalidVertex as
+  /// `source_limit` to keep owning all future (grown) sources.
+  explicit InMemoryBdStore(PredMode mode = PredMode::kScanNeighbors,
+                           VertexId source_begin = 0,
+                           VertexId source_limit = kInvalidVertex)
+      : mode_(mode), begin_(source_begin), limit_(source_limit) {}
+
+  std::size_t num_vertices() const override { return num_vertices_; }
+  VertexId source_begin() const override { return begin_; }
+  VertexId source_end() const override;
+  PredMode pred_mode() const override { return mode_; }
+
+  Status View(VertexId s, SourceView* view) override;
+  Status Apply(VertexId s, const std::vector<BdPatch>& patches,
+               const PredPatchList& pred_patches) override;
+  Status PeekDistances(VertexId s, VertexId a, VertexId b, Distance* da,
+                       Distance* db) override;
+  Status PutInitial(VertexId s, SourceBcData&& data) override;
+  Status Grow(std::size_t new_n) override;
+
+ private:
+  Status CheckSource(VertexId s) const;
+  SourceBcData& Record(VertexId s) { return records_[s - begin_]; }
+
+  PredMode mode_;
+  VertexId begin_;
+  VertexId limit_;
+  std::size_t num_vertices_ = 0;
+  std::vector<SourceBcData> records_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_BD_STORE_H_

@@ -1,0 +1,274 @@
+#include "bc/bd_store_disk.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+
+namespace sobc {
+
+DiskBdStore::DiskBdStore(std::unique_ptr<ColumnarFile> file,
+                         std::size_t num_vertices, VertexId begin,
+                         VertexId limit)
+    : file_(std::move(file)),
+      num_vertices_(num_vertices),
+      begin_(begin),
+      limit_(limit) {
+  const std::size_t cap = vertex_capacity();
+  d_raw_.resize(cap);
+  d_buf_.resize(cap);
+  sigma_buf_.resize(cap);
+  delta_buf_.resize(cap);
+}
+
+VertexId DiskBdStore::source_end() const {
+  const auto n = static_cast<VertexId>(num_vertices_);
+  return limit_ == kInvalidVertex ? n : std::min(limit_, n);
+}
+
+Status DiskBdStore::PersistMeta() {
+  SOBC_RETURN_NOT_OK(file_->SetUserValue(num_vertices_));
+  return file_->SetUserAux(begin_, limit_);
+}
+
+Status DiskBdStore::InitSourceRecord(VertexId s) {
+  // Fresh records are zero-filled, which decodes as unreachable/0/0;
+  // only the self entries need writing.
+  const std::uint16_t self_d = EncodeD(0);
+  const PathCount self_sigma = 1;
+  SOBC_RETURN_NOT_OK(file_->Write(RecordIndex(s), kColD, s, 1, &self_d));
+  return file_->Write(RecordIndex(s), kColSigma, s, 1, &self_sigma);
+}
+
+Result<std::unique_ptr<DiskBdStore>> DiskBdStore::Create(
+    const std::string& path, std::size_t num_vertices, std::size_t capacity,
+    VertexId source_begin, VertexId source_limit) {
+  if (capacity == 0) capacity = num_vertices + 16;
+  if (capacity < num_vertices) {
+    return Status::InvalidArgument("capacity below vertex count");
+  }
+  ColumnarLayout layout;
+  layout.column_widths = {sizeof(std::uint16_t), sizeof(PathCount),
+                          sizeof(double)};
+  layout.entries_per_record = capacity;
+  layout.num_records =
+      (source_limit == kInvalidVertex ? capacity : source_limit) -
+      source_begin;
+  if (layout.num_records == 0) layout.num_records = 1;
+  auto file = ColumnarFile::Create(path, layout);
+  if (!file.ok()) return file.status();
+  auto store = std::unique_ptr<DiskBdStore>(new DiskBdStore(
+      std::move(*file), num_vertices, source_begin, source_limit));
+  SOBC_RETURN_NOT_OK(store->PersistMeta());
+  for (VertexId s = store->begin_; s < store->source_end(); ++s) {
+    SOBC_RETURN_NOT_OK(store->InitSourceRecord(s));
+  }
+  return store;
+}
+
+Result<std::unique_ptr<DiskBdStore>> DiskBdStore::Open(
+    const std::string& path) {
+  auto file = ColumnarFile::Open(path);
+  if (!file.ok()) return file.status();
+  const auto n = static_cast<std::size_t>((*file)->user_value());
+  const auto begin = static_cast<VertexId>((*file)->user_aux0());
+  const auto limit = static_cast<VertexId>((*file)->user_aux1());
+  return std::unique_ptr<DiskBdStore>(
+      new DiskBdStore(std::move(*file), n, begin, limit));
+}
+
+Status DiskBdStore::CheckSource(VertexId s) const {
+  if (s < begin_ || s >= source_end()) {
+    return Status::OutOfRange("source " + std::to_string(s) +
+                              " outside store partition");
+  }
+  return Status::OK();
+}
+
+Status DiskBdStore::LoadRecord(VertexId s) {
+  if (viewed_source_ == s) return Status::OK();
+  // One sequential read covers all three columns of the record
+  // (Section 5.1: the structures are read sequentially, source by source).
+  const ColumnarLayout& layout = file_->layout();
+  const std::uint64_t span =
+      layout.ColumnOffset(kColDelta) + num_vertices_ * sizeof(double);
+  record_buf_.resize(layout.RecordStride());
+  SOBC_RETURN_NOT_OK(
+      file_->ReadSpan(RecordIndex(s), 0, span, record_buf_.data()));
+  std::memcpy(d_raw_.data(), record_buf_.data(),
+              num_vertices_ * sizeof(std::uint16_t));
+  std::memcpy(sigma_buf_.data(),
+              record_buf_.data() + layout.ColumnOffset(kColSigma),
+              num_vertices_ * sizeof(PathCount));
+  std::memcpy(delta_buf_.data(),
+              record_buf_.data() + layout.ColumnOffset(kColDelta),
+              num_vertices_ * sizeof(double));
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    d_buf_[v] = DecodeD(d_raw_[v]);
+  }
+  viewed_source_ = s;
+  return Status::OK();
+}
+
+Status DiskBdStore::View(VertexId s, SourceView* view) {
+  SOBC_RETURN_NOT_OK(CheckSource(s));
+  SOBC_RETURN_NOT_OK(LoadRecord(s));
+  view->d = d_buf_.data();
+  view->sigma = sigma_buf_.data();
+  view->delta = delta_buf_.data();
+  view->n = num_vertices_;
+  view->preds = nullptr;
+  return Status::OK();
+}
+
+Status DiskBdStore::WriteColumns(VertexId s, std::uint64_t first,
+                                 std::uint64_t count) {
+  const std::uint64_t r = RecordIndex(s);
+  SOBC_RETURN_NOT_OK(file_->Write(r, kColD, first, count, d_raw_.data() + first));
+  SOBC_RETURN_NOT_OK(
+      file_->Write(r, kColSigma, first, count, sigma_buf_.data() + first));
+  return file_->Write(r, kColDelta, first, count, delta_buf_.data() + first);
+}
+
+Status DiskBdStore::Apply(VertexId s, const std::vector<BdPatch>& patches,
+                          const PredPatchList& pred_patches) {
+  if (!pred_patches.empty()) {
+    return Status::InvalidArgument(
+        "DiskBdStore does not keep predecessor lists");
+  }
+  SOBC_RETURN_NOT_OK(CheckSource(s));
+  if (patches.empty()) return Status::OK();
+  SOBC_RETURN_NOT_OK(LoadRecord(s));
+  for (const BdPatch& p : patches) {
+    if (p.d != kUnreachable && p.d + 1 > 0xFFFF) {
+      return Status::OutOfRange("distance exceeds on-disk 16-bit encoding");
+    }
+    d_buf_[p.vertex] = p.d;
+    d_raw_[p.vertex] = EncodeD(p.d);
+    sigma_buf_[p.vertex] = p.sigma;
+    delta_buf_[p.vertex] = p.delta;
+  }
+  // In-place writeback: one span per column covering the touched range
+  // (three pwrites per source, however many entries changed).
+  VertexId lo = patches.front().vertex;
+  VertexId hi = lo;
+  for (const BdPatch& p : patches) {
+    lo = std::min(lo, p.vertex);
+    hi = std::max(hi, p.vertex);
+  }
+  return WriteColumns(s, lo, hi - lo + 1);
+}
+
+Status DiskBdStore::PeekDistances(VertexId s, VertexId a, VertexId b,
+                                  Distance* da, Distance* db) {
+  SOBC_RETURN_NOT_OK(CheckSource(s));
+  if (viewed_source_ == s) {
+    *da = d_buf_[a];
+    *db = d_buf_[b];
+    return Status::OK();
+  }
+  std::uint16_t raw_a = 0;
+  std::uint16_t raw_b = 0;
+  SOBC_RETURN_NOT_OK(file_->Read(RecordIndex(s), kColD, a, 1, &raw_a));
+  SOBC_RETURN_NOT_OK(file_->Read(RecordIndex(s), kColD, b, 1, &raw_b));
+  *da = DecodeD(raw_a);
+  *db = DecodeD(raw_b);
+  return Status::OK();
+}
+
+Status DiskBdStore::PutInitial(VertexId s, SourceBcData&& data) {
+  if (s < begin_ || (limit_ != kInvalidVertex && s >= limit_)) {
+    return Status::OutOfRange("source " + std::to_string(s) +
+                              " outside store partition");
+  }
+  const std::size_t n = data.d.size();
+  if (n > vertex_capacity() || RecordIndex(s) >= record_capacity()) {
+    return Status::OutOfRange("record outside store capacity");
+  }
+  if (n > num_vertices_) {
+    num_vertices_ = n;
+    SOBC_RETURN_NOT_OK(PersistMeta());
+  }
+  viewed_source_ = s;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (data.d[v] != kUnreachable && data.d[v] + 1 > 0xFFFF) {
+      return Status::OutOfRange("distance exceeds on-disk 16-bit encoding");
+    }
+    d_buf_[v] = data.d[v];
+    d_raw_[v] = EncodeD(data.d[v]);
+    sigma_buf_[v] = data.sigma[v];
+    delta_buf_[v] = data.delta[v];
+  }
+  return WriteColumns(s, 0, n);
+}
+
+Status DiskBdStore::Rebuild(std::size_t vertex_capacity,
+                            std::size_t record_capacity) {
+  // Stream every live record into a larger file, then swap it in place.
+  const std::string new_path = file_->path() + ".grow";
+  ColumnarLayout layout;
+  layout.column_widths = {sizeof(std::uint16_t), sizeof(PathCount),
+                          sizeof(double)};
+  layout.entries_per_record = vertex_capacity;
+  layout.num_records = record_capacity;
+  auto new_file = ColumnarFile::Create(new_path, layout);
+  if (!new_file.ok()) return new_file.status();
+  for (VertexId s = begin_; s < source_end(); ++s) {
+    SOBC_RETURN_NOT_OK(LoadRecord(s));
+    const std::uint64_t r = RecordIndex(s);
+    SOBC_RETURN_NOT_OK(
+        (*new_file)->Write(r, kColD, 0, num_vertices_, d_raw_.data()));
+    SOBC_RETURN_NOT_OK(
+        (*new_file)->Write(r, kColSigma, 0, num_vertices_, sigma_buf_.data()));
+    SOBC_RETURN_NOT_OK(
+        (*new_file)->Write(r, kColDelta, 0, num_vertices_, delta_buf_.data()));
+  }
+  const std::string path = file_->path();
+  file_.reset();
+  if (std::rename(new_path.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed for " + new_path);
+  }
+  auto reopened = ColumnarFile::Open(path);
+  if (!reopened.ok()) return reopened.status();
+  file_ = std::move(*reopened);
+  d_raw_.resize(vertex_capacity);
+  d_buf_.resize(vertex_capacity);
+  sigma_buf_.resize(vertex_capacity);
+  delta_buf_.resize(vertex_capacity);
+  viewed_source_ = kInvalidVertex;
+  return PersistMeta();
+}
+
+Status DiskBdStore::Grow(std::size_t new_n) {
+  if (new_n < num_vertices_) {
+    return Status::InvalidArgument("store cannot shrink");
+  }
+  const std::size_t old_end = source_end();
+  const std::size_t new_end =
+      limit_ == kInvalidVertex ? new_n : std::min<std::size_t>(limit_, new_n);
+  const bool need_vertex_room = new_n > vertex_capacity();
+  const bool need_record_room =
+      new_end > begin_ && new_end - begin_ > record_capacity();
+  if (need_vertex_room || need_record_room) {
+    const std::size_t vcap = need_vertex_room
+                                 ? std::max(new_n + 16, vertex_capacity() * 2)
+                                 : vertex_capacity();
+    const std::size_t rcap =
+        need_record_room
+            ? std::max<std::size_t>(new_end - begin_ + 16,
+                                    record_capacity() * 2)
+            : record_capacity();
+    SOBC_RETURN_NOT_OK(Rebuild(vcap, rcap));
+  }
+  num_vertices_ = new_n;
+  viewed_source_ = kInvalidVertex;
+  for (std::size_t s = std::max<std::size_t>(old_end, begin_); s < new_end;
+       ++s) {
+    SOBC_RETURN_NOT_OK(InitSourceRecord(static_cast<VertexId>(s)));
+  }
+  return PersistMeta();
+}
+
+}  // namespace sobc

@@ -1,0 +1,102 @@
+#ifndef SOBC_BC_BD_STORE_DISK_H_
+#define SOBC_BC_BD_STORE_DISK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bc/bd_store.h"
+#include "storage/columnar_file.h"
+
+namespace sobc {
+
+/// Out-of-core BD store (the paper's DO variant, Section 5.1). One columnar
+/// record per source: all distances (2 bytes each, biased by one so the
+/// file's zero-fill reads as "unreachable"), then all path counts (8 bytes),
+/// then all dependencies (8 bytes). Records are read sequentially into a
+/// reusable buffer and patched back in place; PeekDistances reads exactly
+/// two entries so that dd == 0 sources never load their record.
+///
+/// A store may hold a contiguous source partition only — one mapper's share
+/// in the parallel embodiment (Section 5.2). A single handle is not
+/// thread-safe; parallel workers over one shared file Open() additional
+/// handles and touch disjoint source ranges.
+class DiskBdStore : public BdStore {
+ public:
+  /// Creates a fresh store file holding sources [source_begin,
+  /// source_limit) of a graph with `num_vertices` vertices. The default
+  /// covers every source. `capacity` (default num_vertices + 16) reserves
+  /// vertex room so new arrivals do not force an immediate rebuild;
+  /// source_limit == kInvalidVertex keeps the partition open-ended (it
+  /// adopts all future sources).
+  static Result<std::unique_ptr<DiskBdStore>> Create(
+      const std::string& path, std::size_t num_vertices,
+      std::size_t capacity = 0, VertexId source_begin = 0,
+      VertexId source_limit = kInvalidVertex);
+
+  /// Opens an additional handle onto an existing store file.
+  static Result<std::unique_ptr<DiskBdStore>> Open(const std::string& path);
+
+  std::size_t num_vertices() const override { return num_vertices_; }
+  VertexId source_begin() const override { return begin_; }
+  VertexId source_end() const override;
+  PredMode pred_mode() const override { return PredMode::kScanNeighbors; }
+
+  Status View(VertexId s, SourceView* view) override;
+  Status Apply(VertexId s, const std::vector<BdPatch>& patches,
+               const PredPatchList& pred_patches) override;
+  Status PeekDistances(VertexId s, VertexId a, VertexId b, Distance* da,
+                       Distance* db) override;
+  Status PutInitial(VertexId s, SourceBcData&& data) override;
+  Status Grow(std::size_t new_n) override;
+
+  /// Flushes mapped pages and file metadata to stable storage.
+  Status Flush() { return file_->Sync(); }
+
+  std::size_t vertex_capacity() const {
+    return file_->layout().entries_per_record;
+  }
+  std::size_t record_capacity() const { return file_->layout().num_records; }
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  // Column indices within a record.
+  static constexpr std::size_t kColD = 0;
+  static constexpr std::size_t kColSigma = 1;
+  static constexpr std::size_t kColDelta = 2;
+
+  DiskBdStore(std::unique_ptr<ColumnarFile> file, std::size_t num_vertices,
+              VertexId begin, VertexId limit);
+
+  static std::uint16_t EncodeD(Distance d) {
+    return d == kUnreachable ? 0 : static_cast<std::uint16_t>(d + 1);
+  }
+  static Distance DecodeD(std::uint16_t raw) {
+    return raw == 0 ? kUnreachable : static_cast<Distance>(raw - 1);
+  }
+
+  Status CheckSource(VertexId s) const;
+  std::uint64_t RecordIndex(VertexId s) const { return s - begin_; }
+  Status LoadRecord(VertexId s);
+  Status WriteColumns(VertexId s, std::uint64_t first, std::uint64_t count);
+  Status InitSourceRecord(VertexId s);
+  Status Rebuild(std::size_t vertex_capacity, std::size_t record_capacity);
+  Status PersistMeta();
+
+  std::unique_ptr<ColumnarFile> file_;
+  std::size_t num_vertices_;
+  VertexId begin_;
+  VertexId limit_;  // kInvalidVertex = open-ended
+
+  // Buffers holding the record of viewed_source_ (decoded).
+  VertexId viewed_source_ = kInvalidVertex;
+  std::vector<char> record_buf_;
+  std::vector<std::uint16_t> d_raw_;
+  std::vector<Distance> d_buf_;
+  std::vector<PathCount> sigma_buf_;
+  std::vector<double> delta_buf_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_BD_STORE_DISK_H_

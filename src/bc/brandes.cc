@@ -1,0 +1,101 @@
+#include "bc/brandes.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sobc {
+
+void BrandesSingleSource(const Graph& graph, VertexId s,
+                         const BrandesOptions& options, SourceBcData* data,
+                         BcScores* scores) {
+  const std::size_t n = graph.NumVertices();
+  SOBC_CHECK(s < n);
+  data->Resize(n);
+  const bool use_preds = options.pred_mode == PredMode::kPredecessorLists;
+  if (use_preds) {
+    data->preds.assign(n, {});
+  } else {
+    data->preds.clear();
+  }
+
+  std::vector<Distance>& d = data->d;
+  std::vector<PathCount>& sigma = data->sigma;
+  std::vector<double>& delta = data->delta;
+
+  // Search phase: BFS discovering the shortest-path DAG rooted at s.
+  std::vector<VertexId> order;  // vertices in BFS (non-decreasing d) order
+  order.reserve(64);
+  d[s] = 0;
+  sigma[s] = 1;
+  order.push_back(s);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const VertexId v = order[head];
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (d[w] == kUnreachable) {
+        d[w] = d[v] + 1;
+        order.push_back(w);
+      }
+      if (d[w] == d[v] + 1) {
+        sigma[w] += sigma[v];
+        if (use_preds) data->preds[w].push_back(v);
+      }
+    }
+  }
+
+  // Dependency accumulation phase: walk the DAG bottom-up. Without
+  // predecessor lists, predecessors of w are recovered by scanning w's
+  // in-neighbors one level up (the paper's memory optimization).
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const VertexId w = order[i];
+    const double coeff = (1.0 + delta[w]) / static_cast<double>(sigma[w]);
+    auto contribute = [&](VertexId v) {
+      const double c = static_cast<double>(sigma[v]) * coeff;
+      delta[v] += c;
+      if (scores != nullptr && options.compute_ebc) {
+        scores->ebc[graph.MakeKey(v, w)] += c;
+      }
+    };
+    if (use_preds) {
+      for (VertexId v : data->preds[w]) contribute(v);
+    } else {
+      for (VertexId v : graph.InNeighbors(w)) {
+        if (d[v] + 1 == d[w]) contribute(v);
+      }
+    }
+    if (scores != nullptr) scores->vbc[w] += delta[w];
+  }
+}
+
+void ComputeBrandesRange(const Graph& graph, VertexId begin, VertexId end,
+                         const BrandesOptions& options, BcScores* scores) {
+  const std::size_t n = graph.NumVertices();
+  if (scores->vbc.size() < n) scores->vbc.resize(n, 0.0);
+  SourceBcData data;
+  for (VertexId s = begin; s < end; ++s) {
+    BrandesSingleSource(graph, s, options, &data, scores);
+  }
+}
+
+BcScores ComputeBrandes(const Graph& graph, const BrandesOptions& options) {
+  BcScores scores;
+  scores.vbc.assign(graph.NumVertices(), 0.0);
+  ComputeBrandesRange(graph, 0, static_cast<VertexId>(graph.NumVertices()),
+                      options, &scores);
+  return scores;
+}
+
+Status InitializeFromScratch(const Graph& graph, const BrandesOptions& options,
+                             BdStore* store, BcScores* scores) {
+  const std::size_t n = graph.NumVertices();
+  scores->vbc.assign(n, 0.0);
+  scores->ebc.clear();
+  for (VertexId s = 0; s < n; ++s) {
+    SourceBcData data;
+    BrandesSingleSource(graph, s, options, &data, scores);
+    SOBC_RETURN_NOT_OK(store->PutInitial(s, std::move(data)));
+  }
+  return Status::OK();
+}
+
+}  // namespace sobc

@@ -1,0 +1,49 @@
+#ifndef SOBC_BC_BRANDES_H_
+#define SOBC_BC_BRANDES_H_
+
+#include <cstdint>
+
+#include "bc/bc_types.h"
+#include "bc/bd_store.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Options for the Brandes baseline (Section 2).
+struct BrandesOptions {
+  /// MP variant builds and backtracks over predecessor lists; MO/DO scan
+  /// neighbors and filter by level (the paper's memory optimization).
+  PredMode pred_mode = PredMode::kScanNeighbors;
+  /// Also accumulate edge betweenness (Brandes 2008 variant, Section 3).
+  bool compute_ebc = true;
+};
+
+/// Runs one source's BFS and dependency accumulation. Fills `data`
+/// (distance/sigma/delta per vertex, plus predecessor lists in MP mode) and,
+/// when `scores` is non-null, adds this source's dependency contributions to
+/// the vertex and edge betweenness sums.
+///
+/// `sources_begin..` contributions follow the ordered-pair convention (see
+/// BcScores). Works for directed and undirected graphs.
+void BrandesSingleSource(const Graph& graph, VertexId s,
+                         const BrandesOptions& options, SourceBcData* data,
+                         BcScores* scores);
+
+/// Computes exact betweenness centrality of every vertex (and edge, unless
+/// disabled) by running BrandesSingleSource from every vertex. O(nm) time.
+BcScores ComputeBrandes(const Graph& graph, const BrandesOptions& options = {});
+
+/// Computes betweenness for the range of sources [begin, end) only,
+/// accumulating partial sums into `scores` (used by the parallel engine).
+void ComputeBrandesRange(const Graph& graph, VertexId begin, VertexId end,
+                         const BrandesOptions& options, BcScores* scores);
+
+/// Step 1 of the framework (Figure 1): runs Brandes once and stores BD[s]
+/// for every source into `store`, accumulating full scores into `scores`.
+Status InitializeFromScratch(const Graph& graph, const BrandesOptions& options,
+                             BdStore* store, BcScores* scores);
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_BRANDES_H_

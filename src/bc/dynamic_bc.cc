@@ -1,0 +1,120 @@
+#include "bc/dynamic_bc.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "bc/bd_store_disk.h"
+#include "bc/score_io.h"
+
+namespace sobc {
+
+Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
+    Graph graph, const DynamicBcOptions& options) {
+  const std::size_t n = graph.NumVertices();
+  std::unique_ptr<BdStore> store;
+  PredMode pred_mode = PredMode::kScanNeighbors;
+  switch (options.variant) {
+    case BcVariant::kMemoryPredecessors:
+      pred_mode = PredMode::kPredecessorLists;
+      store = std::make_unique<InMemoryBdStore>(pred_mode);
+      break;
+    case BcVariant::kMemory:
+      store = std::make_unique<InMemoryBdStore>(pred_mode);
+      break;
+    case BcVariant::kOutOfCore: {
+      if (options.storage_path.empty()) {
+        return Status::InvalidArgument(
+            "kOutOfCore variant needs a storage_path");
+      }
+      auto disk =
+          DiskBdStore::Create(options.storage_path, n, options.vertex_capacity);
+      if (!disk.ok()) return disk.status();
+      store = std::move(*disk);
+      break;
+    }
+  }
+  auto bc = std::unique_ptr<DynamicBc>(
+      new DynamicBc(std::move(graph), std::move(store), pred_mode));
+  BrandesOptions brandes;
+  brandes.pred_mode = pred_mode;
+  SOBC_RETURN_NOT_OK(InitializeFromScratch(bc->graph_, brandes,
+                                           bc->store_.get(), &bc->scores_));
+  return bc;
+}
+
+Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
+    Graph graph, const DynamicBcOptions& options,
+    const std::string& scores_path) {
+  if (options.variant != BcVariant::kOutOfCore) {
+    return Status::InvalidArgument("Resume requires the out-of-core variant");
+  }
+  auto disk = DiskBdStore::Open(options.storage_path);
+  if (!disk.ok()) return disk.status();
+  if ((*disk)->num_vertices() != graph.NumVertices()) {
+    return Status::FailedPrecondition(
+        "store holds " + std::to_string((*disk)->num_vertices()) +
+        " vertices but the graph has " +
+        std::to_string(graph.NumVertices()) +
+        "; pass the graph saved at checkpoint time");
+  }
+  auto scores = ReadScores(scores_path);
+  if (!scores.ok()) return scores.status();
+  if (scores->vbc.size() != graph.NumVertices()) {
+    return Status::FailedPrecondition(
+        "score file does not match the graph's vertex count");
+  }
+  auto bc = std::unique_ptr<DynamicBc>(new DynamicBc(
+      std::move(graph), std::move(*disk), PredMode::kScanNeighbors));
+  bc->scores_ = std::move(*scores);
+  return bc;
+}
+
+Status DynamicBc::Checkpoint(const std::string& scores_path) {
+  SOBC_RETURN_NOT_OK(WriteScores(scores_, scores_path));
+  auto* disk = dynamic_cast<DiskBdStore*>(store_.get());
+  if (disk == nullptr) {
+    return Status::FailedPrecondition(
+        "Checkpoint is only durable with the out-of-core variant");
+  }
+  return disk->Flush();
+}
+
+Status DynamicBc::Apply(const EdgeUpdate& update) {
+  last_stats_ = UpdateStats{};
+  if (update.op == EdgeOp::kAdd) {
+    const std::size_t needed =
+        static_cast<std::size_t>(std::max(update.u, update.v)) + 1;
+    if (needed > graph_.NumVertices()) {
+      // New vertices enter with zero centrality (Section 3.1); the store
+      // grows so they exist both as destinations and as sources.
+      SOBC_RETURN_NOT_OK(store_->Grow(needed));
+    }
+    SOBC_RETURN_NOT_OK(graph_.AddEdge(update.u, update.v));
+    if (scores_.vbc.size() < graph_.NumVertices()) {
+      scores_.vbc.resize(graph_.NumVertices(), 0.0);
+    }
+    return engine_.ApplyUpdate(graph_, update, store_.get(), &scores_,
+                               &last_stats_);
+  }
+  SOBC_RETURN_NOT_OK(graph_.RemoveEdge(update.u, update.v));
+  SOBC_RETURN_NOT_OK(engine_.ApplyUpdate(graph_, update, store_.get(),
+                                         &scores_, &last_stats_));
+  // The removed edge's entry now holds only floating-point residue.
+  scores_.ebc.erase(graph_.MakeKey(update.u, update.v));
+  return Status::OK();
+}
+
+Status DynamicBc::ApplyAll(const EdgeStream& stream) {
+  for (const EdgeUpdate& update : stream) {
+    SOBC_RETURN_NOT_OK(Apply(update));
+  }
+  return Status::OK();
+}
+
+double DynamicBc::EdgeScore(VertexId u, VertexId v) const {
+  const auto it = scores_.ebc.find(graph_.MakeKey(u, v));
+  return it == scores_.ebc.end() ? 0.0 : it->second;
+}
+
+}  // namespace sobc

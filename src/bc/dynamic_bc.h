@@ -1,0 +1,98 @@
+#ifndef SOBC_BC_DYNAMIC_BC_H_
+#define SOBC_BC_DYNAMIC_BC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "bc/bd_store.h"
+#include "bc/brandes.h"
+#include "bc/incremental.h"
+#include "common/status.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Execution variants benchmarked in the paper (Section 6.1, Fig. 5).
+enum class BcVariant {
+  kMemoryPredecessors,  // MP: in memory, with predecessor lists
+  kMemory,              // MO: in memory, neighbor scan
+  kOutOfCore,           // DO: on disk, neighbor scan
+};
+
+struct DynamicBcOptions {
+  BcVariant variant = BcVariant::kMemory;
+  /// Backing file for the kOutOfCore variant.
+  std::string storage_path;
+  /// Extra vertex capacity reserved in the out-of-core file so new vertices
+  /// do not force a rebuild.
+  std::size_t vertex_capacity = 0;
+};
+
+/// The full framework of Figure 1: Step 1 runs Brandes once to build BD[s]
+/// for every source; Step 2 applies stream updates one edge at a time,
+/// keeping vertex and edge betweenness exact after every update.
+///
+/// Typical use:
+///
+///   auto bc = DynamicBc::Create(graph, {});
+///   for (const EdgeUpdate& e : stream) bc->Apply(e);
+///   double score = bc->vbc()[v];
+class DynamicBc {
+ public:
+  /// Builds the framework over `graph` (Step 1, O(nm)).
+  static Result<std::unique_ptr<DynamicBc>> Create(
+      Graph graph, const DynamicBcOptions& options);
+
+  /// Reopens a checkpointed out-of-core deployment: the BD structures come
+  /// from the existing store file at options.storage_path and the scores
+  /// from `scores_path`, skipping the O(nm) Step 1 entirely. `graph` must
+  /// be the graph state at checkpoint time (persist it with
+  /// WriteEdgeList). Only valid for BcVariant::kOutOfCore.
+  static Result<std::unique_ptr<DynamicBc>> Resume(
+      Graph graph, const DynamicBcOptions& options,
+      const std::string& scores_path);
+
+  /// Persists the current scores (binary sidecar) and flushes the store,
+  /// making Resume possible after a restart. The graph itself is
+  /// checkpointed separately with WriteEdgeList.
+  Status Checkpoint(const std::string& scores_path);
+
+  /// Applies one edge addition or removal (Step 2). New endpoint ids grow
+  /// the vertex set automatically, entering with zero betweenness.
+  Status Apply(const EdgeUpdate& update);
+
+  /// Applies a whole stream in order.
+  Status ApplyAll(const EdgeStream& stream);
+
+  const Graph& graph() const { return graph_; }
+  const std::vector<double>& vbc() const { return scores_.vbc; }
+  const EbcMap& ebc() const { return scores_.ebc; }
+  const BcScores& scores() const { return scores_; }
+
+  /// Edge betweenness of (u, v); zero when the edge is absent.
+  double EdgeScore(VertexId u, VertexId v) const;
+
+  /// Counters for the most recent Apply call.
+  const UpdateStats& last_update_stats() const { return last_stats_; }
+
+  BdStore* store() { return store_.get(); }
+
+ private:
+  DynamicBc(Graph graph, std::unique_ptr<BdStore> store, PredMode pred_mode)
+      : graph_(std::move(graph)),
+        store_(std::move(store)),
+        engine_(pred_mode) {}
+
+  Graph graph_;
+  std::unique_ptr<BdStore> store_;
+  IncrementalEngine engine_;
+  BcScores scores_;
+  UpdateStats last_stats_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_DYNAMIC_BC_H_

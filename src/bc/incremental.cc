@@ -1,0 +1,546 @@
+#include "bc/incremental.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace sobc {
+
+namespace {
+
+/// True when a vertex at distance dp is a DAG predecessor of one at dx
+/// (both reachable and exactly one level apart). Written with explicit
+/// finiteness guards: kUnreachable+1 would wrap.
+bool IsPredLevel(Distance dp, Distance dx) {
+  return dp != kUnreachable && dx != kUnreachable && dp + 1 == dx;
+}
+
+constexpr std::uint32_t kNoPredPatch = static_cast<std::uint32_t>(-1);
+
+}  // namespace
+
+void IncrementalEngine::EnsureScratch(std::size_t n) {
+  if (stamp_.size() >= n) return;
+  stamp_.resize(n, 0);
+  state_.resize(n, 0);
+  d_new_.resize(n, 0);
+  sigma_new_.resize(n, 0);
+  delta_new_.resize(n, 0.0);
+  orphan_stamp_.resize(n, 0);
+  orphan_state_.resize(n, 0);
+  pred_idx_.resize(n, 0);
+  if (repair_q_.size() < n + 1) repair_q_.resize(n + 1);
+  if (lq_.size() < n + 1) lq_.resize(n + 1);
+  if (orphan_q_.size() < n + 1) orphan_q_.resize(n + 1);
+}
+
+void IncrementalEngine::BeginSource() {
+  if (epoch_ == static_cast<std::uint32_t>(-1)) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    std::fill(orphan_stamp_.begin(), orphan_stamp_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  for (Distance level : repair_used_) repair_q_[level].clear();
+  for (Distance level : lq_used_) lq_[level].clear();
+  for (Distance level : orphan_used_) orphan_q_[level].clear();
+  repair_used_.clear();
+  lq_used_.clear();
+  orphan_used_.clear();
+  unreachable_.clear();
+  touched_list_.clear();
+  moved_list_.clear();
+  stale_seen_.clear();
+  patches_.clear();
+  pred_patches_.clear();
+  repair_max_ = 0;
+  lq_max_ = 0;
+}
+
+void IncrementalEngine::Touch(const SourceContext& cx, VertexId v,
+                              std::uint8_t state) {
+  SOBC_DCHECK(!IsTouched(v));
+  stamp_[v] = epoch_;
+  state_[v] = state;
+  d_new_[v] = cx.view.d[v];
+  sigma_new_[v] = cx.view.sigma[v];
+  delta_new_[v] = cx.view.delta[v];
+  pred_idx_[v] = kNoPredPatch;
+  touched_list_.push_back(v);
+}
+
+void IncrementalEngine::PullUp(const SourceContext& cx, VertexId v) {
+  Touch(cx, v, kUp);
+  // Pulled vertices keep their distance; they can only be old-reachable
+  // fringe predecessors, so the level is always finite.
+  SOBC_DCHECK(cx.view.d[v] != kUnreachable);
+  PushLq(v, cx.view.d[v]);
+}
+
+void IncrementalEngine::PushRepair(VertexId v, Distance level) {
+  SOBC_DCHECK(level < repair_q_.size());
+  if (repair_q_[level].empty()) repair_used_.push_back(level);
+  repair_q_[level].push_back(v);
+  repair_max_ = std::max(repair_max_, level);
+}
+
+void IncrementalEngine::PushLq(VertexId v, Distance level) {
+  if (level == kUnreachable) {
+    unreachable_.push_back(v);
+    return;
+  }
+  SOBC_DCHECK(level < lq_.size());
+  if (lq_[level].empty()) lq_used_.push_back(level);
+  lq_[level].push_back(v);
+  lq_max_ = std::max(lq_max_, level);
+}
+
+int IncrementalEngine::OldRelation(const SourceContext& cx, VertexId a,
+                                   VertexId b) const {
+  // The freshly added edge carried no shortest paths before the update.
+  if (cx.is_addition && cx.graph->MakeKey(a, b) == cx.update_key) return 0;
+  const Distance da = cx.view.d[a];
+  const Distance db = cx.view.d[b];
+  if (IsPredLevel(da, db)) return 1;
+  if (!cx.graph->directed() && IsPredLevel(db, da)) return -1;
+  return 0;
+}
+
+int IncrementalEngine::NewRelation(const SourceContext& cx, VertexId a,
+                                   VertexId b) const {
+  const Distance da = EffD(cx, a);
+  const Distance db = EffD(cx, b);
+  if (IsPredLevel(da, db)) return 1;
+  if (!cx.graph->directed() && IsPredLevel(db, da)) return -1;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1 (removal): orphan classification, Section 4.3 / Alg. 6.
+//
+// A vertex is an orphan when every one of its old shortest paths crossed the
+// removed edge; equivalently (by induction down the SPdag) uL is an orphan
+// and a deeper vertex is an orphan iff all its DAG predecessors are orphans.
+// Non-orphan candidates are the paper's pivots: they keep their distance but
+// lose path counts, so they seed the sigma repair.
+// ---------------------------------------------------------------------------
+void IncrementalEngine::ClassifyOrphans(const SourceContext& cx) {
+  const Graph& g = *cx.graph;
+  const Distance root_level = cx.view.d[cx.u_low];
+  SOBC_DCHECK(root_level != kUnreachable);
+
+  auto mark = [&](VertexId v, std::uint8_t st) {
+    orphan_stamp_[v] = epoch_;
+    orphan_state_[v] = st;
+  };
+  auto is_orphan = [&](VertexId v) {
+    return orphan_stamp_[v] == epoch_ && orphan_state_[v] == kOrphan;
+  };
+
+  mark(cx.u_low, kOrphan);
+  moved_list_.push_back(cx.u_low);
+  if (orphan_q_[root_level].empty()) orphan_used_.push_back(root_level);
+  orphan_q_[root_level].push_back(cx.u_low);
+  Distance max_level = root_level;
+
+  // Level-synchronous sweep: all level-l orphans are classified while
+  // processing level l-1, so the all-predecessors-orphan test at level l+1
+  // only ever reads settled classifications.
+  for (Distance level = root_level; level <= max_level; ++level) {
+    if (level >= orphan_q_.size()) break;
+    auto& bucket = orphan_q_[level];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const VertexId v = bucket[i];
+      for (VertexId w : g.OutNeighbors(v)) {
+        if (orphan_stamp_[w] == epoch_) continue;
+        if (!IsPredLevel(cx.view.d[v], cx.view.d[w])) continue;
+        bool all_orphan = true;
+        for (VertexId u : g.InNeighbors(w)) {
+          if (IsPredLevel(cx.view.d[u], cx.view.d[w]) && !is_orphan(u)) {
+            all_orphan = false;
+            break;
+          }
+        }
+        if (all_orphan) {
+          mark(w, kOrphan);
+          moved_list_.push_back(w);
+          const Distance next = level + 1;
+          if (orphan_q_[next].empty()) orphan_used_.push_back(next);
+          orphan_q_[next].push_back(w);
+          max_level = std::max(max_level, next);
+        } else {
+          // A pivot in the paper's terminology: distance intact, but the
+          // orphaned predecessors take their path counts with them.
+          mark(w, kSurvivor);
+          Touch(cx, w, kPending);
+          PushRepair(w, cx.view.d[w]);
+        }
+      }
+    }
+  }
+}
+
+// Seeds the re-BFS for orphans: each orphan's tentative new distance is one
+// past its best surviving neighbor (the pivots of Def. 3.2). Orphans with no
+// surviving neighbor stay unreachable unless relaxed through other orphans.
+void IncrementalEngine::RepairDistancesRemoval(const SourceContext& cx) {
+  const Graph& g = *cx.graph;
+  for (VertexId v : moved_list_) {
+    Touch(cx, v, kPending);
+    d_new_[v] = kUnreachable;
+    sigma_new_[v] = 0;
+    delta_new_[v] = 0.0;
+  }
+  for (VertexId v : moved_list_) {
+    Distance best = kUnreachable;
+    for (VertexId u : g.InNeighbors(v)) {
+      if (orphan_stamp_[u] == epoch_ && orphan_state_[u] == kOrphan) continue;
+      const Distance du = cx.view.d[u];
+      if (du == kUnreachable) continue;
+      best = std::min(best, du + 1);
+    }
+    if (best != kUnreachable) {
+      d_new_[v] = best;
+      PushRepair(v, best);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: sigma repair (and, folded in, the remaining distance relaxation).
+//
+// Level-ascending sweep with lazy queue deletion. Popping a vertex at its
+// final level recounts its shortest paths from its (already settled)
+// predecessors, classifies it as changed (DN) or untouched-in-value (UP),
+// relaxes distance offers downward (addition: anyone closer via the new
+// edge; removal: other orphans), and marks DAG successors dirty so sigma
+// changes propagate.
+// ---------------------------------------------------------------------------
+void IncrementalEngine::RepairSigmas(const SourceContext& cx) {
+  const Graph& g = *cx.graph;
+  const bool mp = pred_mode_ == PredMode::kPredecessorLists;
+  std::vector<VertexId> preds;
+  for (Distance level = 0; level <= repair_max_; ++level) {
+    auto& bucket = repair_q_[level];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const VertexId x = bucket[i];
+      if (state_[x] != kPending || d_new_[x] != level) continue;  // stale
+      // Recount shortest paths from current predecessors.
+      PathCount sigma = 0;
+      preds.clear();
+      for (VertexId p : g.InNeighbors(x)) {
+        if (!IsPredLevel(EffD(cx, p), level)) continue;
+        sigma += EffSigma(cx, p);
+        if (mp) preds.push_back(p);
+      }
+      sigma_new_[x] = sigma;
+      const bool changed =
+          d_new_[x] != cx.view.d[x] || sigma != cx.view.sigma[x];
+      state_[x] = changed ? kDn : kUp;
+      delta_new_[x] = changed ? 0.0 : cx.view.delta[x];
+      PushLq(x, level);
+      if (mp) {
+        pred_idx_[x] = static_cast<std::uint32_t>(pred_patches_.size());
+        pred_patches_.emplace_back(x, preds);
+      }
+      if (!changed) continue;
+      for (VertexId w : g.OutNeighbors(x)) {
+        const Distance dw = EffD(cx, w);
+        const bool relaxable =
+            cx.is_addition
+                ? dw > level + 1 || dw == kUnreachable
+                : (orphan_stamp_[w] == epoch_ &&
+                   orphan_state_[w] == kOrphan && state_[w] == kPending &&
+                   (dw == kUnreachable || dw > level + 1));
+        if (relaxable) {
+          // w rides along: it gets a strictly better (addition) or its
+          // first finite (removal) distance through x.
+          if (!IsTouched(w)) {
+            Touch(cx, w, kPending);
+            moved_list_.push_back(w);
+          }
+          SOBC_DCHECK(state_[w] == kPending);
+          d_new_[w] = level + 1;
+          PushRepair(w, level + 1);
+        } else if (dw == level + 1) {
+          // DAG successor: its path count inherits x's change.
+          if (!IsTouched(w)) {
+            Touch(cx, w, kPending);
+            PushRepair(w, level + 1);
+          }
+        }
+      }
+    }
+  }
+  // Orphans never reached by the re-BFS form a split-off component
+  // (Section 4.5, Alg. 10): unreachable, zero paths, zero dependency.
+  for (VertexId v : moved_list_) {
+    if (state_[v] == kPending) {
+      SOBC_DCHECK(d_new_[v] == kUnreachable);
+      state_[v] = kDn;
+      sigma_new_[v] = 0;
+      delta_new_[v] = 0.0;
+      PushLq(v, kUnreachable);
+      if (mp) {
+        pred_idx_[v] = static_cast<std::uint32_t>(pred_patches_.size());
+        pred_patches_.emplace_back(v, std::vector<VertexId>{});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3a: stale-edge prescan.
+//
+// Every edge incident to a touched vertex whose DAG relation changed (it
+// carried shortest paths before but not after, or its direction flipped, or
+// the two endpoints now sit on the same level — the cases of Fig. 3 /
+// Alg. 5) has its old contribution subtracted here, before accumulation, so
+// dependency bases are consistent when the descending sweep starts.
+// ---------------------------------------------------------------------------
+void IncrementalEngine::PreScanStaleEdges(const SourceContext& cx) {
+  const Graph& g = *cx.graph;
+  const std::size_t snapshot = touched_list_.size();
+  auto check_edge = [&](VertexId a, VertexId b) {
+    const int old_rel = OldRelation(cx, a, b);
+    if (old_rel == 0 || old_rel == NewRelation(cx, a, b)) return;
+    const EdgeKey key = g.MakeKey(a, b);
+    if (!stale_seen_.insert(key).second) return;
+    const VertexId p = old_rel > 0 ? a : b;  // old predecessor
+    const VertexId q = old_rel > 0 ? b : a;  // old successor
+    const double alpha = static_cast<double>(cx.view.sigma[p]) /
+                         static_cast<double>(cx.view.sigma[q]) *
+                         (1.0 + cx.view.delta[q]);
+    cx.scores->ebc[key] -= alpha;
+    if (!IsTouched(p)) PullUp(cx, p);
+    if (state_[p] != kDn) delta_new_[p] -= alpha;
+  };
+  for (std::size_t i = 0; i < snapshot; ++i) {
+    const VertexId x = touched_list_[i];
+    for (VertexId y : g.OutNeighbors(x)) check_edge(x, y);
+    if (g.directed()) {
+      for (VertexId y : g.InNeighbors(x)) check_edge(y, x);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3b: dependency re-accumulation (the LQ sweep of Alg. 2/4/7/9).
+//
+// Processes touched vertices deepest-first. DN vertices rebuild their
+// dependency from scratch (all their successors are touched by
+// construction); UP vertices start from the stored value and take
+// new-minus-old corrections, so contributions of untouched successors stay
+// embedded — the old-value-subtraction trick that keeps per-source work
+// proportional to the affected region.
+// ---------------------------------------------------------------------------
+void IncrementalEngine::Accumulate(const SourceContext& cx,
+                                   UpdateStats* stats) {
+  const Graph& g = *cx.graph;
+  const bool mp = pred_mode_ == PredMode::kPredecessorLists;
+
+  if (!cx.is_addition) {
+    // The removed edge is gone from the adjacency lists, so the prescan
+    // cannot see it; subtract its old contribution explicitly
+    // (Alg. 2 lines 11-13 / Alg. 7 line 16).
+    const double alpha0 = static_cast<double>(cx.view.sigma[cx.u_high]) /
+                          static_cast<double>(cx.view.sigma[cx.u_low]) *
+                          (1.0 + cx.view.delta[cx.u_low]);
+    cx.scores->ebc[cx.update_key] -= alpha0;
+    if (!IsTouched(cx.u_high)) PullUp(cx, cx.u_high);
+    if (state_[cx.u_high] != kDn) delta_new_[cx.u_high] -= alpha0;
+  }
+
+  PreScanStaleEdges(cx);
+
+  auto process = [&](VertexId x) {
+    const Distance dx = d_new_[x];  // touched => overlay is authoritative
+    if (dx != kUnreachable) {
+      const double coeff = (1.0 + delta_new_[x]) /
+                           static_cast<double>(sigma_new_[x]);
+      auto contribute = [&](VertexId p) {
+        if (!IsTouched(p)) PullUp(cx, p);
+        const double c = static_cast<double>(EffSigma(cx, p)) * coeff;
+        delta_new_[p] += c;
+        const EdgeKey key = g.MakeKey(p, x);
+        cx.scores->ebc[key] += c;
+        // Same-direction old contribution: new minus old.
+        if (IsPredLevel(cx.view.d[p], cx.view.d[x]) &&
+            !(cx.is_addition && key == cx.update_key)) {
+          const double alpha = static_cast<double>(cx.view.sigma[p]) /
+                               static_cast<double>(cx.view.sigma[x]) *
+                               (1.0 + cx.view.delta[x]);
+          cx.scores->ebc[key] -= alpha;
+          if (state_[p] == kUp) delta_new_[p] -= alpha;
+        }
+      };
+      if (mp && pred_idx_[x] != kNoPredPatch) {
+        for (VertexId p : pred_patches_[pred_idx_[x]].second) contribute(p);
+      } else if (mp) {
+        for (VertexId p : (*cx.view.preds)[x]) contribute(p);
+      } else {
+        for (VertexId p : g.InNeighbors(x)) {
+          if (IsPredLevel(EffD(cx, p), dx)) contribute(p);
+        }
+      }
+    }
+    if (x != cx.s) {
+      cx.scores->vbc[x] += delta_new_[x] - cx.view.delta[x];
+    }
+  };
+
+  // Vertices cut off from the source carry no dependency any more; handle
+  // them first (they are "deepest").
+  for (std::size_t i = 0; i < unreachable_.size(); ++i) {
+    process(unreachable_[i]);
+  }
+  for (Distance level = lq_max_ + 1; level-- > 0;) {
+    auto& bucket = lq_[level];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      process(bucket[i]);
+    }
+  }
+  stats->vertices_touched += touched_list_.size();
+}
+
+Status IncrementalEngine::EmitPatches(const SourceContext& cx, BdStore* store,
+                                      UpdateStats* stats) {
+  (void)stats;
+  patches_.reserve(touched_list_.size());
+  for (VertexId v : touched_list_) {
+    patches_.push_back(BdPatch{v, d_new_[v], sigma_new_[v], delta_new_[v]});
+  }
+  return store->Apply(cx.s, patches_, pred_patches_);
+}
+
+Status IncrementalEngine::ApplyUpdateForSource(const Graph& graph,
+                                               const EdgeUpdate& update,
+                                               VertexId s, BdStore* store,
+                                               BcScores* scores,
+                                               UpdateStats* stats) {
+  const std::size_t n = graph.NumVertices();
+  EnsureScratch(n);
+  if (scores->vbc.size() < n) scores->vbc.resize(n, 0.0);
+  ++stats->sources_total;
+
+  const bool addition = update.op == EdgeOp::kAdd;
+  Distance du = kUnreachable;
+  Distance dv = kUnreachable;
+  SOBC_RETURN_NOT_OK(store->PeekDistances(s, update.u, update.v, &du, &dv));
+
+  // Case dispatch on the endpoint distances (Section 3.1). For undirected
+  // graphs uH is the endpoint closer to the source; for directed graphs the
+  // edge orientation fixes uH = u, uL = v.
+  VertexId u_high;
+  VertexId u_low;
+  bool structural;
+  if (graph.directed()) {
+    u_high = update.u;
+    u_low = update.v;
+    if (du == kUnreachable) {
+      ++stats->sources_skipped;
+      return Status::OK();
+    }
+    if (addition) {
+      if (dv != kUnreachable && dv <= du) {
+        ++stats->sources_skipped;  // edge lies off every shortest path
+        return Status::OK();
+      }
+      structural = dv == kUnreachable || dv > du + 1;
+    } else {
+      if (dv == kUnreachable || dv != du + 1) {
+        ++stats->sources_skipped;  // removed edge carried no paths from s
+        return Status::OK();
+      }
+      structural = true;  // refined below once uL's predecessors are known
+    }
+  } else {
+    if (du == kUnreachable && dv == kUnreachable) {
+      ++stats->sources_skipped;
+      return Status::OK();
+    }
+    if (du == dv) {
+      ++stats->sources_skipped;  // Proposition 3.1
+      return Status::OK();
+    }
+    if (!addition && (du == kUnreachable || dv == kUnreachable)) {
+      // Endpoints of an existing edge cannot differ in reachability.
+      return Status::Internal("inconsistent BD distances for removed edge");
+    }
+    const bool u_closer = dv == kUnreachable || (du != kUnreachable && du < dv);
+    u_high = u_closer ? update.u : update.v;
+    u_low = u_closer ? update.v : update.u;
+    const Distance dh = u_closer ? du : dv;
+    const Distance dl = u_closer ? dv : du;
+    structural = addition ? (dl == kUnreachable || dl > dh + 1) : true;
+  }
+
+  SourceContext cx;
+  cx.graph = &graph;
+  cx.s = s;
+  cx.u_high = u_high;
+  cx.u_low = u_low;
+  cx.is_addition = addition;
+  cx.update_key = graph.MakeKey(update.u, update.v);
+  cx.scores = scores;
+  SOBC_RETURN_NOT_OK(store->View(s, &cx.view));
+
+  BeginSource();
+
+  if (!addition) {
+    // Removal is structural only when uL lost its last DAG predecessor
+    // (the edge itself is already gone from the adjacency lists).
+    bool has_other_pred = false;
+    for (VertexId p : graph.InNeighbors(u_low)) {
+      if (IsPredLevel(cx.view.d[p], cx.view.d[u_low])) {
+        has_other_pred = true;
+        break;
+      }
+    }
+    structural = !has_other_pred;
+  }
+
+  if (!structural) {
+    ++stats->sources_non_structural;
+    Touch(cx, u_low, kPending);
+    PushRepair(u_low, cx.view.d[u_low]);
+  } else if (addition) {
+    ++stats->sources_structural;
+    Touch(cx, u_low, kPending);
+    d_new_[u_low] = cx.view.d[u_high] + 1;
+    moved_list_.push_back(u_low);
+    PushRepair(u_low, d_new_[u_low]);
+  } else {
+    ++stats->sources_structural;
+    ClassifyOrphans(cx);
+    RepairDistancesRemoval(cx);
+  }
+
+  RepairSigmas(cx);
+  if (!unreachable_.empty()) ++stats->sources_disconnected;
+  Accumulate(cx, stats);
+  return EmitPatches(cx, store, stats);
+}
+
+Status IncrementalEngine::ApplyUpdateRange(const Graph& graph,
+                                           const EdgeUpdate& update,
+                                           VertexId begin, VertexId end,
+                                           BdStore* store, BcScores* scores,
+                                           UpdateStats* stats) {
+  for (VertexId s = begin; s < end; ++s) {
+    SOBC_RETURN_NOT_OK(
+        ApplyUpdateForSource(graph, update, s, store, scores, stats));
+  }
+  return Status::OK();
+}
+
+Status IncrementalEngine::ApplyUpdate(const Graph& graph,
+                                      const EdgeUpdate& update, BdStore* store,
+                                      BcScores* scores, UpdateStats* stats) {
+  return ApplyUpdateRange(graph, update, 0,
+                          static_cast<VertexId>(graph.NumVertices()), store,
+                          scores, stats);
+}
+
+}  // namespace sobc

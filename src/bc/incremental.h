@@ -1,0 +1,171 @@
+#ifndef SOBC_BC_INCREMENTAL_H_
+#define SOBC_BC_INCREMENTAL_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "bc/bd_store.h"
+#include "common/status.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Per-update observability counters. Aggregated across sources; used by
+/// the ablation bench and by the online scheduler's cost model.
+struct UpdateStats {
+  std::uint64_t sources_total = 0;
+  /// Sources skipped because both endpoints sit at the same level
+  /// (Proposition 3.1) or the update cannot affect any path from s.
+  std::uint64_t sources_skipped = 0;
+  /// Sources handled by the no-level-change path (Section 4.1, Alg. 2).
+  std::uint64_t sources_non_structural = 0;
+  /// Sources with structural SPdag changes (Sections 4.2-4.4, Alg. 4-9).
+  std::uint64_t sources_structural = 0;
+  /// Sources where the update split off a component (Section 4.5, Alg. 10):
+  /// at least one vertex became unreachable.
+  std::uint64_t sources_disconnected = 0;
+  /// Vertices whose BD[s] entry was rewritten, summed over sources.
+  std::uint64_t vertices_touched = 0;
+
+  void Merge(const UpdateStats& other) {
+    sources_total += other.sources_total;
+    sources_skipped += other.sources_skipped;
+    sources_non_structural += other.sources_non_structural;
+    sources_structural += other.sources_structural;
+    sources_disconnected += other.sources_disconnected;
+    vertices_touched += other.vertices_touched;
+  }
+};
+
+/// The incremental update engine of Sections 3-4: given a graph that
+/// already reflects one edge addition or removal, it revises the stored
+/// BD[s] of each source and produces vertex/edge betweenness deltas.
+///
+/// Implementation note (see DESIGN.md §5): the paper's per-case pseudocode
+/// (Alg. 2-10) is realized here as one pipeline per source —
+///   1. distance repair   (addition: relax-BFS from uL; removal: orphan
+///      classification + pivot-seeded re-BFS, Def. 3.2),
+///   2. sigma repair      (level-ordered recount over the affected region),
+///   3. dependency re-accumulation (level-descending sweep with old-value
+///      subtraction so untouched contributions stay embedded).
+/// The engine is stateless across updates except for reusable scratch
+/// buffers; one instance must not be shared between threads.
+class IncrementalEngine {
+ public:
+  explicit IncrementalEngine(PredMode pred_mode = PredMode::kScanNeighbors)
+      : pred_mode_(pred_mode) {}
+
+  /// Processes every source for one update. `graph` must already include
+  /// (addition) or exclude (removal) the updated edge; for removals the old
+  /// edge's endpoints come from `update`. Score deltas are accumulated into
+  /// `scores` (which may hold partition partials) and BD patches are
+  /// applied to `store`.
+  Status ApplyUpdate(const Graph& graph, const EdgeUpdate& update,
+                     BdStore* store, BcScores* scores, UpdateStats* stats);
+
+  /// Same, restricted to sources in [begin, end): the unit of work of one
+  /// mapper in the parallel embodiment (Section 5.2).
+  Status ApplyUpdateRange(const Graph& graph, const EdgeUpdate& update,
+                          VertexId begin, VertexId end, BdStore* store,
+                          BcScores* scores, UpdateStats* stats);
+
+  /// Processes a single source (Algorithm 1's loop body).
+  Status ApplyUpdateForSource(const Graph& graph, const EdgeUpdate& update,
+                              VertexId s, BdStore* store, BcScores* scores,
+                              UpdateStats* stats);
+
+  PredMode pred_mode() const { return pred_mode_; }
+
+ private:
+  enum VertexState : std::uint8_t {
+    kPending = 0,  // touched, waiting for its sigma-repair pop
+    kDn,           // d or sigma changed; dependency rebuilt from scratch
+    kUp,           // unchanged d/sigma; dependency corrected from old value
+  };
+  enum OrphanState : std::uint8_t {
+    kOrphan = 0,   // lost every shortest path; distance must grow
+    kSurvivor,     // kept a predecessor outside the orphaned region (pivot)
+  };
+
+  struct SourceContext {
+    const Graph* graph = nullptr;
+    VertexId s = kInvalidVertex;
+    SourceView view;
+    // Update description, oriented for this source: for undirected graphs
+    // u_high is the endpoint closer to s.
+    VertexId u_high = kInvalidVertex;
+    VertexId u_low = kInvalidVertex;
+    bool is_addition = true;
+    EdgeKey update_key;
+    BcScores* scores = nullptr;
+  };
+
+  // --- overlay helpers (epoch-stamped so per-source reset is O(1)) ---
+  bool IsTouched(VertexId v) const { return stamp_[v] == epoch_; }
+  Distance EffD(const SourceContext& cx, VertexId v) const {
+    return IsTouched(v) ? d_new_[v] : cx.view.d[v];
+  }
+  PathCount EffSigma(const SourceContext& cx, VertexId v) const {
+    return IsTouched(v) ? sigma_new_[v] : cx.view.sigma[v];
+  }
+  void Touch(const SourceContext& cx, VertexId v, std::uint8_t state);
+  void PullUp(const SourceContext& cx, VertexId v);
+
+  // --- pipeline phases ---
+  void ClassifyOrphans(const SourceContext& cx);
+  void RepairDistancesRemoval(const SourceContext& cx);
+  void RepairSigmas(const SourceContext& cx);
+  void Accumulate(const SourceContext& cx, UpdateStats* stats);
+  void PreScanStaleEdges(const SourceContext& cx);
+  Status EmitPatches(const SourceContext& cx, BdStore* store,
+                     UpdateStats* stats);
+
+  // Old-DAG relation of current edge (a, b): +1 if a was predecessor of b,
+  // -1 if b was predecessor of a, 0 otherwise. The freshly added edge is
+  // forced to 0 (it carried nothing before the update).
+  int OldRelation(const SourceContext& cx, VertexId a, VertexId b) const;
+  int NewRelation(const SourceContext& cx, VertexId a, VertexId b) const;
+
+  void EnsureScratch(std::size_t n);
+  void BeginSource();
+  void PushRepair(VertexId v, Distance level);
+  void PushLq(VertexId v, Distance level);
+
+  PredMode pred_mode_;
+
+  // Scratch (sized to the graph; reused across sources and updates).
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint8_t> state_;
+  std::vector<Distance> d_new_;
+  std::vector<PathCount> sigma_new_;
+  std::vector<double> delta_new_;
+  std::vector<std::uint32_t> orphan_stamp_;
+  std::vector<std::uint8_t> orphan_state_;
+  /// Index into pred_patches_ for vertices whose predecessor list was
+  /// recomputed this source (MP mode), or kNoPredPatch.
+  std::vector<std::uint32_t> pred_idx_;
+
+  // Bucket queues (index = level). Only levels in *_used_ are dirty.
+  std::vector<std::vector<VertexId>> repair_q_;
+  std::vector<Distance> repair_used_;
+  std::vector<std::vector<VertexId>> lq_;
+  std::vector<Distance> lq_used_;
+  std::vector<std::vector<VertexId>> orphan_q_;
+  std::vector<Distance> orphan_used_;
+  Distance repair_max_ = 0;
+  Distance lq_max_ = 0;
+  std::vector<VertexId> unreachable_;
+  std::vector<VertexId> touched_list_;
+  std::vector<VertexId> moved_list_;
+  std::unordered_set<EdgeKey, EdgeKeyHash> stale_seen_;
+  std::vector<BdPatch> patches_;
+  PredPatchList pred_patches_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_INCREMENTAL_H_

@@ -1,0 +1,86 @@
+#include "bc/score_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+namespace sobc {
+
+namespace {
+constexpr std::uint64_t kScoreMagic = 0x53424353434F5245ULL;  // "SBCSCORE"
+}  // namespace
+
+Status WriteScores(const BcScores& scores, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  const std::uint64_t magic = kScoreMagic;
+  const std::uint64_t n = scores.vbc.size();
+  const std::uint64_t m = scores.ebc.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(scores.vbc.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+  for (const auto& [key, value] : scores.ebc) {
+    out.write(reinterpret_cast<const char*>(&key.u), sizeof(key.u));
+    out.write(reinterpret_cast<const char*>(&key.v), sizeof(key.v));
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<BcScores> ReadScores(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::uint64_t magic = 0;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in || magic != kScoreMagic) {
+    return Status::IOError("not a sobc score file: " + path);
+  }
+  BcScores scores;
+  scores.vbc.resize(n);
+  in.read(reinterpret_cast<char*>(scores.vbc.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    EdgeKey key;
+    double value = 0.0;
+    in.read(reinterpret_cast<char*>(&key.u), sizeof(key.u));
+    in.read(reinterpret_cast<char*>(&key.v), sizeof(key.v));
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    scores.ebc[key] = value;
+  }
+  if (!in) return Status::IOError("truncated score file: " + path);
+  return scores;
+}
+
+Status WriteScoresTsv(const BcScores& scores, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "# sobc scores: " << scores.vbc.size() << " vertices, "
+      << scores.ebc.size() << " edges\n";
+  for (std::size_t v = 0; v < scores.vbc.size(); ++v) {
+    out << "v\t" << v << '\t' << scores.vbc[v] << '\n';
+  }
+  // Deterministic order for diffability.
+  std::vector<std::pair<EdgeKey, double>> edges(scores.ebc.begin(),
+                                                scores.ebc.end());
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, value] : edges) {
+    out << "e\t" << key.u << '\t' << key.v << '\t' << value << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace sobc

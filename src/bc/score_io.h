@@ -1,0 +1,26 @@
+#ifndef SOBC_BC_SCORE_IO_H_
+#define SOBC_BC_SCORE_IO_H_
+
+#include <string>
+
+#include "bc/bc_types.h"
+#include "common/status.h"
+
+namespace sobc {
+
+/// Persists betweenness scores in a compact binary sidecar file (magic +
+/// vertex scores + edge scores). Together with the out-of-core BD store
+/// this makes the framework restartable: a long-running deployment can
+/// checkpoint and later resume without redoing Step 1 (see
+/// DynamicBc::Checkpoint / DynamicBc::Resume).
+Status WriteScores(const BcScores& scores, const std::string& path);
+
+Result<BcScores> ReadScores(const std::string& path);
+
+/// Writes scores as human-readable TSV ("v <id> <vbc>" and
+/// "e <u> <v> <ebc>" lines), for downstream tooling.
+Status WriteScoresTsv(const BcScores& scores, const std::string& path);
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_SCORE_IO_H_

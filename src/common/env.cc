@@ -1,0 +1,24 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace sobc {
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return value;
+}
+
+std::int64_t GetEnvInt(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool UsePaperScale() { return GetEnvString("SOBC_SCALE", "") == "paper"; }
+
+}  // namespace sobc

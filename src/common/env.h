@@ -1,0 +1,20 @@
+#ifndef SOBC_COMMON_ENV_H_
+#define SOBC_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sobc {
+
+/// Reads an environment variable, returning `fallback` if unset or invalid.
+/// The bench harness uses these to pick between laptop-scale defaults and
+/// the paper's full-scale parameters (e.g. SOBC_SCALE=paper).
+std::string GetEnvString(const char* name, const std::string& fallback);
+std::int64_t GetEnvInt(const char* name, std::int64_t fallback);
+
+/// True when SOBC_SCALE=paper: benches then use the paper's graph sizes.
+bool UsePaperScale();
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_ENV_H_

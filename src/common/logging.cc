@@ -1,0 +1,12 @@
+#include "common/logging.h"
+
+namespace sobc {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "sobc check failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace sobc

@@ -1,0 +1,32 @@
+#ifndef SOBC_COMMON_LOGGING_H_
+#define SOBC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sobc {
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+}  // namespace sobc
+
+/// Invariant check that stays on in release builds. The incremental
+/// betweenness code uses it to guard structural invariants whose violation
+/// would silently corrupt centrality scores.
+#define SOBC_CHECK(expr)                                          \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::sobc::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                             \
+  } while (false)
+
+/// Debug-only check, compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SOBC_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define SOBC_DCHECK(expr) SOBC_CHECK(expr)
+#endif
+
+#endif  // SOBC_COMMON_LOGGING_H_

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace sobc {
+
+double Rng::Exponential(double mean) {
+  double u = UniformDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+double Rng::Normal() {
+  // Box-Muller transform; one value per call keeps the generator stateless
+  // beyond its core state (simpler reproducibility story).
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0.0) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * Normal());
+}
+
+}  // namespace sobc

@@ -1,0 +1,73 @@
+#ifndef SOBC_COMMON_RNG_H_
+#define SOBC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sobc {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Used everywhere instead of
+/// std::mt19937 so that experiments are reproducible across platforms and
+/// standard-library versions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Uniform(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for bound << 2^64 (all our uses).
+    return Next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// Log-normally distributed value: exp(N(mu, sigma^2)).
+  double LogNormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_RNG_H_

@@ -1,0 +1,63 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace sobc {
+
+Summary::Summary(std::vector<double> values) : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Summary::Min() const {
+  SOBC_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Summary::Max() const {
+  SOBC_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+double Summary::Mean() const {
+  SOBC_CHECK(!sorted_.empty());
+  return std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+         static_cast<double>(sorted_.size());
+}
+
+double Summary::Quantile(double q) const {
+  SOBC_CHECK(!sorted_.empty());
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double Summary::CdfAt(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::string RenderCdf(const Summary& summary, int points) {
+  std::string out;
+  if (summary.empty() || points <= 0) return out;
+  char buf[64];
+  for (int i = 0; i < points; ++i) {
+    const double q =
+        points == 1 ? 1.0 : static_cast<double>(i) / (points - 1);
+    const double v = summary.Quantile(q);
+    std::snprintf(buf, sizeof(buf), "%10.3f %6.3f\n", v, q);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sobc

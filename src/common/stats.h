@@ -1,0 +1,41 @@
+#ifndef SOBC_COMMON_STATS_H_
+#define SOBC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sobc {
+
+/// Descriptive statistics over a sample. All quantile queries operate on a
+/// sorted copy; instances are cheap value types used by the bench harness.
+class Summary {
+ public:
+  explicit Summary(std::vector<double> values);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t count() const { return sorted_.size(); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// Linear-interpolated quantile, q in [0, 1].
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+  /// Empirical CDF evaluated at x: fraction of samples <= x.
+  double CdfAt(double x) const;
+
+  /// Sorted sample values (ascending).
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Renders an empirical CDF as "value cdf" rows at the given number of
+/// evenly spaced sample points, matching the paper's CDF plots (Figs. 5-6).
+std::string RenderCdf(const Summary& summary, int points);
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_STATS_H_

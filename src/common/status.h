@@ -1,0 +1,123 @@
+#ifndef SOBC_COMMON_STATUS_H_
+#define SOBC_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace sobc {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Arrow convention: functions that can fail return a Status (or a
+/// Result<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case
+/// (single enum); carries a message only on error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad edge".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Inspect with ok(); access
+/// the value with ValueOrDie() / operator*.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  T& ValueOrDie() {
+    if (!ok()) Abort();
+    return std::get<T>(value_);
+  }
+  const T& ValueOrDie() const {
+    if (!ok()) Abort();
+    return std::get<T>(value_);
+  }
+
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  [[noreturn]] void Abort() const;
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithStatus(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Abort() const {
+  internal::AbortWithStatus(std::get<Status>(value_));
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SOBC_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::sobc::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef SOBC_COMMON_TIMER_H_
+#define SOBC_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sobc {
+
+/// Monotonic wall-clock stopwatch. Starts on construction; Restart() resets.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  std::int64_t Micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_TIMER_H_

@@ -1,0 +1,66 @@
+#ifndef SOBC_GEN_DATASET_PROFILES_H_
+#define SOBC_GEN_DATASET_PROFILES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/stream_generators.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Family of synthetic stand-in generators (see DESIGN.md, substitution 2).
+enum class ProfileKind {
+  /// Power-law growth with triadic closure: mid/high clustering social
+  /// graphs (wikielections, facebook, epinions, dblp, collaboration nets).
+  kSocial,
+  /// Random spanning tree plus uniform chords: near-zero clustering,
+  /// reply/rating networks (slashdot, amazon).
+  kTreePlus,
+};
+
+/// A synthetic stand-in for one of the paper's datasets: enough structure
+/// (size, density, clustering regime, arrival process) to reproduce the
+/// relative behaviour the evaluation attributes to that dataset.
+struct DatasetProfile {
+  std::string name;
+  std::size_t paper_vertices = 0;  // LCC size reported in Table 2/3
+  std::size_t paper_edges = 0;
+  double paper_cc = 0.0;  // clustering coefficient target
+  ProfileKind kind = ProfileKind::kSocial;
+  std::size_t edges_per_vertex = 6;   // kSocial growth parameter
+  double triangle_probability = 0.3;  // kSocial closure parameter
+  /// Inter-arrival process for timestamped replay (Fig. 8 / Table 5).
+  ArrivalProcess arrivals;
+
+  /// Edge/vertex ratio of the paper's graph (used to size kTreePlus).
+  double EdgeRatio() const {
+    return static_cast<double>(paper_edges) /
+           static_cast<double>(paper_vertices);
+  }
+};
+
+/// The six real graphs of Table 2 (wikielections, slashdot, facebook,
+/// epinions, dblp, amazon).
+const std::vector<DatasetProfile>& RealGraphProfiles();
+
+/// The small graphs of the related-work comparison (Table 3).
+const std::vector<DatasetProfile>& RelatedWorkProfiles();
+
+/// Profile for the paper's synthetic social graphs (Table 2 top: 1k..1000k,
+/// average degree ~11.8, clustering ~0.2).
+DatasetProfile SyntheticSocialProfile(std::size_t vertices);
+
+/// Looks a profile up by name across both lists; nullptr if absent.
+const DatasetProfile* FindProfile(const std::string& name);
+
+/// Builds the stand-in graph at `target_vertices` scale (the paper-scale
+/// vertex count is in the profile; benches pass a laptop-scale count).
+Graph BuildProfileGraph(const DatasetProfile& profile,
+                        std::size_t target_vertices, Rng* rng);
+
+}  // namespace sobc
+
+#endif  // SOBC_GEN_DATASET_PROFILES_H_

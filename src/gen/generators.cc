@@ -1,0 +1,115 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sobc {
+
+Graph GenerateErdosRenyi(std::size_t n, std::size_t m, Rng* rng) {
+  Graph g;
+  if (n == 0) return g;
+  g.EnsureVertex(static_cast<VertexId>(n - 1));
+  const std::size_t max_edges = n * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::size_t attempts = 0;
+  while (g.NumEdges() < m && attempts < 100 * m + 100) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng->Uniform(n));
+    const auto v = static_cast<VertexId>(rng->Uniform(n));
+    if (u == v) continue;
+    (void)g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph GenerateBarabasiAlbert(std::size_t n, std::size_t edges_per_vertex,
+                             Rng* rng) {
+  Graph g;
+  if (n == 0) return g;
+  const std::size_t m = std::max<std::size_t>(1, edges_per_vertex);
+  const std::size_t seed = std::min(n, m + 1);
+  g.EnsureVertex(static_cast<VertexId>(n - 1));
+  // Seed clique.
+  for (VertexId u = 0; u < seed; ++u) {
+    for (VertexId v = u + 1; v < seed; ++v) (void)g.AddEdge(u, v);
+  }
+  // Endpoint pool: each vertex appears once per incident edge, so sampling
+  // uniformly from the pool is degree-proportional sampling.
+  std::vector<VertexId> pool;
+  pool.reserve(2 * n * m);
+  g.ForEachEdge([&pool](VertexId u, VertexId v) {
+    pool.push_back(u);
+    pool.push_back(v);
+  });
+  for (VertexId v = static_cast<VertexId>(seed); v < n; ++v) {
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    while (added < m && guard < 100 * m + 100) {
+      ++guard;
+      const VertexId target =
+          pool.empty() ? static_cast<VertexId>(rng->Uniform(v))
+                       : pool[rng->Uniform(pool.size())];
+      if (target == v) continue;
+      if (g.AddEdge(v, target).ok()) {
+        pool.push_back(v);
+        pool.push_back(target);
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+Graph GenerateWattsStrogatz(std::size_t n, std::size_t neighbors_each_side,
+                            double rewire_p, Rng* rng) {
+  Graph g;
+  if (n == 0) return g;
+  g.EnsureVertex(static_cast<VertexId>(n - 1));
+  const std::size_t k = std::min(neighbors_each_side, (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      const auto v = static_cast<VertexId>((u + j) % n);
+      if (rng->Chance(rewire_p)) {
+        // Rewire the lattice edge to a random target, keeping the degree
+        // roughly intact; fall back to the lattice edge on collisions.
+        std::size_t guard = 0;
+        while (guard++ < 32) {
+          const auto w = static_cast<VertexId>(rng->Uniform(n));
+          if (w == u) continue;
+          if (g.AddEdge(u, w).ok()) break;
+        }
+      } else {
+        (void)g.AddEdge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph RelabelRandom(const Graph& graph, Rng* rng) {
+  const std::size_t n = graph.NumVertices();
+  std::vector<VertexId> perm(n);
+  for (VertexId v = 0; v < n; ++v) perm[v] = v;
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng->Uniform(i)]);
+  }
+  Graph out(graph.directed());
+  if (n > 0) out.EnsureVertex(static_cast<VertexId>(n - 1));
+  graph.ForEachEdge([&](VertexId u, VertexId v) {
+    (void)out.AddEdge(perm[u], perm[v]);
+  });
+  return out;
+}
+
+Graph GenerateRandomTree(std::size_t n, Rng* rng) {
+  Graph g;
+  if (n == 0) return g;
+  g.EnsureVertex(static_cast<VertexId>(n - 1));
+  for (VertexId v = 1; v < n; ++v) {
+    const auto parent = static_cast<VertexId>(rng->Uniform(v));
+    (void)g.AddEdge(parent, v);
+  }
+  return g;
+}
+
+}  // namespace sobc

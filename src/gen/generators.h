@@ -1,0 +1,38 @@
+#ifndef SOBC_GEN_GENERATORS_H_
+#define SOBC_GEN_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Erdős–Rényi G(n, m): n vertices, m distinct uniformly random edges.
+Graph GenerateErdosRenyi(std::size_t n, std::size_t m, Rng* rng);
+
+/// Barabási–Albert preferential attachment: every new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+/// Power-law degrees, vanishing clustering.
+Graph GenerateBarabasiAlbert(std::size_t n, std::size_t edges_per_vertex,
+                             Rng* rng);
+
+/// Watts–Strogatz small world: ring lattice with `neighbors_each_side`
+/// links per side, rewired with probability `rewire_p`. High clustering,
+/// short paths.
+Graph GenerateWattsStrogatz(std::size_t n, std::size_t neighbors_each_side,
+                            double rewire_p, Rng* rng);
+
+/// Random tree (uniform attachment): a connected skeleton used by tests
+/// and as a high-diameter stress case.
+Graph GenerateRandomTree(std::size_t n, Rng* rng);
+
+/// Returns a copy of `graph` with vertex ids randomly permuted. Growth
+/// generators hand out ids in attachment order, which correlates id ranges
+/// with graph neighborhoods; relabeling removes that correlation so
+/// contiguous source partitions (Section 5.2) are load-balanced.
+Graph RelabelRandom(const Graph& graph, Rng* rng);
+
+}  // namespace sobc
+
+#endif  // SOBC_GEN_GENERATORS_H_

@@ -1,0 +1,56 @@
+#include "gen/social_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sobc {
+
+Graph GenerateSocialGraph(std::size_t n, const SocialGraphParams& params,
+                          Rng* rng) {
+  Graph g;
+  if (n == 0) return g;
+  const std::size_t m = std::max<std::size_t>(1, params.edges_per_vertex);
+  const std::size_t seed = std::min(n, m + 1);
+  g.EnsureVertex(static_cast<VertexId>(n - 1));
+  for (VertexId u = 0; u < seed; ++u) {
+    for (VertexId v = u + 1; v < seed; ++v) (void)g.AddEdge(u, v);
+  }
+  std::vector<VertexId> pool;  // degree-proportional endpoint pool
+  pool.reserve(2 * n * m);
+  g.ForEachEdge([&pool](VertexId u, VertexId v) {
+    pool.push_back(u);
+    pool.push_back(v);
+  });
+  for (VertexId v = static_cast<VertexId>(seed); v < n; ++v) {
+    VertexId last_target = kInvalidVertex;
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    while (added < m && guard < 200 * m + 100) {
+      ++guard;
+      VertexId target = kInvalidVertex;
+      // Triadic closure: link to a neighbor of the previous target, which
+      // is what lifts clustering to social-network levels (Holme & Kim).
+      if (last_target != kInvalidVertex &&
+          rng->Chance(params.triangle_probability)) {
+        const auto neighbors = g.OutNeighbors(last_target);
+        if (!neighbors.empty()) {
+          target = neighbors[rng->Uniform(neighbors.size())];
+        }
+      }
+      if (target == kInvalidVertex) {
+        target = pool.empty() ? static_cast<VertexId>(rng->Uniform(v))
+                              : pool[rng->Uniform(pool.size())];
+      }
+      if (target == v) continue;
+      if (g.AddEdge(v, target).ok()) {
+        pool.push_back(v);
+        pool.push_back(target);
+        last_target = target;
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace sobc

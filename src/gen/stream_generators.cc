@@ -1,0 +1,83 @@
+#include "gen/stream_generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace sobc {
+
+EdgeStream RandomAdditionStream(const Graph& graph, std::size_t count,
+                                Rng* rng) {
+  EdgeStream stream;
+  const std::size_t n = graph.NumVertices();
+  if (n < 2) return stream;
+  std::unordered_set<EdgeKey, EdgeKeyHash> chosen;
+  std::size_t guard = 0;
+  while (stream.size() < count && guard < 200 * count + 1000) {
+    ++guard;
+    const auto u = static_cast<VertexId>(rng->Uniform(n));
+    const auto v = static_cast<VertexId>(rng->Uniform(n));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    if (!chosen.insert(graph.MakeKey(u, v)).second) continue;
+    stream.push_back({u, v, EdgeOp::kAdd, 0.0});
+  }
+  return stream;
+}
+
+EdgeStream RandomRemovalStream(const Graph& graph, std::size_t count,
+                               Rng* rng) {
+  EdgeStream stream;
+  std::vector<EdgeKey> edges = graph.Edges();
+  if (edges.empty()) return stream;
+  count = std::min(count, edges.size());
+  // Partial Fisher-Yates: pick `count` distinct edges.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng->Uniform(edges.size() - i);
+    std::swap(edges[i], edges[j]);
+    stream.push_back({edges[i].u, edges[i].v, EdgeOp::kRemove, 0.0});
+  }
+  return stream;
+}
+
+void StampArrivalTimes(EdgeStream* stream, const ArrivalProcess& process,
+                       double start_time, Rng* rng) {
+  double t = start_time;
+  for (EdgeUpdate& update : *stream) {
+    update.timestamp = t;
+    t += rng->LogNormal(process.lognormal_mu, process.lognormal_sigma);
+  }
+}
+
+EdgeStream MixedUpdateStream(const Graph& graph, std::size_t count,
+                             double remove_fraction, Rng* rng) {
+  EdgeStream stream;
+  const std::size_t n = graph.NumVertices();
+  if (n < 2) return stream;
+  std::vector<EdgeKey> edges = graph.Edges();
+  std::unordered_set<EdgeKey, EdgeKeyHash> present(edges.begin(), edges.end());
+  std::size_t guard = 0;
+  while (stream.size() < count && guard < 500 * count + 1000) {
+    ++guard;
+    const bool remove = !edges.empty() && rng->Chance(remove_fraction);
+    if (remove) {
+      const std::size_t i = rng->Uniform(edges.size());
+      const EdgeKey key = edges[i];
+      edges[i] = edges.back();
+      edges.pop_back();
+      present.erase(key);
+      stream.push_back({key.u, key.v, EdgeOp::kRemove, 0.0});
+    } else {
+      const auto u = static_cast<VertexId>(rng->Uniform(n));
+      const auto v = static_cast<VertexId>(rng->Uniform(n));
+      if (u == v) continue;
+      const EdgeKey key = graph.MakeKey(u, v);
+      if (present.count(key) != 0) continue;
+      present.insert(key);
+      edges.push_back(key);
+      stream.push_back({key.u, key.v, EdgeOp::kAdd, 0.0});
+    }
+  }
+  return stream;
+}
+
+}  // namespace sobc

@@ -1,0 +1,44 @@
+#ifndef SOBC_GEN_STREAM_GENERATORS_H_
+#define SOBC_GEN_STREAM_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// The paper's synthetic addition workload (Section 6, "Graph updates"):
+/// `count` random currently-unconnected vertex pairs, in arrival order.
+EdgeStream RandomAdditionStream(const Graph& graph, std::size_t count,
+                                Rng* rng);
+
+/// The paper's synthetic removal workload: `count` random existing edges.
+/// The same edge is never removed twice.
+EdgeStream RandomRemovalStream(const Graph& graph, std::size_t count,
+                               Rng* rng);
+
+/// Parameters of a bursty arrival process: log-normal inter-arrival gaps,
+/// which match the heavy-tailed arrival patterns of the paper's real
+/// streams (slashdot/facebook replay, Figure 8).
+struct ArrivalProcess {
+  double lognormal_mu = 0.0;     // log of the median gap, seconds
+  double lognormal_sigma = 1.0;  // burstiness
+};
+
+/// Stamps `stream` (in place) with arrival times starting at `start_time`,
+/// drawing gaps from the process.
+void StampArrivalTimes(EdgeStream* stream, const ArrivalProcess& process,
+                       double start_time, Rng* rng);
+
+/// A mixed add/remove stream: each element is a removal of a random
+/// existing edge with probability `remove_fraction`, otherwise an addition
+/// of a random non-edge. Tracks the evolving edge set so the stream is
+/// always applicable in order to `graph`.
+EdgeStream MixedUpdateStream(const Graph& graph, std::size_t count,
+                             double remove_fraction, Rng* rng);
+
+}  // namespace sobc
+
+#endif  // SOBC_GEN_STREAM_GENERATORS_H_

@@ -1,0 +1,15 @@
+#include "graph/edge_stream.h"
+
+namespace sobc {
+
+std::vector<double> InterArrivalTimes(const EdgeStream& stream) {
+  std::vector<double> gaps;
+  if (stream.size() < 2) return gaps;
+  gaps.reserve(stream.size() - 1);
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    gaps.push_back(stream[i].timestamp - stream[i - 1].timestamp);
+  }
+  return gaps;
+}
+
+}  // namespace sobc

@@ -1,0 +1,37 @@
+#ifndef SOBC_GRAPH_EDGE_STREAM_H_
+#define SOBC_GRAPH_EDGE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Whether a stream element adds or removes an edge.
+enum class EdgeOp : std::uint8_t { kAdd = 0, kRemove = 1 };
+
+/// One element of the evolving-graph update stream ES (Section 3). The
+/// timestamp (seconds, arbitrary epoch) drives the online-update experiments
+/// that replay real arrival times (Section 6, Fig. 8); it is zero for
+/// synthetic streams where only the order matters.
+struct EdgeUpdate {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  EdgeOp op = EdgeOp::kAdd;
+  double timestamp = 0.0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// An ordered update stream.
+using EdgeStream = std::vector<EdgeUpdate>;
+
+/// Inter-arrival times of consecutive stream elements, in seconds.
+/// The first element has no predecessor and is skipped, so the result has
+/// size stream.size() - 1 (or 0 for streams shorter than 2).
+std::vector<double> InterArrivalTimes(const EdgeStream& stream);
+
+}  // namespace sobc
+
+#endif  // SOBC_GRAPH_EDGE_STREAM_H_

@@ -1,0 +1,83 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sobc {
+
+bool Graph::EnsureVertex(VertexId id) {
+  if (id < out_.size()) return false;
+  out_.resize(id + 1);
+  if (directed_) in_.resize(id + 1);
+  return true;
+}
+
+bool Graph::ListContains(const std::vector<VertexId>& list, VertexId x) {
+  return std::find(list.begin(), list.end(), x) != list.end();
+}
+
+bool Graph::ListErase(std::vector<VertexId>* list, VertexId x) {
+  auto it = std::find(list->begin(), list->end(), x);
+  if (it == list->end()) return false;
+  *it = list->back();
+  list->pop_back();
+  return true;
+}
+
+Status Graph::AddEdge(VertexId u, VertexId v) {
+  if (u == v) {
+    return Status::InvalidArgument("self-loops are not supported: " +
+                                   std::to_string(u));
+  }
+  EnsureVertex(std::max(u, v));
+  if (ListContains(out_[u], v)) {
+    return Status::AlreadyExists("edge (" + std::to_string(u) + "," +
+                                 std::to_string(v) + ") already present");
+  }
+  out_[u].push_back(v);
+  if (directed_) {
+    in_[v].push_back(u);
+  } else {
+    out_[v].push_back(u);
+  }
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status Graph::RemoveEdge(VertexId u, VertexId v) {
+  if (u >= out_.size() || v >= out_.size() || !ListErase(&out_[u], v)) {
+    return Status::NotFound("edge (" + std::to_string(u) + "," +
+                            std::to_string(v) + ") not present");
+  }
+  if (directed_) {
+    ListErase(&in_[v], u);
+  } else {
+    ListErase(&out_[v], u);
+  }
+  --num_edges_;
+  return Status::OK();
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= out_.size() || v >= out_.size()) return false;
+  return ListContains(out_[u], v);
+}
+
+void Graph::ForEachEdge(
+    const std::function<void(VertexId, VertexId)>& fn) const {
+  for (VertexId u = 0; u < out_.size(); ++u) {
+    for (VertexId v : out_[u]) {
+      if (directed_ || u < v) fn(u, v);
+    }
+  }
+}
+
+std::vector<EdgeKey> Graph::Edges() const {
+  std::vector<EdgeKey> edges;
+  edges.reserve(num_edges_);
+  ForEachEdge([&edges](VertexId u, VertexId v) { edges.push_back({u, v}); });
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace sobc

@@ -1,0 +1,129 @@
+#ifndef SOBC_GRAPH_GRAPH_H_
+#define SOBC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sobc {
+
+/// Dense vertex identifier; vertices are 0..NumVertices()-1.
+using VertexId = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// An edge key. For undirected graphs the canonical form has u <= v so the
+/// same key is produced regardless of insertion order; for directed graphs
+/// the key is (source, target) as-is.
+struct EdgeKey {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  /// Canonical undirected key (endpoints sorted).
+  static EdgeKey Undirected(VertexId a, VertexId b) {
+    return a <= b ? EdgeKey{a, b} : EdgeKey{b, a};
+  }
+
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+  friend bool operator<(const EdgeKey& a, const EdgeKey& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& e) const {
+    // Splittable 64-bit mix of the packed endpoints.
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(e.u) << 32) | static_cast<std::uint64_t>(e.v);
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// A mutable graph stored as adjacency lists, supporting the edge-by-edge
+/// evolution the framework processes (Section 3 of the paper).
+///
+/// * Undirected mode keeps a single neighbor list per vertex.
+/// * Directed mode keeps out-neighbor and in-neighbor lists; the search
+///   phase of the algorithms follows out-links and the backtracking phase
+///   in-links, as the paper prescribes.
+///
+/// Self-loops and parallel edges are rejected with InvalidArgument /
+/// AlreadyExists. Vertices are created implicitly by AddEdge, or explicitly
+/// with EnsureVertex.
+class Graph {
+ public:
+  explicit Graph(bool directed = false) : directed_(directed) {}
+
+  bool directed() const { return directed_; }
+  std::size_t NumVertices() const { return out_.size(); }
+  std::size_t NumEdges() const { return num_edges_; }
+
+  /// Grows the vertex set so that `id` is valid. Returns true if the vertex
+  /// was newly created.
+  bool EnsureVertex(VertexId id);
+
+  /// Adds edge (u, v), implicitly creating missing endpoints.
+  Status AddEdge(VertexId u, VertexId v);
+
+  /// Removes edge (u, v). Endpoints stay in the graph even at degree zero.
+  Status RemoveEdge(VertexId u, VertexId v);
+
+  bool HasEdge(VertexId u, VertexId v) const;
+  bool HasVertex(VertexId id) const { return id < out_.size(); }
+
+  /// Neighbors reachable by following an edge out of v (search direction).
+  /// For undirected graphs this is simply v's neighbor list.
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_[v].data(), out_[v].size()};
+  }
+
+  /// Neighbors with an edge into v (backtracking direction). Equal to
+  /// OutNeighbors for undirected graphs.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    const auto& lists = directed_ ? in_ : out_;
+    return {lists[v].data(), lists[v].size()};
+  }
+
+  std::size_t OutDegree(VertexId v) const { return out_[v].size(); }
+  std::size_t InDegree(VertexId v) const {
+    return directed_ ? in_[v].size() : out_[v].size();
+  }
+
+  /// Total degree: out+in for directed graphs, plain degree otherwise.
+  std::size_t Degree(VertexId v) const {
+    return directed_ ? out_[v].size() + in_[v].size() : out_[v].size();
+  }
+
+  /// Invokes fn(u, v) for every edge once (canonical orientation for
+  /// undirected graphs: u < v).
+  void ForEachEdge(const std::function<void(VertexId, VertexId)>& fn) const;
+
+  /// All edges in canonical orientation, sorted.
+  std::vector<EdgeKey> Edges() const;
+
+  /// Canonical key for an edge of this graph.
+  EdgeKey MakeKey(VertexId u, VertexId v) const {
+    return directed_ ? EdgeKey{u, v} : EdgeKey::Undirected(u, v);
+  }
+
+ private:
+  static bool ListContains(const std::vector<VertexId>& list, VertexId x);
+  static bool ListErase(std::vector<VertexId>* list, VertexId x);
+
+  bool directed_;
+  std::size_t num_edges_ = 0;
+  std::vector<std::vector<VertexId>> out_;
+  std::vector<std::vector<VertexId>> in_;  // used only when directed_
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_GRAPH_GRAPH_H_

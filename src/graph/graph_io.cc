@@ -1,0 +1,80 @@
+#include "graph/graph_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sobc {
+
+Status WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "# sobc edge list: " << graph.NumVertices() << " vertices, "
+      << graph.NumEdges() << " edges, "
+      << (graph.directed() ? "directed" : "undirected") << "\n";
+  graph.ForEachEdge([&out](VertexId u, VertexId v) {
+    out << u << ' ' << v << '\n';
+  });
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeList(const std::string& path, bool directed) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  Graph graph(directed);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream tokens(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(tokens >> u >> v)) {
+      return Status::IOError("malformed edge line in " + path + ": " + line);
+    }
+    if (u == v) continue;
+    // AlreadyExists (duplicate input edge) is expected in raw datasets.
+    Status st =
+        graph.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+  }
+  return graph;
+}
+
+Status WriteEdgeStream(const EdgeStream& stream, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "# sobc edge stream: " << stream.size() << " updates\n";
+  for (const EdgeUpdate& e : stream) {
+    out << (e.op == EdgeOp::kAdd ? '+' : '-') << ' ' << e.u << ' ' << e.v
+        << ' ' << e.timestamp << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EdgeStream> ReadEdgeStream(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  EdgeStream stream;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    char op = 0;
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    double ts = 0.0;
+    if (!(tokens >> op >> u >> v >> ts) || (op != '+' && op != '-')) {
+      return Status::IOError("malformed stream line in " + path + ": " + line);
+    }
+    stream.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v),
+                      op == '+' ? EdgeOp::kAdd : EdgeOp::kRemove, ts});
+  }
+  return stream;
+}
+
+}  // namespace sobc

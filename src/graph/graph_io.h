@@ -1,0 +1,29 @@
+#ifndef SOBC_GRAPH_GRAPH_IO_H_
+#define SOBC_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Writes the graph as a whitespace-separated edge list ("u v" per line,
+/// '#' comment header). Canonical orientation for undirected graphs.
+Status WriteEdgeList(const Graph& graph, const std::string& path);
+
+/// Reads an edge list produced by WriteEdgeList (or any KONECT/SNAP-style
+/// "u v" text file; extra columns are ignored). Duplicate edges and
+/// self-loops are skipped, matching the usual dataset-cleaning step.
+Result<Graph> ReadEdgeList(const std::string& path, bool directed = false);
+
+/// Writes an update stream as "op u v timestamp" lines (op: '+' or '-').
+Status WriteEdgeStream(const EdgeStream& stream, const std::string& path);
+
+/// Reads a stream written by WriteEdgeStream.
+Result<EdgeStream> ReadEdgeStream(const std::string& path);
+
+}  // namespace sobc
+
+#endif  // SOBC_GRAPH_GRAPH_IO_H_

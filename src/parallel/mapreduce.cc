@@ -1,0 +1,170 @@
+#include "parallel/mapreduce.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "bc/bd_store_disk.h"
+#include "bc/brandes.h"
+#include "common/timer.h"
+
+namespace sobc {
+
+double ParallelUpdateTiming::CumulativeSeconds() const {
+  double total = merge_seconds;
+  for (double s : mapper_seconds) total += s;
+  return total;
+}
+
+double ParallelUpdateTiming::ModeledWallSeconds() const {
+  double slowest = 0.0;
+  for (double s : mapper_seconds) slowest = std::max(slowest, s);
+  return slowest + merge_seconds;
+}
+
+VertexId ParallelDynamicBc::MapperEnd(const Mapper& m) const {
+  const auto n = static_cast<VertexId>(graph_.NumVertices());
+  return m.limit == kInvalidVertex ? n : std::min(m.limit, n);
+}
+
+Result<std::unique_ptr<ParallelDynamicBc>> ParallelDynamicBc::Create(
+    Graph graph, const ParallelBcOptions& options) {
+  if (options.num_mappers <= 0) {
+    return Status::InvalidArgument("num_mappers must be positive");
+  }
+  if (options.variant == BcVariant::kOutOfCore && options.storage_dir.empty()) {
+    return Status::InvalidArgument("kOutOfCore variant needs a storage_dir");
+  }
+  const std::size_t n = graph.NumVertices();
+  const auto p = static_cast<std::size_t>(options.num_mappers);
+  int threads = options.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 2;
+  }
+  auto bc = std::unique_ptr<ParallelDynamicBc>(
+      new ParallelDynamicBc(std::move(graph), threads));
+
+  // Partition the sources into p contiguous ranges (Figure 4's Pi ranges).
+  // The last range is open-ended so future vertices land somewhere.
+  bc->mappers_.resize(p);
+  const std::size_t share = n / p;
+  const std::size_t remainder = n % p;
+  VertexId cursor = 0;
+  const PredMode pred_mode =
+      options.variant == BcVariant::kMemoryPredecessors
+          ? PredMode::kPredecessorLists
+          : PredMode::kScanNeighbors;
+  for (std::size_t i = 0; i < p; ++i) {
+    Mapper& m = bc->mappers_[i];
+    m.begin = cursor;
+    const std::size_t size = share + (i < remainder ? 1 : 0);
+    cursor = static_cast<VertexId>(cursor + size);
+    m.limit = i + 1 == p ? kInvalidVertex : cursor;
+    if (options.variant == BcVariant::kOutOfCore) {
+      auto store = DiskBdStore::Create(
+          options.storage_dir + "/bd_part_" + std::to_string(i) + ".bin", n,
+          /*capacity=*/0, m.begin, m.limit);
+      if (!store.ok()) return store.status();
+      m.store = std::move(*store);
+    } else {
+      m.store = std::make_unique<InMemoryBdStore>(pred_mode, m.begin, m.limit);
+    }
+    m.engine = std::make_unique<IncrementalEngine>(pred_mode);
+  }
+
+  // Step 1 in parallel: each mapper bootstraps its own partition with
+  // Brandes, emitting its partial sums; the reduce folds them into the
+  // global scores once.
+  bc->init_seconds_.assign(p, 0.0);
+  BrandesOptions brandes;
+  brandes.pred_mode = pred_mode;
+  ParallelFor(bc->pool_.get(), p, [&](std::size_t i) {
+    Mapper& m = bc->mappers_[i];
+    WallTimer timer;
+    m.delta.vbc.assign(bc->graph_.NumVertices(), 0.0);
+    m.delta.ebc.clear();
+    SourceBcData data;
+    const VertexId end = bc->MapperEnd(m);
+    for (VertexId s = m.begin; s < end && m.last_status.ok(); ++s) {
+      BrandesSingleSource(bc->graph_, s, brandes, &data, &m.delta);
+      m.last_status = m.store->PutInitial(s, std::move(data));
+    }
+    bc->init_seconds_[i] = timer.Seconds();
+  });
+  bc->reduced_.vbc.assign(n, 0.0);
+  for (Mapper& m : bc->mappers_) {
+    if (!m.last_status.ok()) return m.last_status;
+    bc->reduced_.Merge(m.delta);
+  }
+  return bc;
+}
+
+Status ParallelDynamicBc::Apply(const EdgeUpdate& update,
+                                ParallelUpdateTiming* timing) {
+  if (update.op == EdgeOp::kAdd) {
+    const std::size_t needed =
+        static_cast<std::size_t>(std::max(update.u, update.v)) + 1;
+    if (needed > graph_.NumVertices()) {
+      for (Mapper& m : mappers_) {
+        SOBC_RETURN_NOT_OK(m.store->Grow(needed));
+      }
+      reduced_.vbc.resize(needed, 0.0);
+    }
+    SOBC_RETURN_NOT_OK(graph_.AddEdge(update.u, update.v));
+  } else {
+    SOBC_RETURN_NOT_OK(graph_.RemoveEdge(update.u, update.v));
+  }
+
+  // Map phase: every mapper revises its sources independently and emits
+  // only the betweenness *changes* of this update (the key-value pairs of
+  // Figure 4, restricted to ids whose partial score moved).
+  ParallelFor(pool_.get(), mappers_.size(), [&](std::size_t i) {
+    Mapper& m = mappers_[i];
+    WallTimer timer;
+    m.stats = UpdateStats{};
+    m.delta.vbc.assign(graph_.NumVertices(), 0.0);
+    m.delta.ebc.clear();
+    m.last_status = m.engine->ApplyUpdateRange(graph_, update, m.begin,
+                                               MapperEnd(m), m.store.get(),
+                                               &m.delta, &m.stats);
+    m.last_seconds = timer.Seconds();
+  });
+
+  // Reduce phase: aggregate the emitted deltas by element id.
+  WallTimer merge_timer;
+  for (Mapper& m : mappers_) {
+    SOBC_RETURN_NOT_OK(m.last_status);
+    reduced_.Merge(m.delta);
+  }
+  if (update.op == EdgeOp::kRemove) {
+    // The removed edge's entry now holds only floating-point residue.
+    reduced_.ebc.erase(graph_.MakeKey(update.u, update.v));
+  }
+  last_merge_seconds_ = merge_timer.Seconds();
+
+  if (timing != nullptr) {
+    timing->mapper_seconds.clear();
+    for (const Mapper& m : mappers_) {
+      timing->mapper_seconds.push_back(m.last_seconds);
+    }
+    timing->merge_seconds = last_merge_seconds_;
+  }
+  return Status::OK();
+}
+
+Status ParallelDynamicBc::ApplyAll(const EdgeStream& stream) {
+  for (const EdgeUpdate& update : stream) {
+    SOBC_RETURN_NOT_OK(Apply(update));
+  }
+  return Status::OK();
+}
+
+const BcScores& ParallelDynamicBc::scores() { return reduced_; }
+
+UpdateStats ParallelDynamicBc::last_update_stats() const {
+  UpdateStats merged;
+  for (const Mapper& m : mappers_) merged.Merge(m.stats);
+  return merged;
+}
+
+}  // namespace sobc

@@ -1,0 +1,115 @@
+#ifndef SOBC_PARALLEL_MAPREDUCE_H_
+#define SOBC_PARALLEL_MAPREDUCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "bc/bd_store.h"
+#include "bc/dynamic_bc.h"
+#include "bc/incremental.h"
+#include "common/status.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+
+namespace sobc {
+
+struct ParallelBcOptions {
+  /// Number of logical mappers p (the paper's shared-nothing machines).
+  /// Sources are split into p contiguous ranges of ~n/p each (Figure 4).
+  int num_mappers = 4;
+  /// Storage variant per mapper; kOutOfCore gives every mapper its own
+  /// columnar file under storage_dir (one disk per machine in the paper).
+  BcVariant variant = BcVariant::kMemory;
+  std::string storage_dir;
+  /// Physical threads executing mapper tasks. Zero = hardware concurrency.
+  /// Mapper count may exceed thread count: the cluster model below still
+  /// reports per-mapper times as if each ran on its own machine.
+  int num_threads = 0;
+};
+
+/// Timing of one parallel update, in the paper's accounting:
+///   cumulative = sum over mappers (+ merge)  — what Figure 6 compares
+///                against single-machine Brandes;
+///   modeled_wall = max over mappers + merge  — wall-clock on a p-machine
+///                cluster, which drives Figures 7-8 and Table 5.
+struct ParallelUpdateTiming {
+  std::vector<double> mapper_seconds;
+  double merge_seconds = 0.0;
+
+  double CumulativeSeconds() const;
+  double ModeledWallSeconds() const;
+};
+
+/// The MapReduce embodiment of Section 5.4: p mappers each own a source
+/// partition (with its private BD store and engine), process every stream
+/// update for their sources, and emit partial betweenness sums; the reduce
+/// step aggregates partials per vertex/edge id.
+///
+/// On this single-node implementation the mappers run as thread-pool tasks;
+/// per-mapper timings are measured individually so cluster-level cumulative
+/// and wall-clock figures can be reported faithfully (see DESIGN.md,
+/// substitution 3).
+class ParallelDynamicBc {
+ public:
+  static Result<std::unique_ptr<ParallelDynamicBc>> Create(
+      Graph graph, const ParallelBcOptions& options);
+
+  /// Applies one update across all mappers (map) and invalidates the cached
+  /// reduction. Per-update timing is returned through `timing` if non-null.
+  Status Apply(const EdgeUpdate& update,
+               ParallelUpdateTiming* timing = nullptr);
+
+  Status ApplyAll(const EdgeStream& stream);
+
+  /// The reduced (global) scores, maintained continuously: every Apply
+  /// folds the mappers' emitted deltas into this set.
+  const BcScores& scores();
+
+  /// Seconds spent by the most recent reduce.
+  double last_merge_seconds() const { return last_merge_seconds_; }
+
+  const Graph& graph() const { return graph_; }
+  int num_mappers() const { return static_cast<int>(mappers_.size()); }
+
+  /// Merged per-update statistics for the most recent Apply.
+  UpdateStats last_update_stats() const;
+
+  /// Step-1 (Brandes initialization) per-mapper times, for speedup
+  /// accounting against the sequential baseline.
+  const std::vector<double>& init_mapper_seconds() const {
+    return init_seconds_;
+  }
+
+ private:
+  struct Mapper {
+    VertexId begin = 0;
+    VertexId limit = kInvalidVertex;  // open-ended for the last mapper
+    std::unique_ptr<BdStore> store;
+    std::unique_ptr<IncrementalEngine> engine;
+    /// Scores emitted for the current update only (the map output).
+    BcScores delta;
+    UpdateStats stats;
+    double last_seconds = 0.0;
+    Status last_status;
+  };
+
+  ParallelDynamicBc(Graph graph, int num_threads)
+      : graph_(std::move(graph)),
+        pool_(std::make_unique<ThreadPool>(num_threads)) {}
+
+  VertexId MapperEnd(const Mapper& m) const;
+
+  Graph graph_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<Mapper> mappers_;
+  std::vector<double> init_seconds_;
+  BcScores reduced_;
+  double last_merge_seconds_ = 0.0;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_PARALLEL_MAPREDUCE_H_

@@ -1,0 +1,75 @@
+#include "parallel/online_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sobc {
+
+OnlineReplayResult SimulateQueue(const std::vector<double>& arrivals,
+                                 const std::vector<double>& processing) {
+  OnlineReplayResult result;
+  result.total_updates = arrivals.size();
+  result.update_seconds = processing;
+  double finish_prev = arrivals.empty() ? 0.0 : arrivals.front();
+  double total_delay = 0.0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const double start = std::max(arrivals[i], finish_prev);
+    const double finish = start + processing[i];
+    finish_prev = finish;
+    if (i + 1 < arrivals.size()) {
+      ++result.deadline_updates;
+      const double deadline = arrivals[i + 1];
+      result.inter_arrival_seconds.push_back(deadline - arrivals[i]);
+      if (finish > deadline) {
+        ++result.missed;
+        total_delay += finish - deadline;
+      }
+    }
+  }
+  if (result.deadline_updates > 0) {
+    result.missed_fraction = static_cast<double>(result.missed) /
+                             static_cast<double>(result.deadline_updates);
+  }
+  if (result.missed > 0) {
+    result.avg_delay_seconds = total_delay / static_cast<double>(result.missed);
+  }
+  return result;
+}
+
+Result<OnlineReplayResult> ReplayOnline(ParallelDynamicBc* bc,
+                                        const EdgeStream& stream) {
+  std::vector<double> arrivals;
+  std::vector<double> processing;
+  arrivals.reserve(stream.size());
+  processing.reserve(stream.size());
+  double prev = stream.empty() ? 0.0 : stream.front().timestamp;
+  for (const EdgeUpdate& update : stream) {
+    if (update.timestamp < prev) {
+      return Status::InvalidArgument(
+          "stream timestamps must be non-decreasing");
+    }
+    prev = update.timestamp;
+    ParallelUpdateTiming timing;
+    SOBC_RETURN_NOT_OK(bc->Apply(update, &timing));
+    arrivals.push_back(update.timestamp);
+    processing.push_back(timing.ModeledWallSeconds());
+  }
+  return SimulateQueue(arrivals, processing);
+}
+
+double ModeledUpdateSeconds(double ts_per_source, std::size_t n, int mappers,
+                            double tm_merge) {
+  if (mappers <= 0) return std::numeric_limits<double>::infinity();
+  return ts_per_source * static_cast<double>(n) / mappers + tm_merge;
+}
+
+int RequiredMappers(double ts_per_source, std::size_t n,
+                    double inter_arrival_seconds, double tm_merge) {
+  const double budget = inter_arrival_seconds - tm_merge;
+  if (budget <= 0.0) return 0;  // serial part alone blows the deadline
+  const double p = ts_per_source * static_cast<double>(n) / budget;
+  return static_cast<int>(std::floor(p)) + 1;
+}
+
+}  // namespace sobc

@@ -1,0 +1,244 @@
+#include "storage/columnar_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sobc {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53424353544F5245ULL;  // "SBCSTORE"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t num_columns;
+  std::uint64_t entries_per_record;
+  std::uint64_t num_records;
+  std::uint64_t user_value;
+  std::uint64_t user_aux0;
+  std::uint64_t user_aux1;
+};
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+Status FullPread(int fd, void* buf, std::size_t count, std::uint64_t offset,
+                 const std::string& path) {
+  char* out = static_cast<char*>(buf);
+  while (count > 0) {
+    const ssize_t got = ::pread(fd, out, count, static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread", path);
+    }
+    if (got == 0) return Status::IOError("short read from " + path);
+    out += got;
+    count -= static_cast<std::size_t>(got);
+    offset += static_cast<std::uint64_t>(got);
+  }
+  return Status::OK();
+}
+
+Status FullPwrite(int fd, const void* buf, std::size_t count,
+                  std::uint64_t offset, const std::string& path) {
+  const char* in = static_cast<const char*>(buf);
+  while (count > 0) {
+    const ssize_t put = ::pwrite(fd, in, count, static_cast<off_t>(offset));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite", path);
+    }
+    in += put;
+    count -= static_cast<std::size_t>(put);
+    offset += static_cast<std::uint64_t>(put);
+  }
+  return Status::OK();
+}
+
+std::uint64_t HeaderSize(std::size_t num_columns) {
+  return sizeof(FileHeader) + num_columns * sizeof(std::uint64_t);
+}
+
+}  // namespace
+
+ColumnarFile::~ColumnarFile() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ColumnarFile::MapFile() {
+  map_size_ = header_size_ + layout_.RecordStride() * layout_.num_records;
+  void* map = ::mmap(nullptr, map_size_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd_, 0);
+  if (map == MAP_FAILED) {
+    map_ = nullptr;
+    return Errno("mmap", path_);
+  }
+  map_ = static_cast<char*>(map);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Create(
+    const std::string& path, const ColumnarLayout& layout) {
+  if (layout.column_widths.empty() || layout.entries_per_record == 0) {
+    return Status::InvalidArgument("columnar layout must be non-empty");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", path);
+
+  const std::uint64_t header_size = HeaderSize(layout.column_widths.size());
+  const std::uint64_t total =
+      header_size + layout.RecordStride() * layout.num_records;
+  if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+    ::close(fd);
+    return Errno("ftruncate", path);
+  }
+
+  FileHeader header{};
+  header.magic = kMagic;
+  header.version = kVersion;
+  header.num_columns = static_cast<std::uint32_t>(layout.column_widths.size());
+  header.entries_per_record = layout.entries_per_record;
+  header.num_records = layout.num_records;
+  header.user_value = 0;
+  header.user_aux0 = 0;
+  header.user_aux1 = 0;
+  Status st = FullPwrite(fd, &header, sizeof(header), 0, path);
+  if (st.ok()) {
+    st = FullPwrite(fd, layout.column_widths.data(),
+                    layout.column_widths.size() * sizeof(std::uint64_t),
+                    sizeof(header), path);
+  }
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  auto file = std::unique_ptr<ColumnarFile>(
+      new ColumnarFile(fd, path, layout, 0, 0, 0, header_size));
+  SOBC_RETURN_NOT_OK(file->MapFile());
+  return file;
+}
+
+Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Errno("open", path);
+  FileHeader header{};
+  Status st = FullPread(fd, &header, sizeof(header), 0, path);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (header.magic != kMagic || header.version != kVersion) {
+    ::close(fd);
+    return Status::IOError("not a sobc columnar file: " + path);
+  }
+  ColumnarLayout layout;
+  layout.entries_per_record = header.entries_per_record;
+  layout.num_records = header.num_records;
+  layout.column_widths.resize(header.num_columns);
+  st = FullPread(fd, layout.column_widths.data(),
+                 header.num_columns * sizeof(std::uint64_t), sizeof(header),
+                 path);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  auto file = std::unique_ptr<ColumnarFile>(
+      new ColumnarFile(fd, path, layout, header.user_value, header.user_aux0,
+                       header.user_aux1, HeaderSize(header.num_columns)));
+  SOBC_RETURN_NOT_OK(file->MapFile());
+  return file;
+}
+
+std::uint64_t ColumnarFile::Offset(std::uint64_t record, std::size_t column,
+                                   std::uint64_t first) const {
+  return header_size_ + record * layout_.RecordStride() +
+         layout_.ColumnOffset(column) + first * layout_.column_widths[column];
+}
+
+Status ColumnarFile::CheckBounds(std::uint64_t record, std::size_t column,
+                                 std::uint64_t first,
+                                 std::uint64_t count) const {
+  if (record >= layout_.num_records ||
+      column >= layout_.column_widths.size() ||
+      first + count > layout_.entries_per_record) {
+    return Status::OutOfRange("columnar access out of bounds in " + path_);
+  }
+  return Status::OK();
+}
+
+Status ColumnarFile::Read(std::uint64_t record, std::size_t column,
+                          std::uint64_t first, std::uint64_t count,
+                          void* out) const {
+  SOBC_RETURN_NOT_OK(CheckBounds(record, column, first, count));
+  std::memcpy(out, map_ + Offset(record, column, first),
+              count * layout_.column_widths[column]);
+  return Status::OK();
+}
+
+Status ColumnarFile::Write(std::uint64_t record, std::size_t column,
+                           std::uint64_t first, std::uint64_t count,
+                           const void* data) {
+  SOBC_RETURN_NOT_OK(CheckBounds(record, column, first, count));
+  std::memcpy(map_ + Offset(record, column, first), data,
+              count * layout_.column_widths[column]);
+  return Status::OK();
+}
+
+Status ColumnarFile::ReadSpan(std::uint64_t record, std::uint64_t byte_offset,
+                              std::uint64_t num_bytes, void* out) const {
+  if (record >= layout_.num_records ||
+      byte_offset + num_bytes > layout_.RecordStride()) {
+    return Status::OutOfRange("record span out of bounds in " + path_);
+  }
+  std::memcpy(out,
+              map_ + header_size_ + record * layout_.RecordStride() +
+                  byte_offset,
+              num_bytes);
+  return Status::OK();
+}
+
+Status ColumnarFile::WriteSpan(std::uint64_t record, std::uint64_t byte_offset,
+                               std::uint64_t num_bytes, const void* data) {
+  if (record >= layout_.num_records ||
+      byte_offset + num_bytes > layout_.RecordStride()) {
+    return Status::OutOfRange("record span out of bounds in " + path_);
+  }
+  std::memcpy(map_ + header_size_ + record * layout_.RecordStride() +
+                  byte_offset,
+              data, num_bytes);
+  return Status::OK();
+}
+
+Status ColumnarFile::SetUserValue(std::uint64_t value) {
+  user_value_ = value;
+  std::memcpy(map_ + offsetof(FileHeader, user_value), &value, sizeof(value));
+  return Status::OK();
+}
+
+Status ColumnarFile::SetUserAux(std::uint64_t aux0, std::uint64_t aux1) {
+  user_aux_[0] = aux0;
+  user_aux_[1] = aux1;
+  std::memcpy(map_ + offsetof(FileHeader, user_aux0), &aux0, sizeof(aux0));
+  std::memcpy(map_ + offsetof(FileHeader, user_aux1), &aux1, sizeof(aux1));
+  return Status::OK();
+}
+
+Status ColumnarFile::Sync() {
+  if (map_ != nullptr && ::msync(map_, map_size_, MS_SYNC) != 0) {
+    return Errno("msync", path_);
+  }
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+}  // namespace sobc

@@ -1,0 +1,130 @@
+#ifndef SOBC_STORAGE_COLUMNAR_FILE_H_
+#define SOBC_STORAGE_COLUMNAR_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sobc {
+
+/// Shape of a fixed-width columnar record file: `num_records` records, each
+/// holding `entries_per_record` entries for every column, stored column
+/// after column within the record (Section 5.1's layout: all distances,
+/// then all path counts, then all dependencies of one source).
+struct ColumnarLayout {
+  std::vector<std::uint64_t> column_widths;  // bytes per entry
+  std::uint64_t entries_per_record = 0;
+  std::uint64_t num_records = 0;
+
+  std::uint64_t EntryStride() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t w : column_widths) total += w;
+    return total;
+  }
+  std::uint64_t RecordStride() const {
+    return EntryStride() * entries_per_record;
+  }
+  std::uint64_t ColumnOffset(std::size_t column) const {
+    std::uint64_t off = 0;
+    for (std::size_t c = 0; c < column; ++c) {
+      off += column_widths[c] * entries_per_record;
+    }
+    return off;
+  }
+};
+
+/// A binary file of fixed-width columnar records with positioned I/O.
+/// Because every entry has a fixed size, the offset of any (record, column,
+/// entry) triple is computable, which is what enables the out-of-core
+/// algorithm to skip sources (dd == 0) without reading their records and to
+/// update records in place. Created files are sparse (all-zero), so callers
+/// should pick encodings where zero means "absent" (see DiskBdStore).
+///
+/// Multiple handles may be Open()ed on one file; positioned reads/writes on
+/// disjoint records are safe concurrently (pread/pwrite), which the
+/// parallel executor relies on.
+class ColumnarFile {
+ public:
+  ~ColumnarFile();
+  ColumnarFile(const ColumnarFile&) = delete;
+  ColumnarFile& operator=(const ColumnarFile&) = delete;
+
+  /// Creates (truncating) a file with the given layout.
+  static Result<std::unique_ptr<ColumnarFile>> Create(
+      const std::string& path, const ColumnarLayout& layout);
+
+  /// Opens an existing file, reading the layout from its header.
+  static Result<std::unique_ptr<ColumnarFile>> Open(const std::string& path);
+
+  const ColumnarLayout& layout() const { return layout_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads `count` entries of `column` in `record`, starting at `first`.
+  Status Read(std::uint64_t record, std::size_t column, std::uint64_t first,
+              std::uint64_t count, void* out) const;
+
+  /// Writes `count` entries of `column` in `record`, starting at `first`,
+  /// in place.
+  Status Write(std::uint64_t record, std::size_t column, std::uint64_t first,
+               std::uint64_t count, const void* data);
+
+  /// Raw positioned access to a byte span inside one record (offset from
+  /// the record's first byte). Lets callers read or write several adjacent
+  /// columns with a single syscall — the sequential whole-record access of
+  /// Section 5.1.
+  Status ReadSpan(std::uint64_t record, std::uint64_t byte_offset,
+                  std::uint64_t num_bytes, void* out) const;
+  Status WriteSpan(std::uint64_t record, std::uint64_t byte_offset,
+                   std::uint64_t num_bytes, const void* data);
+
+  /// A caller-managed 64-bit field persisted in the header (DiskBdStore
+  /// stores the live vertex count there, below the record capacity).
+  Status SetUserValue(std::uint64_t value);
+  std::uint64_t user_value() const { return user_value_; }
+
+  /// A second and third caller-managed field (DiskBdStore persists its
+  /// source partition bounds in these).
+  Status SetUserAux(std::uint64_t aux0, std::uint64_t aux1);
+  std::uint64_t user_aux0() const { return user_aux_[0]; }
+  std::uint64_t user_aux1() const { return user_aux_[1]; }
+
+  /// Flushes file contents and header to disk.
+  Status Sync();
+
+ private:
+  ColumnarFile(int fd, std::string path, ColumnarLayout layout,
+               std::uint64_t user_value, std::uint64_t aux0,
+               std::uint64_t aux1, std::uint64_t header_size)
+      : fd_(fd),
+        path_(std::move(path)),
+        layout_(std::move(layout)),
+        user_value_(user_value),
+        user_aux_{aux0, aux1},
+        header_size_(header_size) {}
+
+  Status CheckBounds(std::uint64_t record, std::size_t column,
+                     std::uint64_t first, std::uint64_t count) const;
+  std::uint64_t Offset(std::uint64_t record, std::size_t column,
+                       std::uint64_t first) const;
+  Status MapFile();
+
+  int fd_;
+  std::string path_;
+  ColumnarLayout layout_;
+  std::uint64_t user_value_;
+  std::uint64_t user_aux_[2];
+  std::uint64_t header_size_;
+  // The file is memory-mapped ("memory structures are mapped directly on
+  // disk", Section 1.2): reads and in-place updates are plain memory
+  // accesses and the page cache handles write-back.
+  char* map_ = nullptr;
+  std::uint64_t map_size_ = 0;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_STORAGE_COLUMNAR_FILE_H_

@@ -1,0 +1,212 @@
+#include "analysis/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/connected_components.h"
+#include "analysis/girvan_newman.h"
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+
+namespace sobc {
+namespace {
+
+Graph TwoTrianglesWithBridge() {
+  Graph g;
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(0, 2);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(3, 4);
+  (void)g.AddEdge(3, 5);
+  (void)g.AddEdge(4, 5);
+  (void)g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(GraphStatsTest, AverageDegree) {
+  Graph g;
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(1, 2);
+  EXPECT_DOUBLE_EQ(AverageDegree(g), 4.0 / 3.0);
+  Graph d(/*directed=*/true);
+  (void)d.AddEdge(0, 1);
+  (void)d.AddEdge(1, 2);
+  EXPECT_DOUBLE_EQ(AverageDegree(d), 2.0 / 3.0);
+}
+
+TEST(GraphStatsTest, ClusteringOfTriangleIsOne) {
+  Graph g;
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(0, 2);
+  EXPECT_DOUBLE_EQ(AverageClustering(g), 1.0);
+}
+
+TEST(GraphStatsTest, ClusteringOfPathIsZero) {
+  Graph g;
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(2, 3);
+  EXPECT_DOUBLE_EQ(AverageClustering(g), 0.0);
+}
+
+TEST(GraphStatsTest, ClusteringHandComputed) {
+  // Triangle 0-1-2 plus pendant 3 on vertex 2: c(0)=c(1)=1, c(2)=1/3,
+  // c(3)=0 (degree 1) => mean 7/12.
+  Graph g;
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(0, 2);
+  (void)g.AddEdge(2, 3);
+  EXPECT_NEAR(AverageClustering(g), 7.0 / 12.0, 1e-12);
+}
+
+TEST(GraphStatsTest, SampledClusteringApproximatesExact) {
+  Rng rng(31);
+  Graph g = GenerateWattsStrogatz(400, 4, 0.1, &rng);
+  const double exact = AverageClustering(g);
+  const double sampled = AverageClustering(g, &rng, 200);
+  EXPECT_NEAR(sampled, exact, 0.1);
+}
+
+TEST(GraphStatsTest, EffectiveDiameterOfPath) {
+  // P5 pairwise distance counts: d1:8, d2:6, d3:4, d4:2 (ordered pairs).
+  // 90th percentile target 18 of 20 -> reached inside d=3's bucket:
+  // 2 + (18-14)/4 = 3.
+  Graph g;
+  for (VertexId v = 0; v + 1 < 5; ++v) (void)g.AddEdge(v, v + 1);
+  EXPECT_NEAR(EffectiveDiameter(g), 3.0, 1e-9);
+}
+
+TEST(GraphStatsTest, EffectiveDiameterOfClique) {
+  Graph g;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) (void)g.AddEdge(u, v);
+  }
+  // All pairs at distance 1: interpolation lands at 0.9.
+  EXPECT_NEAR(EffectiveDiameter(g), 0.9, 1e-9);
+}
+
+TEST(GraphStatsTest, ComputeGraphStatsBundle) {
+  Rng rng(32);
+  Graph g = GenerateErdosRenyi(200, 600, &rng);
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.vertices, 200u);
+  EXPECT_EQ(stats.edges, 600u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 6.0);
+  EXPECT_GT(stats.effective_diameter, 1.0);
+}
+
+TEST(ComponentsTest, LabelsAndSizes) {
+  Graph g;
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(3, 4);
+  g.EnsureVertex(5);
+  const auto labels = ComponentLabels(g);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[3], labels[5]);
+  const auto sizes = ComponentSizes(labels);
+  std::vector<std::size_t> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(NumComponents(g), 3u);
+}
+
+TEST(ComponentsTest, DirectedUsesWeakConnectivity) {
+  Graph g(/*directed=*/true);
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(2, 1);  // 0 -> 1 <- 2 : weakly one component
+  EXPECT_EQ(NumComponents(g), 1u);
+}
+
+TEST(ComponentsTest, LargestComponentExtraction) {
+  Graph g;
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(2, 3);
+  (void)g.AddEdge(5, 6);
+  std::vector<VertexId> ids;
+  Graph lcc = LargestConnectedComponent(g, &ids);
+  EXPECT_EQ(lcc.NumVertices(), 4u);
+  EXPECT_EQ(lcc.NumEdges(), 3u);
+  EXPECT_EQ(ids, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(GirvanNewmanTest, BridgeRemovedFirst) {
+  Graph g = TwoTrianglesWithBridge();
+  GirvanNewmanOptions options;
+  options.target_components = 2;
+  auto result = GirvanNewmanIncremental(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->steps.size(), 1u);
+  EXPECT_EQ(result->steps[0].removed, (EdgeKey{2, 3}));
+  EXPECT_EQ(result->steps[0].num_components, 2u);
+}
+
+TEST(GirvanNewmanTest, RecomputeBaselineAgreesOnBridge) {
+  Graph g = TwoTrianglesWithBridge();
+  GirvanNewmanOptions options;
+  options.target_components = 2;
+  auto incremental = GirvanNewmanIncremental(g, options);
+  auto recompute = GirvanNewmanRecompute(g, options);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(recompute.ok());
+  ASSERT_EQ(recompute->steps.size(), 1u);
+  EXPECT_EQ(incremental->steps[0].removed, recompute->steps[0].removed);
+  EXPECT_NEAR(incremental->steps[0].ebc, recompute->steps[0].ebc, 1e-9);
+}
+
+TEST(GirvanNewmanTest, FullDendrogramRemovesEverything) {
+  Graph g = TwoTrianglesWithBridge();
+  auto result = GirvanNewmanIncremental(g, GirvanNewmanOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps.size(), 7u);  // every edge removed
+  EXPECT_EQ(result->FinalComponents(), 6u);
+  EXPECT_GT(result->TotalSeconds(), 0.0);
+}
+
+TEST(GirvanNewmanTest, MaxRemovalsBudgetRespected) {
+  Rng rng(44);
+  Graph g = GenerateErdosRenyi(30, 80, &rng);
+  GirvanNewmanOptions options;
+  options.max_removals = 5;
+  auto result = GirvanNewmanIncremental(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps.size(), 5u);
+}
+
+TEST(GirvanNewmanTest, MatchingRemovalSequencesOnAsymmetricGraph) {
+  // A graph engineered so edge-betweenness values are distinct: a chain of
+  // cliques of different sizes. Incremental and recompute drivers must
+  // peel edges in the same order.
+  Graph g;
+  // K3 on {0,1,2}, bridge 2-3, K4 on {3,4,5,6}, bridge 6-7, path 7-8-9.
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(0, 2);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(2, 3);
+  for (VertexId u = 3; u <= 6; ++u) {
+    for (VertexId v = u + 1; v <= 6; ++v) (void)g.AddEdge(u, v);
+  }
+  (void)g.AddEdge(6, 7);
+  (void)g.AddEdge(7, 8);
+  (void)g.AddEdge(8, 9);
+  GirvanNewmanOptions options;
+  options.max_removals = 4;
+  auto incremental = GirvanNewmanIncremental(g, options);
+  auto recompute = GirvanNewmanRecompute(g, options);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(recompute.ok());
+  ASSERT_EQ(incremental->steps.size(), recompute->steps.size());
+  for (std::size_t i = 0; i < incremental->steps.size(); ++i) {
+    EXPECT_EQ(incremental->steps[i].removed, recompute->steps[i].removed)
+        << "diverged at step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sobc

@@ -1,0 +1,206 @@
+#include "bc/brandes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bc/bd_store.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace sobc {
+namespace {
+
+using testutil::ExpectScoresNear;
+using testutil::NaiveBc;
+using testutil::RandomGraph;
+
+constexpr double kTol = 1e-9;
+
+TEST(BrandesTest, PathGraph) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  BcScores scores = ComputeBrandes(g);
+  // Ordered-pair convention: (0,2) and (2,0) both pass through vertex 1.
+  EXPECT_DOUBLE_EQ(scores.vbc[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores.vbc[1], 2.0);
+  EXPECT_DOUBLE_EQ(scores.vbc[2], 0.0);
+  // Each edge carries (0,1),(1,0) plus (0,2),(2,0).
+  EXPECT_DOUBLE_EQ(scores.ebc[(EdgeKey{0, 1})], 4.0);
+  EXPECT_DOUBLE_EQ(scores.ebc[(EdgeKey{1, 2})], 4.0);
+}
+
+TEST(BrandesTest, StarGraph) {
+  Graph g;
+  for (VertexId leaf = 1; leaf <= 3; ++leaf) {
+    ASSERT_TRUE(g.AddEdge(0, leaf).ok());
+  }
+  BcScores scores = ComputeBrandes(g);
+  EXPECT_DOUBLE_EQ(scores.vbc[0], 6.0);  // 3*2 ordered leaf pairs
+  for (VertexId leaf = 1; leaf <= 3; ++leaf) {
+    EXPECT_DOUBLE_EQ(scores.vbc[leaf], 0.0);
+  }
+}
+
+TEST(BrandesTest, TriangleHasNoBetweenness) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  BcScores scores = ComputeBrandes(g);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(scores.vbc[v], 0.0);
+  for (const auto& [key, value] : scores.ebc) {
+    EXPECT_DOUBLE_EQ(value, 2.0);  // only its own endpoints, both directions
+  }
+}
+
+TEST(BrandesTest, CycleOfFourSplitsPaths) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.AddEdge(3, 0).ok());
+  BcScores scores = ComputeBrandes(g);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_NEAR(scores.vbc[v], 1.0, kTol);  // half of each opposite pair
+  }
+}
+
+TEST(BrandesTest, DirectedPath) {
+  Graph g(/*directed=*/true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  BcScores scores = ComputeBrandes(g);
+  EXPECT_DOUBLE_EQ(scores.vbc[1], 1.0);  // only (0,2)
+  EXPECT_DOUBLE_EQ(scores.ebc[(EdgeKey{0, 1})], 2.0);
+  EXPECT_DOUBLE_EQ(scores.ebc[(EdgeKey{1, 2})], 2.0);
+}
+
+TEST(BrandesTest, BridgeEdgeDominates) {
+  // Two triangles joined by a bridge (2-3): the classic weak-tie picture
+  // from the paper's introduction.
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  ASSERT_TRUE(g.AddEdge(3, 5).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  BcScores scores = ComputeBrandes(g);
+  const double bridge = scores.ebc[(EdgeKey{2, 3})];
+  for (const auto& [key, value] : scores.ebc) {
+    if (key == (EdgeKey{2, 3})) continue;
+    EXPECT_LT(value, bridge) << "bridge should carry the most paths";
+  }
+  EXPECT_GT(scores.vbc[2], scores.vbc[0]);
+  EXPECT_GT(scores.vbc[3], scores.vbc[5]);
+}
+
+TEST(BrandesTest, DisconnectedComponentsIgnoreEachOther) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5).ok());
+  BcScores scores = ComputeBrandes(g);
+  EXPECT_DOUBLE_EQ(scores.vbc[1], 2.0);
+  EXPECT_DOUBLE_EQ(scores.vbc[4], 2.0);
+}
+
+TEST(BrandesTest, SingletonGraph) {
+  Graph g;
+  g.EnsureVertex(0);
+  BcScores scores = ComputeBrandes(g);
+  EXPECT_DOUBLE_EQ(scores.vbc[0], 0.0);
+  EXPECT_TRUE(scores.ebc.empty());
+}
+
+TEST(BrandesTest, PredListsAndScanAgree) {
+  Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = RandomGraph(40, 120, &rng);
+    BrandesOptions scan;
+    BrandesOptions preds;
+    preds.pred_mode = PredMode::kPredecessorLists;
+    ExpectScoresNear(ComputeBrandes(g, scan), ComputeBrandes(g, preds), kTol,
+                     "MP vs MO trial " + std::to_string(trial));
+  }
+}
+
+TEST(BrandesTest, MatchesNaiveOnRandomUndirected) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = RandomGraph(30, 70, &rng);
+    ExpectScoresNear(NaiveBc(g), ComputeBrandes(g), 1e-7,
+                     "undirected trial " + std::to_string(trial));
+  }
+}
+
+TEST(BrandesTest, MatchesNaiveOnRandomDirected) {
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = RandomGraph(30, 120, &rng, /*directed=*/true);
+    ExpectScoresNear(NaiveBc(g), ComputeBrandes(g), 1e-7,
+                     "directed trial " + std::to_string(trial));
+  }
+}
+
+TEST(BrandesTest, RangeSumsToFull) {
+  Rng rng(21);
+  Graph g = RandomGraph(25, 60, &rng);
+  BcScores full = ComputeBrandes(g);
+  BcScores left;
+  BcScores right;
+  BrandesOptions options;
+  ComputeBrandesRange(g, 0, 12, options, &left);
+  ComputeBrandesRange(g, 12, 25, options, &right);
+  left.Merge(right);
+  ExpectScoresNear(full, left, kTol, "partition merge");
+}
+
+TEST(BrandesTest, SingleSourceFillsBdData) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  SourceBcData data;
+  BrandesSingleSource(g, 0, BrandesOptions{}, &data, nullptr);
+  EXPECT_EQ(data.d[0], 0u);
+  EXPECT_EQ(data.d[1], 1u);
+  EXPECT_EQ(data.d[2], 1u);
+  EXPECT_EQ(data.d[3], 2u);
+  EXPECT_EQ(data.sigma[3], 1u);
+  EXPECT_DOUBLE_EQ(data.delta[2], 1.0);  // vertex 2 carries (0,3)
+}
+
+TEST(BrandesTest, UnreachableVerticesStayAtSentinels) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  g.EnsureVertex(2);
+  SourceBcData data;
+  BrandesSingleSource(g, 0, BrandesOptions{}, &data, nullptr);
+  EXPECT_EQ(data.d[2], kUnreachable);
+  EXPECT_EQ(data.sigma[2], 0u);
+  EXPECT_DOUBLE_EQ(data.delta[2], 0.0);
+}
+
+TEST(BrandesTest, InitializeFromScratchPopulatesStore) {
+  Rng rng(33);
+  Graph g = RandomGraph(20, 40, &rng);
+  InMemoryBdStore store;
+  BcScores scores;
+  ASSERT_TRUE(InitializeFromScratch(g, BrandesOptions{}, &store, &scores).ok());
+  EXPECT_EQ(store.num_sources(), 20u);
+  ExpectScoresNear(ComputeBrandes(g), scores, kTol, "init scores");
+  SourceView view;
+  ASSERT_TRUE(store.View(5, &view).ok());
+  EXPECT_EQ(view.d[5], 0u);
+  EXPECT_EQ(view.sigma[5], 1u);
+}
+
+}  // namespace
+}  // namespace sobc

@@ -1,0 +1,182 @@
+// Storage-layer hardening: span I/O bounds, partitioned disk stores
+// addressed by global source ids, metadata survival across reopen, and
+// concurrent handles on one file touching disjoint records (the access
+// pattern of the parallel engine when mappers share a file).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bc/bd_store_disk.h"
+#include "storage/columnar_file.h"
+
+namespace sobc {
+namespace {
+
+class ColumnarHardeningTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+  std::string TempPath(const std::string& name) {
+    std::string p = ::testing::TempDir() + "/sobc_chard_" + name;
+    paths_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(ColumnarHardeningTest, SpanIoRoundTripAndBounds) {
+  ColumnarLayout layout;
+  layout.column_widths = {2, 8};
+  layout.entries_per_record = 8;  // record stride = 8*2 + 8*8 = 80 bytes
+  layout.num_records = 3;
+  auto file = ColumnarFile::Create(TempPath("span.bin"), layout);
+  ASSERT_TRUE(file.ok());
+  const char payload[16] = "fifteen-bytes!!";
+  ASSERT_TRUE((*file)->WriteSpan(1, 10, sizeof(payload), payload).ok());
+  char back[16] = {};
+  ASSERT_TRUE((*file)->ReadSpan(1, 10, sizeof(back), back).ok());
+  EXPECT_EQ(std::string(back, 15), std::string(payload, 15));
+  // Spans must stay inside one record.
+  char buf[96] = {};
+  EXPECT_EQ((*file)->ReadSpan(1, 70, 20, buf).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ((*file)->WriteSpan(3, 0, 4, buf).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(ColumnarHardeningTest, SpanWriteVisibleThroughColumnRead) {
+  ColumnarLayout layout;
+  layout.column_widths = {2};
+  layout.entries_per_record = 4;
+  layout.num_records = 1;
+  auto file = ColumnarFile::Create(TempPath("mix.bin"), layout);
+  ASSERT_TRUE(file.ok());
+  const std::uint16_t values[4] = {10, 20, 30, 40};
+  ASSERT_TRUE((*file)->WriteSpan(0, 0, sizeof(values), values).ok());
+  std::uint16_t one = 0;
+  ASSERT_TRUE((*file)->Read(0, 0, 2, 1, &one).ok());
+  EXPECT_EQ(one, 30);
+}
+
+TEST_F(ColumnarHardeningTest, PartitionedStoreUsesGlobalIds) {
+  // A store holding sources [4, 8) of a 10-vertex graph.
+  auto store = DiskBdStore::Create(TempPath("part.bin"), 10, 0, 4, 8);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->source_begin(), 4u);
+  EXPECT_EQ((*store)->source_end(), 8u);
+  EXPECT_EQ((*store)->num_sources(), 4u);
+  SourceView view;
+  ASSERT_TRUE((*store)->View(5, &view).ok());
+  EXPECT_EQ(view.d[5], 0u);  // self entry of source 5
+  EXPECT_EQ(view.sigma[5], 1u);
+  EXPECT_FALSE((*store)->View(3, &view).ok());
+  EXPECT_FALSE((*store)->View(8, &view).ok());
+  // Patches address vertices globally too.
+  ASSERT_TRUE(
+      (*store)->Apply(6, {BdPatch{9, 2, 5, 1.5}}, PredPatchList{}).ok());
+  ASSERT_TRUE((*store)->View(6, &view).ok());
+  EXPECT_EQ(view.d[9], 2u);
+  EXPECT_EQ(view.sigma[9], 5u);
+}
+
+TEST_F(ColumnarHardeningTest, PartitionMetadataSurvivesReopen) {
+  const std::string path = TempPath("meta.bin");
+  {
+    auto store = DiskBdStore::Create(path, 12, 0, 3, 9);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        (*store)->Apply(4, {BdPatch{0, 7, 3, 0.5}}, PredPatchList{}).ok());
+  }
+  auto reopened = DiskBdStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_vertices(), 12u);
+  EXPECT_EQ((*reopened)->source_begin(), 3u);
+  EXPECT_EQ((*reopened)->source_end(), 9u);
+  SourceView view;
+  ASSERT_TRUE((*reopened)->View(4, &view).ok());
+  EXPECT_EQ(view.d[0], 7u);
+}
+
+TEST_F(ColumnarHardeningTest, ConcurrentHandlesOnDisjointRecords) {
+  // Each thread opens its own handle and hammers its own record; this is
+  // the invariant the parallel engine relies on when mappers share a file.
+  const std::string path = TempPath("conc.bin");
+  constexpr std::size_t kVertices = 64;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  {
+    auto store = DiskBdStore::Create(path, kVertices);
+    ASSERT_TRUE(store.ok());
+  }
+  std::vector<std::thread> threads;
+  std::vector<Status> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto handle = DiskBdStore::Open(path);
+      if (!handle.ok()) {
+        results[t] = handle.status();
+        return;
+      }
+      const auto s = static_cast<VertexId>(t * 7 + 1);
+      for (int round = 0; round < kRounds && results[t].ok(); ++round) {
+        const auto value = static_cast<PathCount>(round + 1);
+        results[t] = (*handle)->Apply(
+            s, {BdPatch{static_cast<VertexId>(t), 1, value, 0.0}},
+            PredPatchList{});
+        if (!results[t].ok()) break;
+        SourceView view;
+        results[t] = (*handle)->View(s, &view);
+        if (results[t].ok() &&
+            view.sigma[static_cast<VertexId>(t)] != value) {
+          results[t] = Status::Internal("lost write");
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(results[t].ok()) << "thread " << t << ": "
+                                 << results[t].ToString();
+  }
+  // All four records hold their final values.
+  auto verify = DiskBdStore::Open(path);
+  ASSERT_TRUE(verify.ok());
+  for (int t = 0; t < kThreads; ++t) {
+    SourceView view;
+    ASSERT_TRUE(
+        (*verify)->View(static_cast<VertexId>(t * 7 + 1), &view).ok());
+    EXPECT_EQ(view.sigma[static_cast<VertexId>(t)],
+              static_cast<PathCount>(kRounds));
+  }
+}
+
+TEST_F(ColumnarHardeningTest, DistanceEncodingLimits) {
+  auto store = DiskBdStore::Create(TempPath("enc.bin"), 4);
+  ASSERT_TRUE(store.ok());
+  // 65534 is the largest representable distance (encoded +1 in 16 bits).
+  ASSERT_TRUE((*store)
+                  ->Apply(0, {BdPatch{1, 65534, 1, 0.0}}, PredPatchList{})
+                  .ok());
+  SourceView view;
+  ASSERT_TRUE((*store)->View(0, &view).ok());
+  EXPECT_EQ(view.d[1], 65534u);
+  EXPECT_EQ((*store)
+                ->Apply(0, {BdPatch{1, 65535, 1, 0.0}}, PredPatchList{})
+                .code(),
+            StatusCode::kOutOfRange);
+  // The unreachable sentinel round-trips.
+  ASSERT_TRUE(
+      (*store)
+          ->Apply(0, {BdPatch{2, kUnreachable, 0, 0.0}}, PredPatchList{})
+          .ok());
+  ASSERT_TRUE((*store)->View(0, &view).ok());
+  EXPECT_EQ(view.d[2], kUnreachable);
+}
+
+}  // namespace
+}  // namespace sobc

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace sobc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad edge");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad edge");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad edge");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::IOError("").code(),         Status::FailedPrecondition("").code(),
+      Status::Internal("").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / kSamples, 2.0, 0.1);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.05);
+  EXPECT_NEAR(sq / kSamples, 1.0, 0.05);
+}
+
+TEST(SummaryTest, BasicStats) {
+  Summary s({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+}
+
+TEST(SummaryTest, QuantileInterpolates) {
+  Summary s({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 10.0);
+}
+
+TEST(SummaryTest, CdfAt) {
+  Summary s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(9.0), 1.0);
+}
+
+TEST(SummaryTest, RenderCdfHasRequestedPoints) {
+  Summary s({1.0, 2.0, 3.0});
+  const std::string out = RenderCdf(s, 5);
+  int lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 5);
+}
+
+TEST(EnvTest, FallbacksWhenUnset) {
+  ::unsetenv("SOBC_TEST_UNSET");
+  EXPECT_EQ(GetEnvString("SOBC_TEST_UNSET", "dflt"), "dflt");
+  EXPECT_EQ(GetEnvInt("SOBC_TEST_UNSET", 17), 17);
+}
+
+TEST(EnvTest, ParsesValues) {
+  ::setenv("SOBC_TEST_INT", "123", 1);
+  EXPECT_EQ(GetEnvInt("SOBC_TEST_INT", 0), 123);
+  ::setenv("SOBC_TEST_INT", "junk", 1);
+  EXPECT_EQ(GetEnvInt("SOBC_TEST_INT", 5), 5);
+  ::unsetenv("SOBC_TEST_INT");
+}
+
+}  // namespace
+}  // namespace sobc

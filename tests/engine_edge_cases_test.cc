@@ -1,0 +1,201 @@
+// Regression tests for the engine's rarest code paths — the cases that
+// motivated the stale-edge prescan and the unified repair pipeline (see
+// DESIGN.md §5 and the analysis notes in incremental.cc).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace sobc {
+namespace {
+
+using testutil::ExpectScoresNear;
+
+void ExpectMatches(DynamicBc* bc, const std::string& label) {
+  ExpectScoresNear(ComputeBrandes(bc->graph()), bc->scores(), 1e-7, label);
+}
+
+std::unique_ptr<DynamicBc> Make(const Graph& g) {
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  EXPECT_TRUE(bc.ok());
+  return std::move(*bc);
+}
+
+// In a directed graph, an old DAG edge's endpoints can end up more than one
+// level apart after an update (impossible undirected). The old predecessor
+// keeps its distance and sits *deeper* than the moved vertex, so its level
+// bucket would already be processed when the accumulation sweep reaches the
+// moved endpoint — exactly the ordering hazard the prescan exists for.
+TEST(DirectedStaleEdgeTest, OldPredecessorLeftFarBehindByShortcut) {
+  Graph g(/*directed=*/true);
+  // Long chain 0 -> 1 -> ... -> 8; vertex 7 is the sole predecessor of 8.
+  for (VertexId v = 0; v < 8; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  auto bc = Make(g);
+  // Shortcut 0 -> 8 pulls 8 up to depth 1; 7 stays at depth 7, six levels
+  // below its former successor.
+  ASSERT_TRUE((*bc).Apply({0, 8, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc.get(), "directed deep stale edge");
+}
+
+TEST(DirectedStaleEdgeTest, ChainOfStaleEdgesAfterMultipleShortcuts) {
+  Graph g(/*directed=*/true);
+  for (VertexId v = 0; v < 10; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  auto bc = Make(g);
+  ASSERT_TRUE((*bc).Apply({0, 10, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc.get(), "first shortcut");
+  ASSERT_TRUE((*bc).Apply({0, 5, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc.get(), "second shortcut");
+  ASSERT_TRUE((*bc).Apply({0, 10, EdgeOp::kRemove}).ok());
+  ExpectMatches(bc.get(), "shortcut removal restores depth");
+}
+
+TEST(DirectedStaleEdgeTest, RemovalDropsVertexFarBelowOldSuccessor) {
+  Graph g(/*directed=*/true);
+  // 0->1->2->3 and a long detour 0->4->5->6->7->3': removing (2,3) drops 3
+  // four levels (served via the detour), leaving stale relations behind.
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.AddEdge(3, 8).ok());  // a successor that rides along
+  ASSERT_TRUE(g.AddEdge(0, 4).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5).ok());
+  ASSERT_TRUE(g.AddEdge(5, 6).ok());
+  ASSERT_TRUE(g.AddEdge(6, 7).ok());
+  ASSERT_TRUE(g.AddEdge(7, 3).ok());
+  auto bc = Make(g);
+  ASSERT_TRUE((*bc).Apply({2, 3, EdgeOp::kRemove}).ok());
+  ExpectMatches(bc.get(), "directed deep drop");
+}
+
+TEST(DenseGraphTest, SaturateToCompleteThenDrain) {
+  // Every pair at distance <= 2 throughout: lots of dd==0 skips, wide
+  // same-level fringes, and the densest possible accumulation scans.
+  Graph g;
+  for (VertexId v = 0; v + 1 < 7; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  auto bc = Make(g);
+  for (VertexId u = 0; u < 7; ++u) {
+    for (VertexId v = u + 1; v < 7; ++v) {
+      if (bc->graph().HasEdge(u, v)) continue;
+      ASSERT_TRUE(bc->Apply({u, v, EdgeOp::kAdd}).ok());
+    }
+  }
+  ExpectMatches(bc.get(), "complete graph reached");
+  EXPECT_EQ(bc->graph().NumEdges(), 21u);
+  // Drain back down to a sparse graph.
+  Rng rng(5);
+  while (bc->graph().NumEdges() > 8) {
+    auto edges = bc->graph().Edges();
+    const EdgeKey pick = edges[rng.Uniform(edges.size())];
+    ASSERT_TRUE(bc->Apply({pick.u, pick.v, EdgeOp::kRemove}).ok());
+  }
+  ExpectMatches(bc.get(), "drained");
+}
+
+TEST(PathCountGrowthTest, HypercubeHasExponentialSigma) {
+  // The d-dimensional hypercube has d! shortest paths between antipodes;
+  // exact 64-bit path counts must survive incremental maintenance.
+  constexpr int kDim = 6;  // 64 vertices, 6! = 720 paths per antipodal pair
+  Graph g;
+  g.EnsureVertex((1u << kDim) - 1);
+  for (VertexId v = 0; v < (1u << kDim); ++v) {
+    for (int b = 0; b < kDim; ++b) {
+      const VertexId w = v ^ (1u << b);
+      if (v < w) {
+        ASSERT_TRUE(g.AddEdge(v, w).ok());
+      }
+    }
+  }
+  auto bc = Make(g);
+  // Perturb a few dimensions' worth of edges.
+  ASSERT_TRUE(bc->Apply({0, 3, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc.get(), "hypercube chord");
+  ASSERT_TRUE(bc->Apply({0, 1, EdgeOp::kRemove}).ok());
+  ExpectMatches(bc.get(), "hypercube cut");
+  // Cross-check exact path counts against a fresh single-source run.
+  SourceBcData fresh;
+  BrandesSingleSource(bc->graph(), 0, BrandesOptions{}, &fresh, nullptr);
+  SourceView view;
+  ASSERT_TRUE(bc->store()->View(0, &view).ok());
+  for (VertexId v = 0; v < bc->graph().NumVertices(); ++v) {
+    ASSERT_EQ(view.sigma[v], fresh.sigma[v]) << "sigma drift at " << v;
+  }
+}
+
+TEST(IsolatedVertexTest, UpdatesAroundDegreeZeroVertices) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  g.EnsureVertex(4);  // 2, 3, 4 isolated
+  auto bc = Make(g);
+  ASSERT_TRUE(bc->Apply({2, 3, EdgeOp::kAdd}).ok());  // isolated pair joins
+  ExpectMatches(bc.get(), "isolated pair");
+  ASSERT_TRUE(bc->Apply({1, 2, EdgeOp::kAdd}).ok());  // components merge
+  ExpectMatches(bc.get(), "merge through former isolate");
+  ASSERT_TRUE(bc->Apply({2, 3, EdgeOp::kRemove}).ok());
+  ExpectMatches(bc.get(), "re-isolate");
+  EXPECT_DOUBLE_EQ(bc->vbc()[3], 0.0);
+  EXPECT_DOUBLE_EQ(bc->vbc()[4], 0.0);
+}
+
+TEST(LadderTest, ParallelShortestPathsUnderChurn) {
+  // A 2xN ladder keeps two parallel shortest paths everywhere; rung
+  // removals halve path counts without changing distances (pure Alg. 2
+  // territory), while rail removals force reroutes.
+  constexpr VertexId kLen = 8;
+  Graph g;
+  for (VertexId i = 0; i + 1 < kLen; ++i) {
+    ASSERT_TRUE(g.AddEdge(i, i + 1).ok());                       // top rail
+    ASSERT_TRUE(g.AddEdge(kLen + i, kLen + i + 1).ok());         // bottom
+  }
+  for (VertexId i = 0; i < kLen; ++i) {
+    ASSERT_TRUE(g.AddEdge(i, kLen + i).ok());                    // rungs
+  }
+  auto bc = Make(g);
+  ASSERT_TRUE(bc->Apply({3, kLen + 3, EdgeOp::kRemove}).ok());   // rung
+  ExpectMatches(bc.get(), "rung removal");
+  ASSERT_TRUE(bc->Apply({4, 5, EdgeOp::kRemove}).ok());          // rail
+  ExpectMatches(bc.get(), "rail removal");
+  ASSERT_TRUE(bc->Apply({3, kLen + 3, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc.get(), "rung restored");
+}
+
+TEST(VariantParityTest, AllVariantsAgreeAfterIdenticalStream) {
+  Rng rng(88);
+  Graph g = testutil::RandomConnectedGraph(20, 18, &rng);
+  EdgeStream stream;
+  {
+    Graph scratch = g;
+    for (int i = 0; i < 10; ++i) {
+      const auto a = static_cast<VertexId>(rng.Uniform(20));
+      const auto b = static_cast<VertexId>(rng.Uniform(20));
+      if (a == b || scratch.HasEdge(a, b)) continue;
+      ASSERT_TRUE(scratch.AddEdge(a, b).ok());
+      stream.push_back({a, b, EdgeOp::kAdd});
+    }
+  }
+  DynamicBcOptions mo;
+  DynamicBcOptions mp;
+  mp.variant = BcVariant::kMemoryPredecessors;
+  DynamicBcOptions dod;
+  dod.variant = BcVariant::kOutOfCore;
+  dod.storage_path = ::testing::TempDir() + "/sobc_parity.bin";
+  auto bc_mo = DynamicBc::Create(g, mo);
+  auto bc_mp = DynamicBc::Create(g, mp);
+  auto bc_do = DynamicBc::Create(g, dod);
+  ASSERT_TRUE(bc_mo.ok());
+  ASSERT_TRUE(bc_mp.ok());
+  ASSERT_TRUE(bc_do.ok());
+  ASSERT_TRUE((*bc_mo)->ApplyAll(stream).ok());
+  ASSERT_TRUE((*bc_mp)->ApplyAll(stream).ok());
+  ASSERT_TRUE((*bc_do)->ApplyAll(stream).ok());
+  ExpectScoresNear((*bc_mo)->scores(), (*bc_mp)->scores(), 1e-9, "mo vs mp");
+  ExpectScoresNear((*bc_mo)->scores(), (*bc_do)->scores(), 1e-9, "mo vs do");
+}
+
+}  // namespace
+}  // namespace sobc

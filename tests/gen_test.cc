@@ -1,0 +1,193 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/connected_components.h"
+#include "analysis/graph_stats.h"
+#include "common/rng.h"
+#include "gen/dataset_profiles.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+
+namespace sobc {
+namespace {
+
+TEST(ErdosRenyiTest, ProducesRequestedSize) {
+  Rng rng(1);
+  Graph g = GenerateErdosRenyi(100, 300, &rng);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 300u);
+}
+
+TEST(ErdosRenyiTest, CapsAtCompleteGraph) {
+  Rng rng(2);
+  Graph g = GenerateErdosRenyi(5, 1000, &rng);
+  EXPECT_EQ(g.NumEdges(), 10u);
+}
+
+TEST(BarabasiAlbertTest, ConnectedAndSkewed) {
+  Rng rng(3);
+  Graph g = GenerateBarabasiAlbert(500, 3, &rng);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  EXPECT_EQ(NumComponents(g), 1u);
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < 500; ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  // Preferential attachment produces hubs far above the mean degree (~6).
+  EXPECT_GT(max_degree, 20u);
+}
+
+TEST(WattsStrogatzTest, LatticeIsHighlyClustered) {
+  Rng rng(4);
+  Graph lattice = GenerateWattsStrogatz(200, 4, 0.0, &rng);
+  Graph rewired = GenerateWattsStrogatz(200, 4, 1.0, &rng);
+  const double cc_lattice = AverageClustering(lattice);
+  const double cc_rewired = AverageClustering(rewired);
+  EXPECT_GT(cc_lattice, 0.5);  // ring lattice clustering is 0.6 for k=4
+  EXPECT_LT(cc_rewired, cc_lattice / 3.0);
+}
+
+TEST(RandomTreeTest, ExactlyTreeEdgesAndConnected) {
+  Rng rng(5);
+  Graph g = GenerateRandomTree(64, &rng);
+  EXPECT_EQ(g.NumEdges(), 63u);
+  EXPECT_EQ(NumComponents(g), 1u);
+}
+
+TEST(SocialGeneratorTest, MatchesPaperCalibration) {
+  Rng rng(6);
+  Graph g = GenerateSocialGraph(2000, SocialGraphParams::PaperDefaults(), &rng);
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  EXPECT_EQ(NumComponents(g), 1u);
+  const double ad = AverageDegree(g);
+  EXPECT_GT(ad, 9.0);   // paper target ~11.8
+  EXPECT_LT(ad, 14.0);
+  const double cc = AverageClustering(g);
+  EXPECT_GT(cc, 0.12);  // paper target ~0.2
+  EXPECT_LT(cc, 0.35);
+}
+
+TEST(SocialGeneratorTest, ClosureRaisesClustering) {
+  Rng rng(7);
+  SocialGraphParams open;
+  open.triangle_probability = 0.0;
+  SocialGraphParams closed;
+  closed.triangle_probability = 0.9;
+  Graph g_open = GenerateSocialGraph(1000, open, &rng);
+  Graph g_closed = GenerateSocialGraph(1000, closed, &rng);
+  EXPECT_GT(AverageClustering(g_closed), 2.0 * AverageClustering(g_open));
+}
+
+TEST(StreamGeneratorTest, AdditionStreamHasFreshDistinctNonEdges) {
+  Rng rng(8);
+  Graph g = GenerateErdosRenyi(50, 100, &rng);
+  EdgeStream stream = RandomAdditionStream(g, 30, &rng);
+  EXPECT_EQ(stream.size(), 30u);
+  std::unordered_set<EdgeKey, EdgeKeyHash> seen;
+  for (const EdgeUpdate& e : stream) {
+    EXPECT_EQ(e.op, EdgeOp::kAdd);
+    EXPECT_FALSE(g.HasEdge(e.u, e.v));
+    EXPECT_TRUE(seen.insert(g.MakeKey(e.u, e.v)).second);
+  }
+}
+
+TEST(StreamGeneratorTest, RemovalStreamPicksDistinctExistingEdges) {
+  Rng rng(9);
+  Graph g = GenerateErdosRenyi(40, 80, &rng);
+  EdgeStream stream = RandomRemovalStream(g, 20, &rng);
+  EXPECT_EQ(stream.size(), 20u);
+  std::unordered_set<EdgeKey, EdgeKeyHash> seen;
+  for (const EdgeUpdate& e : stream) {
+    EXPECT_EQ(e.op, EdgeOp::kRemove);
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));
+    EXPECT_TRUE(seen.insert(g.MakeKey(e.u, e.v)).second);
+  }
+}
+
+TEST(StreamGeneratorTest, RemovalStreamCapsAtEdgeCount) {
+  Rng rng(10);
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EdgeStream stream = RandomRemovalStream(g, 10, &rng);
+  EXPECT_EQ(stream.size(), 2u);
+}
+
+TEST(StreamGeneratorTest, MixedStreamAppliesCleanly) {
+  Rng rng(11);
+  Graph g = GenerateErdosRenyi(30, 60, &rng);
+  EdgeStream stream = MixedUpdateStream(g, 40, 0.5, &rng);
+  EXPECT_EQ(stream.size(), 40u);
+  Graph replay = g;
+  for (const EdgeUpdate& e : stream) {
+    if (e.op == EdgeOp::kAdd) {
+      EXPECT_TRUE(replay.AddEdge(e.u, e.v).ok());
+    } else {
+      EXPECT_TRUE(replay.RemoveEdge(e.u, e.v).ok());
+    }
+  }
+}
+
+TEST(StreamGeneratorTest, ArrivalTimesAreMonotone) {
+  Rng rng(12);
+  Graph g = GenerateErdosRenyi(20, 30, &rng);
+  EdgeStream stream = RandomAdditionStream(g, 15, &rng);
+  StampArrivalTimes(&stream, {0.0, 1.0}, 100.0, &rng);
+  EXPECT_DOUBLE_EQ(stream.front().timestamp, 100.0);
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_GT(stream[i].timestamp, stream[i - 1].timestamp);
+  }
+}
+
+TEST(DatasetProfilesTest, TableTwoRowsPresent) {
+  const auto& profiles = RealGraphProfiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_NE(FindProfile("facebook"), nullptr);
+  EXPECT_NE(FindProfile("amazon"), nullptr);
+  EXPECT_NE(FindProfile("ca-GrQc"), nullptr);  // Table 3 list
+  EXPECT_EQ(FindProfile("not-a-dataset"), nullptr);
+}
+
+TEST(DatasetProfilesTest, BuildsAtRequestedScale) {
+  Rng rng(13);
+  const DatasetProfile* fb = FindProfile("facebook");
+  ASSERT_NE(fb, nullptr);
+  Graph g = BuildProfileGraph(*fb, 500, &rng);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  EXPECT_GT(AverageClustering(g), 0.1);  // facebook is the high-CC regime
+}
+
+TEST(DatasetProfilesTest, TreePlusMatchesDensityAndLowClustering) {
+  Rng rng(14);
+  const DatasetProfile* amz = FindProfile("amazon");
+  ASSERT_NE(amz, nullptr);
+  Graph g = BuildProfileGraph(*amz, 1000, &rng);
+  const double ratio = static_cast<double>(g.NumEdges()) / 1000.0;
+  EXPECT_NEAR(ratio, amz->EdgeRatio(), 0.4);
+  EXPECT_LT(AverageClustering(g), 0.05);
+  EXPECT_EQ(NumComponents(g), 1u);  // tree backbone keeps it connected
+}
+
+TEST(DatasetProfilesTest, SyntheticProfileFollowsTableTwo) {
+  const DatasetProfile p = SyntheticSocialProfile(10000);
+  EXPECT_EQ(p.paper_vertices, 10000u);
+  EXPECT_NEAR(p.EdgeRatio(), 5.9, 0.1);  // AD ~11.8
+}
+
+TEST(DatasetProfilesTest, HighAndLowClusteringRegimesDiffer) {
+  Rng rng(15);
+  const DatasetProfile* dblp = FindProfile("dblp");
+  const DatasetProfile* slashdot = FindProfile("slashdot");
+  ASSERT_NE(dblp, nullptr);
+  ASSERT_NE(slashdot, nullptr);
+  Graph g_dblp = BuildProfileGraph(*dblp, 800, &rng);
+  Graph g_slash = BuildProfileGraph(*slashdot, 800, &rng);
+  EXPECT_GT(AverageClustering(g_dblp), 5.0 * AverageClustering(g_slash));
+}
+
+}  // namespace
+}  // namespace sobc

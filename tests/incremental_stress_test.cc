@@ -1,0 +1,266 @@
+// Long randomized campaigns for the incremental engine: many graph
+// families, long add/remove streams, periodic full cross-checks against
+// recomputation, plus constructed worst cases (the Figure 3 configurations
+// and the special cases of Sections 3.1/4.5).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace sobc {
+namespace {
+
+using testutil::ExpectScoresNear;
+
+constexpr double kTol = 2e-6;  // long streams accumulate fp drift
+
+struct StressCase {
+  const char* name;
+  int kind;       // 0 tree, 1 er, 2 ba, 3 social, 4 grid-ish ws
+  bool directed;
+  double remove_fraction;
+};
+
+Graph BuildStressGraph(const StressCase& c, Rng* rng) {
+  switch (c.kind) {
+    case 0:
+      return GenerateRandomTree(36, rng);
+    case 1:
+      return testutil::RandomGraph(32, 80, rng, c.directed);
+    case 2:
+      return GenerateBarabasiAlbert(36, 2, rng);
+    case 3: {
+      SocialGraphParams params;
+      params.edges_per_vertex = 3;
+      return GenerateSocialGraph(36, params, rng);
+    }
+    default:
+      return GenerateWattsStrogatz(36, 2, 0.3, rng);
+  }
+}
+
+class IncrementalStressTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(IncrementalStressTest, LongStreamStaysExact) {
+  const StressCase& c = GetParam();
+  Rng rng(2718);
+  Graph g = BuildStressGraph(c, &rng);
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+
+  const std::size_t n = bc->get()->graph().NumVertices();
+  int applied = 0;
+  for (int step = 0; step < 120; ++step) {
+    const Graph& current = (*bc)->graph();
+    EdgeUpdate update;
+    const bool remove =
+        current.NumEdges() > n / 2 && rng.Chance(c.remove_fraction);
+    if (remove) {
+      auto edges = current.Edges();
+      const EdgeKey pick = edges[rng.Uniform(edges.size())];
+      update = {pick.u, pick.v, EdgeOp::kRemove};
+    } else {
+      const auto a = static_cast<VertexId>(rng.Uniform(n));
+      const auto b = static_cast<VertexId>(rng.Uniform(n));
+      if (a == b || current.HasEdge(a, b)) continue;
+      update = {a, b, EdgeOp::kAdd};
+    }
+    ASSERT_TRUE((*bc)->Apply(update).ok());
+    ++applied;
+    // Full recompute cross-check every 10 applied updates; checking every
+    // step would make the test quadratic for little extra power.
+    if (applied % 10 == 0) {
+      ExpectScoresNear(ComputeBrandes((*bc)->graph()), (*bc)->scores(), kTol,
+                       std::string(c.name) + " step " + std::to_string(step));
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+  EXPECT_GT(applied, 60) << "stream generation starved";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, IncrementalStressTest,
+    ::testing::Values(
+        StressCase{"tree_mixed", 0, false, 0.45},
+        StressCase{"er_mixed", 1, false, 0.45},
+        StressCase{"er_directed_mixed", 1, true, 0.45},
+        StressCase{"ba_heavy_remove", 2, false, 0.7},
+        StressCase{"social_add_heavy", 3, false, 0.2},
+        StressCase{"ws_mixed", 4, false, 0.5}),
+    [](const ::testing::TestParamInfo<StressCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// ---------------------------------------------------------------------------
+// The Figure 3 configurations, exercised deliberately.
+// ---------------------------------------------------------------------------
+
+void ExpectMatches(DynamicBc* bc, const std::string& label) {
+  ExpectScoresNear(ComputeBrandes(bc->graph()), bc->scores(), 1e-7, label);
+}
+
+TEST(Fig3CaseTest, AdditionSiblingsStaySiblings) {
+  // x and y at the same level before and after (case 1a/1b analogue).
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  ASSERT_TRUE((*bc)->Apply({1, 2, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc->get(), "siblings addition");
+}
+
+TEST(Fig3CaseTest, AdditionFlipsPredecessorToSuccessor) {
+  // Case 2c: y was two below x, the shortcut pulls y above x.
+  Graph g;
+  for (VertexId v = 0; v < 5; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  // From source 0: d(5)=5; adding (0,5) flips the whole chain's roles.
+  ASSERT_TRUE((*bc)->Apply({0, 5, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc->get(), "flip addition");
+}
+
+TEST(Fig3CaseTest, AdditionPullsVertexLevelWithPredecessor) {
+  // Case 2a: x and y move up together, keeping their relative order.
+  Graph g;
+  for (VertexId v = 0; v < 6; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  ASSERT_TRUE((*bc)->Apply({0, 4, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc->get(), "co-moving addition");
+}
+
+TEST(Fig3CaseTest, RemovalKeepsSiblingPivot) {
+  // Case 1d: y keeps its level thanks to a predecessor outside the
+  // affected region (a pivot).
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  ASSERT_TRUE((*bc)->Apply({1, 3, EdgeOp::kRemove}).ok());
+  ExpectMatches(bc->get(), "pivot removal");
+}
+
+TEST(Fig3CaseTest, RemovalDropsChainThroughDistantPivot) {
+  // Cases 2e/2f: a deep chain must re-route through a far-away pivot,
+  // dropping several levels.
+  Graph g;
+  for (VertexId v = 0; v < 8; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 8).ok());  // distant alternative route
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  ASSERT_TRUE((*bc)->Apply({3, 4, EdgeOp::kRemove}).ok());
+  ExpectMatches(bc->get(), "deep drop removal");
+}
+
+TEST(Fig3CaseTest, RemovalSameLevelEdgeIsFree) {
+  // Removing an edge between same-level vertices must touch nothing.
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  ASSERT_TRUE((*bc)->Apply({1, 2, EdgeOp::kRemove}).ok());
+  ExpectMatches(bc->get(), "same-level removal");
+  // From sources 1 and 2 the edge was a DAG edge, so only source 0 skips.
+  EXPECT_EQ((*bc)->last_update_stats().sources_skipped, 1u);
+}
+
+TEST(SpecialCaseTest, RepeatedJoinAndSplit) {
+  // Oscillate a bridge between two components; every transition crosses
+  // the component-join (addition) and Alg. 10 (removal) paths.
+  Rng rng(31);
+  Graph g;
+  Graph a = GenerateErdosRenyi(10, 20, &rng);
+  a.ForEachEdge([&g](VertexId u, VertexId v) { (void)g.AddEdge(u, v); });
+  Graph b = GenerateErdosRenyi(10, 20, &rng);
+  b.ForEachEdge([&g](VertexId u, VertexId v) {
+    (void)g.AddEdge(u + 10, v + 10);
+  });
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  for (int round = 0; round < 4; ++round) {
+    const auto left = static_cast<VertexId>(rng.Uniform(10));
+    const auto right = static_cast<VertexId>(10 + rng.Uniform(10));
+    ASSERT_TRUE((*bc)->Apply({left, right, EdgeOp::kAdd}).ok());
+    ExpectMatches(bc->get(), "join round " + std::to_string(round));
+    ASSERT_TRUE((*bc)->Apply({left, right, EdgeOp::kRemove}).ok());
+    ExpectMatches(bc->get(), "split round " + std::to_string(round));
+    EXPECT_GT((*bc)->last_update_stats().sources_disconnected, 0u);
+  }
+}
+
+TEST(SpecialCaseTest, GrowThroughManyNewVertices) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  // A growing path of brand-new ids, then chords over them.
+  for (VertexId v = 2; v < 12; ++v) {
+    ASSERT_TRUE((*bc)->Apply({static_cast<VertexId>(v - 1), v,
+                              EdgeOp::kAdd}).ok());
+  }
+  ExpectMatches(bc->get(), "pure growth");
+  ASSERT_TRUE((*bc)->Apply({2, 11, EdgeOp::kAdd}).ok());
+  ASSERT_TRUE((*bc)->Apply({0, 7, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc->get(), "chords after growth");
+  EXPECT_EQ((*bc)->graph().NumVertices(), 12u);
+}
+
+TEST(SpecialCaseTest, DirectedAsymmetricPair) {
+  // u->v and v->u are distinct edges; updating one must not disturb the
+  // other's contributions.
+  Graph g(/*directed=*/true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  ASSERT_TRUE((*bc)->Apply({0, 2, EdgeOp::kAdd}).ok());
+  ExpectMatches(bc->get(), "directed reverse edge add");
+  ASSERT_TRUE((*bc)->Apply({2, 0, EdgeOp::kRemove}).ok());
+  ExpectMatches(bc->get(), "directed forward edge remove");
+  EXPECT_TRUE((*bc)->graph().HasEdge(0, 2));
+  EXPECT_FALSE((*bc)->graph().HasEdge(2, 0));
+}
+
+TEST(SpecialCaseTest, StarCenterChurn) {
+  // Every update touches the highest-degree vertex; exercises wide
+  // neighbor scans in the accumulation phase.
+  Graph g;
+  for (VertexId leaf = 1; leaf <= 12; ++leaf) {
+    ASSERT_TRUE(g.AddEdge(0, leaf).ok());
+  }
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  for (VertexId leaf = 1; leaf <= 6; ++leaf) {
+    ASSERT_TRUE(
+        (*bc)->Apply({leaf, static_cast<VertexId>(leaf + 6), EdgeOp::kAdd})
+            .ok());
+  }
+  ExpectMatches(bc->get(), "star after chords");
+  for (VertexId leaf = 1; leaf <= 3; ++leaf) {
+    ASSERT_TRUE((*bc)->Apply({0, leaf, EdgeOp::kRemove}).ok());
+  }
+  ExpectMatches(bc->get(), "star after center pruning");
+}
+
+}  // namespace
+}  // namespace sobc

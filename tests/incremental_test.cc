@@ -1,0 +1,330 @@
+#include "bc/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace sobc {
+namespace {
+
+using testutil::ExpectScoresNear;
+using testutil::RandomConnectedGraph;
+using testutil::RandomGraph;
+
+constexpr double kTol = 1e-7;
+
+std::unique_ptr<DynamicBc> MakeBc(const Graph& graph, BcVariant variant,
+                                  const std::string& tag) {
+  DynamicBcOptions options;
+  options.variant = variant;
+  if (variant == BcVariant::kOutOfCore) {
+    options.storage_path = ::testing::TempDir() + "/sobc_bd_" + tag + ".bin";
+  }
+  auto bc = DynamicBc::Create(graph, options);
+  EXPECT_TRUE(bc.ok()) << bc.status().ToString();
+  return std::move(*bc);
+}
+
+void ExpectMatchesRecompute(DynamicBc& bc, const std::string& label) {
+  BcScores expected = ComputeBrandes(bc.graph());
+  ExpectScoresNear(expected, bc.scores(), kTol, label);
+}
+
+// ---------------------------------------------------------------------------
+// Hand-constructed cases, one per dispatch branch of Section 3.1.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalAdditionTest, SameLevelEdgeIsSkipped) {
+  // 1 and 2 are both at distance 1 from 0: Proposition 3.1.
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "samelevel");
+  ASSERT_TRUE(bc->Apply({1, 2, EdgeOp::kAdd}).ok());
+  ExpectMatchesRecompute(*bc, "same-level addition");
+  // From sources 1 and 2 the endpoints differ by one level; from 0 and 3
+  // they tie. At least those two sources must be skipped.
+  EXPECT_GE(bc->last_update_stats().sources_skipped, 2u);
+}
+
+TEST(IncrementalAdditionTest, OneLevelDifferenceNoStructuralChange) {
+  // Path 0-1-2-3; adding (1,3) creates a parallel two-hop route 1-3 vs
+  // 1-2-3?? No: d(1,3)=2, d(1)=1 from 0 ... from source 0: uH=1 (d1),
+  // uL=3 (d3? d(0,3)=3): dd=2. From source 2: d(2,1)=1, d(2,3)=1: skip.
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.AddEdge(0, 4).ok());
+  ASSERT_TRUE(g.AddEdge(4, 3).ok());  // makes d(0,3)=2 via 4
+  auto bc = MakeBc(g, BcVariant::kMemory, "dd1");
+  // d(0,2)=2 and d(0,3)=2 ... choose an edge with dd=1 from most sources:
+  ASSERT_TRUE(bc->Apply({1, 3, EdgeOp::kAdd}).ok());
+  ExpectMatchesRecompute(*bc, "dd=1 addition");
+  EXPECT_GT(bc->last_update_stats().sources_non_structural, 0u);
+}
+
+TEST(IncrementalAdditionTest, MultiLevelShortcut) {
+  // Long path; chord from the root to the tail pulls several vertices up.
+  Graph g;
+  for (VertexId v = 0; v < 7; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "shortcut");
+  ASSERT_TRUE(bc->Apply({0, 6, EdgeOp::kAdd}).ok());
+  ExpectMatchesRecompute(*bc, "multi-level shortcut");
+  EXPECT_GT(bc->last_update_stats().sources_structural, 0u);
+}
+
+TEST(IncrementalAdditionTest, JoinsTwoComponents) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "join");
+  ASSERT_TRUE(bc->Apply({2, 3, EdgeOp::kAdd}).ok());
+  ExpectMatchesRecompute(*bc, "component join");
+}
+
+TEST(IncrementalAdditionTest, NewVertexArrives) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "newvertex");
+  ASSERT_TRUE(bc->Apply({2, 5, EdgeOp::kAdd}).ok());  // ids 3..5 created
+  EXPECT_EQ(bc->graph().NumVertices(), 6u);
+  ExpectMatchesRecompute(*bc, "new vertex");
+  // Isolated fresh vertices have zero centrality.
+  EXPECT_DOUBLE_EQ(bc->vbc()[3], 0.0);
+  EXPECT_DOUBLE_EQ(bc->vbc()[4], 0.0);
+}
+
+TEST(IncrementalAdditionTest, TriangleClosureOnStar) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "closure");
+  ASSERT_TRUE(bc->Apply({1, 2, EdgeOp::kAdd}).ok());
+  ExpectMatchesRecompute(*bc, "star closure");
+  EXPECT_LT(bc->vbc()[0], 6.0);  // center lost the (1,2) pairs
+}
+
+TEST(IncrementalRemovalTest, RedundantEdgeNoLevelChange) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3. Removing (1,3) leaves 3 reachable at the
+  // same level through 2 from every source.
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "rm0");
+  ASSERT_TRUE(bc->Apply({1, 3, EdgeOp::kRemove}).ok());
+  ExpectMatchesRecompute(*bc, "0-level-drop removal");
+  EXPECT_TRUE(bc->ebc().find(EdgeKey{1, 3}) == bc->ebc().end());
+}
+
+TEST(IncrementalRemovalTest, SingleLevelDrop) {
+  // 0-1-2 plus 0-3-2: removing (1,2)... vertex 2 keeps distance. Use a
+  // graph where the dropped vertex falls exactly one level: 0-1, 1-2, 0-2'
+  // pattern: remove (0,1); 1 falls to distance 2 via 2.
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "rm1");
+  ASSERT_TRUE(bc->Apply({0, 1, EdgeOp::kRemove}).ok());
+  ExpectMatchesRecompute(*bc, "1-level-drop removal");
+  EXPECT_GT(bc->last_update_stats().sources_structural, 0u);
+}
+
+TEST(IncrementalRemovalTest, DeepDropThroughPivots) {
+  // A ladder where cutting the top rung forces a whole chain to reroute
+  // through a distant pivot.
+  Graph g;
+  for (VertexId v = 0; v < 6; ++v) ASSERT_TRUE(g.AddEdge(v, v + 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 6).ok());  // alternate route to the tail
+  auto bc = MakeBc(g, BcVariant::kMemory, "rmdeep");
+  ASSERT_TRUE(bc->Apply({0, 1, EdgeOp::kRemove}).ok());
+  ExpectMatchesRecompute(*bc, "multi-level drop");
+}
+
+TEST(IncrementalRemovalTest, DisconnectsComponent) {
+  // Bridge graph: removing the bridge splits the graph (Section 4.5).
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "rmsplit");
+  ASSERT_TRUE(bc->Apply({2, 3, EdgeOp::kRemove}).ok());
+  ExpectMatchesRecompute(*bc, "component split");
+  EXPECT_GT(bc->last_update_stats().sources_disconnected, 0u);
+}
+
+TEST(IncrementalRemovalTest, IsolatesSingleton) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "rmsingleton");
+  ASSERT_TRUE(bc->Apply({2, 1, EdgeOp::kRemove}).ok());
+  ExpectMatchesRecompute(*bc, "singleton isolation");
+  EXPECT_DOUBLE_EQ(bc->vbc()[1], 0.0);
+}
+
+TEST(IncrementalRoundTripTest, AddThenRemoveRestoresScores) {
+  Rng rng(5);
+  Graph g = RandomConnectedGraph(20, 15, &rng);
+  auto bc = MakeBc(g, BcVariant::kMemory, "roundtrip");
+  const BcScores before = bc->scores();
+  // Find a non-edge.
+  VertexId a = 0;
+  VertexId b = 0;
+  while (a == b || g.HasEdge(a, b)) {
+    a = static_cast<VertexId>(rng.Uniform(20));
+    b = static_cast<VertexId>(rng.Uniform(20));
+  }
+  ASSERT_TRUE(bc->Apply({a, b, EdgeOp::kAdd}).ok());
+  ASSERT_TRUE(bc->Apply({a, b, EdgeOp::kRemove}).ok());
+  ExpectScoresNear(before, bc->scores(), kTol, "round trip");
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: random update streams checked against recomputation after
+// every single update, across execution variants and graph directedness.
+// ---------------------------------------------------------------------------
+
+struct StreamCase {
+  BcVariant variant;
+  bool directed;
+  const char* name;
+};
+
+class IncrementalStreamTest : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(IncrementalStreamTest, MatchesRecomputeAfterEveryUpdate) {
+  const StreamCase& param = GetParam();
+  Rng rng(1234);
+  for (int trial = 0; trial < 3; ++trial) {
+    Graph g = param.directed
+                  ? RandomGraph(24, 60, &rng, /*directed=*/true)
+                  : RandomConnectedGraph(24, 24, &rng);
+    auto bc = MakeBc(g, param.variant,
+                     std::string(param.name) + std::to_string(trial));
+    const std::size_t n = bc->graph().NumVertices();
+    for (int step = 0; step < 25; ++step) {
+      const bool remove = bc->graph().NumEdges() > 10 && rng.Chance(0.45);
+      EdgeUpdate update;
+      if (remove) {
+        auto edges = bc->graph().Edges();
+        const EdgeKey pick = edges[rng.Uniform(edges.size())];
+        update = {pick.u, pick.v, EdgeOp::kRemove};
+      } else {
+        VertexId a = 0;
+        VertexId b = 0;
+        int guard = 0;
+        do {
+          a = static_cast<VertexId>(rng.Uniform(n));
+          b = static_cast<VertexId>(rng.Uniform(n));
+        } while ((a == b || bc->graph().HasEdge(a, b)) && ++guard < 500);
+        if (a == b || bc->graph().HasEdge(a, b)) continue;
+        update = {a, b, EdgeOp::kAdd};
+      }
+      ASSERT_TRUE(bc->Apply(update).ok());
+      ExpectMatchesRecompute(
+          *bc, std::string(param.name) + " trial " + std::to_string(trial) +
+                   " step " + std::to_string(step));
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, IncrementalStreamTest,
+    ::testing::Values(
+        StreamCase{BcVariant::kMemory, false, "mo_undirected"},
+        StreamCase{BcVariant::kMemoryPredecessors, false, "mp_undirected"},
+        StreamCase{BcVariant::kOutOfCore, false, "do_undirected"},
+        StreamCase{BcVariant::kMemory, true, "mo_directed"},
+        StreamCase{BcVariant::kMemoryPredecessors, true, "mp_directed"},
+        StreamCase{BcVariant::kOutOfCore, true, "do_directed"}),
+    [](const ::testing::TestParamInfo<StreamCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// After a stream of updates, the stored BD[s] must equal what a fresh
+// Brandes run would produce — not just the aggregate scores.
+TEST(IncrementalStoreConsistencyTest, BdMatchesFreshBrandes) {
+  Rng rng(99);
+  Graph g = RandomConnectedGraph(18, 14, &rng);
+  auto bc = MakeBc(g, BcVariant::kMemory, "bdconsistency");
+  for (int step = 0; step < 12; ++step) {
+    const bool remove = bc->graph().NumEdges() > 8 && rng.Chance(0.4);
+    if (remove) {
+      auto edges = bc->graph().Edges();
+      const EdgeKey pick = edges[rng.Uniform(edges.size())];
+      ASSERT_TRUE(bc->Apply({pick.u, pick.v, EdgeOp::kRemove}).ok());
+    } else {
+      const auto a = static_cast<VertexId>(rng.Uniform(18));
+      const auto b = static_cast<VertexId>(rng.Uniform(18));
+      if (a == b || bc->graph().HasEdge(a, b)) continue;
+      ASSERT_TRUE(bc->Apply({a, b, EdgeOp::kAdd}).ok());
+    }
+  }
+  const std::size_t n = bc->graph().NumVertices();
+  SourceBcData fresh;
+  for (VertexId s = 0; s < n; ++s) {
+    BrandesSingleSource(bc->graph(), s, BrandesOptions{}, &fresh, nullptr);
+    SourceView view;
+    ASSERT_TRUE(bc->store()->View(s, &view).ok());
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(view.d[v], fresh.d[v]) << "d mismatch s=" << s << " v=" << v;
+      EXPECT_EQ(view.sigma[v], fresh.sigma[v])
+          << "sigma mismatch s=" << s << " v=" << v;
+      EXPECT_NEAR(view.delta[v], fresh.delta[v], kTol)
+          << "delta mismatch s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST(IncrementalStatsTest, CountersAddUp) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "stats");
+  ASSERT_TRUE(bc->Apply({0, 3, EdgeOp::kAdd}).ok());
+  const UpdateStats& stats = bc->last_update_stats();
+  EXPECT_EQ(stats.sources_total, 4u);
+  EXPECT_EQ(stats.sources_total,
+            stats.sources_skipped + stats.sources_non_structural +
+                stats.sources_structural);
+}
+
+TEST(IncrementalErrorTest, RemoveMissingEdgeFails) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "err1");
+  EXPECT_EQ(bc->Apply({0, 5, EdgeOp::kRemove}).code(), StatusCode::kNotFound);
+}
+
+TEST(IncrementalErrorTest, DuplicateAddFails) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto bc = MakeBc(g, BcVariant::kMemory, "err2");
+  EXPECT_EQ(bc->Apply({1, 0, EdgeOp::kAdd}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace sobc

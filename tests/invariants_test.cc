@@ -1,0 +1,217 @@
+// Property tests on identities that exact betweenness must satisfy.
+// These hold for any graph, so they catch errors that example-based tests
+// miss — and they must keep holding after every incremental update.
+//
+//   (1) sum_e EBC(e)  = sum over ordered reachable pairs (s,t) of d(s,t)
+//       (every shortest path contributes each of its d(s,t) edges once,
+//       weighted by 1/sigma(s,t) over sigma(s,t) paths).
+//   (2) sum_v VBC(v)  = sum over ordered reachable pairs of (d(s,t) - 1)
+//       (the interior vertices of each path).
+//   (3) VBC(v) = sum over v's incident DAG... more usefully:
+//       2 * VBC(v) + "pair deficit" relates VBC and EBC per vertex:
+//       sum of EBC over edges incident to v = 2*VBC(v) + (paths that end
+//       at v): for undirected graphs, sum_{e ~ v} EBC(e) - 2*VBC(v)
+//       equals the number of ordered reachable pairs with endpoint v.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace sobc {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+/// Sums d(s,t) and d(s,t)-1 over ordered reachable pairs via BFS.
+struct PairSums {
+  double total_distance = 0.0;
+  double total_interior = 0.0;
+  double pairs_with_endpoint(VertexId v) const {
+    return endpoint_pairs.empty() ? 0.0 : endpoint_pairs[v];
+  }
+  std::vector<double> endpoint_pairs;  // ordered pairs having v as endpoint
+};
+
+PairSums ComputePairSums(const Graph& g) {
+  PairSums sums;
+  const std::size_t n = g.NumVertices();
+  sums.endpoint_pairs.assign(n, 0.0);
+  std::vector<Distance> d(n);
+  std::vector<VertexId> queue;
+  for (VertexId s = 0; s < n; ++s) {
+    std::fill(d.begin(), d.end(), kUnreachable);
+    queue.clear();
+    d[s] = 0;
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId w : g.OutNeighbors(v)) {
+        if (d[w] == kUnreachable) {
+          d[w] = d[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    for (VertexId t = 0; t < n; ++t) {
+      if (t == s || d[t] == kUnreachable) continue;
+      sums.total_distance += static_cast<double>(d[t]);
+      sums.total_interior += static_cast<double>(d[t]) - 1.0;
+      sums.endpoint_pairs[s] += 1.0;
+      sums.endpoint_pairs[t] += 1.0;
+    }
+  }
+  return sums;
+}
+
+void CheckInvariants(const Graph& g, const BcScores& scores,
+                     const std::string& label) {
+  const PairSums sums = ComputePairSums(g);
+  double ebc_total = 0.0;
+  for (const auto& [key, value] : scores.ebc) ebc_total += value;
+  EXPECT_NEAR(ebc_total, sums.total_distance,
+              kTol * (1.0 + sums.total_distance))
+      << label << ": sum of EBC vs total pair distance";
+  double vbc_total = 0.0;
+  for (double v : scores.vbc) vbc_total += v;
+  EXPECT_NEAR(vbc_total, sums.total_interior,
+              kTol * (1.0 + sums.total_interior))
+      << label << ": sum of VBC vs total interior count";
+}
+
+void CheckVertexEdgeCoupling(const Graph& g, const BcScores& scores,
+                             const std::string& label) {
+  if (g.directed()) return;  // the identity below is for undirected graphs
+  const PairSums sums = ComputePairSums(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    double incident = 0.0;
+    for (VertexId w : g.OutNeighbors(v)) {
+      const auto it = scores.ebc.find(g.MakeKey(v, w));
+      if (it != scores.ebc.end()) incident += it->second;
+    }
+    // Every path through v uses exactly two incident edges; every path
+    // ending at v uses exactly one.
+    EXPECT_NEAR(incident, 2.0 * scores.vbc[v] + sums.pairs_with_endpoint(v),
+                kTol * (1.0 + incident))
+        << label << ": edge-vertex coupling at " << v;
+  }
+}
+
+struct FamilyCase {
+  const char* name;
+  Graph (*build)(Rng*);
+};
+
+Graph BuildTree(Rng* rng) { return GenerateRandomTree(40, rng); }
+Graph BuildEr(Rng* rng) { return GenerateErdosRenyi(36, 90, rng); }
+Graph BuildBa(Rng* rng) { return GenerateBarabasiAlbert(40, 2, rng); }
+Graph BuildWs(Rng* rng) { return GenerateWattsStrogatz(40, 2, 0.2, rng); }
+Graph BuildSocial(Rng* rng) {
+  SocialGraphParams params;
+  params.edges_per_vertex = 3;
+  return GenerateSocialGraph(40, params, rng);
+}
+Graph BuildBipartite(Rng* rng) {
+  Graph g;
+  g.EnsureVertex(29);
+  for (int i = 0; i < 70; ++i) {
+    const auto left = static_cast<VertexId>(rng->Uniform(15));
+    const auto right = static_cast<VertexId>(15 + rng->Uniform(15));
+    (void)g.AddEdge(left, right);
+  }
+  return g;
+}
+Graph BuildGrid(Rng*) {
+  Graph g;
+  constexpr int kSide = 6;
+  for (int r = 0; r < kSide; ++r) {
+    for (int c = 0; c < kSide; ++c) {
+      const auto v = static_cast<VertexId>(r * kSide + c);
+      if (c + 1 < kSide) (void)g.AddEdge(v, v + 1);
+      if (r + 1 < kSide) (void)g.AddEdge(v, v + kSide);
+    }
+  }
+  return g;
+}
+Graph BuildDisconnected(Rng* rng) {
+  Graph g = GenerateErdosRenyi(18, 30, rng);
+  Graph h = GenerateErdosRenyi(18, 30, rng);
+  h.ForEachEdge([&g](VertexId u, VertexId v) {
+    (void)g.AddEdge(u + 18, v + 18);
+  });
+  return g;
+}
+
+class InvariantFamilyTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(InvariantFamilyTest, BrandesSatisfiesIdentities) {
+  Rng rng(17);
+  Graph g = GetParam().build(&rng);
+  const BcScores scores = ComputeBrandes(g);
+  CheckInvariants(g, scores, GetParam().name);
+  CheckVertexEdgeCoupling(g, scores, GetParam().name);
+}
+
+TEST_P(InvariantFamilyTest, IdentitiesSurviveUpdateStream) {
+  Rng rng(18);
+  Graph g = GetParam().build(&rng);
+  auto bc = DynamicBc::Create(g, DynamicBcOptions{});
+  ASSERT_TRUE(bc.ok());
+  EdgeStream stream = MixedUpdateStream(g, 12, 0.4, &rng);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE((*bc)->Apply(stream[i]).ok());
+    if (i % 4 == 3) {
+      CheckInvariants((*bc)->graph(), (*bc)->scores(),
+                      std::string(GetParam().name) + " step " +
+                          std::to_string(i));
+    }
+  }
+  CheckVertexEdgeCoupling((*bc)->graph(), (*bc)->scores(), GetParam().name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, InvariantFamilyTest,
+    ::testing::Values(FamilyCase{"tree", BuildTree},
+                      FamilyCase{"erdos_renyi", BuildEr},
+                      FamilyCase{"barabasi_albert", BuildBa},
+                      FamilyCase{"watts_strogatz", BuildWs},
+                      FamilyCase{"social", BuildSocial},
+                      FamilyCase{"bipartite", BuildBipartite},
+                      FamilyCase{"grid", BuildGrid},
+                      FamilyCase{"disconnected", BuildDisconnected}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(InvariantEdgeCases, EmptyGraph) {
+  Graph g;
+  const BcScores scores = ComputeBrandes(g);
+  EXPECT_TRUE(scores.vbc.empty());
+  EXPECT_TRUE(scores.ebc.empty());
+}
+
+TEST(InvariantEdgeCases, SingleEdge) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  const BcScores scores = ComputeBrandes(g);
+  CheckInvariants(g, scores, "single edge");
+  EXPECT_DOUBLE_EQ(scores.ebc.at(EdgeKey{0, 1}), 2.0);
+}
+
+TEST(InvariantEdgeCases, DirectedIdentitiesHold) {
+  Rng rng(19);
+  Graph g = testutil::RandomGraph(30, 120, &rng, /*directed=*/true);
+  const BcScores scores = ComputeBrandes(g);
+  CheckInvariants(g, scores, "directed");
+}
+
+}  // namespace
+}  // namespace sobc

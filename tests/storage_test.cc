@@ -1,0 +1,253 @@
+#include "storage/columnar_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bc/bd_store.h"
+#include "bc/bd_store_disk.h"
+#include "bc/brandes.h"
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace sobc {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+  std::string TempPath(const std::string& name) {
+    std::string p = ::testing::TempDir() + "/sobc_storage_" + name;
+    paths_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(StorageTest, ColumnarCreateAndRoundTrip) {
+  ColumnarLayout layout;
+  layout.column_widths = {2, 8};
+  layout.entries_per_record = 10;
+  layout.num_records = 4;
+  auto file = ColumnarFile::Create(TempPath("basic.bin"), layout);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+  std::vector<std::uint16_t> shorts = {1, 2, 3};
+  ASSERT_TRUE((*file)->Write(2, 0, 5, 3, shorts.data()).ok());
+  std::vector<std::uint16_t> back(3);
+  ASSERT_TRUE((*file)->Read(2, 0, 5, 3, back.data()).ok());
+  EXPECT_EQ(back, shorts);
+
+  std::vector<std::uint64_t> longs = {7, 8};
+  ASSERT_TRUE((*file)->Write(3, 1, 0, 2, longs.data()).ok());
+  std::vector<std::uint64_t> back64(2);
+  ASSERT_TRUE((*file)->Read(3, 1, 0, 2, back64.data()).ok());
+  EXPECT_EQ(back64, longs);
+}
+
+TEST_F(StorageTest, ColumnarFreshFileReadsZero) {
+  ColumnarLayout layout;
+  layout.column_widths = {8};
+  layout.entries_per_record = 4;
+  layout.num_records = 2;
+  auto file = ColumnarFile::Create(TempPath("zeros.bin"), layout);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint64_t> values(4, 99);
+  ASSERT_TRUE((*file)->Read(1, 0, 0, 4, values.data()).ok());
+  for (std::uint64_t v : values) EXPECT_EQ(v, 0u);
+}
+
+TEST_F(StorageTest, ColumnarBoundsChecked) {
+  ColumnarLayout layout;
+  layout.column_widths = {4};
+  layout.entries_per_record = 4;
+  layout.num_records = 2;
+  auto file = ColumnarFile::Create(TempPath("bounds.bin"), layout);
+  ASSERT_TRUE(file.ok());
+  std::uint32_t x = 0;
+  EXPECT_EQ((*file)->Read(2, 0, 0, 1, &x).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ((*file)->Read(0, 1, 0, 1, &x).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ((*file)->Read(0, 0, 4, 1, &x).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ((*file)->Read(0, 0, 2, 3, &x).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageTest, ColumnarReopenKeepsLayoutAndUserValue) {
+  const std::string path = TempPath("reopen.bin");
+  {
+    ColumnarLayout layout;
+    layout.column_widths = {2, 8, 8};
+    layout.entries_per_record = 7;
+    layout.num_records = 3;
+    auto file = ColumnarFile::Create(path, layout);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->SetUserValue(42).ok());
+    std::uint16_t v = 77;
+    ASSERT_TRUE((*file)->Write(1, 0, 3, 1, &v).ok());
+  }
+  auto reopened = ColumnarFile::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->layout().entries_per_record, 7u);
+  EXPECT_EQ((*reopened)->layout().column_widths.size(), 3u);
+  EXPECT_EQ((*reopened)->user_value(), 42u);
+  std::uint16_t v = 0;
+  ASSERT_TRUE((*reopened)->Read(1, 0, 3, 1, &v).ok());
+  EXPECT_EQ(v, 77);
+}
+
+TEST_F(StorageTest, ColumnarOpenRejectsGarbage) {
+  const std::string path = TempPath("garbage.bin");
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("definitely not a columnar file header....", f);
+  std::fclose(f);
+  auto opened = ColumnarFile::Open(path);
+  EXPECT_FALSE(opened.ok());
+}
+
+// ---------------------------------------------------------------------------
+// DiskBdStore
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, DiskStoreInitialState) {
+  auto store = DiskBdStore::Create(TempPath("init.bin"), 5);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  SourceView view;
+  ASSERT_TRUE((*store)->View(3, &view).ok());
+  ASSERT_EQ(view.n, 5u);
+  for (VertexId v = 0; v < 5; ++v) {
+    if (v == 3) {
+      EXPECT_EQ(view.d[v], 0u);
+      EXPECT_EQ(view.sigma[v], 1u);
+    } else {
+      EXPECT_EQ(view.d[v], kUnreachable);
+      EXPECT_EQ(view.sigma[v], 0u);
+    }
+    EXPECT_DOUBLE_EQ(view.delta[v], 0.0);
+  }
+}
+
+TEST_F(StorageTest, DiskStorePutViewApplyPeek) {
+  auto store = DiskBdStore::Create(TempPath("rw.bin"), 4);
+  ASSERT_TRUE(store.ok());
+  SourceBcData data;
+  data.Resize(4);
+  data.d = {0, 1, 2, kUnreachable};
+  data.sigma = {1, 2, 3, 0};
+  data.delta = {0.5, 1.5, 0.0, 0.0};
+  ASSERT_TRUE((*store)->PutInitial(0, std::move(data)).ok());
+
+  Distance da = 0;
+  Distance db = 0;
+  ASSERT_TRUE((*store)->PeekDistances(0, 2, 3, &da, &db).ok());
+  EXPECT_EQ(da, 2u);
+  EXPECT_EQ(db, kUnreachable);
+
+  SourceView view;
+  ASSERT_TRUE((*store)->View(0, &view).ok());
+  EXPECT_EQ(view.sigma[2], 3u);
+  EXPECT_DOUBLE_EQ(view.delta[1], 1.5);
+
+  ASSERT_TRUE((*store)
+                  ->Apply(0, {BdPatch{1, 5, 9, 2.25}}, PredPatchList{})
+                  .ok());
+  ASSERT_TRUE((*store)->View(0, &view).ok());
+  EXPECT_EQ(view.d[1], 5u);
+  EXPECT_EQ(view.sigma[1], 9u);
+  EXPECT_DOUBLE_EQ(view.delta[1], 2.25);
+}
+
+TEST_F(StorageTest, DiskStorePersistsAcrossHandles) {
+  const std::string path = TempPath("handles.bin");
+  auto store = DiskBdStore::Create(path, 3);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(
+      (*store)->Apply(1, {BdPatch{2, 4, 6, 1.0}}, PredPatchList{}).ok());
+
+  auto second = DiskBdStore::Open(path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->num_vertices(), 3u);
+  SourceView view;
+  ASSERT_TRUE((*second)->View(1, &view).ok());
+  EXPECT_EQ(view.d[2], 4u);
+  EXPECT_EQ(view.sigma[2], 6u);
+}
+
+TEST_F(StorageTest, DiskStoreGrowWithinCapacity) {
+  auto store = DiskBdStore::Create(TempPath("grow1.bin"), 3, 8);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Grow(5).ok());
+  EXPECT_EQ((*store)->num_vertices(), 5u);
+  SourceView view;
+  ASSERT_TRUE((*store)->View(4, &view).ok());
+  EXPECT_EQ(view.d[4], 0u);
+  EXPECT_EQ(view.sigma[4], 1u);
+  EXPECT_EQ(view.d[0], kUnreachable);
+  // Existing record gains unreachable tail entries.
+  ASSERT_TRUE((*store)->View(0, &view).ok());
+  EXPECT_EQ(view.n, 5u);
+  EXPECT_EQ(view.d[4], kUnreachable);
+}
+
+TEST_F(StorageTest, DiskStoreGrowBeyondCapacityRebuilds) {
+  auto store = DiskBdStore::Create(TempPath("grow2.bin"), 2, 2);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(
+      (*store)->Apply(0, {BdPatch{1, 1, 7, 0.25}}, PredPatchList{}).ok());
+  ASSERT_TRUE((*store)->Grow(6).ok());
+  EXPECT_EQ((*store)->num_vertices(), 6u);
+  EXPECT_GE((*store)->vertex_capacity(), 6u);
+  SourceView view;
+  ASSERT_TRUE((*store)->View(0, &view).ok());
+  EXPECT_EQ(view.sigma[1], 7u);  // survived the rebuild
+  EXPECT_DOUBLE_EQ(view.delta[1], 0.25);
+  ASSERT_TRUE((*store)->View(5, &view).ok());
+  EXPECT_EQ(view.d[5], 0u);
+}
+
+TEST_F(StorageTest, DiskStoreRejectsShrink) {
+  auto store = DiskBdStore::Create(TempPath("shrink.bin"), 4);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Grow(2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StorageTest, DiskStoreRejectsPredPatches) {
+  auto store = DiskBdStore::Create(TempPath("preds.bin"), 2);
+  ASSERT_TRUE(store.ok());
+  PredPatchList preds;
+  preds.emplace_back(0, std::vector<VertexId>{1});
+  EXPECT_FALSE((*store)->Apply(0, {}, preds).ok());
+}
+
+// The disk store must behave exactly like the in-memory store when driven
+// by the same Brandes initialization.
+TEST_F(StorageTest, DiskMatchesMemoryAfterInit) {
+  Rng rng(17);
+  Graph g = testutil::RandomGraph(15, 35, &rng);
+  InMemoryBdStore mem;
+  BcScores mem_scores;
+  ASSERT_TRUE(
+      InitializeFromScratch(g, BrandesOptions{}, &mem, &mem_scores).ok());
+  auto disk = DiskBdStore::Create(TempPath("parity.bin"), 15);
+  ASSERT_TRUE(disk.ok());
+  BcScores disk_scores;
+  ASSERT_TRUE(
+      InitializeFromScratch(g, BrandesOptions{}, disk->get(), &disk_scores)
+          .ok());
+  for (VertexId s = 0; s < 15; ++s) {
+    SourceView mv;
+    SourceView dv;
+    ASSERT_TRUE(mem.View(s, &mv).ok());
+    ASSERT_TRUE((*disk)->View(s, &dv).ok());
+    for (VertexId v = 0; v < 15; ++v) {
+      EXPECT_EQ(mv.d[v], dv.d[v]);
+      EXPECT_EQ(mv.sigma[v], dv.sigma[v]);
+      EXPECT_DOUBLE_EQ(mv.delta[v], dv.delta[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sobc

@@ -1,0 +1,147 @@
+#ifndef SOBC_TESTS_TEST_UTIL_H_
+#define SOBC_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace sobc {
+namespace testutil {
+
+/// Reference betweenness computed from all-pairs BFS data, independent of
+/// Brandes' dependency accumulation: a pair (s, t) contributes
+/// sigma(s,v)*sigma(v,t)/sigma(s,t) to v whenever d(s,v)+d(v,t)=d(s,t),
+/// and analogously for edges. O(n^2 + nm) time, O(n^2) space — test-only.
+inline BcScores NaiveBc(const Graph& g) {
+  const std::size_t n = g.NumVertices();
+  std::vector<std::vector<Distance>> dist(n);
+  std::vector<std::vector<PathCount>> sig(n);
+  for (VertexId s = 0; s < n; ++s) {
+    auto& d = dist[s];
+    auto& sigma = sig[s];
+    d.assign(n, kUnreachable);
+    sigma.assign(n, 0);
+    d[s] = 0;
+    sigma[s] = 1;
+    std::vector<VertexId> queue = {s};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId w : g.OutNeighbors(v)) {
+        if (d[w] == kUnreachable) {
+          d[w] = d[v] + 1;
+          queue.push_back(w);
+        }
+        if (d[w] == d[v] + 1) sigma[w] += sigma[v];
+      }
+    }
+  }
+  // For directed graphs d/sigma are from-source only; the pair loop below
+  // only ever combines d(s,.) and (via dist[v]) d(v,t), both out-directed,
+  // which is exactly what the definition needs.
+  BcScores scores;
+  scores.vbc.assign(n, 0.0);
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      if (s == t || dist[s][t] == kUnreachable) continue;
+      const double st = static_cast<double>(sig[s][t]);
+      for (VertexId v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (dist[s][v] == kUnreachable || dist[v][t] == kUnreachable) continue;
+        if (dist[s][v] + dist[v][t] == dist[s][t]) {
+          scores.vbc[v] += static_cast<double>(sig[s][v]) *
+                           static_cast<double>(sig[v][t]) / st;
+        }
+      }
+      g.ForEachEdge([&](VertexId u, VertexId v) {
+        // Contribution of edge (u, v); for undirected graphs test both
+        // orientations of the canonical edge.
+        auto edge_on_path = [&](VertexId a, VertexId b) -> double {
+          if (dist[s][a] == kUnreachable || dist[b][t] == kUnreachable) {
+            return 0.0;
+          }
+          if (dist[s][a] + 1 + dist[b][t] != dist[s][t]) return 0.0;
+          return static_cast<double>(sig[s][a]) *
+                 static_cast<double>(sig[b][t]) / st;
+        };
+        double c = edge_on_path(u, v);
+        if (!g.directed()) c += edge_on_path(v, u);
+        if (c != 0.0) scores.ebc[g.MakeKey(u, v)] += c;
+      });
+    }
+  }
+  return scores;
+}
+
+/// Asserts two score sets agree within tolerance. Edge maps must cover the
+/// same non-negligible entries.
+inline void ExpectScoresNear(const BcScores& expected, const BcScores& actual,
+                             double tol, const std::string& label) {
+  ASSERT_EQ(expected.vbc.size(), actual.vbc.size()) << label;
+  for (std::size_t v = 0; v < expected.vbc.size(); ++v) {
+    EXPECT_NEAR(expected.vbc[v], actual.vbc[v],
+                tol * (1.0 + std::abs(expected.vbc[v])))
+        << label << " vbc mismatch at vertex " << v;
+  }
+  for (const auto& [key, value] : expected.ebc) {
+    const auto it = actual.ebc.find(key);
+    const double got = it == actual.ebc.end() ? 0.0 : it->second;
+    EXPECT_NEAR(value, got, tol * (1.0 + std::abs(value)))
+        << label << " ebc mismatch at edge (" << key.u << "," << key.v << ")";
+  }
+  for (const auto& [key, value] : actual.ebc) {
+    if (expected.ebc.find(key) == expected.ebc.end()) {
+      EXPECT_NEAR(value, 0.0, tol)
+          << label << " spurious ebc at edge (" << key.u << "," << key.v
+          << ")";
+    }
+  }
+}
+
+/// Erdős–Rényi G(n, m)-style random graph (exactly `m` distinct edges when
+/// possible), connected-ish but not necessarily connected — the algorithms
+/// must handle disconnection anyway.
+inline Graph RandomGraph(std::size_t n, std::size_t m, Rng* rng,
+                         bool directed = false) {
+  Graph g(directed);
+  g.EnsureVertex(static_cast<VertexId>(n - 1));
+  std::size_t attempts = 0;
+  while (g.NumEdges() < m && attempts < 50 * m) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng->Uniform(n));
+    const auto v = static_cast<VertexId>(rng->Uniform(n));
+    if (u == v) continue;
+    (void)g.AddEdge(u, v);
+  }
+  return g;
+}
+
+/// Random spanning tree plus `extra` chords: always connected, so removal
+/// tests start from one component.
+inline Graph RandomConnectedGraph(std::size_t n, std::size_t extra, Rng* rng) {
+  Graph g;
+  g.EnsureVertex(static_cast<VertexId>(n - 1));
+  for (VertexId v = 1; v < n; ++v) {
+    const auto parent = static_cast<VertexId>(rng->Uniform(v));
+    (void)g.AddEdge(parent, v);
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extra && attempts < 50 * (extra + 1)) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng->Uniform(n));
+    const auto v = static_cast<VertexId>(rng->Uniform(n));
+    if (u == v) continue;
+    if (g.AddEdge(u, v).ok()) ++added;
+  }
+  return g;
+}
+
+}  // namespace testutil
+}  // namespace sobc
+
+#endif  // SOBC_TESTS_TEST_UTIL_H_

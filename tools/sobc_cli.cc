@@ -1,0 +1,273 @@
+// sobc command-line tool: run the online-betweenness framework on edge-list
+// files without writing any code.
+//
+// Usage:
+//   sobc_cli scores <graph.txt> [--directed] [--out=scores.tsv]
+//       Exact betweenness (Brandes) of an edge-list graph.
+//   sobc_cli stream <graph.txt> <stream.txt> [--directed] [--variant=mo|mp|do]
+//            [--store=bd.bin] [--out=scores.tsv] [--top=K]
+//       Step 1 + incremental replay of an update stream ("+ u v t" /
+//       "- u v t" lines; see WriteEdgeStream), printing per-update stats
+//       and the final top-K elements.
+//   sobc_cli stats <graph.txt> [--directed]
+//       Dataset statistics (the Table 2 columns).
+//   sobc_cli generate <profile-or-kind> <vertices> [--seed=S]
+//            [--out=graph.txt] [--stream=N] [--stream-out=stream.txt]
+//       Synthesize a dataset: a named profile ("facebook", "amazon", ...,
+//       see dataset_profiles.h), "social", or "tree". Optionally also emit
+//       a timestamped stream of N additions for the stream command.
+//
+// Exit code 0 on success; errors go to stderr.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/graph_stats.h"
+#include "analysis/top_k.h"
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "bc/score_io.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/dataset_profiles.h"
+#include "gen/generators.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "graph/graph_io.h"
+
+namespace sobc {
+namespace {
+
+struct CliArgs {
+  std::vector<std::string> positional;
+  bool directed = false;
+  std::string variant = "mo";
+  std::string store_path;
+  std::string out_path;
+  std::string stream_out_path;
+  std::size_t top = 10;
+  std::size_t stream_edges = 0;
+  std::uint64_t seed = 1;
+};
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--directed") {
+      args->directed = true;
+    } else if (arg.rfind("--variant=", 0) == 0) {
+      args->variant = arg.substr(10);
+    } else if (arg.rfind("--store=", 0) == 0) {
+      args->store_path = arg.substr(8);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      args->out_path = arg.substr(6);
+    } else if (arg.rfind("--top=", 0) == 0) {
+      args->top = std::strtoul(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args->seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--stream=", 0) == 0) {
+      args->stream_edges = std::strtoul(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--stream-out=", 0) == 0) {
+      args->stream_out_path = arg.substr(13);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      args->positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+void PrintTop(const BcScores& scores, std::size_t k) {
+  std::printf("top-%zu vertices by betweenness:\n", k);
+  for (const auto& [v, score] : TopKVertices(scores.vbc, k)) {
+    std::printf("  %8u  %14.3f\n", v, score);
+  }
+  std::printf("top-%zu edges by betweenness:\n", k);
+  for (const auto& [e, score] : TopKEdges(scores.ebc, k)) {
+    std::printf("  (%u,%u)  %14.3f\n", e.u, e.v, score);
+  }
+}
+
+int MaybeWrite(const BcScores& scores, const std::string& out_path) {
+  if (out_path.empty()) return 0;
+  if (Status st = WriteScoresTsv(scores, out_path); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int CmdScores(const CliArgs& args) {
+  auto graph = ReadEdgeList(args.positional[0], args.directed);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  WallTimer timer;
+  const BcScores scores = ComputeBrandes(*graph);
+  std::printf("Brandes on %zu vertices / %zu edges: %.3fs\n",
+              graph->NumVertices(), graph->NumEdges(), timer.Seconds());
+  PrintTop(scores, args.top);
+  return MaybeWrite(scores, args.out_path);
+}
+
+int CmdStream(const CliArgs& args) {
+  auto graph = ReadEdgeList(args.positional[0], args.directed);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto stream = ReadEdgeStream(args.positional[1]);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  DynamicBcOptions options;
+  if (args.variant == "mp") {
+    options.variant = BcVariant::kMemoryPredecessors;
+  } else if (args.variant == "do") {
+    options.variant = BcVariant::kOutOfCore;
+    options.storage_path =
+        args.store_path.empty() ? args.positional[0] + ".bd" : args.store_path;
+  } else if (args.variant != "mo") {
+    std::fprintf(stderr, "unknown variant %s (mo|mp|do)\n",
+                 args.variant.c_str());
+    return 1;
+  }
+  WallTimer init_timer;
+  auto bc = DynamicBc::Create(std::move(*graph), options);
+  if (!bc.ok()) {
+    std::fprintf(stderr, "%s\n", bc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("step 1 done in %.3fs (%zu vertices, %zu edges, %s)\n",
+              init_timer.Seconds(), (*bc)->graph().NumVertices(),
+              (*bc)->graph().NumEdges(), args.variant.c_str());
+
+  WallTimer stream_timer;
+  UpdateStats totals;
+  for (const EdgeUpdate& update : *stream) {
+    if (Status st = (*bc)->Apply(update); !st.ok()) {
+      std::fprintf(stderr, "update (%u,%u): %s\n", update.u, update.v,
+                   st.ToString().c_str());
+      return 1;
+    }
+    totals.Merge((*bc)->last_update_stats());
+  }
+  const double seconds = stream_timer.Seconds();
+  std::printf(
+      "applied %zu updates in %.3fs (%.2f ms/update); per-source passes: "
+      "%llu skipped, %llu no-level-change, %llu structural\n",
+      stream->size(), seconds,
+      stream->empty() ? 0.0 : 1e3 * seconds / stream->size(),
+      static_cast<unsigned long long>(totals.sources_skipped),
+      static_cast<unsigned long long>(totals.sources_non_structural),
+      static_cast<unsigned long long>(totals.sources_structural));
+  PrintTop((*bc)->scores(), args.top);
+  return MaybeWrite((*bc)->scores(), args.out_path);
+}
+
+int CmdStats(const CliArgs& args) {
+  auto graph = ReadEdgeList(args.positional[0], args.directed);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(1);
+  const std::size_t n = graph->NumVertices();
+  const GraphStats stats = ComputeGraphStats(
+      *graph, &rng, n > 20000 ? 8000 : 0, n > 2000 ? 200 : 0);
+  std::printf("|V| %zu  |E| %zu  AD %.2f  CC %.4f  ED %.2f\n", stats.vertices,
+              stats.edges, stats.average_degree, stats.clustering,
+              stats.effective_diameter);
+  return 0;
+}
+
+int CmdGenerate(const CliArgs& args) {
+  const std::string& kind = args.positional[0];
+  const std::size_t n = std::strtoul(args.positional[1].c_str(), nullptr, 10);
+  if (n == 0) {
+    std::fprintf(stderr, "vertex count must be positive\n");
+    return 1;
+  }
+  Rng rng(args.seed);
+  Graph graph;
+  ArrivalProcess arrivals;
+  if (const DatasetProfile* profile = FindProfile(kind)) {
+    graph = BuildProfileGraph(*profile, n, &rng);
+    arrivals = profile->arrivals;
+  } else if (kind == "social") {
+    graph = GenerateSocialGraph(n, SocialGraphParams::PaperDefaults(), &rng);
+  } else if (kind == "tree") {
+    graph = GenerateRandomTree(n, &rng);
+  } else {
+    std::fprintf(stderr,
+                 "unknown kind '%s' (profile name, 'social', or 'tree')\n",
+                 kind.c_str());
+    return 1;
+  }
+  const std::string out =
+      args.out_path.empty() ? kind + ".txt" : args.out_path;
+  if (Status st = WriteEdgeList(graph, out); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu vertices, %zu edges\n", out.c_str(),
+              graph.NumVertices(), graph.NumEdges());
+  if (args.stream_edges > 0) {
+    EdgeStream stream = RandomAdditionStream(graph, args.stream_edges, &rng);
+    StampArrivalTimes(&stream, arrivals, 0.0, &rng);
+    const std::string stream_out = args.stream_out_path.empty()
+                                       ? kind + ".stream.txt"
+                                       : args.stream_out_path;
+    if (Status st = WriteEdgeStream(stream, stream_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %zu timestamped additions\n", stream_out.c_str(),
+                stream.size());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sobc_cli scores <graph> [--directed] [--out=f.tsv] "
+               "[--top=K]\n"
+               "       sobc_cli stream <graph> <stream> [--directed] "
+               "[--variant=mo|mp|do] [--store=f.bd] [--out=f.tsv] [--top=K]\n"
+               "       sobc_cli stats <graph> [--directed]\n"
+               "       sobc_cli generate <profile|social|tree> <vertices> "
+               "[--seed=S] [--out=g.txt] [--stream=N] [--stream-out=s.txt]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  const std::string command = argv[1];
+  if (command == "scores" && args.positional.size() == 1) {
+    return CmdScores(args);
+  }
+  if (command == "stream" && args.positional.size() == 2) {
+    return CmdStream(args);
+  }
+  if (command == "stats" && args.positional.size() == 1) {
+    return CmdStats(args);
+  }
+  if (command == "generate" && args.positional.size() == 2) {
+    return CmdGenerate(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sobc
+
+int main(int argc, char** argv) { return sobc::Main(argc, argv); }
