@@ -15,9 +15,11 @@
 #include "bc/bd_store_disk.h"
 #include "bc/brandes.h"
 #include "bc/dynamic_bc.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "gen/social_generator.h"
 #include "gen/stream_generators.h"
+#include "graph/csr_view.h"
 #include "graph/graph.h"
 
 namespace sobc {
@@ -27,6 +29,106 @@ Graph MakeSocial(std::size_t n) {
   Rng rng(42);
   return GenerateSocialGraph(n, SocialGraphParams::PaperDefaults(), &rng);
 }
+
+// ---------------------------------------------------------------------------
+// Adjacency-list vs CsrView: the before/after pair for the CSR migration.
+// Same kernels, only the neighbor provider differs.
+// ---------------------------------------------------------------------------
+
+/// Full BFS from `s`, returning the number of visited vertices. This is the
+/// traversal shape every hot path shares (Brandes search phase, incremental
+/// repair, analysis sweeps).
+template <class Adj>
+std::size_t BfsSweep(const Adj& adj, VertexId s, std::vector<Distance>* dist,
+                     std::vector<VertexId>* queue) {
+  std::fill(dist->begin(), dist->end(), kUnreachable);
+  queue->clear();
+  (*dist)[s] = 0;
+  queue->push_back(s);
+  for (std::size_t head = 0; head < queue->size(); ++head) {
+    const VertexId v = (*queue)[head];
+    for (VertexId w : adj.OutNeighbors(v)) {
+      if ((*dist)[w] == kUnreachable) {
+        (*dist)[w] = (*dist)[v] + 1;
+        queue->push_back(w);
+      }
+    }
+  }
+  return queue->size();
+}
+
+template <class Adj>
+void TraversalSweepBench(benchmark::State& state, const Graph& g,
+                         const Adj& adj) {
+  std::vector<Distance> dist(g.NumVertices());
+  std::vector<VertexId> queue;
+  VertexId s = 0;
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    visited += BfsSweep(adj, s, &dist, &queue);
+    s = static_cast<VertexId>((s + 1) % g.NumVertices());
+  }
+  benchmark::DoNotOptimize(visited);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.NumEdges()));
+}
+
+void BM_TraversalSweepAdjacency(benchmark::State& state) {
+  const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+  TraversalSweepBench(state, g, GraphAdjacency(g));
+}
+BENCHMARK(BM_TraversalSweepAdjacency)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
+
+void BM_TraversalSweepCsr(benchmark::State& state) {
+  const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+  TraversalSweepBench(state, g, g.csr());
+}
+BENCHMARK(BM_TraversalSweepCsr)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
+
+/// Incremental-update throughput through the full engine pipeline on the
+/// synthetic social workload: state.range(1) == 0 walks the mutable
+/// adjacency lists (the pre-CSR hot path), 1 the packed CsrView snapshot.
+/// Reported `items_per_second` is updates/s (one add + one remove = 2).
+void BM_IncrementalUpdate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool use_csr = state.range(1) != 0;
+  Graph g = MakeSocial(n);
+  DynamicBcOptions options;
+  options.use_csr = use_csr;
+  auto bc = DynamicBc::Create(std::move(g), options);
+  if (!bc.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  Rng rng(7);
+  const std::size_t stream_edges = static_cast<std::size_t>(
+      GetEnvInt("SOBC_BENCH_EDGES", 64));
+  EdgeStream candidates =
+      RandomAdditionStream((*bc)->graph(), stream_edges, &rng);
+  if (candidates.empty()) {
+    state.SkipWithError("no candidate edges (SOBC_BENCH_EDGES too small?)");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const EdgeUpdate& e = candidates[i % candidates.size()];
+    ++i;
+    if (!(*bc)->Apply({e.u, e.v, EdgeOp::kAdd}).ok() ||
+        !(*bc)->Apply({e.u, e.v, EdgeOp::kRemove}).ok()) {
+      state.SkipWithError("apply failed");
+      return;
+    }
+  }
+  if (use_csr && (*bc)->graph().csr().stats().builds > 1) {
+    state.SkipWithError("CsrView was rebuilt inside the update loop");
+    return;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.SetLabel(use_csr ? "csr" : "adjacency-list");
+}
+BENCHMARK(BM_IncrementalUpdate)
+    ->ArgsProduct({{1024, 4096, 8192}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BrandesSingleSource(benchmark::State& state) {
   const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));

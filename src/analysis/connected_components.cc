@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "graph/csr_view.h"
+
 namespace sobc {
 
 std::vector<std::size_t> ComponentLabels(const Graph& graph) {
   const std::size_t n = graph.NumVertices();
+  const CsrView& adj = graph.csr();
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::vector<std::size_t> labels(n, kNone);
   std::vector<VertexId> queue;
@@ -24,9 +27,9 @@ std::vector<std::size_t> ComponentLabels(const Graph& graph) {
           queue.push_back(w);
         }
       };
-      for (VertexId w : graph.OutNeighbors(v)) visit(w);
-      if (graph.directed()) {
-        for (VertexId w : graph.InNeighbors(v)) visit(w);
+      for (VertexId w : adj.OutNeighbors(v)) visit(w);
+      if (adj.directed()) {
+        for (VertexId w : adj.InNeighbors(v)) visit(w);
       }
     }
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bc/bc_types.h"
+#include "graph/csr_view.h"
 
 namespace sobc {
 
@@ -18,6 +19,7 @@ double AverageDegree(const Graph& graph) {
 double AverageClustering(const Graph& graph, Rng* rng, std::size_t sample) {
   const std::size_t n = graph.NumVertices();
   if (n == 0) return 0.0;
+  const CsrView& adj = graph.csr();
   const bool sampled = rng != nullptr && sample > 0 && sample < n;
   const std::size_t count = sampled ? sample : n;
 
@@ -27,14 +29,14 @@ double AverageClustering(const Graph& graph, Rng* rng, std::size_t sample) {
   for (std::size_t i = 0; i < count; ++i) {
     const VertexId v = sampled ? static_cast<VertexId>(rng->Uniform(n))
                                : static_cast<VertexId>(i);
-    const auto neighbors = graph.OutNeighbors(v);
+    const auto neighbors = adj.OutNeighbors(v);
     const std::size_t k = neighbors.size();
     if (k < 2) continue;
     ++epoch;
     for (VertexId u : neighbors) mark[u] = epoch;
     std::size_t links = 0;
     for (VertexId u : neighbors) {
-      for (VertexId w : graph.OutNeighbors(u)) {
+      for (VertexId w : adj.OutNeighbors(u)) {
         if (mark[w] == epoch) ++links;  // counts each link twice
       }
     }
@@ -47,6 +49,7 @@ double EffectiveDiameter(const Graph& graph, double percentile, Rng* rng,
                          std::size_t sample_sources) {
   const std::size_t n = graph.NumVertices();
   if (n == 0) return 0.0;
+  const CsrView& adj = graph.csr();
   const bool sampled =
       rng != nullptr && sample_sources > 0 && sample_sources < n;
   const std::size_t count = sampled ? sample_sources : n;
@@ -64,7 +67,7 @@ double EffectiveDiameter(const Graph& graph, double percentile, Rng* rng,
     queue.push_back(s);
     for (std::size_t head = 0; head < queue.size(); ++head) {
       const VertexId v = queue[head];
-      for (VertexId w : graph.OutNeighbors(v)) {
+      for (VertexId w : adj.OutNeighbors(v)) {
         if (dist[w] != kUnreachable) continue;
         dist[w] = dist[v] + 1;
         if (dist[w] >= histogram.size()) histogram.resize(dist[w] + 1, 0);

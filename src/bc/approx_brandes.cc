@@ -25,6 +25,7 @@ BcScores ComputeApproxBrandes(const Graph& graph,
 
   BrandesOptions brandes;
   brandes.compute_ebc = options.compute_ebc;
+  brandes.use_csr = options.use_csr;
   SourceBcData data;
   for (std::size_t i = 0; i < k; ++i) {
     BrandesSingleSource(graph, ids[i], brandes, &data, &scores);

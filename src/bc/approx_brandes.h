@@ -22,6 +22,9 @@ namespace sobc {
 struct ApproxBrandesOptions {
   std::size_t num_sources = 64;
   bool compute_ebc = true;
+  /// Traverse via the graph's packed CsrView snapshot (default) rather
+  /// than the mutable adjacency lists.
+  bool use_csr = true;
 };
 
 BcScores ComputeApproxBrandes(const Graph& graph,

@@ -3,13 +3,20 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "graph/csr_view.h"
 
 namespace sobc {
 
-void BrandesSingleSource(const Graph& graph, VertexId s,
-                         const BrandesOptions& options, SourceBcData* data,
-                         BcScores* scores) {
-  const std::size_t n = graph.NumVertices();
+namespace {
+
+/// The single-source kernel, templated over the adjacency provider so the
+/// inner neighbor loops read either the packed CsrView arena (hot path) or
+/// the mutable adjacency lists (baseline), with no per-edge indirection.
+template <class Adj>
+void BrandesSingleSourceImpl(const Adj& adj, VertexId s,
+                             const BrandesOptions& options, SourceBcData* data,
+                             BcScores* scores) {
+  const std::size_t n = adj.NumVertices();
   SOBC_CHECK(s < n);
   data->Resize(n);
   const bool use_preds = options.pred_mode == PredMode::kPredecessorLists;
@@ -31,7 +38,7 @@ void BrandesSingleSource(const Graph& graph, VertexId s,
   order.push_back(s);
   for (std::size_t head = 0; head < order.size(); ++head) {
     const VertexId v = order[head];
-    for (VertexId w : graph.OutNeighbors(v)) {
+    for (VertexId w : adj.OutNeighbors(v)) {
       if (d[w] == kUnreachable) {
         d[w] = d[v] + 1;
         order.push_back(w);
@@ -53,17 +60,29 @@ void BrandesSingleSource(const Graph& graph, VertexId s,
       const double c = static_cast<double>(sigma[v]) * coeff;
       delta[v] += c;
       if (scores != nullptr && options.compute_ebc) {
-        scores->ebc[graph.MakeKey(v, w)] += c;
+        scores->ebc[adj.MakeKey(v, w)] += c;
       }
     };
     if (use_preds) {
       for (VertexId v : data->preds[w]) contribute(v);
     } else {
-      for (VertexId v : graph.InNeighbors(w)) {
+      for (VertexId v : adj.InNeighbors(w)) {
         if (d[v] + 1 == d[w]) contribute(v);
       }
     }
     if (scores != nullptr) scores->vbc[w] += delta[w];
+  }
+}
+
+}  // namespace
+
+void BrandesSingleSource(const Graph& graph, VertexId s,
+                         const BrandesOptions& options, SourceBcData* data,
+                         BcScores* scores) {
+  if (options.use_csr) {
+    BrandesSingleSourceImpl(graph.csr(), s, options, data, scores);
+  } else {
+    BrandesSingleSourceImpl(GraphAdjacency(graph), s, options, data, scores);
   }
 }
 

@@ -17,6 +17,10 @@ struct BrandesOptions {
   PredMode pred_mode = PredMode::kScanNeighbors;
   /// Also accumulate edge betweenness (Brandes 2008 variant, Section 3).
   bool compute_ebc = true;
+  /// Traverse the graph's packed CsrView snapshot (default) instead of the
+  /// mutable adjacency lists. The list path exists for the before/after
+  /// comparison in bench/micro_core.cc.
+  bool use_csr = true;
 };
 
 /// Runs one source's BFS and dependency accumulation. Fills `data`

@@ -34,10 +34,16 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
       break;
     }
   }
-  auto bc = std::unique_ptr<DynamicBc>(
-      new DynamicBc(std::move(graph), std::move(store), pred_mode));
+  auto bc = std::unique_ptr<DynamicBc>(new DynamicBc(
+      std::move(graph), std::move(store), pred_mode, options.use_csr));
+  if (options.use_csr) {
+    // Build the traversal snapshot once, up front; every later Apply only
+    // patches it in O(degree) (asserted via CsrView::stats().builds).
+    bc->graph_.csr();
+  }
   BrandesOptions brandes;
   brandes.pred_mode = pred_mode;
+  brandes.use_csr = options.use_csr;
   SOBC_RETURN_NOT_OK(InitializeFromScratch(bc->graph_, brandes,
                                            bc->store_.get(), &bc->scores_));
   return bc;
@@ -64,8 +70,10 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
     return Status::FailedPrecondition(
         "score file does not match the graph's vertex count");
   }
-  auto bc = std::unique_ptr<DynamicBc>(new DynamicBc(
-      std::move(graph), std::move(*disk), PredMode::kScanNeighbors));
+  auto bc = std::unique_ptr<DynamicBc>(
+      new DynamicBc(std::move(graph), std::move(*disk),
+                    PredMode::kScanNeighbors, options.use_csr));
+  if (options.use_csr) bc->graph_.csr();
   bc->scores_ = std::move(*scores);
   return bc;
 }

@@ -29,6 +29,10 @@ struct DynamicBcOptions {
   /// Extra vertex capacity reserved in the out-of-core file so new vertices
   /// do not force a rebuild.
   std::size_t vertex_capacity = 0;
+  /// Traverse via the graph's packed CsrView snapshot (default). The
+  /// adjacency-list path remains selectable so the CSR win stays
+  /// measurable (bench/micro_core.cc).
+  bool use_csr = true;
 };
 
 /// The full framework of Figure 1: Step 1 runs Brandes once to build BD[s]
@@ -81,10 +85,11 @@ class DynamicBc {
   BdStore* store() { return store_.get(); }
 
  private:
-  DynamicBc(Graph graph, std::unique_ptr<BdStore> store, PredMode pred_mode)
+  DynamicBc(Graph graph, std::unique_ptr<BdStore> store, PredMode pred_mode,
+            bool use_csr)
       : graph_(std::move(graph)),
         store_(std::move(store)),
-        engine_(pred_mode) {}
+        engine_(pred_mode, use_csr) {}
 
   Graph graph_;
   std::unique_ptr<BdStore> store_;

@@ -1,0 +1,250 @@
+#ifndef SOBC_BC_EBC_MAP_H_
+#define SOBC_BC_EBC_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Open-addressing hash map from canonical EdgeKey to double, specialized
+/// for the edge-betweenness accumulation hot path.
+///
+/// The incremental engine performs a few `map[key] += delta` operations per
+/// touched DAG edge per source — by far the highest-frequency operation of
+/// an update (it outnumbers neighbor reads). std::unordered_map pays a node
+/// allocation per insert and two dependent pointer hops per lookup, and its
+/// scattered nodes evict the adjacency arenas from cache. This flat table
+/// keeps {key, value} pairs inline in one contiguous array with linear
+/// probing at load factor <= 0.5: one mix, one masked index, and (almost
+/// always) one cache line per operation.
+///
+/// API mirrors the subset of std::unordered_map the codebase uses:
+/// operator[], find/end, at, erase(key), size/empty/clear, and iteration
+/// over live entries (structured bindings work; values are mutable through
+/// iterators, keys must not be modified).
+class EdgeScoreMap {
+ public:
+  using value_type = std::pair<EdgeKey, double>;
+
+  template <bool kConst>
+  class Iter {
+   public:
+    using value_type = std::pair<EdgeKey, double>;
+    using entry_ptr = std::conditional_t<kConst, const value_type*,
+                                         value_type*>;
+    using reference = std::conditional_t<kConst, const value_type&,
+                                         value_type&>;
+    using iterator_category = std::forward_iterator_tag;
+    using difference_type = std::ptrdiff_t;
+    using pointer = entry_ptr;
+
+    Iter() = default;
+    Iter(entry_ptr pos, entry_ptr end) : pos_(pos), end_(end) {
+      SkipDead();
+    }
+    /// const_iterator is constructible from iterator, as in std maps.
+    template <bool kOther, class = std::enable_if_t<kConst && !kOther>>
+    Iter(const Iter<kOther>& other) : pos_(other.pos_), end_(other.end_) {}
+
+    reference operator*() const { return *pos_; }
+    entry_ptr operator->() const { return pos_; }
+    Iter& operator++() {
+      ++pos_;
+      SkipDead();
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.pos_ == b.pos_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) {
+      return a.pos_ != b.pos_;
+    }
+
+   private:
+    friend class EdgeScoreMap;
+    template <bool>
+    friend class Iter;
+    void SkipDead() {
+      while (pos_ != end_ && !EdgeScoreMap::IsLive(pos_->first)) ++pos_;
+    }
+    entry_ptr pos_ = nullptr;
+    entry_ptr end_ = nullptr;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  EdgeScoreMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Empties the table but keeps its allocation and capacity: the parallel
+  /// mappers clear their delta maps every update, and refilling must not
+  /// re-pay the 16 -> 2^k growth cascade each time.
+  void clear() {
+    std::fill(entries_.begin(), entries_.end(), value_type{kEmptyKey, 0.0});
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want < 2 * n + 1) want <<= 1;
+    if (want > entries_.size()) Rehash(want);
+  }
+
+  double& operator[](const EdgeKey& key) {
+    if (NeedsGrowth()) {
+      // Size the new table from the LIVE count, not the current capacity:
+      // a removal-heavy stream erases ever-new keys, and doubling on a
+      // tombstone-dominated load would grow memory with cumulative erases
+      // instead of live edges. Rebuilding at ~4x live clears tombstones
+      // and shrinks back when they dominated.
+      std::size_t want = 16;
+      while (want < 4 * (size_ + 1)) want <<= 1;
+      Rehash(want);
+    }
+    std::size_t i = Probe(key);
+    if (!IsLive(entries_[i].first)) {
+      // Reuse a tombstone only when the key is genuinely absent; Probe
+      // already guarantees that (it returns the key's slot if present).
+      if (IsTombstone(entries_[i].first)) --tombstones_;
+      entries_[i].first = key;
+      entries_[i].second = 0.0;
+      ++size_;
+    }
+    return entries_[i].second;
+  }
+
+  iterator find(const EdgeKey& key) {
+    const std::size_t i = FindSlot(key);
+    return i == kNpos ? end() : IterAt(i);
+  }
+  const_iterator find(const EdgeKey& key) const {
+    const std::size_t i = FindSlot(key);
+    return i == kNpos ? end() : CIterAt(i);
+  }
+
+  double& at(const EdgeKey& key) {
+    const std::size_t i = FindSlot(key);
+    if (i == kNpos) throw std::out_of_range("EdgeScoreMap::at");
+    return entries_[i].second;
+  }
+  const double& at(const EdgeKey& key) const {
+    const std::size_t i = FindSlot(key);
+    if (i == kNpos) throw std::out_of_range("EdgeScoreMap::at");
+    return entries_[i].second;
+  }
+
+  std::size_t erase(const EdgeKey& key) {
+    const std::size_t i = FindSlot(key);
+    if (i == kNpos) return 0;
+    entries_[i].first = kTombstoneKey;
+    --size_;
+    ++tombstones_;
+    return 1;
+  }
+
+  std::size_t count(const EdgeKey& key) const {
+    return FindSlot(key) == kNpos ? 0 : 1;
+  }
+
+  iterator begin() {
+    return {entries_.data(), entries_.data() + entries_.size()};
+  }
+  iterator end() {
+    return IterAt(entries_.size());
+  }
+  const_iterator begin() const {
+    return {entries_.data(), entries_.data() + entries_.size()};
+  }
+  const_iterator end() const { return CIterAt(entries_.size()); }
+
+ private:
+  // Real edges never carry kInvalidVertex endpoints, so two reserved keys
+  // encode slot state inline.
+  static constexpr EdgeKey kEmptyKey{kInvalidVertex, kInvalidVertex};
+  static constexpr EdgeKey kTombstoneKey{kInvalidVertex, 0};
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  static bool IsLive(const EdgeKey& key) { return key.u != kInvalidVertex; }
+  static bool IsTombstone(const EdgeKey& key) { return key == kTombstoneKey; }
+
+  iterator IterAt(std::size_t i) {
+    value_type* base = entries_.data();
+    return {base + i, base + entries_.size()};
+  }
+  const_iterator CIterAt(std::size_t i) const {
+    const value_type* base = entries_.data();
+    return {base + i, base + entries_.size()};
+  }
+
+  bool NeedsGrowth() const {
+    return entries_.empty() ||
+           2 * (size_ + tombstones_ + 1) > entries_.size();
+  }
+
+  /// Index of the key's slot if present, else of the first reusable slot
+  /// (preferring an earlier tombstone). Table must be non-full.
+  std::size_t Probe(const EdgeKey& key) const {
+    std::size_t i = EdgeKeyHash{}(key)&mask_;
+    std::size_t first_tombstone = kNpos;
+    for (;; i = (i + 1) & mask_) {
+      const EdgeKey& slot = entries_[i].first;
+      if (slot == key) return i;
+      if (slot == kEmptyKey) {
+        return first_tombstone != kNpos ? first_tombstone : i;
+      }
+      if (first_tombstone == kNpos && IsTombstone(slot)) {
+        first_tombstone = i;
+      }
+    }
+  }
+
+  /// Index of the key's slot, or kNpos when absent.
+  std::size_t FindSlot(const EdgeKey& key) const {
+    if (entries_.empty()) return kNpos;
+    std::size_t i = EdgeKeyHash{}(key)&mask_;
+    for (;; i = (i + 1) & mask_) {
+      const EdgeKey& slot = entries_[i].first;
+      if (slot == key) return i;
+      if (slot == kEmptyKey) return kNpos;
+    }
+  }
+
+  void Rehash(std::size_t new_capacity) {
+    std::vector<value_type> old = std::move(entries_);
+    entries_.assign(new_capacity, {kEmptyKey, 0.0});
+    mask_ = new_capacity - 1;
+    tombstones_ = 0;
+    for (const value_type& e : old) {
+      if (!IsLive(e.first)) continue;
+      std::size_t i = EdgeKeyHash{}(e.first)&mask_;
+      while (entries_[i].first != kEmptyKey) i = (i + 1) & mask_;
+      entries_[i] = e;
+    }
+  }
+
+  std::vector<value_type> entries_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_EBC_MAP_H_

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "graph/csr_view.h"
 
 namespace sobc {
 
@@ -21,15 +22,10 @@ constexpr std::uint32_t kNoPredPatch = static_cast<std::uint32_t>(-1);
 }  // namespace
 
 void IncrementalEngine::EnsureScratch(std::size_t n) {
-  if (stamp_.size() >= n) return;
+  if (overlay_.size() >= n) return;
   stamp_.resize(n, 0);
-  state_.resize(n, 0);
-  d_new_.resize(n, 0);
-  sigma_new_.resize(n, 0);
-  delta_new_.resize(n, 0.0);
-  orphan_stamp_.resize(n, 0);
-  orphan_state_.resize(n, 0);
-  pred_idx_.resize(n, 0);
+  overlay_.resize(n);
+  orphan_.resize(n);
   if (repair_q_.size() < n + 1) repair_q_.resize(n + 1);
   if (lq_.size() < n + 1) lq_.resize(n + 1);
   if (orphan_q_.size() < n + 1) orphan_q_.resize(n + 1);
@@ -38,7 +34,7 @@ void IncrementalEngine::EnsureScratch(std::size_t n) {
 void IncrementalEngine::BeginSource() {
   if (epoch_ == static_cast<std::uint32_t>(-1)) {
     std::fill(stamp_.begin(), stamp_.end(), 0);
-    std::fill(orphan_stamp_.begin(), orphan_stamp_.end(), 0);
+    for (OrphanMark& o : orphan_) o.stamp = 0;
     epoch_ = 0;
   }
   ++epoch_;
@@ -62,11 +58,11 @@ void IncrementalEngine::Touch(const SourceContext& cx, VertexId v,
                               std::uint8_t state) {
   SOBC_DCHECK(!IsTouched(v));
   stamp_[v] = epoch_;
-  state_[v] = state;
-  d_new_[v] = cx.view.d[v];
-  sigma_new_[v] = cx.view.sigma[v];
-  delta_new_[v] = cx.view.delta[v];
-  pred_idx_[v] = kNoPredPatch;
+  overlay_[v].state = state;
+  overlay_[v].d = cx.view.d[v];
+  overlay_[v].sigma = cx.view.sigma[v];
+  overlay_[v].delta = cx.view.delta[v];
+  overlay_[v].pred_idx = kNoPredPatch;
   touched_list_.push_back(v);
 }
 
@@ -99,11 +95,13 @@ void IncrementalEngine::PushLq(VertexId v, Distance level) {
 int IncrementalEngine::OldRelation(const SourceContext& cx, VertexId a,
                                    VertexId b) const {
   // The freshly added edge carried no shortest paths before the update.
-  if (cx.is_addition && cx.graph->MakeKey(a, b) == cx.update_key) return 0;
+  if (cx.is_addition && MakeEdgeKey(cx.directed, a, b) == cx.update_key) {
+    return 0;
+  }
   const Distance da = cx.view.d[a];
   const Distance db = cx.view.d[b];
   if (IsPredLevel(da, db)) return 1;
-  if (!cx.graph->directed() && IsPredLevel(db, da)) return -1;
+  if (!cx.directed && IsPredLevel(db, da)) return -1;
   return 0;
 }
 
@@ -112,7 +110,7 @@ int IncrementalEngine::NewRelation(const SourceContext& cx, VertexId a,
   const Distance da = EffD(cx, a);
   const Distance db = EffD(cx, b);
   if (IsPredLevel(da, db)) return 1;
-  if (!cx.graph->directed() && IsPredLevel(db, da)) return -1;
+  if (!cx.directed && IsPredLevel(db, da)) return -1;
   return 0;
 }
 
@@ -125,17 +123,18 @@ int IncrementalEngine::NewRelation(const SourceContext& cx, VertexId a,
 // Non-orphan candidates are the paper's pivots: they keep their distance but
 // lose path counts, so they seed the sigma repair.
 // ---------------------------------------------------------------------------
-void IncrementalEngine::ClassifyOrphans(const SourceContext& cx) {
-  const Graph& g = *cx.graph;
+template <class Adj>
+void IncrementalEngine::ClassifyOrphans(const Adj& adj,
+                                        const SourceContext& cx) {
   const Distance root_level = cx.view.d[cx.u_low];
   SOBC_DCHECK(root_level != kUnreachable);
 
   auto mark = [&](VertexId v, std::uint8_t st) {
-    orphan_stamp_[v] = epoch_;
-    orphan_state_[v] = st;
+    orphan_[v].stamp = epoch_;
+    orphan_[v].state = st;
   };
   auto is_orphan = [&](VertexId v) {
-    return orphan_stamp_[v] == epoch_ && orphan_state_[v] == kOrphan;
+    return orphan_[v].stamp == epoch_ && orphan_[v].state == kOrphan;
   };
 
   mark(cx.u_low, kOrphan);
@@ -152,11 +151,11 @@ void IncrementalEngine::ClassifyOrphans(const SourceContext& cx) {
     auto& bucket = orphan_q_[level];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const VertexId v = bucket[i];
-      for (VertexId w : g.OutNeighbors(v)) {
-        if (orphan_stamp_[w] == epoch_) continue;
+      for (VertexId w : adj.OutNeighbors(v)) {
+        if (orphan_[w].stamp == epoch_) continue;
         if (!IsPredLevel(cx.view.d[v], cx.view.d[w])) continue;
         bool all_orphan = true;
-        for (VertexId u : g.InNeighbors(w)) {
+        for (VertexId u : adj.InNeighbors(w)) {
           if (IsPredLevel(cx.view.d[u], cx.view.d[w]) && !is_orphan(u)) {
             all_orphan = false;
             break;
@@ -184,24 +183,25 @@ void IncrementalEngine::ClassifyOrphans(const SourceContext& cx) {
 // Seeds the re-BFS for orphans: each orphan's tentative new distance is one
 // past its best surviving neighbor (the pivots of Def. 3.2). Orphans with no
 // surviving neighbor stay unreachable unless relaxed through other orphans.
-void IncrementalEngine::RepairDistancesRemoval(const SourceContext& cx) {
-  const Graph& g = *cx.graph;
+template <class Adj>
+void IncrementalEngine::RepairDistancesRemoval(const Adj& adj,
+                                               const SourceContext& cx) {
   for (VertexId v : moved_list_) {
     Touch(cx, v, kPending);
-    d_new_[v] = kUnreachable;
-    sigma_new_[v] = 0;
-    delta_new_[v] = 0.0;
+    overlay_[v].d = kUnreachable;
+    overlay_[v].sigma = 0;
+    overlay_[v].delta = 0.0;
   }
   for (VertexId v : moved_list_) {
     Distance best = kUnreachable;
-    for (VertexId u : g.InNeighbors(v)) {
-      if (orphan_stamp_[u] == epoch_ && orphan_state_[u] == kOrphan) continue;
+    for (VertexId u : adj.InNeighbors(v)) {
+      if (orphan_[u].stamp == epoch_ && orphan_[u].state == kOrphan) continue;
       const Distance du = cx.view.d[u];
       if (du == kUnreachable) continue;
       best = std::min(best, du + 1);
     }
     if (best != kUnreachable) {
-      d_new_[v] = best;
+      overlay_[v].d = best;
       PushRepair(v, best);
     }
   }
@@ -217,41 +217,41 @@ void IncrementalEngine::RepairDistancesRemoval(const SourceContext& cx) {
 // edge; removal: other orphans), and marks DAG successors dirty so sigma
 // changes propagate.
 // ---------------------------------------------------------------------------
-void IncrementalEngine::RepairSigmas(const SourceContext& cx) {
-  const Graph& g = *cx.graph;
+template <class Adj>
+void IncrementalEngine::RepairSigmas(const Adj& adj, const SourceContext& cx) {
   const bool mp = pred_mode_ == PredMode::kPredecessorLists;
   std::vector<VertexId> preds;
   for (Distance level = 0; level <= repair_max_; ++level) {
     auto& bucket = repair_q_[level];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const VertexId x = bucket[i];
-      if (state_[x] != kPending || d_new_[x] != level) continue;  // stale
+      if (overlay_[x].state != kPending || overlay_[x].d != level) continue;  // stale
       // Recount shortest paths from current predecessors.
       PathCount sigma = 0;
       preds.clear();
-      for (VertexId p : g.InNeighbors(x)) {
+      for (VertexId p : adj.InNeighbors(x)) {
         if (!IsPredLevel(EffD(cx, p), level)) continue;
         sigma += EffSigma(cx, p);
         if (mp) preds.push_back(p);
       }
-      sigma_new_[x] = sigma;
+      overlay_[x].sigma = sigma;
       const bool changed =
-          d_new_[x] != cx.view.d[x] || sigma != cx.view.sigma[x];
-      state_[x] = changed ? kDn : kUp;
-      delta_new_[x] = changed ? 0.0 : cx.view.delta[x];
+          overlay_[x].d != cx.view.d[x] || sigma != cx.view.sigma[x];
+      overlay_[x].state = changed ? kDn : kUp;
+      overlay_[x].delta = changed ? 0.0 : cx.view.delta[x];
       PushLq(x, level);
       if (mp) {
-        pred_idx_[x] = static_cast<std::uint32_t>(pred_patches_.size());
+        overlay_[x].pred_idx = static_cast<std::uint32_t>(pred_patches_.size());
         pred_patches_.emplace_back(x, preds);
       }
       if (!changed) continue;
-      for (VertexId w : g.OutNeighbors(x)) {
+      for (VertexId w : adj.OutNeighbors(x)) {
         const Distance dw = EffD(cx, w);
         const bool relaxable =
             cx.is_addition
                 ? dw > level + 1 || dw == kUnreachable
-                : (orphan_stamp_[w] == epoch_ &&
-                   orphan_state_[w] == kOrphan && state_[w] == kPending &&
+                : (orphan_[w].stamp == epoch_ &&
+                   orphan_[w].state == kOrphan && overlay_[w].state == kPending &&
                    (dw == kUnreachable || dw > level + 1));
         if (relaxable) {
           // w rides along: it gets a strictly better (addition) or its
@@ -260,8 +260,8 @@ void IncrementalEngine::RepairSigmas(const SourceContext& cx) {
             Touch(cx, w, kPending);
             moved_list_.push_back(w);
           }
-          SOBC_DCHECK(state_[w] == kPending);
-          d_new_[w] = level + 1;
+          SOBC_DCHECK(overlay_[w].state == kPending);
+          overlay_[w].d = level + 1;
           PushRepair(w, level + 1);
         } else if (dw == level + 1) {
           // DAG successor: its path count inherits x's change.
@@ -276,14 +276,14 @@ void IncrementalEngine::RepairSigmas(const SourceContext& cx) {
   // Orphans never reached by the re-BFS form a split-off component
   // (Section 4.5, Alg. 10): unreachable, zero paths, zero dependency.
   for (VertexId v : moved_list_) {
-    if (state_[v] == kPending) {
-      SOBC_DCHECK(d_new_[v] == kUnreachable);
-      state_[v] = kDn;
-      sigma_new_[v] = 0;
-      delta_new_[v] = 0.0;
+    if (overlay_[v].state == kPending) {
+      SOBC_DCHECK(overlay_[v].d == kUnreachable);
+      overlay_[v].state = kDn;
+      overlay_[v].sigma = 0;
+      overlay_[v].delta = 0.0;
       PushLq(v, kUnreachable);
       if (mp) {
-        pred_idx_[v] = static_cast<std::uint32_t>(pred_patches_.size());
+        overlay_[v].pred_idx = static_cast<std::uint32_t>(pred_patches_.size());
         pred_patches_.emplace_back(v, std::vector<VertexId>{});
       }
     }
@@ -299,13 +299,14 @@ void IncrementalEngine::RepairSigmas(const SourceContext& cx) {
 // Alg. 5) has its old contribution subtracted here, before accumulation, so
 // dependency bases are consistent when the descending sweep starts.
 // ---------------------------------------------------------------------------
-void IncrementalEngine::PreScanStaleEdges(const SourceContext& cx) {
-  const Graph& g = *cx.graph;
+template <class Adj>
+void IncrementalEngine::PreScanStaleEdges(const Adj& adj,
+                                          const SourceContext& cx) {
   const std::size_t snapshot = touched_list_.size();
   auto check_edge = [&](VertexId a, VertexId b) {
     const int old_rel = OldRelation(cx, a, b);
     if (old_rel == 0 || old_rel == NewRelation(cx, a, b)) return;
-    const EdgeKey key = g.MakeKey(a, b);
+    const EdgeKey key = MakeEdgeKey(cx.directed, a, b);
     if (!stale_seen_.insert(key).second) return;
     const VertexId p = old_rel > 0 ? a : b;  // old predecessor
     const VertexId q = old_rel > 0 ? b : a;  // old successor
@@ -314,13 +315,13 @@ void IncrementalEngine::PreScanStaleEdges(const SourceContext& cx) {
                          (1.0 + cx.view.delta[q]);
     cx.scores->ebc[key] -= alpha;
     if (!IsTouched(p)) PullUp(cx, p);
-    if (state_[p] != kDn) delta_new_[p] -= alpha;
+    if (overlay_[p].state != kDn) overlay_[p].delta -= alpha;
   };
   for (std::size_t i = 0; i < snapshot; ++i) {
     const VertexId x = touched_list_[i];
-    for (VertexId y : g.OutNeighbors(x)) check_edge(x, y);
-    if (g.directed()) {
-      for (VertexId y : g.InNeighbors(x)) check_edge(y, x);
+    for (VertexId y : adj.OutNeighbors(x)) check_edge(x, y);
+    if (cx.directed) {
+      for (VertexId y : adj.InNeighbors(x)) check_edge(y, x);
     }
   }
 }
@@ -335,9 +336,9 @@ void IncrementalEngine::PreScanStaleEdges(const SourceContext& cx) {
 // embedded — the old-value-subtraction trick that keeps per-source work
 // proportional to the affected region.
 // ---------------------------------------------------------------------------
-void IncrementalEngine::Accumulate(const SourceContext& cx,
+template <class Adj>
+void IncrementalEngine::Accumulate(const Adj& adj, const SourceContext& cx,
                                    UpdateStats* stats) {
-  const Graph& g = *cx.graph;
   const bool mp = pred_mode_ == PredMode::kPredecessorLists;
 
   if (!cx.is_addition) {
@@ -349,44 +350,47 @@ void IncrementalEngine::Accumulate(const SourceContext& cx,
                           (1.0 + cx.view.delta[cx.u_low]);
     cx.scores->ebc[cx.update_key] -= alpha0;
     if (!IsTouched(cx.u_high)) PullUp(cx, cx.u_high);
-    if (state_[cx.u_high] != kDn) delta_new_[cx.u_high] -= alpha0;
+    if (overlay_[cx.u_high].state != kDn) overlay_[cx.u_high].delta -= alpha0;
   }
 
-  PreScanStaleEdges(cx);
+  PreScanStaleEdges(adj, cx);
 
   auto process = [&](VertexId x) {
-    const Distance dx = d_new_[x];  // touched => overlay is authoritative
+    const Distance dx = overlay_[x].d;  // touched => overlay is authoritative
     if (dx != kUnreachable) {
-      const double coeff = (1.0 + delta_new_[x]) /
-                           static_cast<double>(sigma_new_[x]);
+      const double coeff = (1.0 + overlay_[x].delta) /
+                           static_cast<double>(overlay_[x].sigma);
       auto contribute = [&](VertexId p) {
         if (!IsTouched(p)) PullUp(cx, p);
         const double c = static_cast<double>(EffSigma(cx, p)) * coeff;
-        delta_new_[p] += c;
-        const EdgeKey key = g.MakeKey(p, x);
-        cx.scores->ebc[key] += c;
-        // Same-direction old contribution: new minus old.
+        overlay_[p].delta += c;
+        const EdgeKey key = MakeEdgeKey(cx.directed, p, x);
+        double edge_delta = c;
+        // Same-direction old contribution: new minus old, folded into one
+        // map update (the ebc table is the hottest data structure of an
+        // update; one probe here instead of two is measurable).
         if (IsPredLevel(cx.view.d[p], cx.view.d[x]) &&
             !(cx.is_addition && key == cx.update_key)) {
           const double alpha = static_cast<double>(cx.view.sigma[p]) /
                                static_cast<double>(cx.view.sigma[x]) *
                                (1.0 + cx.view.delta[x]);
-          cx.scores->ebc[key] -= alpha;
-          if (state_[p] == kUp) delta_new_[p] -= alpha;
+          edge_delta -= alpha;
+          if (overlay_[p].state == kUp) overlay_[p].delta -= alpha;
         }
+        cx.scores->ebc[key] += edge_delta;
       };
-      if (mp && pred_idx_[x] != kNoPredPatch) {
-        for (VertexId p : pred_patches_[pred_idx_[x]].second) contribute(p);
+      if (mp && overlay_[x].pred_idx != kNoPredPatch) {
+        for (VertexId p : pred_patches_[overlay_[x].pred_idx].second) contribute(p);
       } else if (mp) {
         for (VertexId p : (*cx.view.preds)[x]) contribute(p);
       } else {
-        for (VertexId p : g.InNeighbors(x)) {
+        for (VertexId p : adj.InNeighbors(x)) {
           if (IsPredLevel(EffD(cx, p), dx)) contribute(p);
         }
       }
     }
     if (x != cx.s) {
-      cx.scores->vbc[x] += delta_new_[x] - cx.view.delta[x];
+      cx.scores->vbc[x] += overlay_[x].delta - cx.view.delta[x];
     }
   };
 
@@ -409,17 +413,17 @@ Status IncrementalEngine::EmitPatches(const SourceContext& cx, BdStore* store,
   (void)stats;
   patches_.reserve(touched_list_.size());
   for (VertexId v : touched_list_) {
-    patches_.push_back(BdPatch{v, d_new_[v], sigma_new_[v], delta_new_[v]});
+    patches_.push_back(BdPatch{v, overlay_[v].d, overlay_[v].sigma, overlay_[v].delta});
   }
   return store->Apply(cx.s, patches_, pred_patches_);
 }
 
-Status IncrementalEngine::ApplyUpdateForSource(const Graph& graph,
-                                               const EdgeUpdate& update,
-                                               VertexId s, BdStore* store,
-                                               BcScores* scores,
-                                               UpdateStats* stats) {
-  const std::size_t n = graph.NumVertices();
+template <class Adj>
+Status IncrementalEngine::RunForSource(const Adj& adj,
+                                       const EdgeUpdate& update, VertexId s,
+                                       BdStore* store, BcScores* scores,
+                                       UpdateStats* stats) {
+  const std::size_t n = adj.NumVertices();
   EnsureScratch(n);
   if (scores->vbc.size() < n) scores->vbc.resize(n, 0.0);
   ++stats->sources_total;
@@ -435,7 +439,7 @@ Status IncrementalEngine::ApplyUpdateForSource(const Graph& graph,
   VertexId u_high;
   VertexId u_low;
   bool structural;
-  if (graph.directed()) {
+  if (adj.directed()) {
     u_high = update.u;
     u_low = update.v;
     if (du == kUnreachable) {
@@ -477,12 +481,12 @@ Status IncrementalEngine::ApplyUpdateForSource(const Graph& graph,
   }
 
   SourceContext cx;
-  cx.graph = &graph;
+  cx.directed = adj.directed();
   cx.s = s;
   cx.u_high = u_high;
   cx.u_low = u_low;
   cx.is_addition = addition;
-  cx.update_key = graph.MakeKey(update.u, update.v);
+  cx.update_key = MakeEdgeKey(cx.directed, update.u, update.v);
   cx.scores = scores;
   SOBC_RETURN_NOT_OK(store->View(s, &cx.view));
 
@@ -492,7 +496,7 @@ Status IncrementalEngine::ApplyUpdateForSource(const Graph& graph,
     // Removal is structural only when uL lost its last DAG predecessor
     // (the edge itself is already gone from the adjacency lists).
     bool has_other_pred = false;
-    for (VertexId p : graph.InNeighbors(u_low)) {
+    for (VertexId p : adj.InNeighbors(u_low)) {
       if (IsPredLevel(cx.view.d[p], cx.view.d[u_low])) {
         has_other_pred = true;
         break;
@@ -508,19 +512,30 @@ Status IncrementalEngine::ApplyUpdateForSource(const Graph& graph,
   } else if (addition) {
     ++stats->sources_structural;
     Touch(cx, u_low, kPending);
-    d_new_[u_low] = cx.view.d[u_high] + 1;
+    overlay_[u_low].d = cx.view.d[u_high] + 1;
     moved_list_.push_back(u_low);
-    PushRepair(u_low, d_new_[u_low]);
+    PushRepair(u_low, overlay_[u_low].d);
   } else {
     ++stats->sources_structural;
-    ClassifyOrphans(cx);
-    RepairDistancesRemoval(cx);
+    ClassifyOrphans(adj, cx);
+    RepairDistancesRemoval(adj, cx);
   }
 
-  RepairSigmas(cx);
+  RepairSigmas(adj, cx);
   if (!unreachable_.empty()) ++stats->sources_disconnected;
-  Accumulate(cx, stats);
+  Accumulate(adj, cx, stats);
   return EmitPatches(cx, store, stats);
+}
+
+Status IncrementalEngine::ApplyUpdateForSource(const Graph& graph,
+                                               const EdgeUpdate& update,
+                                               VertexId s, BdStore* store,
+                                               BcScores* scores,
+                                               UpdateStats* stats) {
+  if (use_csr_) {
+    return RunForSource(graph.csr(), update, s, store, scores, stats);
+  }
+  return RunForSource(GraphAdjacency(graph), update, s, store, scores, stats);
 }
 
 Status IncrementalEngine::ApplyUpdateRange(const Graph& graph,
@@ -528,9 +543,17 @@ Status IncrementalEngine::ApplyUpdateRange(const Graph& graph,
                                            VertexId begin, VertexId end,
                                            BdStore* store, BcScores* scores,
                                            UpdateStats* stats) {
-  for (VertexId s = begin; s < end; ++s) {
-    SOBC_RETURN_NOT_OK(
-        ApplyUpdateForSource(graph, update, s, store, scores, stats));
+  // Dispatch on the adjacency provider once per range, not per source.
+  if (use_csr_) {
+    const CsrView& adj = graph.csr();
+    for (VertexId s = begin; s < end; ++s) {
+      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats));
+    }
+  } else {
+    const GraphAdjacency adj(graph);
+    for (VertexId s = begin; s < end; ++s) {
+      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats));
+    }
   }
   return Status::OK();
 }

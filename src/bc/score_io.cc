@@ -56,6 +56,11 @@ Result<BcScores> ReadScores(const std::string& path) {
     in.read(reinterpret_cast<char*>(&key.u), sizeof(key.u));
     in.read(reinterpret_cast<char*>(&key.v), sizeof(key.v));
     in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    // kInvalidVertex endpoints are EdgeScoreMap's reserved slot-state keys
+    // (and never valid edges); a corrupt file must not reach the table.
+    if (key.u >= n || key.v >= n) {
+      return Status::IOError("corrupt edge key in score file: " + path);
+    }
     scores.ebc[key] = value;
   }
   if (!in) return Status::IOError("truncated score file: " + path);

@@ -1,0 +1,157 @@
+#ifndef SOBC_GRAPH_CSR_VIEW_H_
+#define SOBC_GRAPH_CSR_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// A packed adjacency snapshot of a Graph: one contiguous neighbor arena per
+/// direction plus a {begin, count} slot pair per vertex, so the traversal
+/// hot paths (Brandes sweeps, incremental repair, analysis BFS) walk flat
+/// memory instead of pointer-chasing `vector<vector>` lists.
+///
+/// The view is built once from a Graph and then *patched* in O(degree) per
+/// edge mutation instead of rebuilt:
+///   * every vertex block carries slack capacity, so most additions write
+///     in place;
+///   * a full block relocates to the end of the arena with doubled capacity
+///     when it overflows (amortized O(1) slots per addition);
+///   * removal swap-erases within the block;
+///   * when more than half the arena is dead (abandoned blocks), one
+///     compaction pass rewrites it — amortized O(1) per mutation, and the
+///     only operation that moves blocks of untouched vertices.
+///
+/// Epoch contract (see DESIGN.md §6): `epoch()` increments on every
+/// mutation of the view (build, patch, compaction). A consumer that caches
+/// anything derived from the view records the epoch at derivation time and
+/// treats a later mismatch as "stale — re-derive". Spans returned by
+/// OutNeighbors/InNeighbors are invalidated by any epoch change.
+///
+/// Thread safety: concurrent readers are safe; any mutation (including the
+/// lazily-building Graph::csr() *first* call) must be exclusive. The
+/// dynamic-BC drivers build the view up front and mutate it only between
+/// parallel sections, so all p mappers of one update share a single
+/// read-only snapshot.
+class CsrView {
+ public:
+  /// Observability counters; `builds` is the rebuild counter the
+  /// O(degree)-patching guarantee is asserted against (it must not grow
+  /// while a DynamicBc applies updates).
+  struct Stats {
+    std::uint64_t builds = 0;       // full (re)builds from the Graph
+    std::uint64_t patches = 0;      // O(degree) edge patches applied
+    std::uint64_t relocations = 0;  // vertex blocks moved for headroom
+    std::uint64_t compactions = 0;  // arena garbage-collection passes
+  };
+
+  CsrView() = default;
+
+  /// Rebuilds the snapshot from `graph`, with per-vertex slack. Invalidates
+  /// all outstanding spans and bumps the epoch.
+  void Build(const Graph& graph);
+
+  bool built() const { return built_; }
+  std::uint64_t epoch() const { return epoch_; }
+  const Stats& stats() const { return stats_; }
+
+  std::size_t NumVertices() const { return out_.slots.size(); }
+  bool directed() const { return directed_; }
+  EdgeKey MakeKey(VertexId u, VertexId v) const {
+    return MakeEdgeKey(directed_, u, v);
+  }
+
+  /// Neighbors reachable by following an edge out of v (search direction).
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    const Slot& s = out_.slots[v];
+    return {out_.arena.data() + s.begin, s.count};
+  }
+
+  /// Neighbors with an edge into v (backtracking direction). Equal to
+  /// OutNeighbors for undirected graphs.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    const Arena& a = directed_ ? in_ : out_;
+    const Slot& s = a.slots[v];
+    return {a.arena.data() + s.begin, s.count};
+  }
+
+  std::size_t OutDegree(VertexId v) const { return out_.slots[v].count; }
+  std::size_t InDegree(VertexId v) const {
+    return directed_ ? in_.slots[v].count : out_.slots[v].count;
+  }
+
+  // --- patch API ----------------------------------------------------------
+  // Graph calls these from its own mutators so the view tracks the source
+  // of truth; each is O(degree) of the touched endpoints (amortized for the
+  // relocation/compaction share) and bumps the epoch.
+
+  /// Grows the vertex set to `n` vertices; new vertices start isolated.
+  void PatchGrow(std::size_t n);
+
+  /// Mirrors Graph::AddEdge(u, v). Endpoints must already exist.
+  void PatchAddEdge(VertexId u, VertexId v);
+
+  /// Mirrors Graph::RemoveEdge(u, v). The edge must be present.
+  void PatchRemoveEdge(VertexId u, VertexId v);
+
+ private:
+  /// Hot per-vertex metadata: one 8-byte pair so a traversal touches a
+  /// single cache line for block lookup. Capacity lives in a separate
+  /// (cold) array — it is only read on mutation.
+  struct Slot {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
+  struct Arena {
+    std::vector<VertexId> arena;
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> cap;  // block capacity, mutation-only
+    std::size_t dead = 0;            // slots abandoned by relocations
+  };
+
+  void ArenaAdd(Arena* a, VertexId u, VertexId v);
+  void ArenaRemove(Arena* a, VertexId u, VertexId v);
+  void Relocate(Arena* a, VertexId u, std::uint32_t new_cap);
+  void MaybeCompact(Arena* a);
+
+  bool built_ = false;
+  bool directed_ = false;
+  std::uint64_t epoch_ = 0;
+  Stats stats_;
+  Arena out_;
+  Arena in_;  // used only when directed_
+};
+
+/// Adapter giving `const Graph&` the same adjacency interface as CsrView,
+/// so traversal kernels can be templated over the provider. This is the
+/// "before" path of the CSR migration: benches instantiate kernels with it
+/// to measure the pointer-chasing baseline, and the engines can fall back
+/// to it when asked to bypass the snapshot.
+class GraphAdjacency {
+ public:
+  explicit GraphAdjacency(const Graph& graph) : graph_(&graph) {}
+
+  std::size_t NumVertices() const { return graph_->NumVertices(); }
+  bool directed() const { return graph_->directed(); }
+  EdgeKey MakeKey(VertexId u, VertexId v) const {
+    return graph_->MakeKey(u, v);
+  }
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return graph_->OutNeighbors(v);
+  }
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return graph_->InNeighbors(v);
+  }
+  std::size_t OutDegree(VertexId v) const { return graph_->OutDegree(v); }
+  std::size_t InDegree(VertexId v) const { return graph_->InDegree(v); }
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_GRAPH_CSR_VIEW_H_

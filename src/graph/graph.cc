@@ -1,14 +1,101 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <mutex>
 #include <string>
 
+#include "graph/csr_view.h"
+
 namespace sobc {
+
+namespace {
+/// Serializes lazy first builds of CsrViews. Global because Graph must stay
+/// movable (a per-instance mutex would pin it); contention exists only for
+/// the one-off builds, never for reads or patches.
+std::mutex g_csr_build_mutex;
+}  // namespace
+
+Graph::Graph(bool directed) : directed_(directed) {}
+Graph::~Graph() = default;
+
+Graph::Graph(Graph&& other) noexcept
+    : directed_(other.directed_),
+      num_edges_(other.num_edges_),
+      out_(std::move(other.out_)),
+      in_(std::move(other.in_)),
+      csr_(std::move(other.csr_)),
+      csr_built_(other.csr_built_.load(std::memory_order_relaxed)) {
+  // The moved-from graph must read as valid-but-empty: its vectors are
+  // emptied by the move, so the edge counter and build flag follow.
+  other.num_edges_ = 0;
+  other.csr_built_.store(false, std::memory_order_relaxed);
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  directed_ = other.directed_;
+  num_edges_ = other.num_edges_;
+  out_ = std::move(other.out_);
+  in_ = std::move(other.in_);
+  csr_ = std::move(other.csr_);
+  csr_built_.store(other.csr_built_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  other.num_edges_ = 0;
+  other.csr_built_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
+Graph::Graph(const Graph& other)
+    : directed_(other.directed_),
+      num_edges_(other.num_edges_),
+      out_(other.out_),
+      in_(other.in_) {
+  // Copying is a const read and may race another thread's lazy first
+  // build: only touch other.csr_ once the acquire load confirms the build
+  // published (pairs with the release store in csr()). A false flag just
+  // means the copy rebuilds lazily on its own first csr() call.
+  if (other.csr_built_.load(std::memory_order_acquire)) {
+    csr_ = std::make_unique<CsrView>(*other.csr_);
+    csr_built_.store(true, std::memory_order_relaxed);
+  }
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  directed_ = other.directed_;
+  num_edges_ = other.num_edges_;
+  out_ = other.out_;
+  in_ = other.in_;
+  if (other.csr_built_.load(std::memory_order_acquire)) {
+    csr_ = std::make_unique<CsrView>(*other.csr_);
+    csr_built_.store(true, std::memory_order_relaxed);
+  } else {
+    csr_ = nullptr;
+    csr_built_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+const CsrView& Graph::csr() const {
+  // Double-checked lazy build so read-only traversal APIs (ComputeBrandes,
+  // the analysis passes) stay safe to call concurrently on a shared const
+  // graph even when they race on the first build.
+  if (!csr_built_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(g_csr_build_mutex);
+    if (!csr_built_.load(std::memory_order_relaxed)) {
+      if (csr_ == nullptr) csr_ = std::make_unique<CsrView>();
+      if (!csr_->built()) csr_->Build(*this);
+      csr_built_.store(true, std::memory_order_release);
+    }
+  }
+  return *csr_;
+}
 
 bool Graph::EnsureVertex(VertexId id) {
   if (id < out_.size()) return false;
   out_.resize(id + 1);
   if (directed_) in_.resize(id + 1);
+  if (csr_ != nullptr) csr_->PatchGrow(out_.size());
   return true;
 }
 
@@ -41,6 +128,7 @@ Status Graph::AddEdge(VertexId u, VertexId v) {
     out_[v].push_back(u);
   }
   ++num_edges_;
+  if (csr_ != nullptr) csr_->PatchAddEdge(u, v);
   return Status::OK();
 }
 
@@ -55,21 +143,13 @@ Status Graph::RemoveEdge(VertexId u, VertexId v) {
     ListErase(&out_[v], u);
   }
   --num_edges_;
+  if (csr_ != nullptr) csr_->PatchRemoveEdge(u, v);
   return Status::OK();
 }
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   if (u >= out_.size() || v >= out_.size()) return false;
   return ListContains(out_[u], v);
-}
-
-void Graph::ForEachEdge(
-    const std::function<void(VertexId, VertexId)>& fn) const {
-  for (VertexId u = 0; u < out_.size(); ++u) {
-    for (VertexId v : out_[u]) {
-      if (directed_ || u < v) fn(u, v);
-    }
-  }
 }
 
 std::vector<EdgeKey> Graph::Edges() const {

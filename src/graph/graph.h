@@ -1,8 +1,9 @@
 #ifndef SOBC_GRAPH_GRAPH_H_
 #define SOBC_GRAPH_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -33,6 +34,11 @@ struct EdgeKey {
   }
 };
 
+/// Canonical key for an edge of a graph with the given orientation mode.
+inline EdgeKey MakeEdgeKey(bool directed, VertexId u, VertexId v) {
+  return directed ? EdgeKey{u, v} : EdgeKey::Undirected(u, v);
+}
+
 struct EdgeKeyHash {
   std::size_t operator()(const EdgeKey& e) const {
     // Splittable 64-bit mix of the packed endpoints.
@@ -47,6 +53,8 @@ struct EdgeKeyHash {
   }
 };
 
+class CsrView;
+
 /// A mutable graph stored as adjacency lists, supporting the edge-by-edge
 /// evolution the framework processes (Section 3 of the paper).
 ///
@@ -58,9 +66,19 @@ struct EdgeKeyHash {
 /// Self-loops and parallel edges are rejected with InvalidArgument /
 /// AlreadyExists. Vertices are created implicitly by AddEdge, or explicitly
 /// with EnsureVertex.
+///
+/// The graph also owns a CsrView — a packed adjacency snapshot the
+/// traversal hot paths consume (see csr_view.h). The view is built lazily
+/// on first csr() access and from then on kept in sync by O(degree)
+/// patches applied inside AddEdge/RemoveEdge/EnsureVertex, never rebuilt.
 class Graph {
  public:
-  explicit Graph(bool directed = false) : directed_(directed) {}
+  explicit Graph(bool directed = false);
+  ~Graph();
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&&) noexcept;
+  Graph& operator=(Graph&&) noexcept;
 
   bool directed() const { return directed_; }
   std::size_t NumVertices() const { return out_.size(); }
@@ -103,16 +121,31 @@ class Graph {
   }
 
   /// Invokes fn(u, v) for every edge once (canonical orientation for
-  /// undirected graphs: u < v).
-  void ForEachEdge(const std::function<void(VertexId, VertexId)>& fn) const;
+  /// undirected graphs: u < v). Templated so the callback inlines into the
+  /// scan — no std::function indirection per edge.
+  template <class Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (VertexId u = 0; u < out_.size(); ++u) {
+      for (VertexId v : out_[u]) {
+        if (directed_ || u < v) fn(u, v);
+      }
+    }
+  }
 
   /// All edges in canonical orientation, sorted.
   std::vector<EdgeKey> Edges() const;
 
   /// Canonical key for an edge of this graph.
   EdgeKey MakeKey(VertexId u, VertexId v) const {
-    return directed_ ? EdgeKey{u, v} : EdgeKey::Undirected(u, v);
+    return MakeEdgeKey(directed_, u, v);
   }
+
+  /// The packed traversal snapshot, built on first access and patched in
+  /// O(degree) by every later mutation. The lazy build is guarded
+  /// (double-checked, one build mutex), so concurrent const readers are
+  /// safe even when they race on the first call; only concurrent
+  /// *mutation* of the graph requires external exclusion, as ever.
+  const CsrView& csr() const;
 
  private:
   static bool ListContains(const std::vector<VertexId>& list, VertexId x);
@@ -122,6 +155,9 @@ class Graph {
   std::size_t num_edges_ = 0;
   std::vector<std::vector<VertexId>> out_;
   std::vector<std::vector<VertexId>> in_;  // used only when directed_
+  mutable std::unique_ptr<CsrView> csr_;   // lazily built, then patched
+  /// Publishes csr_ to concurrent readers of the lazy first build.
+  mutable std::atomic<bool> csr_built_{false};
 };
 
 }  // namespace sobc

@@ -69,15 +69,19 @@ Result<std::unique_ptr<ParallelDynamicBc>> ParallelDynamicBc::Create(
     } else {
       m.store = std::make_unique<InMemoryBdStore>(pred_mode, m.begin, m.limit);
     }
-    m.engine = std::make_unique<IncrementalEngine>(pred_mode);
+    m.engine = std::make_unique<IncrementalEngine>(pred_mode, options.use_csr);
   }
 
   // Step 1 in parallel: each mapper bootstraps its own partition with
   // Brandes, emitting its partial sums; the reduce folds them into the
-  // global scores once.
+  // global scores once. The CsrView must exist before the mappers start:
+  // the first csr() call builds (mutates) it, every later one is a plain
+  // read, so all p mappers share this one snapshot safely.
+  if (options.use_csr) bc->graph_.csr();
   bc->init_seconds_.assign(p, 0.0);
   BrandesOptions brandes;
   brandes.pred_mode = pred_mode;
+  brandes.use_csr = options.use_csr;
   ParallelFor(bc->pool_.get(), p, [&](std::size_t i) {
     Mapper& m = bc->mappers_[i];
     WallTimer timer;

@@ -28,6 +28,10 @@ struct ParallelBcOptions {
   /// Mapper count may exceed thread count: the cluster model below still
   /// reports per-mapper times as if each ran on its own machine.
   int num_threads = 0;
+  /// Traverse via the graph's packed CsrView snapshot (default): built once
+  /// in Create, patched on the driver thread inside Apply, and shared
+  /// read-only by all p mappers of one update.
+  bool use_csr = true;
 };
 
 /// Timing of one parallel update, in the paper's accounting:

@@ -58,12 +58,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool* pool, std::size_t count,
-                 const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < count; ++i) {
-    pool->Submit([&fn, i] { fn(i); });
-  }
-  pool->Wait();
-}
-
 }  // namespace sobc

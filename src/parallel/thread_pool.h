@@ -42,8 +42,16 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, count) across the pool, blocking until done.
-void ParallelFor(ThreadPool* pool, std::size_t count,
-                 const std::function<void(std::size_t)>& fn);
+/// Takes the callback by template parameter: each worker invokes fn
+/// directly instead of through a std::function thunk, so the only type
+/// erasure left is the queued task closure itself.
+template <class Fn>
+void ParallelFor(ThreadPool* pool, std::size_t count, Fn&& fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    pool->Submit([&fn, i] { fn(i); });
+  }
+  pool->Wait();
+}
 
 }  // namespace sobc
 

@@ -1,0 +1,206 @@
+#include "graph/csr_view.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "common/rng.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "graph/graph.h"
+#include "tests/test_util.h"
+
+namespace sobc {
+namespace {
+
+std::vector<VertexId> Sorted(std::span<const VertexId> span) {
+  std::vector<VertexId> out(span.begin(), span.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The patched view must present exactly the adjacency a fresh rebuild
+/// would, vertex by vertex, in both directions (order within a block is
+/// not part of the contract).
+void ExpectMatchesRebuild(const Graph& graph) {
+  CsrView fresh;
+  fresh.Build(graph);
+  const CsrView& patched = graph.csr();
+  ASSERT_EQ(patched.NumVertices(), graph.NumVertices());
+  ASSERT_EQ(fresh.NumVertices(), graph.NumVertices());
+  EXPECT_EQ(patched.directed(), graph.directed());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    EXPECT_EQ(Sorted(patched.OutNeighbors(v)), Sorted(fresh.OutNeighbors(v)))
+        << "out-neighbors of " << v;
+    EXPECT_EQ(Sorted(patched.InNeighbors(v)), Sorted(fresh.InNeighbors(v)))
+        << "in-neighbors of " << v;
+    EXPECT_EQ(patched.OutDegree(v), graph.OutDegree(v));
+    EXPECT_EQ(patched.InDegree(v), graph.InDegree(v));
+  }
+}
+
+TEST(CsrViewTest, BuildMatchesGraph) {
+  Rng rng(11);
+  const Graph g = GenerateSocialGraph(200, SocialGraphParams{}, &rng);
+  ExpectMatchesRebuild(g);
+  EXPECT_EQ(g.csr().stats().builds, 1u);
+}
+
+TEST(CsrViewTest, PatchEqualsRebuildAfterRandomAddRemoveStream) {
+  Rng rng(23);
+  Graph g = GenerateSocialGraph(120, SocialGraphParams{}, &rng);
+  g.csr();  // build once; everything below must be patches
+  for (int step = 0; step < 400; ++step) {
+    const auto u = static_cast<VertexId>(rng.Uniform(140));
+    const auto v = static_cast<VertexId>(rng.Uniform(140));
+    if (u == v) continue;
+    if (g.HasVertex(u) && g.HasVertex(v) && g.HasEdge(u, v) &&
+        rng.Uniform(2) == 0) {
+      ASSERT_TRUE(g.RemoveEdge(u, v).ok());
+    } else {
+      (void)g.AddEdge(u, v);  // AlreadyExists is fine; must not patch then
+    }
+  }
+  ExpectMatchesRebuild(g);
+  EXPECT_EQ(g.csr().stats().builds, 1u);
+  EXPECT_GT(g.csr().stats().patches, 0u);
+}
+
+TEST(CsrViewTest, PatchEqualsRebuildDirected) {
+  Rng rng(31);
+  Graph g(/*directed=*/true);
+  g.csr();
+  for (int step = 0; step < 300; ++step) {
+    const auto u = static_cast<VertexId>(rng.Uniform(60));
+    const auto v = static_cast<VertexId>(rng.Uniform(60));
+    if (u == v) continue;
+    if (g.HasVertex(u) && g.HasVertex(v) && g.HasEdge(u, v) &&
+        rng.Uniform(3) == 0) {
+      ASSERT_TRUE(g.RemoveEdge(u, v).ok());
+    } else {
+      (void)g.AddEdge(u, v);
+    }
+  }
+  ExpectMatchesRebuild(g);
+  EXPECT_EQ(g.csr().stats().builds, 1u);
+}
+
+TEST(CsrViewTest, EpochAdvancesOnEveryMutation) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  const CsrView& view = g.csr();
+  const std::uint64_t e0 = view.epoch();
+
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  const std::uint64_t e1 = view.epoch();
+  EXPECT_NE(e1, e0) << "a snapshot consumer must detect the new edge";
+
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_NE(view.epoch(), e1);
+
+  // Vertex growth also invalidates cached derivations (spans can move).
+  ASSERT_TRUE(g.AddEdge(5, 6).ok());
+  EXPECT_GT(view.epoch(), e1);
+}
+
+TEST(CsrViewTest, StaleEpochDetectsRebuild) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  const std::uint64_t before = g.csr().epoch();
+  // A copy rebuilds nothing: the snapshot travels with the graph.
+  const Graph copy = g;
+  EXPECT_EQ(copy.csr().epoch(), before);
+  EXPECT_EQ(copy.csr().stats().builds, 1u);
+}
+
+TEST(CsrViewTest, MovedFromGraphRebuildsLazily) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  g.csr();
+  Graph h = std::move(g);
+  EXPECT_EQ(h.csr().stats().builds, 1u);
+  // Moved-from graph is valid-but-empty; csr() must rebuild, not crash on
+  // the moved-out view, and the edge counter must read empty too.
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.csr().NumVertices(), g.NumVertices());
+  Graph g2;
+  ASSERT_TRUE(g2.AddEdge(2, 3).ok());
+  g2.csr();
+  h = std::move(g2);
+  EXPECT_EQ(g2.csr().NumVertices(), g2.NumVertices());
+  EXPECT_TRUE(h.csr().OutNeighbors(2).size() == 1);
+}
+
+TEST(CsrViewTest, GrowThenAddStartsFromEmptyBlock) {
+  Graph g;
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  g.csr();
+  ASSERT_TRUE(g.AddEdge(40, 41).ok());  // implicit growth patches the view
+  EXPECT_EQ(g.csr().stats().builds, 1u);
+  EXPECT_EQ(Sorted(g.csr().OutNeighbors(40)), (std::vector<VertexId>{41}));
+  EXPECT_TRUE(g.csr().OutNeighbors(20).empty());
+  ExpectMatchesRebuild(g);
+}
+
+TEST(CsrViewTest, RelocationsPreserveNeighborsUnderHeavyChurnOnOneVertex) {
+  Graph g;
+  g.EnsureVertex(300);
+  g.csr();
+  // Hammer vertex 0 so its block overflows its slack repeatedly.
+  for (VertexId v = 1; v <= 300; ++v) {
+    ASSERT_TRUE(g.AddEdge(0, v).ok());
+  }
+  EXPECT_GT(g.csr().stats().relocations, 0u);
+  EXPECT_EQ(g.csr().stats().builds, 1u);
+  EXPECT_EQ(g.csr().OutDegree(0), 300u);
+  ExpectMatchesRebuild(g);
+}
+
+/// End-to-end: on the CSR path, incremental scores after a random
+/// add/remove stream must match a fresh Brandes recompute — for all three
+/// variants (MP / MO / DO).
+class CsrEndToEndTest : public ::testing::TestWithParam<BcVariant> {};
+
+TEST_P(CsrEndToEndTest, IncrementalMatchesFreshBrandes) {
+  Rng rng(77);
+  Graph g = GenerateSocialGraph(60, SocialGraphParams{}, &rng);
+
+  DynamicBcOptions options;
+  options.variant = GetParam();
+  if (options.variant == BcVariant::kOutOfCore) {
+    options.storage_path = ::testing::TempDir() + "/csr_e2e_store.bin";
+  }
+  auto bc = DynamicBc::Create(g, options);
+  ASSERT_TRUE(bc.ok()) << bc.status().ToString();
+
+  Rng stream_rng(78);
+  for (int step = 0; step < 60; ++step) {
+    const auto u = static_cast<VertexId>(stream_rng.Uniform(70));
+    const auto v = static_cast<VertexId>(stream_rng.Uniform(70));
+    if (u == v) continue;
+    const Graph& cur = (*bc)->graph();
+    if (cur.HasVertex(u) && cur.HasVertex(v) && cur.HasEdge(u, v) &&
+        stream_rng.Uniform(2) == 0) {
+      ASSERT_TRUE((*bc)->Apply({u, v, EdgeOp::kRemove}).ok());
+    } else if (!(cur.HasVertex(u) && cur.HasVertex(v) && cur.HasEdge(u, v))) {
+      ASSERT_TRUE((*bc)->Apply({u, v, EdgeOp::kAdd}).ok());
+    }
+  }
+
+  // O(degree) patching, never a rebuild, across the whole stream.
+  EXPECT_LE((*bc)->graph().csr().stats().builds, 1u);
+
+  const BcScores fresh = ComputeBrandes((*bc)->graph());
+  testutil::ExpectScoresNear(fresh, (*bc)->scores(), 1e-6, "csr end-to-end");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, CsrEndToEndTest,
+                         ::testing::Values(BcVariant::kMemoryPredecessors,
+                                           BcVariant::kMemory,
+                                           BcVariant::kOutOfCore));
+
+}  // namespace
+}  // namespace sobc

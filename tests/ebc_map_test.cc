@@ -1,0 +1,123 @@
+#include "bc/ebc_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace sobc {
+namespace {
+
+EdgeKey Key(VertexId u, VertexId v) { return EdgeKey::Undirected(u, v); }
+
+TEST(EdgeScoreMapTest, InsertFindAt) {
+  EdgeScoreMap map;
+  EXPECT_TRUE(map.empty());
+  map[Key(1, 2)] = 3.5;
+  map[Key(2, 7)] += 1.0;
+  map[Key(1, 2)] += 0.5;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_DOUBLE_EQ(map.at(Key(2, 1)), 4.0);  // canonical key
+  EXPECT_DOUBLE_EQ(map.find(Key(2, 7))->second, 1.0);
+  EXPECT_EQ(map.find(Key(5, 6)), map.end());
+  EXPECT_EQ(map.count(Key(5, 6)), 0u);
+  EXPECT_THROW(map.at(Key(5, 6)), std::out_of_range);
+}
+
+TEST(EdgeScoreMapTest, EraseTombstoneReuseAndReinsert) {
+  EdgeScoreMap map;
+  map[Key(0, 1)] = 1.0;
+  map[Key(0, 2)] = 2.0;
+  EXPECT_EQ(map.erase(Key(0, 1)), 1u);
+  EXPECT_EQ(map.erase(Key(0, 1)), 0u);  // already gone
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.find(Key(0, 1)), map.end());
+  // Re-insert after erase must land on one live slot (tombstone reuse).
+  map[Key(0, 1)] = 7.0;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_DOUBLE_EQ(map.at(Key(0, 1)), 7.0);
+  map[Key(0, 1)] += 1.0;
+  EXPECT_EQ(map.size(), 2u) << "reinsert through a tombstone double-counted";
+}
+
+TEST(EdgeScoreMapTest, IterationSkipsDeadSlots) {
+  EdgeScoreMap map;
+  for (VertexId v = 1; v <= 10; ++v) map[Key(0, v)] = v;
+  for (VertexId v = 1; v <= 10; v += 2) map.erase(Key(0, v));
+  std::vector<std::pair<EdgeKey, double>> seen(map.begin(), map.end());
+  EXPECT_EQ(seen.size(), 5u);
+  double total = 0.0;
+  for (const auto& [key, value] : map) total += value;
+  EXPECT_DOUBLE_EQ(total, 2 + 4 + 6 + 8 + 10);
+  // Values stay mutable through iteration (the approx scaler relies on it).
+  for (auto& [key, value] : map) value *= 2.0;
+  EXPECT_DOUBLE_EQ(map.at(Key(0, 2)), 4.0);
+}
+
+TEST(EdgeScoreMapTest, ClearKeepsCapacityAndRefills) {
+  EdgeScoreMap map;
+  for (VertexId v = 1; v <= 200; ++v) map[Key(0, v)] = v;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(Key(0, 5)), map.end());
+  for (VertexId v = 1; v <= 200; ++v) map[Key(0, v)] = v + 0.5;
+  EXPECT_EQ(map.size(), 200u);
+  EXPECT_DOUBLE_EQ(map.at(Key(0, 123)), 123.5);
+}
+
+TEST(EdgeScoreMapTest, RemovalHeavyStreamDoesNotAccumulateTombstoneGrowth) {
+  // The core evolving-graph pattern: erase ever-new distinct keys while the
+  // live set stays tiny. The table must stay bounded by the live size, not
+  // grow with cumulative erases (rehash must clear tombstones).
+  EdgeScoreMap map;
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    const EdgeKey key = Key(i, i + 1);
+    map[key] = 1.0;
+    EXPECT_EQ(map.erase(key), 1u);
+  }
+  EXPECT_TRUE(map.empty());
+  map[Key(0, 1)] = 42.0;
+  EXPECT_DOUBLE_EQ(map.at(Key(0, 1)), 42.0);
+}
+
+TEST(EdgeScoreMapTest, MatchesUnorderedMapUnderRandomChurn) {
+  Rng rng(99);
+  EdgeScoreMap map;
+  std::unordered_map<EdgeKey, double, EdgeKeyHash> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const EdgeKey key = Key(static_cast<VertexId>(rng.Uniform(60)),
+                            static_cast<VertexId>(rng.Uniform(60)));
+    if (key.u == key.v) continue;
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1:
+        map[key] += 1.25;
+        reference[key] += 1.25;
+        break;
+      case 2:
+        EXPECT_EQ(map.erase(key), reference.erase(key));
+        break;
+      default: {
+        const auto it = map.find(key);
+        const auto ref = reference.find(key);
+        ASSERT_EQ(it == map.end(), ref == reference.end());
+        if (ref != reference.end()) {
+          EXPECT_DOUBLE_EQ(it->second, ref->second);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(map.find(key), map.end());
+    EXPECT_DOUBLE_EQ(map.at(key), value);
+  }
+}
+
+}  // namespace
+}  // namespace sobc
