@@ -21,6 +21,8 @@
 #include "gen/stream_generators.h"
 #include "graph/csr_view.h"
 #include "graph/graph.h"
+#include "server/score_snapshot.h"
+#include "server/update_queue.h"
 
 namespace sobc {
 namespace {
@@ -208,6 +210,103 @@ void BM_DiskStoreViewApply(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_DiskStoreViewApply)->Arg(512)->Arg(2048);
+
+// ---------------------------------------------------------------------------
+// Serving-layer building blocks (src/server). End-to-end serve numbers with
+// concurrent readers live in bench/serve_bench.cc (BENCH_serve.json); these
+// isolate the pieces.
+// ---------------------------------------------------------------------------
+
+/// Batched vs per-update apply on a same-pool churn stream: state.range(1)
+/// is the batch size handed to DynamicBc::ApplyBatch (1 = the sequential
+/// baseline shape). items_per_second counts updates.
+void BM_ServeBatchApply(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(1));
+  Graph g = MakeSocial(n);
+  Rng rng(17);
+  // Even-length toggle chains return the graph to its base state every
+  // full pass, so iterating the stream repeatedly stays applicable.
+  EdgeStream stream = ChurnStream(g, 64, 8, &rng);
+  if (stream.size() % 2 != 0) stream.pop_back();
+  if (stream.empty()) {
+    state.SkipWithError("no churn stream");
+    return;
+  }
+  // A full pass must end with every pool edge back to absent; ChurnStream
+  // guarantees per-edge alternation but not even per-edge counts, so close
+  // the chains: append the complement of any edge left present.
+  {
+    Graph probe = g;
+    for (const EdgeUpdate& e : stream) (void)ApplyToGraph(&probe, e);
+    for (const EdgeKey& key : probe.Edges()) {
+      if (!g.HasEdge(key.u, key.v)) {
+        stream.push_back({key.u, key.v, EdgeOp::kRemove, 0.0});
+      }
+    }
+  }
+  auto bc = DynamicBc::Create(std::move(g), {});
+  if (!bc.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  std::size_t pos = 0;
+  std::size_t updates = 0;
+  for (auto _ : state) {
+    const std::size_t take = std::min(batch_size, stream.size() - pos);
+    if (!(*bc)->ApplyBatch({stream.data() + pos, take}).ok()) {
+      state.SkipWithError("apply failed");
+      return;
+    }
+    updates += take;
+    pos += take;
+    if (pos == stream.size()) pos = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(updates));
+}
+BENCHMARK(BM_ServeBatchApply)
+    ->ArgsProduct({{1024, 4096}, {1, 16, 64}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Cost of one publication: score-column copy plus top-k precompute —
+/// what every drained batch pays so that readers never scan.
+void BM_SnapshotPublish(benchmark::State& state) {
+  const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+  const BcScores scores = ComputeBrandes(g);
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    ++epoch;
+    auto snap = BuildSnapshot(g, scores, epoch, epoch, /*top_k=*/16,
+                              /*with_edge_scores=*/true);
+    benchmark::DoNotOptimize(snap->top_vertices.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotPublish)->Arg(1024)->Arg(4096)->Arg(16384);
+
+/// Queue round-trip with coalescing on a maximally churny sequence.
+void BM_UpdateQueueChurnBatch(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  UpdateQueueOptions options;
+  options.capacity = batch;
+  options.max_batch = batch;
+  UpdateQueue queue(options);
+  DrainedBatch drained;
+  std::size_t consumed = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      queue.Push({static_cast<VertexId>(i % 8), static_cast<VertexId>(100),
+                  (i / 8) % 2 == 0 ? EdgeOp::kAdd : EdgeOp::kRemove, 0.0});
+    }
+    if (!queue.PopBatch(&drained)) {
+      state.SkipWithError("queue closed unexpectedly");
+      return;
+    }
+    consumed += drained.consumed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(consumed));
+}
+BENCHMARK(BM_UpdateQueueChurnBatch)->Arg(64)->Arg(256);
 
 void BM_SocialGenerator(benchmark::State& state) {
   for (auto _ : state) {

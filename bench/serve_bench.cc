@@ -1,0 +1,183 @@
+// Serving-layer benchmark: drives BcService end to end on a churn-heavy
+// generated stream, once with batch coalescing and once without, with
+// concurrent top-k readers running throughout. Emits BENCH_serve.json —
+// machine-readable medians (p50/p99 latency, batch apply time) plus the
+// applied-vs-received reduction the coalescing path buys — so the serve
+// perf trajectory is tracked across PRs (CI runs this on every push).
+//
+// Env knobs: SOBC_SERVE_VERTICES (default 512), SOBC_SERVE_UPDATES
+// (default 4000), SOBC_SERVE_POOL (default 16), SOBC_SERVE_READERS
+// (default 2), SOBC_SERVE_OUT (default BENCH_serve.json).
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "server/bc_service.h"
+
+namespace sobc {
+namespace {
+
+struct RunResult {
+  ServeMetricsSnapshot metrics;
+  double wall_seconds = 0.0;
+  double updates_per_second = 0.0;
+  std::uint64_t snapshot_reads = 0;
+};
+
+RunResult RunServe(const Graph& graph, const EdgeStream& stream,
+                   bool coalesce, int readers) {
+  BcServiceOptions options;
+  options.queue.max_batch = 64;
+  options.queue.batch_latency_budget_seconds = 0.0005;
+  options.queue.coalesce = coalesce;
+  options.top_k = 10;
+  auto service = BcService::Create(graph, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 service.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> reader_threads;
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&] {
+      double sink = 0.0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = (*service)->snapshot();
+        if (!snap->top_vertices.empty()) {
+          sink += snap->top_vertices.front().second;
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (sink < 0.0) std::fprintf(stderr, "impossible\n");
+    });
+  }
+  WallTimer timer;
+  const std::size_t accepted = (*service)->SubmitAll(stream);
+  if (Status st = (*service)->Drain(); !st.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  RunResult result;
+  result.wall_seconds = timer.Seconds();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : reader_threads) t.join();
+  if (Status st = (*service)->Stop(); !st.ok()) {
+    std::fprintf(stderr, "stop failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  result.metrics = (*service)->metrics();
+  result.updates_per_second =
+      result.wall_seconds > 0 ? accepted / result.wall_seconds : 0.0;
+  result.snapshot_reads = reads.load();
+  return result;
+}
+
+void AppendRun(std::string* out, const char* name, const RunResult& run,
+               bool trailing_comma) {
+  char buf[256];
+  *out += "  \"";
+  *out += name;
+  *out += "\": {\n    \"metrics\": ";
+  *out += run.metrics.ToJson();
+  std::snprintf(buf, sizeof(buf),
+                ",\n    \"wall_seconds\": %.6f,\n"
+                "    \"updates_per_second\": %.1f,\n"
+                "    \"snapshot_reads\": %llu\n  }%s\n",
+                run.wall_seconds, run.updates_per_second,
+                static_cast<unsigned long long>(run.snapshot_reads),
+                trailing_comma ? "," : "");
+  *out += buf;
+}
+
+int Main() {
+  const std::size_t n = static_cast<std::size_t>(
+      GetEnvInt("SOBC_SERVE_VERTICES", 512));
+  const std::size_t updates = static_cast<std::size_t>(
+      GetEnvInt("SOBC_SERVE_UPDATES", 4000));
+  const std::size_t pool = static_cast<std::size_t>(
+      GetEnvInt("SOBC_SERVE_POOL", 16));
+  const int readers = static_cast<int>(GetEnvInt("SOBC_SERVE_READERS", 2));
+  const std::string out_path =
+      GetEnvString("SOBC_SERVE_OUT", "BENCH_serve.json");
+
+  Rng rng(1234);
+  const Graph graph =
+      GenerateSocialGraph(n, SocialGraphParams::PaperDefaults(), &rng);
+  // Same-pool churn: the stream the coalescer is built for.
+  const EdgeStream stream = ChurnStream(graph, updates, pool, &rng);
+  if (stream.size() != updates) {
+    std::fprintf(stderr, "stream generation came up short (%zu/%zu)\n",
+                 stream.size(), updates);
+    return 1;
+  }
+  std::printf("serve bench: %zu vertices, %zu edges, %zu churn updates over "
+              "a %zu-edge pool, %d readers\n",
+              graph.NumVertices(), graph.NumEdges(), stream.size(), pool,
+              readers);
+
+  const RunResult with = RunServe(graph, stream, /*coalesce=*/true, readers);
+  const RunResult without =
+      RunServe(graph, stream, /*coalesce=*/false, readers);
+
+  const double reduction =
+      without.metrics.applied > 0
+          ? 1.0 - static_cast<double>(with.metrics.applied) /
+                      static_cast<double>(without.metrics.applied)
+          : 0.0;
+  std::printf("coalesce on:  applied %llu/%llu, p50 %.3fms p99 %.3fms, "
+              "%.0f updates/s\n",
+              static_cast<unsigned long long>(with.metrics.applied),
+              static_cast<unsigned long long>(with.metrics.received),
+              1e3 * with.metrics.p50_update_latency_seconds,
+              1e3 * with.metrics.p99_update_latency_seconds,
+              with.updates_per_second);
+  std::printf("coalesce off: applied %llu/%llu, p50 %.3fms p99 %.3fms, "
+              "%.0f updates/s\n",
+              static_cast<unsigned long long>(without.metrics.applied),
+              static_cast<unsigned long long>(without.metrics.received),
+              1e3 * without.metrics.p50_update_latency_seconds,
+              1e3 * without.metrics.p99_update_latency_seconds,
+              without.updates_per_second);
+  std::printf("applied-updates reduction from coalescing: %.1f%%\n",
+              100.0 * reduction);
+
+  std::string json = "{\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"bench\": \"serve\",\n  \"vertices\": %zu,\n"
+                "  \"edges\": %zu,\n  \"updates\": %zu,\n"
+                "  \"churn_pool\": %zu,\n  \"readers\": %d,\n",
+                graph.NumVertices(), graph.NumEdges(), stream.size(), pool,
+                readers);
+  json += buf;
+  AppendRun(&json, "coalesce_on", with, /*trailing_comma=*/true);
+  AppendRun(&json, "coalesce_off", without, /*trailing_comma=*/true);
+  std::snprintf(buf, sizeof(buf), "  \"applied_reduction\": %.4f\n}\n",
+                reduction);
+  json += buf;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sobc
+
+int main() { return sobc::Main(); }

@@ -120,6 +120,12 @@ Status DynamicBc::ApplyAll(const EdgeStream& stream) {
   return Status::OK();
 }
 
+Status DynamicBc::ApplyBatch(std::span<const EdgeUpdate> batch) {
+  last_stats_ = UpdateStats{};
+  return engine_.ApplyUpdateBatch(&graph_, batch, store_.get(), &scores_,
+                                  &last_stats_);
+}
+
 double DynamicBc::EdgeScore(VertexId u, VertexId v) const {
   const auto it = scores_.ebc.find(graph_.MakeKey(u, v));
   return it == scores_.ebc.end() ? 0.0 : it->second;

@@ -2,6 +2,7 @@
 #define SOBC_BC_DYNAMIC_BC_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,13 @@ class DynamicBc {
 
   /// Applies a whole stream in order.
   Status ApplyAll(const EdgeStream& stream);
+
+  /// Applies one (typically coalesced) batch in a single call — the unit
+  /// the serving layer's writer thread drains from its update queue.
+  /// Score-equivalent to calling Apply per element, but store growth,
+  /// score resizing, and engine scratch sizing are paid once per batch.
+  /// last_update_stats() afterwards covers the whole batch.
+  Status ApplyBatch(std::span<const EdgeUpdate> batch);
 
   const Graph& graph() const { return graph_; }
   const std::vector<double>& vbc() const { return scores_.vbc; }

@@ -92,6 +92,12 @@ class EdgeScoreMap {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Allocated slot count (power of two) — exposed so the churn tests can
+  /// assert the tombstone cleanup keeps the table sized by live entries,
+  /// not by cumulative erases.
+  std::size_t capacity() const { return entries_.size(); }
+  std::size_t tombstone_count() const { return tombstones_; }
+
   /// Empties the table but keeps its allocation and capacity: the parallel
   /// mappers clear their delta maps every update, and refilling must not
   /// re-pay the 16 -> 2^k growth cascade each time.
@@ -156,6 +162,21 @@ class EdgeScoreMap {
     entries_[i].first = kTombstoneKey;
     --size_;
     ++tombstones_;
+    // Tombstone cleanup: insert-triggered growth never fires on a
+    // removal-dominated stretch (the serve churn workload erases ever-new
+    // keys), so probe chains would degrade unboundedly — linear probing
+    // never stops at a tombstone. Rebuild at ~4x the live count when
+    // either (a) tombstones claim a quarter of the table (probe-length
+    // bound) or (b) they outnumber live entries (the table has mostly
+    // emptied and should shrink; the +16 slack keeps tiny maps from
+    // rebuilding on every erase). Both clear every tombstone. Iterators
+    // and entry pointers are invalidated, as for any rehash.
+    if (entries_.size() > 16 && (4 * tombstones_ > entries_.size() ||
+                                 tombstones_ > size_ + 16)) {
+      std::size_t want = 16;
+      while (want < 4 * (size_ + 1)) want <<= 1;
+      Rehash(want);
+    }
     return 1;
   }
 

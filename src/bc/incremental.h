@@ -2,6 +2,7 @@
 #define SOBC_BC_INCREMENTAL_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -77,6 +78,19 @@ class IncrementalEngine {
   Status ApplyUpdateRange(const Graph& graph, const EdgeUpdate& update,
                           VertexId begin, VertexId end, BdStore* store,
                           BcScores* scores, UpdateStats* stats);
+
+  /// Batched entry point for the serving path: applies every element of
+  /// `batch` in order, mutating `graph` itself (additions grow the vertex
+  /// set implicitly). Equivalent to interleaving ApplyToGraph with
+  /// ApplyUpdate per element, but the store growth, score resizing, and
+  /// scratch sizing are hoisted out of the loop and paid once per batch —
+  /// sized by the batch-wide maximum endpoint — so a coalesced batch
+  /// amortizes its fixed costs across all updates. The stale entry of each
+  /// net-removed edge is erased from `scores->ebc` at batch end (an edge
+  /// removed and re-added mid-batch keeps its live score).
+  Status ApplyUpdateBatch(Graph* graph, std::span<const EdgeUpdate> batch,
+                          BdStore* store, BcScores* scores,
+                          UpdateStats* stats);
 
   /// Processes a single source (Algorithm 1's loop body).
   Status ApplyUpdateForSource(const Graph& graph, const EdgeUpdate& update,

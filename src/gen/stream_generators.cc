@@ -80,4 +80,33 @@ EdgeStream MixedUpdateStream(const Graph& graph, std::size_t count,
   return stream;
 }
 
+EdgeStream ChurnStream(const Graph& graph, std::size_t count,
+                       std::size_t pool_size, Rng* rng) {
+  EdgeStream stream;
+  const std::size_t n = graph.NumVertices();
+  if (n < 2 || pool_size == 0) return stream;
+  // Pool of distinct non-edges; each starts absent and toggles thereafter.
+  std::vector<EdgeKey> pool;
+  std::unordered_set<EdgeKey, EdgeKeyHash> chosen;
+  std::size_t guard = 0;
+  while (pool.size() < pool_size && guard < 200 * pool_size + 1000) {
+    ++guard;
+    const auto u = static_cast<VertexId>(rng->Uniform(n));
+    const auto v = static_cast<VertexId>(rng->Uniform(n));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    if (!chosen.insert(graph.MakeKey(u, v)).second) continue;
+    pool.push_back(graph.MakeKey(u, v));
+  }
+  if (pool.empty()) return stream;
+  std::vector<bool> present(pool.size(), false);
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = rng->Uniform(pool.size());
+    const EdgeOp op = present[j] ? EdgeOp::kRemove : EdgeOp::kAdd;
+    present[j] = !present[j];
+    stream.push_back({pool[j].u, pool[j].v, op, 0.0});
+  }
+  return stream;
+}
+
 }  // namespace sobc

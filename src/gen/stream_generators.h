@@ -39,6 +39,14 @@ void StampArrivalTimes(EdgeStream* stream, const ArrivalProcess& process,
 EdgeStream MixedUpdateStream(const Graph& graph, std::size_t count,
                              double remove_fraction, Rng* rng);
 
+/// A churn-heavy stream for the serving workload: updates toggle a small
+/// pool of `pool_size` random non-edges add/remove/add/..., so nearby
+/// elements frequently revisit the same edge — exactly the insert/delete
+/// churn the update queue's batch coalescing collapses and the
+/// EdgeScoreMap's tombstone cleanup absorbs. Always applicable in order.
+EdgeStream ChurnStream(const Graph& graph, std::size_t count,
+                       std::size_t pool_size, Rng* rng);
+
 }  // namespace sobc
 
 #endif  // SOBC_GEN_STREAM_GENERATORS_H_

@@ -2,6 +2,11 @@
 
 namespace sobc {
 
+Status ApplyToGraph(Graph* graph, const EdgeUpdate& update) {
+  if (update.op == EdgeOp::kAdd) return graph->AddEdge(update.u, update.v);
+  return graph->RemoveEdge(update.u, update.v);
+}
+
 std::vector<double> InterArrivalTimes(const EdgeStream& stream) {
   std::vector<double> gaps;
   if (stream.size() < 2) return gaps;

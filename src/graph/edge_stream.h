@@ -27,6 +27,12 @@ struct EdgeUpdate {
 /// An ordered update stream.
 using EdgeStream = std::vector<EdgeUpdate>;
 
+/// Applies one stream element to the graph: AddEdge for kAdd, RemoveEdge
+/// for kRemove. The single place the op-to-mutation dispatch lives, so
+/// every consumer (sequential framework, batched serving path, replay
+/// tools) mutates the graph the same way.
+Status ApplyToGraph(Graph* graph, const EdgeUpdate& update);
+
 /// Inter-arrival times of consecutive stream elements, in seconds.
 /// The first element has no predecessor and is skipped, so the result has
 /// size stream.size() - 1 (or 0 for streams shorter than 2).

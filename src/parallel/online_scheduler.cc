@@ -6,34 +6,47 @@
 
 namespace sobc {
 
-OnlineReplayResult SimulateQueue(const std::vector<double>& arrivals,
-                                 const std::vector<double>& processing) {
-  OnlineReplayResult result;
-  result.total_updates = arrivals.size();
-  result.update_seconds = processing;
-  double finish_prev = arrivals.empty() ? 0.0 : arrivals.front();
-  double total_delay = 0.0;
-  for (std::size_t i = 0; i < arrivals.size(); ++i) {
-    const double start = std::max(arrivals[i], finish_prev);
-    const double finish = start + processing[i];
-    finish_prev = finish;
-    if (i + 1 < arrivals.size()) {
-      ++result.deadline_updates;
-      const double deadline = arrivals[i + 1];
-      result.inter_arrival_seconds.push_back(deadline - arrivals[i]);
-      if (finish > deadline) {
-        ++result.missed;
-        total_delay += finish - deadline;
-      }
+void DeadlineAccounting::Record(double arrival, double finish) {
+  ++acc_.total_updates;
+  if (has_pending_) {
+    // The previous update's deadline is this arrival (tU < tI rule).
+    ++acc_.deadline_updates;
+    acc_.inter_arrival_seconds.push_back(arrival - pending_arrival_);
+    if (pending_finish_ > arrival) {
+      ++acc_.missed;
+      total_delay_ += pending_finish_ - arrival;
     }
   }
+  has_pending_ = true;
+  pending_arrival_ = arrival;
+  pending_finish_ = finish;
+}
+
+OnlineReplayResult DeadlineAccounting::Result() const {
+  OnlineReplayResult result = acc_;
   if (result.deadline_updates > 0) {
     result.missed_fraction = static_cast<double>(result.missed) /
                              static_cast<double>(result.deadline_updates);
   }
   if (result.missed > 0) {
-    result.avg_delay_seconds = total_delay / static_cast<double>(result.missed);
+    result.avg_delay_seconds =
+        total_delay_ / static_cast<double>(result.missed);
   }
+  return result;
+}
+
+OnlineReplayResult SimulateQueue(const std::vector<double>& arrivals,
+                                 const std::vector<double>& processing) {
+  DeadlineAccounting accounting;
+  double finish_prev = arrivals.empty() ? 0.0 : arrivals.front();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const double start = std::max(arrivals[i], finish_prev);
+    const double finish = start + processing[i];
+    finish_prev = finish;
+    accounting.Record(arrivals[i], finish);
+  }
+  OnlineReplayResult result = accounting.Result();
+  result.update_seconds = processing;
   return result;
 }
 

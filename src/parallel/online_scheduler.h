@@ -27,6 +27,29 @@ struct OnlineReplayResult {
   std::vector<double> inter_arrival_seconds;
 };
 
+/// Incremental form of the miss/delay accounting shared by SimulateQueue
+/// and the live serving drain (src/server): feed each update's arrival and
+/// completion time in arrival order. An update's deadline is the *next*
+/// update's arrival, so update i is settled when Record(i+1) supplies it;
+/// the last update has no deadline and is never counted missed.
+class DeadlineAccounting {
+ public:
+  /// Records one update. `arrival` values must be non-decreasing across
+  /// calls; `finish` is when its betweenness refresh completed.
+  void Record(double arrival, double finish);
+
+  /// Accounting over everything recorded so far (update_seconds is left
+  /// empty — processing times belong to the caller's clock model).
+  OnlineReplayResult Result() const;
+
+ private:
+  bool has_pending_ = false;
+  double pending_arrival_ = 0.0;
+  double pending_finish_ = 0.0;
+  double total_delay_ = 0.0;
+  OnlineReplayResult acc_;
+};
+
 /// Replays `stream` through `bc`, timing each update and queueing work like
 /// the deployed system would: an update cannot start before the previous
 /// one finished. Stream timestamps must be non-decreasing.

@@ -1,0 +1,122 @@
+#include "server/bc_service.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace sobc {
+
+BcService::BcService(std::unique_ptr<DynamicBc> bc,
+                     const BcServiceOptions& options)
+    : options_(options), bc_(std::move(bc)), queue_(options.queue) {}
+
+Result<std::unique_ptr<BcService>> BcService::Create(
+    Graph graph, const BcServiceOptions& options) {
+  BcServiceOptions resolved = options;
+  resolved.queue.directed = graph.directed();
+  auto bc = DynamicBc::Create(std::move(graph), resolved.bc);
+  if (!bc.ok()) return bc.status();
+  auto service = std::unique_ptr<BcService>(
+      new BcService(std::move(*bc), resolved));
+  // Epoch 0: the Step-1 scores are queryable before any update arrives,
+  // and before the writer exists — no publication ever races with it.
+  service->snapshots_.Publish(BuildSnapshot(
+      service->bc_->graph(), service->bc_->scores(), /*epoch=*/0,
+      /*stream_position=*/0, resolved.top_k, resolved.snapshot_edge_scores));
+  service->writer_ = std::thread([raw = service.get()] { raw->WriterLoop(); });
+  return service;
+}
+
+BcService::~BcService() { (void)Stop(); }
+
+bool BcService::Submit(const EdgeUpdate& update) {
+  return queue_.Push(update);
+}
+
+ServeMetricsSnapshot BcService::metrics() const {
+  ServeMetricsSnapshot snap = metrics_.Read();
+  const UpdateQueueStats queue_stats = queue_.stats();
+  snap.received = queue_stats.received;
+  snap.dropped = queue_stats.dropped;
+  snap.epoch_lag = snap.received > snap.published_stream_position
+                       ? snap.received - snap.published_stream_position
+                       : 0;
+  return snap;
+}
+
+std::size_t BcService::SubmitAll(const EdgeStream& stream) {
+  std::size_t accepted = 0;
+  for (const EdgeUpdate& update : stream) {
+    if (Submit(update)) ++accepted;
+  }
+  return accepted;
+}
+
+void BcService::WriterLoop() {
+  std::uint64_t position = 0;
+  std::uint64_t epoch = 0;
+  DrainedBatch batch;
+  while (queue_.PopBatch(&batch)) {
+    WallTimer apply_timer;
+    Status st = batch.updates.empty()
+                    ? Status::OK()
+                    : bc_->ApplyBatch(batch.updates);
+    const double apply_seconds = apply_timer.Seconds();
+    if (!st.ok()) {
+      // Terminal: publishables stop here. Close the queue so blocked
+      // producers unblock, record the failure, and let Drain/Stop report.
+      queue_.Close();
+      std::lock_guard<std::mutex> lock(mu_);
+      writer_status_ = st;
+      writer_done_ = true;
+      publish_cv_.notify_all();
+      return;
+    }
+    position += batch.consumed;
+    ++epoch;
+    snapshots_.Publish(BuildSnapshot(bc_->graph(), bc_->scores(), epoch,
+                                     position, options_.top_k,
+                                     options_.snapshot_edge_scores));
+    // Latency is submit-to-publish: the moment a consumed update's effect
+    // (possibly "no effect", for coalesced churn) became readable.
+    const double now = SteadyNowSeconds();
+    for (double& t : batch.enqueue_seconds) t = now - t;
+    metrics_.RecordBatch(batch.updates.size(),
+                         batch.consumed - batch.updates.size(), apply_seconds,
+                         batch.enqueue_seconds, epoch, position);
+    {
+      // The store must happen under mu_ so a Drain caller between its
+      // predicate check and its sleep cannot miss this publication.
+      std::lock_guard<std::mutex> lock(mu_);
+      published_position_.store(position, std::memory_order_release);
+    }
+    publish_cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_done_ = true;
+  publish_cv_.notify_all();
+}
+
+Status BcService::Drain() {
+  const std::uint64_t target = queue_.stats().received;
+  std::unique_lock<std::mutex> lock(mu_);
+  publish_cv_.wait(lock, [&] {
+    return writer_done_ || !writer_status_.ok() ||
+           published_position_.load(std::memory_order_acquire) >= target;
+  });
+  if (!writer_status_.ok()) return writer_status_;
+  if (published_position_.load(std::memory_order_acquire) < target) {
+    return Status::FailedPrecondition(
+        "writer exited before draining every accepted update");
+  }
+  return Status::OK();
+}
+
+Status BcService::Stop() {
+  queue_.Close();
+  if (writer_.joinable()) writer_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_status_;
+}
+
+}  // namespace sobc

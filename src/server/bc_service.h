@@ -1,0 +1,113 @@
+#ifndef SOBC_SERVER_BC_SERVICE_H_
+#define SOBC_SERVER_BC_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "bc/dynamic_bc.h"
+#include "common/status.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+#include "server/score_snapshot.h"
+#include "server/serve_metrics.h"
+#include "server/update_queue.h"
+
+namespace sobc {
+
+struct BcServiceOptions {
+  /// Storage variant and traversal options of the underlying framework.
+  DynamicBcOptions bc;
+  /// Queue depth, batch size, latency budget, coalescing, drop policy.
+  /// `directed` is overwritten from the graph.
+  UpdateQueueOptions queue;
+  /// Leaderboard length precomputed into every snapshot.
+  std::size_t top_k = 16;
+  /// Copy the full edge-betweenness map into each snapshot (EdgeScore
+  /// queries at any key). Disable to publish scores + leaderboards only,
+  /// which trims per-publish copying on edge-dense graphs.
+  bool snapshot_edge_scores = true;
+};
+
+/// The concurrent serving layer over the online framework (DESIGN.md §8):
+/// one writer thread owns the graph, the BD store, and the incremental
+/// engine, draining coalesced batches from a bounded update queue; readers
+/// on any thread query immutable epoch-stamped snapshots and never block
+/// on a running refresh.
+///
+///   auto service = BcService::Create(std::move(graph), {});
+///   service->Submit({u, v, EdgeOp::kAdd, now});        // any thread
+///   auto snap = service->snapshot();                   // any thread
+///   for (auto& [vertex, score] : snap->top_vertices) ...
+///
+/// Lifecycle: Create runs Step 1 (Brandes) synchronously and publishes the
+/// epoch-0 snapshot before the writer starts. Stop() (or destruction)
+/// closes the queue, drains what was accepted, and joins the writer. After
+/// a writer error the service stops accepting updates and Drain/Stop
+/// return the failure.
+class BcService {
+ public:
+  static Result<std::unique_ptr<BcService>> Create(
+      Graph graph, const BcServiceOptions& options);
+  ~BcService();
+
+  BcService(const BcService&) = delete;
+  BcService& operator=(const BcService&) = delete;
+
+  /// Enqueues one update (any thread). Blocks under backpressure unless
+  /// the queue drops; returns false when dropped or the service stopped.
+  bool Submit(const EdgeUpdate& update);
+
+  /// Submits a whole stream in order; returns how many were accepted.
+  std::size_t SubmitAll(const EdgeStream& stream);
+
+  /// The latest published scores. Wait-free with respect to refresh work;
+  /// the returned snapshot stays valid for as long as the caller holds it.
+  std::shared_ptr<const ScoreSnapshot> snapshot() const {
+    return snapshots_.Acquire();
+  }
+
+  /// Blocks until everything accepted so far is applied and published (or
+  /// the writer failed). Readers see a snapshot at least this fresh.
+  Status Drain();
+
+  /// Stops accepting updates, drains accepted ones, joins the writer.
+  /// Idempotent; returns the writer's terminal status.
+  Status Stop();
+
+  /// Writer-side metrics merged with the queue's push accounting.
+  ServeMetricsSnapshot metrics() const;
+
+  /// Updates accepted into the queue so far.
+  std::uint64_t submitted() const { return queue_.stats().received; }
+
+ private:
+  BcService(std::unique_ptr<DynamicBc> bc, const BcServiceOptions& options);
+
+  void WriterLoop();
+  Status WriterStatusLocked() const { return writer_status_; }
+
+  BcServiceOptions options_;
+  /// Owned by the writer thread once it starts; other threads must only
+  /// touch it again after the writer has been joined.
+  std::unique_ptr<DynamicBc> bc_;
+  UpdateQueue queue_;
+  SnapshotStore snapshots_;
+  ServeMetrics metrics_;
+
+  std::atomic<std::uint64_t> published_position_{0};
+
+  mutable std::mutex mu_;  // guards writer_status_ and Drain waits
+  std::condition_variable publish_cv_;
+  Status writer_status_;
+  bool writer_done_ = false;
+
+  std::thread writer_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_SERVER_BC_SERVICE_H_

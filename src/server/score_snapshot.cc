@@ -1,0 +1,23 @@
+#include "server/score_snapshot.h"
+
+#include "analysis/top_k.h"
+
+namespace sobc {
+
+std::shared_ptr<const ScoreSnapshot> BuildSnapshot(
+    const Graph& graph, const BcScores& scores, std::uint64_t epoch,
+    std::uint64_t stream_position, std::size_t top_k, bool with_edge_scores) {
+  auto snapshot = std::make_shared<ScoreSnapshot>();
+  snapshot->epoch = epoch;
+  snapshot->stream_position = stream_position;
+  snapshot->directed = graph.directed();
+  snapshot->num_vertices = graph.NumVertices();
+  snapshot->num_edges = graph.NumEdges();
+  snapshot->vbc = scores.vbc;
+  if (with_edge_scores) snapshot->ebc = scores.ebc;
+  snapshot->top_vertices = TopKVertices(scores.vbc, top_k);
+  snapshot->top_edges = TopKEdges(scores.ebc, top_k);
+  return snapshot;
+}
+
+}  // namespace sobc

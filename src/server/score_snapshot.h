@@ -1,0 +1,124 @@
+#ifndef SOBC_SERVER_SCORE_SNAPSHOT_H_
+#define SOBC_SERVER_SCORE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// An immutable, epoch-stamped publication of the framework's scores — the
+/// unit the serving layer hands to readers (DESIGN.md §8). The writer
+/// thread builds one after each applied batch; once published it is never
+/// mutated, so any number of reader threads may hold and query it without
+/// synchronization while later epochs supersede it.
+///
+/// Top-k leaderboards are precomputed at publish time: the dominant online
+/// query (the paper's "emerging leaders" application) costs a pointer load
+/// plus an array read, never a scan, and never blocks on a running update.
+struct ScoreSnapshot {
+  /// Publication sequence number. 0 is the Step-1 (Brandes) snapshot.
+  std::uint64_t epoch = 0;
+  /// Input stream elements consumed when this snapshot was published,
+  /// *including* updates the queue coalesced away — the graph state equals
+  /// base graph + the first `stream_position` stream elements.
+  std::uint64_t stream_position = 0;
+
+  bool directed = false;
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+
+  /// Vertex betweenness, indexed by vertex id.
+  std::vector<double> vbc;
+  /// Edge betweenness; empty when the service publishes leaderboards only
+  /// (BcServiceOptions::snapshot_edge_scores == false).
+  EbcMap ebc;
+
+  /// Leaderboards precomputed at publish time, descending by score.
+  std::vector<std::pair<VertexId, double>> top_vertices;
+  std::vector<std::pair<EdgeKey, double>> top_edges;
+
+  double VertexScore(VertexId v) const {
+    return v < vbc.size() ? vbc[v] : 0.0;
+  }
+  /// Edge betweenness of (u, v); zero when absent or not captured.
+  double EdgeScore(VertexId u, VertexId v) const {
+    const auto it = ebc.find(MakeEdgeKey(directed, u, v));
+    return it == ebc.end() ? 0.0 : it->second;
+  }
+};
+
+/// Publication point between the writer thread and reader threads: an
+/// atomic shared_ptr swap. Readers acquire the current snapshot without
+/// ever blocking on refresh work — the only shared state they touch is the
+/// head pointer, held exactly as long as the load takes. Acquire/release
+/// ordering makes every field of the published snapshot visible to the
+/// acquiring thread.
+///
+/// Under -fsanitize=thread the swap runs through a mutex instead:
+/// libstdc++'s std::atomic<shared_ptr> guards its control block with a
+/// lock bit TSAN cannot see through (a known instrumentation gap — its
+/// plain-field accesses behind the bit are reported as races even in
+/// trivially correct programs), so the sanitizer build substitutes
+/// synchronization TSAN can verify. The contract is identical; only the
+/// instrumented build pays the mutex.
+#if defined(__SANITIZE_THREAD__)
+#define SOBC_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)  // Clang spells it this way
+#define SOBC_TSAN_BUILD 1
+#endif
+#endif
+class SnapshotStore {
+ public:
+#if defined(SOBC_TSAN_BUILD)
+  SnapshotStore() : head_(std::make_shared<const ScoreSnapshot>()) {}
+
+  std::shared_ptr<const ScoreSnapshot> Acquire() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return head_;
+  }
+
+  void Publish(std::shared_ptr<const ScoreSnapshot> snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    head_ = std::move(snapshot);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ScoreSnapshot> head_;
+#else
+  SnapshotStore() : head_(std::make_shared<const ScoreSnapshot>()) {}
+
+  /// Current snapshot (never null; epoch 0 before the first publication).
+  std::shared_ptr<const ScoreSnapshot> Acquire() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes `snapshot` as the new head. Single writer; epochs must be
+  /// monotonically increasing.
+  void Publish(std::shared_ptr<const ScoreSnapshot> snapshot) {
+    head_.store(std::move(snapshot), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ScoreSnapshot>> head_;
+#endif
+};
+
+/// Builds a publication from the current scores: copies the score columns
+/// and precomputes the top-k leaderboards. `with_edge_scores=false` skips
+/// the edge map copy (leaderboards still cover edges).
+std::shared_ptr<const ScoreSnapshot> BuildSnapshot(
+    const Graph& graph, const BcScores& scores, std::uint64_t epoch,
+    std::uint64_t stream_position, std::size_t top_k, bool with_edge_scores);
+
+}  // namespace sobc
+
+#endif  // SOBC_SERVER_SCORE_SNAPSHOT_H_

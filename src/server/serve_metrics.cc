@@ -1,0 +1,108 @@
+#include "server/serve_metrics.h"
+
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace sobc {
+
+namespace {
+
+void AppendField(std::string* out, const char* name, double value,
+                 bool trailing_comma = true) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.9g%s", name, value,
+                trailing_comma ? ", " : "");
+  *out += buf;
+}
+
+void AppendField(std::string* out, const char* name, std::uint64_t value,
+                 bool trailing_comma = true) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu%s", name,
+                static_cast<unsigned long long>(value),
+                trailing_comma ? ", " : "");
+  *out += buf;
+}
+
+}  // namespace
+
+void ServeMetrics::PushSample(std::vector<double>* ring, std::size_t* next,
+                              double value) {
+  if (ring->size() < kMaxSamples) {
+    ring->push_back(value);
+  } else {
+    (*ring)[*next] = value;
+    *next = (*next + 1) % kMaxSamples;
+  }
+}
+
+void ServeMetrics::RecordBatch(std::size_t applied, std::size_t coalesced,
+                               double apply_seconds,
+                               std::span<const double> update_latencies,
+                               std::uint64_t publish_epoch,
+                               std::uint64_t stream_position) {
+  applied_.fetch_add(applied, std::memory_order_relaxed);
+  coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  publish_epoch_.store(publish_epoch, std::memory_order_relaxed);
+  published_stream_position_.store(stream_position,
+                                   std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sample_mu_);
+  for (double latency : update_latencies) {
+    PushSample(&latency_samples_, &latency_next_, latency);
+  }
+  PushSample(&batch_samples_, &batch_next_, apply_seconds);
+}
+
+ServeMetricsSnapshot ServeMetrics::Read() const {
+  ServeMetricsSnapshot snap;
+  snap.applied = applied_.load(std::memory_order_relaxed);
+  snap.coalesced = coalesced_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.publishes = publishes_.load(std::memory_order_relaxed);
+  snap.publish_epoch = publish_epoch_.load(std::memory_order_relaxed);
+  snap.published_stream_position =
+      published_stream_position_.load(std::memory_order_relaxed);
+  std::vector<double> latencies;
+  std::vector<double> batch_seconds;
+  {
+    std::lock_guard<std::mutex> lock(sample_mu_);
+    latencies = latency_samples_;
+    batch_seconds = batch_samples_;
+  }
+  if (!latencies.empty()) {
+    const Summary summary(std::move(latencies));
+    snap.p50_update_latency_seconds = summary.Quantile(0.5);
+    snap.p99_update_latency_seconds = summary.Quantile(0.99);
+  }
+  if (!batch_seconds.empty()) {
+    const Summary summary(std::move(batch_seconds));
+    snap.p50_batch_apply_seconds = summary.Quantile(0.5);
+    snap.p99_batch_apply_seconds = summary.Quantile(0.99);
+  }
+  return snap;
+}
+
+std::string ServeMetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  AppendField(&out, "received", received);
+  AppendField(&out, "dropped", dropped);
+  AppendField(&out, "applied", applied);
+  AppendField(&out, "coalesced", coalesced);
+  AppendField(&out, "batches", batches);
+  AppendField(&out, "publishes", publishes);
+  AppendField(&out, "publish_epoch", publish_epoch);
+  AppendField(&out, "published_stream_position", published_stream_position);
+  AppendField(&out, "epoch_lag", epoch_lag);
+  AppendField(&out, "p50_update_latency_seconds", p50_update_latency_seconds);
+  AppendField(&out, "p99_update_latency_seconds", p99_update_latency_seconds);
+  AppendField(&out, "p50_batch_apply_seconds", p50_batch_apply_seconds);
+  AppendField(&out, "p99_batch_apply_seconds", p99_batch_apply_seconds,
+              /*trailing_comma=*/false);
+  out += "}";
+  return out;
+}
+
+}  // namespace sobc

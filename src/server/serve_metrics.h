@@ -1,0 +1,83 @@
+#ifndef SOBC_SERVER_SERVE_METRICS_H_
+#define SOBC_SERVER_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sobc {
+
+/// One coherent reading of the serving counters. Counters are monotonic;
+/// quantiles cover the retained latency samples. The writer-side fields
+/// come from ServeMetrics::Read; received/dropped/epoch_lag are filled by
+/// BcService::metrics() from the queue's own stats (the single source of
+/// truth for push accounting).
+struct ServeMetricsSnapshot {
+  std::uint64_t received = 0;   // accepted into the queue
+  std::uint64_t dropped = 0;    // rejected by backpressure
+  std::uint64_t applied = 0;    // reached the engine, post-coalescing
+  std::uint64_t coalesced = 0;  // collapsed away before the engine
+  std::uint64_t batches = 0;
+  std::uint64_t publishes = 0;
+
+  /// Latest published epoch and its stream position; the queue lag
+  /// `received - published_stream_position` is how far reads trail writes.
+  std::uint64_t publish_epoch = 0;
+  std::uint64_t published_stream_position = 0;
+  std::uint64_t epoch_lag = 0;
+
+  /// Submit-to-publish latency per consumed update (coalesced ones
+  /// included — their effect was published even if they never ran).
+  double p50_update_latency_seconds = 0.0;
+  double p99_update_latency_seconds = 0.0;
+  /// Engine time per applied batch.
+  double p50_batch_apply_seconds = 0.0;
+  double p99_batch_apply_seconds = 0.0;
+
+  /// The snapshot as one JSON object (the BENCH_serve.json building block).
+  std::string ToJson() const;
+};
+
+/// Thread-safe observability for the writer side of the serving layer:
+/// one entry per applied batch (push-side accounting lives in
+/// UpdateQueueStats). Counter reads are lock-free; the latency reservoirs
+/// keep the most recent samples (bounded ring) under a mutex the writer
+/// touches once per batch.
+class ServeMetrics {
+ public:
+  static constexpr std::size_t kMaxSamples = 1 << 14;
+
+  /// One applied-and-published batch: `applied` post-coalescing updates,
+  /// `coalesced` collapsed away, engine time, per-consumed-update
+  /// submit-to-publish latencies, and the publication it produced.
+  void RecordBatch(std::size_t applied, std::size_t coalesced,
+                   double apply_seconds,
+                   std::span<const double> update_latencies,
+                   std::uint64_t publish_epoch, std::uint64_t stream_position);
+
+  ServeMetricsSnapshot Read() const;
+
+ private:
+  static void PushSample(std::vector<double>* ring, std::size_t* next,
+                         double value);
+
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> publish_epoch_{0};
+  std::atomic<std::uint64_t> published_stream_position_{0};
+
+  mutable std::mutex sample_mu_;
+  std::vector<double> latency_samples_;
+  std::size_t latency_next_ = 0;
+  std::vector<double> batch_samples_;
+  std::size_t batch_next_ = 0;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_SERVER_SERVE_METRICS_H_

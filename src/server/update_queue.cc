@@ -1,0 +1,138 @@
+#include "server/update_queue.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace sobc {
+
+UpdateQueue::UpdateQueue(const UpdateQueueOptions& options)
+    : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+bool UpdateQueue::Push(const EdgeUpdate& update) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.drop_when_full) {
+    if (closed_ || items_.size() >= options_.capacity) {
+      ++stats_.dropped;
+      return false;
+    }
+  } else {
+    not_full_.wait(lock, [&] {
+      return closed_ || items_.size() < options_.capacity;
+    });
+    if (closed_) {
+      ++stats_.dropped;
+      return false;
+    }
+  }
+  items_.push_back(Item{update, SteadyNowSeconds()});
+  ++stats_.received;
+  stats_.max_depth = std::max(stats_.max_depth,
+                              static_cast<std::uint64_t>(items_.size()));
+  not_empty_.notify_one();
+  return true;
+}
+
+bool UpdateQueue::PopBatch(DrainedBatch* out) {
+  out->updates.clear();
+  out->enqueue_seconds.clear();
+  out->consumed = 0;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+
+  if (options_.batch_latency_budget_seconds > 0.0 &&
+      items_.size() < options_.max_batch && !closed_) {
+    // Trade a bounded slice of latency for a fuller (more coalescible)
+    // batch. Wakeups re-check; we leave early once the batch is full.
+    const auto budget = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+        options_.batch_latency_budget_seconds));
+    not_empty_.wait_for(lock, budget, [&] {
+      return closed_ || items_.size() >= options_.max_batch;
+    });
+  }
+
+  const std::size_t take = std::min(items_.size(), options_.max_batch);
+  out->updates.reserve(take);
+  out->enqueue_seconds.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out->updates.push_back(items_.front().update);
+    out->enqueue_seconds.push_back(items_.front().enqueue_seconds);
+    items_.pop_front();
+  }
+  out->consumed = take;
+  ++stats_.batches;
+  not_full_.notify_all();
+
+  std::size_t removed = 0;
+  if (options_.coalesce) {
+    removed = CoalesceUpdates(options_.directed, &out->updates);
+  }
+  stats_.coalesced += removed;
+  stats_.drained += out->updates.size();
+  return true;
+}
+
+void UpdateQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool UpdateQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t UpdateQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+UpdateQueueStats UpdateQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t CoalesceUpdates(bool directed, std::vector<EdgeUpdate>* batch) {
+  if (batch->size() < 2) return 0;
+  struct Span {
+    std::size_t first = 0;
+    std::size_t last = 0;
+  };
+  std::unordered_map<EdgeKey, Span, EdgeKeyHash> spans;
+  spans.reserve(batch->size());
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    const EdgeUpdate& e = (*batch)[i];
+    const EdgeKey key = MakeEdgeKey(directed, e.u, e.v);
+    auto [it, inserted] = spans.try_emplace(key, Span{i, i});
+    if (!inserted) it->second.last = i;
+  }
+  std::vector<EdgeUpdate> survivors;
+  survivors.reserve(batch->size());
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    const EdgeUpdate& e = (*batch)[i];
+    const Span& span =
+        spans.find(MakeEdgeKey(directed, e.u, e.v))->second;
+    if (i != span.last) continue;  // superseded by a later op on this edge
+    const EdgeOp first_op = (*batch)[span.first].op;
+    // Differing first/last ops mean the edge ends in its pre-batch state
+    // (add..remove: never existed; remove..add: still exists with exactly
+    // its old paths) — the whole chain is a no-op.
+    if (span.first != span.last && first_op != e.op) continue;
+    survivors.push_back(e);
+  }
+  const std::size_t removed = batch->size() - survivors.size();
+  *batch = std::move(survivors);
+  return removed;
+}
+
+}  // namespace sobc

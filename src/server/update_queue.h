@@ -1,0 +1,128 @@
+#ifndef SOBC_SERVER_UPDATE_QUEUE_H_
+#define SOBC_SERVER_UPDATE_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "graph/edge_stream.h"
+
+namespace sobc {
+
+/// Seconds on the steady clock, the time base shared by the queue's
+/// enqueue stamps and the writer's drain/publish stamps.
+inline double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct UpdateQueueOptions {
+  /// Bounded depth; the backpressure point of the serving layer.
+  std::size_t capacity = 4096;
+  /// Maximum updates handed to the consumer per PopBatch.
+  std::size_t max_batch = 256;
+  /// After the first element of a batch is available, wait up to this long
+  /// for more arrivals before handing the batch over — the latency budget
+  /// traded for coalescing opportunity. 0 drains whatever is present.
+  double batch_latency_budget_seconds = 0.0;
+  /// Collapse same-edge churn inside each drained batch (see
+  /// CoalesceUpdates below).
+  bool coalesce = true;
+  /// Edge-key canonicalization for coalescing; must match the graph.
+  bool directed = false;
+  /// When the queue is full: false blocks producers until space frees
+  /// (default — no update is ever silently lost), true rejects the new
+  /// update and counts it dropped.
+  bool drop_when_full = false;
+};
+
+/// Monotonic counters, readable from any thread. `received` counts accepted
+/// pushes; `drained + coalesced == consumed inputs` after every batch, so
+/// `received == drained + coalesced + depth()` when producers are quiet.
+struct UpdateQueueStats {
+  std::uint64_t received = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t drained = 0;    // handed to the consumer, post-coalescing
+  std::uint64_t coalesced = 0;  // removed by coalescing
+  std::uint64_t max_depth = 0;  // high-water mark
+};
+
+/// One drained batch: the post-coalescing updates plus the accounting the
+/// metrics layer needs about the raw inputs they stand for.
+struct DrainedBatch {
+  /// Updates to apply, in arrival order of their last occurrence.
+  std::vector<EdgeUpdate> updates;
+  /// Raw input elements this batch consumed (>= updates.size()).
+  std::size_t consumed = 0;
+  /// Enqueue stamp (SteadyNowSeconds) of every consumed element, in
+  /// arrival order — latency accounting covers coalesced-away updates too.
+  std::vector<double> enqueue_seconds;
+};
+
+/// Bounded multi-producer single-consumer queue between the serving API and
+/// the writer thread (DESIGN.md §8). Producers push individual stream
+/// elements; the writer drains coalesced batches. Everything is guarded by
+/// one mutex — producers and the consumer only ever hold it for O(batch)
+/// pointer work, never while betweenness refreshes run.
+class UpdateQueue {
+ public:
+  explicit UpdateQueue(const UpdateQueueOptions& options);
+
+  /// Enqueues one update. Blocks while the queue is full (default policy)
+  /// unless drop_when_full, in which case a full queue rejects the update.
+  /// Returns false when the update was dropped or the queue is closed.
+  bool Push(const EdgeUpdate& update);
+
+  /// Blocks until at least one update is available or the queue is closed
+  /// and empty (returns false — the writer's exit signal). Drains up to
+  /// max_batch elements, waiting up to the latency budget for stragglers,
+  /// then coalesces. `out->updates` may come back empty with consumed > 0
+  /// when the whole batch collapsed to a no-op.
+  bool PopBatch(DrainedBatch* out);
+
+  /// Stops accepting pushes and wakes everyone; already-queued updates
+  /// remain drainable.
+  void Close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  UpdateQueueStats stats() const;
+
+ private:
+  struct Item {
+    EdgeUpdate update;
+    double enqueue_seconds = 0.0;
+  };
+
+  UpdateQueueOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Item> items_;
+  UpdateQueueStats stats_;
+  bool closed_ = false;
+};
+
+/// In-place batch coalescing (DESIGN.md §8). Per canonical edge key, the
+/// batch's ops form a toggle chain, so only the first and last op matter:
+///
+///   first == kAdd,    last == kRemove  -> edge absent before and after:
+///                                         every op dropped
+///   first == kRemove, last == kAdd     -> edge present before and after,
+///                                         and exact scores depend only on
+///                                         the final graph: all dropped
+///   otherwise                          -> keep only the last op
+///
+/// Survivors keep their relative arrival order (ops on distinct edges are
+/// independently applicable, so the collapsed batch is always applicable).
+/// Returns the number of updates removed.
+std::size_t CoalesceUpdates(bool directed, std::vector<EdgeUpdate>* batch);
+
+}  // namespace sobc
+
+#endif  // SOBC_SERVER_UPDATE_QUEUE_H_

@@ -85,6 +85,52 @@ TEST(EdgeScoreMapTest, RemovalHeavyStreamDoesNotAccumulateTombstoneGrowth) {
   EXPECT_DOUBLE_EQ(map.at(Key(0, 1)), 42.0);
 }
 
+TEST(EdgeScoreMapTest, EraseTriggeredCleanupBoundsTombstonesAndShrinks) {
+  // Serve-style churn: a burst of inserts followed by an erase-dominated
+  // stretch with no insert to piggyback growth on. The erase-side trigger
+  // must (a) keep tombstones below the quarter-capacity ratio at all
+  // times, and (b) shrink the table back to live-size scale once the
+  // churn has emptied it — without it, capacity stays at the high-water
+  // mark and every miss probes through a tombstone field.
+  EdgeScoreMap map;
+  constexpr std::uint32_t kBurst = 4096;
+  for (std::uint32_t i = 0; i < kBurst; ++i) map[Key(i, i + 1)] = 1.0;
+  const std::size_t peak_capacity = map.capacity();
+  EXPECT_GE(peak_capacity, 2 * kBurst);
+  for (std::uint32_t i = 0; i < kBurst - 16; ++i) {
+    ASSERT_EQ(map.erase(Key(i, i + 1)), 1u);
+    ASSERT_LE(4 * map.tombstone_count(), map.capacity())
+        << "tombstone ratio exceeded after erase " << i;
+  }
+  EXPECT_EQ(map.size(), 16u);
+  EXPECT_LT(map.capacity(), peak_capacity / 8);
+  for (std::uint32_t i = kBurst - 16; i < kBurst; ++i) {
+    EXPECT_DOUBLE_EQ(map.at(Key(i, i + 1)), 1.0);
+  }
+}
+
+TEST(EdgeScoreMapTest, ChurnLoopKeepsCapacityAtLiveScale) {
+  // Interleaved insert/erase churn over a small live set, the exact shape
+  // of the serving workload after coalescing: capacity must stay at the
+  // live-set scale forever instead of ratcheting with cumulative erases.
+  Rng rng(7);
+  EdgeScoreMap map;
+  std::size_t max_capacity = 0;
+  for (int round = 0; round < 50000; ++round) {
+    const auto u = static_cast<VertexId>(rng.Uniform(1u << 20));
+    const EdgeKey key = Key(u, u + 1);
+    map[key] = static_cast<double>(round);
+    if (map.size() > 32) {
+      // Evict a pseudo-random live entry to hold the live set near 32.
+      map.erase(map.begin()->first);
+    }
+    max_capacity = std::max(max_capacity, map.capacity());
+  }
+  EXPECT_LE(map.size(), 33u);
+  EXPECT_LE(max_capacity, 512u);
+  EXPECT_LE(4 * map.tombstone_count(), map.capacity() + 4);
+}
+
 TEST(EdgeScoreMapTest, MatchesUnorderedMapUnderRandomChurn) {
   Rng rng(99);
   EdgeScoreMap map;

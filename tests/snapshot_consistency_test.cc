@@ -1,0 +1,101 @@
+// Reader-threads-vs-writer stress for the serving layer: every snapshot any
+// reader ever observes must equal a from-scratch Brandes run on the graph at
+// that snapshot's stream position. This is the whole publication contract —
+// immutability, epoch monotonicity, and coalescing-transparency — checked
+// end to end, and the test the TSAN CI job leans on for data-race coverage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bc/brandes.h"
+#include "common/rng.h"
+#include "gen/stream_generators.h"
+#include "server/bc_service.h"
+#include "tests/test_util.h"
+
+namespace sobc {
+namespace {
+
+using testutil::ExpectScoresNear;
+using testutil::RandomConnectedGraph;
+
+TEST(SnapshotConsistency, EveryObservedSnapshotMatchesBrandesAtItsEpoch) {
+  Rng rng(77);
+  const Graph base = RandomConnectedGraph(48, 30, &rng);
+  EdgeStream stream = MixedUpdateStream(base, 80, 0.35, &rng);
+  ASSERT_FALSE(stream.empty());
+
+  BcServiceOptions options;
+  options.queue.max_batch = 3;  // small batches: many publications to catch
+  auto service_or = BcService::Create(base, options);
+  ASSERT_TRUE(service_or.ok());
+  BcService& service = **service_or;
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> done{false};
+  std::vector<std::map<std::uint64_t, std::shared_ptr<const ScoreSnapshot>>>
+      observed(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = service.snapshot();
+        // Publications may only move forward under this reader's feet.
+        EXPECT_GE(snap->epoch, last_epoch);
+        last_epoch = snap->epoch;
+        observed[r].emplace(snap->stream_position, snap);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Pace the producer a little so readers catch intermediate epochs.
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(service.Submit(stream[i]));
+    if (i % 8 == 7) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  ASSERT_TRUE(service.Drain().ok());
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  // The final snapshot must be observable and complete.
+  const auto final_snap = service.snapshot();
+  EXPECT_EQ(final_snap->stream_position, stream.size());
+  observed[0].emplace(final_snap->stream_position, final_snap);
+  ASSERT_TRUE(service.Stop().ok());
+
+  // Merge every reader's observations and verify each distinct epoch
+  // against an independent from-scratch computation at that prefix.
+  std::map<std::uint64_t, std::shared_ptr<const ScoreSnapshot>> distinct;
+  for (const auto& per_reader : observed) {
+    distinct.insert(per_reader.begin(), per_reader.end());
+  }
+  ASSERT_GE(distinct.size(), 2u);  // at least epoch 0 and the final state
+
+  Graph replay = base;
+  std::size_t position = 0;
+  for (const auto& [target, snap] : distinct) {
+    ASSERT_LE(target, stream.size());
+    while (position < target) {
+      ASSERT_TRUE(ApplyToGraph(&replay, stream[position]).ok());
+      ++position;
+    }
+    EXPECT_EQ(snap->num_vertices, replay.NumVertices());
+    EXPECT_EQ(snap->num_edges, replay.NumEdges());
+    ExpectScoresNear(ComputeBrandes(replay), BcScores{snap->vbc, snap->ebc},
+                     1e-7,
+                     "snapshot at position " + std::to_string(target));
+  }
+}
+
+}  // namespace
+}  // namespace sobc

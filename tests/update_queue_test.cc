@@ -1,0 +1,208 @@
+#include "server/update_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sobc {
+namespace {
+
+EdgeUpdate Add(VertexId u, VertexId v, double t = 0.0) {
+  return {u, v, EdgeOp::kAdd, t};
+}
+EdgeUpdate Remove(VertexId u, VertexId v, double t = 0.0) {
+  return {u, v, EdgeOp::kRemove, t};
+}
+
+// --- CoalesceUpdates rules --------------------------------------------------
+
+TEST(CoalesceUpdates, AddThenRemoveCancels) {
+  std::vector<EdgeUpdate> batch = {Add(1, 2), Remove(1, 2)};
+  EXPECT_EQ(CoalesceUpdates(false, &batch), 2u);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(CoalesceUpdates, RemoveThenAddCancels) {
+  std::vector<EdgeUpdate> batch = {Remove(3, 4), Add(3, 4)};
+  EXPECT_EQ(CoalesceUpdates(false, &batch), 2u);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(CoalesceUpdates, OddChurnKeepsLastOpOnly) {
+  std::vector<EdgeUpdate> batch = {Add(1, 2, 0.1), Remove(1, 2, 0.2),
+                                   Add(1, 2, 0.3)};
+  EXPECT_EQ(CoalesceUpdates(false, &batch), 2u);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].op, EdgeOp::kAdd);
+  EXPECT_DOUBLE_EQ(batch[0].timestamp, 0.3);
+
+  batch = {Remove(5, 6), Add(5, 6), Remove(5, 6)};
+  EXPECT_EQ(CoalesceUpdates(false, &batch), 2u);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].op, EdgeOp::kRemove);
+}
+
+TEST(CoalesceUpdates, UndirectedCanonicalizesEndpointOrder) {
+  // (2,1) and (1,2) are the same undirected edge: the pair cancels.
+  std::vector<EdgeUpdate> batch = {Add(2, 1), Remove(1, 2)};
+  EXPECT_EQ(CoalesceUpdates(false, &batch), 2u);
+  EXPECT_TRUE(batch.empty());
+  // Directed graphs keep them distinct.
+  batch = {Add(2, 1), Remove(1, 2)};
+  EXPECT_EQ(CoalesceUpdates(true, &batch), 0u);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(CoalesceUpdates, IndependentEdgesKeepArrivalOrder) {
+  std::vector<EdgeUpdate> batch = {Add(1, 2), Add(3, 4), Remove(1, 2),
+                                   Add(5, 6)};
+  EXPECT_EQ(CoalesceUpdates(false, &batch), 2u);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].u, 3u);
+  EXPECT_EQ(batch[1].u, 5u);
+}
+
+TEST(CoalesceUpdates, SingletonAndEmptyAreUntouched) {
+  std::vector<EdgeUpdate> batch;
+  EXPECT_EQ(CoalesceUpdates(false, &batch), 0u);
+  batch = {Add(1, 2)};
+  EXPECT_EQ(CoalesceUpdates(false, &batch), 0u);
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+// --- UpdateQueue ------------------------------------------------------------
+
+TEST(UpdateQueue, DrainsInArrivalOrder) {
+  UpdateQueueOptions options;
+  options.coalesce = false;
+  UpdateQueue queue(options);
+  EXPECT_TRUE(queue.Push(Add(1, 2)));
+  EXPECT_TRUE(queue.Push(Add(3, 4)));
+  EXPECT_TRUE(queue.Push(Remove(1, 2)));
+  DrainedBatch batch;
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  ASSERT_EQ(batch.updates.size(), 3u);
+  EXPECT_EQ(batch.consumed, 3u);
+  EXPECT_EQ(batch.enqueue_seconds.size(), 3u);
+  EXPECT_EQ(batch.updates[0].u, 1u);
+  EXPECT_EQ(batch.updates[1].u, 3u);
+  EXPECT_EQ(batch.updates[2].op, EdgeOp::kRemove);
+}
+
+TEST(UpdateQueue, CoalescedBatchStillAccountsConsumedInputs) {
+  UpdateQueueOptions options;
+  UpdateQueue queue(options);
+  queue.Push(Add(1, 2));
+  queue.Push(Remove(1, 2));
+  DrainedBatch batch;
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  EXPECT_TRUE(batch.updates.empty());  // collapsed to a no-op...
+  EXPECT_EQ(batch.consumed, 2u);       // ...but both inputs are consumed
+  EXPECT_EQ(batch.enqueue_seconds.size(), 2u);
+  const UpdateQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.received, 2u);
+  EXPECT_EQ(stats.coalesced, 2u);
+  EXPECT_EQ(stats.drained, 0u);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(UpdateQueue, MaxBatchBoundsTheDrain) {
+  UpdateQueueOptions options;
+  options.max_batch = 2;
+  options.coalesce = false;
+  UpdateQueue queue(options);
+  for (VertexId i = 0; i < 5; ++i) queue.Push(Add(i, i + 10));
+  DrainedBatch batch;
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  EXPECT_EQ(batch.consumed, 2u);
+  EXPECT_EQ(queue.depth(), 3u);
+}
+
+TEST(UpdateQueue, DropWhenFullRejectsAndCounts) {
+  UpdateQueueOptions options;
+  options.capacity = 2;
+  options.drop_when_full = true;
+  UpdateQueue queue(options);
+  EXPECT_TRUE(queue.Push(Add(1, 2)));
+  EXPECT_TRUE(queue.Push(Add(3, 4)));
+  EXPECT_FALSE(queue.Push(Add(5, 6)));  // full
+  const UpdateQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.received, 2u);
+  EXPECT_EQ(stats.dropped, 1u);
+}
+
+TEST(UpdateQueue, BlockingPushResumesAfterDrain) {
+  UpdateQueueOptions options;
+  options.capacity = 1;
+  options.coalesce = false;
+  UpdateQueue queue(options);
+  ASSERT_TRUE(queue.Push(Add(1, 2)));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(Add(3, 4)));  // blocks until the drain below
+    second_pushed.store(true);
+  });
+  DrainedBatch batch;
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  ASSERT_TRUE(queue.PopBatch(&batch));
+  EXPECT_EQ(batch.updates[0].u, 3u);
+}
+
+TEST(UpdateQueue, CloseUnblocksProducerAndDrainsRemainder) {
+  UpdateQueueOptions options;
+  options.capacity = 1;
+  UpdateQueue queue(options);
+  ASSERT_TRUE(queue.Push(Add(1, 2)));
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.Push(Add(3, 4)));  // blocked, then rejected by Close
+  });
+  // Give the producer a moment to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  producer.join();
+  DrainedBatch batch;
+  ASSERT_TRUE(queue.PopBatch(&batch));  // queued update survives Close
+  EXPECT_EQ(batch.consumed, 1u);
+  EXPECT_FALSE(queue.PopBatch(&batch));  // closed and empty: exit signal
+}
+
+TEST(UpdateQueue, MultiProducerCountsAddUp) {
+  UpdateQueueOptions options;
+  options.capacity = 64;
+  options.max_batch = 16;
+  options.coalesce = false;
+  UpdateQueue queue(options);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Distinct edges per producer so nothing could coalesce anyway.
+        queue.Push(Add(static_cast<VertexId>(p * kPerProducer + i),
+                       static_cast<VertexId>(100000 + p)));
+      }
+    });
+  }
+  std::size_t drained = 0;
+  DrainedBatch batch;
+  std::thread consumer([&] {
+    while (queue.PopBatch(&batch)) drained += batch.consumed;
+  });
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(drained, static_cast<std::size_t>(kProducers * kPerProducer));
+  const UpdateQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.received, static_cast<std::uint64_t>(drained));
+  EXPECT_EQ(stats.drained, static_cast<std::uint64_t>(drained));
+  EXPECT_LE(stats.max_depth, 64u);
+}
+
+}  // namespace
+}  // namespace sobc

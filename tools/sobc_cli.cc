@@ -16,12 +16,23 @@
 //       Synthesize a dataset: a named profile ("facebook", "amazon", ...,
 //       see dataset_profiles.h), "social", or "tree". Optionally also emit
 //       a timestamped stream of N additions for the stream command.
+//   sobc_cli serve <graph.txt> [--directed] [--stream=file|--updates=N]
+//            [--churn=F] [--readers=R] [--batch=B] [--budget-ms=M]
+//            [--queue-cap=C] [--no-coalesce] [--top=K] [--seed=S]
+//            [--json=report.json]
+//       Live serving loop (src/server): a writer thread drains coalesced
+//       batches while R reader threads query top-k snapshots lock-free;
+//       prints (and optionally writes as JSON) the serve metrics.
 //
 // Exit code 0 on success; errors go to stderr.
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/graph_stats.h"
@@ -36,6 +47,7 @@
 #include "gen/social_generator.h"
 #include "gen/stream_generators.h"
 #include "graph/graph_io.h"
+#include "server/bc_service.h"
 
 namespace sobc {
 namespace {
@@ -47,9 +59,19 @@ struct CliArgs {
   std::string store_path;
   std::string out_path;
   std::string stream_out_path;
+  std::string stream_file;
+  std::string json_path;
   std::size_t top = 10;
   std::size_t stream_edges = 0;
   std::uint64_t seed = 1;
+  // serve options
+  std::size_t serve_updates = 10000;
+  double churn = 0.5;
+  int readers = 2;
+  std::size_t batch = 64;
+  double budget_ms = 1.0;
+  std::size_t queue_cap = 4096;
+  bool coalesce = true;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -68,9 +90,38 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       args->seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--stream=", 0) == 0) {
-      args->stream_edges = std::strtoul(arg.c_str() + 9, nullptr, 10);
+      // For generate this is a count; for serve it can also be a file.
+      // Only an all-digits value is a count, so filenames like
+      // "10k_updates.txt" route to the file branch.
+      const std::string value = arg.substr(9);
+      const bool numeric =
+          !value.empty() &&
+          std::all_of(value.begin(), value.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+          });
+      if (numeric) {
+        args->stream_edges = std::strtoul(value.c_str(), nullptr, 10);
+      } else {
+        args->stream_file = value;
+      }
     } else if (arg.rfind("--stream-out=", 0) == 0) {
       args->stream_out_path = arg.substr(13);
+    } else if (arg.rfind("--updates=", 0) == 0) {
+      args->serve_updates = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--churn=", 0) == 0) {
+      args->churn = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg.rfind("--readers=", 0) == 0) {
+      args->readers = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      args->batch = std::strtoul(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--budget-ms=", 0) == 0) {
+      args->budget_ms = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--queue-cap=", 0) == 0) {
+      args->queue_cap = std::strtoul(arg.c_str() + 12, nullptr, 10);
+    } else if (arg == "--no-coalesce") {
+      args->coalesce = false;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args->json_path = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -172,6 +223,152 @@ int CmdStream(const CliArgs& args) {
   return MaybeWrite((*bc)->scores(), args.out_path);
 }
 
+int CmdServe(const CliArgs& args) {
+  auto graph = ReadEdgeList(args.positional[0], args.directed);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  EdgeStream stream;
+  if (!args.stream_file.empty()) {
+    auto loaded = ReadEdgeStream(args.stream_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    stream = std::move(*loaded);
+  } else {
+    // Churn-heavy synthetic stream: a mixed add/remove prefix followed by
+    // a same-edge-pool churn tail (--churn fraction of the updates). The
+    // tail is generated against the post-prefix graph so every element
+    // stays applicable in order.
+    if (args.churn < 0.0 || args.churn > 1.0) {
+      std::fprintf(stderr, "--churn must be in [0, 1]\n");
+      return 1;
+    }
+    Rng rng(args.seed);
+    const std::size_t churn_count =
+        static_cast<std::size_t>(args.churn * args.serve_updates);
+    stream = MixedUpdateStream(*graph, args.serve_updates - churn_count, 0.3,
+                               &rng);
+    Graph scratch = *graph;
+    for (const EdgeUpdate& update : stream) {
+      if (!ApplyToGraph(&scratch, update).ok()) {
+        std::fprintf(stderr, "internal: generated prefix not applicable\n");
+        return 1;
+      }
+    }
+    EdgeStream churn = ChurnStream(
+        scratch, churn_count,
+        std::max<std::size_t>(8, scratch.NumVertices() / 64), &rng);
+    stream.insert(stream.end(), churn.begin(), churn.end());
+  }
+  if (stream.empty()) {
+    std::fprintf(stderr, "empty update stream\n");
+    return 1;
+  }
+
+  BcServiceOptions options;
+  options.queue.capacity = args.queue_cap;
+  options.queue.max_batch = args.batch;
+  options.queue.batch_latency_budget_seconds = args.budget_ms / 1e3;
+  options.queue.coalesce = args.coalesce;
+  options.top_k = args.top;
+  WallTimer init_timer;
+  auto service = BcService::Create(std::move(*graph), options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("step 1 done in %.3fs; serving with batch=%zu budget=%.1fms "
+              "coalesce=%s readers=%d\n",
+              init_timer.Seconds(), args.batch, args.budget_ms,
+              args.coalesce ? "on" : "off", args.readers);
+
+  // Reader threads hammer the snapshot head with top-k queries while the
+  // writer refreshes — the concurrent scenario the subsystem exists for.
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<bool> reader_ok{true};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < args.readers; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = (*service)->snapshot();
+        if (snap->epoch < last_epoch) reader_ok.store(false);
+        last_epoch = snap->epoch;
+        if (!snap->top_vertices.empty() &&
+            snap->top_vertices.front().second < 0.0) {
+          reader_ok.store(false);  // keeps the reads from optimizing away
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  WallTimer serve_timer;
+  const std::size_t accepted = (*service)->SubmitAll(stream);
+  const Status drain_status = (*service)->Drain();
+  const double serve_seconds = serve_timer.Seconds();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  if (!drain_status.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n",
+                 drain_status.ToString().c_str());
+    (void)(*service)->Stop();
+    return 1;
+  }
+  if (Status st = (*service)->Stop(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!reader_ok.load()) {
+    std::fprintf(stderr, "reader observed a non-monotonic epoch\n");
+    return 1;
+  }
+
+  const ServeMetricsSnapshot metrics = (*service)->metrics();
+  std::printf(
+      "served %zu/%zu updates in %.3fs (%.0f updates/s): applied %llu, "
+      "coalesced %llu (%.1f%%), dropped %llu, %llu publishes\n",
+      accepted, stream.size(), serve_seconds,
+      serve_seconds > 0 ? accepted / serve_seconds : 0.0,
+      static_cast<unsigned long long>(metrics.applied),
+      static_cast<unsigned long long>(metrics.coalesced),
+      metrics.received > 0 ? 100.0 * metrics.coalesced / metrics.received
+                           : 0.0,
+      static_cast<unsigned long long>(metrics.dropped),
+      static_cast<unsigned long long>(metrics.publishes));
+  std::printf(
+      "latency p50 %.3fms p99 %.3fms; batch apply p50 %.3fms p99 %.3fms; "
+      "%llu snapshot reads across %d readers\n",
+      1e3 * metrics.p50_update_latency_seconds,
+      1e3 * metrics.p99_update_latency_seconds,
+      1e3 * metrics.p50_batch_apply_seconds,
+      1e3 * metrics.p99_batch_apply_seconds,
+      static_cast<unsigned long long>(reads.load()), args.readers);
+
+  const auto snap = (*service)->snapshot();
+  std::printf("final epoch %llu at stream position %llu\n",
+              static_cast<unsigned long long>(snap->epoch),
+              static_cast<unsigned long long>(snap->stream_position));
+  PrintTop(BcScores{snap->vbc, snap->ebc}, args.top);
+
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", metrics.ToJson().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}
+
 int CmdStats(const CliArgs& args) {
   auto graph = ReadEdgeList(args.positional[0], args.directed);
   if (!graph.ok()) {
@@ -243,7 +440,11 @@ int Usage() {
                "[--variant=mo|mp|do] [--store=f.bd] [--out=f.tsv] [--top=K]\n"
                "       sobc_cli stats <graph> [--directed]\n"
                "       sobc_cli generate <profile|social|tree> <vertices> "
-               "[--seed=S] [--out=g.txt] [--stream=N] [--stream-out=s.txt]\n");
+               "[--seed=S] [--out=g.txt] [--stream=N] [--stream-out=s.txt]\n"
+               "       sobc_cli serve <graph> [--directed] "
+               "[--stream=file|--updates=N] [--churn=F] [--readers=R] "
+               "[--batch=B] [--budget-ms=M] [--queue-cap=C] [--no-coalesce] "
+               "[--top=K] [--seed=S] [--json=report.json]\n");
   return 2;
 }
 
@@ -260,6 +461,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "stats" && args.positional.size() == 1) {
     return CmdStats(args);
+  }
+  if (command == "serve" && args.positional.size() == 1) {
+    return CmdServe(args);
   }
   if (command == "generate" && args.positional.size() == 2) {
     return CmdGenerate(args);
