@@ -1,0 +1,245 @@
+// Parallel-apply benchmark: the speedup curve of the sharded per-update
+// source loop (prefilter + work-claiming chunks, DESIGN.md §9) on a
+// churn-heavy stream, plus the prefilter's skip-rate on a non-structural
+// (addition) stream. Emits BENCH_parallel_apply.json so the trajectory is
+// tracked across PRs (CI runs it on every push).
+//
+// Two wall-clock accountings are reported, as everywhere in this repo:
+//   measured — real threads on this machine's cores (DynamicBc with
+//              num_threads = w). Meaningful only when the container
+//              actually has w cores.
+//   modeled  — the cluster accounting of DESIGN.md substitution 3
+//              (ParallelDynamicBc with w mappers on ONE pool thread:
+//              every chunk timed uncontended, wall = prefilter +
+//              slowest mapper + merge). This is the number Figures 6-8
+//              use, and the one comparable across heterogeneous CI
+//              machines; the speedup gate keys on it.
+//
+// Env knobs: SOBC_PAR_VERTICES (default 600), SOBC_PAR_UPDATES (default
+// 240), SOBC_PAR_POOL (churn pool size, default vertices/64, min 8),
+// SOBC_PAR_MAX_THREADS (default 8, curve is 1,2,4,..,max),
+// SOBC_PAR_OUT (default BENCH_parallel_apply.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bc/dynamic_bc.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "parallel/mapreduce.h"
+
+namespace sobc {
+namespace {
+
+struct MeasuredRun {
+  int threads = 1;
+  double wall_seconds = 0.0;
+  double speedup = 1.0;
+};
+
+struct ModeledRun {
+  int workers = 1;
+  double modeled_wall_seconds = 0.0;
+  double speedup = 1.0;
+};
+
+double MeasuredApplySeconds(const Graph& graph, const EdgeStream& stream,
+                            int threads, bool prefilter,
+                            UpdateStats* totals = nullptr) {
+  DynamicBcOptions options;
+  options.num_threads = threads;
+  options.prefilter = prefilter;
+  auto bc = DynamicBc::Create(graph, options);
+  if (!bc.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 bc.status().ToString().c_str());
+    std::exit(1);
+  }
+  WallTimer timer;
+  for (const EdgeUpdate& update : stream) {
+    if (Status st = (*bc)->Apply(update); !st.ok()) {
+      std::fprintf(stderr, "apply failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    if (totals != nullptr) totals->Merge((*bc)->last_update_stats());
+  }
+  return timer.Seconds();
+}
+
+double ModeledApplySeconds(const Graph& graph, const EdgeStream& stream,
+                           int workers) {
+  ParallelBcOptions options;
+  options.num_mappers = workers;
+  // One pool thread: every chunk is timed uncontended, as if its mapper
+  // ran on a private machine (the fig7_scaling discipline).
+  options.num_threads = 1;
+  auto bc = ParallelDynamicBc::Create(graph, options);
+  if (!bc.ok()) {
+    std::fprintf(stderr, "parallel create failed: %s\n",
+                 bc.status().ToString().c_str());
+    std::exit(1);
+  }
+  double total = 0.0;
+  for (const EdgeUpdate& update : stream) {
+    ParallelUpdateTiming timing;
+    if (Status st = (*bc)->Apply(update, &timing); !st.ok()) {
+      std::fprintf(stderr, "parallel apply failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    total += timing.ModeledWallSeconds();
+  }
+  return total;
+}
+
+int Main() {
+  const auto n =
+      static_cast<std::size_t>(GetEnvInt("SOBC_PAR_VERTICES", 600));
+  const auto updates =
+      static_cast<std::size_t>(GetEnvInt("SOBC_PAR_UPDATES", 240));
+  const auto pool = static_cast<std::size_t>(GetEnvInt(
+      "SOBC_PAR_POOL", static_cast<int>(std::max<std::size_t>(8, n / 64))));
+  const int max_threads =
+      static_cast<int>(GetEnvInt("SOBC_PAR_MAX_THREADS", 8));
+  const std::string out_path =
+      GetEnvString("SOBC_PAR_OUT", "BENCH_parallel_apply.json");
+
+  Rng rng(4242);
+  const Graph graph =
+      GenerateSocialGraph(n, SocialGraphParams::PaperDefaults(), &rng);
+  // The serving layer's worst case: structural add/remove toggles over a
+  // small edge pool, so most updates touch a large affected region.
+  const EdgeStream churn = ChurnStream(graph, updates, pool, &rng);
+  // The prefilter's best case: plain additions, where a large fraction of
+  // sources sees equal endpoint distances (Proposition 3.1) and skips.
+  const EdgeStream additions = RandomAdditionStream(graph, updates / 2, &rng);
+  std::printf("parallel apply bench: %zu vertices, %zu edges, %zu churn "
+              "updates (pool %zu), %zu addition updates\n",
+              graph.NumVertices(), graph.NumEdges(), churn.size(), pool,
+              additions.size());
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  // Measured wall-clock curve (real threads, churn workload).
+  std::vector<MeasuredRun> measured;
+  for (int t : thread_counts) {
+    MeasuredRun run;
+    run.threads = t;
+    run.wall_seconds = MeasuredApplySeconds(graph, churn, t, true);
+    run.speedup = measured.empty()
+                      ? 1.0
+                      : measured.front().wall_seconds / run.wall_seconds;
+    std::printf("measured t=%d: %.3fs (%.2fx)\n", t, run.wall_seconds,
+                run.speedup);
+    measured.push_back(run);
+  }
+
+  // Modeled cluster curve (uncontended per-chunk timing, churn workload).
+  std::vector<ModeledRun> modeled;
+  for (int w : thread_counts) {
+    ModeledRun run;
+    run.workers = w;
+    run.modeled_wall_seconds = ModeledApplySeconds(graph, churn, w);
+    run.speedup = modeled.empty() ? 1.0
+                                  : modeled.front().modeled_wall_seconds /
+                                        run.modeled_wall_seconds;
+    std::printf("modeled  w=%d: %.3fs (%.2fx)\n", w,
+                run.modeled_wall_seconds, run.speedup);
+    modeled.push_back(run);
+  }
+
+  // Prefilter skip-rate and serial win on the non-structural stream.
+  UpdateStats totals;
+  const double serial_with =
+      MeasuredApplySeconds(graph, additions, 1, true, &totals);
+  const double serial_without =
+      MeasuredApplySeconds(graph, additions, 1, false);
+  const double skip_rate =
+      totals.sources_total > 0
+          ? static_cast<double>(totals.sources_prefiltered) /
+                static_cast<double>(totals.sources_total)
+          : 0.0;
+  std::printf("prefilter on additions: %llu/%llu sources skipped (%.1f%%), "
+              "serial %.3fs with vs %.3fs without (%.2fx)\n",
+              static_cast<unsigned long long>(totals.sources_prefiltered),
+              static_cast<unsigned long long>(totals.sources_total),
+              100.0 * skip_rate, serial_with, serial_without,
+              serial_with > 0 ? serial_without / serial_with : 0.0);
+
+  double speedup_4_measured = 0.0;
+  double speedup_4_modeled = 0.0;
+  for (const MeasuredRun& run : measured) {
+    if (run.threads == 4) speedup_4_measured = run.speedup;
+  }
+  for (const ModeledRun& run : modeled) {
+    if (run.workers == 4) speedup_4_modeled = run.speedup;
+  }
+
+  std::string json = "{\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"bench\": \"parallel_apply\",\n"
+                "  \"vertices\": %zu,\n  \"edges\": %zu,\n"
+                "  \"churn_updates\": %zu,\n  \"churn_pool\": %zu,\n"
+                "  \"addition_updates\": %zu,\n"
+                "  \"hardware_threads\": %u,\n",
+                graph.NumVertices(), graph.NumEdges(), churn.size(), pool,
+                additions.size(), std::thread::hardware_concurrency());
+  json += buf;
+  json += "  \"measured\": [\n";
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %d, \"wall_seconds\": %.6f, "
+                  "\"speedup\": %.4f}%s\n",
+                  measured[i].threads, measured[i].wall_seconds,
+                  measured[i].speedup,
+                  i + 1 < measured.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n  \"modeled\": [\n";
+  for (std::size_t i = 0; i < modeled.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"workers\": %d, \"modeled_wall_seconds\": %.6f, "
+                  "\"speedup\": %.4f}%s\n",
+                  modeled[i].workers, modeled[i].modeled_wall_seconds,
+                  modeled[i].speedup, i + 1 < modeled.size() ? "," : "");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n"
+                "  \"speedup_at_4_threads_measured\": %.4f,\n"
+                "  \"speedup_at_4_threads_modeled\": %.4f,\n"
+                "  \"prefilter\": {\n"
+                "    \"sources_total\": %llu,\n"
+                "    \"sources_prefiltered\": %llu,\n"
+                "    \"skip_rate\": %.4f,\n"
+                "    \"serial_seconds_with\": %.6f,\n"
+                "    \"serial_seconds_without\": %.6f\n  }\n}\n",
+                speedup_4_measured, speedup_4_modeled,
+                static_cast<unsigned long long>(totals.sources_total),
+                static_cast<unsigned long long>(totals.sources_prefiltered),
+                skip_rate, serial_with, serial_without);
+  json += buf;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sobc
+
+int main() { return sobc::Main(); }

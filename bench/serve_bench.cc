@@ -7,7 +7,8 @@
 //
 // Env knobs: SOBC_SERVE_VERTICES (default 512), SOBC_SERVE_UPDATES
 // (default 4000), SOBC_SERVE_POOL (default 16), SOBC_SERVE_READERS
-// (default 2), SOBC_SERVE_OUT (default BENCH_serve.json).
+// (default 2), SOBC_SERVE_THREADS (apply workers inside the writer,
+// default 1), SOBC_SERVE_OUT (default BENCH_serve.json).
 
 #include <atomic>
 #include <cstdio>
@@ -33,12 +34,13 @@ struct RunResult {
 };
 
 RunResult RunServe(const Graph& graph, const EdgeStream& stream,
-                   bool coalesce, int readers) {
+                   bool coalesce, int readers, int apply_threads) {
   BcServiceOptions options;
   options.queue.max_batch = 64;
   options.queue.batch_latency_budget_seconds = 0.0005;
   options.queue.coalesce = coalesce;
   options.top_k = 10;
+  options.bc.num_threads = apply_threads;
   auto service = BcService::Create(graph, options);
   if (!service.ok()) {
     std::fprintf(stderr, "create failed: %s\n",
@@ -107,6 +109,8 @@ int Main() {
   const std::size_t pool = static_cast<std::size_t>(
       GetEnvInt("SOBC_SERVE_POOL", 16));
   const int readers = static_cast<int>(GetEnvInt("SOBC_SERVE_READERS", 2));
+  const int apply_threads =
+      static_cast<int>(GetEnvInt("SOBC_SERVE_THREADS", 1));
   const std::string out_path =
       GetEnvString("SOBC_SERVE_OUT", "BENCH_serve.json");
 
@@ -125,9 +129,10 @@ int Main() {
               graph.NumVertices(), graph.NumEdges(), stream.size(), pool,
               readers);
 
-  const RunResult with = RunServe(graph, stream, /*coalesce=*/true, readers);
+  const RunResult with =
+      RunServe(graph, stream, /*coalesce=*/true, readers, apply_threads);
   const RunResult without =
-      RunServe(graph, stream, /*coalesce=*/false, readers);
+      RunServe(graph, stream, /*coalesce=*/false, readers, apply_threads);
 
   const double reduction =
       without.metrics.applied > 0

@@ -79,6 +79,13 @@ class BdStore {
   /// isolated vertices (d[s][s]=0, sigma=1).
   virtual Status Grow(std::size_t new_n) = 0;
 
+  /// Drops any record cached inside this handle. Required before this
+  /// handle reads a source that *another* handle on the same backing file
+  /// may have rewritten (the sharded parallel apply opens one DiskBdStore
+  /// handle per worker; source assignment moves between workers from one
+  /// update to the next). No-op for stores without a read cache.
+  virtual void InvalidateCache() {}
+
   virtual PredMode pred_mode() const = 0;
 };
 

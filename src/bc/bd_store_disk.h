@@ -49,6 +49,7 @@ class DiskBdStore : public BdStore {
                        Distance* db) override;
   Status PutInitial(VertexId s, SourceBcData&& data) override;
   Status Grow(std::size_t new_n) override;
+  void InvalidateCache() override { viewed_source_ = kInvalidVertex; }
 
   /// Flushes mapped pages and file metadata to stable storage.
   Status Flush() { return file_->Sync(); }

@@ -1,13 +1,27 @@
 #include "bc/dynamic_bc.h"
 
 #include <algorithm>
+#include <numeric>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "bc/bd_store_disk.h"
 #include "bc/score_io.h"
+#include "graph/csr_view.h"
+#include "parallel/score_reduce.h"
 
 namespace sobc {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 2;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
     Graph graph, const DynamicBcOptions& options) {
@@ -34,8 +48,14 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
       break;
     }
   }
-  auto bc = std::unique_ptr<DynamicBc>(new DynamicBc(
-      std::move(graph), std::move(store), pred_mode, options.use_csr));
+  DynamicBcOptions resolved = options;
+  resolved.num_threads = ResolveThreads(options.num_threads);
+  auto bc = std::unique_ptr<DynamicBc>(
+      new DynamicBc(std::move(graph), std::move(store), pred_mode, resolved));
+  if (resolved.num_threads > 1) {
+    bc->pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(resolved.num_threads));
+  }
   if (options.use_csr) {
     // Build the traversal snapshot once, up front; every later Apply only
     // patches it in O(degree) (asserted via CsrView::stats().builds).
@@ -70,9 +90,15 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
     return Status::FailedPrecondition(
         "score file does not match the graph's vertex count");
   }
+  DynamicBcOptions resolved = options;
+  resolved.num_threads = ResolveThreads(options.num_threads);
   auto bc = std::unique_ptr<DynamicBc>(
       new DynamicBc(std::move(graph), std::move(*disk),
-                    PredMode::kScanNeighbors, options.use_csr));
+                    PredMode::kScanNeighbors, resolved));
+  if (resolved.num_threads > 1) {
+    bc->pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(resolved.num_threads));
+  }
   if (options.use_csr) bc->graph_.csr();
   bc->scores_ = std::move(*scores);
   return bc;
@@ -88,29 +114,12 @@ Status DynamicBc::Checkpoint(const std::string& scores_path) {
   return disk->Flush();
 }
 
+int DynamicBc::num_threads() const {
+  return pool_ == nullptr ? 1 : static_cast<int>(pool_->num_threads());
+}
+
 Status DynamicBc::Apply(const EdgeUpdate& update) {
-  last_stats_ = UpdateStats{};
-  if (update.op == EdgeOp::kAdd) {
-    const std::size_t needed =
-        static_cast<std::size_t>(std::max(update.u, update.v)) + 1;
-    if (needed > graph_.NumVertices()) {
-      // New vertices enter with zero centrality (Section 3.1); the store
-      // grows so they exist both as destinations and as sources.
-      SOBC_RETURN_NOT_OK(store_->Grow(needed));
-    }
-    SOBC_RETURN_NOT_OK(graph_.AddEdge(update.u, update.v));
-    if (scores_.vbc.size() < graph_.NumVertices()) {
-      scores_.vbc.resize(graph_.NumVertices(), 0.0);
-    }
-    return engine_.ApplyUpdate(graph_, update, store_.get(), &scores_,
-                               &last_stats_);
-  }
-  SOBC_RETURN_NOT_OK(graph_.RemoveEdge(update.u, update.v));
-  SOBC_RETURN_NOT_OK(engine_.ApplyUpdate(graph_, update, store_.get(),
-                                         &scores_, &last_stats_));
-  // The removed edge's entry now holds only floating-point residue.
-  scores_.ebc.erase(graph_.MakeKey(update.u, update.v));
-  return Status::OK();
+  return ApplyBatch({&update, 1});
 }
 
 Status DynamicBc::ApplyAll(const EdgeStream& stream) {
@@ -122,8 +131,145 @@ Status DynamicBc::ApplyAll(const EdgeStream& stream) {
 
 Status DynamicBc::ApplyBatch(std::span<const EdgeUpdate> batch) {
   last_stats_ = UpdateStats{};
-  return engine_.ApplyUpdateBatch(&graph_, batch, store_.get(), &scores_,
-                                  &last_stats_);
+  if (batch.empty()) return Status::OK();
+  // Pay the growth once, sized by the whole batch: records of vertices a
+  // later update introduces sit untouched (Grow initializes them as
+  // isolated sources) until their AddEdge brings them into the source loop
+  // — indistinguishable from growing immediately before that update.
+  std::size_t needed = graph_.NumVertices();
+  for (const EdgeUpdate& update : batch) {
+    const std::size_t top =
+        static_cast<std::size_t>(std::max(update.u, update.v)) + 1;
+    needed = std::max(needed, top);
+  }
+  if (needed > store_->num_vertices()) {
+    // A DO grow re-reads every record through this handle; drop its record
+    // cache first — a parallel drain may have rewritten that source
+    // through a worker handle since it was cached.
+    if (pool_ != nullptr) store_->InvalidateCache();
+    SOBC_RETURN_NOT_OK(store_->Grow(needed));
+  }
+  if (scores_.vbc.size() < needed) scores_.vbc.resize(needed, 0.0);
+  for (const EdgeUpdate& update : batch) {
+    SOBC_RETURN_NOT_OK(ApplyToGraph(&graph_, update));
+    SOBC_RETURN_NOT_OK(ApplyPrepared(update));
+  }
+  // The drains above wrote BD records through per-worker handles; the
+  // coordinator handle's record cache may now be stale, and the next
+  // reader of store() (View/PeekDistances, or a Grow rebuild) is this
+  // handle again.
+  if (pool_ != nullptr) store_->InvalidateCache();
+  // A net-removed edge's ebc entry holds only floating-point residue.
+  for (const EdgeUpdate& update : batch) {
+    if (update.op == EdgeOp::kRemove && !graph_.HasEdge(update.u, update.v)) {
+      scores_.ebc.erase(graph_.MakeKey(update.u, update.v));
+    }
+  }
+  return Status::OK();
+}
+
+Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
+  const std::size_t n = graph_.NumVertices();
+  if (options_.prefilter) {
+    SOBC_RETURN_NOT_OK(
+        prefilter_.Build(graph_, update, options_.use_csr, &worklist_));
+    // Prefiltered sources are skipped sources that never paid a BD probe;
+    // they count into the same totals so the skipped/non-structural/
+    // structural partition of sources_total still adds up.
+    const auto skipped = static_cast<std::uint64_t>(n - worklist_.size());
+    last_stats_.sources_total += skipped;
+    last_stats_.sources_skipped += skipped;
+    last_stats_.sources_prefiltered += skipped;
+  } else {
+    worklist_.resize(n);
+    std::iota(worklist_.begin(), worklist_.end(), VertexId{0});
+  }
+  if (worklist_.empty()) return Status::OK();
+  if (pool_ == nullptr) {
+    return engine_.ApplyUpdateForSources(graph_, update, worklist_,
+                                         store_.get(), &scores_, &last_stats_);
+  }
+  return ParallelDrain(update);
+}
+
+Status DynamicBc::EnsureWorkers(std::size_t w, std::size_t n) {
+  if (workers_.size() < w) workers_.resize(w);
+  const bool disk = options_.variant == BcVariant::kOutOfCore;
+  std::string disk_path;
+  if (disk) {
+    auto* main = dynamic_cast<DiskBdStore*>(store_.get());
+    if (main == nullptr) {
+      return Status::Internal("kOutOfCore framework without a disk store");
+    }
+    disk_path = main->path();
+  }
+  for (std::size_t i = 0; i < w; ++i) {
+    ApplyWorker& wk = workers_[i];
+    if (wk.engine == nullptr) {
+      wk.engine = std::make_unique<IncrementalEngine>(engine_.pred_mode(),
+                                                      options_.use_csr);
+    }
+    if (disk) {
+      if (wk.disk_store == nullptr ||
+          wk.disk_store->num_vertices() != store_->num_vertices()) {
+        // Fresh or stale (a Grow changed the layout or swapped the backing
+        // file): reopen onto the current file.
+        auto handle = DiskBdStore::Open(disk_path);
+        if (!handle.ok()) return handle.status();
+        wk.disk_store = std::move(*handle);
+      } else {
+        // Same file, but another worker may have rewritten the source this
+        // handle cached during the previous drain.
+        wk.disk_store->InvalidateCache();
+      }
+    }
+    wk.delta.vbc.assign(n, 0.0);
+    wk.delta.ebc.clear();
+    wk.stats = UpdateStats{};
+    wk.status = Status::OK();
+  }
+  return Status::OK();
+}
+
+Status DynamicBc::ParallelDrain(const EdgeUpdate& update) {
+  const std::size_t n = graph_.NumVertices();
+  FillSourceCostWeights(graph_, options_.use_csr, worklist_, &weights_);
+  SourceSharderOptions sharding;
+  sharding.num_workers = pool_->num_threads();
+  sharder_.Reset(worklist_, weights_, sharding);
+  const std::size_t w = std::min(pool_->num_threads(), sharder_.num_chunks());
+  SOBC_RETURN_NOT_OK(EnsureWorkers(w, n));
+
+  auto run_worker = [&](std::size_t i) {
+    ApplyWorker& wk = workers_[i];
+    BdStore* store = wk.disk_store ? wk.disk_store.get() : store_.get();
+    std::span<const VertexId> chunk;
+    while (sharder_.Next(&chunk)) {
+      const Status st = wk.engine->ApplyUpdateForSources(
+          graph_, update, chunk, store, &wk.delta, &wk.stats);
+      if (!st.ok()) {
+        wk.status = st;
+        sharder_.Abort();
+        return;
+      }
+    }
+  };
+  if (w == 1) {
+    run_worker(0);
+  } else {
+    ParallelFor(pool_.get(), w, run_worker);
+  }
+  for (std::size_t i = 0; i < w; ++i) {
+    SOBC_RETURN_NOT_OK(workers_[i].status);
+  }
+
+  std::vector<BcScores*> partials;
+  partials.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) partials.push_back(&workers_[i].delta);
+  TreeReduceScores(w > 2 ? pool_.get() : nullptr, partials);
+  scores_.Merge(workers_[0].delta);
+  for (std::size_t i = 0; i < w; ++i) last_stats_.Merge(workers_[i].stats);
+  return Status::OK();
 }
 
 double DynamicBc::EdgeScore(VertexId u, VertexId v) const {

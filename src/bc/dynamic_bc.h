@@ -10,9 +10,12 @@
 #include "bc/bd_store.h"
 #include "bc/brandes.h"
 #include "bc/incremental.h"
+#include "bc/source_prefilter.h"
 #include "common/status.h"
 #include "graph/edge_stream.h"
 #include "graph/graph.h"
+#include "parallel/source_sharder.h"
+#include "parallel/thread_pool.h"
 
 namespace sobc {
 
@@ -34,6 +37,17 @@ struct DynamicBcOptions {
   /// adjacency-list path remains selectable so the CSR win stays
   /// measurable (bench/micro_core.cc).
   bool use_csr = true;
+  /// Workers the per-update source loop fans out across (the sharded
+  /// parallel apply of DESIGN.md §9). 1 keeps the loop on the calling
+  /// thread; 0 resolves to the hardware concurrency. Every worker owns a
+  /// private engine and score partial, so results are identical to the
+  /// serial loop up to floating-point summation order.
+  int num_threads = 1;
+  /// Skip unaffected sources via two endpoint BFS traversals before the
+  /// source loop (Proposition 3.1 evaluated graph-side; see
+  /// source_prefilter.h). Off = probe BD[s] per source, the paper's
+  /// original discipline — kept selectable so the win stays measurable.
+  bool prefilter = true;
 };
 
 /// The full framework of Figure 1: Step 1 runs Brandes once to build BD[s]
@@ -45,6 +59,12 @@ struct DynamicBcOptions {
 ///   auto bc = DynamicBc::Create(graph, {});
 ///   for (const EdgeUpdate& e : stream) bc->Apply(e);
 ///   double score = bc->vbc()[v];
+///
+/// With options.num_threads > 1 every Apply/ApplyBatch fans the per-source
+/// work of each update out across an internal thread pool (prefiltered
+/// dirty-source worklist, degree-weighted dynamic chunks, per-worker score
+/// partials reduced tree-wise); the caller-facing contract is unchanged
+/// and all public methods must still be called from one thread at a time.
 class DynamicBc {
  public:
   /// Builds the framework over `graph` (Step 1, O(nm)).
@@ -90,20 +110,53 @@ class DynamicBc {
   /// Counters for the most recent Apply call.
   const UpdateStats& last_update_stats() const { return last_stats_; }
 
+  /// Apply workers actually in use (1 when serial).
+  int num_threads() const;
+
   BdStore* store() { return store_.get(); }
 
  private:
-  DynamicBc(Graph graph, std::unique_ptr<BdStore> store, PredMode pred_mode,
-            bool use_csr)
-      : graph_(std::move(graph)),
-        store_(std::move(store)),
-        engine_(pred_mode, use_csr) {}
+  /// One lane of the sharded parallel apply: a private engine (scratch is
+  /// not shareable), a private score partial, and — for the out-of-core
+  /// variant — a private store handle, so the drain runs without a single
+  /// lock (BD columns of distinct sources never alias).
+  struct ApplyWorker {
+    std::unique_ptr<IncrementalEngine> engine;
+    std::unique_ptr<BdStore> disk_store;  // kOutOfCore only
+    BcScores delta;
+    UpdateStats stats;
+    Status status;
+  };
 
+  DynamicBc(Graph graph, std::unique_ptr<BdStore> store, PredMode pred_mode,
+            const DynamicBcOptions& options)
+      : options_(options),
+        graph_(std::move(graph)),
+        store_(std::move(store)),
+        engine_(pred_mode, options.use_csr) {}
+
+  /// Worklist + dispatch for one update; `graph_` must already reflect it.
+  Status ApplyPrepared(const EdgeUpdate& update);
+  /// Drains the current worklist across the pool and folds the partials.
+  Status ParallelDrain(const EdgeUpdate& update);
+  /// Sizes worker slots (engines, deltas, per-worker DO handles) for `w`
+  /// workers over an `n`-vertex graph.
+  Status EnsureWorkers(std::size_t w, std::size_t n);
+
+  DynamicBcOptions options_;
   Graph graph_;
   std::unique_ptr<BdStore> store_;
   IncrementalEngine engine_;
   BcScores scores_;
   UpdateStats last_stats_;
+
+  // Sharded-apply state (null / empty while num_threads <= 1).
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<ApplyWorker> workers_;
+  SourcePrefilter prefilter_;
+  SourceSharder sharder_;
+  std::vector<VertexId> worklist_;
+  std::vector<std::uint64_t> weights_;
 };
 
 }  // namespace sobc

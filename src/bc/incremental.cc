@@ -558,45 +558,30 @@ Status IncrementalEngine::ApplyUpdateRange(const Graph& graph,
   return Status::OK();
 }
 
+Status IncrementalEngine::ApplyUpdateForSources(
+    const Graph& graph, const EdgeUpdate& update,
+    std::span<const VertexId> sources, BdStore* store, BcScores* scores,
+    UpdateStats* stats) {
+  if (use_csr_) {
+    const CsrView& adj = graph.csr();
+    for (VertexId s : sources) {
+      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats));
+    }
+  } else {
+    const GraphAdjacency adj(graph);
+    for (VertexId s : sources) {
+      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats));
+    }
+  }
+  return Status::OK();
+}
+
 Status IncrementalEngine::ApplyUpdate(const Graph& graph,
                                       const EdgeUpdate& update, BdStore* store,
                                       BcScores* scores, UpdateStats* stats) {
   return ApplyUpdateRange(graph, update, 0,
                           static_cast<VertexId>(graph.NumVertices()), store,
                           scores, stats);
-}
-
-Status IncrementalEngine::ApplyUpdateBatch(Graph* graph,
-                                           std::span<const EdgeUpdate> batch,
-                                           BdStore* store, BcScores* scores,
-                                           UpdateStats* stats) {
-  if (batch.empty()) return Status::OK();
-  // Pay the growth once, sized by the whole batch: records of vertices a
-  // later update introduces sit untouched (Grow initializes them as
-  // isolated sources) until their AddEdge brings them into the source loop
-  // — indistinguishable from growing immediately before that update.
-  std::size_t needed = graph->NumVertices();
-  for (const EdgeUpdate& update : batch) {
-    const std::size_t top =
-        static_cast<std::size_t>(std::max(update.u, update.v)) + 1;
-    needed = std::max(needed, top);
-  }
-  if (needed > store->num_vertices()) {
-    SOBC_RETURN_NOT_OK(store->Grow(needed));
-  }
-  EnsureScratch(needed);
-  if (scores->vbc.size() < needed) scores->vbc.resize(needed, 0.0);
-  for (const EdgeUpdate& update : batch) {
-    SOBC_RETURN_NOT_OK(ApplyToGraph(graph, update));
-    SOBC_RETURN_NOT_OK(ApplyUpdate(*graph, update, store, scores, stats));
-  }
-  // A net-removed edge's ebc entry holds only floating-point residue.
-  for (const EdgeUpdate& update : batch) {
-    if (update.op == EdgeOp::kRemove && !graph->HasEdge(update.u, update.v)) {
-      scores->ebc.erase(graph->MakeKey(update.u, update.v));
-    }
-  }
-  return Status::OK();
 }
 
 }  // namespace sobc

@@ -21,6 +21,10 @@ struct UpdateStats {
   /// Sources skipped because both endpoints sit at the same level
   /// (Proposition 3.1) or the update cannot affect any path from s.
   std::uint64_t sources_skipped = 0;
+  /// Subset of sources_skipped eliminated by the endpoint-BFS prefilter
+  /// (source_prefilter.h) without ever probing their BD column — the DO
+  /// variant's biggest win, and the skip-rate `sobc_cli serve` reports.
+  std::uint64_t sources_prefiltered = 0;
   /// Sources handled by the no-level-change path (Section 4.1, Alg. 2).
   std::uint64_t sources_non_structural = 0;
   /// Sources with structural SPdag changes (Sections 4.2-4.4, Alg. 4-9).
@@ -34,6 +38,7 @@ struct UpdateStats {
   void Merge(const UpdateStats& other) {
     sources_total += other.sources_total;
     sources_skipped += other.sources_skipped;
+    sources_prefiltered += other.sources_prefiltered;
     sources_non_structural += other.sources_non_structural;
     sources_structural += other.sources_structural;
     sources_disconnected += other.sources_disconnected;
@@ -74,23 +79,19 @@ class IncrementalEngine {
                      BdStore* store, BcScores* scores, UpdateStats* stats);
 
   /// Same, restricted to sources in [begin, end): the unit of work of one
-  /// mapper in the parallel embodiment (Section 5.2).
+  /// mapper in the paper's static-partition embodiment (Section 5.2).
   Status ApplyUpdateRange(const Graph& graph, const EdgeUpdate& update,
                           VertexId begin, VertexId end, BdStore* store,
                           BcScores* scores, UpdateStats* stats);
 
-  /// Batched entry point for the serving path: applies every element of
-  /// `batch` in order, mutating `graph` itself (additions grow the vertex
-  /// set implicitly). Equivalent to interleaving ApplyToGraph with
-  /// ApplyUpdate per element, but the store growth, score resizing, and
-  /// scratch sizing are hoisted out of the loop and paid once per batch —
-  /// sized by the batch-wide maximum endpoint — so a coalesced batch
-  /// amortizes its fixed costs across all updates. The stale entry of each
-  /// net-removed edge is erased from `scores->ebc` at batch end (an edge
-  /// removed and re-added mid-batch keeps its live score).
-  Status ApplyUpdateBatch(Graph* graph, std::span<const EdgeUpdate> batch,
-                          BdStore* store, BcScores* scores,
-                          UpdateStats* stats);
+  /// Same, restricted to an explicit source worklist — the unit one worker
+  /// chunk of the sharded parallel apply processes (a prefiltered
+  /// dirty-source list sliced by SourceSharder). `scores` may hold a
+  /// worker's partial sums, exactly like a mapper partition's.
+  Status ApplyUpdateForSources(const Graph& graph, const EdgeUpdate& update,
+                               std::span<const VertexId> sources,
+                               BdStore* store, BcScores* scores,
+                               UpdateStats* stats);
 
   /// Processes a single source (Algorithm 1's loop body).
   Status ApplyUpdateForSource(const Graph& graph, const EdgeUpdate& update,

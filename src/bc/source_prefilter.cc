@@ -1,0 +1,69 @@
+#include "bc/source_prefilter.h"
+
+#include "graph/csr_view.h"
+
+namespace sobc {
+
+// Distances *to* the root: a plain BFS for undirected graphs, a BFS over
+// in-edges for directed ones (so dist[s] = d(s, root) in the original
+// orientation — the quantity the skip test of Section 3.1 is stated in).
+template <class Adj>
+void SourcePrefilter::Bfs(const Adj& adj, VertexId root,
+                          std::vector<Distance>* dist) {
+  const std::size_t n = adj.NumVertices();
+  dist->assign(n, kUnreachable);
+  (*dist)[root] = 0;
+  queue_.clear();
+  queue_.push_back(root);
+  const bool reverse = adj.directed();
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const VertexId x = queue_[head];
+    const Distance next = (*dist)[x] + 1;
+    for (VertexId w : reverse ? adj.InNeighbors(x) : adj.OutNeighbors(x)) {
+      if ((*dist)[w] == kUnreachable) {
+        (*dist)[w] = next;
+        queue_.push_back(w);
+      }
+    }
+  }
+}
+
+template <class Adj>
+void SourcePrefilter::Run(const Adj& adj, const EdgeUpdate& update,
+                          std::vector<VertexId>* dirty) {
+  Bfs(adj, update.u, &du_);
+  Bfs(adj, update.v, &dv_);
+  const std::size_t n = adj.NumVertices();
+  dirty->clear();
+  if (adj.directed()) {
+    // Affected iff s reaches u and d(s,v) > d(s,u): for additions that
+    // means d(s,v) == d(s,u) + 1 through the new edge; for removals that
+    // the lost edge carried shortest paths (d_old(s,v) was d(s,u) + 1).
+    for (VertexId s = 0; s < n; ++s) {
+      if (du_[s] != kUnreachable && dv_[s] > du_[s]) dirty->push_back(s);
+    }
+  } else {
+    // Proposition 3.1: equal endpoint distances (including both
+    // unreachable) mean no shortest path from s crosses the edge.
+    for (VertexId s = 0; s < n; ++s) {
+      if (du_[s] != dv_[s]) dirty->push_back(s);
+    }
+  }
+}
+
+Status SourcePrefilter::Build(const Graph& graph, const EdgeUpdate& update,
+                              bool use_csr, std::vector<VertexId>* dirty) {
+  const std::size_t n = graph.NumVertices();
+  if (update.u >= n || update.v >= n) {
+    return Status::InvalidArgument(
+        "prefilter endpoints outside the graph (apply the update first)");
+  }
+  if (use_csr) {
+    Run(graph.csr(), update, dirty);
+  } else {
+    Run(GraphAdjacency(graph), update, dirty);
+  }
+  return Status::OK();
+}
+
+}  // namespace sobc

@@ -1,0 +1,59 @@
+#ifndef SOBC_BC_SOURCE_PREFILTER_H_
+#define SOBC_BC_SOURCE_PREFILTER_H_
+
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "common/status.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Affected-source prefilter (Proposition 3.1, turned inside out).
+///
+/// The per-source skip test — d(s,u) == d(s,v) for undirected graphs — is
+/// normally answered by peeking at BD[s], i.e. one store probe per source
+/// and, for the out-of-core variant, one positioned read per skipped
+/// source. But the same distances are available from the *other* end: two
+/// BFS traversals from the update endpoints compute d(u,s) and d(v,s) for
+/// every s at once (reverse BFS for directed graphs), so the whole skip set
+/// falls out of O(n + m) work per update without touching a single BD
+/// column. What remains is a compact dirty-source worklist — the unit the
+/// parallel apply shards across workers.
+///
+/// The filter runs against the graph *after* the update has been applied to
+/// it (the state every engine entry point already requires). Equivalence
+/// with the engine's old-distance skip test is an invariant, not luck — see
+/// DESIGN.md §9 for the four-case proof sketch. In short, for undirected
+/// graphs d_new(s,u) == d_new(s,v) iff d_old(s,u) == d_old(s,v), and for
+/// directed graphs "affected" is exactly d_new(s,u) finite and
+/// d_new(s,v) > d_new(s,u), for additions and removals alike.
+///
+/// Not thread-safe; the coordinator runs it once per update and hands the
+/// worklist out read-only.
+class SourcePrefilter {
+ public:
+  /// Fills `dirty` (ascending) with every source the update may affect.
+  /// `graph` must already reflect the update (edge present for additions,
+  /// absent for removals). Traverses the CsrView snapshot when `use_csr`,
+  /// the adjacency lists otherwise.
+  Status Build(const Graph& graph, const EdgeUpdate& update, bool use_csr,
+               std::vector<VertexId>* dirty);
+
+ private:
+  template <class Adj>
+  void Run(const Adj& adj, const EdgeUpdate& update,
+           std::vector<VertexId>* dirty);
+  template <class Adj>
+  void Bfs(const Adj& adj, VertexId root, std::vector<Distance>* dist);
+
+  // Scratch reused across updates: d(·,u), d(·,v) and the BFS queue.
+  std::vector<Distance> du_;
+  std::vector<Distance> dv_;
+  std::vector<VertexId> queue_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_BC_SOURCE_PREFILTER_H_

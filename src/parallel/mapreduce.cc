@@ -1,16 +1,19 @@
 #include "parallel/mapreduce.h"
 
 #include <algorithm>
+#include <numeric>
 #include <thread>
 
 #include "bc/bd_store_disk.h"
 #include "bc/brandes.h"
 #include "common/timer.h"
+#include "graph/csr_view.h"
+#include "parallel/score_reduce.h"
 
 namespace sobc {
 
 double ParallelUpdateTiming::CumulativeSeconds() const {
-  double total = merge_seconds;
+  double total = merge_seconds + prefilter_seconds;
   for (double s : mapper_seconds) total += s;
   return total;
 }
@@ -18,12 +21,27 @@ double ParallelUpdateTiming::CumulativeSeconds() const {
 double ParallelUpdateTiming::ModeledWallSeconds() const {
   double slowest = 0.0;
   for (double s : mapper_seconds) slowest = std::max(slowest, s);
-  return slowest + merge_seconds;
+  return prefilter_seconds + slowest + merge_seconds;
 }
 
 VertexId ParallelDynamicBc::MapperEnd(const Mapper& m) const {
   const auto n = static_cast<VertexId>(graph_.NumVertices());
   return m.limit == kInvalidVertex ? n : std::min(m.limit, n);
+}
+
+std::size_t ParallelDynamicBc::MapperOf(VertexId s) const {
+  // Partitions are contiguous and ascending; the last one is open-ended.
+  std::size_t lo = 0;
+  std::size_t hi = mappers_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (mappers_[mid].begin <= s) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
 }
 
 Result<std::unique_ptr<ParallelDynamicBc>> ParallelDynamicBc::Create(
@@ -43,6 +61,8 @@ Result<std::unique_ptr<ParallelDynamicBc>> ParallelDynamicBc::Create(
   }
   auto bc = std::unique_ptr<ParallelDynamicBc>(
       new ParallelDynamicBc(std::move(graph), threads));
+  bc->options_ = options;
+  bc->options_.num_threads = threads;
 
   // Partition the sources into p contiguous ranges (Figure 4's Pi ranges).
   // The last range is open-ended so future vertices land somewhere.
@@ -54,6 +74,7 @@ Result<std::unique_ptr<ParallelDynamicBc>> ParallelDynamicBc::Create(
       options.variant == BcVariant::kMemoryPredecessors
           ? PredMode::kPredecessorLists
           : PredMode::kScanNeighbors;
+  bc->pred_mode_ = pred_mode;
   for (std::size_t i = 0; i < p; ++i) {
     Mapper& m = bc->mappers_[i];
     m.begin = cursor;
@@ -61,15 +82,15 @@ Result<std::unique_ptr<ParallelDynamicBc>> ParallelDynamicBc::Create(
     cursor = static_cast<VertexId>(cursor + size);
     m.limit = i + 1 == p ? kInvalidVertex : cursor;
     if (options.variant == BcVariant::kOutOfCore) {
-      auto store = DiskBdStore::Create(
-          options.storage_dir + "/bd_part_" + std::to_string(i) + ".bin", n,
-          /*capacity=*/0, m.begin, m.limit);
+      m.disk_path = options.storage_dir + "/bd_part_" + std::to_string(i) +
+                    ".bin";
+      auto store = DiskBdStore::Create(m.disk_path, n,
+                                       /*capacity=*/0, m.begin, m.limit);
       if (!store.ok()) return store.status();
       m.store = std::move(*store);
     } else {
       m.store = std::make_unique<InMemoryBdStore>(pred_mode, m.begin, m.limit);
     }
-    m.engine = std::make_unique<IncrementalEngine>(pred_mode, options.use_csr);
   }
 
   // Step 1 in parallel: each mapper bootstraps its own partition with
@@ -82,34 +103,89 @@ Result<std::unique_ptr<ParallelDynamicBc>> ParallelDynamicBc::Create(
   BrandesOptions brandes;
   brandes.pred_mode = pred_mode;
   brandes.use_csr = options.use_csr;
+  std::vector<BcScores> init_deltas(p);
+  std::vector<Status> init_status(p);
   ParallelFor(bc->pool_.get(), p, [&](std::size_t i) {
     Mapper& m = bc->mappers_[i];
     WallTimer timer;
-    m.delta.vbc.assign(bc->graph_.NumVertices(), 0.0);
-    m.delta.ebc.clear();
+    init_deltas[i].vbc.assign(bc->graph_.NumVertices(), 0.0);
     SourceBcData data;
     const VertexId end = bc->MapperEnd(m);
-    for (VertexId s = m.begin; s < end && m.last_status.ok(); ++s) {
-      BrandesSingleSource(bc->graph_, s, brandes, &data, &m.delta);
-      m.last_status = m.store->PutInitial(s, std::move(data));
+    for (VertexId s = m.begin; s < end && init_status[i].ok(); ++s) {
+      BrandesSingleSource(bc->graph_, s, brandes, &data, &init_deltas[i]);
+      init_status[i] = m.store->PutInitial(s, std::move(data));
     }
     bc->init_seconds_[i] = timer.Seconds();
   });
   bc->reduced_.vbc.assign(n, 0.0);
-  for (Mapper& m : bc->mappers_) {
-    if (!m.last_status.ok()) return m.last_status;
-    bc->reduced_.Merge(m.delta);
+  for (std::size_t i = 0; i < p; ++i) {
+    SOBC_RETURN_NOT_OK(init_status[i]);
+    bc->reduced_.Merge(init_deltas[i]);
   }
   return bc;
 }
 
+Status ParallelDynamicBc::EnsureMapWorkers(std::size_t w, std::size_t n) {
+  if (workers_.size() < w) workers_.resize(w);
+  const bool disk = options_.variant == BcVariant::kOutOfCore;
+  for (std::size_t i = 0; i < w; ++i) {
+    MapWorker& wk = workers_[i];
+    if (wk.engine == nullptr) {
+      wk.engine =
+          std::make_unique<IncrementalEngine>(pred_mode_, options_.use_csr);
+    }
+    if (disk) {
+      wk.disk_handles.resize(mappers_.size());
+      for (std::size_t m = 0; m < wk.disk_handles.size(); ++m) {
+        auto& handle = wk.disk_handles[m];
+        if (handle == nullptr) continue;
+        if (handle->num_vertices() != mappers_[m].store->num_vertices()) {
+          // Stale layout (a Grow rebuilt or re-headered the file): drop it;
+          // WorkerStore reopens on demand.
+          handle.reset();
+        } else {
+          // Same file, but another worker may have rewritten the source
+          // this handle cached during the previous drain.
+          handle->InvalidateCache();
+        }
+      }
+    }
+    wk.delta.vbc.assign(n, 0.0);
+    wk.delta.ebc.clear();
+    wk.stats = UpdateStats{};
+    wk.status = Status::OK();
+  }
+  return Status::OK();
+}
+
+Result<BdStore*> ParallelDynamicBc::WorkerStore(MapWorker* worker,
+                                                std::size_t m) {
+  if (options_.variant != BcVariant::kOutOfCore) {
+    // In-memory stores are safe for concurrent access to distinct source
+    // records; each source is claimed by exactly one worker per update.
+    return mappers_[m].store.get();
+  }
+  auto& handle = worker->disk_handles[m];
+  if (handle == nullptr) {
+    auto opened = DiskBdStore::Open(mappers_[m].disk_path);
+    if (!opened.ok()) return opened.status();
+    handle = std::move(*opened);
+  }
+  return handle.get();
+}
+
 Status ParallelDynamicBc::Apply(const EdgeUpdate& update,
                                 ParallelUpdateTiming* timing) {
+  last_stats_ = UpdateStats{};
   if (update.op == EdgeOp::kAdd) {
     const std::size_t needed =
         static_cast<std::size_t>(std::max(update.u, update.v)) + 1;
     if (needed > graph_.NumVertices()) {
       for (Mapper& m : mappers_) {
+        // A DO grow re-reads every record through the mapper's handle;
+        // drop its record cache first — the map phase writes through
+        // per-worker handles, so the mapper handle's cache may be stale.
+        m.store->InvalidateCache();
         SOBC_RETURN_NOT_OK(m.store->Grow(needed));
       }
       reduced_.vbc.resize(needed, 0.0);
@@ -118,40 +194,101 @@ Status ParallelDynamicBc::Apply(const EdgeUpdate& update,
   } else {
     SOBC_RETURN_NOT_OK(graph_.RemoveEdge(update.u, update.v));
   }
+  const std::size_t n = graph_.NumVertices();
 
-  // Map phase: every mapper revises its sources independently and emits
-  // only the betweenness *changes* of this update (the key-value pairs of
-  // Figure 4, restricted to ids whose partial score moved).
-  ParallelFor(pool_.get(), mappers_.size(), [&](std::size_t i) {
-    Mapper& m = mappers_[i];
-    WallTimer timer;
-    m.stats = UpdateStats{};
-    m.delta.vbc.assign(graph_.NumVertices(), 0.0);
-    m.delta.ebc.clear();
-    m.last_status = m.engine->ApplyUpdateRange(graph_, update, m.begin,
-                                               MapperEnd(m), m.store.get(),
-                                               &m.delta, &m.stats);
-    m.last_seconds = timer.Seconds();
-  });
-
-  // Reduce phase: aggregate the emitted deltas by element id.
-  WallTimer merge_timer;
-  for (Mapper& m : mappers_) {
-    SOBC_RETURN_NOT_OK(m.last_status);
-    reduced_.Merge(m.delta);
+  // Prefilter: the dirty-source worklist every mapper's share is cut from.
+  WallTimer prefilter_timer;
+  if (options_.prefilter) {
+    SOBC_RETURN_NOT_OK(
+        prefilter_.Build(graph_, update, options_.use_csr, &worklist_));
+    const auto skipped = static_cast<std::uint64_t>(n - worklist_.size());
+    last_stats_.sources_total += skipped;
+    last_stats_.sources_skipped += skipped;
+    last_stats_.sources_prefiltered += skipped;
+  } else {
+    worklist_.resize(n);
+    std::iota(worklist_.begin(), worklist_.end(), VertexId{0});
   }
+  const double prefilter_seconds = prefilter_timer.Seconds();
+
+  // Map phase: slice the worklist into degree-weighted chunks that respect
+  // mapper partition edges, then let pool workers claim chunks dynamically
+  // (the key-value pairs of Figure 4, restricted to dirty sources).
+  FillSourceCostWeights(graph_, options_.use_csr, worklist_, &weights_);
+  hard_breaks_.clear();
+  for (std::size_t m = 1; m < mappers_.size(); ++m) {
+    const auto pos = static_cast<std::size_t>(
+        std::lower_bound(worklist_.begin(), worklist_.end(),
+                         mappers_[m].begin) -
+        worklist_.begin());
+    if (pos > 0 && pos < worklist_.size()) hard_breaks_.push_back(pos);
+  }
+  SourceSharderOptions sharding;
+  sharding.num_workers = pool_->num_threads();
+  sharder_.Reset(worklist_, weights_, sharding, hard_breaks_);
+
+  const std::size_t chunks = sharder_.num_chunks();
+  chunk_mapper_.resize(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    chunk_mapper_[c] = MapperOf(worklist_[sharder_.chunk_begin(c)]);
+  }
+  chunk_seconds_.assign(chunks, 0.0);
+
+  const std::size_t w = std::min(pool_->num_threads(), std::max<std::size_t>(chunks, 1));
+  SOBC_RETURN_NOT_OK(EnsureMapWorkers(w, n));
+  if (chunks > 0) {
+    ParallelFor(pool_.get(), w, [&](std::size_t i) {
+      MapWorker& wk = workers_[i];
+      std::span<const VertexId> chunk;
+      std::size_t idx = 0;
+      while (sharder_.Next(&chunk, &idx)) {
+        auto store = WorkerStore(&wk, chunk_mapper_[idx]);
+        if (!store.ok()) {
+          wk.status = store.status();
+          sharder_.Abort();
+          return;
+        }
+        WallTimer chunk_timer;
+        const Status st = wk.engine->ApplyUpdateForSources(
+            graph_, update, chunk, *store, &wk.delta, &wk.stats);
+        chunk_seconds_[idx] = chunk_timer.Seconds();
+        if (!st.ok()) {
+          wk.status = st;
+          sharder_.Abort();
+          return;
+        }
+      }
+    });
+  }
+  for (std::size_t i = 0; i < w; ++i) {
+    SOBC_RETURN_NOT_OK(workers_[i].status);
+  }
+
+  // Reduce phase: fold the workers' emitted deltas tree-wise, then one
+  // final merge into the maintained global scores.
+  WallTimer merge_timer;
+  std::vector<BcScores*> partials;
+  partials.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) partials.push_back(&workers_[i].delta);
+  TreeReduceScores(w > 2 ? pool_.get() : nullptr, partials);
+  if (w > 0) reduced_.Merge(workers_[0].delta);
   if (update.op == EdgeOp::kRemove) {
     // The removed edge's entry now holds only floating-point residue.
     reduced_.ebc.erase(graph_.MakeKey(update.u, update.v));
   }
   last_merge_seconds_ = merge_timer.Seconds();
+  for (std::size_t i = 0; i < w; ++i) last_stats_.Merge(workers_[i].stats);
 
+  // Per-machine accounting: each chunk's time lands on the mapper that
+  // owns its sources, so the cluster model still sees p machines.
+  mapper_seconds_.assign(mappers_.size(), 0.0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    mapper_seconds_[chunk_mapper_[c]] += chunk_seconds_[c];
+  }
   if (timing != nullptr) {
-    timing->mapper_seconds.clear();
-    for (const Mapper& m : mappers_) {
-      timing->mapper_seconds.push_back(m.last_seconds);
-    }
+    timing->mapper_seconds = mapper_seconds_;
     timing->merge_seconds = last_merge_seconds_;
+    timing->prefilter_seconds = prefilter_seconds;
   }
   return Status::OK();
 }
@@ -164,11 +301,5 @@ Status ParallelDynamicBc::ApplyAll(const EdgeStream& stream) {
 }
 
 const BcScores& ParallelDynamicBc::scores() { return reduced_; }
-
-UpdateStats ParallelDynamicBc::last_update_stats() const {
-  UpdateStats merged;
-  for (const Mapper& m : mappers_) merged.Merge(m.stats);
-  return merged;
-}
 
 }  // namespace sobc

@@ -9,53 +9,68 @@
 #include "bc/bd_store.h"
 #include "bc/dynamic_bc.h"
 #include "bc/incremental.h"
+#include "bc/source_prefilter.h"
 #include "common/status.h"
 #include "graph/edge_stream.h"
 #include "graph/graph.h"
+#include "parallel/source_sharder.h"
 #include "parallel/thread_pool.h"
 
 namespace sobc {
 
 struct ParallelBcOptions {
   /// Number of logical mappers p (the paper's shared-nothing machines).
-  /// Sources are split into p contiguous ranges of ~n/p each (Figure 4).
+  /// Each mapper *stores* a contiguous range of ~n/p sources (Figure 4);
+  /// the work over those sources is claimed dynamically, see below.
   int num_mappers = 4;
   /// Storage variant per mapper; kOutOfCore gives every mapper its own
   /// columnar file under storage_dir (one disk per machine in the paper).
   BcVariant variant = BcVariant::kMemory;
   std::string storage_dir;
-  /// Physical threads executing mapper tasks. Zero = hardware concurrency.
+  /// Physical threads executing map work. Zero = hardware concurrency.
   /// Mapper count may exceed thread count: the cluster model below still
   /// reports per-mapper times as if each ran on its own machine.
   int num_threads = 0;
   /// Traverse via the graph's packed CsrView snapshot (default): built once
   /// in Create, patched on the driver thread inside Apply, and shared
-  /// read-only by all p mappers of one update.
+  /// read-only by all workers of one update.
   bool use_csr = true;
+  /// Run the endpoint-BFS affected-source prefilter before the map phase,
+  /// so mappers only ever touch dirty sources (source_prefilter.h). Off =
+  /// the paper's original full-range sweep with per-source BD probes.
+  bool prefilter = true;
 };
 
 /// Timing of one parallel update, in the paper's accounting:
-///   cumulative = sum over mappers (+ merge)  — what Figure 6 compares
-///                against single-machine Brandes;
-///   modeled_wall = max over mappers + merge  — wall-clock on a p-machine
-///                cluster, which drives Figures 7-8 and Table 5.
+///   cumulative = prefilter + sum over mappers (+ merge) — what Figure 6
+///                compares against single-machine Brandes;
+///   modeled_wall = prefilter + max over mappers + merge — wall-clock on a
+///                p-machine cluster, which drives Figures 7-8 and Table 5.
+/// The prefilter (like the merge) is coordinator work serialized before the
+/// map phase, so it charges into both.
 struct ParallelUpdateTiming {
   std::vector<double> mapper_seconds;
   double merge_seconds = 0.0;
+  double prefilter_seconds = 0.0;
 
   double CumulativeSeconds() const;
   double ModeledWallSeconds() const;
 };
 
 /// The MapReduce embodiment of Section 5.4: p mappers each own a source
-/// partition (with its private BD store and engine), process every stream
-/// update for their sources, and emit partial betweenness sums; the reduce
-/// step aggregates partials per vertex/edge id.
+/// partition (with its private BD store), process every stream update for
+/// their sources, and emit partial betweenness sums; the reduce step
+/// aggregates partials per vertex/edge id.
 ///
-/// On this single-node implementation the mappers run as thread-pool tasks;
-/// per-mapper timings are measured individually so cluster-level cumulative
-/// and wall-clock figures can be reported faithfully (see DESIGN.md,
-/// substitution 3).
+/// On this single-node implementation the map phase is executed by
+/// work-claiming pool workers rather than one monolithic task per mapper:
+/// the per-update dirty-source worklist (endpoint-BFS prefilter) is sliced
+/// into degree-weighted chunks that never straddle a mapper's partition,
+/// and idle workers claim chunks through SourceSharder's atomic cursor —
+/// so one mapper hit by an expensive structural source no longer pins the
+/// whole update to its range's worst case. Per-chunk times are accumulated
+/// back onto the owning mapper, preserving the per-machine accounting the
+/// cluster model reports (see DESIGN.md, substitution 3 and §9).
 class ParallelDynamicBc {
  public:
   static Result<std::unique_ptr<ParallelDynamicBc>> Create(
@@ -69,7 +84,7 @@ class ParallelDynamicBc {
   Status ApplyAll(const EdgeStream& stream);
 
   /// The reduced (global) scores, maintained continuously: every Apply
-  /// folds the mappers' emitted deltas into this set.
+  /// folds the workers' emitted deltas into this set.
   const BcScores& scores();
 
   /// Seconds spent by the most recent reduce.
@@ -79,7 +94,7 @@ class ParallelDynamicBc {
   int num_mappers() const { return static_cast<int>(mappers_.size()); }
 
   /// Merged per-update statistics for the most recent Apply.
-  UpdateStats last_update_stats() const;
+  UpdateStats last_update_stats() const { return last_stats_; }
 
   /// Step-1 (Brandes initialization) per-mapper times, for speedup
   /// accounting against the sequential baseline.
@@ -88,16 +103,22 @@ class ParallelDynamicBc {
   }
 
  private:
+  /// A storage partition: the paper's machine-owned source range.
   struct Mapper {
     VertexId begin = 0;
     VertexId limit = kInvalidVertex;  // open-ended for the last mapper
     std::unique_ptr<BdStore> store;
+    std::string disk_path;  // kOutOfCore only, for per-worker handles
+  };
+
+  /// A physical lane of the map phase: engine scratch, score partial, and
+  /// (out-of-core) one store handle per mapper it has touched.
+  struct MapWorker {
     std::unique_ptr<IncrementalEngine> engine;
-    /// Scores emitted for the current update only (the map output).
     BcScores delta;
     UpdateStats stats;
-    double last_seconds = 0.0;
-    Status last_status;
+    Status status;
+    std::vector<std::unique_ptr<BdStore>> disk_handles;  // indexed by mapper
   };
 
   ParallelDynamicBc(Graph graph, int num_threads)
@@ -105,13 +126,32 @@ class ParallelDynamicBc {
         pool_(std::make_unique<ThreadPool>(num_threads)) {}
 
   VertexId MapperEnd(const Mapper& m) const;
+  /// Index of the mapper whose partition holds source s.
+  std::size_t MapperOf(VertexId s) const;
+  Status EnsureMapWorkers(std::size_t w, std::size_t n);
+  /// The store a worker must use for sources of mapper `m` (the mapper's
+  /// own store in-memory; a lazily opened private handle out-of-core).
+  Result<BdStore*> WorkerStore(MapWorker* worker, std::size_t m);
 
+  ParallelBcOptions options_;
+  PredMode pred_mode_ = PredMode::kScanNeighbors;
   Graph graph_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<Mapper> mappers_;
+  std::vector<MapWorker> workers_;
   std::vector<double> init_seconds_;
   BcScores reduced_;
   double last_merge_seconds_ = 0.0;
+  UpdateStats last_stats_;
+
+  SourcePrefilter prefilter_;
+  SourceSharder sharder_;
+  std::vector<VertexId> worklist_;
+  std::vector<std::uint64_t> weights_;
+  std::vector<std::size_t> hard_breaks_;
+  std::vector<std::size_t> chunk_mapper_;
+  std::vector<double> chunk_seconds_;
+  std::vector<double> mapper_seconds_;
 };
 
 }  // namespace sobc

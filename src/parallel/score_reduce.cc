@@ -1,0 +1,30 @@
+#include "parallel/score_reduce.h"
+
+namespace sobc {
+
+void TreeReduceScores(ThreadPool* pool, std::span<BcScores*> partials) {
+  const std::size_t p = partials.size();
+  if (p <= 1) return;
+  if (pool == nullptr || p == 2) {
+    for (std::size_t i = 1; i < p; ++i) partials[0]->Merge(*partials[i]);
+    return;
+  }
+  for (std::size_t stride = 1; stride < p; stride *= 2) {
+    // Round: partials[i] absorbs partials[i + stride] for every even
+    // multiple i of 2*stride; pairs are disjoint, so they merge in
+    // parallel.
+    std::vector<std::size_t> left;
+    for (std::size_t i = 0; i + stride < p; i += 2 * stride) {
+      left.push_back(i);
+    }
+    if (left.size() == 1) {
+      partials[left[0]]->Merge(*partials[left[0] + stride]);
+      continue;
+    }
+    ParallelFor(pool, left.size(), [&](std::size_t k) {
+      partials[left[k]]->Merge(*partials[left[k] + stride]);
+    });
+  }
+}
+
+}  // namespace sobc

@@ -81,9 +81,12 @@ void BcService::WriterLoop() {
     // (possibly "no effect", for coalesced churn) became readable.
     const double now = SteadyNowSeconds();
     for (double& t : batch.enqueue_seconds) t = now - t;
+    const UpdateStats& update_stats = bc_->last_update_stats();
     metrics_.RecordBatch(batch.updates.size(),
                          batch.consumed - batch.updates.size(), apply_seconds,
-                         batch.enqueue_seconds, epoch, position);
+                         batch.enqueue_seconds, epoch, position,
+                         update_stats.sources_total,
+                         update_stats.sources_prefiltered);
     {
       // The store must happen under mu_ so a Drain caller between its
       // predicate check and its sleep cannot miss this publication.

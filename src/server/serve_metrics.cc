@@ -41,9 +41,14 @@ void ServeMetrics::RecordBatch(std::size_t applied, std::size_t coalesced,
                                double apply_seconds,
                                std::span<const double> update_latencies,
                                std::uint64_t publish_epoch,
-                               std::uint64_t stream_position) {
+                               std::uint64_t stream_position,
+                               std::uint64_t sources_total,
+                               std::uint64_t sources_prefiltered) {
   applied_.fetch_add(applied, std::memory_order_relaxed);
   coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
+  sources_total_.fetch_add(sources_total, std::memory_order_relaxed);
+  sources_prefiltered_.fetch_add(sources_prefiltered,
+                                 std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
   publishes_.fetch_add(1, std::memory_order_relaxed);
   publish_epoch_.store(publish_epoch, std::memory_order_relaxed);
@@ -65,6 +70,9 @@ ServeMetricsSnapshot ServeMetrics::Read() const {
   snap.publish_epoch = publish_epoch_.load(std::memory_order_relaxed);
   snap.published_stream_position =
       published_stream_position_.load(std::memory_order_relaxed);
+  snap.sources_total = sources_total_.load(std::memory_order_relaxed);
+  snap.sources_prefiltered =
+      sources_prefiltered_.load(std::memory_order_relaxed);
   std::vector<double> latencies;
   std::vector<double> batch_seconds;
   {
@@ -96,6 +104,12 @@ std::string ServeMetricsSnapshot::ToJson() const {
   AppendField(&out, "publish_epoch", publish_epoch);
   AppendField(&out, "published_stream_position", published_stream_position);
   AppendField(&out, "epoch_lag", epoch_lag);
+  AppendField(&out, "sources_total", sources_total);
+  AppendField(&out, "sources_prefiltered", sources_prefiltered);
+  AppendField(&out, "prefilter_skip_rate",
+              sources_total > 0 ? static_cast<double>(sources_prefiltered) /
+                                      static_cast<double>(sources_total)
+                                : 0.0);
   AppendField(&out, "p50_update_latency_seconds", p50_update_latency_seconds);
   AppendField(&out, "p99_update_latency_seconds", p99_update_latency_seconds);
   AppendField(&out, "p50_batch_apply_seconds", p50_batch_apply_seconds);

@@ -29,6 +29,14 @@ struct ServeMetricsSnapshot {
   std::uint64_t published_stream_position = 0;
   std::uint64_t epoch_lag = 0;
 
+  /// Per-source accounting of the apply path, summed over every applied
+  /// batch: how many source passes the updates implied in total and how
+  /// many the endpoint-BFS prefilter eliminated without a BD probe
+  /// (Proposition 3.1). Their ratio — emitted as prefilter_skip_rate in
+  /// the JSON — is the skip-rate `sobc_cli serve` surfaces.
+  std::uint64_t sources_total = 0;
+  std::uint64_t sources_prefiltered = 0;
+
   /// Submit-to-publish latency per consumed update (coalesced ones
   /// included — their effect was published even if they never ran).
   double p50_update_latency_seconds = 0.0;
@@ -52,11 +60,14 @@ class ServeMetrics {
 
   /// One applied-and-published batch: `applied` post-coalescing updates,
   /// `coalesced` collapsed away, engine time, per-consumed-update
-  /// submit-to-publish latencies, and the publication it produced.
+  /// submit-to-publish latencies, the publication it produced, and the
+  /// batch's source-pass accounting (total vs. prefilter-eliminated).
   void RecordBatch(std::size_t applied, std::size_t coalesced,
                    double apply_seconds,
                    std::span<const double> update_latencies,
-                   std::uint64_t publish_epoch, std::uint64_t stream_position);
+                   std::uint64_t publish_epoch, std::uint64_t stream_position,
+                   std::uint64_t sources_total = 0,
+                   std::uint64_t sources_prefiltered = 0);
 
   ServeMetricsSnapshot Read() const;
 
@@ -70,6 +81,8 @@ class ServeMetrics {
   std::atomic<std::uint64_t> publishes_{0};
   std::atomic<std::uint64_t> publish_epoch_{0};
   std::atomic<std::uint64_t> published_stream_position_{0};
+  std::atomic<std::uint64_t> sources_total_{0};
+  std::atomic<std::uint64_t> sources_prefiltered_{0};
 
   mutable std::mutex sample_mu_;
   std::vector<double> latency_samples_;

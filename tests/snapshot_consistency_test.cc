@@ -24,7 +24,11 @@ namespace {
 using testutil::ExpectScoresNear;
 using testutil::RandomConnectedGraph;
 
-TEST(SnapshotConsistency, EveryObservedSnapshotMatchesBrandesAtItsEpoch) {
+// `apply_threads` drives the writer's sharded parallel apply: 1 keeps the
+// historical single-threaded writer; >1 makes the writer a coordinator
+// fanning each batch across worker engines while the readers still hammer
+// the snapshot head — the full concurrency surface under one roof.
+void RunSnapshotConsistency(int apply_threads) {
   Rng rng(77);
   const Graph base = RandomConnectedGraph(48, 30, &rng);
   EdgeStream stream = MixedUpdateStream(base, 80, 0.35, &rng);
@@ -32,6 +36,7 @@ TEST(SnapshotConsistency, EveryObservedSnapshotMatchesBrandesAtItsEpoch) {
 
   BcServiceOptions options;
   options.queue.max_batch = 3;  // small batches: many publications to catch
+  options.bc.num_threads = apply_threads;
   auto service_or = BcService::Create(base, options);
   ASSERT_TRUE(service_or.ok());
   BcService& service = **service_or;
@@ -95,6 +100,14 @@ TEST(SnapshotConsistency, EveryObservedSnapshotMatchesBrandesAtItsEpoch) {
                      1e-7,
                      "snapshot at position " + std::to_string(target));
   }
+}
+
+TEST(SnapshotConsistency, EveryObservedSnapshotMatchesBrandesAtItsEpoch) {
+  RunSnapshotConsistency(/*apply_threads=*/1);
+}
+
+TEST(SnapshotConsistency, ParallelWriterKeepsThePublicationContract) {
+  RunSnapshotConsistency(/*apply_threads=*/3);
 }
 
 }  // namespace

@@ -5,10 +5,13 @@
 //   sobc_cli scores <graph.txt> [--directed] [--out=scores.tsv]
 //       Exact betweenness (Brandes) of an edge-list graph.
 //   sobc_cli stream <graph.txt> <stream.txt> [--directed] [--variant=mo|mp|do]
-//            [--store=bd.bin] [--out=scores.tsv] [--top=K]
+//            [--store=bd.bin] [--out=scores.tsv] [--top=K] [--threads=T]
+//            [--no-prefilter]
 //       Step 1 + incremental replay of an update stream ("+ u v t" /
 //       "- u v t" lines; see WriteEdgeStream), printing per-update stats
-//       and the final top-K elements.
+//       (including the prefilter skip-rate) and the final top-K elements.
+//       --threads fans each update's source loop across T workers
+//       (0 = hardware concurrency).
 //   sobc_cli stats <graph.txt> [--directed]
 //       Dataset statistics (the Table 2 columns).
 //   sobc_cli generate <profile-or-kind> <vertices> [--seed=S]
@@ -18,11 +21,13 @@
 //       a timestamped stream of N additions for the stream command.
 //   sobc_cli serve <graph.txt> [--directed] [--stream=file|--updates=N]
 //            [--churn=F] [--readers=R] [--batch=B] [--budget-ms=M]
-//            [--queue-cap=C] [--no-coalesce] [--top=K] [--seed=S]
-//            [--json=report.json]
+//            [--queue-cap=C] [--no-coalesce] [--threads=T] [--no-prefilter]
+//            [--top=K] [--seed=S] [--json=report.json]
 //       Live serving loop (src/server): a writer thread drains coalesced
-//       batches while R reader threads query top-k snapshots lock-free;
-//       prints (and optionally writes as JSON) the serve metrics.
+//       batches — fanning each batch's source work across T apply workers
+//       — while R reader threads query top-k snapshots lock-free; prints
+//       (and optionally writes as JSON) the serve metrics, prefilter
+//       skip-rate included.
 //
 // Exit code 0 on success; errors go to stderr.
 
@@ -64,6 +69,9 @@ struct CliArgs {
   std::size_t top = 10;
   std::size_t stream_edges = 0;
   std::uint64_t seed = 1;
+  // apply-path threading (stream replay and serve writer; 0 = hardware)
+  int threads = 1;
+  bool prefilter = true;
   // serve options
   std::size_t serve_updates = 10000;
   double churn = 0.5;
@@ -118,6 +126,11 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->budget_ms = std::strtod(arg.c_str() + 12, nullptr);
     } else if (arg.rfind("--queue-cap=", 0) == 0) {
       args->queue_cap = std::strtoul(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args->threads =
+          static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+    } else if (arg == "--no-prefilter") {
+      args->prefilter = false;
     } else if (arg == "--no-coalesce") {
       args->coalesce = false;
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -190,15 +203,19 @@ int CmdStream(const CliArgs& args) {
                  args.variant.c_str());
     return 1;
   }
+  options.num_threads = args.threads;
+  options.prefilter = args.prefilter;
   WallTimer init_timer;
   auto bc = DynamicBc::Create(std::move(*graph), options);
   if (!bc.ok()) {
     std::fprintf(stderr, "%s\n", bc.status().ToString().c_str());
     return 1;
   }
-  std::printf("step 1 done in %.3fs (%zu vertices, %zu edges, %s)\n",
+  std::printf("step 1 done in %.3fs (%zu vertices, %zu edges, %s, "
+              "%d apply threads)\n",
               init_timer.Seconds(), (*bc)->graph().NumVertices(),
-              (*bc)->graph().NumEdges(), args.variant.c_str());
+              (*bc)->graph().NumEdges(), args.variant.c_str(),
+              (*bc)->num_threads());
 
   WallTimer stream_timer;
   UpdateStats totals;
@@ -213,10 +230,16 @@ int CmdStream(const CliArgs& args) {
   const double seconds = stream_timer.Seconds();
   std::printf(
       "applied %zu updates in %.3fs (%.2f ms/update); per-source passes: "
-      "%llu skipped, %llu no-level-change, %llu structural\n",
+      "%llu skipped (%llu by prefilter, %.1f%%), %llu no-level-change, "
+      "%llu structural\n",
       stream->size(), seconds,
       stream->empty() ? 0.0 : 1e3 * seconds / stream->size(),
       static_cast<unsigned long long>(totals.sources_skipped),
+      static_cast<unsigned long long>(totals.sources_prefiltered),
+      totals.sources_total > 0
+          ? 100.0 * static_cast<double>(totals.sources_prefiltered) /
+                static_cast<double>(totals.sources_total)
+          : 0.0,
       static_cast<unsigned long long>(totals.sources_non_structural),
       static_cast<unsigned long long>(totals.sources_structural));
   PrintTop((*bc)->scores(), args.top);
@@ -274,6 +297,8 @@ int CmdServe(const CliArgs& args) {
   options.queue.batch_latency_budget_seconds = args.budget_ms / 1e3;
   options.queue.coalesce = args.coalesce;
   options.top_k = args.top;
+  options.bc.num_threads = args.threads;
+  options.bc.prefilter = args.prefilter;
   WallTimer init_timer;
   auto service = BcService::Create(std::move(*graph), options);
   if (!service.ok()) {
@@ -281,9 +306,10 @@ int CmdServe(const CliArgs& args) {
     return 1;
   }
   std::printf("step 1 done in %.3fs; serving with batch=%zu budget=%.1fms "
-              "coalesce=%s readers=%d\n",
+              "coalesce=%s readers=%d apply-threads=%d prefilter=%s\n",
               init_timer.Seconds(), args.batch, args.budget_ms,
-              args.coalesce ? "on" : "off", args.readers);
+              args.coalesce ? "on" : "off", args.readers, args.threads,
+              args.prefilter ? "on" : "off");
 
   // Reader threads hammer the snapshot head with top-k queries while the
   // writer refreshes — the concurrent scenario the subsystem exists for.
@@ -341,6 +367,14 @@ int CmdServe(const CliArgs& args) {
                            : 0.0,
       static_cast<unsigned long long>(metrics.dropped),
       static_cast<unsigned long long>(metrics.publishes));
+  std::printf(
+      "prefilter skipped %llu of %llu source passes (%.1f%%)\n",
+      static_cast<unsigned long long>(metrics.sources_prefiltered),
+      static_cast<unsigned long long>(metrics.sources_total),
+      metrics.sources_total > 0
+          ? 100.0 * static_cast<double>(metrics.sources_prefiltered) /
+                static_cast<double>(metrics.sources_total)
+          : 0.0);
   std::printf(
       "latency p50 %.3fms p99 %.3fms; batch apply p50 %.3fms p99 %.3fms; "
       "%llu snapshot reads across %d readers\n",
@@ -437,14 +471,16 @@ int Usage() {
                "usage: sobc_cli scores <graph> [--directed] [--out=f.tsv] "
                "[--top=K]\n"
                "       sobc_cli stream <graph> <stream> [--directed] "
-               "[--variant=mo|mp|do] [--store=f.bd] [--out=f.tsv] [--top=K]\n"
+               "[--variant=mo|mp|do] [--store=f.bd] [--out=f.tsv] [--top=K] "
+               "[--threads=T] [--no-prefilter]\n"
                "       sobc_cli stats <graph> [--directed]\n"
                "       sobc_cli generate <profile|social|tree> <vertices> "
                "[--seed=S] [--out=g.txt] [--stream=N] [--stream-out=s.txt]\n"
                "       sobc_cli serve <graph> [--directed] "
                "[--stream=file|--updates=N] [--churn=F] [--readers=R] "
                "[--batch=B] [--budget-ms=M] [--queue-cap=C] [--no-coalesce] "
-               "[--top=K] [--seed=S] [--json=report.json]\n");
+               "[--threads=T] [--no-prefilter] [--top=K] [--seed=S] "
+               "[--json=report.json]\n");
   return 2;
 }
 
