@@ -5,6 +5,18 @@
 
 namespace sobc {
 
+Status BdStore::ViewBatch(std::span<const VertexId> sources,
+                          std::vector<SourceView>* views) {
+  views->clear();
+  views->reserve(sources.size());
+  for (VertexId s : sources) {
+    SourceView view;
+    SOBC_RETURN_NOT_OK(View(s, &view));
+    views->push_back(view);
+  }
+  return Status::OK();
+}
+
 VertexId InMemoryBdStore::source_end() const {
   if (limit_ == kInvalidVertex) {
     return static_cast<VertexId>(num_vertices_);

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -79,12 +80,24 @@ class BdStore {
   /// isolated vertices (d[s][s]=0, sigma=1).
   virtual Status Grow(std::size_t new_n) = 0;
 
-  /// Drops any record cached inside this handle. Required before this
-  /// handle reads a source that *another* handle on the same backing file
-  /// may have rewritten (the sharded parallel apply opens one DiskBdStore
-  /// handle per worker; source assignment moves between workers from one
-  /// update to the next). No-op for stores without a read cache.
-  virtual void InvalidateCache() {}
+  /// Borrows several records at once; all returned views stay valid
+  /// together until the next View/ViewBatch/Apply/PutInitial/Grow call on
+  /// this handle (a second ViewBatch releases the first batch's pins).
+  /// The base implementation loops View, which is only correct for stores
+  /// whose views do not alias a shared buffer; stores with per-record
+  /// pins override it.
+  virtual Status ViewBatch(std::span<const VertexId> sources,
+                           std::vector<SourceView>* views);
+
+  /// Advises the store that `sources` are about to be read, letting an
+  /// out-of-core backend decode them in the background ahead of the
+  /// compute path. Fire-and-forget; no-op for in-memory stores.
+  virtual void Hint(std::span<const VertexId> sources) { (void)sources; }
+
+  /// Pushes buffered state to stable storage. No-op for in-memory stores;
+  /// the serving layer calls this at shutdown so out-of-core deployments
+  /// stay resumable.
+  virtual Status Flush() { return Status::OK(); }
 
   virtual PredMode pred_mode() const = 0;
 };

@@ -21,6 +21,18 @@ int ResolveThreads(int requested) {
   return hw > 0 ? hw : 2;
 }
 
+DiskBdStoreOptions MakeDiskOptions(const DynamicBcOptions& options) {
+  DiskBdStoreOptions disk;
+  disk.codec = options.store_codec;
+  disk.cache_bytes = options.cache_mb << 20;
+  disk.prefetch = options.prefetch;
+  return disk;
+}
+
+/// Sources the serial out-of-core drain hints ahead of the slab it is
+/// about to compute — the double-buffer depth of the prefetch pipeline.
+constexpr std::size_t kSerialPrefetchSlab = 128;
+
 }  // namespace
 
 Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
@@ -41,8 +53,9 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
         return Status::InvalidArgument(
             "kOutOfCore variant needs a storage_path");
       }
-      auto disk =
-          DiskBdStore::Create(options.storage_path, n, options.vertex_capacity);
+      auto disk = DiskBdStore::Create(options.storage_path, n,
+                                      options.vertex_capacity, 0,
+                                      kInvalidVertex, MakeDiskOptions(options));
       if (!disk.ok()) return disk.status();
       store = std::move(*disk);
       break;
@@ -52,6 +65,7 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
   resolved.num_threads = ResolveThreads(options.num_threads);
   auto bc = std::unique_ptr<DynamicBc>(
       new DynamicBc(std::move(graph), std::move(store), pred_mode, resolved));
+  bc->disk_root_ = dynamic_cast<DiskBdStore*>(bc->store_.get());
   if (resolved.num_threads > 1) {
     bc->pool_ = std::make_unique<ThreadPool>(
         static_cast<std::size_t>(resolved.num_threads));
@@ -75,7 +89,7 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
   if (options.variant != BcVariant::kOutOfCore) {
     return Status::InvalidArgument("Resume requires the out-of-core variant");
   }
-  auto disk = DiskBdStore::Open(options.storage_path);
+  auto disk = DiskBdStore::Open(options.storage_path, MakeDiskOptions(options));
   if (!disk.ok()) return disk.status();
   if ((*disk)->num_vertices() != graph.NumVertices()) {
     return Status::FailedPrecondition(
@@ -95,6 +109,7 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
   auto bc = std::unique_ptr<DynamicBc>(
       new DynamicBc(std::move(graph), std::move(*disk),
                     PredMode::kScanNeighbors, resolved));
+  bc->disk_root_ = dynamic_cast<DiskBdStore*>(bc->store_.get());
   if (resolved.num_threads > 1) {
     bc->pool_ = std::make_unique<ThreadPool>(
         static_cast<std::size_t>(resolved.num_threads));
@@ -106,12 +121,11 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
 
 Status DynamicBc::Checkpoint(const std::string& scores_path) {
   SOBC_RETURN_NOT_OK(WriteScores(scores_, scores_path));
-  auto* disk = dynamic_cast<DiskBdStore*>(store_.get());
-  if (disk == nullptr) {
+  if (disk_root_ == nullptr) {
     return Status::FailedPrecondition(
         "Checkpoint is only durable with the out-of-core variant");
   }
-  return disk->Flush();
+  return store_->Flush();
 }
 
 int DynamicBc::num_threads() const {
@@ -143,10 +157,10 @@ Status DynamicBc::ApplyBatch(std::span<const EdgeUpdate> batch) {
     needed = std::max(needed, top);
   }
   if (needed > store_->num_vertices()) {
-    // A DO grow re-reads every record through this handle; drop its record
-    // cache first — a parallel drain may have rewritten that source
-    // through a worker handle since it was cached.
-    if (pool_ != nullptr) store_->InvalidateCache();
+    // Grow quiesces the prefetcher, swaps the file if capacity demands it,
+    // and retires every cached record via the cache generation — the
+    // coordinator and worker handles all revalidate on their next read, so
+    // no handle needs telling (the old InvalidateCache protocol).
     SOBC_RETURN_NOT_OK(store_->Grow(needed));
   }
   if (scores_.vbc.size() < needed) scores_.vbc.resize(needed, 0.0);
@@ -154,11 +168,6 @@ Status DynamicBc::ApplyBatch(std::span<const EdgeUpdate> batch) {
     SOBC_RETURN_NOT_OK(ApplyToGraph(&graph_, update));
     SOBC_RETURN_NOT_OK(ApplyPrepared(update));
   }
-  // The drains above wrote BD records through per-worker handles; the
-  // coordinator handle's record cache may now be stale, and the next
-  // reader of store() (View/PeekDistances, or a Grow rebuild) is this
-  // handle again.
-  if (pool_ != nullptr) store_->InvalidateCache();
   // A net-removed edge's ebc entry holds only floating-point residue.
   for (const EdgeUpdate& update : batch) {
     if (update.op == EdgeOp::kRemove && !graph_.HasEdge(update.u, update.v)) {
@@ -186,6 +195,28 @@ Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
   }
   if (worklist_.empty()) return Status::OK();
   if (pool_ == nullptr) {
+    if (disk_root_ != nullptr && disk_root_->prefetch_enabled() &&
+        worklist_.size() > kSerialPrefetchSlab) {
+      // Double-buffered serial drain: hint the next slab before computing
+      // the current one, so the background reader decodes records while
+      // the engine repairs the previous batch.
+      const std::span<const VertexId> all = worklist_;
+      disk_root_->Hint(all.subspan(0, kSerialPrefetchSlab));
+      for (std::size_t off = 0; off < all.size();
+           off += kSerialPrefetchSlab) {
+        const std::size_t count =
+            std::min(kSerialPrefetchSlab, all.size() - off);
+        const std::size_t next = off + count;
+        if (next < all.size()) {
+          disk_root_->Hint(all.subspan(
+              next, std::min(kSerialPrefetchSlab, all.size() - next)));
+        }
+        SOBC_RETURN_NOT_OK(engine_.ApplyUpdateForSources(
+            graph_, update, all.subspan(off, count), store_.get(), &scores_,
+            &last_stats_));
+      }
+      return Status::OK();
+    }
     return engine_.ApplyUpdateForSources(graph_, update, worklist_,
                                          store_.get(), &scores_, &last_stats_);
   }
@@ -195,13 +226,8 @@ Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
 Status DynamicBc::EnsureWorkers(std::size_t w, std::size_t n) {
   if (workers_.size() < w) workers_.resize(w);
   const bool disk = options_.variant == BcVariant::kOutOfCore;
-  std::string disk_path;
-  if (disk) {
-    auto* main = dynamic_cast<DiskBdStore*>(store_.get());
-    if (main == nullptr) {
-      return Status::Internal("kOutOfCore framework without a disk store");
-    }
-    disk_path = main->path();
+  if (disk && disk_root_ == nullptr) {
+    return Status::Internal("kOutOfCore framework without a disk store");
   }
   for (std::size_t i = 0; i < w; ++i) {
     ApplyWorker& wk = workers_[i];
@@ -209,19 +235,15 @@ Status DynamicBc::EnsureWorkers(std::size_t w, std::size_t n) {
       wk.engine = std::make_unique<IncrementalEngine>(engine_.pred_mode(),
                                                       options_.use_csr);
     }
-    if (disk) {
-      if (wk.disk_store == nullptr ||
-          wk.disk_store->num_vertices() != store_->num_vertices()) {
-        // Fresh or stale (a Grow changed the layout or swapped the backing
-        // file): reopen onto the current file.
-        auto handle = DiskBdStore::Open(disk_path);
-        if (!handle.ok()) return handle.status();
-        wk.disk_store = std::move(*handle);
-      } else {
-        // Same file, but another worker may have rewritten the source this
-        // handle cached during the previous drain.
-        wk.disk_store->InvalidateCache();
-      }
+    if (disk && (wk.disk_store == nullptr ||
+                 wk.disk_store->num_vertices() != store_->num_vertices())) {
+      // Fresh or stale (a Grow changed the layout or swapped the backing
+      // file): reopen onto the current file. OpenShared keeps every worker
+      // on the root's record cache and epochs, which is what lets handles
+      // read each other's writes without any invalidation call.
+      auto handle = disk_root_->OpenShared();
+      if (!handle.ok()) return handle.status();
+      wk.disk_store = std::move(*handle);
     }
     wk.delta.vbc.assign(n, 0.0);
     wk.delta.ebc.clear();
@@ -240,11 +262,29 @@ Status DynamicBc::ParallelDrain(const EdgeUpdate& update) {
   const std::size_t w = std::min(pool_->num_threads(), sharder_.num_chunks());
   SOBC_RETURN_NOT_OK(EnsureWorkers(w, n));
 
+  // Prefetch pipeline: the sharder publishes the chunk sequence, so hints
+  // can run `lookahead` claims ahead of the work-stealing cursor. The
+  // worker claiming chunk i hints chunk i + lookahead (each chunk is
+  // hinted exactly once); the first `lookahead` chunks are primed here.
+  const std::size_t chunks = sharder_.num_chunks();
+  const bool prefetch =
+      disk_root_ != nullptr && disk_root_->prefetch_enabled();
+  const std::size_t lookahead = w + 1;
+  if (prefetch) {
+    for (std::size_t c = 0; c < std::min(lookahead, chunks); ++c) {
+      disk_root_->Hint(sharder_.ChunkSources(c));
+    }
+  }
+
   auto run_worker = [&](std::size_t i) {
     ApplyWorker& wk = workers_[i];
     BdStore* store = wk.disk_store ? wk.disk_store.get() : store_.get();
     std::span<const VertexId> chunk;
-    while (sharder_.Next(&chunk)) {
+    std::size_t idx = 0;
+    while (sharder_.Next(&chunk, &idx)) {
+      if (prefetch && idx + lookahead < chunks) {
+        disk_root_->Hint(sharder_.ChunkSources(idx + lookahead));
+      }
       const Status st = wk.engine->ApplyUpdateForSources(
           graph_, update, chunk, store, &wk.delta, &wk.stats);
       if (!st.ok()) {

@@ -16,8 +16,11 @@
 #include "graph/graph.h"
 #include "parallel/source_sharder.h"
 #include "parallel/thread_pool.h"
+#include "storage/record_codec.h"
 
 namespace sobc {
+
+class DiskBdStore;
 
 /// Execution variants benchmarked in the paper (Section 6.1, Fig. 5).
 enum class BcVariant {
@@ -33,6 +36,17 @@ struct DynamicBcOptions {
   /// Extra vertex capacity reserved in the out-of-core file so new vertices
   /// do not force a rebuild.
   std::size_t vertex_capacity = 0;
+  /// Record codec of the out-of-core store file: kRaw is the paper's
+  /// fixed-width layout, kDelta the compressed one (storage/record_codec.h).
+  /// Recorded in the file header at Create; Resume follows the header.
+  RecordCodecId store_codec = RecordCodecId::kRaw;
+  /// Shared hot-record cache budget of the out-of-core store, in MiB; every
+  /// worker handle of the file shares it (0 disables caching).
+  std::size_t cache_mb = 64;
+  /// Decode upcoming dirty-source records into the shared cache on a
+  /// background thread, overlapping read-ahead with compute (out-of-core
+  /// only; see storage/prefetcher.h).
+  bool prefetch = true;
   /// Traverse via the graph's packed CsrView snapshot (default). The
   /// adjacency-list path remains selectable so the CSR win stays
   /// measurable (bench/micro_core.cc).
@@ -146,6 +160,9 @@ class DynamicBc {
   DynamicBcOptions options_;
   Graph graph_;
   std::unique_ptr<BdStore> store_;
+  /// store_ downcast when the variant is out-of-core (hint/prefetch entry
+  /// points live on the disk store); null otherwise.
+  DiskBdStore* disk_root_ = nullptr;
   IncrementalEngine engine_;
   BcScores scores_;
   UpdateStats last_stats_;

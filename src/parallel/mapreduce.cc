@@ -82,11 +82,20 @@ Result<std::unique_ptr<ParallelDynamicBc>> ParallelDynamicBc::Create(
     cursor = static_cast<VertexId>(cursor + size);
     m.limit = i + 1 == p ? kInvalidVertex : cursor;
     if (options.variant == BcVariant::kOutOfCore) {
-      m.disk_path = options.storage_dir + "/bd_part_" + std::to_string(i) +
-                    ".bin";
-      auto store = DiskBdStore::Create(m.disk_path, n,
-                                       /*capacity=*/0, m.begin, m.limit);
+      const std::string disk_path =
+          options.storage_dir + "/bd_part_" + std::to_string(i) + ".bin";
+      DiskBdStoreOptions disk_options;
+      disk_options.codec = options.store_codec;
+      // One slice of the budget per mapper store (its own file, its own
+      // shared cache). No floor: cache_mb is a total budget, and raising
+      // slices above it would multiply the operator's limit by p.
+      disk_options.cache_bytes = (options.cache_mb << 20) / p;
+      disk_options.prefetch = options.prefetch;
+      auto store = DiskBdStore::Create(disk_path, n,
+                                       /*capacity=*/0, m.begin, m.limit,
+                                       disk_options);
       if (!store.ok()) return store.status();
+      m.disk = store->get();
       m.store = std::move(*store);
     } else {
       m.store = std::make_unique<InMemoryBdStore>(pred_mode, m.begin, m.limit);
@@ -141,12 +150,10 @@ Status ParallelDynamicBc::EnsureMapWorkers(std::size_t w, std::size_t n) {
         if (handle == nullptr) continue;
         if (handle->num_vertices() != mappers_[m].store->num_vertices()) {
           // Stale layout (a Grow rebuilt or re-headered the file): drop it;
-          // WorkerStore reopens on demand.
+          // WorkerStore reopens on demand. A same-layout handle needs
+          // nothing — it shares the mapper store's record cache and
+          // epochs, so cross-handle writes are already visible.
           handle.reset();
-        } else {
-          // Same file, but another worker may have rewritten the source
-          // this handle cached during the previous drain.
-          handle->InvalidateCache();
         }
       }
     }
@@ -167,7 +174,7 @@ Result<BdStore*> ParallelDynamicBc::WorkerStore(MapWorker* worker,
   }
   auto& handle = worker->disk_handles[m];
   if (handle == nullptr) {
-    auto opened = DiskBdStore::Open(mappers_[m].disk_path);
+    auto opened = mappers_[m].disk->OpenShared();
     if (!opened.ok()) return opened.status();
     handle = std::move(*opened);
   }
@@ -182,10 +189,8 @@ Status ParallelDynamicBc::Apply(const EdgeUpdate& update,
         static_cast<std::size_t>(std::max(update.u, update.v)) + 1;
     if (needed > graph_.NumVertices()) {
       for (Mapper& m : mappers_) {
-        // A DO grow re-reads every record through the mapper's handle;
-        // drop its record cache first — the map phase writes through
-        // per-worker handles, so the mapper handle's cache may be stale.
-        m.store->InvalidateCache();
+        // Grow retires every cached record through the store's cache
+        // generation; worker handles revalidate on their next read.
         SOBC_RETURN_NOT_OK(m.store->Grow(needed));
       }
       reduced_.vbc.resize(needed, 0.0);
@@ -236,12 +241,31 @@ Status ParallelDynamicBc::Apply(const EdgeUpdate& update,
 
   const std::size_t w = std::min(pool_->num_threads(), std::max<std::size_t>(chunks, 1));
   SOBC_RETURN_NOT_OK(EnsureMapWorkers(w, n));
+
+  // Prefetch pipeline (kOutOfCore): prime the first chunks, then let each
+  // claim hint the chunk `lookahead` past it onto the owning mapper's
+  // store — its background reader decodes records ahead of the workers.
+  const bool prefetch = options_.variant == BcVariant::kOutOfCore &&
+                        !mappers_.empty() && mappers_[0].disk != nullptr &&
+                        mappers_[0].disk->prefetch_enabled();
+  const std::size_t lookahead = w + 1;
+  if (prefetch) {
+    for (std::size_t c = 0; c < std::min(lookahead, chunks); ++c) {
+      mappers_[chunk_mapper_[c]].disk->Hint(sharder_.ChunkSources(c));
+    }
+  }
+
   if (chunks > 0) {
     ParallelFor(pool_.get(), w, [&](std::size_t i) {
       MapWorker& wk = workers_[i];
       std::span<const VertexId> chunk;
       std::size_t idx = 0;
       while (sharder_.Next(&chunk, &idx)) {
+        if (prefetch && idx + lookahead < chunks) {
+          const std::size_t ahead = idx + lookahead;
+          mappers_[chunk_mapper_[ahead]].disk->Hint(
+              sharder_.ChunkSources(ahead));
+        }
         auto store = WorkerStore(&wk, chunk_mapper_[idx]);
         if (!store.ok()) {
           wk.status = store.status();

@@ -15,8 +15,11 @@
 #include "graph/graph.h"
 #include "parallel/source_sharder.h"
 #include "parallel/thread_pool.h"
+#include "storage/record_codec.h"
 
 namespace sobc {
+
+class DiskBdStore;
 
 struct ParallelBcOptions {
   /// Number of logical mappers p (the paper's shared-nothing machines).
@@ -27,6 +30,15 @@ struct ParallelBcOptions {
   /// columnar file under storage_dir (one disk per machine in the paper).
   BcVariant variant = BcVariant::kMemory;
   std::string storage_dir;
+  /// Record codec of each mapper's store file (storage/record_codec.h).
+  RecordCodecId store_codec = RecordCodecId::kRaw;
+  /// Total hot-record cache budget in MiB, split evenly across the
+  /// mappers' stores (each store's handles share its slice; the aggregate
+  /// never exceeds this budget).
+  std::size_t cache_mb = 64;
+  /// Background read-ahead of upcoming chunks into each mapper store's
+  /// shared cache (kOutOfCore only).
+  bool prefetch = true;
   /// Physical threads executing map work. Zero = hardware concurrency.
   /// Mapper count may exceed thread count: the cluster model below still
   /// reports per-mapper times as if each ran on its own machine.
@@ -108,7 +120,9 @@ class ParallelDynamicBc {
     VertexId begin = 0;
     VertexId limit = kInvalidVertex;  // open-ended for the last mapper
     std::unique_ptr<BdStore> store;
-    std::string disk_path;  // kOutOfCore only, for per-worker handles
+    /// store downcast when kOutOfCore (worker handles come from its
+    /// OpenShared; hints go to its prefetcher); null otherwise.
+    DiskBdStore* disk = nullptr;
   };
 
   /// A physical lane of the map phase: engine scratch, score partial, and

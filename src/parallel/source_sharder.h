@@ -81,6 +81,16 @@ class SourceSharder {
   /// order, so this also identifies the owning mapper range).
   std::size_t chunk_begin(std::size_t i) const { return bounds_[i]; }
 
+  /// The sources of chunk `i`, readable from any thread during a drain —
+  /// the "upcoming dirty-source chunk" published to the out-of-core
+  /// prefetch pipeline. Chunks are claimed in ascending order, so the
+  /// worker claiming chunk k hints ChunkSources(k + lookahead): a fixed
+  /// read-ahead distance past the work-stealing cursor with every chunk
+  /// hinted exactly once.
+  std::span<const VertexId> ChunkSources(std::size_t i) const {
+    return worklist_.subspan(bounds_[i], bounds_[i + 1] - bounds_[i]);
+  }
+
  private:
   std::span<const VertexId> worklist_;
   std::vector<std::size_t> bounds_;  // chunk i = worklist[bounds_[i], bounds_[i+1])

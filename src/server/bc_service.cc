@@ -118,7 +118,12 @@ Status BcService::Drain() {
 Status BcService::Stop() {
   queue_.Close();
   if (writer_.joinable()) writer_.join();
+  // The writer can no longer touch the framework; push the final BD state
+  // to stable storage so a serve-mode out-of-core deployment is resumable
+  // (no-op for the in-memory variants).
+  const Status flush = bc_->store()->Flush();
   std::lock_guard<std::mutex> lock(mu_);
+  if (writer_status_.ok() && !flush.ok()) writer_status_ = flush;
   return writer_status_;
 }
 

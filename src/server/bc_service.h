@@ -84,6 +84,11 @@ class BcService {
   /// Updates accepted into the queue so far.
   std::uint64_t submitted() const { return queue_.stats().received; }
 
+  /// The underlying framework — for post-mortem inspection (store
+  /// footprint, checkpoint). Safe to touch only after Stop() returned;
+  /// while the service runs, the writer thread owns it.
+  DynamicBc* framework() { return bc_.get(); }
+
  private:
   BcService(std::unique_ptr<DynamicBc> bc, const BcServiceOptions& options);
 

@@ -12,7 +12,10 @@ namespace sobc {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x53424353544F5245ULL;  // "SBCSTORE"
-constexpr std::uint32_t kVersion = 1;
+// Version 2 widened the caller-managed header area from three to five
+// 64-bit fields (DiskBdStore persists its record codec id and vertex
+// capacity in the extra two).
+constexpr std::uint32_t kVersion = 2;
 
 struct FileHeader {
   std::uint64_t magic;
@@ -23,6 +26,8 @@ struct FileHeader {
   std::uint64_t user_value;
   std::uint64_t user_aux0;
   std::uint64_t user_aux1;
+  std::uint64_t user_aux2;
+  std::uint64_t user_aux3;
 };
 
 Status Errno(const std::string& what, const std::string& path) {
@@ -111,6 +116,8 @@ Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Create(
   header.user_value = 0;
   header.user_aux0 = 0;
   header.user_aux1 = 0;
+  header.user_aux2 = 0;
+  header.user_aux3 = 0;
   Status st = FullPwrite(fd, &header, sizeof(header), 0, path);
   if (st.ok()) {
     st = FullPwrite(fd, layout.column_widths.data(),
@@ -122,7 +129,7 @@ Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Create(
     return st;
   }
   auto file = std::unique_ptr<ColumnarFile>(
-      new ColumnarFile(fd, path, layout, 0, 0, 0, header_size));
+      new ColumnarFile(fd, path, layout, 0, 0, 0, 0, 0, header_size));
   SOBC_RETURN_NOT_OK(file->MapFile());
   return file;
 }
@@ -137,9 +144,17 @@ Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Open(
     ::close(fd);
     return st;
   }
-  if (header.magic != kMagic || header.version != kVersion) {
+  if (header.magic != kMagic) {
     ::close(fd);
     return Status::IOError("not a sobc columnar file: " + path);
+  }
+  if (header.version != kVersion) {
+    ::close(fd);
+    return Status::IOError(
+        "unsupported sobc columnar file version " +
+        std::to_string(header.version) + " (this build reads version " +
+        std::to_string(kVersion) + "): " + path +
+        "; re-create the store from its graph + stream");
   }
   ColumnarLayout layout;
   layout.entries_per_record = header.entries_per_record;
@@ -154,7 +169,8 @@ Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Open(
   }
   auto file = std::unique_ptr<ColumnarFile>(
       new ColumnarFile(fd, path, layout, header.user_value, header.user_aux0,
-                       header.user_aux1, HeaderSize(header.num_columns)));
+                       header.user_aux1, header.user_aux2, header.user_aux3,
+                       HeaderSize(header.num_columns)));
   SOBC_RETURN_NOT_OK(file->MapFile());
   return file;
 }
@@ -230,6 +246,14 @@ Status ColumnarFile::SetUserAux(std::uint64_t aux0, std::uint64_t aux1) {
   user_aux_[1] = aux1;
   std::memcpy(map_ + offsetof(FileHeader, user_aux0), &aux0, sizeof(aux0));
   std::memcpy(map_ + offsetof(FileHeader, user_aux1), &aux1, sizeof(aux1));
+  return Status::OK();
+}
+
+Status ColumnarFile::SetUserAuxHigh(std::uint64_t aux2, std::uint64_t aux3) {
+  user_aux_[2] = aux2;
+  user_aux_[3] = aux3;
+  std::memcpy(map_ + offsetof(FileHeader, user_aux2), &aux2, sizeof(aux2));
+  std::memcpy(map_ + offsetof(FileHeader, user_aux3), &aux3, sizeof(aux3));
   return Status::OK();
 }
 

@@ -92,18 +92,25 @@ class ColumnarFile {
   std::uint64_t user_aux0() const { return user_aux_[0]; }
   std::uint64_t user_aux1() const { return user_aux_[1]; }
 
+  /// Fourth and fifth caller-managed fields (DiskBdStore persists its
+  /// record codec id and vertex capacity in these).
+  Status SetUserAuxHigh(std::uint64_t aux2, std::uint64_t aux3);
+  std::uint64_t user_aux2() const { return user_aux_[2]; }
+  std::uint64_t user_aux3() const { return user_aux_[3]; }
+
   /// Flushes file contents and header to disk.
   Status Sync();
 
  private:
   ColumnarFile(int fd, std::string path, ColumnarLayout layout,
                std::uint64_t user_value, std::uint64_t aux0,
-               std::uint64_t aux1, std::uint64_t header_size)
+               std::uint64_t aux1, std::uint64_t aux2, std::uint64_t aux3,
+               std::uint64_t header_size)
       : fd_(fd),
         path_(std::move(path)),
         layout_(std::move(layout)),
         user_value_(user_value),
-        user_aux_{aux0, aux1},
+        user_aux_{aux0, aux1, aux2, aux3},
         header_size_(header_size) {}
 
   Status CheckBounds(std::uint64_t record, std::size_t column,
@@ -116,7 +123,7 @@ class ColumnarFile {
   std::string path_;
   ColumnarLayout layout_;
   std::uint64_t user_value_;
-  std::uint64_t user_aux_[2];
+  std::uint64_t user_aux_[4];
   std::uint64_t header_size_;
   // The file is memory-mapped ("memory structures are mapped directly on
   // disk", Section 1.2): reads and in-place updates are plain memory

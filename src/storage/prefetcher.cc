@@ -1,0 +1,104 @@
+#include "storage/prefetcher.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace sobc {
+
+void Prefetcher::Start(Loader loader) {
+  if (thread_.joinable()) return;
+  loader_ = std::move(loader);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Prefetcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Prefetcher::Hint(std::span<const VertexId> sources) {
+  if (sources.empty() || !thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stats_.hinted += sources.size();
+    if (queue_.size() >= kMaxQueuedBatches) {
+      // Shed the oldest hints: they are the least likely to still be ahead
+      // of the compute frontier.
+      stats_.dropped += queue_.front().size();
+      queue_.pop_front();
+    }
+    queue_.emplace_back(sources.begin(), sources.end());
+  }
+  work_cv_.notify_one();
+}
+
+void Prefetcher::Quiesce() {
+  if (!thread_.joinable()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (const auto& batch : queue_) stats_.dropped += batch.size();
+  queue_.clear();
+  ++clear_ticket_;
+  idle_cv_.wait(lock, [this] { return !busy_ && queue_.empty(); });
+}
+
+PrefetchStats Prefetcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Prefetcher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    std::vector<VertexId> batch = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    const std::uint64_t ticket = clear_ticket_;
+    lock.unlock();
+
+    WallTimer timer;
+    std::uint64_t fetched = 0;
+    std::uint64_t cached = 0;
+    std::uint64_t failed = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      {
+        // Abort the rest of the batch promptly when Quiesce or Stop landed.
+        std::lock_guard<std::mutex> peek(mu_);
+        if (stop_ || clear_ticket_ != ticket) break;
+      }
+      switch (loader_(batch[i])) {
+        case LoadResult::kFetched:
+          ++fetched;
+          break;
+        case LoadResult::kAlreadyCached:
+          ++cached;
+          break;
+        case LoadResult::kFailed:
+          ++failed;
+          break;
+      }
+    }
+    const double seconds = timer.Seconds();
+
+    lock.lock();
+    stats_.fetched += fetched;
+    stats_.already_cached += cached;
+    stats_.failed += failed;
+    stats_.fetch_seconds += seconds;
+    busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace sobc

@@ -1,0 +1,137 @@
+#include "storage/record_cache.h"
+
+namespace sobc {
+
+RecordCache::RecordCache(std::size_t capacity_bytes, std::size_t num_records)
+    : capacity_bytes_(capacity_bytes),
+      shard_capacity_(capacity_bytes / kShards),
+      epochs_(new std::atomic<std::uint32_t>[num_records]()),
+      flushed_(new std::atomic<std::uint32_t>[num_records]()),
+      num_records_(num_records) {}
+
+void RecordCache::InvalidateAll(std::size_t num_records) {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  if (num_records != num_records_) {
+    epochs_.reset(new std::atomic<std::uint32_t>[num_records]());
+    flushed_.reset(new std::atomic<std::uint32_t>[num_records]());
+    num_records_ = num_records;
+  }
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+}
+
+std::shared_ptr<const CachedRecord> RecordCache::Acquire(std::uint64_t key) {
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::shared_ptr<const CachedRecord> record = *it->second;
+  if (!Current(*record)) {
+    EraseLocked(shard, it);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // LRU touch: splice to front.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  it->second = shard.lru.begin();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return record;
+}
+
+bool RecordCache::Contains(std::uint64_t key) const {
+  const Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  return it != shard.map.end() && Current(**it->second);
+}
+
+RecordCache::InsertOutcome RecordCache::Insert(
+    std::shared_ptr<const CachedRecord> record) {
+  InsertOutcome outcome;
+  if (record == nullptr) return outcome;
+  const std::uint64_t key = record->key;
+  const std::size_t bytes = record->ByteSize();
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!Current(*record)) {
+    // A writer (or Grow) overtook this decode; publishing it would hand
+    // stale data to readers that sample the epoch afterwards. The check
+    // MUST happen under the shard lock: checked outside, a decode that
+    // was current at check time could erase the entry a concurrent
+    // writer inserted in between — dropping the only copy of a newer
+    // dirty (write-back) version.
+    stale_discards_.fetch_add(1, std::memory_order_relaxed);
+    return outcome;
+  }
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) EraseLocked(shard, it);
+  if (bytes > shard_capacity_) {
+    // Larger than a whole shard's budget: cacheable nowhere; skip instead
+    // of evicting everything for one record. Counted so operators can see
+    // an undersized --cache-mb (stats reports oversize_rejects).
+    oversize_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return outcome;
+  }
+  shard.lru.push_front(std::move(record));
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  outcome.retained = true;
+  while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+    auto& victim = shard.lru.back();
+    shard.bytes -= victim->ByteSize();
+    shard.map.erase(victim->key);
+    outcome.evicted.push_back(std::move(victim));
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return outcome;
+}
+
+void RecordCache::CollectDirty(
+    std::vector<std::shared_ptr<const CachedRecord>>* out) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& record : shard.lru) {
+      if (record->dirty.load(std::memory_order_acquire)) {
+        out->push_back(record);
+      }
+    }
+  }
+}
+
+void RecordCache::EraseLocked(
+    Shard& shard,
+    std::unordered_map<std::uint64_t,
+                       std::list<std::shared_ptr<const CachedRecord>>::
+                           iterator>::iterator it) {
+  shard.bytes -= (*it->second)->ByteSize();
+  shard.lru.erase(it->second);
+  shard.map.erase(it);
+}
+
+RecordCache::Stats RecordCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.stale_discards = stale_discards_.load(std::memory_order_relaxed);
+  stats.oversize_rejects = oversize_rejects_.load(std::memory_order_relaxed);
+  stats.capacity_bytes = capacity_bytes_;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.bytes += shard.bytes;
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace sobc

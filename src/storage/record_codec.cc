@@ -1,0 +1,197 @@
+#include "storage/record_codec.h"
+
+#include <cstring>
+
+namespace sobc {
+
+const char* RecordCodecName(RecordCodecId id) {
+  switch (id) {
+    case RecordCodecId::kRaw:
+      return "raw";
+    case RecordCodecId::kDelta:
+      return "delta";
+  }
+  return "unknown";
+}
+
+Result<RecordCodecId> ParseRecordCodec(std::string_view name) {
+  if (name == "raw") return RecordCodecId::kRaw;
+  if (name == "delta") return RecordCodecId::kDelta;
+  return Status::InvalidArgument("unknown record codec '" + std::string(name) +
+                                 "' (raw|delta)");
+}
+
+Result<std::uint16_t> EncodeDistance16(Distance d) {
+  if (d != kUnreachable && d > kMaxRawDistance) {
+    return Status::OutOfRange(
+        "distance " + std::to_string(d) +
+        " exceeds the raw codec's 16-bit encoding (use the delta codec "
+        "for diameters above " +
+        std::to_string(kMaxRawDistance) + ")");
+  }
+  return EncodeDistance16Unchecked(d);
+}
+
+void PutVarint64(std::uint64_t value, std::vector<std::uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+std::size_t GetVarint64(const std::uint8_t* data, std::size_t len,
+                        std::uint64_t* value) {
+  std::uint64_t result = 0;
+  std::size_t shift = 0;
+  for (std::size_t i = 0; i < len && shift < 64; ++i) {
+    const std::uint8_t byte = data[i];
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return i + 1;
+    }
+    shift += 7;
+  }
+  return 0;  // truncated or overlong
+}
+
+namespace {
+
+Status Corrupt() { return Status::IOError("corrupt encoded BD record"); }
+
+/// The kDelta blob: three sections back to back, no section headers — the
+/// decoder knows n and each section is self-delimiting.
+class DeltaRecordCodec final : public RecordCodec {
+ public:
+  RecordCodecId id() const override { return RecordCodecId::kDelta; }
+
+  std::size_t MaxEncodedBytes(std::size_t n) const override {
+    // d: <=5 bytes per zigzag varint of a 33-bit delta; sigma: worst case
+    // alternating values, 1-byte run + 10-byte varint each; delta: worst
+    // case alternating zero/literal runs, 1 + 1 + 8 bytes per two entries
+    // (bounded by 10 per entry). Plus slack for the trailing run headers.
+    return 5 * n + 11 * n + 10 * n + 16;
+  }
+
+  void Encode(const Distance* d, const PathCount* sigma, const double* delta,
+              std::size_t n, std::vector<std::uint8_t>* out) const override {
+    out->clear();
+    out->reserve(n * 4 + 16);
+    // d section: zigzag varint of consecutive biased-distance differences.
+    // Biased (unreachable = 0, else d+1) keeps the dominant case — long
+    // stretches of near-equal BFS levels — in one byte per vertex.
+    std::int64_t prev = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::int64_t biased =
+          d[v] == kUnreachable ? 0
+                               : static_cast<std::int64_t>(d[v]) + 1;
+      PutVarint64(ZigZagEncode64(biased - prev), out);
+      prev = biased;
+    }
+    // sigma section: run-length pairs (varint run, varint value).
+    for (std::size_t v = 0; v < n;) {
+      std::size_t run = 1;
+      while (v + run < n && sigma[v + run] == sigma[v]) ++run;
+      PutVarint64(run, out);
+      PutVarint64(sigma[v], out);
+      v += run;
+    }
+    // delta section: alternating (varint zero-run, varint literal-run,
+    // literal doubles). Exact — literals are raw 8-byte IEEE doubles.
+    for (std::size_t v = 0; v < n;) {
+      std::size_t zeros = 0;
+      while (v + zeros < n && delta[v + zeros] == 0.0) ++zeros;
+      std::size_t lits = 0;
+      while (v + zeros + lits < n && delta[v + zeros + lits] != 0.0) ++lits;
+      PutVarint64(zeros, out);
+      PutVarint64(lits, out);
+      const std::size_t at = out->size();
+      out->resize(at + lits * sizeof(double));
+      std::memcpy(out->data() + at, delta + v + zeros, lits * sizeof(double));
+      v += zeros + lits;
+    }
+  }
+
+  Status Decode(const std::uint8_t* data, std::size_t len, std::size_t n,
+                Distance* d, PathCount* sigma, double* delta) const override {
+    std::size_t pos = 0;
+    SOBC_RETURN_NOT_OK(DecodeDSection(data, len, n, n, d, &pos));
+    // sigma section.
+    for (std::size_t v = 0; v < n;) {
+      std::uint64_t run = 0;
+      std::uint64_t value = 0;
+      std::size_t used = GetVarint64(data + pos, len - pos, &run);
+      if (used == 0) return Corrupt();
+      pos += used;
+      used = GetVarint64(data + pos, len - pos, &value);
+      if (used == 0) return Corrupt();
+      pos += used;
+      if (run == 0 || run > n - v) return Corrupt();
+      for (std::uint64_t i = 0; i < run; ++i) sigma[v + i] = value;
+      v += run;
+    }
+    // delta section.
+    for (std::size_t v = 0; v < n;) {
+      std::uint64_t zeros = 0;
+      std::uint64_t lits = 0;
+      std::size_t used = GetVarint64(data + pos, len - pos, &zeros);
+      if (used == 0) return Corrupt();
+      pos += used;
+      used = GetVarint64(data + pos, len - pos, &lits);
+      if (used == 0) return Corrupt();
+      pos += used;
+      // Bound each count individually before summing — a corrupt blob
+      // could otherwise wrap zeros + lits around 2^64 and slip past the
+      // combined check into a huge out-of-bounds write.
+      if (zeros > n - v || lits > n - v - zeros) return Corrupt();
+      if (zeros + lits == 0) return Corrupt();
+      for (std::uint64_t i = 0; i < zeros; ++i) delta[v + i] = 0.0;
+      if (lits * sizeof(double) > len - pos) return Corrupt();
+      std::memcpy(delta + v + zeros, data + pos, lits * sizeof(double));
+      pos += lits * sizeof(double);
+      v += zeros + lits;
+    }
+    return Status::OK();
+  }
+
+  Status DecodeDistances(const std::uint8_t* data, std::size_t len,
+                         std::size_t n, std::size_t limit,
+                         Distance* d) const override {
+    std::size_t pos = 0;
+    return DecodeDSection(data, len, n, limit, d, &pos);
+  }
+
+ private:
+  static Status DecodeDSection(const std::uint8_t* data, std::size_t len,
+                               std::size_t n, std::size_t limit, Distance* d,
+                               std::size_t* pos) {
+    std::int64_t prev = 0;
+    for (std::size_t v = 0; v < limit; ++v) {
+      std::uint64_t raw = 0;
+      const std::size_t used = GetVarint64(data + *pos, len - *pos, &raw);
+      if (used == 0) return Corrupt();
+      *pos += used;
+      const std::int64_t biased = prev + ZigZagDecode64(raw);
+      if (biased < 0 || biased > static_cast<std::int64_t>(kUnreachable)) {
+        return Corrupt();
+      }
+      d[v] = biased == 0 ? kUnreachable : static_cast<Distance>(biased - 1);
+      prev = biased;
+    }
+    (void)n;
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const RecordCodec& RecordCodec::Get(RecordCodecId id) {
+  // kRaw never reaches the blob interface — DiskBdStore keeps its columnar
+  // fixed-width fast path for it — so delta is the only blob codec today.
+  static const DeltaRecordCodec delta;
+  (void)id;
+  return delta;
+}
+
+}  // namespace sobc

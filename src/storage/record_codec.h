@@ -1,0 +1,109 @@
+#ifndef SOBC_STORAGE_RECORD_CODEC_H_
+#define SOBC_STORAGE_RECORD_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "common/status.h"
+
+namespace sobc {
+
+/// On-disk encoding of one BD[s] record (the d / sigma / delta columns of
+/// Section 3). The codec is selected per store file and recorded in the
+/// file header, so every handle opened on the file decodes it the same way.
+///
+///   kRaw    — the original fixed-width layout: three columns per record
+///             (16-bit biased distance, 64-bit path count, 64-bit
+///             dependency). Supports in-place span patching; distances are
+///             capped at 65534 (EncodeDistance16 returns Status past that).
+///   kDelta  — one variable-length blob per record:
+///               d      delta + zigzag varint over the biased 32-bit
+///                      distance (BFS distances are near-uniform small
+///                      integers, so consecutive deltas are tiny; the
+///                      varint also removes the 16-bit distance ceiling),
+///               sigma  run-length (varint run, varint value — sigma is
+///                      overwhelmingly 1 on sparse graphs),
+///               delta  zero-run / literal-run alternation (varint zero
+///                      count, varint literal count, raw 8-byte doubles —
+///                      dependencies of DAG leaves are exactly 0.0).
+///             Apply rewrites the whole blob; decode is exact (doubles are
+///             stored bit-identical).
+enum class RecordCodecId : std::uint8_t {
+  kRaw = 0,
+  kDelta = 1,
+};
+
+const char* RecordCodecName(RecordCodecId id);
+Result<RecordCodecId> ParseRecordCodec(std::string_view name);
+
+// --- 16-bit biased distance encoding (the kRaw d column) -------------------
+
+/// Biased so the file's zero-fill reads as "unreachable". Distances above
+/// 65534 do not fit 16 bits; callers must reject them via
+/// EncodeDistance16 (the kDelta codec has no such ceiling).
+inline constexpr Distance kMaxRawDistance = 65534;
+
+Result<std::uint16_t> EncodeDistance16(Distance d);
+
+inline std::uint16_t EncodeDistance16Unchecked(Distance d) {
+  return d == kUnreachable ? 0 : static_cast<std::uint16_t>(d + 1);
+}
+inline Distance DecodeDistance16(std::uint16_t raw) {
+  return raw == 0 ? kUnreachable : static_cast<Distance>(raw - 1);
+}
+
+// --- varint primitives (LEB128 + zigzag), shared with tests ----------------
+
+void PutVarint64(std::uint64_t value, std::vector<std::uint8_t>* out);
+/// Returns bytes consumed, or 0 on truncated/overlong input.
+std::size_t GetVarint64(const std::uint8_t* data, std::size_t len,
+                        std::uint64_t* value);
+
+inline std::uint64_t ZigZagEncode64(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t ZigZagDecode64(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+// --- blob codec (kDelta) ---------------------------------------------------
+
+/// Encoder/decoder for one whole record blob. Stateless; one process-wide
+/// instance per codec id (Get). All entry points are thread-safe.
+class RecordCodec {
+ public:
+  virtual ~RecordCodec() = default;
+  virtual RecordCodecId id() const = 0;
+
+  /// Upper bound on the encoded size of an n-entry record; the store sizes
+  /// its fixed file slots with this so re-encoded records always fit.
+  virtual std::size_t MaxEncodedBytes(std::size_t n) const = 0;
+
+  /// Encodes the three columns into `out` (assigned, not appended).
+  virtual void Encode(const Distance* d, const PathCount* sigma,
+                      const double* delta, std::size_t n,
+                      std::vector<std::uint8_t>* out) const = 0;
+
+  /// Decodes an n-entry blob into caller buffers of length >= n.
+  virtual Status Decode(const std::uint8_t* data, std::size_t len,
+                        std::size_t n, Distance* d, PathCount* sigma,
+                        double* delta) const = 0;
+
+  /// Decodes only d[0, limit) — the PeekDistances path, which never needs
+  /// sigma/delta and can stop early. `limit` <= n.
+  virtual Status DecodeDistances(const std::uint8_t* data, std::size_t len,
+                                 std::size_t n, std::size_t limit,
+                                 Distance* d) const = 0;
+
+  static const RecordCodec& Get(RecordCodecId id);
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_STORAGE_RECORD_CODEC_H_

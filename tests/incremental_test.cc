@@ -22,11 +22,13 @@ using testutil::RandomGraph;
 constexpr double kTol = 1e-7;
 
 std::unique_ptr<DynamicBc> MakeBc(const Graph& graph, BcVariant variant,
-                                  const std::string& tag) {
+                                  const std::string& tag,
+                                  RecordCodecId codec = RecordCodecId::kRaw) {
   DynamicBcOptions options;
   options.variant = variant;
   if (variant == BcVariant::kOutOfCore) {
     options.storage_path = ::testing::TempDir() + "/sobc_bd_" + tag + ".bin";
+    options.store_codec = codec;
   }
   auto bc = DynamicBc::Create(graph, options);
   EXPECT_TRUE(bc.ok()) << bc.status().ToString();
@@ -208,6 +210,7 @@ struct StreamCase {
   BcVariant variant;
   bool directed;
   const char* name;
+  RecordCodecId codec = RecordCodecId::kRaw;  // DO only
 };
 
 class IncrementalStreamTest : public ::testing::TestWithParam<StreamCase> {};
@@ -220,7 +223,8 @@ TEST_P(IncrementalStreamTest, MatchesRecomputeAfterEveryUpdate) {
                   ? RandomGraph(24, 60, &rng, /*directed=*/true)
                   : RandomConnectedGraph(24, 24, &rng);
     auto bc = MakeBc(g, param.variant,
-                     std::string(param.name) + std::to_string(trial));
+                     std::string(param.name) + std::to_string(trial),
+                     param.codec);
     const std::size_t n = bc->graph().NumVertices();
     for (int step = 0; step < 25; ++step) {
       const bool remove = bc->graph().NumEdges() > 10 && rng.Chance(0.45);
@@ -257,7 +261,11 @@ INSTANTIATE_TEST_SUITE_P(
         StreamCase{BcVariant::kOutOfCore, false, "do_undirected"},
         StreamCase{BcVariant::kMemory, true, "mo_directed"},
         StreamCase{BcVariant::kMemoryPredecessors, true, "mp_directed"},
-        StreamCase{BcVariant::kOutOfCore, true, "do_directed"}),
+        StreamCase{BcVariant::kOutOfCore, true, "do_directed"},
+        StreamCase{BcVariant::kOutOfCore, false, "do_undirected_delta",
+                   RecordCodecId::kDelta},
+        StreamCase{BcVariant::kOutOfCore, true, "do_directed_delta",
+                   RecordCodecId::kDelta}),
     [](const ::testing::TestParamInfo<StreamCase>& info) {
       return std::string(info.param.name);
     });

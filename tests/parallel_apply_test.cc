@@ -33,6 +33,11 @@ struct ApplyConfig {
   BcVariant variant = BcVariant::kMemory;
   int threads = 1;
   bool prefilter = true;
+  // Storage-engine axes (DO only): record codec and async prefetch. The
+  // tiny cache forces eviction traffic through the shared hot-record
+  // cache even at test scale.
+  RecordCodecId codec = RecordCodecId::kRaw;
+  bool prefetch = false;
 };
 
 std::string ConfigName(const ApplyConfig& config) {
@@ -44,6 +49,10 @@ std::string ConfigName(const ApplyConfig& config) {
   }
   name += "_t" + std::to_string(config.threads);
   if (!config.prefilter) name += "_noprefilter";
+  if (config.variant == BcVariant::kOutOfCore) {
+    name += std::string("_") + RecordCodecName(config.codec);
+    if (config.prefetch) name += "_prefetch";
+  }
   return name;
 }
 
@@ -58,6 +67,9 @@ std::unique_ptr<DynamicBc> MakeBc(const Graph& graph,
     options.storage_path = ::testing::TempDir() + "/parallel_apply_" + label +
                            "_" + ConfigName(config) + ".bd";
     std::remove(options.storage_path.c_str());
+    options.store_codec = config.codec;
+    options.prefetch = config.prefetch;
+    options.cache_mb = 1;
   }
   auto bc = DynamicBc::Create(graph, options);
   EXPECT_TRUE(bc.ok()) << bc.status().ToString();
@@ -77,6 +89,12 @@ void RunDifferential(const Graph& base, const EdgeStream& stream,
       {BcVariant::kMemoryPredecessors, 8, true},
       {BcVariant::kOutOfCore, 2, true},
       {BcVariant::kOutOfCore, 8, true},
+      // The storage engine's axes: both codecs, with the async prefetcher
+      // feeding the shared cache under the sharded drain.
+      {BcVariant::kOutOfCore, 2, true, RecordCodecId::kDelta, false},
+      {BcVariant::kOutOfCore, 8, true, RecordCodecId::kDelta, true},
+      {BcVariant::kOutOfCore, 8, true, RecordCodecId::kRaw, true},
+      {BcVariant::kOutOfCore, 1, true, RecordCodecId::kDelta, true},
   };
   std::vector<std::unique_ptr<DynamicBc>> frameworks;
   for (const ApplyConfig& config : configs) {
@@ -251,23 +269,30 @@ TEST(ParallelApply, VertexGrowthWithParallelDiskStore) {
   Rng rng(1007);
   const Graph base = RandomConnectedGraph(20, 14, &rng);
 
-  DynamicBcOptions options;
-  options.variant = BcVariant::kOutOfCore;
-  options.storage_path = ::testing::TempDir() + "/parallel_apply_growth.bd";
-  options.num_threads = 4;
-  std::remove(options.storage_path.c_str());
-  auto bc = DynamicBc::Create(base, options);
-  ASSERT_TRUE(bc.ok()) << bc.status().ToString();
+  for (const RecordCodecId codec :
+       {RecordCodecId::kRaw, RecordCodecId::kDelta}) {
+    DynamicBcOptions options;
+    options.variant = BcVariant::kOutOfCore;
+    options.storage_path = ::testing::TempDir() +
+                           "/parallel_apply_growth_" +
+                           RecordCodecName(codec) + ".bd";
+    options.num_threads = 4;
+    options.store_codec = codec;
+    std::remove(options.storage_path.c_str());
+    auto bc = DynamicBc::Create(base, options);
+    ASSERT_TRUE(bc.ok()) << bc.status().ToString();
 
-  Graph replay = base;
-  for (VertexId fresh = 20; fresh < 44; ++fresh) {
-    const EdgeUpdate update{static_cast<VertexId>(fresh % 7), fresh,
-                            EdgeOp::kAdd, 0.0};
-    ASSERT_TRUE(ApplyToGraph(&replay, update).ok());
-    ASSERT_TRUE((*bc)->Apply(update).ok()) << "vertex " << fresh;
+    Graph replay = base;
+    for (VertexId fresh = 20; fresh < 44; ++fresh) {
+      const EdgeUpdate update{static_cast<VertexId>(fresh % 7), fresh,
+                              EdgeOp::kAdd, 0.0};
+      ASSERT_TRUE(ApplyToGraph(&replay, update).ok());
+      ASSERT_TRUE((*bc)->Apply(update).ok()) << "vertex " << fresh;
+    }
+    ExpectScoresNear(ComputeBrandes(replay), (*bc)->scores(), kTol,
+                     std::string("disk growth under parallel apply, ") +
+                         RecordCodecName(codec));
   }
-  ExpectScoresNear(ComputeBrandes(replay), (*bc)->scores(), kTol,
-                   "disk growth under parallel apply");
 }
 
 TEST(ParallelApply, CoordinatorStoreReadsAreFreshAfterParallelDrain) {

@@ -1,0 +1,216 @@
+// Unit coverage for the record codec layer (storage/record_codec.h): the
+// varint primitives, the 16-bit raw distance encoding (and its Status on
+// overflow — the regression for the silent-wrap hazard), and the delta
+// blob codec's exact round-tripping across the record shapes BFS produces
+// (near-uniform distances, sigma runs, zero-heavy dependencies, distances
+// past the 16-bit ceiling, unreachable stretches).
+
+#include "storage/record_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sobc {
+namespace {
+
+TEST(Varint, RoundTripBoundaries) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ULL << 32) - 1,
+                                 1ULL << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t value : cases) {
+    std::vector<std::uint8_t> buf;
+    PutVarint64(value, &buf);
+    ASSERT_LE(buf.size(), 10u);
+    std::uint64_t back = 0;
+    ASSERT_EQ(GetVarint64(buf.data(), buf.size(), &back), buf.size());
+    EXPECT_EQ(back, value);
+  }
+}
+
+TEST(Varint, TruncatedInputDetected) {
+  std::vector<std::uint8_t> buf;
+  PutVarint64(1ULL << 40, &buf);
+  std::uint64_t back = 0;
+  EXPECT_EQ(GetVarint64(buf.data(), buf.size() - 1, &back), 0u);
+  EXPECT_EQ(GetVarint64(buf.data(), 0, &back), 0u);
+}
+
+TEST(Varint, ZigZagRoundTrip) {
+  const std::int64_t cases[] = {0, 1, -1, 2, -2, 1000, -1000,
+                               std::numeric_limits<std::int64_t>::max(),
+                               std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t v : cases) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v);
+  }
+  EXPECT_EQ(ZigZagEncode64(0), 0u);   // small magnitudes stay small
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+}
+
+// --- 16-bit raw distance encoding ------------------------------------------
+
+TEST(Distance16, RoundTripsRepresentableRange) {
+  for (Distance d : {Distance{0}, Distance{1}, Distance{100},
+                     kMaxRawDistance}) {
+    auto encoded = EncodeDistance16(d);
+    ASSERT_TRUE(encoded.ok()) << d;
+    EXPECT_EQ(DecodeDistance16(*encoded), d);
+  }
+  auto unreachable = EncodeDistance16(kUnreachable);
+  ASSERT_TRUE(unreachable.ok());
+  EXPECT_EQ(*unreachable, 0u);  // zero-fill reads as unreachable
+  EXPECT_EQ(DecodeDistance16(*unreachable), kUnreachable);
+}
+
+TEST(Distance16, OverflowReturnsStatusInsteadOfWrapping) {
+  // 65535 encoded as 65535+1 wraps to 0 == "unreachable" in a bare cast;
+  // the codec entry point must refuse instead.
+  EXPECT_EQ(EncodeDistance16(65535).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(EncodeDistance16(70000).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(EncodeDistance16(kUnreachable - 1).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+// --- delta blob codec ------------------------------------------------------
+
+struct Columns {
+  std::vector<Distance> d;
+  std::vector<PathCount> sigma;
+  std::vector<double> delta;
+};
+
+void ExpectRoundTrip(const Columns& in, const std::string& label) {
+  const RecordCodec& codec = RecordCodec::Get(RecordCodecId::kDelta);
+  const std::size_t n = in.d.size();
+  std::vector<std::uint8_t> blob;
+  codec.Encode(in.d.data(), in.sigma.data(), in.delta.data(), n, &blob);
+  EXPECT_LE(blob.size(), codec.MaxEncodedBytes(n)) << label;
+  Columns out;
+  out.d.assign(n, 12345);
+  out.sigma.assign(n, 12345);
+  out.delta.assign(n, 12345.0);
+  ASSERT_TRUE(codec
+                  .Decode(blob.data(), blob.size(), n, out.d.data(),
+                          out.sigma.data(), out.delta.data())
+                  .ok())
+      << label;
+  EXPECT_EQ(out.d, in.d) << label;
+  EXPECT_EQ(out.sigma, in.sigma) << label;
+  for (std::size_t v = 0; v < n; ++v) {
+    // Bit-exact: dependencies feed later old-value subtractions.
+    EXPECT_EQ(out.delta[v], in.delta[v]) << label << " v=" << v;
+  }
+  // Distances-only decode (the peek path) agrees on every prefix length.
+  for (std::size_t limit : {std::size_t{1}, n / 2, n}) {
+    if (limit == 0) continue;
+    std::vector<Distance> head(limit, 777);
+    ASSERT_TRUE(
+        codec.DecodeDistances(blob.data(), blob.size(), n, limit, head.data())
+            .ok())
+        << label;
+    for (std::size_t v = 0; v < limit; ++v) EXPECT_EQ(head[v], in.d[v]);
+  }
+}
+
+TEST(DeltaCodec, RoundTripsBfsShapedRecord) {
+  Columns in;
+  in.d = {0, 1, 1, 2, 2, 2, 3, kUnreachable, kUnreachable, 3};
+  in.sigma = {1, 1, 1, 2, 1, 1, 3, 0, 0, 1};
+  in.delta = {0.0, 2.5, 1.5, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0, 0.0};
+  ExpectRoundTrip(in, "bfs");
+}
+
+TEST(DeltaCodec, RoundTripsDistancesPast16Bits) {
+  // The widening that retires the raw codec's 65534 ceiling: a long-path
+  // BD column where d grows linearly past 65534.
+  const std::size_t n = 70000;
+  Columns in;
+  in.d.resize(n);
+  in.sigma.assign(n, 1);
+  in.delta.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    in.d[v] = static_cast<Distance>(v);
+    in.delta[v] = static_cast<double>(n - 1 - v);
+  }
+  ExpectRoundTrip(in, "long path");
+}
+
+TEST(DeltaCodec, RoundTripsRandomRecords) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.Uniform(200);
+    Columns in;
+    in.d.resize(n);
+    in.sigma.resize(n);
+    in.delta.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      in.d[v] = rng.Uniform(10) == 0 ? kUnreachable
+                                     : static_cast<Distance>(rng.Uniform(1u << 20));
+      in.sigma[v] = rng.Uniform(4) == 0 ? 0 : rng.Uniform(1u << 30);
+      in.delta[v] = rng.Uniform(3) == 0
+                        ? 0.0
+                        : static_cast<double>(rng.Uniform(1u << 20)) / 7.0;
+    }
+    ExpectRoundTrip(in, "random round " + std::to_string(round));
+  }
+}
+
+TEST(DeltaCodec, CompressesTypicalBfsColumnsWellUnderRaw) {
+  // The bench gate's unit-level guard: a realistic sparse-graph record
+  // (levels 1-5, sigma mostly 1, >= half the dependencies zero) must
+  // encode clearly below the 18-byte/vertex fixed-width layout.
+  Rng rng(7);
+  const std::size_t n = 4096;
+  Columns in;
+  in.d.resize(n);
+  in.sigma.resize(n);
+  in.delta.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    in.d[v] = 1 + static_cast<Distance>(rng.Uniform(5));
+    in.sigma[v] = rng.Uniform(8) == 0 ? 1 + rng.Uniform(40) : 1;
+    in.delta[v] = rng.Uniform(2) == 0
+                      ? 0.0
+                      : static_cast<double>(1 + rng.Uniform(1000)) / 3.0;
+  }
+  const RecordCodec& codec = RecordCodec::Get(RecordCodecId::kDelta);
+  std::vector<std::uint8_t> blob;
+  codec.Encode(in.d.data(), in.sigma.data(), in.delta.data(), n, &blob);
+  const double raw_bytes = 18.0 * static_cast<double>(n);
+  EXPECT_LT(static_cast<double>(blob.size()), 0.6 * raw_bytes)
+      << "encoded " << blob.size() << " of raw " << raw_bytes;
+}
+
+TEST(DeltaCodec, RejectsTruncatedBlob) {
+  Columns in;
+  in.d = {0, 1, 2, 3};
+  in.sigma = {1, 1, 2, 2};
+  in.delta = {0.0, 1.0, 0.0, 2.0};
+  const RecordCodec& codec = RecordCodec::Get(RecordCodecId::kDelta);
+  std::vector<std::uint8_t> blob;
+  codec.Encode(in.d.data(), in.sigma.data(), in.delta.data(), 4, &blob);
+  Columns out;
+  out.d.resize(4);
+  out.sigma.resize(4);
+  out.delta.resize(4);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    EXPECT_FALSE(codec
+                     .Decode(blob.data(), cut, 4, out.d.data(),
+                             out.sigma.data(), out.delta.data())
+                     .ok())
+        << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace sobc

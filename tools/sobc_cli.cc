@@ -5,15 +5,20 @@
 //   sobc_cli scores <graph.txt> [--directed] [--out=scores.tsv]
 //       Exact betweenness (Brandes) of an edge-list graph.
 //   sobc_cli stream <graph.txt> <stream.txt> [--directed] [--variant=mo|mp|do]
-//            [--store=bd.bin] [--out=scores.tsv] [--top=K] [--threads=T]
+//            [--store=bd.bin] [--store-codec=raw|delta] [--cache-mb=M]
+//            [--no-prefetch] [--out=scores.tsv] [--top=K] [--threads=T]
 //            [--no-prefilter]
 //       Step 1 + incremental replay of an update stream ("+ u v t" /
 //       "- u v t" lines; see WriteEdgeStream), printing per-update stats
 //       (including the prefilter skip-rate) and the final top-K elements.
 //       --threads fans each update's source loop across T workers
-//       (0 = hardware concurrency).
-//   sobc_cli stats <graph.txt> [--directed]
-//       Dataset statistics (the Table 2 columns).
+//       (0 = hardware concurrency). The storage flags tune the DO engine:
+//       record codec, shared hot-record cache budget, async prefetch.
+//   sobc_cli stats <graph.txt> [--directed] [--store=bd.bin]
+//       Dataset statistics (the Table 2 columns). With --store, also the
+//       store file's footprint — file bytes, encoded vs decoded bytes per
+//       source, compression ratio, cache occupancy — the numbers that size
+//       --cache-mb.
 //   sobc_cli generate <profile-or-kind> <vertices> [--seed=S]
 //            [--out=graph.txt] [--stream=N] [--stream-out=stream.txt]
 //       Synthesize a dataset: a named profile ("facebook", "amazon", ...,
@@ -22,12 +27,15 @@
 //   sobc_cli serve <graph.txt> [--directed] [--stream=file|--updates=N]
 //            [--churn=F] [--readers=R] [--batch=B] [--budget-ms=M]
 //            [--queue-cap=C] [--no-coalesce] [--threads=T] [--no-prefilter]
-//            [--top=K] [--seed=S] [--json=report.json]
+//            [--variant=mo|mp|do] [--store=bd.bin] [--store-codec=raw|delta]
+//            [--cache-mb=M] [--no-prefetch] [--top=K] [--seed=S]
+//            [--json=report.json]
 //       Live serving loop (src/server): a writer thread drains coalesced
 //       batches — fanning each batch's source work across T apply workers
 //       — while R reader threads query top-k snapshots lock-free; prints
 //       (and optionally writes as JSON) the serve metrics, prefilter
-//       skip-rate included.
+//       skip-rate included. --variant=do serves out of core; the store is
+//       flushed at shutdown, so it can be inspected with `stats --store`.
 //
 // Exit code 0 on success; errors go to stderr.
 
@@ -42,6 +50,7 @@
 
 #include "analysis/graph_stats.h"
 #include "analysis/top_k.h"
+#include "bc/bd_store_disk.h"
 #include "bc/brandes.h"
 #include "bc/dynamic_bc.h"
 #include "bc/score_io.h"
@@ -72,6 +81,10 @@ struct CliArgs {
   // apply-path threading (stream replay and serve writer; 0 = hardware)
   int threads = 1;
   bool prefilter = true;
+  // out-of-core storage engine
+  std::string store_codec = "raw";
+  std::size_t cache_mb = 64;
+  bool prefetch = true;
   // serve options
   std::size_t serve_updates = 10000;
   double churn = 0.5;
@@ -131,6 +144,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
           static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
     } else if (arg == "--no-prefilter") {
       args->prefilter = false;
+    } else if (arg.rfind("--store-codec=", 0) == 0) {
+      args->store_codec = arg.substr(14);
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      args->cache_mb = std::strtoul(arg.c_str() + 11, nullptr, 10);
+    } else if (arg == "--prefetch") {
+      args->prefetch = true;
+    } else if (arg == "--no-prefetch") {
+      args->prefetch = false;
     } else if (arg == "--no-coalesce") {
       args->coalesce = false;
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -153,6 +174,79 @@ void PrintTop(const BcScores& scores, std::size_t k) {
   std::printf("top-%zu edges by betweenness:\n", k);
   for (const auto& [e, score] : TopKEdges(scores.ebc, k)) {
     std::printf("  (%u,%u)  %14.3f\n", e.u, e.v, score);
+  }
+}
+
+/// Copies the storage-engine flags onto a DynamicBcOptions; false (with a
+/// message) for an unknown codec name.
+bool ApplyStorageFlags(const CliArgs& args, DynamicBcOptions* options) {
+  auto codec = ParseRecordCodec(args.store_codec);
+  if (!codec.ok()) {
+    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
+    return false;
+  }
+  options->store_codec = *codec;
+  options->cache_mb = args.cache_mb;
+  options->prefetch = args.prefetch;
+  return true;
+}
+
+/// The per-store footprint block of `stats --store` and the DO replay
+/// summary: what a record costs on disk vs decoded, and how the cache and
+/// prefetcher behaved — the numbers that size --cache-mb.
+void PrintStoreFootprint(DiskBdStore& store) {
+  auto fp = store.Footprint();
+  if (!fp.ok()) {
+    std::fprintf(stderr, "footprint: %s\n", fp.status().ToString().c_str());
+    return;
+  }
+  const double raw_bytes = static_cast<double>(fp->raw_record_bytes);
+  std::printf(
+      "store %s: codec=%s, %llu sources x %llu vertices\n",
+      store.path().c_str(), RecordCodecName(fp->codec),
+      static_cast<unsigned long long>(fp->live_records),
+      static_cast<unsigned long long>(fp->num_vertices));
+  std::printf(
+      "  file: %.1f MiB logical, %.1f MiB on disk (slots are sparse)\n",
+      fp->file_logical_bytes / 1048576.0,
+      fp->file_physical_bytes / 1048576.0);
+  std::printf(
+      "  encoded: %.1f bytes/source (raw fixed-width would be %.1f, "
+      "ratio %.2f); decoded record: %.1f KiB\n",
+      fp->bytes_per_source, raw_bytes, fp->compression_ratio,
+      fp->decoded_record_bytes / 1024.0);
+  std::printf(
+      "  cache: %.1f / %.1f MiB resident (%llu records), hit rate %.1f%% "
+      "(%llu hits, %llu misses, %llu evictions)\n",
+      fp->cache.bytes / 1048576.0, fp->cache.capacity_bytes / 1048576.0,
+      static_cast<unsigned long long>(fp->cache.entries),
+      100.0 * fp->cache.HitRate(),
+      static_cast<unsigned long long>(fp->cache.hits),
+      static_cast<unsigned long long>(fp->cache.misses),
+      static_cast<unsigned long long>(fp->cache.evictions));
+  if (fp->cache.oversize_rejects > 0 && fp->cache.capacity_bytes > 0) {
+    std::printf(
+        "  WARNING: one decoded record exceeds a cache shard's budget "
+        "(%llu inserts rejected) — the cache is effectively off; raise "
+        "--cache-mb to at least %.0f\n",
+        static_cast<unsigned long long>(fp->cache.oversize_rejects),
+        fp->min_viable_cache_bytes / 1048576.0 + 1.0);
+  }
+  const DiskIoStats io = store.io_stats();
+  std::printf(
+      "  io: %.1f MiB read, %.1f MiB written (%llu record loads, %llu "
+      "record writes)\n",
+      io.bytes_read / 1048576.0, io.bytes_written / 1048576.0,
+      static_cast<unsigned long long>(io.records_loaded),
+      static_cast<unsigned long long>(io.records_written));
+  if (store.prefetch_enabled()) {
+    const PrefetchStats pf = store.prefetch_stats();
+    std::printf(
+        "  prefetch: %llu fetched ahead, %llu already cached, %llu "
+        "dropped, %.3fs background read time\n",
+        static_cast<unsigned long long>(pf.fetched),
+        static_cast<unsigned long long>(pf.already_cached),
+        static_cast<unsigned long long>(pf.dropped), pf.fetch_seconds);
   }
 }
 
@@ -205,6 +299,7 @@ int CmdStream(const CliArgs& args) {
   }
   options.num_threads = args.threads;
   options.prefilter = args.prefilter;
+  if (!ApplyStorageFlags(args, &options)) return 1;
   WallTimer init_timer;
   auto bc = DynamicBc::Create(std::move(*graph), options);
   if (!bc.ok()) {
@@ -242,6 +337,9 @@ int CmdStream(const CliArgs& args) {
           : 0.0,
       static_cast<unsigned long long>(totals.sources_non_structural),
       static_cast<unsigned long long>(totals.sources_structural));
+  if (auto* disk = dynamic_cast<DiskBdStore*>((*bc)->store())) {
+    PrintStoreFootprint(*disk);
+  }
   PrintTop((*bc)->scores(), args.top);
   return MaybeWrite((*bc)->scores(), args.out_path);
 }
@@ -299,6 +397,18 @@ int CmdServe(const CliArgs& args) {
   options.top_k = args.top;
   options.bc.num_threads = args.threads;
   options.bc.prefilter = args.prefilter;
+  if (args.variant == "mp") {
+    options.bc.variant = BcVariant::kMemoryPredecessors;
+  } else if (args.variant == "do") {
+    options.bc.variant = BcVariant::kOutOfCore;
+    options.bc.storage_path =
+        args.store_path.empty() ? args.positional[0] + ".bd" : args.store_path;
+  } else if (args.variant != "mo") {
+    std::fprintf(stderr, "unknown variant %s (mo|mp|do)\n",
+                 args.variant.c_str());
+    return 1;
+  }
+  if (!ApplyStorageFlags(args, &options.bc)) return 1;
   WallTimer init_timer;
   auto service = BcService::Create(std::move(*graph), options);
   if (!service.ok()) {
@@ -349,6 +459,11 @@ int CmdServe(const CliArgs& args) {
   if (Status st = (*service)->Stop(); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
+  }
+  // Stop() flushed the store; the footprint below reflects the serve run.
+  if (auto* disk = dynamic_cast<DiskBdStore*>(
+          (*service)->framework()->store())) {
+    PrintStoreFootprint(*disk);
   }
   if (!reader_ok.load()) {
     std::fprintf(stderr, "reader observed a non-monotonic epoch\n");
@@ -416,6 +531,14 @@ int CmdStats(const CliArgs& args) {
   std::printf("|V| %zu  |E| %zu  AD %.2f  CC %.4f  ED %.2f\n", stats.vertices,
               stats.edges, stats.average_degree, stats.clustering,
               stats.effective_diameter);
+  if (!args.store_path.empty()) {
+    auto store = DiskBdStore::Open(args.store_path);
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    PrintStoreFootprint(**store);
+  }
   return 0;
 }
 
@@ -471,16 +594,18 @@ int Usage() {
                "usage: sobc_cli scores <graph> [--directed] [--out=f.tsv] "
                "[--top=K]\n"
                "       sobc_cli stream <graph> <stream> [--directed] "
-               "[--variant=mo|mp|do] [--store=f.bd] [--out=f.tsv] [--top=K] "
-               "[--threads=T] [--no-prefilter]\n"
-               "       sobc_cli stats <graph> [--directed]\n"
+               "[--variant=mo|mp|do] [--store=f.bd] "
+               "[--store-codec=raw|delta] [--cache-mb=M] [--no-prefetch] "
+               "[--out=f.tsv] [--top=K] [--threads=T] [--no-prefilter]\n"
+               "       sobc_cli stats <graph> [--directed] [--store=f.bd]\n"
                "       sobc_cli generate <profile|social|tree> <vertices> "
                "[--seed=S] [--out=g.txt] [--stream=N] [--stream-out=s.txt]\n"
                "       sobc_cli serve <graph> [--directed] "
                "[--stream=file|--updates=N] [--churn=F] [--readers=R] "
                "[--batch=B] [--budget-ms=M] [--queue-cap=C] [--no-coalesce] "
-               "[--threads=T] [--no-prefilter] [--top=K] [--seed=S] "
-               "[--json=report.json]\n");
+               "[--threads=T] [--no-prefilter] [--variant=mo|mp|do] "
+               "[--store=f.bd] [--store-codec=raw|delta] [--cache-mb=M] "
+               "[--no-prefetch] [--top=K] [--seed=S] [--json=report.json]\n");
   return 2;
 }
 
