@@ -19,6 +19,8 @@ struct GirvanNewmanStep {
   double seconds = 0.0;
 };
 
+/// The full dendrogram trace: initialization cost plus one entry per
+/// removed edge.
 struct GirvanNewmanResult {
   /// Time to obtain the initial edge betweenness (one Brandes run; for the
   /// incremental driver this also builds the BD store).
@@ -30,6 +32,7 @@ struct GirvanNewmanResult {
   std::size_t FinalComponents() const;
 };
 
+/// Stopping rules and engine choice for the community-detection driver.
 struct GirvanNewmanOptions {
   /// Stop after this many edge removals (0 = remove every edge, the full
   /// dendrogram).

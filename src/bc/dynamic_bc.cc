@@ -128,6 +128,17 @@ Status DynamicBc::Checkpoint(const std::string& scores_path) {
   return store_->Flush();
 }
 
+Status DynamicBc::RestoreScores(BcScores scores) {
+  if (scores.vbc.size() != graph_.NumVertices()) {
+    return Status::InvalidArgument(
+        "restored scores cover " + std::to_string(scores.vbc.size()) +
+        " vertices but the graph has " +
+        std::to_string(graph_.NumVertices()));
+  }
+  scores_ = std::move(scores);
+  return Status::OK();
+}
+
 int DynamicBc::num_threads() const {
   return pool_ == nullptr ? 1 : static_cast<int>(pool_->num_threads());
 }

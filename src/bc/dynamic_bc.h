@@ -29,6 +29,9 @@ enum class BcVariant {
   kOutOfCore,           // DO: on disk, neighbor scan
 };
 
+/// Per-deployment configuration of the framework: which storage variant
+/// runs, how its out-of-core engine is tuned, and how each update's
+/// source loop is driven (CSR, prefilter, worker count).
 struct DynamicBcOptions {
   BcVariant variant = BcVariant::kMemory;
   /// Backing file for the kOutOfCore variant.
@@ -98,6 +101,13 @@ class DynamicBc {
   /// making Resume possible after a restart. The graph itself is
   /// checkpointed separately with WriteEdgeList.
   Status Checkpoint(const std::string& scores_path);
+
+  /// Replaces the maintained scores wholesale. The recovery path of the
+  /// in-memory variants installs checkpointed scores over a freshly
+  /// initialized framework: Create rebuilt the BD structures with Brandes,
+  /// but the scores must be the checkpoint's (they already include every
+  /// pre-checkpoint update). vbc must match the graph's vertex count.
+  Status RestoreScores(BcScores scores);
 
   /// Applies one edge addition or removal (Step 2). New endpoint ids grow
   /// the vertex set automatically, entering with zero betweenness.

@@ -7,30 +7,39 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32.h"
+
 namespace sobc {
 
 namespace {
 constexpr std::uint64_t kScoreMagic = 0x53424353434F5245ULL;  // "SBCSCORE"
 }  // namespace
 
-Status WriteScores(const BcScores& scores, const std::string& path) {
+Status WriteScores(const BcScores& scores, const std::string& path,
+                   std::uint32_t* crc) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for writing: " + path);
+  std::uint32_t running_crc = 0;
+  auto write = [&](const void* data, std::size_t size) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    running_crc = Crc32(data, size, running_crc);
+  };
   const std::uint64_t magic = kScoreMagic;
   const std::uint64_t n = scores.vbc.size();
   const std::uint64_t m = scores.ebc.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
-  out.write(reinterpret_cast<const char*>(scores.vbc.data()),
-            static_cast<std::streamsize>(n * sizeof(double)));
+  write(&magic, sizeof(magic));
+  write(&n, sizeof(n));
+  write(&m, sizeof(m));
+  write(scores.vbc.data(), n * sizeof(double));
   for (const auto& [key, value] : scores.ebc) {
-    out.write(reinterpret_cast<const char*>(&key.u), sizeof(key.u));
-    out.write(reinterpret_cast<const char*>(&key.v), sizeof(key.v));
-    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    write(&key.u, sizeof(key.u));
+    write(&key.v, sizeof(key.v));
+    write(&value, sizeof(value));
   }
   out.flush();
   if (!out) return Status::IOError("write failed: " + path);
+  if (crc != nullptr) *crc = running_crc;
   return Status::OK();
 }
 

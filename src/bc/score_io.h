@@ -13,7 +13,10 @@ namespace sobc {
 /// this makes the framework restartable: a long-running deployment can
 /// checkpoint and later resume without redoing Step 1 (see
 /// DynamicBc::Checkpoint / DynamicBc::Resume).
-Status WriteScores(const BcScores& scores, const std::string& path);
+/// `crc` (optional) receives the CRC-32 of the bytes written, computed
+/// inline for the checkpoint manifest.
+Status WriteScores(const BcScores& scores, const std::string& path,
+                   std::uint32_t* crc = nullptr);
 
 Result<BcScores> ReadScores(const std::string& path);
 

@@ -1,0 +1,17 @@
+#ifndef SOBC_COMMON_CRC32_H_
+#define SOBC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sobc {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip convention) over a byte
+/// range. `seed` chains partial computations: Crc32(b, n1+n2) ==
+/// Crc32(b+n1, n2, Crc32(b, n1)). The WAL frames every appended batch with
+/// this checksum so recovery can tell a torn tail from valid data.
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_CRC32_H_

@@ -1,0 +1,49 @@
+#include "common/posix_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sobc {
+
+Status ErrnoStatus(const char* what, const std::string& path) {
+  return Status::IOError(std::string(what) + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+Status WriteFully(int fd, const void* data, std::size_t size,
+                  const std::string& path) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t put = ::write(fd, bytes + written, size - written);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    written += static_cast<std::size_t>(put);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync", dir);
+  return Status::OK();
+}
+
+Status SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync", path);
+  return Status::OK();
+}
+
+}  // namespace sobc

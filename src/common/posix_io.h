@@ -1,0 +1,34 @@
+#ifndef SOBC_COMMON_POSIX_IO_H_
+#define SOBC_COMMON_POSIX_IO_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace sobc {
+
+/// Small shared POSIX I/O helpers for the durability layer (WAL +
+/// checkpoint). One implementation of errno reporting, full-buffer
+/// writes, and directory/file fsync, so the two subsystems cannot
+/// silently diverge in durability behavior.
+
+/// IOError carrying errno's message, e.g. "write failed for p: ...".
+Status ErrnoStatus(const char* what, const std::string& path);
+
+/// Writes the whole buffer, retrying on EINTR and short writes.
+Status WriteFully(int fd, const void* data, std::size_t size,
+                  const std::string& path);
+
+/// fsync of the directory entry itself, making file creation/removal/
+/// rename inside it durable (a file-content sync does not cover its
+/// directory entry).
+Status SyncDir(const std::string& dir);
+
+/// Opens `path` read-only and fsyncs it (used after ofstream-based
+/// writers, which flush but never sync).
+Status SyncFile(const std::string& path);
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_POSIX_IO_H_

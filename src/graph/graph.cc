@@ -60,6 +60,49 @@ Graph::Graph(const Graph& other)
   }
 }
 
+Result<Graph> Graph::FromAdjacency(bool directed,
+                                   std::vector<std::vector<VertexId>> out,
+                                   std::vector<std::vector<VertexId>> in) {
+  const std::size_t n = out.size();
+  if (directed ? in.size() != n : !in.empty()) {
+    return Status::InvalidArgument(
+        "in-lists must parallel out-lists for directed graphs and be "
+        "absent for undirected ones");
+  }
+  std::size_t half_edges = 0;
+  auto check_lists = [n](const std::vector<std::vector<VertexId>>& lists,
+                         std::size_t* degree_sum) {
+    for (const auto& list : lists) {
+      *degree_sum += list.size();
+      for (VertexId v : list) {
+        if (v >= n) return false;
+      }
+    }
+    return true;
+  };
+  if (!check_lists(out, &half_edges)) {
+    return Status::InvalidArgument("adjacency entry out of range");
+  }
+  if (directed) {
+    std::size_t in_sum = 0;
+    if (!check_lists(in, &in_sum)) {
+      return Status::InvalidArgument("adjacency entry out of range");
+    }
+    if (in_sum != half_edges) {
+      return Status::InvalidArgument(
+          "in/out adjacency lists disagree on the edge count");
+    }
+  } else if (half_edges % 2 != 0) {
+    return Status::InvalidArgument(
+        "undirected adjacency lists hold an odd number of endpoints");
+  }
+  Graph graph(directed);
+  graph.num_edges_ = directed ? half_edges : half_edges / 2;
+  graph.out_ = std::move(out);
+  graph.in_ = std::move(in);
+  return graph;
+}
+
 Graph& Graph::operator=(const Graph& other) {
   if (this == &other) return *this;
   directed_ = other.directed_;

@@ -39,6 +39,7 @@ inline EdgeKey MakeEdgeKey(bool directed, VertexId u, VertexId v) {
   return directed ? EdgeKey{u, v} : EdgeKey::Undirected(u, v);
 }
 
+/// Hash functor for EdgeKey-keyed hash maps.
 struct EdgeKeyHash {
   std::size_t operator()(const EdgeKey& e) const {
     // Splittable 64-bit mix of the packed endpoints.
@@ -79,6 +80,17 @@ class Graph {
   Graph& operator=(const Graph& other);
   Graph(Graph&&) noexcept;
   Graph& operator=(Graph&&) noexcept;
+
+  /// Reconstructs a graph from explicit adjacency lists — the
+  /// order-preserving checkpoint format (graph_io.h WriteAdjacency).
+  /// Neighbor-list ORDER is semantically significant downstream: traversal
+  /// order fixes the floating-point summation order of the incremental
+  /// engine, so a bit-identical recovery must restore the lists verbatim,
+  /// not just the edge set. `in` must be empty for undirected graphs and
+  /// parallel to `out` for directed ones; entries are bounds-checked.
+  static Result<Graph> FromAdjacency(bool directed,
+                                     std::vector<std::vector<VertexId>> out,
+                                     std::vector<std::vector<VertexId>> in);
 
   bool directed() const { return directed_; }
   std::size_t NumVertices() const { return out_.size(); }

@@ -3,7 +3,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <sstream>
+
+#include "common/crc32.h"
 
 namespace sobc {
 
@@ -41,6 +44,93 @@ Result<Graph> ReadEdgeList(const std::string& path, bool directed) {
     if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
   }
   return graph;
+}
+
+namespace {
+
+constexpr std::uint64_t kAdjacencyMagic = 0x314A4441'43424F53ULL;  // SOBCADJ1
+
+/// Stream writer that folds everything it emits into a running CRC, so
+/// the checkpoint manifest's content checksum costs no second read.
+struct CrcWriter {
+  std::ofstream& out;
+  std::uint32_t crc = 0;
+
+  void Write(const void* data, std::size_t size) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    crc = Crc32(data, size, crc);
+  }
+  template <typename T>
+  void WriteValue(T value) {
+    Write(&value, sizeof(value));
+  }
+};
+
+void WriteList(CrcWriter& writer, std::span<const VertexId> list) {
+  writer.WriteValue(static_cast<std::uint64_t>(list.size()));
+  writer.Write(list.data(), list.size() * sizeof(VertexId));
+}
+
+bool ReadLists(std::ifstream& in, std::uint64_t n, std::uint64_t max_degree,
+               std::vector<std::vector<VertexId>>* lists) {
+  lists->resize(n);
+  for (auto& list : *lists) {
+    std::uint64_t degree = 0;
+    in.read(reinterpret_cast<char*>(&degree), sizeof(degree));
+    if (!in || degree > max_degree) return false;
+    list.resize(degree);
+    in.read(reinterpret_cast<char*>(list.data()),
+            static_cast<std::streamsize>(degree * sizeof(VertexId)));
+    if (!in) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteAdjacency(const Graph& graph, const std::string& path,
+                      std::uint32_t* crc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  CrcWriter writer{out};
+  const std::uint8_t directed = graph.directed() ? 1 : 0;
+  const std::uint64_t n = graph.NumVertices();
+  writer.WriteValue(kAdjacencyMagic);
+  writer.WriteValue(directed);
+  writer.WriteValue(n);
+  for (VertexId v = 0; v < n; ++v) WriteList(writer, graph.OutNeighbors(v));
+  if (directed != 0) {
+    for (VertexId v = 0; v < n; ++v) WriteList(writer, graph.InNeighbors(v));
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  if (crc != nullptr) *crc = writer.crc;
+  return Status::OK();
+}
+
+Result<Graph> ReadAdjacency(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::uint64_t magic = 0;
+  std::uint8_t directed = 0;
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&directed), sizeof(directed));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || magic != kAdjacencyMagic || directed > 1) {
+    return Status::IOError("not a sobc adjacency file: " + path);
+  }
+  std::vector<std::vector<VertexId>> out_lists;
+  std::vector<std::vector<VertexId>> in_lists;
+  if (!ReadLists(in, n, n, &out_lists)) {
+    return Status::IOError("truncated adjacency file: " + path);
+  }
+  if (directed != 0 && !ReadLists(in, n, n, &in_lists)) {
+    return Status::IOError("truncated adjacency file: " + path);
+  }
+  return Graph::FromAdjacency(directed != 0, std::move(out_lists),
+                              std::move(in_lists));
 }
 
 Status WriteEdgeStream(const EdgeStream& stream, const std::string& path) {

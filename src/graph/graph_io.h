@@ -18,6 +18,20 @@ Status WriteEdgeList(const Graph& graph, const std::string& path);
 /// self-loops are skipped, matching the usual dataset-cleaning step.
 Result<Graph> ReadEdgeList(const std::string& path, bool directed = false);
 
+/// Writes the graph as a binary adjacency dump that preserves
+/// neighbor-list order exactly (magic + directedness + per-vertex lists).
+/// The checkpoint format: edge lists only preserve the edge *set*, and
+/// neighbor order fixes the engine's floating-point summation order, so a
+/// bit-identical recovery round-trips adjacency, not edges (DESIGN.md
+/// §11). Isolated vertices survive too. `crc` (optional) receives the
+/// CRC-32 of the bytes written, computed inline so the checkpoint
+/// manifest never has to re-read the file it just wrote.
+Status WriteAdjacency(const Graph& graph, const std::string& path,
+                      std::uint32_t* crc = nullptr);
+
+/// Reads an adjacency dump written by WriteAdjacency.
+Result<Graph> ReadAdjacency(const std::string& path);
+
 /// Writes an update stream as "op u v timestamp" lines (op: '+' or '-').
 Status WriteEdgeStream(const EdgeStream& stream, const std::string& path);
 

@@ -21,6 +21,9 @@ namespace sobc {
 
 class DiskBdStore;
 
+/// Configuration of the parallel embodiment (Section 5.2): how many
+/// logical mappers partition the sources and how each mapper's store and
+/// per-update drain are tuned.
 struct ParallelBcOptions {
   /// Number of logical mappers p (the paper's shared-nothing machines).
   /// Each mapper *stores* a contiguous range of ~n/p sources (Figure 4);

@@ -30,6 +30,7 @@ void FillSourceCostWeights(const Graph& graph, bool use_csr,
                            std::span<const VertexId> worklist,
                            std::vector<std::uint64_t>* weights);
 
+/// Chunking policy of the work-stealing source sharder (DESIGN.md §9).
 struct SourceSharderOptions {
   /// Workers that will drain the chunk queue.
   std::size_t num_workers = 1;

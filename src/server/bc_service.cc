@@ -1,10 +1,29 @@
 #include "server/bc_service.h"
 
+#include <cstdlib>
 #include <utility>
 
+#include "bc/bd_store_disk.h"
 #include "common/timer.h"
+#include "storage/record_codec.h"
 
 namespace sobc {
+
+namespace {
+
+const char* VariantName(BcVariant variant) {
+  switch (variant) {
+    case BcVariant::kMemoryPredecessors:
+      return "mp";
+    case BcVariant::kMemory:
+      return "mo";
+    case BcVariant::kOutOfCore:
+      return "do";
+  }
+  return "mo";
+}
+
+}  // namespace
 
 BcService::BcService(std::unique_ptr<DynamicBc> bc,
                      const BcServiceOptions& options)
@@ -23,8 +42,249 @@ Result<std::unique_ptr<BcService>> BcService::Create(
   service->snapshots_.Publish(BuildSnapshot(
       service->bc_->graph(), service->bc_->scores(), /*epoch=*/0,
       /*stream_position=*/0, resolved.top_k, resolved.snapshot_edge_scores));
+  if (resolved.durability.enabled()) {
+    // Refuse pre-existing durable state in either directory: a log is
+    // Recover's job, and stale higher-epoch manifests from a previous
+    // deployment would win retention pruning and the fallback ladder.
+    auto has_log = WalDirHasSegments(resolved.durability.wal_dir);
+    if (!has_log.ok()) return has_log.status();
+    if (*has_log) {
+      return Status::FailedPrecondition(
+          "wal dir " + resolved.durability.wal_dir +
+          " already holds a log; Recover it or point at a fresh directory");
+    }
+    SOBC_RETURN_NOT_OK(
+        service->StartDurability(/*next_epoch=*/1, /*initial_checkpoint=*/true));
+  }
   service->writer_ = std::thread([raw = service.get()] { raw->WriterLoop(); });
   return service;
+}
+
+Result<std::unique_ptr<BcService>> BcService::Recover(
+    const BcServiceOptions& options, RecoveryInfo* info) {
+  BcServiceOptions resolved = options;
+  DurabilityOptions& durability = resolved.durability;
+  if (!durability.enabled()) {
+    return Status::InvalidArgument("Recover requires durability.wal_dir");
+  }
+  if (durability.checkpoint_dir.empty()) {
+    durability.checkpoint_dir = durability.wal_dir + "/checkpoints";
+  }
+  RecoveryInfo local_info;
+  RecoveryInfo& out = info != nullptr ? *info : local_info;
+
+  WallTimer load_timer;
+  auto loaded = LoadLatestCheckpoint(durability.checkpoint_dir);
+  if (!loaded.ok()) return loaded.status();
+  const CheckpointManifest manifest = loaded->manifest;
+  out.manifest_epoch = manifest.epoch;
+  out.manifest_stream_position = manifest.stream_position;
+  out.variant = manifest.variant;
+  resolved.queue.directed = manifest.directed;
+
+  std::unique_ptr<DynamicBc> bc;
+  if (manifest.variant == "do") {
+    // Install the generation-stamped store copy as the live file and skip
+    // Step 1 entirely; the byte-exact BD state is what makes serial-apply
+    // recovery bit-identical to the uninterrupted run.
+    resolved.bc.variant = BcVariant::kOutOfCore;
+    if (resolved.bc.storage_path.empty()) {
+      resolved.bc.storage_path = durability.checkpoint_dir + "/live.bd";
+    }
+    SOBC_RETURN_NOT_OK(CopyFile(loaded->store_path, resolved.bc.storage_path));
+    auto resumed = DynamicBc::Resume(
+        std::move(loaded->graph), resolved.bc,
+        durability.checkpoint_dir + "/" + manifest.scores_file);
+    if (!resumed.ok()) return resumed.status();
+    bc = std::move(*resumed);
+  } else if (manifest.variant == "mo" || manifest.variant == "mp") {
+    // Warm restart: the O(nm) Step 1 rebuilds the in-memory BD structures
+    // (they cannot outlive a process), but the checkpointed scores — which
+    // include every pre-checkpoint update — replace the fresh ones, and
+    // the WAL tail spares re-running the whole stream.
+    resolved.bc.variant = manifest.variant == "mp"
+                              ? BcVariant::kMemoryPredecessors
+                              : BcVariant::kMemory;
+    resolved.bc.storage_path.clear();
+    auto created = DynamicBc::Create(std::move(loaded->graph), resolved.bc);
+    if (!created.ok()) return created.status();
+    SOBC_RETURN_NOT_OK((*created)->RestoreScores(std::move(loaded->scores)));
+    bc = std::move(*created);
+  } else {
+    return Status::IOError("manifest names unknown variant '" +
+                           manifest.variant + "'");
+  }
+  out.load_seconds = load_timer.Seconds();
+
+  // Replay the WAL tail through the same batch-apply machinery the live
+  // writer uses; each logged record reproduces exactly one publication of
+  // the uninterrupted run. A torn final frame (crash mid-append) is
+  // truncated away — its batch was never applied, let alone published.
+  WallTimer replay_timer;
+  auto replay = ReadWalForReplay(durability.wal_dir, manifest.epoch,
+                                 /*truncate_torn_tail=*/true);
+  if (!replay.ok()) return replay.status();
+  out.torn_bytes = replay->torn_bytes;
+  std::uint64_t epoch = manifest.epoch;
+  std::uint64_t position = manifest.stream_position;
+  for (std::size_t i = 0; i < replay->records.size(); ++i) {
+    const WalRecord& record = replay->records[i];
+    if (record.stream_position < position) {
+      return Status::IOError("wal stream position regressed at epoch " +
+                             std::to_string(record.epoch));
+    }
+    if (!record.updates.empty()) {
+      if (Status st = bc->ApplyBatch(record.updates); !st.ok()) {
+        const bool client_data_error =
+            st.code() == StatusCode::kInvalidArgument ||
+            st.code() == StatusCode::kNotFound ||
+            st.code() == StatusCode::kAlreadyExists ||
+            st.code() == StatusCode::kOutOfRange;
+        if (client_data_error && i + 1 == replay->records.size()) {
+          // The poisoned record that killed the live writer: logged (the
+          // log-before-apply order), deterministically rejected by the
+          // engine, never published. It must be the log's last record —
+          // the writer died on it. Amputate it and re-enter recovery
+          // from clean checkpoint state (this pass's framework applied
+          // part of the batch before the rejection), preserving the
+          // guarantee that recovery lands on the last PUBLISHED state.
+          SOBC_RETURN_NOT_OK(TruncateWalSegment(
+              durability.wal_dir, record.segment, record.frame_offset));
+          const std::uint64_t poisoned_batches = out.poisoned_batches + 1;
+          const std::uint64_t poisoned_updates =
+              out.poisoned_updates + record.updates.size();
+          bc.reset();  // release the live store before the re-entry reopens it
+          if (info != nullptr) *info = RecoveryInfo{};  // re-entry refills
+          auto recovered = Recover(options, info);
+          if (recovered.ok() && info != nullptr) {
+            info->poisoned_batches = poisoned_batches;
+            info->poisoned_updates = poisoned_updates;
+          }
+          return recovered;
+        }
+        // Anything else — an internal/IO failure, or a rejected record
+        // with valid history after it — is not a legal crash artifact.
+        return st;
+      }
+    }
+    epoch = record.epoch;
+    position = record.stream_position;
+    ++out.replayed_batches;
+    out.replayed_updates += record.updates.size();
+  }
+  out.replay_seconds = replay_timer.Seconds();
+  out.recovered_epoch = epoch;
+  out.recovered_stream_position = position;
+
+  auto service = std::unique_ptr<BcService>(
+      new BcService(std::move(bc), resolved));
+  service->base_epoch_ = epoch;
+  service->base_position_ = position;
+  service->final_epoch_ = epoch;
+  service->final_position_ = position;
+  service->published_position_.store(position, std::memory_order_release);
+  service->metrics_.SeedPublication(epoch, position);
+  service->snapshots_.Publish(BuildSnapshot(
+      service->bc_->graph(), service->bc_->scores(), epoch, position,
+      resolved.top_k, resolved.snapshot_edge_scores));
+  // New appends land in a fresh segment starting right after the
+  // recovered epoch; the replayed segments stay until a checkpoint covers
+  // them (a second crash before then replays the same tail again).
+  SOBC_RETURN_NOT_OK(
+      service->StartDurability(epoch + 1, /*initial_checkpoint=*/false));
+  service->writer_ = std::thread([raw = service.get()] { raw->WriterLoop(); });
+  return service;
+}
+
+Status BcService::StartDurability(std::uint64_t next_epoch,
+                                  bool initial_checkpoint) {
+  DurabilityOptions& durability = options_.durability;
+  if (durability.checkpoint_dir.empty()) {
+    durability.checkpoint_dir = durability.wal_dir + "/checkpoints";
+  }
+  if (initial_checkpoint) {
+    auto has_checkpoints =
+        CheckpointDirHasManifests(durability.checkpoint_dir);
+    if (!has_checkpoints.ok()) return has_checkpoints.status();
+    if (*has_checkpoints) {
+      return Status::FailedPrecondition(
+          "checkpoint dir " + durability.checkpoint_dir +
+          " already holds checkpoints; Recover them or point at a fresh "
+          "directory");
+    }
+  }
+  checkpointer_ = std::make_unique<CheckpointWriter>(
+      durability.checkpoint_dir, durability.wal_dir,
+      durability.retain_checkpoints);
+  if (initial_checkpoint) {
+    // The initial checkpoint is what makes the WAL replayable at all (a
+    // log without a base graph recovers nothing), and it must be durable
+    // BEFORE the first WAL segment exists: a crash between the two leaves
+    // state both Create (segments present) and Recover (no manifest)
+    // would refuse. Committed synchronously, in the safe order.
+    auto job = CaptureCheckpointJob(base_epoch_, base_position_);
+    if (!job.ok()) return job.status();
+    SOBC_RETURN_NOT_OK(checkpointer_->WriteNow(std::move(*job)));
+  }
+  WalOptions wal_options;
+  wal_options.fsync_every = durability.wal_fsync_every;
+  auto wal = WalWriter::Open(durability.wal_dir, next_epoch, wal_options);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(*wal);
+  last_checkpoint_stamp_ = SteadyNowSeconds();
+  return Status::OK();
+}
+
+Result<CheckpointWriter::Job> BcService::CaptureCheckpointJob(
+    std::uint64_t epoch, std::uint64_t position) {
+  CheckpointWriter::Job job;
+  job.epoch = epoch;
+  job.stream_position = position;
+  job.graph = bc_->graph();
+  job.scores = bc_->scores();
+  job.variant = VariantName(options_.bc.variant);
+  if (options_.bc.variant == BcVariant::kOutOfCore) {
+    auto* disk = dynamic_cast<DiskBdStore*>(bc_->store());
+    if (disk == nullptr) {
+      return Status::Internal("out-of-core framework without a disk store");
+    }
+    // Flush makes the file the full BD state; nothing mutates it until
+    // this capture returns (the writer is here, workers are parked), so
+    // the byte copy is a consistent generation stamped by its epoch.
+    SOBC_RETURN_NOT_OK(disk->Flush());
+    job.store_file = "bd-" + std::to_string(epoch) + ".bin";
+    job.store_codec = RecordCodecName(disk->codec());
+    SOBC_RETURN_NOT_OK(CopyFile(disk->path(),
+                                checkpointer_->dir() + "/" + job.store_file,
+                                &job.store_crc));
+  }
+  return job;
+}
+
+Status BcService::MaybeCheckpoint(std::uint64_t epoch,
+                                  std::uint64_t position) {
+  const DurabilityOptions& durability = options_.durability;
+  bool due = durability.checkpoint_every_updates > 0 &&
+             updates_since_checkpoint_ >= durability.checkpoint_every_updates;
+  if (!due && durability.checkpoint_interval_seconds > 0 &&
+      SteadyNowSeconds() - last_checkpoint_stamp_ >=
+          durability.checkpoint_interval_seconds) {
+    due = true;
+  }
+  if (!due) return Status::OK();
+  // Reset the policy clock even when the trigger is skipped, so a slow
+  // in-flight checkpoint is not hammered with a capture per batch.
+  updates_since_checkpoint_ = 0;
+  last_checkpoint_stamp_ = SteadyNowSeconds();
+  if (!checkpointer_->AdmitTrigger()) return Status::OK();
+  auto job = CaptureCheckpointJob(epoch, position);
+  if (!job.ok()) return job.status();
+  if (checkpointer_->Enqueue(std::move(*job))) {
+    // Segment boundary aligned to the checkpoint: once its manifest is
+    // durable, every earlier segment is fully covered and prunable.
+    SOBC_RETURN_NOT_OK(wal_->Rotate(epoch + 1));
+  }
+  return Status::OK();
 }
 
 BcService::~BcService() { (void)Stop(); }
@@ -38,9 +298,26 @@ ServeMetricsSnapshot BcService::metrics() const {
   const UpdateQueueStats queue_stats = queue_.stats();
   snap.received = queue_stats.received;
   snap.dropped = queue_stats.dropped;
-  snap.epoch_lag = snap.received > snap.published_stream_position
-                       ? snap.received - snap.published_stream_position
+  const std::uint64_t received_absolute = base_position_ + queue_stats.received;
+  snap.epoch_lag = received_absolute > snap.published_stream_position
+                       ? received_absolute - snap.published_stream_position
                        : 0;
+  if (wal_ != nullptr) {
+    const WalStats wal_stats = wal_->stats();
+    snap.wal_appends = wal_stats.appends;
+    snap.wal_appended_updates = wal_stats.appended_updates;
+    snap.wal_bytes = wal_stats.bytes;
+    snap.wal_syncs = wal_stats.syncs;
+    snap.wal_rotations = wal_stats.rotations;
+  }
+  if (checkpointer_ != nullptr) {
+    const CheckpointStats checkpoint_stats = checkpointer_->stats();
+    snap.checkpoints_written = checkpoint_stats.written;
+    snap.checkpoints_skipped = checkpoint_stats.skipped;
+    snap.checkpoints_failed = checkpoint_stats.failed;
+    snap.last_checkpoint_epoch = checkpoint_stats.last_epoch;
+    snap.checkpoint_write_seconds = checkpoint_stats.write_seconds_total;
+  }
   return snap;
 }
 
@@ -53,23 +330,45 @@ std::size_t BcService::SubmitAll(const EdgeStream& stream) {
 }
 
 void BcService::WriterLoop() {
-  std::uint64_t position = 0;
-  std::uint64_t epoch = 0;
+  std::uint64_t position = base_position_;
+  std::uint64_t epoch = base_epoch_;
   DrainedBatch batch;
+  auto fail = [this](Status st) {
+    // Terminal: publishables stop here. Close the queue so blocked
+    // producers unblock, record the failure, and let Drain/Stop report.
+    queue_.Close();
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_status_ = std::move(st);
+    writer_done_ = true;
+    publish_cv_.notify_all();
+  };
   while (queue_.PopBatch(&batch)) {
+    if (wal_ != nullptr) {
+      // Log-before-apply: by the time any effect of this batch can exist
+      // (in memory or in the BD store file), the batch itself is already
+      // recoverable. An empty coalesced-away batch still logs — replay
+      // must reproduce its epoch and position.
+      if (Status st = wal_->Append(epoch + 1, position + batch.consumed,
+                                   batch.updates);
+          !st.ok()) {
+        fail(std::move(st));
+        return;
+      }
+      if (options_.durability.kill_after_appends > 0 &&
+          wal_->stats().appends >= options_.durability.kill_after_appends) {
+        // Crash injection (tests, CI recovery smoke): die hard with the
+        // logged batch never applied — the worst legal crash point.
+        (void)wal_->Sync();
+        std::_Exit(137);
+      }
+    }
     WallTimer apply_timer;
     Status st = batch.updates.empty()
                     ? Status::OK()
                     : bc_->ApplyBatch(batch.updates);
     const double apply_seconds = apply_timer.Seconds();
     if (!st.ok()) {
-      // Terminal: publishables stop here. Close the queue so blocked
-      // producers unblock, record the failure, and let Drain/Stop report.
-      queue_.Close();
-      std::lock_guard<std::mutex> lock(mu_);
-      writer_status_ = st;
-      writer_done_ = true;
-      publish_cv_.notify_all();
+      fail(std::move(st));
       return;
     }
     position += batch.consumed;
@@ -92,8 +391,17 @@ void BcService::WriterLoop() {
       // predicate check and its sleep cannot miss this publication.
       std::lock_guard<std::mutex> lock(mu_);
       published_position_.store(position, std::memory_order_release);
+      final_epoch_ = epoch;
+      final_position_ = position;
     }
     publish_cv_.notify_all();
+    if (checkpointer_ != nullptr) {
+      updates_since_checkpoint_ += batch.consumed;
+      if (Status ck = MaybeCheckpoint(epoch, position); !ck.ok()) {
+        fail(std::move(ck));
+        return;
+      }
+    }
   }
   std::lock_guard<std::mutex> lock(mu_);
   writer_done_ = true;
@@ -101,7 +409,7 @@ void BcService::WriterLoop() {
 }
 
 Status BcService::Drain() {
-  const std::uint64_t target = queue_.stats().received;
+  const std::uint64_t target = base_position_ + queue_.stats().received;
   std::unique_lock<std::mutex> lock(mu_);
   publish_cv_.wait(lock, [&] {
     return writer_done_ || !writer_status_.ok() ||
@@ -122,8 +430,33 @@ Status BcService::Stop() {
   // to stable storage so a serve-mode out-of-core deployment is resumable
   // (no-op for the in-memory variants).
   const Status flush = bc_->store()->Flush();
+  std::uint64_t epoch = 0;
+  std::uint64_t position = 0;
+  bool clean = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (writer_status_.ok() && !flush.ok()) writer_status_ = flush;
+    epoch = final_epoch_;
+    position = final_position_;
+    clean = writer_status_.ok();
+  }
+  if (checkpointer_ != nullptr && !final_checkpoint_done_) {
+    final_checkpoint_done_ = true;
+    Status background = checkpointer_->WaitIdle();
+    Status final_status = background;
+    if (clean && background.ok()) {
+      // A clean shutdown commits a checkpoint at the final epoch, so the
+      // next start replays nothing.
+      auto job = CaptureCheckpointJob(epoch, position);
+      final_status = job.ok() ? checkpointer_->WriteNow(std::move(*job))
+                              : job.status();
+    }
+    if (!final_status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (writer_status_.ok()) writer_status_ = final_status;
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  if (writer_status_.ok() && !flush.ok()) writer_status_ = flush;
   return writer_status_;
 }
 

@@ -15,9 +15,74 @@
 #include "server/score_snapshot.h"
 #include "server/serve_metrics.h"
 #include "server/update_queue.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
 
 namespace sobc {
 
+/// Durability of the serving layer (DESIGN.md §11). With a wal_dir set,
+/// the writer thread logs every drained batch to a CRC-framed write-ahead
+/// log *before* applying it, and periodically commits checkpoints (graph +
+/// scores + flushed BD store for the out-of-core variant) so a crashed or
+/// restarted deployment resumes from the last checkpoint plus a WAL-tail
+/// replay instead of an O(nm) from-scratch recompute.
+struct DurabilityOptions {
+  /// Directory of the write-ahead log. Empty disables durability (the
+  /// PR-2 behavior: all serving state dies with the process).
+  std::string wal_dir;
+  /// Checkpoint directory; defaults to <wal_dir>/checkpoints.
+  std::string checkpoint_dir;
+  /// fdatasync the log every N appended batches. 1 (default) makes every
+  /// accepted batch power-loss durable before it is applied; 0 leaves
+  /// syncing to the OS (process crashes still lose nothing — the page
+  /// cache survives them — but power loss can cost the unsynced tail).
+  std::size_t wal_fsync_every = 1;
+  /// Commit a checkpoint once this many raw stream updates were consumed
+  /// since the last one (0 = no op-count trigger).
+  std::size_t checkpoint_every_updates = 0;
+  /// Commit a checkpoint once this much wall time passed since the last
+  /// one (0 = no interval trigger). Either trigger alone suffices.
+  double checkpoint_interval_seconds = 0.0;
+  /// Checkpoints kept on disk; older ones are pruned after each commit.
+  std::size_t retain_checkpoints = 2;
+  /// Crash-injection hook for tests and the CI recovery smoke: the writer
+  /// calls _exit(137) right after this many WAL appends (0 = off) —
+  /// a hard kill at the most adversarial point, mid-stream with the apply
+  /// for the logged batch never run.
+  std::size_t kill_after_appends = 0;
+
+  bool enabled() const { return !wal_dir.empty(); }
+};
+
+/// What BcService::Recover found and did — surfaced by `sobc_cli recover`
+/// and asserted by the crash-injection tests.
+struct RecoveryInfo {
+  /// Checkpoint the recovery started from.
+  std::uint64_t manifest_epoch = 0;
+  std::uint64_t manifest_stream_position = 0;
+  std::string variant;
+  /// WAL tail replayed on top of it.
+  std::uint64_t replayed_batches = 0;
+  std::uint64_t replayed_updates = 0;
+  /// Bytes discarded from a torn final segment (crash mid-append).
+  std::uint64_t torn_bytes = 0;
+  /// A poisoned final record — a batch the engine deterministically
+  /// rejects (bad client update, e.g. adding an existing edge), which is
+  /// what killed the live writer — was amputated from the log. Its
+  /// effects were never published, so the recovered state is still
+  /// exactly the live run's last published state.
+  std::uint64_t poisoned_batches = 0;
+  std::uint64_t poisoned_updates = 0;
+  /// Serving state after replay: the epoch/position the uninterrupted run
+  /// had published for this prefix.
+  std::uint64_t recovered_epoch = 0;
+  std::uint64_t recovered_stream_position = 0;
+  double load_seconds = 0.0;
+  double replay_seconds = 0.0;
+};
+
+/// Everything a serving deployment is configured with: the framework
+/// underneath, the queue in front of it, snapshot shape, and durability.
 struct BcServiceOptions {
   /// Storage variant and traversal options of the underlying framework.
   DynamicBcOptions bc;
@@ -30,6 +95,8 @@ struct BcServiceOptions {
   /// queries at any key). Disable to publish scores + leaderboards only,
   /// which trims per-publish copying on edge-dense graphs.
   bool snapshot_edge_scores = true;
+  /// Write-ahead log + checkpointing; off by default.
+  DurabilityOptions durability;
 };
 
 /// The concurrent serving layer over the online framework (DESIGN.md §8):
@@ -52,6 +119,20 @@ class BcService {
  public:
   static Result<std::unique_ptr<BcService>> Create(
       Graph graph, const BcServiceOptions& options);
+
+  /// Rebuilds a durable deployment after a crash or restart: loads the
+  /// newest usable checkpoint from options.durability, replays the WAL
+  /// tail through the same batch-apply machinery the live writer uses
+  /// (truncating a torn final frame), and resumes serving at the epoch and
+  /// stream position the uninterrupted run had published. The storage
+  /// variant comes from the manifest; tuning fields of options.bc
+  /// (threads, prefilter, cache, codec is header-ruled) still apply. For
+  /// the out-of-core variant the checkpointed store is byte-copied to
+  /// options.bc.storage_path (default <checkpoint_dir>/live.bd), which
+  /// makes serial-apply recovery bit-identical to the uninterrupted run.
+  static Result<std::unique_ptr<BcService>> Recover(
+      const BcServiceOptions& options, RecoveryInfo* info = nullptr);
+
   ~BcService();
 
   BcService(const BcService&) = delete;
@@ -81,6 +162,16 @@ class BcService {
   /// Writer-side metrics merged with the queue's push accounting.
   ServeMetricsSnapshot metrics() const;
 
+  /// Blocks until no checkpoint job is in flight and returns the first
+  /// background checkpoint error, if any. Observers (benches, operators
+  /// snapshotting the checkpoint dir) call this for a stable directory;
+  /// later batches may trigger new checkpoints as usual. No-op without
+  /// durability.
+  Status QuiesceCheckpoints() {
+    return checkpointer_ != nullptr ? checkpointer_->WaitIdle()
+                                    : Status::OK();
+  }
+
   /// Updates accepted into the queue so far.
   std::uint64_t submitted() const { return queue_.stats().received; }
 
@@ -94,6 +185,20 @@ class BcService {
 
   void WriterLoop();
   Status WriterStatusLocked() const { return writer_status_; }
+  /// Durability plumbing shared by Create and Recover: checkpoint writer +
+  /// WAL writer, with the first WAL segment starting at `next_epoch`.
+  /// With `initial_checkpoint` (Create only) it first refuses a reused
+  /// checkpoint dir, then commits the base-epoch checkpoint BEFORE the
+  /// first WAL segment exists — the crash-safe bring-up order.
+  Status StartDurability(std::uint64_t next_epoch, bool initial_checkpoint);
+  /// Captures graph/scores (and, out of core, a flushed byte copy of the
+  /// BD store) into a checkpoint job — the only part of checkpointing the
+  /// writer thread pays for; serialization runs on the checkpoint thread.
+  Result<CheckpointWriter::Job> CaptureCheckpointJob(std::uint64_t epoch,
+                                                     std::uint64_t position);
+  /// Evaluates the op-count/interval policy and hands a captured job to
+  /// the background writer (writer thread only).
+  Status MaybeCheckpoint(std::uint64_t epoch, std::uint64_t position);
 
   BcServiceOptions options_;
   /// Owned by the writer thread once it starts; other threads must only
@@ -105,10 +210,30 @@ class BcService {
 
   std::atomic<std::uint64_t> published_position_{0};
 
+  // Durability state (null / zero when options_.durability is off).
+  // wal_ is owned by the writer thread once it starts; checkpointer_ has
+  // its own thread and is touched from the writer (Enqueue) and Stop
+  // (WriteNow/WaitIdle) only after the writer joined.
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<CheckpointWriter> checkpointer_;
+  /// Epoch/position the service resumed from (0/0 for a fresh Create);
+  /// the writer's epochs and Drain targets are absolute, offset by these.
+  std::uint64_t base_epoch_ = 0;
+  std::uint64_t base_position_ = 0;
+  /// Raw updates consumed since the last checkpoint trigger + its stamp
+  /// (writer thread only).
+  std::uint64_t updates_since_checkpoint_ = 0;
+  double last_checkpoint_stamp_ = 0.0;
+  bool final_checkpoint_done_ = false;  // Stop() idempotence
+
   mutable std::mutex mu_;  // guards writer_status_ and Drain waits
   std::condition_variable publish_cv_;
   Status writer_status_;
   bool writer_done_ = false;
+  /// Last published epoch/position, for Stop()'s final checkpoint
+  /// (guarded by mu_; written by the writer at each publish).
+  std::uint64_t final_epoch_ = 0;
+  std::uint64_t final_position_ = 0;
 
   std::thread writer_;
 };

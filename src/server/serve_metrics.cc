@@ -61,6 +61,12 @@ void ServeMetrics::RecordBatch(std::size_t applied, std::size_t coalesced,
   PushSample(&batch_samples_, &batch_next_, apply_seconds);
 }
 
+void ServeMetrics::SeedPublication(std::uint64_t epoch,
+                                   std::uint64_t stream_position) {
+  publish_epoch_.store(epoch, std::memory_order_relaxed);
+  published_stream_position_.store(stream_position, std::memory_order_relaxed);
+}
+
 ServeMetricsSnapshot ServeMetrics::Read() const {
   ServeMetricsSnapshot snap;
   snap.applied = applied_.load(std::memory_order_relaxed);
@@ -110,6 +116,16 @@ std::string ServeMetricsSnapshot::ToJson() const {
               sources_total > 0 ? static_cast<double>(sources_prefiltered) /
                                       static_cast<double>(sources_total)
                                 : 0.0);
+  AppendField(&out, "wal_appends", wal_appends);
+  AppendField(&out, "wal_appended_updates", wal_appended_updates);
+  AppendField(&out, "wal_bytes", wal_bytes);
+  AppendField(&out, "wal_syncs", wal_syncs);
+  AppendField(&out, "wal_rotations", wal_rotations);
+  AppendField(&out, "checkpoints_written", checkpoints_written);
+  AppendField(&out, "checkpoints_skipped", checkpoints_skipped);
+  AppendField(&out, "checkpoints_failed", checkpoints_failed);
+  AppendField(&out, "last_checkpoint_epoch", last_checkpoint_epoch);
+  AppendField(&out, "checkpoint_write_seconds", checkpoint_write_seconds);
   AppendField(&out, "p50_update_latency_seconds", p50_update_latency_seconds);
   AppendField(&out, "p99_update_latency_seconds", p99_update_latency_seconds);
   AppendField(&out, "p50_batch_apply_seconds", p50_batch_apply_seconds);

@@ -37,6 +37,22 @@ struct ServeMetricsSnapshot {
   std::uint64_t sources_total = 0;
   std::uint64_t sources_prefiltered = 0;
 
+  /// Durability-side counters, filled by BcService::metrics() from the
+  /// WAL writer's and checkpoint writer's own stats (all zero when the
+  /// service runs without a wal_dir). wal_appends counts logged batches;
+  /// checkpoints_skipped counts triggers dropped because the previous
+  /// checkpoint was still being written.
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_appended_updates = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t wal_syncs = 0;
+  std::uint64_t wal_rotations = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoints_skipped = 0;
+  std::uint64_t checkpoints_failed = 0;
+  std::uint64_t last_checkpoint_epoch = 0;
+  double checkpoint_write_seconds = 0.0;
+
   /// Submit-to-publish latency per consumed update (coalesced ones
   /// included — their effect was published even if they never ran).
   double p50_update_latency_seconds = 0.0;
@@ -70,6 +86,11 @@ class ServeMetrics {
                    std::uint64_t sources_prefiltered = 0);
 
   ServeMetricsSnapshot Read() const;
+
+  /// Primes the publication cursor after recovery so epoch lag reads
+  /// correctly before the first post-recovery batch is applied. Counters
+  /// (publishes, batches) are untouched — they cover this process's work.
+  void SeedPublication(std::uint64_t epoch, std::uint64_t stream_position);
 
  private:
   static void PushSample(std::vector<double>* ring, std::size_t* next,

@@ -20,6 +20,8 @@ inline double SteadyNowSeconds() {
       .count();
 }
 
+/// Shape of the producer/consumer contract: depth, batching, coalescing,
+/// and what happens when producers outrun the writer.
 struct UpdateQueueOptions {
   /// Bounded depth; the backpressure point of the serving layer.
   std::size_t capacity = 4096;

@@ -1,0 +1,545 @@
+#include "storage/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bc/score_io.h"
+#include "common/crc32.h"
+#include "common/posix_io.h"
+#include "common/timer.h"
+#include "graph/graph_io.h"
+#include "storage/wal.h"
+
+namespace sobc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kManifestPrefix = "MANIFEST-";
+constexpr std::string_view kCurrentName = "CURRENT";
+
+/// Writes `content` to `path` atomically: temp file + fsync + rename +
+/// directory fsync. The unit every manifest/CURRENT update is built from.
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       const std::string& content) {
+  const std::string tmp = dir + "/" + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  if (Status st = WriteFully(fd, content.data(), content.size(), tmp);
+      !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fsync", tmp);
+  }
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    return Status::IOError("cannot rename " + tmp + ": " + ec.message());
+  }
+  return SyncDir(dir);
+}
+
+/// Manifest files of `dir`, newest epoch first.
+Result<std::vector<std::pair<std::uint64_t, std::string>>> ListManifests(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> manifests;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.compare(0, kManifestPrefix.size(), kManifestPrefix) != 0 ||
+        name.size() <= kManifestPrefix.size() ||
+        name.find(".tmp") != std::string::npos) {
+      continue;
+    }
+    const std::string digits = name.substr(kManifestPrefix.size());
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    manifests.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
+                           entry.path().string());
+  }
+  if (ec) {
+    return Status::IOError("cannot list checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(manifests.begin(), manifests.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return manifests;
+}
+
+std::string RenderManifest(const CheckpointManifest& manifest) {
+  std::ostringstream out;
+  out << "sobc-checkpoint 1\n";
+  out << "epoch " << manifest.epoch << "\n";
+  out << "stream_position " << manifest.stream_position << "\n";
+  out << "directed " << (manifest.directed ? 1 : 0) << "\n";
+  out << "num_vertices " << manifest.num_vertices << "\n";
+  out << "variant " << manifest.variant << "\n";
+  out << "graph " << manifest.graph_file << "\n";
+  out << "scores " << manifest.scores_file << "\n";
+  char crc_buf[16];
+  std::snprintf(crc_buf, sizeof(crc_buf), "%08x", manifest.graph_crc);
+  out << "graph_crc " << crc_buf << "\n";
+  std::snprintf(crc_buf, sizeof(crc_buf), "%08x", manifest.scores_crc);
+  out << "scores_crc " << crc_buf << "\n";
+  if (!manifest.store_file.empty()) {
+    out << "store " << manifest.store_file << "\n";
+    out << "store_codec " << manifest.store_codec << "\n";
+    std::snprintf(crc_buf, sizeof(crc_buf), "%08x", manifest.store_crc);
+    out << "store_crc " << crc_buf << "\n";
+  }
+  std::string body = out.str();
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08x\n",
+                Crc32(body.data(), body.size()));
+  return body + crc_line;
+}
+
+}  // namespace
+
+std::string ManifestName(std::uint64_t epoch) {
+  return std::string(kManifestPrefix) + std::to_string(epoch);
+}
+
+Status WriteManifest(const std::string& dir,
+                     const CheckpointManifest& manifest) {
+  SOBC_RETURN_NOT_OK(
+      WriteFileAtomic(dir, ManifestName(manifest.epoch),
+                      RenderManifest(manifest)));
+  // CURRENT is a convenience pointer, not the source of truth: recovery
+  // falls back to scanning MANIFEST-* files when it is stale or torn.
+  return WriteFileAtomic(dir, std::string(kCurrentName),
+                         ManifestName(manifest.epoch) + "\n");
+}
+
+Result<CheckpointManifest> ReadManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open manifest: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  const std::size_t crc_at = content.rfind("crc ");
+  if (crc_at == std::string::npos || crc_at == 0 ||
+      content[crc_at - 1] != '\n') {
+    return Status::IOError("manifest missing checksum: " + path);
+  }
+  const std::uint32_t expected = static_cast<std::uint32_t>(
+      std::strtoul(content.c_str() + crc_at + 4, nullptr, 16));
+  if (Crc32(content.data(), crc_at) != expected) {
+    return Status::IOError("manifest checksum mismatch: " + path);
+  }
+  CheckpointManifest manifest;
+  std::istringstream lines(content.substr(0, crc_at));
+  std::string line;
+  if (!std::getline(lines, line) || line != "sobc-checkpoint 1") {
+    return Status::IOError("not a sobc checkpoint manifest: " + path);
+  }
+  while (std::getline(lines, line)) {
+    std::istringstream tokens(line);
+    std::string key, value;
+    if (!(tokens >> key >> value)) continue;
+    if (key == "epoch") {
+      manifest.epoch = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "stream_position") {
+      manifest.stream_position = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "directed") {
+      manifest.directed = value == "1";
+    } else if (key == "num_vertices") {
+      manifest.num_vertices = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "variant") {
+      manifest.variant = value;
+    } else if (key == "graph") {
+      manifest.graph_file = value;
+    } else if (key == "scores") {
+      manifest.scores_file = value;
+    } else if (key == "store") {
+      manifest.store_file = value;
+    } else if (key == "store_codec") {
+      manifest.store_codec = value;
+    } else if (key == "graph_crc") {
+      manifest.graph_crc = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 16));
+    } else if (key == "scores_crc") {
+      manifest.scores_crc = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 16));
+    } else if (key == "store_crc") {
+      manifest.store_crc = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 16));
+    }
+  }
+  if (manifest.graph_file.empty() || manifest.scores_file.empty()) {
+    return Status::IOError("manifest names no state files: " + path);
+  }
+  return manifest;
+}
+
+namespace {
+
+/// Loads the state one manifest names; any failure makes the caller fall
+/// back to an older manifest.
+Result<LoadedCheckpoint> LoadFromManifest(const std::string& dir,
+                                          const std::string& manifest_path) {
+  auto manifest = ReadManifest(manifest_path);
+  if (!manifest.ok()) return manifest.status();
+  // Content verification before parsing: a failure here (like any other
+  // failure in this function) sends the caller down the fallback ladder
+  // to an older checkpoint instead of recovering onto corrupt state.
+  auto verify_crc = [&](const std::string& file,
+                        std::uint32_t expected) -> Status {
+    auto actual = FileCrc32(dir + "/" + file);
+    if (!actual.ok()) return actual.status();
+    if (*actual != expected) {
+      return Status::IOError("checkpoint state file corrupt (crc): " + file);
+    }
+    return Status::OK();
+  };
+  SOBC_RETURN_NOT_OK(verify_crc(manifest->graph_file, manifest->graph_crc));
+  SOBC_RETURN_NOT_OK(verify_crc(manifest->scores_file, manifest->scores_crc));
+  if (!manifest->store_file.empty()) {
+    SOBC_RETURN_NOT_OK(verify_crc(manifest->store_file, manifest->store_crc));
+  }
+  auto graph = ReadAdjacency(dir + "/" + manifest->graph_file);
+  if (!graph.ok()) return graph.status();
+  if (graph->directed() != manifest->directed) {
+    return Status::IOError("checkpoint graph directedness disagrees with "
+                           "the manifest");
+  }
+  if (graph->NumVertices() != manifest->num_vertices) {
+    return Status::IOError("checkpoint graph has " +
+                           std::to_string(graph->NumVertices()) +
+                           " vertices, manifest says " +
+                           std::to_string(manifest->num_vertices));
+  }
+  auto scores = ReadScores(dir + "/" + manifest->scores_file);
+  if (!scores.ok()) return scores.status();
+  if (scores->vbc.size() != manifest->num_vertices) {
+    return Status::IOError("checkpoint scores do not match the graph");
+  }
+  LoadedCheckpoint loaded;
+  if (!manifest->store_file.empty()) {
+    loaded.store_path = dir + "/" + manifest->store_file;
+    if (!fs::exists(loaded.store_path)) {
+      return Status::IOError("checkpoint store file missing: " +
+                             loaded.store_path);
+    }
+  }
+  loaded.manifest = std::move(*manifest);
+  loaded.graph = std::move(*graph);
+  loaded.scores = std::move(*scores);
+  return loaded;
+}
+
+}  // namespace
+
+Result<bool> CheckpointDirHasManifests(const std::string& dir) {
+  if (!fs::exists(dir)) return false;
+  auto manifests = ListManifests(dir);
+  if (!manifests.ok()) return manifests.status();
+  return !manifests->empty();
+}
+
+Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
+  if (!fs::exists(dir)) {
+    return Status::NotFound("checkpoint dir does not exist: " + dir);
+  }
+  // Candidate order: CURRENT's target first, then every manifest newest
+  // first. Trying them in turn is what makes recovery survive a crash at
+  // any point of the checkpoint protocol — a half-written newest
+  // checkpoint simply loses to its predecessor.
+  std::vector<std::string> candidates;
+  {
+    std::ifstream current(dir + "/" + std::string(kCurrentName));
+    std::string name;
+    if (current && std::getline(current, name) && !name.empty()) {
+      candidates.push_back(dir + "/" + name);
+    }
+  }
+  auto manifests = ListManifests(dir);
+  if (!manifests.ok()) return manifests.status();
+  for (const auto& [epoch, path] : *manifests) {
+    if (candidates.empty() || candidates.front() != path) {
+      candidates.push_back(path);
+    }
+  }
+  Status last_error =
+      Status::NotFound("no usable checkpoint in " + dir);
+  for (const std::string& path : candidates) {
+    auto loaded = LoadFromManifest(dir, path);
+    if (loaded.ok()) return loaded;
+    last_error = loaded.status();
+  }
+  return last_error;
+}
+
+Result<std::size_t> PruneCheckpoints(const std::string& dir,
+                                     std::size_t keep) {
+  auto manifests = ListManifests(dir);
+  if (!manifests.ok()) return manifests.status();
+  std::size_t valid_kept = 0;
+  std::size_t removed = 0;
+  for (const auto& [epoch, path] : *manifests) {
+    auto manifest = ReadManifest(path);
+    if (manifest.ok() && valid_kept < keep) {
+      ++valid_kept;
+      continue;
+    }
+    // Either surplus or unreadable: drop the manifest first (the commit
+    // record), then the state files it names.
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) continue;
+    ++removed;
+    if (manifest.ok()) {
+      fs::remove(dir + "/" + manifest->graph_file, ec);
+      fs::remove(dir + "/" + manifest->scores_file, ec);
+      if (!manifest->store_file.empty()) {
+        fs::remove(dir + "/" + manifest->store_file, ec);
+      }
+    }
+  }
+  if (removed > 0) SOBC_RETURN_NOT_OK(SyncDir(dir));
+  return removed;
+}
+
+Status CopyFile(const std::string& from, const std::string& to,
+                std::uint32_t* crc) {
+  {
+    // Opening the destination truncates it: copying a file onto itself
+    // (e.g. `recover --store=` aimed at the checkpointed copy) would
+    // destroy the source before a byte is read.
+    std::error_code ec;
+    if (fs::equivalent(from, to, ec) && !ec) {
+      return Status::InvalidArgument(
+          "copy source and destination are the same file: " + from);
+    }
+  }
+  const int src = ::open(from.c_str(), O_RDONLY);
+  if (src < 0) return ErrnoStatus("open", from);
+  const int dst = ::open(to.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (dst < 0) {
+    ::close(src);
+    return ErrnoStatus("open", to);
+  }
+  std::vector<char> buffer(1 << 20);
+  Status status;
+  std::uint32_t running_crc = 0;
+  for (;;) {
+    const ssize_t got = ::read(src, buffer.data(), buffer.size());
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      status = ErrnoStatus("read", from);
+      break;
+    }
+    if (got == 0) break;
+    running_crc = Crc32(buffer.data(), static_cast<std::size_t>(got),
+                        running_crc);
+    ssize_t written = 0;
+    while (written < got) {
+      const ssize_t put = ::write(dst, buffer.data() + written, got - written);
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        status = ErrnoStatus("write", to);
+        break;
+      }
+      written += put;
+    }
+    if (!status.ok()) break;
+  }
+  if (status.ok() && ::fsync(dst) != 0) status = ErrnoStatus("fsync", to);
+  ::close(src);
+  ::close(dst);
+  if (status.ok() && crc != nullptr) *crc = running_crc;
+  return status;
+}
+
+Result<std::uint32_t> FileCrc32(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  std::vector<char> buffer(1 << 20);
+  std::uint32_t crc = 0;
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer.data(), buffer.size());
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read", path);
+    }
+    if (got == 0) break;
+    crc = Crc32(buffer.data(), static_cast<std::size_t>(got), crc);
+  }
+  ::close(fd);
+  return crc;
+}
+
+CheckpointWriter::CheckpointWriter(std::string dir, std::string wal_dir,
+                                   std::size_t retain)
+    : dir_(std::move(dir)),
+      wal_dir_(std::move(wal_dir)),
+      retain_(retain == 0 ? 1 : retain) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  worker_ = std::thread([this] { Loop(); });
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool CheckpointWriter::AdmitTrigger() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (busy_ || pending_.has_value()) {
+    skipped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool CheckpointWriter::Enqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (busy_ || pending_.has_value()) {
+      skipped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    pending_ = std::move(job);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+Status CheckpointWriter::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !busy_ && !pending_.has_value(); });
+  return error_;
+}
+
+Status CheckpointWriter::WriteNow(Job job) {
+  // Claim the single in-flight slot so the worker and a synchronous write
+  // never serialize state concurrently.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !busy_ && !pending_.has_value(); });
+    busy_ = true;
+  }
+  const Status status = WriteJob(job);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_ = false;
+    if (!status.ok() && error_.ok()) error_ = status;
+  }
+  cv_.notify_all();
+  return status;
+}
+
+void CheckpointWriter::Loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || pending_.has_value(); });
+      if (stop_ && !pending_.has_value()) return;
+      job = std::move(*pending_);
+      pending_.reset();
+      busy_ = true;
+    }
+    const Status status = WriteJob(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+      if (!status.ok() && error_.ok()) error_ = status;
+    }
+    cv_.notify_all();
+  }
+}
+
+Status CheckpointWriter::WriteJob(const Job& job) {
+  WallTimer timer;
+  auto fail = [this](Status status) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  };
+  const std::string epoch_tag = std::to_string(job.epoch);
+  CheckpointManifest manifest;
+  manifest.epoch = job.epoch;
+  manifest.stream_position = job.stream_position;
+  manifest.directed = job.graph.directed();
+  manifest.num_vertices = job.graph.NumVertices();
+  manifest.variant = job.variant;
+  // Adjacency dump, not an edge list: neighbor order must survive the
+  // round trip or recovery replay diverges by summation order.
+  manifest.graph_file = "graph-" + epoch_tag + ".adj";
+  manifest.scores_file = "scores-" + epoch_tag + ".bin";
+  manifest.store_file = job.store_file;
+  manifest.store_codec = job.store_codec;
+  manifest.store_crc = job.store_crc;
+
+  // State-file CRCs are computed inline by the writers — no read-back.
+  Status st = WriteAdjacency(job.graph, dir_ + "/" + manifest.graph_file,
+                             &manifest.graph_crc);
+  if (st.ok()) st = SyncFile(dir_ + "/" + manifest.graph_file);
+  if (st.ok()) {
+    st = WriteScores(job.scores, dir_ + "/" + manifest.scores_file,
+                     &manifest.scores_crc);
+  }
+  if (st.ok()) st = SyncFile(dir_ + "/" + manifest.scores_file);
+  // The manifest is the commit point: state files are durable before it
+  // exists, so no manifest ever names half-written state.
+  if (st.ok()) st = WriteManifest(dir_, manifest);
+  if (!st.ok()) return fail(std::move(st));
+
+  written_.fetch_add(1, std::memory_order_relaxed);
+  last_epoch_.store(job.epoch, std::memory_order_relaxed);
+  write_seconds_total_.store(
+      write_seconds_total_.load(std::memory_order_relaxed) + timer.Seconds(),
+      std::memory_order_relaxed);
+
+  // Housekeeping after the commit: retention and WAL coverage pruning are
+  // best-effort (a failure here never invalidates the checkpoint). WAL
+  // retention aligns with the *oldest retained* checkpoint, not the one
+  // just committed — every retained manifest must stay a viable recovery
+  // root, and falling back to it needs the WAL tail after its epoch.
+  (void)PruneCheckpoints(dir_, retain_);
+  if (!wal_dir_.empty()) {
+    std::uint64_t oldest_retained = job.epoch;
+    if (auto manifests = ListManifests(dir_); manifests.ok()) {
+      for (const auto& [epoch, path] : *manifests) {
+        oldest_retained = std::min(oldest_retained, epoch);
+      }
+    }
+    (void)PruneWalSegments(wal_dir_, oldest_retained);
+  }
+  return Status::OK();
+}
+
+CheckpointStats CheckpointWriter::stats() const {
+  CheckpointStats stats;
+  stats.written = written_.load(std::memory_order_relaxed);
+  stats.skipped = skipped_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.last_epoch = last_epoch_.load(std::memory_order_relaxed);
+  stats.write_seconds_total =
+      write_seconds_total_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace sobc

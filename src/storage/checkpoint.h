@@ -1,0 +1,190 @@
+#ifndef SOBC_STORAGE_CHECKPOINT_H_
+#define SOBC_STORAGE_CHECKPOINT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "bc/bc_types.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// The root of one checkpoint: which epoch it captures and which files in
+/// the checkpoint directory hold the state. Written atomically
+/// (temp + fsync + rename, then the CURRENT pointer) so a crash mid-write
+/// can never produce a manifest that names half-written state — a
+/// checkpoint exists only once its manifest does.
+struct CheckpointManifest {
+  std::uint64_t epoch = 0;
+  std::uint64_t stream_position = 0;
+  bool directed = false;
+  /// Vertex count at checkpoint time. Edge-list files cannot carry
+  /// trailing isolated vertices, so loading re-grows the graph to this.
+  std::uint64_t num_vertices = 0;
+  /// Storage variant the deployment ran ("mo", "mp", or "do"); recovery
+  /// rebuilds the same one.
+  std::string variant = "mo";
+  /// Files relative to the checkpoint directory.
+  std::string graph_file;
+  std::string scores_file;
+  /// Byte-copy of the flushed out-of-core BD store ("do" only; empty
+  /// otherwise). Generation-stamped by the epoch in its name.
+  std::string store_file;
+  /// Record codec of store_file, informational (the file header rules).
+  std::string store_codec;
+  /// Whole-file CRCs of the state files, verified at load. The WAL
+  /// frames and the manifest text are CRC-framed; without these the much
+  /// larger state payloads would accept silent content corruption (a bit
+  /// flip inside an in-range neighbor id parses fine) and recovery would
+  /// diverge undetected.
+  std::uint32_t graph_crc = 0;
+  std::uint32_t scores_crc = 0;
+  std::uint32_t store_crc = 0;
+};
+
+/// One fully loaded checkpoint: the manifest plus the graph and score state
+/// it names. The BD store (when present) stays on disk; RestoreStorePath()
+/// gives its absolute location for the caller to copy or open.
+struct LoadedCheckpoint {
+  CheckpointManifest manifest;
+  Graph graph;
+  BcScores scores;
+  /// Absolute path of the checkpointed BD store file; empty for in-memory
+  /// variants.
+  std::string store_path;
+};
+
+/// Name of the manifest file for `epoch` (MANIFEST-<epoch>).
+std::string ManifestName(std::uint64_t epoch);
+
+/// Writes `manifest` atomically into `dir` and repoints CURRENT at it.
+/// The state files it names must already be in place — this is the commit
+/// point of the checkpoint protocol.
+Status WriteManifest(const std::string& dir, const CheckpointManifest& manifest);
+
+/// Parses one manifest file, validating its trailing whole-file checksum.
+Result<CheckpointManifest> ReadManifest(const std::string& path);
+
+/// Whether `dir` already holds any manifest — the guard that keeps
+/// BcService::Create from mixing a fresh deployment's checkpoints with a
+/// previous one's (stale higher-epoch manifests would win both retention
+/// and the recovery fallback ladder).
+Result<bool> CheckpointDirHasManifests(const std::string& dir);
+
+/// Loads the newest usable checkpoint of `dir`: the manifest CURRENT names,
+/// falling back to older MANIFEST-* files (newest first) when CURRENT is
+/// missing, torn, or names unreadable state — the situations a crash
+/// between checkpoint steps can leave behind. NotFound when no usable
+/// checkpoint exists.
+Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir);
+
+/// Deletes checkpoints older than the `keep` newest valid ones (manifest
+/// plus the state files it names). Returns manifests removed.
+Result<std::size_t> PruneCheckpoints(const std::string& dir, std::size_t keep);
+
+/// Plain byte copy (used to snapshot the flushed BD store into a
+/// checkpoint and to install it back at recovery). Overwrites `to`;
+/// refuses identical paths (the destination is O_TRUNCed, so copying a
+/// file onto itself would destroy it). `crc` (optional) receives the
+/// CRC-32 of the bytes copied.
+Status CopyFile(const std::string& from, const std::string& to,
+                std::uint32_t* crc = nullptr);
+
+/// CRC-32 of a whole file's content.
+Result<std::uint32_t> FileCrc32(const std::string& path);
+
+/// Background counters, snapshot-readable from any thread.
+struct CheckpointStats {
+  std::uint64_t written = 0;       // checkpoints committed (manifest durable)
+  std::uint64_t skipped = 0;       // triggers dropped: previous still running
+  std::uint64_t failed = 0;
+  std::uint64_t last_epoch = 0;    // newest committed checkpoint
+  double write_seconds_total = 0;  // background serialization time
+};
+
+/// The off-thread half of checkpointing: the serving writer captures state
+/// (graph copy, score copy, flushed BD-store byte copy) between batches and
+/// hands it here; this thread serializes it to files and commits the
+/// manifest, so the writer's stall is the capture, not the I/O. One job in
+/// flight at a time — a trigger that fires while one is running is skipped
+/// (counted), never queued, so checkpoint cost cannot build a backlog.
+class CheckpointWriter {
+ public:
+  struct Job {
+    std::uint64_t epoch = 0;
+    std::uint64_t stream_position = 0;
+    Graph graph;
+    BcScores scores;
+    std::string variant;
+    /// Pre-placed BD store copy inside the checkpoint dir ("do" only),
+    /// with the CRC the capture's CopyFile computed over it.
+    std::string store_file;
+    std::string store_codec;
+    std::uint32_t store_crc = 0;
+  };
+
+  /// Serializes into `dir` (created if missing), keeping the `retain`
+  /// newest checkpoints. `wal_dir` non-empty additionally prunes WAL
+  /// segments a committed checkpoint fully covers.
+  CheckpointWriter(std::string dir, std::string wal_dir, std::size_t retain);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Whether a job handed over right now would be accepted; false also
+  /// counts the trigger as skipped. Callers use this to avoid capturing
+  /// state (for the out-of-core variant: flushing and byte-copying the BD
+  /// store) for a job that would only be dropped.
+  bool AdmitTrigger();
+
+  /// Hands one captured state over; false (and a skip count) when the
+  /// previous checkpoint is still being written.
+  bool Enqueue(Job job);
+
+  /// Blocks until no job is in flight; returns the first error any job hit
+  /// (sticky until read).
+  Status WaitIdle();
+
+  /// Runs one job synchronously on the calling thread (initial checkpoint
+  /// at Create, final checkpoint at Stop — moments that want the commit
+  /// before proceeding).
+  Status WriteNow(Job job);
+
+  CheckpointStats stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void Loop();
+  Status WriteJob(const Job& job);
+
+  std::string dir_;
+  std::string wal_dir_;
+  std::size_t retain_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<Job> pending_;
+  bool busy_ = false;
+  bool stop_ = false;
+  Status error_;
+
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> skipped_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> last_epoch_{0};
+  std::atomic<double> write_seconds_total_{0.0};
+
+  std::thread worker_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_STORAGE_CHECKPOINT_H_

@@ -15,6 +15,7 @@
 
 namespace sobc {
 
+/// Background read-ahead accounting, snapshot-readable from any thread.
 struct PrefetchStats {
   std::uint64_t hinted = 0;          // source ids enqueued via Hint
   std::uint64_t fetched = 0;         // records decoded into the cache

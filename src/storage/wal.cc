@@ -1,0 +1,394 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/posix_io.h"
+
+namespace sobc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kWalMagic = 0x314C4157'43424F53ULL;  // "SOBCWAL1"
+constexpr std::uint32_t kWalVersion = 1;
+constexpr std::size_t kSegmentHeaderBytes = 16;
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+/// A frame longer than this is garbage, not data — 2^26 updates per batch
+/// is far beyond any queue capacity.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+constexpr std::size_t kBytesPerUpdate = 4 + 4 + 1 + 8;  // u, v, op, timestamp
+
+std::string SegmentName(std::uint64_t first_epoch) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(first_epoch));
+  return buf;
+}
+
+/// Segment files of `dir`, sorted by their first-epoch name.
+Result<std::vector<std::pair<std::uint64_t, std::string>>> ListSegments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kPrefix = "wal-";
+    constexpr std::string_view kSuffix = ".log";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    segments.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
+                          entry.path().string());
+  }
+  if (ec) {
+    return Status::IOError("cannot list wal dir " + dir + ": " + ec.message());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+template <typename T>
+void AppendValue(std::vector<std::uint8_t>* out, T value) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out->insert(out->end(), bytes, bytes + sizeof(value));
+}
+
+template <typename T>
+bool ReadValue(const std::uint8_t* data, std::size_t size, std::size_t* offset,
+               T* out) {
+  if (*offset + sizeof(T) > size) return false;
+  std::memcpy(out, data + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+/// One frame in a single buffer: the 8 header bytes are reserved up
+/// front and patched after the payload is encoded behind them, so the
+/// serve hot path pays one allocation and no payload copy.
+std::vector<std::uint8_t> EncodeFrame(std::uint64_t epoch,
+                                      std::uint64_t stream_position,
+                                      std::span<const EdgeUpdate> updates) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + 8 + 8 + 4 +
+                updates.size() * kBytesPerUpdate);
+  frame.resize(kFrameHeaderBytes);
+  AppendValue(&frame, epoch);
+  AppendValue(&frame, stream_position);
+  AppendValue(&frame, static_cast<std::uint32_t>(updates.size()));
+  for (const EdgeUpdate& update : updates) {
+    AppendValue(&frame, update.u);
+    AppendValue(&frame, update.v);
+    AppendValue(&frame, static_cast<std::uint8_t>(update.op));
+    AppendValue(&frame, update.timestamp);
+  }
+  const auto length =
+      static_cast<std::uint32_t>(frame.size() - kFrameHeaderBytes);
+  const std::uint32_t crc = Crc32(frame.data() + kFrameHeaderBytes, length);
+  std::memcpy(frame.data(), &length, sizeof(length));
+  std::memcpy(frame.data() + sizeof(length), &crc, sizeof(crc));
+  return frame;
+}
+
+bool DecodePayload(const std::uint8_t* data, std::size_t size,
+                   WalRecord* record) {
+  std::size_t offset = 0;
+  std::uint32_t count = 0;
+  if (!ReadValue(data, size, &offset, &record->epoch) ||
+      !ReadValue(data, size, &offset, &record->stream_position) ||
+      !ReadValue(data, size, &offset, &count)) {
+    return false;
+  }
+  if (size - offset != count * kBytesPerUpdate) return false;
+  record->updates.resize(count);
+  for (EdgeUpdate& update : record->updates) {
+    std::uint8_t op = 0;
+    if (!ReadValue(data, size, &offset, &update.u) ||
+        !ReadValue(data, size, &offset, &update.v) ||
+        !ReadValue(data, size, &offset, &op) ||
+        !ReadValue(data, size, &offset, &update.timestamp)) {
+      return false;
+    }
+    if (op > static_cast<std::uint8_t>(EdgeOp::kRemove)) return false;
+    update.op = static_cast<EdgeOp>(op);
+  }
+  return true;
+}
+
+}  // namespace
+
+WalWriter::WalWriter(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    (void)::fdatasync(fd_);
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
+                                                   std::uint64_t next_epoch,
+                                                   const WalOptions& options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create wal dir " + dir + ": " +
+                           ec.message());
+  }
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter(dir, options));
+  SOBC_RETURN_NOT_OK(writer->OpenSegment(next_epoch));
+  return writer;
+}
+
+Status WalWriter::OpenSegment(std::uint64_t first_epoch) {
+  if (fd_ >= 0) {
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", segment_path_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  segment_path_ = dir_ + "/" + SegmentName(first_epoch);
+  // O_TRUNC: a colliding segment can only be one whose every frame a prior
+  // recovery already discarded as garbage (see the Open contract).
+  fd_ = ::open(segment_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return ErrnoStatus("open", segment_path_);
+  std::vector<std::uint8_t> header;
+  AppendValue(&header, kWalMagic);
+  AppendValue(&header, kWalVersion);
+  AppendValue(&header, std::uint32_t{0});
+  SOBC_RETURN_NOT_OK(WriteFully(fd_, header.data(), header.size(),
+                                segment_path_));
+  bytes_.fetch_add(header.size(), std::memory_order_relaxed);
+  appends_since_sync_ = 0;
+  return SyncDir(dir_);
+}
+
+Status WalWriter::Append(std::uint64_t epoch, std::uint64_t stream_position,
+                         std::span<const EdgeUpdate> updates) {
+  if (fd_ < 0) return Status::FailedPrecondition("wal writer is closed");
+  const std::vector<std::uint8_t> frame =
+      EncodeFrame(epoch, stream_position, updates);
+  SOBC_RETURN_NOT_OK(WriteFully(fd_, frame.data(), frame.size(),
+                                segment_path_));
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  appended_updates_.fetch_add(updates.size(), std::memory_order_relaxed);
+  bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  if (options_.fsync_every > 0 &&
+      ++appends_since_sync_ >= options_.fsync_every) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("wal writer is closed");
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", segment_path_);
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  appends_since_sync_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Rotate(std::uint64_t next_epoch) {
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  return OpenSegment(next_epoch);
+}
+
+WalStats WalWriter::stats() const {
+  WalStats stats;
+  stats.appends = appends_.load(std::memory_order_relaxed);
+  stats.appended_updates = appended_updates_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  stats.syncs = syncs_.load(std::memory_order_relaxed);
+  stats.rotations = rotations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Result<WalReplay> ReadWalForReplay(const std::string& dir,
+                                   std::uint64_t after_epoch,
+                                   bool truncate_torn_tail) {
+  WalReplay replay;
+  if (!fs::exists(dir)) return replay;
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+  bool have_last_epoch = false;
+  std::uint64_t last_epoch = 0;
+  for (std::size_t i = 0; i < segments->size(); ++i) {
+    const bool last_segment = i + 1 == segments->size();
+    const std::string& path = (*segments)[i].second;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return ErrnoStatus("open", path);
+    ++replay.segments_read;
+
+    // Everything from the first bad frame on is a torn tail (final
+    // segment) or corruption (earlier segment).
+    std::uint64_t good_offset = 0;
+    std::string torn_reason;
+    // A shortfall with ferror set is a live I/O failure (EIO, network
+    // filesystem hiccup), never a crash artifact: fail loudly instead of
+    // truncating data a retry would have read.
+    auto read_failed = [&]() -> bool { return std::ferror(f) != 0; };
+    std::uint8_t header[kSegmentHeaderBytes];
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+      if (read_failed()) {
+        std::fclose(f);
+        return ErrnoStatus("read", path);
+      }
+      torn_reason = "short segment header";
+    } else {
+      std::uint64_t magic = 0;
+      std::uint32_t version = 0;
+      std::memcpy(&magic, header, sizeof(magic));
+      std::memcpy(&version, header + 8, sizeof(version));
+      if (magic != kWalMagic || version != kWalVersion) {
+        torn_reason = "bad segment header";
+      } else {
+        good_offset = kSegmentHeaderBytes;
+      }
+    }
+    std::vector<std::uint8_t> payload;
+    while (torn_reason.empty()) {
+      std::uint8_t frame_header[kFrameHeaderBytes];
+      const std::size_t got =
+          std::fread(frame_header, 1, sizeof(frame_header), f);
+      if (got == 0 && std::feof(f)) break;  // clean end of segment
+      if (got != sizeof(frame_header)) {
+        if (read_failed()) {
+          std::fclose(f);
+          return ErrnoStatus("read", path);
+        }
+        torn_reason = "short frame header";
+        break;
+      }
+      std::uint32_t length = 0;
+      std::uint32_t crc = 0;
+      std::memcpy(&length, frame_header, sizeof(length));
+      std::memcpy(&crc, frame_header + 4, sizeof(crc));
+      if (length > kMaxPayloadBytes) {
+        torn_reason = "implausible frame length";
+        break;
+      }
+      payload.resize(length);
+      if (std::fread(payload.data(), 1, length, f) != length) {
+        if (read_failed()) {
+          std::fclose(f);
+          return ErrnoStatus("read", path);
+        }
+        torn_reason = "short frame payload";
+        break;
+      }
+      if (Crc32(payload.data(), payload.size()) != crc) {
+        torn_reason = "crc mismatch";
+        break;
+      }
+      WalRecord record;
+      if (!DecodePayload(payload.data(), payload.size(), &record)) {
+        torn_reason = "undecodable payload";
+        break;
+      }
+      if (have_last_epoch && record.epoch != last_epoch + 1) {
+        std::fclose(f);
+        return Status::IOError(
+            "wal epoch gap in " + path + ": expected " +
+            std::to_string(last_epoch + 1) + ", found " +
+            std::to_string(record.epoch));
+      }
+      last_epoch = record.epoch;
+      have_last_epoch = true;
+      record.segment = path;
+      record.frame_offset = good_offset;
+      good_offset += kFrameHeaderBytes + length;
+      if (record.epoch > after_epoch) {
+        replay.records.push_back(std::move(record));
+      }
+    }
+    std::fclose(f);
+
+    if (!torn_reason.empty()) {
+      if (!last_segment) {
+        return Status::IOError("wal corruption in non-final segment " + path +
+                               " (" + torn_reason + ")");
+      }
+      std::error_code ec;
+      const std::uint64_t size = fs::file_size(path, ec);
+      if (ec) {
+        return Status::IOError("cannot stat " + path + ": " + ec.message());
+      }
+      replay.torn_bytes = size - good_offset;
+      replay.torn_segment = path;
+      if (truncate_torn_tail && replay.torn_bytes > 0) {
+        fs::resize_file(path, good_offset, ec);
+        if (ec) {
+          return Status::IOError("cannot truncate torn tail of " + path +
+                                 ": " + ec.message());
+        }
+        SOBC_RETURN_NOT_OK(SyncDir(dir));
+      }
+    }
+  }
+  if (!replay.records.empty() &&
+      replay.records.front().epoch != after_epoch + 1) {
+    return Status::IOError(
+        "wal does not reach back to checkpoint epoch " +
+        std::to_string(after_epoch) + " (oldest logged epoch after it is " +
+        std::to_string(replay.records.front().epoch) +
+        "); a needed segment was pruned or lost");
+  }
+  return replay;
+}
+
+Status TruncateWalSegment(const std::string& dir, const std::string& segment,
+                          std::uint64_t offset) {
+  std::error_code ec;
+  fs::resize_file(segment, offset, ec);
+  if (ec) {
+    return Status::IOError("cannot truncate " + segment + ": " +
+                           ec.message());
+  }
+  return SyncDir(dir);
+}
+
+Result<bool> WalDirHasSegments(const std::string& dir) {
+  if (!fs::exists(dir)) return false;
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+  return !segments->empty();
+}
+
+Result<std::size_t> PruneWalSegments(const std::string& dir,
+                                     std::uint64_t through_epoch) {
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+  std::size_t removed = 0;
+  // Segment i holds only epochs < first_epoch(i+1): it is fully covered by
+  // the checkpoint iff its successor starts at or before through_epoch + 1.
+  for (std::size_t i = 0; i + 1 < segments->size(); ++i) {
+    if ((*segments)[i + 1].first <= through_epoch + 1) {
+      std::error_code ec;
+      if (fs::remove((*segments)[i].second, ec) && !ec) ++removed;
+    }
+  }
+  if (removed > 0) SOBC_RETURN_NOT_OK(SyncDir(dir));
+  return removed;
+}
+
+}  // namespace sobc

@@ -1,0 +1,164 @@
+#ifndef SOBC_STORAGE_WAL_H_
+#define SOBC_STORAGE_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/edge_stream.h"
+
+namespace sobc {
+
+/// One durable unit of the write-ahead log: the coalesced batch the serving
+/// writer is about to apply, stamped with the epoch its publication will
+/// carry and the stream position it advances to (consumed inputs included,
+/// so a fully coalesced-away batch still logs as an empty record that moves
+/// the position). Replaying the logged records through the same batch-apply
+/// machinery reproduces the uninterrupted run's epochs, positions, and —
+/// for the byte-copied out-of-core BD store — its exact scores.
+struct WalRecord {
+  /// Epoch this batch produces when applied (checkpoint epoch + k for the
+  /// k-th logged batch after it). Strictly contiguous within the log.
+  std::uint64_t epoch = 0;
+  /// Stream position after applying this batch (raw inputs consumed, the
+  /// coalesced-away ones included).
+  std::uint64_t stream_position = 0;
+  /// Post-coalescing survivors, in apply order. May be empty.
+  std::vector<EdgeUpdate> updates;
+  /// Where this record lives — filled by the replay reader so recovery
+  /// can amputate a poisoned final record (one the engine deterministically
+  /// rejects: it killed the live writer and was never applied or
+  /// published) with TruncateWalSegment.
+  std::string segment;
+  std::uint64_t frame_offset = 0;
+};
+
+/// Durability policy of the log writer.
+struct WalOptions {
+  /// fdatasync the segment after every N appended records; 0 leaves
+  /// durability to the OS page cache (fastest, loses the tail on power
+  /// failure but not on process crash). 1 is the classic every-commit
+  /// policy.
+  std::size_t fsync_every = 1;
+};
+
+/// Monotonic writer-side counters, snapshot-readable from any thread.
+struct WalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t appended_updates = 0;
+  std::uint64_t bytes = 0;  // frame bytes written (headers included)
+  std::uint64_t syncs = 0;
+  std::uint64_t rotations = 0;
+};
+
+/// Append side of the write-ahead log: one directory of epoch-named segment
+/// files (`wal-<first epoch>.log`), each a magic header followed by
+/// CRC-framed records. The serving writer appends every drained batch
+/// *before* applying it; a checkpoint rotates to a fresh segment so fully
+/// checkpointed segments become prunable.
+///
+/// Single-threaded by contract (the serving writer owns it); stats() is the
+/// one method safe from other threads.
+class WalWriter {
+ public:
+  /// Opens `dir` (created if missing) and starts the segment whose first
+  /// record will carry `next_epoch`. An existing segment of that name is
+  /// truncated: by construction it can only hold a garbage tail a prior
+  /// recovery already discarded.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                 std::uint64_t next_epoch,
+                                                 const WalOptions& options);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one framed record and applies the fsync policy. The record is
+  /// recoverable once this returns under fsync_every == 1; under laxer
+  /// policies it survives process crashes immediately and power loss only
+  /// after the next sync.
+  Status Append(std::uint64_t epoch, std::uint64_t stream_position,
+                std::span<const EdgeUpdate> updates);
+  Status Append(const WalRecord& record) {
+    return Append(record.epoch, record.stream_position, record.updates);
+  }
+
+  /// Forces fdatasync of the current segment regardless of policy.
+  Status Sync();
+
+  /// Closes the current segment and starts `wal-<next_epoch>.log`. Called
+  /// at checkpoint capture so the segment boundary aligns with the
+  /// checkpoint epoch; earlier segments then hold only records the
+  /// checkpoint covers.
+  Status Rotate(std::uint64_t next_epoch);
+
+  WalStats stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  WalWriter(std::string dir, WalOptions options);
+
+  Status OpenSegment(std::uint64_t first_epoch);
+
+  std::string dir_;
+  WalOptions options_;
+  int fd_ = -1;
+  std::string segment_path_;
+  std::size_t appends_since_sync_ = 0;
+  std::atomic<std::uint64_t> appends_{0};
+  std::atomic<std::uint64_t> appended_updates_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> syncs_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+};
+
+/// Everything a recovery replay needs from the log.
+struct WalReplay {
+  /// Records with epoch > the caller's checkpoint epoch, contiguous and
+  /// ascending. Empty when the log holds nothing newer.
+  std::vector<WalRecord> records;
+  /// Bytes discarded from a torn final segment (0 for a clean log).
+  std::uint64_t torn_bytes = 0;
+  /// Segment the torn tail was found (and truncated) in; empty if clean.
+  std::string torn_segment;
+  std::uint64_t segments_read = 0;
+};
+
+/// Reads every segment of `dir` in epoch order and returns the records
+/// newer than `after_epoch`. A bad frame (short read, CRC mismatch,
+/// implausible length) in the *final* segment is a torn tail from a crash
+/// mid-append: everything from it on is discarded and — when
+/// `truncate_torn_tail` — physically truncated so the next writer appends
+/// after valid data. A bad frame in any earlier segment, or an epoch gap,
+/// is real corruption and fails with IOError.
+Result<WalReplay> ReadWalForReplay(const std::string& dir,
+                                   std::uint64_t after_epoch,
+                                   bool truncate_torn_tail);
+
+/// Truncates `segment` (a path from WalRecord::segment) at `offset`,
+/// discarding the record starting there and everything after it, then
+/// fsyncs the directory. Recovery's amputation of a poisoned final
+/// record; the caller must have verified the record is the log's last.
+Status TruncateWalSegment(const std::string& dir, const std::string& segment,
+                          std::uint64_t offset);
+
+/// Whether `dir` already holds any wal segment — the guard that keeps
+/// BcService::Create from silently clobbering a log that Recover should
+/// consume.
+Result<bool> WalDirHasSegments(const std::string& dir);
+
+/// Deletes segments every record of which is covered by a checkpoint at
+/// `through_epoch` — i.e. segments whose *successor* segment starts at or
+/// before `through_epoch + 1`. The newest segment always survives. Safe to
+/// run while a writer appends (the writer only touches the newest segment).
+/// Returns the number of segments removed.
+Result<std::size_t> PruneWalSegments(const std::string& dir,
+                                     std::uint64_t through_epoch);
+
+}  // namespace sobc
+
+#endif  // SOBC_STORAGE_WAL_H_

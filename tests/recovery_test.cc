@@ -1,0 +1,472 @@
+// Crash-injection differential for the durability subsystem (DESIGN.md
+// §11): run a durable serve to completion, then rebuild crash images from
+// its artifacts — the final checkpoint removed ("died while serving"), the
+// WAL truncated at arbitrary byte offsets ("died mid-append"), the newest
+// manifest damaged ("died mid-checkpoint") — and require every recovery to
+// land on a legal prefix of the run: scores equal to an offline replay of
+// the first `recovered_stream_position` raw stream elements and to
+// from-scratch Brandes, for MP, MO, and DO. For the out-of-core variant
+// with a serial writer the guarantee is sharper: the replayed BD store is
+// the checkpoint's byte image, so recovered scores are bit-identical to
+// the uninterrupted run's published snapshot.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "common/rng.h"
+#include "gen/stream_generators.h"
+#include "graph/graph_io.h"
+#include "server/bc_service.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+#include "tests/test_util.h"
+
+namespace sobc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testutil::ExpectScoresNear;
+using testutil::RandomConnectedGraph;
+
+constexpr double kTol = 1e-7;
+
+/// One completed durable run plus everything needed to audit recoveries
+/// against it.
+struct DurableRun {
+  Graph base_graph;
+  EdgeStream stream;
+  std::string wal_dir;
+  std::string checkpoint_dir;
+  /// Published state at the moment of the clean shutdown.
+  std::shared_ptr<const ScoreSnapshot> final_snapshot;
+  ServeMetricsSnapshot final_metrics;
+};
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/sobc_recovery_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string Fresh(const std::string& name) {
+    const std::string path = root_ + "/" + name;
+    fs::remove_all(path);
+    return path;
+  }
+
+  BcServiceOptions DurableOptions(const std::string& tag, BcVariant variant,
+                                  std::size_t checkpoint_every) {
+    BcServiceOptions options;
+    options.queue.max_batch = 8;
+    options.queue.batch_latency_budget_seconds = 0.002;
+    options.bc.variant = variant;
+    if (variant == BcVariant::kOutOfCore) {
+      options.bc.storage_path = Fresh(tag + "_live.bd");
+      options.bc.cache_mb = 4;
+    }
+    options.durability.wal_dir = Fresh(tag + "_wal");
+    options.durability.checkpoint_dir = Fresh(tag + "_ckpt");
+    options.durability.checkpoint_every_updates = checkpoint_every;
+    options.durability.wal_fsync_every = 0;  // page-cache durability is
+                                             // enough for process crashes
+    return options;
+  }
+
+  /// Runs the full stream through a durable service and shuts down
+  /// cleanly, leaving wal/checkpoint dirs behind as the recovery corpus.
+  DurableRun RunDurableService(const std::string& tag, BcVariant variant,
+                               std::size_t checkpoint_every,
+                               std::size_t n_updates) {
+    DurableRun run;
+    Rng rng(split_mix_++);
+    run.base_graph = RandomConnectedGraph(40, 30, &rng);
+    run.stream = MixedUpdateStream(run.base_graph, n_updates * 2 / 3, 0.35,
+                                   &rng);
+    {
+      Graph scratch = run.base_graph;
+      for (const EdgeUpdate& update : run.stream) {
+        EXPECT_TRUE(ApplyToGraph(&scratch, update).ok());
+      }
+      EdgeStream churn =
+          ChurnStream(scratch, n_updates - run.stream.size(), 4, &rng);
+      run.stream.insert(run.stream.end(), churn.begin(), churn.end());
+    }
+    BcServiceOptions options =
+        DurableOptions(tag, variant, checkpoint_every);
+    run.wal_dir = options.durability.wal_dir;
+    run.checkpoint_dir = options.durability.checkpoint_dir;
+    auto service = BcService::Create(run.base_graph, options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_EQ((*service)->SubmitAll(run.stream), run.stream.size());
+    EXPECT_TRUE((*service)->Drain().ok());
+    run.final_snapshot = (*service)->snapshot();
+    run.final_metrics = (*service)->metrics();
+    EXPECT_TRUE((*service)->Stop().ok());
+    return run;
+  }
+
+  /// Copies the run's durable state into a fresh crash image.
+  std::pair<std::string, std::string> MakeImage(const DurableRun& run,
+                                                const std::string& tag) {
+    const std::string wal = Fresh(tag + "_wal");
+    const std::string ckpt = Fresh(tag + "_ckpt");
+    fs::copy(run.wal_dir, wal, fs::copy_options::recursive);
+    fs::copy(run.checkpoint_dir, ckpt, fs::copy_options::recursive);
+    return {wal, ckpt};
+  }
+
+  /// Deletes the clean-shutdown checkpoint from an image, leaving the
+  /// state a process killed while serving would have left (CURRENT is
+  /// deliberately kept stale — recovery must fall back on its own).
+  static void DropFinalCheckpoint(const std::string& ckpt_dir,
+                                  std::uint64_t final_epoch) {
+    auto manifest =
+        ReadManifest(ckpt_dir + "/" + ManifestName(final_epoch));
+    ASSERT_TRUE(manifest.ok());
+    fs::remove(ckpt_dir + "/" + ManifestName(final_epoch));
+    fs::remove(ckpt_dir + "/" + manifest->graph_file);
+    fs::remove(ckpt_dir + "/" + manifest->scores_file);
+    if (!manifest->store_file.empty()) {
+      fs::remove(ckpt_dir + "/" + manifest->store_file);
+    }
+  }
+
+  BcServiceOptions RecoverOptions(const std::string& wal,
+                                  const std::string& ckpt,
+                                  const std::string& tag) {
+    BcServiceOptions options;
+    options.durability.wal_dir = wal;
+    options.durability.checkpoint_dir = ckpt;
+    options.bc.storage_path = Fresh(tag + "_recovered.bd");
+    return options;
+  }
+
+  /// The graph after the first `position` raw stream elements.
+  static Graph GraphAtPosition(const DurableRun& run,
+                               std::uint64_t position) {
+    Graph graph = run.base_graph;
+    for (std::uint64_t i = 0; i < position; ++i) {
+      EXPECT_TRUE(ApplyToGraph(&graph, run.stream[i]).ok());
+    }
+    return graph;
+  }
+
+  /// Offline reference: a fresh framework applying the same raw prefix
+  /// one update at a time — no queue, no coalescing, no durability.
+  static BcScores OfflineReplay(const DurableRun& run,
+                                std::uint64_t position) {
+    auto bc = DynamicBc::Create(run.base_graph, {});
+    EXPECT_TRUE(bc.ok());
+    for (std::uint64_t i = 0; i < position; ++i) {
+      EXPECT_TRUE((*bc)->Apply(run.stream[i]).ok());
+    }
+    return (*bc)->scores();
+  }
+
+  std::string root_;
+  std::uint64_t split_mix_ = 101;
+};
+
+/// Exact (bitwise) score equality — the differential guarantee of the
+/// byte-copied out-of-core store under a serial writer.
+void ExpectScoresIdentical(const ScoreSnapshot& expected,
+                           const ScoreSnapshot& actual) {
+  ASSERT_EQ(expected.vbc.size(), actual.vbc.size());
+  for (std::size_t v = 0; v < expected.vbc.size(); ++v) {
+    EXPECT_EQ(expected.vbc[v], actual.vbc[v]) << "vbc differs at " << v;
+  }
+  ASSERT_EQ(expected.ebc.size(), actual.ebc.size());
+  for (const auto& [key, value] : expected.ebc) {
+    const auto it = actual.ebc.find(key);
+    ASSERT_TRUE(it != actual.ebc.end())
+        << "missing edge (" << key.u << "," << key.v << ")";
+    EXPECT_EQ(value, it->second)
+        << "ebc differs at (" << key.u << "," << key.v << ")";
+  }
+}
+
+TEST_F(RecoveryTest, CleanRestartReplaysNothingAndScoresAreBitIdentical) {
+  const DurableRun run =
+      RunDurableService("clean", BcVariant::kMemory, 0, 60);
+  auto [wal, ckpt] = MakeImage(run, "img");
+  RecoveryInfo info;
+  auto recovered =
+      BcService::Recover(RecoverOptions(wal, ckpt, "img"), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(info.replayed_batches, 0u);
+  EXPECT_EQ(info.manifest_epoch, run.final_snapshot->epoch);
+  const auto snap = (*recovered)->snapshot();
+  EXPECT_EQ(snap->epoch, run.final_snapshot->epoch);
+  EXPECT_EQ(snap->stream_position, run.stream.size());
+  // The checkpoint stored the live run's doubles verbatim; a clean
+  // restart must reproduce them bit for bit, whatever the variant.
+  ExpectScoresIdentical(*run.final_snapshot, *snap);
+  EXPECT_TRUE((*recovered)->Stop().ok());
+}
+
+TEST_F(RecoveryTest, CrashWhileServingRecoversFromWalForEveryVariant) {
+  const struct {
+    BcVariant variant;
+    const char* tag;
+    std::size_t checkpoint_every;
+  } cases[] = {
+      {BcVariant::kMemory, "mo", 0},
+      {BcVariant::kMemoryPredecessors, "mp", 0},
+      // DO with a mid-stream checkpoint cadence: recovery starts from a
+      // generation-stamped store copy, not epoch 0.
+      {BcVariant::kOutOfCore, "do", 25},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.tag);
+    const DurableRun run =
+        RunDurableService(c.tag, c.variant, c.checkpoint_every, 60);
+    auto [wal, ckpt] = MakeImage(run, std::string(c.tag) + "_img");
+    DropFinalCheckpoint(ckpt, run.final_snapshot->epoch);
+    RecoveryInfo info;
+    auto recovered = BcService::Recover(
+        RecoverOptions(wal, ckpt, std::string(c.tag) + "_img"), &info);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_GT(info.replayed_batches, 0u);
+    EXPECT_LT(info.manifest_epoch, run.final_snapshot->epoch);
+    const auto snap = (*recovered)->snapshot();
+    EXPECT_EQ(snap->epoch, run.final_snapshot->epoch);
+    EXPECT_EQ(snap->stream_position, run.stream.size());
+    ExpectScoresNear(BcScores{run.final_snapshot->vbc,
+                              run.final_snapshot->ebc},
+                     BcScores{snap->vbc, snap->ebc}, kTol, c.tag);
+    // And against an authority that never saw the serving layer at all.
+    ExpectScoresNear(ComputeBrandes(GraphAtPosition(run, run.stream.size())),
+                     BcScores{snap->vbc, snap->ebc}, kTol,
+                     std::string(c.tag) + " vs Brandes");
+    EXPECT_TRUE((*recovered)->Stop().ok());
+  }
+}
+
+TEST_F(RecoveryTest, OutOfCoreSerialRecoveryIsBitIdentical) {
+  const DurableRun run =
+      RunDurableService("dobit", BcVariant::kOutOfCore, 0, 50);
+  auto [wal, ckpt] = MakeImage(run, "dobit_img");
+  DropFinalCheckpoint(ckpt, run.final_snapshot->epoch);
+  RecoveryInfo info;
+  auto recovered =
+      BcService::Recover(RecoverOptions(wal, ckpt, "dobit_img"), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GT(info.replayed_updates, 0u);
+  EXPECT_EQ(info.variant, "do");
+  const auto snap = (*recovered)->snapshot();
+  EXPECT_EQ(snap->epoch, run.final_snapshot->epoch);
+  // Replay started from the byte-copied epoch-0 store and pushed the same
+  // batches through the same serial machinery: not just close — equal.
+  ExpectScoresIdentical(*run.final_snapshot, *snap);
+  EXPECT_TRUE((*recovered)->Stop().ok());
+}
+
+TEST_F(RecoveryTest, TornWalTailsRecoverALegalPrefixAtRandomizedCuts) {
+  const DurableRun run =
+      RunDurableService("torn", BcVariant::kMemory, 0, 50);
+  // Locate the single WAL segment of the run.
+  std::string segment;
+  for (const auto& entry : fs::directory_iterator(run.wal_dir)) {
+    segment = entry.path().filename().string();
+  }
+  ASSERT_FALSE(segment.empty());
+  const std::uint64_t full_size =
+      fs::file_size(run.wal_dir + "/" + segment);
+  Rng rng(4242);
+  for (int trial = 0; trial < 8; ++trial) {
+    SCOPED_TRACE(trial);
+    const std::string tag = "torn_img" + std::to_string(trial);
+    auto [wal, ckpt] = MakeImage(run, tag);
+    DropFinalCheckpoint(ckpt, run.final_snapshot->epoch);
+    // Cut anywhere, torn-header cuts included: byte 1 to just short of
+    // the full file.
+    const std::uint64_t cut = 1 + rng.Uniform(full_size - 1);
+    fs::resize_file(wal + "/" + segment, cut);
+    RecoveryInfo info;
+    auto recovered = BcService::Recover(RecoverOptions(wal, ckpt, tag),
+                                        &info);
+    ASSERT_TRUE(recovered.ok())
+        << "cut at " << cut << ": " << recovered.status().ToString();
+    const auto snap = (*recovered)->snapshot();
+    const std::uint64_t position = info.recovered_stream_position;
+    EXPECT_LE(position, run.stream.size()) << "cut at " << cut;
+    EXPECT_EQ(snap->stream_position, position);
+    // Whatever prefix survived, the recovered scores must be exactly the
+    // betweenness of that prefix's graph — never a torn in-between.
+    const Graph prefix_graph = GraphAtPosition(run, position);
+    ExpectScoresNear(OfflineReplay(run, position),
+                     BcScores{snap->vbc, snap->ebc}, kTol,
+                     "offline replay, cut " + std::to_string(cut));
+    ExpectScoresNear(ComputeBrandes(prefix_graph),
+                     BcScores{snap->vbc, snap->ebc}, kTol,
+                     "brandes, cut " + std::to_string(cut));
+    EXPECT_TRUE((*recovered)->Stop().ok());
+  }
+}
+
+TEST_F(RecoveryTest, DamagedNewestManifestFallsBackToOlderCheckpoint) {
+  const DurableRun run =
+      RunDurableService("midckpt", BcVariant::kMemory, 0, 40);
+  auto [wal, ckpt] = MakeImage(run, "midckpt_img");
+  // Crash mid-checkpoint: the newest manifest exists but is torn.
+  const std::string newest =
+      ckpt + "/" + ManifestName(run.final_snapshot->epoch);
+  ASSERT_TRUE(fs::exists(newest));
+  std::ofstream(newest, std::ios::trunc) << "sobc-checkpoint 1\nepoch gar";
+  RecoveryInfo info;
+  auto recovered =
+      BcService::Recover(RecoverOptions(wal, ckpt, "midckpt_img"), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(info.manifest_epoch, 0u);  // fell back to the initial one
+  EXPECT_GT(info.replayed_batches, 0u);
+  const auto snap = (*recovered)->snapshot();
+  EXPECT_EQ(snap->epoch, run.final_snapshot->epoch);
+  ExpectScoresNear(
+      BcScores{run.final_snapshot->vbc, run.final_snapshot->ebc},
+      BcScores{snap->vbc, snap->ebc}, kTol, "fallback");
+  EXPECT_TRUE((*recovered)->Stop().ok());
+}
+
+TEST_F(RecoveryTest, RecoveredServiceKeepsServingAndSurvivesASecondCrash) {
+  const DurableRun run =
+      RunDurableService("resume", BcVariant::kMemory, 0, 40);
+  auto [wal, ckpt] = MakeImage(run, "resume_img");
+  DropFinalCheckpoint(ckpt, run.final_snapshot->epoch);
+  RecoveryInfo info;
+  auto recovered = BcService::Recover(
+      RecoverOptions(wal, ckpt, "resume_img"), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  // Keep the stream going against the recovered state.
+  Graph live = GraphAtPosition(run, run.stream.size());
+  Rng rng(77);
+  EdgeStream more = MixedUpdateStream(live, 25, 0.3, &rng);
+  EXPECT_EQ((*recovered)->SubmitAll(more), more.size());
+  ASSERT_TRUE((*recovered)->Drain().ok());
+  const auto live_snap = (*recovered)->snapshot();
+  EXPECT_EQ(live_snap->stream_position, run.stream.size() + more.size());
+  for (const EdgeUpdate& update : more) {
+    ASSERT_TRUE(ApplyToGraph(&live, update).ok());
+  }
+  ExpectScoresNear(ComputeBrandes(live),
+                   BcScores{live_snap->vbc, live_snap->ebc}, kTol,
+                   "post-recovery serving");
+  ASSERT_TRUE((*recovered)->Stop().ok());
+
+  // Second recovery from the same dirs: the clean shutdown checkpointed,
+  // so nothing replays and the epochs continue seamlessly.
+  RecoveryInfo second;
+  auto again =
+      BcService::Recover(RecoverOptions(wal, ckpt, "resume_img2"), &second);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(second.replayed_batches, 0u);
+  EXPECT_EQ(second.recovered_epoch, live_snap->epoch);
+  EXPECT_EQ(second.recovered_stream_position, live_snap->stream_position);
+  EXPECT_TRUE((*again)->Stop().ok());
+}
+
+TEST_F(RecoveryTest, PoisonedFinalRecordIsAmputatedNotReplayedForever) {
+  // A client submits an update the engine deterministically rejects
+  // (removing an edge that does not exist). Log-before-apply means it is
+  // durably logged before the writer dies on it — recovery must amputate
+  // it instead of replaying the same failure on every restart.
+  const DurableRun run =
+      RunDurableService("poison", BcVariant::kMemory, 0, 30);
+  BcServiceOptions options;
+  options.durability.wal_dir = Fresh("poison2_wal");
+  options.durability.checkpoint_dir = Fresh("poison2_ckpt");
+  options.durability.wal_fsync_every = 0;
+  auto service = BcService::Create(run.base_graph, options);
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->SubmitAll(run.stream), run.stream.size());
+  ASSERT_TRUE((*service)->Drain().ok());
+  const auto last_good = (*service)->snapshot();
+  // A pair with no edge in the CURRENT graph: removing it must be
+  // rejected by the engine, killing the writer after the batch was
+  // durably logged.
+  const Graph live = GraphAtPosition(run, run.stream.size());
+  VertexId a = kInvalidVertex;
+  VertexId b = kInvalidVertex;
+  for (VertexId u = 0; u < live.NumVertices() && a == kInvalidVertex; ++u) {
+    for (VertexId v = u + 1; v < live.NumVertices(); ++v) {
+      if (!live.HasEdge(u, v)) {
+        a = u;
+        b = v;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(a, kInvalidVertex);
+  ASSERT_TRUE((*service)->Submit({a, b, EdgeOp::kRemove, 0.0}));
+  ASSERT_FALSE((*service)->Drain().ok());
+  (void)(*service)->Stop();
+
+  RecoveryInfo info;
+  BcServiceOptions recover_options;
+  recover_options.durability.wal_dir = options.durability.wal_dir;
+  recover_options.durability.checkpoint_dir =
+      options.durability.checkpoint_dir;
+  auto recovered = BcService::Recover(recover_options, &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(info.poisoned_batches, 1u);
+  EXPECT_GE(info.poisoned_updates, 1u);
+  const auto snap = (*recovered)->snapshot();
+  // Exactly the last PUBLISHED state of the poisoned run.
+  EXPECT_EQ(snap->epoch, last_good->epoch);
+  EXPECT_EQ(snap->stream_position, last_good->stream_position);
+  ExpectScoresNear(BcScores{last_good->vbc, last_good->ebc},
+                   BcScores{snap->vbc, snap->ebc}, kTol, "post-poison");
+  ASSERT_TRUE((*recovered)->Stop().ok());
+
+  // And the amputation is durable: the next recovery replays cleanly.
+  RecoveryInfo second;
+  auto again = BcService::Recover(recover_options, &second);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(second.poisoned_batches, 0u);
+  EXPECT_TRUE((*again)->Stop().ok());
+}
+
+TEST_F(RecoveryTest, CreateRefusesPreExistingDurableState) {
+  const DurableRun run =
+      RunDurableService("guard", BcVariant::kMemory, 0, 20);
+  // A wal dir with a log is Recover's job.
+  BcServiceOptions options;
+  options.durability.wal_dir = run.wal_dir;
+  options.durability.checkpoint_dir = run.checkpoint_dir;
+  auto service = BcService::Create(run.base_graph, options);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kFailedPrecondition);
+  // So is a reused checkpoint dir, even with a fresh wal dir: its stale
+  // higher-epoch manifests would win retention and the fallback ladder.
+  options.durability.wal_dir = Fresh("guard_fresh_wal");
+  auto mixed = BcService::Create(run.base_graph, options);
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RecoveryTest, RecoverWithoutDurabilityOrCheckpointsFails) {
+  BcServiceOptions options;
+  auto no_dir = BcService::Recover(options);
+  ASSERT_FALSE(no_dir.ok());
+  EXPECT_EQ(no_dir.status().code(), StatusCode::kInvalidArgument);
+
+  options.durability.wal_dir = Fresh("empty_wal");
+  fs::create_directories(options.durability.wal_dir);
+  auto no_checkpoint = BcService::Recover(options);
+  ASSERT_FALSE(no_checkpoint.ok());
+  EXPECT_EQ(no_checkpoint.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sobc

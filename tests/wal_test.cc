@@ -1,0 +1,280 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace sobc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sobc_wal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static WalRecord MakeRecord(std::uint64_t epoch, std::uint64_t position,
+                              std::size_t updates) {
+    WalRecord record;
+    record.epoch = epoch;
+    record.stream_position = position;
+    for (std::size_t i = 0; i < updates; ++i) {
+      record.updates.push_back({static_cast<VertexId>(epoch * 100 + i),
+                                static_cast<VertexId>(i + 1),
+                                i % 2 == 0 ? EdgeOp::kAdd : EdgeOp::kRemove,
+                                static_cast<double>(epoch) + 0.25 * i});
+    }
+    return record;
+  }
+
+  std::string OnlySegment() const {
+    std::string found;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      EXPECT_TRUE(found.empty()) << "more than one segment";
+      found = entry.path().string();
+    }
+    EXPECT_FALSE(found.empty());
+    return found;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, RoundTripsRecordsIncludingEmptyBatches) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  std::vector<WalRecord> written;
+  std::uint64_t position = 0;
+  for (std::uint64_t e = 1; e <= 5; ++e) {
+    // Epoch 3 is a fully coalesced-away batch: no updates, position moves.
+    const std::size_t updates = e == 3 ? 0 : e;
+    position += updates + 2;
+    written.push_back(MakeRecord(e, position, updates));
+    ASSERT_TRUE((*writer)->Append(written.back()).ok());
+  }
+  EXPECT_EQ((*writer)->stats().appends, 5u);
+  EXPECT_GT((*writer)->stats().bytes, 0u);
+
+  auto replay = ReadWalForReplay(dir_, 0, /*truncate_torn_tail=*/false);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->torn_bytes, 0u);
+  ASSERT_EQ(replay->records.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(replay->records[i].epoch, written[i].epoch);
+    EXPECT_EQ(replay->records[i].stream_position, written[i].stream_position);
+    EXPECT_EQ(replay->records[i].updates, written[i].updates);
+  }
+}
+
+TEST_F(WalTest, AfterEpochFiltersReplayedRecords) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  for (std::uint64_t e = 1; e <= 6; ++e) {
+    ASSERT_TRUE((*writer)->Append(MakeRecord(e, e * 3, 2)).ok());
+  }
+  auto replay = ReadWalForReplay(dir_, 4, false);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records.front().epoch, 5u);
+  EXPECT_EQ(replay->records.back().epoch, 6u);
+}
+
+TEST_F(WalTest, MissingDirReplaysEmpty) {
+  auto replay = ReadWalForReplay(dir_ + "/never_created", 0, true);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  auto has = WalDirHasSegments(dir_ + "/never_created");
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+}
+
+TEST_F(WalTest, TornTailIsTruncatedAtEveryByteOffset) {
+  // Write 4 records, then chop the segment at every byte length from just
+  // past record 2 to the full file: replay must always yield exactly the
+  // records whose frames survived intact, never an error.
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  std::vector<std::uint64_t> frame_ends;  // file size after each append
+  for (std::uint64_t e = 1; e <= 4; ++e) {
+    ASSERT_TRUE((*writer)->Append(MakeRecord(e, e * 5, 3)).ok());
+    frame_ends.push_back(fs::file_size(OnlySegment()));
+  }
+  writer->reset();
+  const std::string segment = OnlySegment();
+  fs::path backup = segment + ".bak";
+  fs::copy_file(segment, backup);
+
+  const std::uint64_t full = frame_ends.back();
+  for (std::uint64_t cut = frame_ends[1]; cut <= full; ++cut) {
+    fs::copy_file(backup, segment, fs::copy_options::overwrite_existing);
+    fs::resize_file(segment, cut);
+    auto replay = ReadWalForReplay(dir_, 0, /*truncate_torn_tail=*/true);
+    ASSERT_TRUE(replay.ok()) << "cut at " << cut << ": "
+                             << replay.status().ToString();
+    std::size_t expect = 0;
+    while (expect < frame_ends.size() && frame_ends[expect] <= cut) ++expect;
+    ASSERT_EQ(replay->records.size(), expect) << "cut at " << cut;
+    const bool clean_boundary =
+        std::find(frame_ends.begin(), frame_ends.end(), cut) !=
+        frame_ends.end();
+    if (clean_boundary) {
+      EXPECT_EQ(replay->torn_bytes, 0u) << "clean cut at " << cut;
+    } else {
+      EXPECT_GT(replay->torn_bytes, 0u) << "cut at " << cut;
+      // Truncation is physical: a second replay sees a clean log.
+      auto again = ReadWalForReplay(dir_, 0, false);
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->torn_bytes, 0u);
+      EXPECT_EQ(again->records.size(), expect);
+    }
+  }
+  fs::remove(backup);
+}
+
+TEST_F(WalTest, CorruptedPayloadByteStopsReplayAtThatFrame) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  std::uint64_t second_frame_at = 0;
+  for (std::uint64_t e = 1; e <= 3; ++e) {
+    ASSERT_TRUE((*writer)->Append(MakeRecord(e, e, 4)).ok());
+    if (e == 1) second_frame_at = fs::file_size(OnlySegment());
+  }
+  writer->reset();
+  const std::string segment = OnlySegment();
+  {
+    // Flip one payload byte of frame 2 (skip its 8-byte frame header).
+    std::fstream f(segment,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(second_frame_at) + 12);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(static_cast<std::streamoff>(second_frame_at) + 12);
+    f.write(&byte, 1);
+  }
+  auto replay = ReadWalForReplay(dir_, 0, true);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records.front().epoch, 1u);
+  EXPECT_GT(replay->torn_bytes, 0u);
+}
+
+TEST_F(WalTest, CorruptionInNonFinalSegmentFailsLoudly) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(MakeRecord(1, 1, 3)).ok());
+  ASSERT_TRUE((*writer)->Append(MakeRecord(2, 2, 3)).ok());
+  const std::string first_segment = OnlySegment();
+  ASSERT_TRUE((*writer)->Rotate(3).ok());
+  ASSERT_TRUE((*writer)->Append(MakeRecord(3, 3, 3)).ok());
+  writer->reset();
+  {
+    std::fstream f(first_segment,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(30);
+    const char garbage = '\x7F';
+    f.write(&garbage, 1);
+  }
+  auto replay = ReadWalForReplay(dir_, 0, true);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(WalTest, RotationSplitsSegmentsAndPruneDropsCoveredOnes) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  std::uint64_t epoch = 0;
+  for (int segment = 0; segment < 3; ++segment) {
+    for (int i = 0; i < 4; ++i) {
+      ++epoch;
+      ASSERT_TRUE((*writer)->Append(MakeRecord(epoch, epoch, 1)).ok());
+    }
+    if (segment < 2) ASSERT_TRUE((*writer)->Rotate(epoch + 1).ok());
+  }
+  EXPECT_EQ((*writer)->stats().rotations, 2u);
+
+  // A checkpoint at epoch 8 covers the first two segments exactly.
+  auto pruned = PruneWalSegments(dir_, 8);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(*pruned, 2u);
+  auto replay = ReadWalForReplay(dir_, 8, false);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 4u);
+  EXPECT_EQ(replay->records.front().epoch, 9u);
+
+  // Asking for history the prune dropped must fail, not silently skip.
+  auto too_far_back = ReadWalForReplay(dir_, 4, false);
+  ASSERT_FALSE(too_far_back.ok());
+
+  // The newest segment survives pruning even when fully covered.
+  auto none = PruneWalSegments(dir_, 12);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+  auto has = WalDirHasSegments(dir_);
+  ASSERT_TRUE(has.ok());
+  EXPECT_TRUE(*has);
+}
+
+TEST_F(WalTest, EpochGapAcrossSegmentsIsAnError) {
+  {
+    auto writer = WalWriter::Open(dir_, 1, {});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(MakeRecord(1, 1, 1)).ok());
+  }
+  {
+    // A second writer that skips epoch 2 — as if a segment vanished.
+    auto writer = WalWriter::Open(dir_, 3, {});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(MakeRecord(3, 3, 1)).ok());
+  }
+  auto replay = ReadWalForReplay(dir_, 0, false);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(WalTest, FsyncPolicyCountsSyncs) {
+  WalOptions options;
+  options.fsync_every = 2;
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  for (std::uint64_t e = 1; e <= 5; ++e) {
+    ASSERT_TRUE((*writer)->Append(MakeRecord(e, e, 1)).ok());
+  }
+  EXPECT_EQ((*writer)->stats().syncs, 2u);  // after epochs 2 and 4
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ((*writer)->stats().syncs, 3u);
+
+  WalOptions never;
+  never.fsync_every = 0;
+  auto lazy = WalWriter::Open(dir_ + "_lazy", 1, never);
+  ASSERT_TRUE(lazy.ok());
+  for (std::uint64_t e = 1; e <= 5; ++e) {
+    ASSERT_TRUE((*lazy)->Append(MakeRecord(e, e, 1)).ok());
+  }
+  EXPECT_EQ((*lazy)->stats().syncs, 0u);
+  fs::remove_all(dir_ + "_lazy");
+}
+
+TEST_F(WalTest, Crc32MatchesKnownVector) {
+  // The classic zlib check value.
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(data, 0), 0u);
+  // Chained computation equals one-shot.
+  EXPECT_EQ(Crc32(data + 4, 5, Crc32(data, 4)), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace sobc

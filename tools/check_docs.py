@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (CI step).
+
+Walks every tracked *.md file and verifies that
+  - relative links point at files or directories that exist, and
+  - intra-document anchors (#section) match a heading in the target file
+    (GitHub slug rules, simplified).
+
+External links (http/https/mailto) are deliberately not fetched: CI must
+not fail on someone else's outage. Exit code 1 lists every broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug, close enough for our headings."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def headings_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE_RE.sub("", f.read())
+    return {github_slug(h) for h in HEADING_RE.findall(text)}
+
+
+def markdown_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    errors = []
+    for md in sorted(markdown_files(root)):
+        with open(md, encoding="utf-8") as f:
+            text = CODE_FENCE_RE.sub("", f.read())
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            base = os.path.dirname(md)
+            resolved = os.path.normpath(os.path.join(base, path_part)) \
+                if path_part else md
+            if not os.path.exists(resolved):
+                errors.append(f"{md}: broken link -> {target}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if github_slug(anchor) not in headings_of(resolved):
+                    errors.append(f"{md}: missing anchor -> {target}")
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken markdown link(s)")
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Header-comment lint for the public headers (CI step).
+
+A -Wdocumentation-flavored check that every header under src/ keeps the
+documentation discipline the codebase was written with:
+
+  - the include guard matches the path (src/bc/foo.h -> SOBC_BC_FOO_H_),
+  - the file carries at least one /// doc comment, and
+  - every class/struct defined at namespace scope is immediately preceded
+    by a /// doc block (small POD helpers inside classes are exempt; so
+    are forward declarations and template specializations).
+
+Exit code 1 lists every violation.
+"""
+
+import os
+import re
+import sys
+
+# class/struct at column 0 that opens a definition on the same or next
+# line (skips "class Foo;" forward declarations and "};" members).
+DEF_RE = re.compile(r"^(?:template\s*<[^;{]*>\s*\n)?"
+                    r"(?:class|struct)\s+(\w+)[^;]*?{",
+                    re.MULTILINE)
+
+
+def expected_guard(path: str, src_root: str) -> str:
+    rel = os.path.relpath(path, src_root)
+    return "SOBC_" + re.sub(r"[/.]", "_", rel).upper() + "_"
+
+
+def lint(path: str, src_root: str):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    errors = []
+    guard = expected_guard(path, src_root)
+    if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+        errors.append(f"{path}: include guard should be {guard}")
+    if "///" not in text:
+        errors.append(f"{path}: no /// documentation comment anywhere")
+    lines = text.splitlines()
+    for match in DEF_RE.finditer(text):
+        name = match.group(1)
+        line_no = text[:match.start()].count("\n")  # 0-based
+        # Only top-level definitions: crude but effective — the line must
+        # not be indented (members and local classes are).
+        if lines[line_no].startswith((" ", "\t")):
+            continue
+        # Walk back over template<> and preprocessor lines (a doc comment
+        # above an #if-selected definition still documents it).
+        probe = line_no - 1
+        while probe >= 0 and re.match(r"^\s*(template|#)", lines[probe]):
+            probe -= 1
+        documented = probe >= 0 and (
+            lines[probe].lstrip().startswith("///")
+            or lines[probe].lstrip().startswith("*/")
+            or lines[probe].lstrip().startswith("//"))
+        if not documented:
+            errors.append(
+                f"{path}:{line_no + 1}: {name} has no doc comment above it")
+    return errors
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else "src"
+    errors = []
+    for dirpath, _, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith(".h"):
+                errors.extend(lint(os.path.join(dirpath, name), root))
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} header documentation issue(s)")
+        return 1
+    print("all public headers pass the documentation lint")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,13 +29,26 @@
 //            [--queue-cap=C] [--no-coalesce] [--threads=T] [--no-prefilter]
 //            [--variant=mo|mp|do] [--store=bd.bin] [--store-codec=raw|delta]
 //            [--cache-mb=M] [--no-prefetch] [--top=K] [--seed=S]
-//            [--json=report.json]
+//            [--json=report.json] [--wal-dir=D] [--checkpoint-dir=D]
+//            [--checkpoint-every=N] [--checkpoint-interval=S] [--fsync=N]
 //       Live serving loop (src/server): a writer thread drains coalesced
 //       batches — fanning each batch's source work across T apply workers
 //       — while R reader threads query top-k snapshots lock-free; prints
 //       (and optionally writes as JSON) the serve metrics, prefilter
 //       skip-rate included. --variant=do serves out of core; the store is
 //       flushed at shutdown, so it can be inspected with `stats --store`.
+//       --wal-dir makes the deployment durable: every accepted batch is
+//       logged before apply (fdatasync every --fsync batches; 0 = never)
+//       and checkpoints commit every N updates / S seconds. A killed
+//       durable serve is restarted with `recover`.
+//   sobc_cli recover --wal-dir=D [--checkpoint-dir=D] [--store=live.bd]
+//            [--threads=T] [--no-prefilter] [--cache-mb=M] [--no-prefetch]
+//            [--top=K] [--out=scores.tsv] [--json=report.json]
+//       Crash/restart recovery: loads the newest usable checkpoint,
+//       replays the WAL tail (truncating a torn final frame), prints the
+//       recovered epoch/position and top-K, then commits a clean-shutdown
+//       checkpoint. The storage variant comes from the checkpoint
+//       manifest; tuning flags still apply.
 //
 // Exit code 0 on success; errors go to stderr.
 
@@ -93,6 +106,13 @@ struct CliArgs {
   double budget_ms = 1.0;
   std::size_t queue_cap = 4096;
   bool coalesce = true;
+  // durability (serve + recover)
+  std::string wal_dir;
+  std::string checkpoint_dir;
+  std::size_t fsync_every = 1;
+  std::size_t checkpoint_every = 0;
+  double checkpoint_interval = 0.0;
+  std::size_t kill_after = 0;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -154,6 +174,18 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->prefetch = false;
     } else if (arg == "--no-coalesce") {
       args->coalesce = false;
+    } else if (arg.rfind("--wal-dir=", 0) == 0) {
+      args->wal_dir = arg.substr(10);
+    } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      args->checkpoint_dir = arg.substr(17);
+    } else if (arg.rfind("--fsync=", 0) == 0) {
+      args->fsync_every = std::strtoul(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      args->checkpoint_every = std::strtoul(arg.c_str() + 19, nullptr, 10);
+    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+      args->checkpoint_interval = std::strtod(arg.c_str() + 22, nullptr);
+    } else if (arg.rfind("--kill-after=", 0) == 0) {
+      args->kill_after = std::strtoul(arg.c_str() + 13, nullptr, 10);
     } else if (arg.rfind("--json=", 0) == 0) {
       args->json_path = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
@@ -397,6 +429,12 @@ int CmdServe(const CliArgs& args) {
   options.top_k = args.top;
   options.bc.num_threads = args.threads;
   options.bc.prefilter = args.prefilter;
+  options.durability.wal_dir = args.wal_dir;
+  options.durability.checkpoint_dir = args.checkpoint_dir;
+  options.durability.wal_fsync_every = args.fsync_every;
+  options.durability.checkpoint_every_updates = args.checkpoint_every;
+  options.durability.checkpoint_interval_seconds = args.checkpoint_interval;
+  options.durability.kill_after_appends = args.kill_after;
   if (args.variant == "mp") {
     options.bc.variant = BcVariant::kMemoryPredecessors;
   } else if (args.variant == "do") {
@@ -498,6 +536,20 @@ int CmdServe(const CliArgs& args) {
       1e3 * metrics.p50_batch_apply_seconds,
       1e3 * metrics.p99_batch_apply_seconds,
       static_cast<unsigned long long>(reads.load()), args.readers);
+  if (!args.wal_dir.empty()) {
+    std::printf(
+        "wal: %llu appends, %.1f KiB, %llu syncs, %llu rotations; "
+        "checkpoints: %llu written, %llu skipped, last epoch %llu "
+        "(%.3fs background write time)\n",
+        static_cast<unsigned long long>(metrics.wal_appends),
+        metrics.wal_bytes / 1024.0,
+        static_cast<unsigned long long>(metrics.wal_syncs),
+        static_cast<unsigned long long>(metrics.wal_rotations),
+        static_cast<unsigned long long>(metrics.checkpoints_written),
+        static_cast<unsigned long long>(metrics.checkpoints_skipped),
+        static_cast<unsigned long long>(metrics.last_checkpoint_epoch),
+        metrics.checkpoint_write_seconds);
+  }
 
   const auto snap = (*service)->snapshot();
   std::printf("final epoch %llu at stream position %llu\n",
@@ -512,6 +564,104 @@ int CmdServe(const CliArgs& args) {
       return 1;
     }
     std::fprintf(f, "%s\n", metrics.ToJson().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}
+
+int CmdRecover(const CliArgs& args) {
+  if (args.wal_dir.empty()) {
+    std::fprintf(stderr, "recover requires --wal-dir=DIR\n");
+    return 2;
+  }
+  BcServiceOptions options;
+  options.queue.capacity = args.queue_cap;
+  options.queue.max_batch = args.batch;
+  options.queue.batch_latency_budget_seconds = args.budget_ms / 1e3;
+  options.queue.coalesce = args.coalesce;
+  options.top_k = args.top;
+  options.bc.num_threads = args.threads;
+  options.bc.prefilter = args.prefilter;
+  // For the out-of-core variant this is where the checkpointed store is
+  // installed as the live file (default: <checkpoint-dir>/live.bd).
+  options.bc.storage_path = args.store_path;
+  if (!ApplyStorageFlags(args, &options.bc)) return 1;
+  options.durability.wal_dir = args.wal_dir;
+  options.durability.checkpoint_dir = args.checkpoint_dir;
+  options.durability.wal_fsync_every = args.fsync_every;
+  options.durability.checkpoint_every_updates = args.checkpoint_every;
+  options.durability.checkpoint_interval_seconds = args.checkpoint_interval;
+
+  RecoveryInfo info;
+  auto service = BcService::Recover(options, &info);
+  if (!service.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "recovered from checkpoint epoch %llu (position %llu, variant %s) "
+      "in %.3fs\n",
+      static_cast<unsigned long long>(info.manifest_epoch),
+      static_cast<unsigned long long>(info.manifest_stream_position),
+      info.variant.c_str(), info.load_seconds);
+  std::printf(
+      "replayed %llu wal batches / %llu updates in %.3fs (%llu torn bytes "
+      "truncated)\n",
+      static_cast<unsigned long long>(info.replayed_batches),
+      static_cast<unsigned long long>(info.replayed_updates),
+      info.replay_seconds, static_cast<unsigned long long>(info.torn_bytes));
+  if (info.poisoned_batches > 0) {
+    std::printf(
+        "amputated a poisoned final batch (%llu rejected updates) — the "
+        "update that killed the previous writer; state is the last "
+        "published one\n",
+        static_cast<unsigned long long>(info.poisoned_updates));
+  }
+  const auto snap = (*service)->snapshot();
+  std::printf("serving at epoch %llu, stream position %llu\n",
+              static_cast<unsigned long long>(snap->epoch),
+              static_cast<unsigned long long>(snap->stream_position));
+  PrintTop(BcScores{snap->vbc, snap->ebc}, args.top);
+  // Stop commits the clean-shutdown checkpoint, so the next start (or the
+  // next recover) replays nothing.
+  if (Status st = (*service)->Stop(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("clean-shutdown checkpoint committed at epoch %llu\n",
+              static_cast<unsigned long long>(info.recovered_epoch));
+  if (const int rc = MaybeWrite(BcScores{snap->vbc, snap->ebc},
+                                args.out_path);
+      rc != 0) {
+    return rc;
+  }
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"manifest_epoch\": %llu, \"manifest_stream_position\": %llu, "
+        "\"variant\": \"%s\", \"replayed_batches\": %llu, "
+        "\"replayed_updates\": %llu, \"torn_bytes\": %llu, "
+        "\"poisoned_batches\": %llu, \"poisoned_updates\": %llu, "
+        "\"recovered_epoch\": %llu, \"recovered_stream_position\": %llu, "
+        "\"load_seconds\": %.9g, \"replay_seconds\": %.9g}\n",
+        static_cast<unsigned long long>(info.manifest_epoch),
+        static_cast<unsigned long long>(info.manifest_stream_position),
+        info.variant.c_str(),
+        static_cast<unsigned long long>(info.replayed_batches),
+        static_cast<unsigned long long>(info.replayed_updates),
+        static_cast<unsigned long long>(info.torn_bytes),
+        static_cast<unsigned long long>(info.poisoned_batches),
+        static_cast<unsigned long long>(info.poisoned_updates),
+        static_cast<unsigned long long>(info.recovered_epoch),
+        static_cast<unsigned long long>(info.recovered_stream_position),
+        info.load_seconds, info.replay_seconds);
     std::fclose(f);
     std::printf("wrote %s\n", args.json_path.c_str());
   }
@@ -605,7 +755,13 @@ int Usage() {
                "[--batch=B] [--budget-ms=M] [--queue-cap=C] [--no-coalesce] "
                "[--threads=T] [--no-prefilter] [--variant=mo|mp|do] "
                "[--store=f.bd] [--store-codec=raw|delta] [--cache-mb=M] "
-               "[--no-prefetch] [--top=K] [--seed=S] [--json=report.json]\n");
+               "[--no-prefetch] [--top=K] [--seed=S] [--json=report.json] "
+               "[--wal-dir=D] [--checkpoint-dir=D] [--checkpoint-every=N] "
+               "[--checkpoint-interval=S] [--fsync=N]\n"
+               "       sobc_cli recover --wal-dir=D [--checkpoint-dir=D] "
+               "[--store=live.bd] [--threads=T] [--no-prefilter] "
+               "[--cache-mb=M] [--no-prefetch] [--top=K] [--out=f.tsv] "
+               "[--json=report.json]\n");
   return 2;
 }
 
@@ -625,6 +781,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "serve" && args.positional.size() == 1) {
     return CmdServe(args);
+  }
+  if (command == "recover" && args.positional.empty()) {
+    return CmdRecover(args);
   }
   if (command == "generate" && args.positional.size() == 2) {
     return CmdGenerate(args);
