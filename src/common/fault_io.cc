@@ -1,0 +1,372 @@
+#include "common/fault_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.h"
+
+namespace sobc {
+
+namespace {
+
+struct OpName {
+  const char* name;
+  FaultOp op;
+};
+
+constexpr OpName kOpNames[] = {
+    {"open", FaultOp::kOpen},         {"read", FaultOp::kRead},
+    {"write", FaultOp::kWrite},       {"fsync", FaultOp::kFsync},
+    {"fdatasync", FaultOp::kFdatasync}, {"msync", FaultOp::kMsync},
+    {"truncate", FaultOp::kTruncate}, {"rename", FaultOp::kRename},
+    {"unlink", FaultOp::kUnlink},     {"short_write", FaultOp::kShortWrite},
+};
+
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+
+constexpr ErrnoName kErrnoNames[] = {
+    {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EINTR", EINTR},
+    {"EAGAIN", EAGAIN}, {"EACCES", EACCES}, {"EROFS", EROFS},
+    {"EMFILE", EMFILE}, {"EDQUOT", EDQUOT}, {"EBADF", EBADF},
+    {"ENOENT", ENOENT},
+};
+
+const char* FaultOpName(FaultOp op) {
+  for (const OpName& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "?";
+}
+
+std::string FaultErrnoName(int err) {
+  for (const ErrnoName& entry : kErrnoNames) {
+    if (entry.value == err) return entry.name;
+  }
+  return "E" + std::to_string(err);
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  std::size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+Status ParseEntry(const std::string& entry, FaultSchedule* schedule) {
+  if (entry.compare(0, 5, "seed=") == 0) {
+    schedule->seed = std::strtoull(entry.c_str() + 5, nullptr, 10);
+    return Status::OK();
+  }
+  const std::size_t trigger_at = entry.find_last_of("@%");
+  if (trigger_at == std::string::npos || trigger_at == 0) {
+    return Status::InvalidArgument("fault entry has no @N or %P trigger: " +
+                                   entry);
+  }
+  FaultSpec spec;
+  std::string op_part = entry.substr(0, trigger_at);
+  const std::size_t tilde = op_part.find('~');
+  if (tilde != std::string::npos) {
+    spec.path_contains = op_part.substr(tilde + 1);
+    op_part = op_part.substr(0, tilde);
+  }
+  bool sync_alias = false;
+  if (op_part == "sync") {
+    sync_alias = true;
+  } else {
+    bool known = false;
+    for (const OpName& name : kOpNames) {
+      if (op_part == name.name) {
+        spec.op = name.op;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown fault op '" + op_part +
+                                     "' in entry: " + entry);
+    }
+  }
+  std::string rest = entry.substr(trigger_at + 1);
+  std::string err_name;
+  const std::size_t eq = rest.find('=');
+  if (eq != std::string::npos) {
+    err_name = rest.substr(eq + 1);
+    rest = rest.substr(0, eq);
+  }
+  if (entry[trigger_at] == '@') {
+    spec.nth = std::strtoull(rest.c_str(), nullptr, 10);
+    if (spec.nth == 0) {
+      return Status::InvalidArgument("fault entry needs @N >= 1: " + entry);
+    }
+  } else {
+    spec.probability = std::strtod(rest.c_str(), nullptr);
+    if (!(spec.probability > 0.0) || spec.probability > 1.0) {
+      return Status::InvalidArgument("fault entry needs %P in (0,1]: " +
+                                     entry);
+    }
+  }
+  if (!sync_alias && spec.op == FaultOp::kShortWrite) {
+    if (!err_name.empty()) {
+      return Status::InvalidArgument("short_write takes no errno: " + entry);
+    }
+  } else {
+    spec.fault_errno = EIO;
+    if (!err_name.empty()) {
+      bool known = false;
+      for (const ErrnoName& name : kErrnoNames) {
+        if (err_name == name.name) {
+          spec.fault_errno = name.value;
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return Status::InvalidArgument("unknown errno name '" + err_name +
+                                       "' in entry: " + entry);
+      }
+    }
+  }
+  if (sync_alias) {
+    for (FaultOp op :
+         {FaultOp::kFsync, FaultOp::kFdatasync, FaultOp::kMsync}) {
+      FaultSpec expanded = spec;
+      expanded.op = op;
+      schedule->specs.push_back(expanded);
+    }
+  } else {
+    schedule->specs.push_back(spec);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FaultSchedule> FaultSchedule::Parse(const std::string& text) {
+  FaultSchedule schedule;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = Trim(text.substr(begin, end - begin));
+    if (!entry.empty()) {
+      SOBC_RETURN_NOT_OK(ParseEntry(entry, &schedule));
+    }
+    begin = end + 1;
+  }
+  if (schedule.specs.empty()) {
+    return Status::InvalidArgument("fault schedule is empty: '" + text + "'");
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  for (const FaultSpec& spec : specs) {
+    if (!out.empty()) out += ",";
+    out += FaultOpName(spec.op);
+    if (!spec.path_contains.empty()) out += "~" + spec.path_contains;
+    if (spec.nth > 0) {
+      out += "@" + std::to_string(spec.nth);
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%%%g", spec.probability);
+      out += buf;
+    }
+    if (spec.op != FaultOp::kShortWrite) {
+      out += "=" + FaultErrnoName(spec.fault_errno);
+    }
+  }
+  if (seed != 0) out += ",seed=" + std::to_string(seed);
+  return out;
+}
+
+FaultInjectingIo::FaultInjectingIo(FaultSchedule schedule, Io* base)
+    : schedule_(std::move(schedule)),
+      base_(base != nullptr ? base : Io::Default()),
+      rng_(schedule_.seed != 0
+               ? schedule_.seed
+               : static_cast<std::uint64_t>(GetEnvInt("SOBC_FAULT_SEED", 1))),
+      match_counts_(schedule_.specs.size(), 0),
+      fire_counts_(schedule_.specs.size(), 0) {
+  if (schedule_.seed == 0) {
+    schedule_.seed =
+        static_cast<std::uint64_t>(GetEnvInt("SOBC_FAULT_SEED", 1));
+  }
+}
+
+bool FaultInjectingIo::CheckFault(FaultOp op, const std::string& path,
+                                  int* err, std::size_t* count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool fired_errno = false;
+  for (std::size_t i = 0; i < schedule_.specs.size(); ++i) {
+    const FaultSpec& spec = schedule_.specs[i];
+    const bool short_write_on_write =
+        spec.op == FaultOp::kShortWrite && op == FaultOp::kWrite;
+    if (spec.op != op && !short_write_on_write) continue;
+    if (!spec.path_contains.empty() &&
+        path.find(spec.path_contains) == std::string::npos) {
+      continue;
+    }
+    const std::uint64_t matched = ++match_counts_[i];
+    const bool fire = spec.nth > 0 ? matched == spec.nth
+                                   : rng_.Chance(spec.probability);
+    if (!fire) continue;
+    if (spec.op == FaultOp::kShortWrite) {
+      // Shorten rather than fail; a 1-byte write has nothing to shorten.
+      if (count == nullptr || *count <= 1) continue;
+      *count /= 2;
+    } else {
+      if (fired_errno) continue;  // first errno fault of the call wins
+      *err = spec.fault_errno;
+      fired_errno = true;
+    }
+    ++fire_counts_[i];
+    ++total_injected_;
+    RecordInjectedFault();
+  }
+  return fired_errno;
+}
+
+std::string FaultInjectingIo::PathOf(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fd_paths_.find(fd);
+  return it != fd_paths_.end() ? it->second : std::string();
+}
+
+int FaultInjectingIo::Open(const char* path, int flags, unsigned mode) {
+  int err = 0;
+  if (CheckFault(FaultOp::kOpen, path, &err, nullptr)) {
+    errno = err;
+    return -1;
+  }
+  const int fd = base_->Open(path, flags, mode);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+long FaultInjectingIo::Read(int fd, void* buf, std::size_t count) {
+  int err = 0;
+  if (CheckFault(FaultOp::kRead, PathOf(fd), &err, nullptr)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Read(fd, buf, count);
+}
+
+long FaultInjectingIo::Write(int fd, const void* buf, std::size_t count) {
+  int err = 0;
+  std::size_t allowed = count;
+  if (CheckFault(FaultOp::kWrite, PathOf(fd), &err, &allowed)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Write(fd, buf, allowed);
+}
+
+long FaultInjectingIo::Pread(int fd, void* buf, std::size_t count,
+                             std::int64_t offset) {
+  int err = 0;
+  if (CheckFault(FaultOp::kRead, PathOf(fd), &err, nullptr)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Pread(fd, buf, count, offset);
+}
+
+long FaultInjectingIo::Pwrite(int fd, const void* buf, std::size_t count,
+                              std::int64_t offset) {
+  int err = 0;
+  std::size_t allowed = count;
+  if (CheckFault(FaultOp::kWrite, PathOf(fd), &err, &allowed)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Pwrite(fd, buf, allowed, offset);
+}
+
+int FaultInjectingIo::Fsync(int fd) {
+  int err = 0;
+  if (CheckFault(FaultOp::kFsync, PathOf(fd), &err, nullptr)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Fsync(fd);
+}
+
+int FaultInjectingIo::Fdatasync(int fd) {
+  int err = 0;
+  if (CheckFault(FaultOp::kFdatasync, PathOf(fd), &err, nullptr)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Fdatasync(fd);
+}
+
+int FaultInjectingIo::Msync(void* addr, std::size_t length, int flags) {
+  int err = 0;
+  if (CheckFault(FaultOp::kMsync, std::string(), &err, nullptr)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Msync(addr, length, flags);
+}
+
+int FaultInjectingIo::Ftruncate(int fd, std::int64_t length) {
+  int err = 0;
+  if (CheckFault(FaultOp::kTruncate, PathOf(fd), &err, nullptr)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Ftruncate(fd, length);
+}
+
+int FaultInjectingIo::Close(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd_paths_.erase(fd);
+  }
+  return base_->Close(fd);
+}
+
+int FaultInjectingIo::Rename(const char* from, const char* to) {
+  int err = 0;
+  // Either endpoint of the rename can match a path filter.
+  const std::string both = std::string(from) + "\n" + to;
+  if (CheckFault(FaultOp::kRename, both, &err, nullptr)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Rename(from, to);
+}
+
+int FaultInjectingIo::Unlink(const char* path) {
+  int err = 0;
+  if (CheckFault(FaultOp::kUnlink, path, &err, nullptr)) {
+    errno = err;
+    return -1;
+  }
+  return base_->Unlink(path);
+}
+
+std::uint64_t FaultInjectingIo::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_injected_;
+}
+
+std::uint64_t FaultInjectingIo::injected_for(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < schedule_.specs.size(); ++i) {
+    if (schedule_.specs[i].op == op) total += fire_counts_[i];
+  }
+  return total;
+}
+
+}  // namespace sobc

@@ -1,0 +1,133 @@
+#ifndef SOBC_COMMON_FAULT_IO_H_
+#define SOBC_COMMON_FAULT_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/io.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sobc {
+
+/// Operation classes a fault schedule can target. kShortWrite is special:
+/// it matches write/pwrite calls but truncates the byte count instead of
+/// failing the call, exercising the callers' short-write continuation.
+enum class FaultOp : int {
+  kOpen = 0,
+  kRead,
+  kWrite,
+  kFsync,
+  kFdatasync,
+  kMsync,
+  kTruncate,
+  kRename,
+  kUnlink,
+  kShortWrite,
+};
+
+/// One scripted fault: fail (or shorten) matching calls of one operation
+/// class, optionally restricted to paths containing a substring, either
+/// deterministically (the nth matching call, 1-based) or probabilistically
+/// (each matching call with probability `probability`, drawn from the
+/// schedule's seeded RNG).
+struct FaultSpec {
+  FaultOp op = FaultOp::kWrite;
+  /// Empty matches every path; fd-based calls match via the path their fd
+  /// was Open()ed with.
+  std::string path_contains;
+  std::uint64_t nth = 0;     // 1-based; 0 means probabilistic
+  double probability = 0.0;  // used when nth == 0
+  int fault_errno = 0;       // EIO unless the spec names another; 0 for
+                             // short writes
+};
+
+/// A parsed fault schedule: the scriptable input of FaultInjectingIo.
+///
+/// Grammar (DESIGN.md §12), entries comma-separated:
+///
+///   entry    := 'seed=' N
+///             | op ['~' pathsubstr] trigger ['=' ERRNO-NAME]
+///   op       := open | read | write | fsync | fdatasync | msync | sync
+///             | truncate | rename | unlink | short_write
+///   trigger  := '@' N   -- deterministic: the Nth matching call
+///             | '%' P   -- probabilistic: probability P per matching call
+///
+/// `sync` is an alias expanding to fsync + fdatasync + msync. Examples:
+///
+///   "fdatasync@3=EIO"          fail the 3rd WAL batch sync with EIO
+///   "write~ckpt%0.05=ENOSPC"   5% of writes under paths containing "ckpt"
+///   "short_write@2,seed=7"     truncate the 2nd write; seed the RNG with 7
+///
+/// When no seed= entry is present the seed comes from SOBC_FAULT_SEED
+/// (default 1), so probabilistic schedules replay bit-identically.
+struct FaultSchedule {
+  std::vector<FaultSpec> specs;
+  std::uint64_t seed = 0;  // 0 = resolve from SOBC_FAULT_SEED at install
+
+  static Result<FaultSchedule> Parse(const std::string& text);
+
+  /// Canonical round-trippable rendering — echoed by tests and the CLI so
+  /// a failing schedule is reproducible from the logs.
+  std::string ToString() const;
+};
+
+/// An Io decorator that injects the scheduled faults and forwards
+/// everything else to the wrapped implementation (Io::Default() unless
+/// another base is given). Thread-safe; typically installed process-wide
+/// via Io::Install for the duration of a test phase.
+class FaultInjectingIo final : public Io {
+ public:
+  explicit FaultInjectingIo(FaultSchedule schedule, Io* base = nullptr);
+
+  int Open(const char* path, int flags, unsigned mode) override;
+  long Read(int fd, void* buf, std::size_t count) override;
+  long Write(int fd, const void* buf, std::size_t count) override;
+  long Pread(int fd, void* buf, std::size_t count,
+             std::int64_t offset) override;
+  long Pwrite(int fd, const void* buf, std::size_t count,
+              std::int64_t offset) override;
+  int Fsync(int fd) override;
+  int Fdatasync(int fd) override;
+  int Msync(void* addr, std::size_t length, int flags) override;
+  int Ftruncate(int fd, std::int64_t length) override;
+  int Close(int fd) override;
+  int Rename(const char* from, const char* to) override;
+  int Unlink(const char* path) override;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  /// Total faults injected (short writes included).
+  std::uint64_t faults_injected() const;
+
+  /// Faults injected for one operation class — lets a test assert that the
+  /// schedule's fdatasync fault actually fired before checking its
+  /// consequences.
+  std::uint64_t injected_for(FaultOp op) const;
+
+ private:
+  /// Returns true and sets *err when a scheduled errno fault fires for
+  /// this call; independently shrinks *count (when non-null) for a fired
+  /// short-write spec.
+  bool CheckFault(FaultOp op, const std::string& path, int* err,
+                  std::size_t* count);
+  std::string PathOf(int fd);
+
+  FaultSchedule schedule_;
+  Io* base_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<std::uint64_t> match_counts_;   // per spec
+  std::vector<std::uint64_t> fire_counts_;    // per spec
+  std::unordered_map<int, std::string> fd_paths_;
+  std::uint64_t total_injected_ = 0;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_FAULT_IO_H_

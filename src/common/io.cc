@@ -1,0 +1,118 @@
+#include "common/io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace sobc {
+
+namespace {
+
+class PosixIo final : public Io {
+ public:
+  int Open(const char* path, int flags, unsigned mode) override {
+    return ::open(path, flags, mode);
+  }
+  long Read(int fd, void* buf, std::size_t count) override {
+    return ::read(fd, buf, count);
+  }
+  long Write(int fd, const void* buf, std::size_t count) override {
+    return ::write(fd, buf, count);
+  }
+  long Pread(int fd, void* buf, std::size_t count,
+             std::int64_t offset) override {
+    return ::pread(fd, buf, count, static_cast<off_t>(offset));
+  }
+  long Pwrite(int fd, const void* buf, std::size_t count,
+              std::int64_t offset) override {
+    return ::pwrite(fd, buf, count, static_cast<off_t>(offset));
+  }
+  int Fsync(int fd) override { return ::fsync(fd); }
+  int Fdatasync(int fd) override { return ::fdatasync(fd); }
+  int Msync(void* addr, std::size_t length, int flags) override {
+    return ::msync(addr, length, flags);
+  }
+  int Ftruncate(int fd, std::int64_t length) override {
+    return ::ftruncate(fd, static_cast<off_t>(length));
+  }
+  int Close(int fd) override { return ::close(fd); }
+  int Rename(const char* from, const char* to) override {
+    return ::rename(from, to);
+  }
+  int Unlink(const char* path) override { return ::unlink(path); }
+};
+
+std::atomic<Io*> g_io{nullptr};
+
+std::atomic<std::uint64_t> g_retries{0};
+std::atomic<std::uint64_t> g_retries_exhausted{0};
+std::atomic<std::uint64_t> g_faults_injected{0};
+
+}  // namespace
+
+Io* Io::Default() {
+  static PosixIo posix_io;
+  return &posix_io;
+}
+
+Io* Io::Get() {
+  Io* io = g_io.load(std::memory_order_acquire);
+  return io != nullptr ? io : Default();
+}
+
+Io* Io::Install(Io* io) {
+  Io* previous = g_io.exchange(io, std::memory_order_acq_rel);
+  return previous != nullptr ? previous : Default();
+}
+
+IoCounters ReadIoCounters() {
+  IoCounters counters;
+  counters.retries = g_retries.load(std::memory_order_relaxed);
+  counters.retries_exhausted =
+      g_retries_exhausted.load(std::memory_order_relaxed);
+  counters.faults_injected = g_faults_injected.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void RecordIoRetry() { g_retries.fetch_add(1, std::memory_order_relaxed); }
+
+void RecordIoRetriesExhausted() {
+  g_retries_exhausted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecordInjectedFault() {
+  g_faults_injected.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool IsTransientIoErrno(int err) {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK;
+}
+
+void IoBackoff(int attempt) {
+  // SplitMix64 over a per-thread counter: deterministic per thread, yet
+  // different threads (different stack addresses seed the counter) spread
+  // out. No global state, no clock dependence.
+  thread_local std::uint64_t jitter_state =
+      reinterpret_cast<std::uintptr_t>(&jitter_state);
+  jitter_state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = jitter_state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+
+  const int shift = std::min(attempt, 5);
+  const std::int64_t base_us = std::min<std::int64_t>(50LL << shift, 2000);
+  // Jitter in [0.75, 1.25) of the base.
+  const double factor = 0.75 + 0.5 * static_cast<double>(z >> 11) * 0x1.0p-53;
+  const auto sleep_us =
+      static_cast<std::int64_t>(static_cast<double>(base_us) * factor);
+  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+}
+
+}  // namespace sobc

@@ -1,0 +1,93 @@
+#ifndef SOBC_COMMON_IO_H_
+#define SOBC_COMMON_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sobc {
+
+/// The syscall seam of the durability stack (DESIGN.md §12). Every file
+/// operation the WAL, the checkpoint protocol, and the columnar BD store
+/// perform goes through the process-global Io instance, the way LevelDB
+/// routes everything through its Env: production runs on the POSIX
+/// implementation; tests install a FaultInjectingIo to make every error
+/// branch (EIO on read, ENOSPC mid-write, failed fsync, failed rename)
+/// deterministically reachable.
+///
+/// Methods mirror the POSIX calls they wrap — same argument order, same
+/// return convention (negative return with errno set on failure) — so call
+/// sites read like the syscalls they replace and error handling stays
+/// errno-based end to end.
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  virtual int Open(const char* path, int flags, unsigned mode) = 0;
+  virtual long Read(int fd, void* buf, std::size_t count) = 0;
+  virtual long Write(int fd, const void* buf, std::size_t count) = 0;
+  virtual long Pread(int fd, void* buf, std::size_t count,
+                     std::int64_t offset) = 0;
+  virtual long Pwrite(int fd, const void* buf, std::size_t count,
+                      std::int64_t offset) = 0;
+  virtual int Fsync(int fd) = 0;
+  virtual int Fdatasync(int fd) = 0;
+  virtual int Msync(void* addr, std::size_t length, int flags) = 0;
+  virtual int Ftruncate(int fd, std::int64_t length) = 0;
+  virtual int Close(int fd) = 0;
+  virtual int Rename(const char* from, const char* to) = 0;
+  virtual int Unlink(const char* path) = 0;
+
+  /// The real POSIX implementation (a process-lifetime singleton).
+  static Io* Default();
+
+  /// The currently installed instance; Default() unless a test swapped it.
+  static Io* Get();
+
+  /// Atomically installs `io` (nullptr restores Default()) and returns the
+  /// previous instance. The caller owns both lifetimes and must keep the
+  /// installed object alive until every thread that could be mid-call has
+  /// quiesced — in practice: install before starting a service, uninstall
+  /// after Stop() returned.
+  static Io* Install(Io* io);
+};
+
+/// Process-global counters of the retry/fault machinery, surfaced as
+/// io_retries / io_faults_injected in the ServeMetrics JSON.
+struct IoCounters {
+  /// Transient-errno (EINTR/EAGAIN) retries the bounded-backoff helpers
+  /// performed.
+  std::uint64_t retries = 0;
+  /// Operations that kept failing transiently until the attempt cap and
+  /// were surfaced as errors.
+  std::uint64_t retries_exhausted = 0;
+  /// Faults a FaultInjectingIo injected (0 in production).
+  std::uint64_t faults_injected = 0;
+};
+
+IoCounters ReadIoCounters();
+void RecordIoRetry();
+void RecordIoRetriesExhausted();
+void RecordInjectedFault();
+
+/// Whether `err` is worth retrying: the call may succeed if simply
+/// reissued (signal interruption, spurious would-block). Everything else —
+/// EIO, ENOSPC, and especially a failed fsync — is surfaced immediately:
+/// after fsync reports failure the kernel may have dropped the dirty
+/// pages, so retry-and-assume-durable would report data durable that is
+/// not (the "fsyncgate" failure mode).
+bool IsTransientIoErrno(int err);
+
+/// Attempts per operation before a transient errno is surfaced as an
+/// error. Genuine EINTR storms resolve in one or two retries; the cap
+/// exists so an injected (or pathological) storm degrades into a reported
+/// error instead of an unbounded spin.
+inline constexpr int kMaxTransientIoAttempts = 8;
+
+/// Sleeps the bounded-exponential backoff for retry number `attempt`
+/// (0-based): ~50us doubling up to ~2ms, with deterministic per-thread
+/// jitter so colliding retry loops decorrelate.
+void IoBackoff(int attempt);
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_IO_H_

@@ -6,43 +6,169 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/io.h"
+
 namespace sobc {
 
+namespace {
+
+/// Disambiguates the two strerror_r variants at overload resolution time:
+/// XSI returns int (0 on success), GNU returns the message pointer (which
+/// may ignore the caller's buffer).
+inline const char* AdaptStrerror(int rc, const char* buf) {
+  return rc == 0 ? buf : nullptr;
+}
+inline const char* AdaptStrerror(const char* msg, const char* /*buf*/) {
+  return msg;
+}
+
+}  // namespace
+
+std::string SafeStrerror(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  const char* msg = AdaptStrerror(::strerror_r(err, buf, sizeof(buf)), buf);
+  if (msg != nullptr && msg[0] != '\0') return msg;
+  return "errno " + std::to_string(err);
+}
+
 Status ErrnoStatus(const char* what, const std::string& path) {
-  return Status::IOError(std::string(what) + " failed for " + path + ": " +
-                         std::strerror(errno));
+  return ErrnoStatusFrom(errno, what, path);
+}
+
+Status ErrnoStatusFrom(int err, const char* what, const std::string& path) {
+  return Status(StatusCode::kIOError,
+                std::string(what) + " failed for " + path + ": " +
+                    SafeStrerror(err),
+                err);
 }
 
 Status WriteFully(int fd, const void* data, std::size_t size,
                   const std::string& path) {
   const auto* bytes = static_cast<const unsigned char*>(data);
   std::size_t written = 0;
+  int attempts = 0;
   while (written < size) {
-    const ssize_t put = ::write(fd, bytes + written, size - written);
+    const long put = Io::Get()->Write(fd, bytes + written, size - written);
     if (put < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("write", path);
+      const int err = errno;
+      if (IsTransientIoErrno(err)) {
+        if (attempts < kMaxTransientIoAttempts) {
+          RecordIoRetry();
+          IoBackoff(attempts++);
+          continue;
+        }
+        RecordIoRetriesExhausted();
+      }
+      return ErrnoStatusFrom(err, "write", path);
     }
+    attempts = 0;  // progress resets the retry budget
+    written += static_cast<std::size_t>(put);
+  }
+  return Status::OK();
+}
+
+Status ReadUpTo(int fd, void* out, std::size_t size, std::size_t* got,
+                const std::string& path) {
+  auto* bytes = static_cast<unsigned char*>(out);
+  std::size_t read_total = 0;
+  int attempts = 0;
+  while (read_total < size) {
+    const long n = Io::Get()->Read(fd, bytes + read_total, size - read_total);
+    if (n < 0) {
+      const int err = errno;
+      if (IsTransientIoErrno(err)) {
+        if (attempts < kMaxTransientIoAttempts) {
+          RecordIoRetry();
+          IoBackoff(attempts++);
+          continue;
+        }
+        RecordIoRetriesExhausted();
+      }
+      return ErrnoStatusFrom(err, "read", path);
+    }
+    if (n == 0) break;  // end of file
+    attempts = 0;
+    read_total += static_cast<std::size_t>(n);
+  }
+  *got = read_total;
+  return Status::OK();
+}
+
+Status PreadFully(int fd, void* out, std::size_t size, std::uint64_t offset,
+                  const std::string& path) {
+  auto* bytes = static_cast<unsigned char*>(out);
+  std::size_t read_total = 0;
+  int attempts = 0;
+  while (read_total < size) {
+    const long n = Io::Get()->Pread(
+        fd, bytes + read_total, size - read_total,
+        static_cast<std::int64_t>(offset + read_total));
+    if (n < 0) {
+      const int err = errno;
+      if (IsTransientIoErrno(err)) {
+        if (attempts < kMaxTransientIoAttempts) {
+          RecordIoRetry();
+          IoBackoff(attempts++);
+          continue;
+        }
+        RecordIoRetriesExhausted();
+      }
+      return ErrnoStatusFrom(err, "pread", path);
+    }
+    if (n == 0) return Status::IOError("short read from " + path);
+    attempts = 0;
+    read_total += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PwriteFully(int fd, const void* data, std::size_t size,
+                   std::uint64_t offset, const std::string& path) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::size_t written = 0;
+  int attempts = 0;
+  while (written < size) {
+    const long put = Io::Get()->Pwrite(
+        fd, bytes + written, size - written,
+        static_cast<std::int64_t>(offset + written));
+    if (put < 0) {
+      const int err = errno;
+      if (IsTransientIoErrno(err)) {
+        if (attempts < kMaxTransientIoAttempts) {
+          RecordIoRetry();
+          IoBackoff(attempts++);
+          continue;
+        }
+        RecordIoRetriesExhausted();
+      }
+      return ErrnoStatusFrom(err, "pwrite", path);
+    }
+    attempts = 0;
     written += static_cast<std::size_t>(put);
   }
   return Status::OK();
 }
 
 Status SyncDir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  Io* io = Io::Get();
+  const int fd = io->Open(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
   if (fd < 0) return ErrnoStatus("open", dir);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return ErrnoStatus("fsync", dir);
+  const int rc = io->Fsync(fd);
+  const int saved_errno = errno;
+  io->Close(fd);
+  if (rc != 0) return ErrnoStatusFrom(saved_errno, "fsync", dir);
   return Status::OK();
 }
 
 Status SyncFile(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  Io* io = Io::Get();
+  const int fd = io->Open(path.c_str(), O_RDONLY, 0);
   if (fd < 0) return ErrnoStatus("open", path);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return ErrnoStatus("fsync", path);
+  const int rc = io->Fsync(fd);
+  const int saved_errno = errno;
+  io->Close(fd);
+  if (rc != 0) return ErrnoStatusFrom(saved_errno, "fsync", path);
   return Status::OK();
 }
 

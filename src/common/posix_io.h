@@ -2,23 +2,51 @@
 #define SOBC_COMMON_POSIX_IO_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
 
 namespace sobc {
 
-/// Small shared POSIX I/O helpers for the durability layer (WAL +
-/// checkpoint). One implementation of errno reporting, full-buffer
-/// writes, and directory/file fsync, so the two subsystems cannot
-/// silently diverge in durability behavior.
+/// Small shared file-I/O helpers for the durability layer (WAL +
+/// checkpoint + columnar store). One implementation of errno reporting,
+/// full-buffer reads/writes with bounded transient-errno retry, and
+/// directory/file fsync, so the subsystems cannot silently diverge in
+/// durability behavior. Everything goes through the pluggable Io seam
+/// (common/io.h), which is what makes every error branch fault-injectable.
 
-/// IOError carrying errno's message, e.g. "write failed for p: ...".
+/// Thread-safe strerror: renders `err` without touching the static buffer
+/// std::strerror may share across threads.
+std::string SafeStrerror(int err);
+
+/// IOError carrying errno's message, e.g. "write failed for p: ...". Reads
+/// the calling thread's errno; the returned Status carries it in
+/// sys_errno() so callers can branch on the cause (ENOSPC vs EIO).
 Status ErrnoStatus(const char* what, const std::string& path);
 
-/// Writes the whole buffer, retrying on EINTR and short writes.
+/// Same, for an errno value saved before intervening calls could clobber it.
+Status ErrnoStatusFrom(int err, const char* what, const std::string& path);
+
+/// Writes the whole buffer, absorbing short writes and retrying transient
+/// errnos (EINTR/EAGAIN) with bounded, jittered exponential backoff; the
+/// retry cap turns a persistent transient storm into a reported error.
 Status WriteFully(int fd, const void* data, std::size_t size,
                   const std::string& path);
+
+/// Reads up to `size` bytes; `*got` receives the count actually read
+/// (short only at end-of-file). Transient errnos retry as in WriteFully;
+/// a real read error (EIO) returns it.
+Status ReadUpTo(int fd, void* out, std::size_t size, std::size_t* got,
+                const std::string& path);
+
+/// Positioned full-buffer read/write with the same retry policy; a short
+/// pread hitting end-of-file is an IOError (callers read fixed-size
+/// headers and records that must exist in full).
+Status PreadFully(int fd, void* out, std::size_t size, std::uint64_t offset,
+                  const std::string& path);
+Status PwriteFully(int fd, const void* data, std::size_t size,
+                   std::uint64_t offset, const std::string& path);
 
 /// fsync of the directory entry itself, making file creation/removal/
 /// rename inside it durable (a file-content sync does not cover its

@@ -29,6 +29,8 @@ class Status {
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
+  Status(StatusCode code, std::string message, int sys_errno)
+      : code_(code), message_(std::move(message)), sys_errno_(sys_errno) {}
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -57,12 +59,18 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// The errno an OS-level failure carried, or 0 when the error did not
+  /// originate from a syscall. Lets callers branch on the cause (the
+  /// health ladder treats ENOSPC specially) without parsing messages.
+  int sys_errno() const { return sys_errno_; }
+
   /// Human-readable rendering, e.g. "InvalidArgument: bad edge".
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  int sys_errno_ = 0;
 };
 
 /// Either a value of type T or an error Status. Inspect with ok(); access

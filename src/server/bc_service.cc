@@ -1,9 +1,12 @@
 #include "server/bc_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <utility>
 
 #include "bc/bd_store_disk.h"
+#include "common/io.h"
 #include "common/timer.h"
 #include "storage/record_codec.h"
 
@@ -24,6 +27,18 @@ const char* VariantName(BcVariant variant) {
 }
 
 }  // namespace
+
+const char* ServiceHealthName(ServiceHealth health) {
+  switch (health) {
+    case ServiceHealth::kHealthy:
+      return "healthy";
+    case ServiceHealth::kDegraded:
+      return "degraded";
+    case ServiceHealth::kReadOnly:
+      return "readonly";
+  }
+  return "healthy";
+}
 
 BcService::BcService(std::unique_ptr<DynamicBc> bc,
                      const BcServiceOptions& options)
@@ -55,6 +70,10 @@ Result<std::unique_ptr<BcService>> BcService::Create(
     }
     SOBC_RETURN_NOT_OK(
         service->StartDurability(/*next_epoch=*/1, /*initial_checkpoint=*/true));
+  }
+  if (resolved.writer_stall_timeout_seconds > 0) {
+    service->watchdog_ =
+        std::thread([raw = service.get()] { raw->WatchdogLoop(); });
   }
   service->writer_ = std::thread([raw = service.get()] { raw->WriterLoop(); });
   return service;
@@ -192,8 +211,58 @@ Result<std::unique_ptr<BcService>> BcService::Recover(
   // them (a second crash before then replays the same tail again).
   SOBC_RETURN_NOT_OK(
       service->StartDurability(epoch + 1, /*initial_checkpoint=*/false));
+  if (resolved.writer_stall_timeout_seconds > 0) {
+    service->watchdog_ =
+        std::thread([raw = service.get()] { raw->WatchdogLoop(); });
+  }
   service->writer_ = std::thread([raw = service.get()] { raw->WriterLoop(); });
   return service;
+}
+
+void BcService::EnterDegraded(const Status& why) {
+  int expected = static_cast<int>(ServiceHealth::kHealthy);
+  if (!health_.compare_exchange_strong(
+          expected, static_cast<int>(ServiceHealth::kDegraded),
+          std::memory_order_acq_rel)) {
+    return;  // already degraded or read-only; first cause wins
+  }
+  checkpoints_suspended_.store(true, std::memory_order_release);
+  // Less durability, less exposure: with checkpoints gone the WAL tail is
+  // all the recovery there is, so let backpressure bite earlier.
+  queue_.SetCapacity(std::max<std::size_t>(1, queue_.capacity() / 2));
+  std::lock_guard<std::mutex> lock(mu_);
+  health_error_ = why;
+}
+
+void BcService::EnterReadOnly(const Status& why) {
+  health_.store(static_cast<int>(ServiceHealth::kReadOnly),
+                std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  // The terminal error supersedes a degraded-mode cause.
+  health_error_ = why;
+}
+
+void BcService::WatchdogLoop() {
+  const double timeout = options_.writer_stall_timeout_seconds;
+  const auto poll =
+      std::chrono::duration<double>(std::clamp(timeout / 4.0, 0.001, 0.05));
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, poll, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+    const double started = batch_started_.load(std::memory_order_relaxed);
+    const bool stalled =
+        started > 0.0 && SteadyNowSeconds() - started >= timeout;
+    if (stalled != writer_stalled_.load(std::memory_order_relaxed)) {
+      {
+        // Under mu_ so a Drain caller between predicate and sleep cannot
+        // miss the flag flip.
+        std::lock_guard<std::mutex> guard(mu_);
+        writer_stalled_.store(stalled, std::memory_order_release);
+      }
+      publish_cv_.notify_all();
+    }
+  }
 }
 
 Status BcService::StartDurability(std::uint64_t next_epoch,
@@ -278,10 +347,18 @@ Status BcService::MaybeCheckpoint(std::uint64_t epoch,
   last_checkpoint_stamp_ = SteadyNowSeconds();
   if (!checkpointer_->AdmitTrigger()) return Status::OK();
   auto job = CaptureCheckpointJob(epoch, position);
-  if (!job.ok()) return job.status();
+  if (!job.ok()) {
+    // A failed capture (ENOSPC copying the BD store, a flush error) costs
+    // this and future checkpoints, not serving: the engine state is
+    // intact and the WAL keeps every batch recoverable. Degrade and move
+    // on — WAL-only, checkpoints suspended.
+    EnterDegraded(job.status());
+    return Status::OK();
+  }
   if (checkpointer_->Enqueue(std::move(*job))) {
     // Segment boundary aligned to the checkpoint: once its manifest is
-    // durable, every earlier segment is fully covered and prunable.
+    // durable, every earlier segment is fully covered and prunable. A
+    // rotate failure stays fatal — it poisons or loses the WAL itself.
     SOBC_RETURN_NOT_OK(wal_->Rotate(epoch + 1));
   }
   return Status::OK();
@@ -290,6 +367,9 @@ Status BcService::MaybeCheckpoint(std::uint64_t epoch,
 BcService::~BcService() { (void)Stop(); }
 
 bool BcService::Submit(const EdgeUpdate& update) {
+  // Fail fast once the writer is dead: no producer should block (or even
+  // take the queue lock chain) to learn the service is read-only.
+  if (health() == ServiceHealth::kReadOnly) return false;
   return queue_.Push(update);
 }
 
@@ -309,6 +389,7 @@ ServeMetricsSnapshot BcService::metrics() const {
     snap.wal_bytes = wal_stats.bytes;
     snap.wal_syncs = wal_stats.syncs;
     snap.wal_rotations = wal_stats.rotations;
+    snap.wal_last_durable_epoch = wal_stats.last_durable_epoch;
   }
   if (checkpointer_ != nullptr) {
     const CheckpointStats checkpoint_stats = checkpointer_->stats();
@@ -318,6 +399,21 @@ ServeMetricsSnapshot BcService::metrics() const {
     snap.last_checkpoint_epoch = checkpoint_stats.last_epoch;
     snap.checkpoint_write_seconds = checkpoint_stats.write_seconds_total;
   }
+  const ServiceHealth current_health = health();
+  snap.health_state = static_cast<std::uint64_t>(current_health);
+  snap.health = ServiceHealthName(current_health);
+  snap.checkpoints_suspended =
+      checkpoints_suspended_.load(std::memory_order_acquire) ? 1 : 0;
+  snap.writer_stalled =
+      writer_stalled_.load(std::memory_order_acquire) ? 1 : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!health_error_.ok()) snap.last_error = health_error_.ToString();
+  }
+  const IoCounters io = ReadIoCounters();
+  snap.io_retries = io.retries;
+  snap.io_retries_exhausted = io.retries_exhausted;
+  snap.io_faults_injected = io.faults_injected;
   return snap;
 }
 
@@ -334,15 +430,21 @@ void BcService::WriterLoop() {
   std::uint64_t epoch = base_epoch_;
   DrainedBatch batch;
   auto fail = [this](Status st) {
-    // Terminal: publishables stop here. Close the queue so blocked
-    // producers unblock, record the failure, and let Drain/Stop report.
+    // Terminal: publishables stop here. The service goes ReadOnly, the
+    // queue closes so blocked producers unblock, and Drain/Stop report.
     queue_.Close();
+    EnterReadOnly(st);
+    batch_started_.store(0.0, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     writer_status_ = std::move(st);
     writer_done_ = true;
     publish_cv_.notify_all();
   };
   while (queue_.PopBatch(&batch)) {
+    // Stamp before the hook: a hook that stalls (the watchdog tests) must
+    // count against the batch it delays.
+    batch_started_.store(SteadyNowSeconds(), std::memory_order_relaxed);
+    if (options_.writer_batch_hook) options_.writer_batch_hook();
     if (wal_ != nullptr) {
       // Log-before-apply: by the time any effect of this batch can exist
       // (in memory or in the BD store file), the batch itself is already
@@ -396,12 +498,20 @@ void BcService::WriterLoop() {
     }
     publish_cv_.notify_all();
     if (checkpointer_ != nullptr) {
-      updates_since_checkpoint_ += batch.consumed;
-      if (Status ck = MaybeCheckpoint(epoch, position); !ck.ok()) {
-        fail(std::move(ck));
-        return;
+      // A background checkpoint that failed since the last batch degrades
+      // the service (checkpoints suspended, WAL-only) without killing it.
+      if (Status background = checkpointer_->PeekError(); !background.ok()) {
+        EnterDegraded(background);
+      }
+      if (!checkpoints_suspended_.load(std::memory_order_acquire)) {
+        updates_since_checkpoint_ += batch.consumed;
+        if (Status ck = MaybeCheckpoint(epoch, position); !ck.ok()) {
+          fail(std::move(ck));
+          return;
+        }
       }
     }
+    batch_started_.store(0.0, std::memory_order_relaxed);
   }
   std::lock_guard<std::mutex> lock(mu_);
   writer_done_ = true;
@@ -413,19 +523,35 @@ Status BcService::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   publish_cv_.wait(lock, [&] {
     return writer_done_ || !writer_status_.ok() ||
+           writer_stalled_.load(std::memory_order_acquire) ||
            published_position_.load(std::memory_order_acquire) >= target;
   });
   if (!writer_status_.ok()) return writer_status_;
-  if (published_position_.load(std::memory_order_acquire) < target) {
-    return Status::FailedPrecondition(
-        "writer exited before draining every accepted update");
+  if (published_position_.load(std::memory_order_acquire) >= target) {
+    return Status::OK();
   }
-  return Status::OK();
+  if (writer_stalled_.load(std::memory_order_acquire)) {
+    // The watchdog flagged a batch exceeding the stall timeout. Drain
+    // surfaces the hang instead of joining it; the stall can still
+    // resolve (the flag clears and a later Drain succeeds).
+    return Status::Internal(
+        "writer stalled: a batch has exceeded the " +
+        std::to_string(options_.writer_stall_timeout_seconds) +
+        "s stall timeout");
+  }
+  return Status::FailedPrecondition(
+      "writer exited before draining every accepted update");
 }
 
 Status BcService::Stop() {
   queue_.Close();
   if (writer_.joinable()) writer_.join();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   // The writer can no longer touch the framework; push the final BD state
   // to stable storage so a serve-mode out-of-core deployment is resumable
   // (no-op for the in-memory variants).
@@ -443,15 +569,23 @@ Status BcService::Stop() {
   if (checkpointer_ != nullptr && !final_checkpoint_done_) {
     final_checkpoint_done_ = true;
     Status background = checkpointer_->WaitIdle();
+    if (!background.ok()) EnterDegraded(background);
     Status final_status = background;
-    if (clean && background.ok()) {
+    if (clean && background.ok() &&
+        !checkpoints_suspended_.load(std::memory_order_acquire)) {
       // A clean shutdown commits a checkpoint at the final epoch, so the
-      // next start replays nothing.
+      // next start replays nothing. Suspended (degraded) services skip
+      // it — whatever suspended checkpointing (ENOSPC) still holds, and
+      // the WAL already covers every applied batch.
       auto job = CaptureCheckpointJob(epoch, position);
       final_status = job.ok() ? checkpointer_->WriteNow(std::move(*job))
                               : job.status();
     }
     if (!final_status.ok()) {
+      // A failed shutdown checkpoint leaves the next start replaying the
+      // WAL tail — reduced durability, same ladder rung as any other
+      // checkpoint failure.
+      EnterDegraded(final_status);
       std::lock_guard<std::mutex> lock(mu_);
       if (writer_status_.ok()) writer_status_ = final_status;
     }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -54,6 +55,27 @@ struct DurabilityOptions {
   bool enabled() const { return !wal_dir.empty(); }
 };
 
+/// The serving layer's health ladder (docs/OPERATIONS.md "Failure modes &
+/// health states"). Transitions are one-way within a process: a Degraded
+/// service never self-heals to Healthy (the condition that degraded it —
+/// a failed checkpoint, ENOSPC — needs operator action), and ReadOnly is
+/// terminal (the writer is dead; snapshots still serve, Submit rejects).
+enum class ServiceHealth : int {
+  kHealthy = 0,
+  /// Checkpointing failed or is impossible (ENOSPC): checkpoints are
+  /// suspended, serving continues WAL-only, and the queue capacity is
+  /// halved so backpressure bites earlier while durability is reduced.
+  kDegraded = 1,
+  /// The writer thread is dead (WAL append/sync/rotate failure, engine
+  /// apply failure). Published snapshots remain readable forever; Submit
+  /// fails fast; Drain/Stop report the terminal error.
+  kReadOnly = 2,
+};
+
+/// The state name as emitted in ServeMetrics JSON ("healthy" | "degraded"
+/// | "readonly").
+const char* ServiceHealthName(ServiceHealth health);
+
 /// What BcService::Recover found and did — surfaced by `sobc_cli recover`
 /// and asserted by the crash-injection tests.
 struct RecoveryInfo {
@@ -97,6 +119,14 @@ struct BcServiceOptions {
   bool snapshot_edge_scores = true;
   /// Write-ahead log + checkpointing; off by default.
   DurabilityOptions durability;
+  /// Watchdog: flag the writer as stalled when one batch (WAL append +
+  /// apply + publish) exceeds this many seconds, so Drain() reports the
+  /// hang instead of blocking forever. 0 disables the watchdog.
+  double writer_stall_timeout_seconds = 0.0;
+  /// Test hook, called by the writer thread at the start of every batch
+  /// (before the WAL append). Lets fault tests deterministically stall or
+  /// observe the writer; never set in production.
+  std::function<void()> writer_batch_hook;
 };
 
 /// The concurrent serving layer over the online framework (DESIGN.md §8):
@@ -175,6 +205,18 @@ class BcService {
   /// Updates accepted into the queue so far.
   std::uint64_t submitted() const { return queue_.stats().received; }
 
+  /// Current position on the health ladder (any thread).
+  ServiceHealth health() const {
+    return static_cast<ServiceHealth>(
+        health_.load(std::memory_order_acquire));
+  }
+
+  /// The error behind the last health transition; OK while healthy.
+  Status last_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return health_error_;
+  }
+
   /// The underlying framework — for post-mortem inspection (store
   /// footprint, checkpoint). Safe to touch only after Stop() returned;
   /// while the service runs, the writer thread owns it.
@@ -199,6 +241,14 @@ class BcService {
   /// Evaluates the op-count/interval policy and hands a captured job to
   /// the background writer (writer thread only).
   Status MaybeCheckpoint(std::uint64_t epoch, std::uint64_t position);
+  /// Healthy -> Degraded (one-way; no-op from Degraded/ReadOnly):
+  /// suspends checkpointing, halves the queue capacity, records `why`.
+  void EnterDegraded(const Status& why);
+  /// Any state -> ReadOnly; records `why` as the terminal error.
+  void EnterReadOnly(const Status& why);
+  /// Watchdog thread body: samples the writer's batch-start stamp and
+  /// flags a stall (writer_stall_timeout_seconds exceeded) for Drain.
+  void WatchdogLoop();
 
   BcServiceOptions options_;
   /// Owned by the writer thread once it starts; other threads must only
@@ -234,6 +284,22 @@ class BcService {
   /// (guarded by mu_; written by the writer at each publish).
   std::uint64_t final_epoch_ = 0;
   std::uint64_t final_position_ = 0;
+
+  // Health ladder (ServiceHealth as int; transitions documented on the
+  // enum). health_error_ is guarded by mu_.
+  std::atomic<int> health_{static_cast<int>(ServiceHealth::kHealthy)};
+  std::atomic<bool> checkpoints_suspended_{false};
+  Status health_error_;
+
+  // Writer watchdog. batch_started_ holds the SteadyNowSeconds stamp of
+  // the batch in flight (0 = writer idle); writer_stalled_ is flipped by
+  // the watchdog under mu_ so Drain's wait sees it.
+  std::atomic<double> batch_started_{0.0};
+  std::atomic<bool> writer_stalled_{false};
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 
   std::thread writer_;
 };

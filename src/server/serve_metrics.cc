@@ -25,6 +25,38 @@ void AppendField(std::string* out, const char* name, std::uint64_t value,
   *out += buf;
 }
 
+void AppendField(std::string* out, const char* name, const std::string& value,
+                 bool trailing_comma = true) {
+  *out += "\"";
+  *out += name;
+  *out += "\": \"";
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += trailing_comma ? "\", " : "\"";
+}
+
 }  // namespace
 
 void ServeMetrics::PushSample(std::vector<double>* ring, std::size_t* next,
@@ -126,6 +158,15 @@ std::string ServeMetricsSnapshot::ToJson() const {
   AppendField(&out, "checkpoints_failed", checkpoints_failed);
   AppendField(&out, "last_checkpoint_epoch", last_checkpoint_epoch);
   AppendField(&out, "checkpoint_write_seconds", checkpoint_write_seconds);
+  AppendField(&out, "wal_last_durable_epoch", wal_last_durable_epoch);
+  AppendField(&out, "health_state", health_state);
+  AppendField(&out, "health", health);
+  AppendField(&out, "checkpoints_suspended", checkpoints_suspended);
+  AppendField(&out, "writer_stalled", writer_stalled);
+  AppendField(&out, "last_error", last_error);
+  AppendField(&out, "io_retries", io_retries);
+  AppendField(&out, "io_retries_exhausted", io_retries_exhausted);
+  AppendField(&out, "io_faults_injected", io_faults_injected);
   AppendField(&out, "p50_update_latency_seconds", p50_update_latency_seconds);
   AppendField(&out, "p99_update_latency_seconds", p99_update_latency_seconds);
   AppendField(&out, "p50_batch_apply_seconds", p50_batch_apply_seconds);

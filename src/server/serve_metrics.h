@@ -52,6 +52,27 @@ struct ServeMetricsSnapshot {
   std::uint64_t checkpoints_failed = 0;
   std::uint64_t last_checkpoint_epoch = 0;
   double checkpoint_write_seconds = 0.0;
+  /// Newest epoch the WAL has confirmed durable via a successful
+  /// fdatasync; freezes after a failed sync (fsyncgate — see WalWriter).
+  std::uint64_t wal_last_durable_epoch = 0;
+
+  /// Health of the serving layer (BcService::ServiceHealth as an int:
+  /// 0 healthy, 1 degraded, 2 read-only) plus the operator-facing detail:
+  /// whether checkpointing is suspended, whether the watchdog flagged the
+  /// writer as stalled, and the error that drove the last transition
+  /// ("" while healthy). `health` is the state as a string for humans.
+  std::uint64_t health_state = 0;
+  std::uint64_t checkpoints_suspended = 0;
+  std::uint64_t writer_stalled = 0;
+  std::string health = "healthy";
+  std::string last_error;
+
+  /// Process-wide transient-I/O accounting (see IoCounters): syscalls
+  /// retried after EINTR/EAGAIN, retry budgets exhausted, and faults the
+  /// injection layer fired (0 outside fault-injection runs).
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_retries_exhausted = 0;
+  std::uint64_t io_faults_injected = 0;
 
   /// Submit-to-publish latency per consumed update (coalesced ones
   /// included — their effect was published even if they never ran).

@@ -87,9 +87,24 @@ void UpdateQueue::Close() {
   not_empty_.notify_all();
 }
 
+void UpdateQueue::SetCapacity(std::size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.capacity = capacity == 0 ? 1 : capacity;
+  }
+  // A raise can free blocked producers; a shrink wakes them into a
+  // re-check that sends them back to sleep.
+  not_full_.notify_all();
+}
+
 bool UpdateQueue::closed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_;
+}
+
+std::size_t UpdateQueue::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.capacity;
 }
 
 std::size_t UpdateQueue::depth() const {

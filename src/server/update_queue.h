@@ -91,8 +91,14 @@ class UpdateQueue {
   /// remain drainable.
   void Close();
 
+  /// Rebounds the queue (clamped to >= 1). Shrinking below the current
+  /// depth drops nothing — existing items drain normally, new pushes see
+  /// the tighter bound. Degraded mode uses this to tighten backpressure.
+  void SetCapacity(std::size_t capacity);
+
   bool closed() const;
   std::size_t depth() const;
+  std::size_t capacity() const;
   UpdateQueueStats stats() const;
 
  private:

@@ -17,6 +17,7 @@
 
 #include "bc/score_io.h"
 #include "common/crc32.h"
+#include "common/io.h"
 #include "common/posix_io.h"
 #include "common/timer.h"
 #include "graph/graph_io.h"
@@ -37,22 +38,22 @@ Status WriteFileAtomic(const std::string& dir, const std::string& name,
                        const std::string& content) {
   const std::string tmp = dir + "/" + name + ".tmp";
   const std::string final_path = dir + "/" + name;
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  Io* io = Io::Get();
+  const int fd = io->Open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("open", tmp);
   if (Status st = WriteFully(fd, content.data(), content.size(), tmp);
       !st.ok()) {
-    ::close(fd);
+    io->Close(fd);
     return st;
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return ErrnoStatus("fsync", tmp);
+  if (io->Fsync(fd) != 0) {
+    const Status st = ErrnoStatus("fsync", tmp);
+    io->Close(fd);
+    return st;
   }
-  ::close(fd);
-  std::error_code ec;
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    return Status::IOError("cannot rename " + tmp + ": " + ec.message());
+  io->Close(fd);
+  if (io->Rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return ErrnoStatus("rename", tmp);
   }
   return SyncDir(dir);
 }
@@ -301,14 +302,14 @@ Result<std::size_t> PruneCheckpoints(const std::string& dir,
     }
     // Either surplus or unreadable: drop the manifest first (the commit
     // record), then the state files it names.
-    std::error_code ec;
-    if (!fs::remove(path, ec) || ec) continue;
+    Io* io = Io::Get();
+    if (io->Unlink(path.c_str()) != 0) continue;
     ++removed;
     if (manifest.ok()) {
-      fs::remove(dir + "/" + manifest->graph_file, ec);
-      fs::remove(dir + "/" + manifest->scores_file, ec);
+      (void)io->Unlink((dir + "/" + manifest->graph_file).c_str());
+      (void)io->Unlink((dir + "/" + manifest->scores_file).c_str());
       if (!manifest->store_file.empty()) {
-        fs::remove(dir + "/" + manifest->store_file, ec);
+        (void)io->Unlink((dir + "/" + manifest->store_file).c_str());
       }
     }
   }
@@ -328,61 +329,49 @@ Status CopyFile(const std::string& from, const std::string& to,
           "copy source and destination are the same file: " + from);
     }
   }
-  const int src = ::open(from.c_str(), O_RDONLY);
+  Io* io = Io::Get();
+  const int src = io->Open(from.c_str(), O_RDONLY, 0);
   if (src < 0) return ErrnoStatus("open", from);
-  const int dst = ::open(to.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int dst = io->Open(to.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (dst < 0) {
-    ::close(src);
+    io->Close(src);
     return ErrnoStatus("open", to);
   }
   std::vector<char> buffer(1 << 20);
   Status status;
   std::uint32_t running_crc = 0;
   for (;;) {
-    const ssize_t got = ::read(src, buffer.data(), buffer.size());
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      status = ErrnoStatus("read", from);
-      break;
-    }
-    if (got == 0) break;
-    running_crc = Crc32(buffer.data(), static_cast<std::size_t>(got),
-                        running_crc);
-    ssize_t written = 0;
-    while (written < got) {
-      const ssize_t put = ::write(dst, buffer.data() + written, got - written);
-      if (put < 0) {
-        if (errno == EINTR) continue;
-        status = ErrnoStatus("write", to);
-        break;
-      }
-      written += put;
-    }
+    std::size_t got = 0;
+    status = ReadUpTo(src, buffer.data(), buffer.size(), &got, from);
+    if (!status.ok() || got == 0) break;
+    running_crc = Crc32(buffer.data(), got, running_crc);
+    status = WriteFully(dst, buffer.data(), got, to);
     if (!status.ok()) break;
+    if (got < buffer.size()) break;  // end of file
   }
-  if (status.ok() && ::fsync(dst) != 0) status = ErrnoStatus("fsync", to);
-  ::close(src);
-  ::close(dst);
+  if (status.ok() && io->Fsync(dst) != 0) status = ErrnoStatus("fsync", to);
+  io->Close(src);
+  io->Close(dst);
   if (status.ok() && crc != nullptr) *crc = running_crc;
   return status;
 }
 
 Result<std::uint32_t> FileCrc32(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  Io* io = Io::Get();
+  const int fd = io->Open(path.c_str(), O_RDONLY, 0);
   if (fd < 0) return ErrnoStatus("open", path);
   std::vector<char> buffer(1 << 20);
   std::uint32_t crc = 0;
+  Status status;
   for (;;) {
-    const ssize_t got = ::read(fd, buffer.data(), buffer.size());
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return ErrnoStatus("read", path);
-    }
-    if (got == 0) break;
-    crc = Crc32(buffer.data(), static_cast<std::size_t>(got), crc);
+    std::size_t got = 0;
+    status = ReadUpTo(fd, buffer.data(), buffer.size(), &got, path);
+    if (!status.ok() || got == 0) break;
+    crc = Crc32(buffer.data(), got, crc);
+    if (got < buffer.size()) break;  // end of file
   }
-  ::close(fd);
+  io->Close(fd);
+  if (!status.ok()) return status;
   return crc;
 }
 

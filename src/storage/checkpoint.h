@@ -153,6 +153,14 @@ class CheckpointWriter {
   /// (sticky until read).
   Status WaitIdle();
 
+  /// Non-blocking read of the sticky error — lets the serving writer
+  /// notice a failed background checkpoint between batches (and degrade)
+  /// without stalling behind an in-flight job.
+  Status PeekError() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return error_;
+  }
+
   /// Runs one job synchronously on the calling thread (initial checkpoint
   /// at Create, final checkpoint at Stop — moments that want the commit
   /// before proceeding).

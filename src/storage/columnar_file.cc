@@ -7,6 +7,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/io.h"
+#include "common/posix_io.h"
+
 namespace sobc {
 
 namespace {
@@ -30,44 +33,6 @@ struct FileHeader {
   std::uint64_t user_aux3;
 };
 
-Status Errno(const std::string& what, const std::string& path) {
-  return Status::IOError(what + " failed for " + path + ": " +
-                         std::strerror(errno));
-}
-
-Status FullPread(int fd, void* buf, std::size_t count, std::uint64_t offset,
-                 const std::string& path) {
-  char* out = static_cast<char*>(buf);
-  while (count > 0) {
-    const ssize_t got = ::pread(fd, out, count, static_cast<off_t>(offset));
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      return Errno("pread", path);
-    }
-    if (got == 0) return Status::IOError("short read from " + path);
-    out += got;
-    count -= static_cast<std::size_t>(got);
-    offset += static_cast<std::uint64_t>(got);
-  }
-  return Status::OK();
-}
-
-Status FullPwrite(int fd, const void* buf, std::size_t count,
-                  std::uint64_t offset, const std::string& path) {
-  const char* in = static_cast<const char*>(buf);
-  while (count > 0) {
-    const ssize_t put = ::pwrite(fd, in, count, static_cast<off_t>(offset));
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      return Errno("pwrite", path);
-    }
-    in += put;
-    count -= static_cast<std::size_t>(put);
-    offset += static_cast<std::uint64_t>(put);
-  }
-  return Status::OK();
-}
-
 std::uint64_t HeaderSize(std::size_t num_columns) {
   return sizeof(FileHeader) + num_columns * sizeof(std::uint64_t);
 }
@@ -76,16 +41,18 @@ std::uint64_t HeaderSize(std::size_t num_columns) {
 
 ColumnarFile::~ColumnarFile() {
   if (map_ != nullptr) ::munmap(map_, map_size_);
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) Io::Get()->Close(fd_);
 }
 
 Status ColumnarFile::MapFile() {
   map_size_ = header_size_ + layout_.RecordStride() * layout_.num_records;
+  // mmap/munmap stay raw: the map is process memory, not a fault-injection
+  // surface, and the Io seam is deliberately syscall-shaped around fds.
   void* map = ::mmap(nullptr, map_size_, PROT_READ | PROT_WRITE, MAP_SHARED,
                      fd_, 0);
   if (map == MAP_FAILED) {
     map_ = nullptr;
-    return Errno("mmap", path_);
+    return ErrnoStatus("mmap", path_);
   }
   map_ = static_cast<char*>(map);
   return Status::OK();
@@ -96,15 +63,17 @@ Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Create(
   if (layout.column_widths.empty() || layout.entries_per_record == 0) {
     return Status::InvalidArgument("columnar layout must be non-empty");
   }
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Errno("open", path);
+  Io* io = Io::Get();
+  const int fd = io->Open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
 
   const std::uint64_t header_size = HeaderSize(layout.column_widths.size());
   const std::uint64_t total =
       header_size + layout.RecordStride() * layout.num_records;
-  if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
-    ::close(fd);
-    return Errno("ftruncate", path);
+  if (io->Ftruncate(fd, static_cast<std::int64_t>(total)) != 0) {
+    const Status st = ErrnoStatus("ftruncate", path);
+    io->Close(fd);
+    return st;
   }
 
   FileHeader header{};
@@ -118,14 +87,14 @@ Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Create(
   header.user_aux1 = 0;
   header.user_aux2 = 0;
   header.user_aux3 = 0;
-  Status st = FullPwrite(fd, &header, sizeof(header), 0, path);
+  Status st = PwriteFully(fd, &header, sizeof(header), 0, path);
   if (st.ok()) {
-    st = FullPwrite(fd, layout.column_widths.data(),
-                    layout.column_widths.size() * sizeof(std::uint64_t),
-                    sizeof(header), path);
+    st = PwriteFully(fd, layout.column_widths.data(),
+                     layout.column_widths.size() * sizeof(std::uint64_t),
+                     sizeof(header), path);
   }
   if (!st.ok()) {
-    ::close(fd);
+    io->Close(fd);
     return st;
   }
   auto file = std::unique_ptr<ColumnarFile>(
@@ -136,20 +105,21 @@ Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Create(
 
 Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Open(
     const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDWR);
-  if (fd < 0) return Errno("open", path);
+  Io* io = Io::Get();
+  const int fd = io->Open(path.c_str(), O_RDWR, 0);
+  if (fd < 0) return ErrnoStatus("open", path);
   FileHeader header{};
-  Status st = FullPread(fd, &header, sizeof(header), 0, path);
+  Status st = PreadFully(fd, &header, sizeof(header), 0, path);
   if (!st.ok()) {
-    ::close(fd);
+    io->Close(fd);
     return st;
   }
   if (header.magic != kMagic) {
-    ::close(fd);
+    io->Close(fd);
     return Status::IOError("not a sobc columnar file: " + path);
   }
   if (header.version != kVersion) {
-    ::close(fd);
+    io->Close(fd);
     return Status::IOError(
         "unsupported sobc columnar file version " +
         std::to_string(header.version) + " (this build reads version " +
@@ -160,11 +130,11 @@ Result<std::unique_ptr<ColumnarFile>> ColumnarFile::Open(
   layout.entries_per_record = header.entries_per_record;
   layout.num_records = header.num_records;
   layout.column_widths.resize(header.num_columns);
-  st = FullPread(fd, layout.column_widths.data(),
-                 header.num_columns * sizeof(std::uint64_t), sizeof(header),
-                 path);
+  st = PreadFully(fd, layout.column_widths.data(),
+                  header.num_columns * sizeof(std::uint64_t), sizeof(header),
+                  path);
   if (!st.ok()) {
-    ::close(fd);
+    io->Close(fd);
     return st;
   }
   auto file = std::unique_ptr<ColumnarFile>(
@@ -258,10 +228,11 @@ Status ColumnarFile::SetUserAuxHigh(std::uint64_t aux2, std::uint64_t aux3) {
 }
 
 Status ColumnarFile::Sync() {
-  if (map_ != nullptr && ::msync(map_, map_size_, MS_SYNC) != 0) {
-    return Errno("msync", path_);
+  Io* io = Io::Get();
+  if (map_ != nullptr && io->Msync(map_, map_size_, MS_SYNC) != 0) {
+    return ErrnoStatus("msync", path_);
   }
-  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  if (io->Fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/crc32.h"
+#include "common/io.h"
 #include "common/posix_io.h"
 
 namespace sobc {
@@ -140,10 +141,27 @@ bool DecodePayload(const std::uint8_t* data, std::size_t size,
 WalWriter::WalWriter(std::string dir, WalOptions options)
     : dir_(std::move(dir)), options_(options) {}
 
+namespace {
+
+/// Truncates `path` to `length` through the Io seam (std::filesystem's
+/// resize_file would bypass fault injection).
+Status TruncateFileAt(const std::string& path, std::uint64_t length) {
+  Io* io = Io::Get();
+  const int fd = io->Open(path.c_str(), O_WRONLY, 0);
+  if (fd < 0) return ErrnoStatus("open", path);
+  const int rc = io->Ftruncate(fd, static_cast<std::int64_t>(length));
+  const int saved_errno = errno;
+  io->Close(fd);
+  if (rc != 0) return ErrnoStatusFrom(saved_errno, "ftruncate", path);
+  return Status::OK();
+}
+
+}  // namespace
+
 WalWriter::~WalWriter() {
   if (fd_ >= 0) {
-    (void)::fdatasync(fd_);
-    ::close(fd_);
+    if (!poisoned_) (void)Io::Get()->Fdatasync(fd_);
+    Io::Get()->Close(fd_);
   }
 }
 
@@ -157,20 +175,35 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
                            ec.message());
   }
   auto writer = std::unique_ptr<WalWriter>(new WalWriter(dir, options));
+  // Everything up to next_epoch - 1 is durable by construction (committed
+  // checkpoint or already-synced replayed segments).
+  writer->last_appended_epoch_ = next_epoch - 1;
+  writer->durable_epoch_.store(next_epoch - 1, std::memory_order_relaxed);
   SOBC_RETURN_NOT_OK(writer->OpenSegment(next_epoch));
   return writer;
 }
 
 Status WalWriter::OpenSegment(std::uint64_t first_epoch) {
+  Io* io = Io::Get();
   if (fd_ >= 0) {
-    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", segment_path_);
-    ::close(fd_);
+    if (poisoned_) {
+      return Status::FailedPrecondition(
+          "wal segment " + segment_path_ +
+          " is poisoned by an earlier fsync failure");
+    }
+    if (io->Fdatasync(fd_) != 0) {
+      const Status st = ErrnoStatus("fdatasync", segment_path_);
+      poisoned_ = true;
+      return st;
+    }
+    durable_epoch_.store(last_appended_epoch_, std::memory_order_relaxed);
+    io->Close(fd_);
     fd_ = -1;
   }
   segment_path_ = dir_ + "/" + SegmentName(first_epoch);
   // O_TRUNC: a colliding segment can only be one whose every frame a prior
   // recovery already discarded as garbage (see the Open contract).
-  fd_ = ::open(segment_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  fd_ = io->Open(segment_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) return ErrnoStatus("open", segment_path_);
   std::vector<std::uint8_t> header;
   AppendValue(&header, kWalMagic);
@@ -186,6 +219,11 @@ Status WalWriter::OpenSegment(std::uint64_t first_epoch) {
 Status WalWriter::Append(std::uint64_t epoch, std::uint64_t stream_position,
                          std::span<const EdgeUpdate> updates) {
   if (fd_ < 0) return Status::FailedPrecondition("wal writer is closed");
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "wal segment " + segment_path_ +
+        " is poisoned by an earlier fsync failure");
+  }
   const std::vector<std::uint8_t> frame =
       EncodeFrame(epoch, stream_position, updates);
   SOBC_RETURN_NOT_OK(WriteFully(fd_, frame.data(), frame.size(),
@@ -193,6 +231,7 @@ Status WalWriter::Append(std::uint64_t epoch, std::uint64_t stream_position,
   appends_.fetch_add(1, std::memory_order_relaxed);
   appended_updates_.fetch_add(updates.size(), std::memory_order_relaxed);
   bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  last_appended_epoch_ = epoch;
   if (options_.fsync_every > 0 &&
       ++appends_since_sync_ >= options_.fsync_every) {
     return Sync();
@@ -202,8 +241,22 @@ Status WalWriter::Append(std::uint64_t epoch, std::uint64_t stream_position,
 
 Status WalWriter::Sync() {
   if (fd_ < 0) return Status::FailedPrecondition("wal writer is closed");
-  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", segment_path_);
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "wal segment " + segment_path_ +
+        " is poisoned by an earlier fsync failure");
+  }
+  if (Io::Get()->Fdatasync(fd_) != 0) {
+    // Fatal for this segment: the kernel may have discarded the dirty
+    // pages while reporting the failure, so a retry that succeeds proves
+    // nothing about the lost writes. durable_epoch_ deliberately stays at
+    // the last successful sync.
+    const Status st = ErrnoStatus("fdatasync", segment_path_);
+    poisoned_ = true;
+    return st;
+  }
   syncs_.fetch_add(1, std::memory_order_relaxed);
+  durable_epoch_.store(last_appended_epoch_, std::memory_order_relaxed);
   appends_since_sync_ = 0;
   return Status::OK();
 }
@@ -220,6 +273,7 @@ WalStats WalWriter::stats() const {
   stats.bytes = bytes_.load(std::memory_order_relaxed);
   stats.syncs = syncs_.load(std::memory_order_relaxed);
   stats.rotations = rotations_.load(std::memory_order_relaxed);
+  stats.last_durable_epoch = durable_epoch_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -235,24 +289,30 @@ Result<WalReplay> ReadWalForReplay(const std::string& dir,
   for (std::size_t i = 0; i < segments->size(); ++i) {
     const bool last_segment = i + 1 == segments->size();
     const std::string& path = (*segments)[i].second;
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) return ErrnoStatus("open", path);
+    Io* io = Io::Get();
+    const int fd = io->Open(path.c_str(), O_RDONLY, 0);
+    if (fd < 0) return ErrnoStatus("open", path);
     ++replay.segments_read;
 
     // Everything from the first bad frame on is a torn tail (final
-    // segment) or corruption (earlier segment).
+    // segment) or corruption (earlier segment). A read *error* (EIO,
+    // network filesystem hiccup) is a live I/O failure, never a crash
+    // artifact: ReadUpTo surfaces it as a Status and we fail loudly
+    // instead of truncating data a retry would have read.
     std::uint64_t good_offset = 0;
     std::string torn_reason;
-    // A shortfall with ferror set is a live I/O failure (EIO, network
-    // filesystem hiccup), never a crash artifact: fail loudly instead of
-    // truncating data a retry would have read.
-    auto read_failed = [&]() -> bool { return std::ferror(f) != 0; };
+    auto read_chunk = [&](void* out, std::size_t want,
+                          std::size_t* got) -> Status {
+      return ReadUpTo(fd, out, want, got, path);
+    };
     std::uint8_t header[kSegmentHeaderBytes];
-    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
-      if (read_failed()) {
-        std::fclose(f);
-        return ErrnoStatus("read", path);
-      }
+    std::size_t header_got = 0;
+    Status read_status = read_chunk(header, sizeof(header), &header_got);
+    if (!read_status.ok()) {
+      io->Close(fd);
+      return read_status;
+    }
+    if (header_got != sizeof(header)) {
       torn_reason = "short segment header";
     } else {
       std::uint64_t magic = 0;
@@ -268,14 +328,11 @@ Result<WalReplay> ReadWalForReplay(const std::string& dir,
     std::vector<std::uint8_t> payload;
     while (torn_reason.empty()) {
       std::uint8_t frame_header[kFrameHeaderBytes];
-      const std::size_t got =
-          std::fread(frame_header, 1, sizeof(frame_header), f);
-      if (got == 0 && std::feof(f)) break;  // clean end of segment
+      std::size_t got = 0;
+      read_status = read_chunk(frame_header, sizeof(frame_header), &got);
+      if (!read_status.ok()) break;
+      if (got == 0) break;  // clean end of segment
       if (got != sizeof(frame_header)) {
-        if (read_failed()) {
-          std::fclose(f);
-          return ErrnoStatus("read", path);
-        }
         torn_reason = "short frame header";
         break;
       }
@@ -288,11 +345,9 @@ Result<WalReplay> ReadWalForReplay(const std::string& dir,
         break;
       }
       payload.resize(length);
-      if (std::fread(payload.data(), 1, length, f) != length) {
-        if (read_failed()) {
-          std::fclose(f);
-          return ErrnoStatus("read", path);
-        }
+      read_status = read_chunk(payload.data(), length, &got);
+      if (!read_status.ok()) break;
+      if (got != length) {
         torn_reason = "short frame payload";
         break;
       }
@@ -306,7 +361,7 @@ Result<WalReplay> ReadWalForReplay(const std::string& dir,
         break;
       }
       if (have_last_epoch && record.epoch != last_epoch + 1) {
-        std::fclose(f);
+        io->Close(fd);
         return Status::IOError(
             "wal epoch gap in " + path + ": expected " +
             std::to_string(last_epoch + 1) + ", found " +
@@ -321,7 +376,8 @@ Result<WalReplay> ReadWalForReplay(const std::string& dir,
         replay.records.push_back(std::move(record));
       }
     }
-    std::fclose(f);
+    io->Close(fd);
+    if (!read_status.ok()) return read_status;
 
     if (!torn_reason.empty()) {
       if (!last_segment) {
@@ -336,11 +392,7 @@ Result<WalReplay> ReadWalForReplay(const std::string& dir,
       replay.torn_bytes = size - good_offset;
       replay.torn_segment = path;
       if (truncate_torn_tail && replay.torn_bytes > 0) {
-        fs::resize_file(path, good_offset, ec);
-        if (ec) {
-          return Status::IOError("cannot truncate torn tail of " + path +
-                                 ": " + ec.message());
-        }
+        SOBC_RETURN_NOT_OK(TruncateFileAt(path, good_offset));
         SOBC_RETURN_NOT_OK(SyncDir(dir));
       }
     }
@@ -358,12 +410,7 @@ Result<WalReplay> ReadWalForReplay(const std::string& dir,
 
 Status TruncateWalSegment(const std::string& dir, const std::string& segment,
                           std::uint64_t offset) {
-  std::error_code ec;
-  fs::resize_file(segment, offset, ec);
-  if (ec) {
-    return Status::IOError("cannot truncate " + segment + ": " +
-                           ec.message());
-  }
+  SOBC_RETURN_NOT_OK(TruncateFileAt(segment, offset));
   return SyncDir(dir);
 }
 
@@ -383,8 +430,7 @@ Result<std::size_t> PruneWalSegments(const std::string& dir,
   // the checkpoint iff its successor starts at or before through_epoch + 1.
   for (std::size_t i = 0; i + 1 < segments->size(); ++i) {
     if ((*segments)[i + 1].first <= through_epoch + 1) {
-      std::error_code ec;
-      if (fs::remove((*segments)[i].second, ec) && !ec) ++removed;
+      if (Io::Get()->Unlink((*segments)[i].second.c_str()) == 0) ++removed;
     }
   }
   if (removed > 0) SOBC_RETURN_NOT_OK(SyncDir(dir));

@@ -53,6 +53,12 @@ struct WalStats {
   std::uint64_t bytes = 0;  // frame bytes written (headers included)
   std::uint64_t syncs = 0;
   std::uint64_t rotations = 0;
+  /// Newest epoch known durable: the last appended epoch at the most
+  /// recent successful fdatasync (seeded to next_epoch - 1 at Open — the
+  /// checkpoint/replay baseline). Under fsync_every == 0 this trails the
+  /// appended epoch by design. After a failed sync it freezes: a failed
+  /// fsync must never be reported as durable (see Sync).
+  std::uint64_t last_durable_epoch = 0;
 };
 
 /// Append side of the write-ahead log: one directory of epoch-named segment
@@ -88,6 +94,13 @@ class WalWriter {
   }
 
   /// Forces fdatasync of the current segment regardless of policy.
+  ///
+  /// A failed sync is fatal for the segment ("fsyncgate" semantics): the
+  /// kernel may have dropped the dirty pages while reporting the error, so
+  /// retrying the fsync could succeed while the data is gone. The writer
+  /// is poisoned — every later Append/Sync fails fast with
+  /// FailedPrecondition — and last_durable_epoch stays at the last epoch a
+  /// *successful* sync covered.
   Status Sync();
 
   /// Closes the current segment and starts `wal-<next_epoch>.log`. Called
@@ -109,6 +122,11 @@ class WalWriter {
   int fd_ = -1;
   std::string segment_path_;
   std::size_t appends_since_sync_ = 0;
+  /// Set by the first failed fdatasync; makes every later append fail
+  /// fast instead of appending records whose durability is unknowable.
+  bool poisoned_ = false;
+  std::uint64_t last_appended_epoch_ = 0;
+  std::atomic<std::uint64_t> durable_epoch_{0};
   std::atomic<std::uint64_t> appends_{0};
   std::atomic<std::uint64_t> appended_updates_{0};
   std::atomic<std::uint64_t> bytes_{0};

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bc/brandes.h"
@@ -194,12 +195,62 @@ TEST(BcService, WriterErrorSurfacesThroughDrain) {
   ASSERT_TRUE(g.AddEdge(1, 2).ok());
   auto service = BcService::Create(g, {});
   ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->health(), ServiceHealth::kHealthy);
   // (0,2) is not an edge: the removal fails inside the writer thread.
   EXPECT_TRUE((*service)->Submit({0, 2, EdgeOp::kRemove, 0.0}));
   EXPECT_FALSE((*service)->Drain().ok());
   EXPECT_FALSE((*service)->Stop().ok());
-  // A failed writer stops accepting updates.
+  // A failed writer stops accepting updates and lands on the terminal
+  // rung of the health ladder with the cause recorded.
   EXPECT_FALSE((*service)->Submit({0, 2, EdgeOp::kAdd, 0.0}));
+  EXPECT_EQ((*service)->health(), ServiceHealth::kReadOnly);
+  EXPECT_FALSE((*service)->last_error().ok());
+}
+
+TEST(BcService, MetricsJsonCarriesTheHealthAndIoFields) {
+  Rng rng(31);
+  const Graph base = RandomConnectedGraph(20, 12, &rng);
+  auto service = BcService::Create(base, {});
+  ASSERT_TRUE(service.ok());
+  const ServeMetricsSnapshot metrics = (*service)->metrics();
+  EXPECT_EQ(metrics.health, "healthy");
+  EXPECT_EQ(metrics.health_state, 0u);
+  EXPECT_TRUE(metrics.last_error.empty());
+  const std::string json = metrics.ToJson();
+  // The operator-facing contract of docs/OPERATIONS.md: dashboards key on
+  // these names.
+  for (const char* key :
+       {"\"health\": \"healthy\"", "\"health_state\": 0",
+        "\"checkpoints_suspended\": 0", "\"writer_stalled\": 0",
+        "\"last_error\": \"\"", "\"io_retries\": ", "\"io_retries_exhausted\": ",
+        "\"io_faults_injected\": ", "\"wal_last_durable_epoch\": "}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key
+                                                 << " in " << json;
+  }
+  ASSERT_TRUE((*service)->Stop().ok());
+}
+
+TEST(BcService, MetricsJsonEscapesTheErrorString) {
+  ServeMetricsSnapshot snap;
+  snap.last_error = "a \"quoted\\path\"\nwith\tcontrol\x01" "chars";
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"last_error\": \"a \\\"quoted\\\\path\\\"\\nwith"
+                      "\\tcontrol\\u0001chars\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(BcService, WatchdogOnlyRunsWhenConfigured) {
+  Rng rng(33);
+  const Graph base = RandomConnectedGraph(12, 6, &rng);
+  // Default options: no watchdog, hook-free batches, Drain blocks until
+  // published — writer_stalled can never be set.
+  auto service = BcService::Create(base, {});
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Submit({0, 7, EdgeOp::kAdd, 0.0}));
+  ASSERT_TRUE((*service)->Drain().ok());
+  EXPECT_EQ((*service)->metrics().writer_stalled, 0u);
+  ASSERT_TRUE((*service)->Stop().ok());
 }
 
 }  // namespace

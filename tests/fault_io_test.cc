@@ -1,0 +1,297 @@
+// The fault-injection seam itself (DESIGN.md §12): schedule parsing and
+// canonical rendering, deterministic nth-call firing, path filtering,
+// seeded probabilistic replay, short-write shrinking — and the
+// bounded-backoff retry policy of the posix_io helpers observed through
+// an installed FaultInjectingIo (a transient EINTR is absorbed, a
+// persistent storm hits the attempt cap and surfaces).
+
+#include "common/fault_io.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/posix_io.h"
+#include "common/status.h"
+
+namespace sobc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Installs a FaultInjectingIo for the scope of one test body and always
+/// restores the default on the way out.
+class ScopedFaultIo {
+ public:
+  explicit ScopedFaultIo(FaultSchedule schedule)
+      : io_(std::move(schedule)) {
+    Io::Install(&io_);
+  }
+  ~ScopedFaultIo() { Io::Install(nullptr); }
+
+  FaultInjectingIo* operator->() { return &io_; }
+
+ private:
+  FaultInjectingIo io_;
+};
+
+FaultSchedule MustParse(const std::string& text) {
+  auto schedule = FaultSchedule::Parse(text);
+  EXPECT_TRUE(schedule.ok()) << schedule.status().ToString();
+  return *schedule;
+}
+
+class FaultIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sobc_fault_io_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    Io::Install(nullptr);  // belt and braces if a test aborted mid-scope
+    fs::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  /// Opens a fresh file for writing through the CURRENT Io (so an
+  /// installed fault schedule sees the open too).
+  int OpenForWrite(const std::string& path) {
+    const int fd =
+        Io::Get()->Open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    EXPECT_GE(fd, 0);
+    return fd;
+  }
+
+  std::string dir_;
+};
+
+// --- Schedule grammar -------------------------------------------------------
+
+TEST_F(FaultIoTest, ParseRendersCanonicallyAndRoundTrips) {
+  const FaultSchedule schedule =
+      MustParse("fdatasync@3=EIO, write~ckpt%0.05=ENOSPC, short_write@2");
+  ASSERT_EQ(schedule.specs.size(), 3u);
+  EXPECT_EQ(schedule.specs[0].op, FaultOp::kFdatasync);
+  EXPECT_EQ(schedule.specs[0].nth, 3u);
+  EXPECT_EQ(schedule.specs[0].fault_errno, EIO);
+  EXPECT_EQ(schedule.specs[1].op, FaultOp::kWrite);
+  EXPECT_EQ(schedule.specs[1].path_contains, "ckpt");
+  EXPECT_DOUBLE_EQ(schedule.specs[1].probability, 0.05);
+  EXPECT_EQ(schedule.specs[1].fault_errno, ENOSPC);
+  EXPECT_EQ(schedule.specs[2].op, FaultOp::kShortWrite);
+  EXPECT_EQ(schedule.specs[2].fault_errno, 0);
+
+  // ToString is the reproduction string echoed into logs: parsing it
+  // again must yield the same schedule.
+  const std::string rendered = schedule.ToString();
+  EXPECT_EQ(rendered, "fdatasync@3=EIO,write~ckpt%0.05=ENOSPC,short_write@2");
+  EXPECT_EQ(MustParse(rendered).ToString(), rendered);
+}
+
+TEST_F(FaultIoTest, ParseExpandsSyncAliasAndKeepsSeed) {
+  const FaultSchedule schedule = MustParse("sync~wal@2=ENOSPC,seed=42");
+  ASSERT_EQ(schedule.specs.size(), 3u);
+  EXPECT_EQ(schedule.specs[0].op, FaultOp::kFsync);
+  EXPECT_EQ(schedule.specs[1].op, FaultOp::kFdatasync);
+  EXPECT_EQ(schedule.specs[2].op, FaultOp::kMsync);
+  for (const FaultSpec& spec : schedule.specs) {
+    EXPECT_EQ(spec.path_contains, "wal");
+    EXPECT_EQ(spec.nth, 2u);
+    EXPECT_EQ(spec.fault_errno, ENOSPC);
+  }
+  EXPECT_EQ(schedule.seed, 42u);
+  EXPECT_EQ(schedule.ToString(),
+            "fsync~wal@2=ENOSPC,fdatasync~wal@2=ENOSPC,msync~wal@2=ENOSPC,"
+            "seed=42");
+}
+
+TEST_F(FaultIoTest, ParseRejectsMalformedEntries) {
+  EXPECT_FALSE(FaultSchedule::Parse("").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("write").ok());          // no trigger
+  EXPECT_FALSE(FaultSchedule::Parse("write@0").ok());        // nth >= 1
+  EXPECT_FALSE(FaultSchedule::Parse("write%0").ok());        // P in (0,1]
+  EXPECT_FALSE(FaultSchedule::Parse("write%1.5").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("chmod@1").ok());        // unknown op
+  EXPECT_FALSE(FaultSchedule::Parse("write@1=EWHAT").ok());  // unknown errno
+  EXPECT_FALSE(FaultSchedule::Parse("short_write@1=EIO").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("seed=5").ok());  // seed alone: empty
+}
+
+// --- Deterministic firing ---------------------------------------------------
+
+TEST_F(FaultIoTest, NthWriteFailsExactlyOnce) {
+  ScopedFaultIo io(MustParse("write@2=ENOSPC"));
+  const std::string path = Path("nth");
+  const int fd = OpenForWrite(path);
+  char byte = 'x';
+  EXPECT_EQ(Io::Get()->Write(fd, &byte, 1), 1);  // 1st: passes through
+  errno = 0;
+  EXPECT_EQ(Io::Get()->Write(fd, &byte, 1), -1);  // 2nd: scheduled fault
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_EQ(Io::Get()->Write(fd, &byte, 1), 1);  // 3rd: passes again
+  EXPECT_EQ(Io::Get()->Close(fd), 0);
+  EXPECT_EQ(io->faults_injected(), 1u);
+  EXPECT_EQ(io->injected_for(FaultOp::kWrite), 1u);
+  EXPECT_EQ(io->injected_for(FaultOp::kRead), 0u);
+}
+
+TEST_F(FaultIoTest, PathFilterMatchesViaTheFdsOpenPath) {
+  // Only fds opened under a path containing "victim" are faulted; the
+  // other file keeps working, proving per-file targeting through the
+  // fd -> path registry.
+  ScopedFaultIo io(MustParse("fsync~victim@1=EIO"));
+  const int victim = OpenForWrite(Path("victim.log"));
+  const int bystander = OpenForWrite(Path("bystander.log"));
+  EXPECT_EQ(Io::Get()->Fsync(bystander), 0);
+  errno = 0;
+  EXPECT_EQ(Io::Get()->Fsync(victim), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(Io::Get()->Close(victim), 0);
+  EXPECT_EQ(Io::Get()->Close(bystander), 0);
+  EXPECT_EQ(io->faults_injected(), 1u);
+}
+
+TEST_F(FaultIoTest, RenameFaultMatchesEitherEndpoint) {
+  ScopedFaultIo io(MustParse("rename~final@1=EIO"));
+  const std::string tmp = Path("file.tmp");
+  const int fd = OpenForWrite(tmp);
+  EXPECT_EQ(Io::Get()->Close(fd), 0);
+  errno = 0;
+  // The destination (not the source) carries the filtered substring.
+  EXPECT_EQ(Io::Get()->Rename(tmp.c_str(), Path("final.dat").c_str()), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_TRUE(fs::exists(tmp));  // the rename really was suppressed
+}
+
+TEST_F(FaultIoTest, ShortWriteHalvesTheCountInsteadOfFailing) {
+  ScopedFaultIo io(MustParse("short_write@1"));
+  const std::string path = Path("short");
+  const int fd = OpenForWrite(path);
+  const char data[8] = {'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+  EXPECT_EQ(Io::Get()->Write(fd, data, sizeof(data)),
+            static_cast<long>(sizeof(data) / 2));
+  EXPECT_EQ(Io::Get()->Write(fd, data + 4, 4), 4);  // fired once only
+  EXPECT_EQ(Io::Get()->Close(fd), 0);
+  EXPECT_EQ(io->injected_for(FaultOp::kShortWrite), 1u);
+  EXPECT_EQ(fs::file_size(path), 8u);
+}
+
+TEST_F(FaultIoTest, ProbabilisticFiringReplaysBitIdenticallyPerSeed) {
+  // Two instances of the same seeded schedule must fire on exactly the
+  // same calls — that is what makes a logged schedule reproducible.
+  constexpr int kCalls = 200;
+  auto fire_pattern = [&](const std::string& text) {
+    FaultInjectingIo io(MustParse(text));
+    Io::Install(&io);
+    const int fd = OpenForWrite(Path("prob"));
+    std::vector<bool> fired;
+    char byte = 'p';
+    for (int i = 0; i < kCalls; ++i) {
+      fired.push_back(Io::Get()->Write(fd, &byte, 1) < 0);
+    }
+    EXPECT_EQ(Io::Get()->Close(fd), 0);
+    Io::Install(nullptr);
+    return fired;
+  };
+  const auto a = fire_pattern("write%0.25=EIO,seed=7");
+  const auto b = fire_pattern("write%0.25=EIO,seed=7");
+  const auto c = fire_pattern("write%0.25=EIO,seed=8");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // a different seed draws a different pattern
+  const int fires = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, kCalls);
+}
+
+// --- Retry policy of the posix_io helpers -----------------------------------
+
+TEST_F(FaultIoTest, TransientErrnoClassifierIsNarrow) {
+  EXPECT_TRUE(IsTransientIoErrno(EINTR));
+  EXPECT_TRUE(IsTransientIoErrno(EAGAIN));
+  EXPECT_FALSE(IsTransientIoErrno(EIO));
+  EXPECT_FALSE(IsTransientIoErrno(ENOSPC));
+  EXPECT_FALSE(IsTransientIoErrno(0));
+}
+
+TEST_F(FaultIoTest, WriteFullyAbsorbsASingleEintr) {
+  const IoCounters before = ReadIoCounters();
+  ScopedFaultIo io(MustParse("write@1=EINTR"));
+  const std::string path = Path("eintr");
+  const int fd = OpenForWrite(path);
+  const std::string payload = "retry survives one interruption";
+  EXPECT_TRUE(WriteFully(fd, payload.data(), payload.size(), path).ok());
+  EXPECT_EQ(Io::Get()->Close(fd), 0);
+  EXPECT_EQ(fs::file_size(path), payload.size());
+  const IoCounters after = ReadIoCounters();
+  EXPECT_GE(after.retries, before.retries + 1);
+  EXPECT_EQ(after.retries_exhausted, before.retries_exhausted);
+}
+
+TEST_F(FaultIoTest, WriteFullySurfacesAPersistentEintrStormAtTheCap) {
+  const IoCounters before = ReadIoCounters();
+  // Probability 1: every attempt is interrupted, forever. The bounded
+  // retry budget must turn that into a reported EINTR error instead of an
+  // unbounded spin.
+  ScopedFaultIo io(MustParse("write%1=EINTR"));
+  const std::string path = Path("storm");
+  const int fd = OpenForWrite(path);
+  char byte = 's';
+  const Status st = WriteFully(fd, &byte, 1, path);
+  EXPECT_EQ(Io::Get()->Close(fd), 0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.sys_errno(), EINTR);
+  const IoCounters after = ReadIoCounters();
+  EXPECT_GE(after.retries, before.retries +
+                               static_cast<std::uint64_t>(
+                                   kMaxTransientIoAttempts - 1));
+  EXPECT_EQ(after.retries_exhausted, before.retries_exhausted + 1);
+}
+
+TEST_F(FaultIoTest, ReadErrorCarriesItsErrno) {
+  ScopedFaultIo io(MustParse("read@1=EIO"));
+  const std::string path = Path("readerr");
+  const int fd = OpenForWrite(path);
+  char buf[16];
+  std::size_t got = 0;
+  const Status st = ReadUpTo(fd, buf, sizeof(buf), &got, path);
+  EXPECT_EQ(Io::Get()->Close(fd), 0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.sys_errno(), EIO);
+}
+
+TEST_F(FaultIoTest, WriteFullyFinishesAScheduledShortWrite) {
+  // The continuation path: a shortened write must not lose the tail.
+  ScopedFaultIo io(MustParse("short_write@1"));
+  const std::string path = Path("short_full");
+  const int fd = OpenForWrite(path);
+  const std::string payload(64, 'z');
+  EXPECT_TRUE(WriteFully(fd, payload.data(), payload.size(), path).ok());
+  EXPECT_EQ(Io::Get()->Close(fd), 0);
+  EXPECT_EQ(fs::file_size(path), payload.size());
+  EXPECT_EQ(io->injected_for(FaultOp::kShortWrite), 1u);
+}
+
+TEST_F(FaultIoTest, InstallSwapsAndRestoresTheProcessGlobal) {
+  Io* original = Io::Get();
+  EXPECT_EQ(original, Io::Default());
+  FaultInjectingIo fault(MustParse("write@1=EIO"));
+  EXPECT_EQ(Io::Install(&fault), original);
+  EXPECT_EQ(Io::Get(), &fault);
+  EXPECT_EQ(Io::Install(nullptr), &fault);
+  EXPECT_EQ(Io::Get(), Io::Default());
+}
+
+}  // namespace
+}  // namespace sobc

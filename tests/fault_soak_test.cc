@@ -1,0 +1,454 @@
+// Fault-soak torture for the durability stack (DESIGN.md §12, the
+// capstone of the fault-injection layer): serve under injected I/O fault
+// schedules — targeted ones proving each rung of the health ladder, plus
+// a randomized matrix of deterministic schedules across all three
+// storage variants — then recover with faults cleared and differentially
+// verify the recovered scores against from-scratch Brandes on the
+// recovered prefix. A run may end Healthy, Degraded (checkpoints
+// suspended, WAL-only) or ReadOnly (writer dead), but it must never
+// hang, crash, or publish a wrong snapshot, and an epoch whose fsync
+// failed must never be reported durable.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bc/brandes.h"
+#include "bc/dynamic_bc.h"
+#include "common/fault_io.h"
+#include "common/io.h"
+#include "common/rng.h"
+#include "gen/stream_generators.h"
+#include "graph/graph_io.h"
+#include "server/bc_service.h"
+#include "tests/test_util.h"
+
+namespace sobc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testutil::ExpectScoresNear;
+using testutil::RandomConnectedGraph;
+
+constexpr double kTol = 1e-7;
+
+/// Installs a FaultInjectingIo for one serve phase; the destructor always
+/// restores the real Io before recovery runs.
+class ScopedFaultIo {
+ public:
+  explicit ScopedFaultIo(FaultSchedule schedule)
+      : io_(std::move(schedule)) {
+    Io::Install(&io_);
+  }
+  ~ScopedFaultIo() { Io::Install(nullptr); }
+
+  FaultInjectingIo* operator->() { return &io_; }
+
+ private:
+  FaultInjectingIo io_;
+};
+
+FaultSchedule MustParse(const std::string& text) {
+  auto schedule = FaultSchedule::Parse(text);
+  EXPECT_TRUE(schedule.ok()) << schedule.status().ToString();
+  return *schedule;
+}
+
+/// Exact (bitwise) score equality — the sharper differential guarantee of
+/// the byte-copied out-of-core store under a serial writer.
+void ExpectScoresIdentical(const ScoreSnapshot& expected,
+                           const ScoreSnapshot& actual,
+                           const std::string& label) {
+  ASSERT_EQ(expected.vbc.size(), actual.vbc.size()) << label;
+  for (std::size_t v = 0; v < expected.vbc.size(); ++v) {
+    EXPECT_EQ(expected.vbc[v], actual.vbc[v])
+        << label << ": vbc differs at " << v;
+  }
+}
+
+class FaultSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/sobc_fault_soak_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    Io::Install(nullptr);  // belt and braces if a test aborted mid-scope
+    fs::remove_all(root_);
+  }
+
+  std::string Fresh(const std::string& name) {
+    const std::string path = root_ + "/" + name;
+    fs::remove_all(path);
+    return path;
+  }
+
+  BcServiceOptions DurableOptions(const std::string& tag, BcVariant variant,
+                                  std::size_t checkpoint_every,
+                                  std::size_t fsync_every) {
+    BcServiceOptions options;
+    options.queue.max_batch = 8;
+    options.queue.batch_latency_budget_seconds = 0.002;
+    options.bc.variant = variant;
+    if (variant == BcVariant::kOutOfCore) {
+      options.bc.storage_path = Fresh(tag + "_live.bd");
+      options.bc.cache_mb = 4;
+    }
+    options.durability.wal_dir = Fresh(tag + "_wal");
+    options.durability.checkpoint_dir = Fresh(tag + "_ckpt");
+    options.durability.checkpoint_every_updates = checkpoint_every;
+    options.durability.wal_fsync_every = fsync_every;
+    return options;
+  }
+
+  BcServiceOptions RecoverOptions(const BcServiceOptions& run_options,
+                                  const std::string& tag) {
+    BcServiceOptions options;
+    options.durability.wal_dir = run_options.durability.wal_dir;
+    options.durability.checkpoint_dir = run_options.durability.checkpoint_dir;
+    options.bc.storage_path = Fresh(tag + "_recovered.bd");
+    return options;
+  }
+
+  static Graph GraphAtPosition(const Graph& base, const EdgeStream& stream,
+                               std::uint64_t position) {
+    Graph graph = base;
+    for (std::uint64_t i = 0; i < position; ++i) {
+      EXPECT_TRUE(ApplyToGraph(&graph, stream[i]).ok());
+    }
+    return graph;
+  }
+
+  std::string root_;
+};
+
+// --- Targeted ladder rungs --------------------------------------------------
+
+TEST_F(FaultSoakTest, CheckpointEnospcDegradesServiceButServingContinues) {
+  Rng rng(11);
+  const Graph base = RandomConnectedGraph(30, 22, &rng);
+  EdgeStream stream = MixedUpdateStream(base, 36, 0.3, &rng);
+  BcServiceOptions options =
+      DurableOptions("degrade", BcVariant::kMemory, /*checkpoint_every=*/10,
+                     /*fsync_every=*/0);
+  auto service = BcService::Create(base, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  {
+    // Armed after bring-up, so the initial checkpoint is real; the FIRST
+    // fsync under the checkpoint dir — the next background checkpoint —
+    // hits ENOSPC.
+    ScopedFaultIo fault(MustParse("fsync~ckpt@1=ENOSPC"));
+    const std::size_t half = stream.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE((*service)->Submit(stream[i]));
+    }
+    ASSERT_TRUE((*service)->Drain().ok());
+    // Let the background checkpoint fail, then let the writer observe it
+    // on the next batch.
+    (void)(*service)->QuiesceCheckpoints();
+    for (std::size_t i = half; i < stream.size(); ++i) {
+      ASSERT_TRUE((*service)->Submit(stream[i]))
+          << "degraded mode must keep accepting updates";
+    }
+    ASSERT_TRUE((*service)->Drain().ok());
+    EXPECT_EQ((*service)->health(), ServiceHealth::kDegraded);
+    EXPECT_EQ(fault->injected_for(FaultOp::kFsync), 1u);
+
+    const ServeMetricsSnapshot metrics = (*service)->metrics();
+    EXPECT_EQ(metrics.health, "degraded");
+    EXPECT_EQ(metrics.health_state, 1u);
+    EXPECT_EQ(metrics.checkpoints_suspended, 1u);
+    EXPECT_GE(metrics.io_faults_injected, 1u);
+    EXPECT_FALSE(metrics.last_error.empty());
+    EXPECT_EQ((*service)->last_error().sys_errno(), ENOSPC);
+
+    const auto snap = (*service)->snapshot();
+    EXPECT_EQ(snap->stream_position, stream.size());
+    // WAL-only serving stayed correct the whole time.
+    ExpectScoresNear(ComputeBrandes(GraphAtPosition(base, stream,
+                                                    stream.size())),
+                     BcScores{snap->vbc, snap->ebc}, kTol, "degraded live");
+    // Degraded Stop skips the final checkpoint and reports the cause.
+    EXPECT_FALSE((*service)->Stop().ok());
+  }
+
+  // Faults cleared: recovery replays the whole WAL (no post-degrade
+  // checkpoint exists) and lands on the truth.
+  RecoveryInfo info;
+  auto recovered =
+      BcService::Recover(RecoverOptions(options, "degrade"), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(info.recovered_stream_position, stream.size());
+  const auto snap = (*recovered)->snapshot();
+  ExpectScoresNear(ComputeBrandes(GraphAtPosition(base, stream,
+                                                  stream.size())),
+                   BcScores{snap->vbc, snap->ebc}, kTol, "post-degrade");
+  EXPECT_TRUE((*recovered)->Stop().ok());
+}
+
+TEST_F(FaultSoakTest, WalFsyncFailureIsFatalAndNeverReportsTheEpochDurable) {
+  Rng rng(12);
+  const Graph base = RandomConnectedGraph(30, 22, &rng);
+  EdgeStream stream = MixedUpdateStream(base, 24, 0.3, &rng);
+  BcServiceOptions options =
+      DurableOptions("fsyncgate", BcVariant::kMemory, /*checkpoint_every=*/0,
+                     /*fsync_every=*/1);
+  auto service = BcService::Create(base, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const std::uint64_t epoch_before = (*service)->snapshot()->epoch;
+  {
+    ScopedFaultIo fault(MustParse("fdatasync@1=EIO"));
+    (void)(*service)->SubmitAll(stream);
+    // The first batch sync fails: fsyncgate — the segment is poisoned, the
+    // writer dies, and the service lands ReadOnly.
+    const Status drain = (*service)->Drain();
+    ASSERT_FALSE(drain.ok());
+    EXPECT_EQ(drain.code(), StatusCode::kIOError);
+    EXPECT_EQ(drain.sys_errno(), EIO);
+    EXPECT_EQ((*service)->health(), ServiceHealth::kReadOnly);
+    EXPECT_GE(fault->injected_for(FaultOp::kFdatasync), 1u);
+
+    // ReadOnly: Submit fails fast, snapshots still serve.
+    EXPECT_FALSE((*service)->Submit(stream[0]));
+    const auto snap = (*service)->snapshot();
+    EXPECT_EQ(snap->epoch, epoch_before);
+
+    const ServeMetricsSnapshot metrics = (*service)->metrics();
+    EXPECT_EQ(metrics.health, "readonly");
+    EXPECT_EQ(metrics.health_state, 2u);
+    EXPECT_FALSE(metrics.last_error.empty());
+    // The acceptance bar of the issue: the epoch whose fsync failed must
+    // not be reported durable — the durable epoch froze before it.
+    EXPECT_LE(metrics.wal_last_durable_epoch, epoch_before);
+
+    // Stop reports the terminal writer status.
+    EXPECT_FALSE((*service)->Stop().ok());
+  }
+
+  // The unsynced bytes were still written (the fault failed the sync, not
+  // the write), so a clean-Io recovery may legally replay them; whatever
+  // prefix it lands on must be the truth of that prefix.
+  RecoveryInfo info;
+  auto recovered =
+      BcService::Recover(RecoverOptions(options, "fsyncgate"), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const auto snap = (*recovered)->snapshot();
+  const std::uint64_t position = info.recovered_stream_position;
+  EXPECT_LE(position, stream.size());
+  ExpectScoresNear(ComputeBrandes(GraphAtPosition(base, stream, position)),
+                   BcScores{snap->vbc, snap->ebc}, kTol, "post-fsyncgate");
+  EXPECT_TRUE((*recovered)->Stop().ok());
+}
+
+TEST_F(FaultSoakTest, WatchdogSurfacesAStalledWriterInsteadOfHangingDrain) {
+  Rng rng(13);
+  const Graph base = RandomConnectedGraph(20, 14, &rng);
+  BcServiceOptions options;  // no durability needed for a stall
+  options.writer_stall_timeout_seconds = 0.05;
+  std::atomic<bool> stall_once{true};
+  options.writer_batch_hook = [&stall_once] {
+    if (stall_once.exchange(false)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+  };
+  auto service = BcService::Create(base, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE((*service)->Submit({0, 5, EdgeOp::kAdd, 0.0}));
+  const Status stalled = (*service)->Drain();
+  ASSERT_FALSE(stalled.ok());
+  EXPECT_EQ(stalled.code(), StatusCode::kInternal);
+  EXPECT_NE(stalled.message().find("stalled"), std::string::npos);
+  // The stall is recoverable: Drain keeps reporting it while the batch is
+  // stuck, and succeeds once it finishes — the watchdog reports, it never
+  // kills.
+  Status later = stalled;
+  for (int i = 0; i < 300 && !later.ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    later = (*service)->Drain();
+  }
+  EXPECT_TRUE(later.ok()) << later.ToString();
+  EXPECT_EQ((*service)->health(), ServiceHealth::kHealthy);
+  // The watchdog clears the flag on its next poll after the batch ends.
+  ServeMetricsSnapshot metrics = (*service)->metrics();
+  for (int i = 0; i < 100 && metrics.writer_stalled != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    metrics = (*service)->metrics();
+  }
+  EXPECT_EQ(metrics.health, "healthy");
+  EXPECT_EQ(metrics.writer_stalled, 0u);
+  EXPECT_TRUE((*service)->Stop().ok());
+}
+
+TEST_F(FaultSoakTest, ShortWritesAndTransientErrnosAreAbsorbedEndToEnd) {
+  // Shortened WAL/checkpoint writes and EINTR interruptions are the
+  // faults the retry/continuation machinery must swallow: the run stays
+  // Healthy and the recovered scores are the full-stream truth.
+  Rng rng(14);
+  const Graph base = RandomConnectedGraph(30, 22, &rng);
+  EdgeStream stream = MixedUpdateStream(base, 30, 0.3, &rng);
+  BcServiceOptions options =
+      DurableOptions("absorb", BcVariant::kMemory, /*checkpoint_every=*/10,
+                     /*fsync_every=*/1);
+  auto service = BcService::Create(base, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  {
+    ScopedFaultIo fault(
+        MustParse("short_write%0.4,write%0.05=EINTR,seed=99"));
+    EXPECT_EQ((*service)->SubmitAll(stream), stream.size());
+    ASSERT_TRUE((*service)->Drain().ok());
+    EXPECT_EQ((*service)->health(), ServiceHealth::kHealthy);
+    EXPECT_GE(fault->faults_injected(), 1u);
+    EXPECT_TRUE((*service)->Stop().ok());
+  }
+  RecoveryInfo info;
+  auto recovered =
+      BcService::Recover(RecoverOptions(options, "absorb"), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(info.replayed_batches, 0u);  // the clean shutdown checkpointed
+  const auto snap = (*recovered)->snapshot();
+  ExpectScoresNear(ComputeBrandes(GraphAtPosition(base, stream,
+                                                  stream.size())),
+                   BcScores{snap->vbc, snap->ebc}, kTol, "post-absorb");
+  EXPECT_TRUE((*recovered)->Stop().ok());
+}
+
+// --- Randomized schedule matrix ---------------------------------------------
+
+/// A deterministic random schedule for iteration `seed`: one or two specs
+/// over the durability stack's operation classes, biased toward nth-call
+/// triggers, with the seed embedded so any failure is reproducible from
+/// the SCOPED_TRACE output alone.
+std::string RandomSchedule(std::uint64_t seed) {
+  Rng rng(seed * 2654435761ull + 17);
+  static const char* kOps[] = {"write",     "short_write", "read",
+                               "fsync",     "fdatasync",   "rename",
+                               "unlink",    "open"};
+  static const char* kErrnos[] = {"EIO", "ENOSPC"};
+  static const char* kFilters[] = {"", "wal", "ckpt"};
+  const int n = 1 + static_cast<int>(rng.Uniform(2));
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    if (!text.empty()) text += ",";
+    const char* op = kOps[rng.Uniform(8)];
+    text += op;
+    const char* filter = kFilters[rng.Uniform(3)];
+    if (*filter != '\0') {
+      text += "~";
+      text += filter;
+    }
+    if (rng.Chance(0.7)) {
+      text += "@" + std::to_string(1 + rng.Uniform(12));
+    } else {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%%0.%02d",
+                    2 + static_cast<int>(rng.Uniform(10)));
+      text += buf;
+    }
+    if (std::string(op) != "short_write") {
+      text += "=";
+      text += kErrnos[rng.Uniform(2)];
+    }
+  }
+  text += ",seed=" + std::to_string(seed);
+  return text;
+}
+
+TEST_F(FaultSoakTest, RandomizedScheduleMatrixAlwaysRecoversToTheTruth) {
+  const struct {
+    BcVariant variant;
+    const char* tag;
+  } variants[] = {
+      {BcVariant::kMemory, "mo"},
+      {BcVariant::kMemoryPredecessors, "mp"},
+      {BcVariant::kOutOfCore, "do"},
+  };
+  std::set<std::string> schedules;
+  for (const auto& v : variants) {
+    for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+      const std::string tag =
+          std::string(v.tag) + "_s" + std::to_string(seed);
+      const std::string schedule_text =
+          RandomSchedule(seed * 10 + (v.variant == BcVariant::kMemory  ? 0
+                                      : v.variant == BcVariant::kOutOfCore
+                                          ? 2
+                                          : 1));
+      SCOPED_TRACE(tag + " schedule: " + schedule_text);
+      schedules.insert(schedule_text);
+
+      Rng rng(seed * 977 + 5);
+      const Graph base = RandomConnectedGraph(28, 20, &rng);
+      EdgeStream stream = MixedUpdateStream(base, 36, 0.3, &rng);
+      BcServiceOptions options = DurableOptions(
+          tag, v.variant, /*checkpoint_every=*/12, /*fsync_every=*/1);
+      auto service = BcService::Create(base, options);
+      ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+      std::size_t accepted = 0;
+      ServiceHealth health = ServiceHealth::kHealthy;
+      std::shared_ptr<const ScoreSnapshot> live;
+      {
+        ScopedFaultIo fault(MustParse(schedule_text));
+        accepted = (*service)->SubmitAll(stream);
+        const Status drain = (*service)->Drain();
+        live = (*service)->snapshot();
+        const Status stop = (*service)->Stop();
+        health = (*service)->health();
+        if (!drain.ok() || !stop.ok()) {
+          // A failed run must be a REPORTED failure: off the Healthy rung
+          // with the cause recorded — never a silent wrong answer.
+          EXPECT_NE(health, ServiceHealth::kHealthy);
+          EXPECT_FALSE((*service)->last_error().ok());
+        }
+        if (health == ServiceHealth::kReadOnly) {
+          EXPECT_FALSE((*service)->Submit(stream[0]))
+              << "ReadOnly must reject Submit fast";
+        }
+        // Whatever happened, the published snapshot is a legal prefix.
+        EXPECT_LE(live->stream_position, accepted);
+      }
+
+      // Faults cleared: recovery must always succeed and land on the
+      // exact betweenness of the recovered prefix.
+      RecoveryInfo info;
+      auto recovered =
+          BcService::Recover(RecoverOptions(options, tag), &info);
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      const auto snap = (*recovered)->snapshot();
+      const std::uint64_t position = info.recovered_stream_position;
+      EXPECT_LE(position, accepted);
+      EXPECT_EQ(snap->stream_position, position);
+      ExpectScoresNear(ComputeBrandes(GraphAtPosition(base, stream,
+                                                      position)),
+                       BcScores{snap->vbc, snap->ebc}, kTol,
+                       "brandes @" + std::to_string(position));
+      if (position == live->stream_position) {
+        // Recovery landed exactly on the live run's published prefix; for
+        // the serial out-of-core variant that means bit-identical scores.
+        if (v.variant == BcVariant::kOutOfCore) {
+          ExpectScoresIdentical(*live, *snap, "do bit-identity");
+        } else {
+          ExpectScoresNear(BcScores{live->vbc, live->ebc},
+                           BcScores{snap->vbc, snap->ebc}, kTol,
+                           "live vs recovered");
+        }
+      }
+      EXPECT_TRUE((*recovered)->Stop().ok());
+    }
+  }
+  // The acceptance bar: at least 25 distinct injected-fault schedules,
+  // every one ending in a verified recovery.
+  EXPECT_GE(schedules.size(), 25u);
+}
+
+}  // namespace
+}  // namespace sobc

@@ -170,6 +170,126 @@ TEST(UpdateQueue, CloseUnblocksProducerAndDrainsRemainder) {
   EXPECT_FALSE(queue.PopBatch(&batch));  // closed and empty: exit signal
 }
 
+TEST(UpdateQueue, SetCapacityTightensNewPushesWithoutDroppingQueued) {
+  UpdateQueueOptions options;
+  options.capacity = 8;
+  options.drop_when_full = true;
+  options.coalesce = false;
+  UpdateQueue queue(options);
+  for (VertexId i = 0; i < 6; ++i) ASSERT_TRUE(queue.Push(Add(i, i + 10)));
+  queue.SetCapacity(2);  // below the current depth of 6
+  EXPECT_EQ(queue.capacity(), 2u);
+  EXPECT_FALSE(queue.Push(Add(90, 91)));  // new pushes see the tight bound
+  std::size_t drained = 0;
+  DrainedBatch batch;
+  while (queue.depth() > 0 && queue.PopBatch(&batch)) {
+    drained += batch.consumed;  // nothing queued was dropped
+  }
+  EXPECT_EQ(drained, 6u);
+  EXPECT_EQ(queue.stats().dropped, 1u);
+  queue.SetCapacity(0);  // clamps to 1 instead of wedging every producer
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.Push(Add(92, 93)));
+}
+
+TEST(UpdateQueue, CloseRacingDropModeProducersNeverOvercounts) {
+  // Drop mode under a mid-burst Close: every Push returns promptly (drop
+  // mode never blocks), and the accepted count — the number of true
+  // returns — must exactly equal what the stats report and what drains
+  // out. An overcount here would become a Drain target the writer can
+  // never reach.
+  UpdateQueueOptions options;
+  options.capacity = 8;
+  options.drop_when_full = true;
+  options.coalesce = false;
+  UpdateQueue queue(options);
+  constexpr int kProducers = 4;
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::size_t> attempted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      // Push until Close lands mid-burst, so the close genuinely races
+      // live producers.
+      for (VertexId i = 0; !queue.closed(); ++i) {
+        attempted.fetch_add(1);
+        if (queue.Push(
+                Add(static_cast<VertexId>(p) * 1000000 + i,
+                    static_cast<VertexId>(100000 + p)))) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::size_t drained = 0;
+  DrainedBatch batch;
+  std::thread consumer([&] {
+    // Drain a little, close mid-burst, then drain the remainder.
+    for (int i = 0; i < 3 && queue.PopBatch(&batch); ++i) {
+      drained += batch.consumed;
+    }
+    queue.Close();
+    while (queue.PopBatch(&batch)) drained += batch.consumed;
+  });
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  const UpdateQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.received, accepted.load());
+  EXPECT_EQ(drained, accepted.load());
+  EXPECT_LE(stats.dropped, attempted.load() - accepted.load());
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(UpdateQueue, CloseRacingBlockedProducersUnblocksAndAccountsExactly) {
+  // Block mode: producers wedge against a tiny capacity while the
+  // consumer drains slowly, then Close lands mid-flight. No Push may
+  // block forever afterwards, and the accepted count must equal exactly
+  // what drains out — rejected pushes leave no residue.
+  UpdateQueueOptions options;
+  options.capacity = 2;
+  options.coalesce = false;
+  UpdateQueue queue(options);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  std::atomic<std::size_t> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.Push(Add(static_cast<VertexId>(p * kPerProducer + i),
+                           static_cast<VertexId>(200000 + p)))) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::size_t drained = 0;
+  DrainedBatch batch;
+  std::thread consumer([&] {
+    for (int i = 0; i < 5 && queue.PopBatch(&batch); ++i) {
+      drained += batch.consumed;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    queue.Close();  // producers blocked in Push must all return false now
+    while (queue.PopBatch(&batch)) drained += batch.consumed;
+  });
+  // If Close failed to unblock a producer, these joins would hang the
+  // test — the absence of a timeout is the assertion.
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  const UpdateQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.received, accepted.load());
+  EXPECT_EQ(drained, accepted.load());
+  // Block mode rejects only at close; every rejection is accounted as a
+  // drop, so attempted == accepted + dropped with nothing lost in between.
+  EXPECT_EQ(stats.dropped,
+            static_cast<std::uint64_t>(kProducers * kPerProducer) -
+                accepted.load());
+  EXPECT_FALSE(queue.Push(Add(1, 2)));  // closed stays closed
+}
+
 TEST(UpdateQueue, MultiProducerCountsAddUp) {
   UpdateQueueOptions options;
   options.capacity = 64;

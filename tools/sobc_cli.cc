@@ -31,6 +31,7 @@
 //            [--cache-mb=M] [--no-prefetch] [--top=K] [--seed=S]
 //            [--json=report.json] [--wal-dir=D] [--checkpoint-dir=D]
 //            [--checkpoint-every=N] [--checkpoint-interval=S] [--fsync=N]
+//            [--fault-schedule=SPEC]
 //       Live serving loop (src/server): a writer thread drains coalesced
 //       batches — fanning each batch's source work across T apply workers
 //       — while R reader threads query top-k snapshots lock-free; prints
@@ -40,7 +41,12 @@
 //       --wal-dir makes the deployment durable: every accepted batch is
 //       logged before apply (fdatasync every --fsync batches; 0 = never)
 //       and checkpoints commit every N updates / S seconds. A killed
-//       durable serve is restarted with `recover`.
+//       durable serve is restarted with `recover`. --fault-schedule arms
+//       deterministic I/O fault injection after bring-up (grammar in
+//       common/fault_io.h, e.g. "fdatasync@2=EIO,fsync~ckpt%0.5=ENOSPC");
+//       serve exits non-zero when the service ends a run degraded or
+//       read-only, printing the health state and the writer's final
+//       status.
 //   sobc_cli recover --wal-dir=D [--checkpoint-dir=D] [--store=live.bd]
 //            [--threads=T] [--no-prefilter] [--cache-mb=M] [--no-prefetch]
 //            [--top=K] [--out=scores.tsv] [--json=report.json]
@@ -67,6 +73,8 @@
 #include "bc/brandes.h"
 #include "bc/dynamic_bc.h"
 #include "bc/score_io.h"
+#include "common/fault_io.h"
+#include "common/io.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "gen/dataset_profiles.h"
@@ -113,6 +121,8 @@ struct CliArgs {
   std::size_t checkpoint_every = 0;
   double checkpoint_interval = 0.0;
   std::size_t kill_after = 0;
+  // fault injection (serve): armed after bring-up, see CmdServe
+  std::string fault_schedule;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -186,6 +196,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->checkpoint_interval = std::strtod(arg.c_str() + 22, nullptr);
     } else if (arg.rfind("--kill-after=", 0) == 0) {
       args->kill_after = std::strtoul(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--fault-schedule=", 0) == 0) {
+      args->fault_schedule = arg.substr(17);
     } else if (arg.rfind("--json=", 0) == 0) {
       args->json_path = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
@@ -458,6 +470,20 @@ int CmdServe(const CliArgs& args) {
               init_timer.Seconds(), args.batch, args.budget_ms,
               args.coalesce ? "on" : "off", args.readers, args.threads,
               args.prefilter ? "on" : "off");
+  if (!args.fault_schedule.empty()) {
+    auto schedule = FaultSchedule::Parse(args.fault_schedule);
+    if (!schedule.ok()) {
+      std::fprintf(stderr, "%s\n", schedule.status().ToString().c_str());
+      return 2;
+    }
+    // Armed only now, after bring-up, so the schedule's counts target
+    // serving I/O, not Create's initial checkpoint. Deliberately leaked:
+    // the process-global Io must outlive every later syscall.
+    auto* fault_io = new FaultInjectingIo(std::move(*schedule));
+    Io::Install(fault_io);
+    std::printf("fault injection armed: %s\n",
+                fault_io->schedule().ToString().c_str());
+  }
 
   // Reader threads hammer the snapshot head with top-k queries while the
   // writer refreshes — the concurrent scenario the subsystem exists for.
@@ -491,11 +517,24 @@ int CmdServe(const CliArgs& args) {
   if (!drain_status.ok()) {
     std::fprintf(stderr, "serve failed: %s\n",
                  drain_status.ToString().c_str());
-    (void)(*service)->Stop();
+    const Status final_status = (*service)->Stop();
+    std::fprintf(stderr, "service health: %s; writer status: %s\n",
+                 ServiceHealthName((*service)->health()),
+                 final_status.ToString().c_str());
     return 1;
   }
   if (Status st = (*service)->Stop(); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::fprintf(stderr, "%s\nservice health: %s\n", st.ToString().c_str(),
+                 ServiceHealthName((*service)->health()));
+    return 1;
+  }
+  if ((*service)->health() != ServiceHealth::kHealthy) {
+    // Degraded or read-only at shutdown is an operator-visible failure
+    // even when every accepted update drained: checkpoints were lost or
+    // the writer died after the drain target was met.
+    std::fprintf(stderr, "service health: %s (%s)\n",
+                 ServiceHealthName((*service)->health()),
+                 (*service)->last_error().ToString().c_str());
     return 1;
   }
   // Stop() flushed the store; the footprint below reflects the serve run.
@@ -627,7 +666,14 @@ int CmdRecover(const CliArgs& args) {
   // Stop commits the clean-shutdown checkpoint, so the next start (or the
   // next recover) replays nothing.
   if (Status st = (*service)->Stop(); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::fprintf(stderr, "%s\nservice health: %s\n", st.ToString().c_str(),
+                 ServiceHealthName((*service)->health()));
+    return 1;
+  }
+  if ((*service)->health() != ServiceHealth::kHealthy) {
+    std::fprintf(stderr, "service health: %s (%s)\n",
+                 ServiceHealthName((*service)->health()),
+                 (*service)->last_error().ToString().c_str());
     return 1;
   }
   std::printf("clean-shutdown checkpoint committed at epoch %llu\n",
@@ -757,7 +803,8 @@ int Usage() {
                "[--store=f.bd] [--store-codec=raw|delta] [--cache-mb=M] "
                "[--no-prefetch] [--top=K] [--seed=S] [--json=report.json] "
                "[--wal-dir=D] [--checkpoint-dir=D] [--checkpoint-every=N] "
-               "[--checkpoint-interval=S] [--fsync=N]\n"
+               "[--checkpoint-interval=S] [--fsync=N] "
+               "[--fault-schedule=SPEC]\n"
                "       sobc_cli recover --wal-dir=D [--checkpoint-dir=D] "
                "[--store=live.bd] [--threads=T] [--no-prefilter] "
                "[--cache-mb=M] [--no-prefetch] [--top=K] [--out=f.tsv] "
