@@ -1,0 +1,196 @@
+// Cluster benchmark: drives the replicating coordinator over real
+// in-process shard workers on loopback TCP at 1, 2 and 4 shards, plus a
+// single-process BcService baseline on the same churn stream. Emits
+// BENCH_cluster.json — per-shard-count update throughput and the
+// replicate+merge+publish batch latency (the coordinator's per-batch wall
+// time: fan-out, ack collection, score-reduce merge, snapshot publish) —
+// so the replication overhead trajectory is tracked across PRs.
+//
+// Env knobs: SOBC_CLUSTER_VERTICES (default 512), SOBC_CLUSTER_UPDATES
+// (default 2000), SOBC_CLUSTER_POOL (default 16), SOBC_CLUSTER_OUT
+// (default BENCH_cluster.json).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/shard_worker.h"
+#include "cluster/transport.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "server/bc_service.h"
+
+namespace sobc {
+namespace {
+
+struct RunResult {
+  std::size_t shards = 0;  // 0 = single-process baseline
+  double wall_seconds = 0.0;
+  double updates_per_second = 0.0;
+  std::uint64_t final_epoch = 0;
+  ServeMetricsSnapshot metrics;
+};
+
+void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+RunResult RunSingleProcess(const Graph& graph, const EdgeStream& stream) {
+  BcServiceOptions options;
+  options.queue.max_batch = 64;
+  options.queue.batch_latency_budget_seconds = 0.0005;
+  auto service = BcService::Create(graph, options);
+  if (!service.ok()) Die("create", service.status());
+  WallTimer timer;
+  const std::size_t accepted = (*service)->SubmitAll(stream);
+  if (Status st = (*service)->Drain(); !st.ok()) Die("drain", st);
+  RunResult result;
+  result.wall_seconds = timer.Seconds();
+  result.updates_per_second =
+      result.wall_seconds > 0 ? accepted / result.wall_seconds : 0.0;
+  result.final_epoch = (*service)->final_epoch();
+  result.metrics = (*service)->metrics();
+  if (Status st = (*service)->Stop(); !st.ok()) Die("stop", st);
+  return result;
+}
+
+RunResult RunCluster(const Graph& graph, const EdgeStream& stream,
+                     std::size_t shards) {
+  TcpTransport transport;
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<std::string> addresses;
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardWorkerOptions options;
+    options.shard_index = i;
+    options.shard_count = shards;
+    auto worker =
+        ShardWorker::Start(Graph(graph), &transport, "127.0.0.1:0", options);
+    if (!worker.ok()) Die("shard start", worker.status());
+    addresses.push_back((*worker)->address());
+    workers.push_back(std::move(*worker));
+  }
+  ClusterCoordinatorOptions options;
+  options.queue.max_batch = 64;
+  options.queue.batch_latency_budget_seconds = 0.0005;
+  auto coordinator = ClusterCoordinator::Connect(Graph(graph), addresses,
+                                                 &transport, options);
+  if (!coordinator.ok()) Die("coordinator connect", coordinator.status());
+  WallTimer timer;
+  const std::size_t accepted = (*coordinator)->SubmitAll(stream);
+  if (Status st = (*coordinator)->Drain(); !st.ok()) Die("drain", st);
+  RunResult result;
+  result.shards = shards;
+  result.wall_seconds = timer.Seconds();
+  result.updates_per_second =
+      result.wall_seconds > 0 ? accepted / result.wall_seconds : 0.0;
+  result.final_epoch = (*coordinator)->final_epoch();
+  result.metrics = (*coordinator)->metrics();
+  if (Status st = (*coordinator)->Stop(); !st.ok()) Die("stop", st);
+  for (auto& worker : workers) {
+    if (Status st = worker->Stop(); !st.ok()) Die("shard stop", st);
+  }
+  return result;
+}
+
+void AppendRun(std::string* out, const RunResult& run, bool trailing_comma) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"shards\": %zu, \"wall_seconds\": %.6f, "
+      "\"updates_per_second\": %.1f, \"final_epoch\": %llu, "
+      "\"p50_batch_seconds\": %.9g, \"p99_batch_seconds\": %.9g, "
+      "\"p50_update_latency_seconds\": %.9g}%s\n",
+      run.shards, run.wall_seconds, run.updates_per_second,
+      static_cast<unsigned long long>(run.final_epoch),
+      run.metrics.p50_batch_apply_seconds,
+      run.metrics.p99_batch_apply_seconds,
+      run.metrics.p50_update_latency_seconds, trailing_comma ? "," : "");
+  *out += buf;
+}
+
+void PrintRun(const char* label, const RunResult& run) {
+  std::printf("%-16s %8.0f updates/s, batch p50 %.3fms p99 %.3fms "
+              "(%llu epochs in %.2fs)\n",
+              label, run.updates_per_second,
+              1e3 * run.metrics.p50_batch_apply_seconds,
+              1e3 * run.metrics.p99_batch_apply_seconds,
+              static_cast<unsigned long long>(run.final_epoch),
+              run.wall_seconds);
+}
+
+int Main() {
+  const std::size_t n =
+      static_cast<std::size_t>(GetEnvInt("SOBC_CLUSTER_VERTICES", 512));
+  const std::size_t updates =
+      static_cast<std::size_t>(GetEnvInt("SOBC_CLUSTER_UPDATES", 2000));
+  const std::size_t pool =
+      static_cast<std::size_t>(GetEnvInt("SOBC_CLUSTER_POOL", 16));
+  const std::string out_path =
+      GetEnvString("SOBC_CLUSTER_OUT", "BENCH_cluster.json");
+
+  Rng rng(1234);
+  const Graph graph =
+      GenerateSocialGraph(n, SocialGraphParams::PaperDefaults(), &rng);
+  const EdgeStream stream = ChurnStream(graph, updates, pool, &rng);
+  if (stream.size() != updates) {
+    std::fprintf(stderr, "stream generation came up short (%zu/%zu)\n",
+                 stream.size(), updates);
+    return 1;
+  }
+  std::printf("cluster bench: %zu vertices, %zu edges, %zu churn updates "
+              "over a %zu-edge pool, loopback TCP\n",
+              graph.NumVertices(), graph.NumEdges(), stream.size(), pool);
+
+  const RunResult baseline = RunSingleProcess(graph, stream);
+  PrintRun("single-process", baseline);
+  std::vector<RunResult> runs;
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    runs.push_back(RunCluster(graph, stream, shards));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu-shard", shards);
+    PrintRun(label, runs.back());
+  }
+
+  std::string json = "{\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"bench\": \"cluster\",\n  \"vertices\": %zu,\n"
+                "  \"edges\": %zu,\n  \"updates\": %zu,\n"
+                "  \"churn_pool\": %zu,\n  \"single_process\": {\n",
+                graph.NumVertices(), graph.NumEdges(), stream.size(), pool);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"updates_per_second\": %.1f,\n"
+                "    \"p50_batch_seconds\": %.9g,\n"
+                "    \"p99_batch_seconds\": %.9g\n  },\n",
+                baseline.updates_per_second,
+                baseline.metrics.p50_batch_apply_seconds,
+                baseline.metrics.p99_batch_apply_seconds);
+  json += buf;
+  json += "  \"shards\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    AppendRun(&json, runs[i], i + 1 < runs.size());
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sobc
+
+int main() { return sobc::Main(); }

@@ -130,6 +130,10 @@ class DiskBdStore : public BdStore {
   Status Flush() override;
 
   RecordCodecId codec() const { return codec_id_; }
+  /// Raw partition limit from the file header — kInvalidVertex when the
+  /// partition is open-ended. source_end() clamps to the vertex count;
+  /// this does not, so a resumed shard can restore its scoping options.
+  VertexId source_limit() const { return limit_; }
   std::size_t vertex_capacity() const { return vertex_capacity_; }
   std::size_t record_capacity() const { return file_->layout().num_records; }
   const std::string& path() const { return file_->path(); }

@@ -1,5 +1,6 @@
 #include "bc/brandes.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.h"
@@ -105,11 +106,18 @@ BcScores ComputeBrandes(const Graph& graph, const BrandesOptions& options) {
 }
 
 Status InitializeFromScratch(const Graph& graph, const BrandesOptions& options,
-                             BdStore* store, BcScores* scores) {
+                             BdStore* store, BcScores* scores,
+                             VertexId source_begin, VertexId source_limit) {
   const std::size_t n = graph.NumVertices();
+  // vbc spans every vertex even for a partition: entries are partial sums
+  // over the owned sources, dense so shard partials merge elementwise.
   scores->vbc.assign(n, 0.0);
   scores->ebc.clear();
-  for (VertexId s = 0; s < n; ++s) {
+  const auto begin = static_cast<VertexId>(
+      std::min<std::size_t>(source_begin, n));
+  const auto end = static_cast<VertexId>(std::min<std::size_t>(
+      source_limit == kInvalidVertex ? n : source_limit, n));
+  for (VertexId s = begin; s < end; ++s) {
     SourceBcData data;
     BrandesSingleSource(graph, s, options, &data, scores);
     SOBC_RETURN_NOT_OK(store->PutInitial(s, std::move(data)));

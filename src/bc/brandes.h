@@ -43,10 +43,17 @@ BcScores ComputeBrandes(const Graph& graph, const BrandesOptions& options = {});
 void ComputeBrandesRange(const Graph& graph, VertexId begin, VertexId end,
                          const BrandesOptions& options, BcScores* scores);
 
-/// Step 1 of the framework (Figure 1): runs Brandes once and stores BD[s]
-/// for every source into `store`, accumulating full scores into `scores`.
+/// Step 1 of the framework (Figure 1): runs Brandes once per owned source
+/// and stores BD[s] into `store`, accumulating score partials into
+/// `scores`. The default range covers every source; a shard worker passes
+/// its partition [source_begin, source_limit) and gets the per-shard
+/// partial sums of the parallel embodiment (Section 5.2) — summing the
+/// partials over a covering set of shards reproduces the full scores.
+/// source_limit == kInvalidVertex means "through the last vertex".
 Status InitializeFromScratch(const Graph& graph, const BrandesOptions& options,
-                             BdStore* store, BcScores* scores);
+                             BdStore* store, BcScores* scores,
+                             VertexId source_begin = 0,
+                             VertexId source_limit = kInvalidVertex);
 
 }  // namespace sobc
 

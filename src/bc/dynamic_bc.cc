@@ -40,22 +40,28 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
   const std::size_t n = graph.NumVertices();
   std::unique_ptr<BdStore> store;
   PredMode pred_mode = PredMode::kScanNeighbors;
+  if (options.source_end != kInvalidVertex &&
+      options.source_end < options.source_begin) {
+    return Status::InvalidArgument("source_end precedes source_begin");
+  }
   switch (options.variant) {
     case BcVariant::kMemoryPredecessors:
       pred_mode = PredMode::kPredecessorLists;
-      store = std::make_unique<InMemoryBdStore>(pred_mode);
+      store = std::make_unique<InMemoryBdStore>(pred_mode, options.source_begin,
+                                                options.source_end);
       break;
     case BcVariant::kMemory:
-      store = std::make_unique<InMemoryBdStore>(pred_mode);
+      store = std::make_unique<InMemoryBdStore>(pred_mode, options.source_begin,
+                                                options.source_end);
       break;
     case BcVariant::kOutOfCore: {
       if (options.storage_path.empty()) {
         return Status::InvalidArgument(
             "kOutOfCore variant needs a storage_path");
       }
-      auto disk = DiskBdStore::Create(options.storage_path, n,
-                                      options.vertex_capacity, 0,
-                                      kInvalidVertex, MakeDiskOptions(options));
+      auto disk = DiskBdStore::Create(
+          options.storage_path, n, options.vertex_capacity,
+          options.source_begin, options.source_end, MakeDiskOptions(options));
       if (!disk.ok()) return disk.status();
       store = std::move(*disk);
       break;
@@ -78,8 +84,9 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
   BrandesOptions brandes;
   brandes.pred_mode = pred_mode;
   brandes.use_csr = options.use_csr;
-  SOBC_RETURN_NOT_OK(InitializeFromScratch(bc->graph_, brandes,
-                                           bc->store_.get(), &bc->scores_));
+  SOBC_RETURN_NOT_OK(InitializeFromScratch(
+      bc->graph_, brandes, bc->store_.get(), &bc->scores_,
+      options.source_begin, options.source_end));
   return bc;
 }
 
@@ -106,6 +113,11 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
   }
   DynamicBcOptions resolved = options;
   resolved.num_threads = ResolveThreads(options.num_threads);
+  // The store header is authoritative for the partition: a resumed shard
+  // must scope its source loop exactly as the deployment that wrote the
+  // file did, whatever the caller passed.
+  resolved.source_begin = (*disk)->source_begin();
+  resolved.source_end = (*disk)->source_limit();
   auto bc = std::unique_ptr<DynamicBc>(
       new DynamicBc(std::move(graph), std::move(*disk),
                     PredMode::kScanNeighbors, resolved));
@@ -190,19 +202,36 @@ Status DynamicBc::ApplyBatch(std::span<const EdgeUpdate> batch) {
 
 Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
   const std::size_t n = graph_.NumVertices();
+  // A scoped framework (cluster shard) walks only its owned partition;
+  // sources outside it belong to other shards and never enter this
+  // deployment's worklist or stats.
+  const auto owned_begin =
+      static_cast<VertexId>(std::min<std::size_t>(options_.source_begin, n));
+  const auto owned_end = static_cast<VertexId>(std::min<std::size_t>(
+      options_.source_end == kInvalidVertex ? n : options_.source_end, n));
+  const std::size_t owned = owned_end - owned_begin;
   if (options_.prefilter) {
     SOBC_RETURN_NOT_OK(
         prefilter_.Build(graph_, update, options_.use_csr, &worklist_));
+    if (owned != n) {
+      worklist_.erase(
+          std::remove_if(worklist_.begin(), worklist_.end(),
+                         [owned_begin, owned_end](VertexId s) {
+                           return s < owned_begin || s >= owned_end;
+                         }),
+          worklist_.end());
+    }
     // Prefiltered sources are skipped sources that never paid a BD probe;
     // they count into the same totals so the skipped/non-structural/
-    // structural partition of sources_total still adds up.
-    const auto skipped = static_cast<std::uint64_t>(n - worklist_.size());
+    // structural partition of sources_total still adds up (to the owned
+    // partition size, not the full vertex count, on a shard).
+    const auto skipped = static_cast<std::uint64_t>(owned - worklist_.size());
     last_stats_.sources_total += skipped;
     last_stats_.sources_skipped += skipped;
     last_stats_.sources_prefiltered += skipped;
   } else {
-    worklist_.resize(n);
-    std::iota(worklist_.begin(), worklist_.end(), VertexId{0});
+    worklist_.resize(owned);
+    std::iota(worklist_.begin(), worklist_.end(), owned_begin);
   }
   if (worklist_.empty()) return Status::OK();
   if (pool_ == nullptr) {

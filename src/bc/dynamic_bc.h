@@ -65,6 +65,16 @@ struct DynamicBcOptions {
   /// source_prefilter.h). Off = probe BD[s] per source, the paper's
   /// original discipline — kept selectable so the win stays measurable.
   bool prefilter = true;
+  /// Contiguous source partition [source_begin, source_end) this framework
+  /// owns — one shard's share of the cluster embodiment (Section 5.2). The
+  /// default owns every source. A scoped framework stores BD[s] and
+  /// accumulates score *partials* only for its owned sources; summing the
+  /// partials across a covering set of shards reproduces the full scores.
+  /// source_end == kInvalidVertex keeps the partition open-ended, adopting
+  /// every source the graph grows (give this to the last shard so new
+  /// vertex ids always have an owner).
+  VertexId source_begin = 0;
+  VertexId source_end = kInvalidVertex;
 };
 
 /// The full framework of Figure 1: Step 1 runs Brandes once to build BD[s]

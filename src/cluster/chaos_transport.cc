@@ -1,0 +1,92 @@
+#include "cluster/chaos_transport.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace sobc {
+
+namespace {
+
+/// Wraps one real connection with the plan in force when it was made.
+class ChaosConnection : public Connection {
+ public:
+  ChaosConnection(std::unique_ptr<Connection> inner, ChaosPlan plan)
+      : inner_(std::move(inner)), plan_(plan) {}
+
+  Status SendFrame(const std::string& payload) override {
+    if (broken_) {
+      return Status::IOError("chaos: connection to " + inner_->peer() +
+                             " is partitioned");
+    }
+    SOBC_RETURN_NOT_OK(inner_->SendFrame(payload));
+    ++sends_;
+    if (plan_.drop_after_sends > 0 && sends_ >= plan_.drop_after_sends) {
+      // The frame left, the ack never comes back: the classic lost-ack
+      // partition the exactly-once dedupe exists for.
+      broken_ = true;
+      inner_->Close();
+    }
+    return Status::OK();
+  }
+
+  Status RecvFrame(std::string* payload, double timeout_seconds) override {
+    if (broken_) {
+      return Status::IOError("chaos: connection to " + inner_->peer() +
+                             " is partitioned");
+    }
+    if (plan_.recv_delay_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(plan_.recv_delay_seconds));
+    }
+    return inner_->RecvFrame(payload, timeout_seconds);
+  }
+
+  std::string peer() const override { return inner_->peer(); }
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<Connection> inner_;
+  ChaosPlan plan_;
+  std::size_t sends_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace
+
+void ChaosTransport::SetPlan(const std::string& address,
+                             const ChaosPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_[address] = AddressState{plan, 0};
+}
+
+Result<std::unique_ptr<Listener>> ChaosTransport::Listen(
+    const std::string& address) {
+  return inner_->Listen(address);
+}
+
+Result<std::unique_ptr<Connection>> ChaosTransport::Connect(
+    const std::string& address, double timeout_seconds) {
+  ChaosPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = state_.find(address);
+    if (it != state_.end()) {
+      if (it->second.connects_failed < it->second.plan.fail_connects) {
+        ++it->second.connects_failed;
+        return Status::IOError("chaos: shard " + address +
+                               " is unreachable");
+      }
+      plan = it->second.plan;
+      // Connect-failure budget spent; later connections still carry the
+      // frame-level plan (delay / drop counters restart per connection).
+      plan.fail_connects = 0;
+    }
+  }
+  auto conn = inner_->Connect(address, timeout_seconds);
+  if (!conn.ok()) return conn.status();
+  return std::unique_ptr<Connection>(
+      new ChaosConnection(std::move(*conn), plan));
+}
+
+}  // namespace sobc

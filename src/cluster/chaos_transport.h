@@ -1,0 +1,60 @@
+#ifndef SOBC_CLUSTER_CHAOS_TRANSPORT_H_
+#define SOBC_CLUSTER_CHAOS_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cluster/transport.h"
+
+namespace sobc {
+
+/// Faults a test injects against one shard address — the wire analog of
+/// common/fault_io.h, but at the transport seam: partitions (connections
+/// that die after N frames), unreachable shards (connects that fail), and
+/// slow shards (per-frame delay), all without touching a socket.
+struct ChaosPlan {
+  /// Fail the next N Connect() calls to this address (simulates a crashed
+  /// or partitioned-away shard between the coordinator's retries).
+  std::size_t fail_connects = 0;
+  /// Break the connection (both directions error from then on) after this
+  /// many successful SendFrames on it; 0 = never.
+  std::size_t drop_after_sends = 0;
+  /// Sleep this long before every frame receive (slow-shard emulation —
+  /// long enough values trip the coordinator's per-shard ack watchdog).
+  double recv_delay_seconds = 0.0;
+};
+
+/// A Transport decorator: every Listen/Connect goes to the inner (real)
+/// transport, but connections to an address with a plan misbehave as the
+/// plan says. Tests set plans from the test thread; connections consult
+/// the shared per-address state under a lock, so a plan set mid-stream
+/// applies to frames already in flight order.
+class ChaosTransport : public Transport {
+ public:
+  explicit ChaosTransport(Transport* inner) : inner_(inner) {}
+
+  /// Replaces the plan of `address`. The per-connection sent-frame
+  /// counters restart from zero for connections made after this call.
+  void SetPlan(const std::string& address, const ChaosPlan& plan);
+
+  Result<std::unique_ptr<Listener>> Listen(
+      const std::string& address) override;
+  Result<std::unique_ptr<Connection>> Connect(
+      const std::string& address, double timeout_seconds) override;
+
+ private:
+  struct AddressState {
+    ChaosPlan plan;
+    std::size_t connects_failed = 0;
+  };
+
+  Transport* inner_;
+  std::mutex mu_;
+  std::map<std::string, AddressState> state_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_CLUSTER_CHAOS_TRANSPORT_H_

@@ -1,0 +1,638 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/io.h"
+#include "parallel/score_reduce.h"
+
+namespace sobc {
+
+namespace {
+
+ClusterCoordinatorOptions ResolveOptions(
+    const ClusterCoordinatorOptions& options, const Graph& graph) {
+  ClusterCoordinatorOptions resolved = options;
+  resolved.queue.directed = graph.directed();
+  resolved.replay_window_batches =
+      std::max<std::size_t>(1, resolved.replay_window_batches);
+  return resolved;
+}
+
+std::string ShardName(std::uint32_t index, const std::string& address) {
+  return "shard " + std::to_string(index) + " (" + address + ")";
+}
+
+/// Receives one frame and requires it to be `want`; any transport error,
+/// decode error, or other message type comes back as a status.
+Status RecvExpect(Connection* conn, MsgType want, double timeout_seconds,
+                  std::string* payload) {
+  SOBC_RETURN_NOT_OK(conn->RecvFrame(payload, timeout_seconds));
+  auto type = PeekType(*payload);
+  SOBC_RETURN_NOT_OK(type.status());
+  if (*type != want) {
+    return Status::Internal(
+        "protocol desync: expected message type " +
+        std::to_string(static_cast<int>(want)) + ", got " +
+        std::to_string(static_cast<int>(*type)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ClusterCoordinator::ClusterCoordinator(
+    Graph graph, const ClusterCoordinatorOptions& options)
+    : options_(ResolveOptions(options, graph)),
+      graph_(std::move(graph)),
+      queue_(options_.queue) {}
+
+ClusterCoordinator::~ClusterCoordinator() { (void)Stop(); }
+
+Result<HelloAckMsg> ClusterCoordinator::Handshake(Connection* conn,
+                                                  const Graph& graph,
+                                                  double timeout_seconds) {
+  HelloMsg hello;
+  hello.num_vertices = graph.NumVertices();
+  hello.num_edges = graph.NumEdges();
+  hello.directed = graph.directed();
+  SOBC_RETURN_NOT_OK(conn->SendFrame(EncodeHello(hello)));
+  std::string payload;
+  SOBC_RETURN_NOT_OK(
+      RecvExpect(conn, MsgType::kHelloAck, timeout_seconds, &payload));
+  auto ack = DecodeHelloAck(payload);
+  SOBC_RETURN_NOT_OK(ack.status());
+  if (ack->protocol_version != kClusterProtocolVersion) {
+    return Status::FailedPrecondition(
+        "shard speaks cluster protocol v" +
+        std::to_string(ack->protocol_version) + ", coordinator speaks v" +
+        std::to_string(kClusterProtocolVersion));
+  }
+  return ack;
+}
+
+Result<std::unique_ptr<ClusterCoordinator>> ClusterCoordinator::Connect(
+    Graph graph, const std::vector<std::string>& shard_addresses,
+    Transport* transport, const ClusterCoordinatorOptions& options) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("cluster coordinator needs a transport");
+  }
+  const std::size_t num_shards = shard_addresses.size();
+  if (num_shards == 0) {
+    return Status::InvalidArgument("a cluster needs at least one shard");
+  }
+  auto coordinator = std::unique_ptr<ClusterCoordinator>(
+      new ClusterCoordinator(std::move(graph), options));
+  coordinator->transport_ = transport;
+  const ClusterCoordinatorOptions& resolved = coordinator->options_;
+
+  // Handshake every shard; order the roster by the index each one
+  // reports, not by the address list (an operator may list them in any
+  // order — the shard map is what must tile).
+  std::vector<Shard> roster(num_shards);
+  std::vector<bool> seen(num_shards, false);
+  for (const std::string& address : shard_addresses) {
+    auto conn =
+        transport->Connect(address, resolved.connect_timeout_seconds);
+    if (!conn.ok()) {
+      return Status(conn.status().code(),
+                    "connecting to shard " + address + ": " +
+                        conn.status().message());
+    }
+    auto ack = Handshake(conn->get(), coordinator->graph_,
+                         resolved.shard_ack_timeout_seconds);
+    if (!ack.ok()) {
+      return Status(ack.status().code(),
+                    "handshake with shard " + address + ": " +
+                        ack.status().message());
+    }
+    if (ack->shard_count != num_shards) {
+      return Status::FailedPrecondition(
+          "shard " + address + " was started for a " +
+          std::to_string(ack->shard_count) + "-shard cluster, coordinator has " +
+          std::to_string(num_shards) + " addresses");
+    }
+    if (ack->shard_index >= num_shards || seen[ack->shard_index]) {
+      return Status::FailedPrecondition(
+          "shard " + address + " reports index " +
+          std::to_string(ack->shard_index) +
+          ", which is out of range or already taken");
+    }
+    if (ack->num_vertices != coordinator->graph_.NumVertices() ||
+        ack->num_edges != coordinator->graph_.NumEdges() ||
+        ack->directed != coordinator->graph_.directed()) {
+      return Status::FailedPrecondition(
+          "graph signature mismatch with shard " + address +
+          ": it serves a different graph than the coordinator's replica");
+    }
+    if (static_cast<ServiceHealth>(ack->health) ==
+        ServiceHealth::kReadOnly) {
+      return Status::FailedPrecondition(
+          "shard " + address + " is read-only; restart it before bring-up");
+    }
+    Shard shard;
+    shard.address = address;
+    shard.index = ack->shard_index;
+    shard.range = ack->range;
+    shard.conn = std::move(*conn);
+    shard.epoch = ack->epoch;
+    shard.health = ack->health;
+    roster[ack->shard_index] = std::move(shard);
+    seen[ack->shard_index] = true;
+  }
+
+  std::vector<ShardRange> ranges;
+  ranges.reserve(num_shards);
+  for (const Shard& shard : roster) ranges.push_back(shard.range);
+  SOBC_RETURN_NOT_OK(
+      ValidateShardMap(ranges, coordinator->graph_.NumVertices()));
+  for (const Shard& shard : roster) {
+    if (shard.epoch != roster[0].epoch) {
+      return Status::FailedPrecondition(
+          "shards disagree on the replicated epoch at bring-up (" +
+          ShardName(shard.index, shard.address) + " is at epoch " +
+          std::to_string(shard.epoch) + ", shard 0 at " +
+          std::to_string(roster[0].epoch) +
+          "); re-bootstrap them from one checkpoint set");
+    }
+  }
+  coordinator->shards_ = std::move(roster);
+
+  // The bring-up merge: fetch every shard's current partial and publish
+  // the epoch the cluster stands at before accepting any update.
+  std::vector<BcScores> partials(num_shards);
+  std::uint64_t base_epoch = coordinator->shards_[0].epoch;
+  std::uint64_t base_position = 0;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    Shard& shard = coordinator->shards_[i];
+    SOBC_RETURN_NOT_OK(shard.conn->SendFrame(EncodeFetch()));
+    std::string payload;
+    SOBC_RETURN_NOT_OK(RecvExpect(shard.conn.get(), MsgType::kPartial,
+                                  resolved.shard_ack_timeout_seconds,
+                                  &payload));
+    auto partial = DecodePartial(payload);
+    SOBC_RETURN_NOT_OK(partial.status());
+    if (partial->epoch != base_epoch) {
+      return Status::FailedPrecondition(
+          ShardName(shard.index, shard.address) +
+          " moved between handshake and the bring-up fetch");
+    }
+    base_position = partial->stream_position;
+    partials[i] = std::move(partial->partial);
+    if (static_cast<ServiceHealth>(partial->health) ==
+        ServiceHealth::kDegraded) {
+      coordinator->EnterDegraded(Status::FailedPrecondition(
+          ShardName(shard.index, shard.address) +
+          " is degraded (checkpointing suspended shard-side)"));
+    }
+  }
+
+  // Merge pool: the reduce tree over p partials has floor(p/2)-way
+  // parallelism in its first round; tiny clusters merge serially.
+  if (resolved.merge_threads > 0) {
+    coordinator->merge_pool_ =
+        std::make_unique<ThreadPool>(resolved.merge_threads);
+  } else if (num_shards >= 4) {
+    coordinator->merge_pool_ = std::make_unique<ThreadPool>(num_shards / 2);
+  }
+
+  BcScores& merged = coordinator->MergePartials(&partials);
+  coordinator->snapshots_.Publish(BuildSnapshot(
+      coordinator->graph_, merged, base_epoch, base_position,
+      resolved.top_k, resolved.snapshot_edge_scores));
+  coordinator->metrics_.SeedPublication(base_epoch, base_position);
+  coordinator->base_epoch_ = base_epoch;
+  coordinator->base_position_ = base_position;
+  coordinator->final_epoch_ = base_epoch;
+  coordinator->final_position_ = base_position;
+  coordinator->published_position_.store(base_position,
+                                         std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(coordinator->mu_);
+    coordinator->RefreshShardStatusLocked();
+  }
+  coordinator->writer_ =
+      std::thread([raw = coordinator.get()] { raw->WriterLoop(); });
+  return coordinator;
+}
+
+void ClusterCoordinator::RefreshShardStatusLocked() {
+  shard_status_.clear();
+  shard_status_.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    ShardStatus status;
+    status.address = shard.address;
+    status.range = shard.range;
+    status.epoch = shard.epoch;
+    status.health = static_cast<ServiceHealth>(shard.health);
+    status.reconnects = shard.reconnects;
+    status.resent_batches = shard.resent_batches;
+    shard_status_.push_back(std::move(status));
+  }
+}
+
+std::vector<ShardStatus> ClusterCoordinator::shard_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shard_status_;
+}
+
+bool ClusterCoordinator::Submit(const EdgeUpdate& update) {
+  if (health() == ServiceHealth::kReadOnly) return false;
+  return queue_.Push(update);
+}
+
+std::size_t ClusterCoordinator::SubmitAll(const EdgeStream& stream) {
+  std::size_t accepted = 0;
+  for (const EdgeUpdate& update : stream) {
+    if (Submit(update)) ++accepted;
+  }
+  return accepted;
+}
+
+BcScores& ClusterCoordinator::MergePartials(
+    std::vector<BcScores>* partials) {
+  std::vector<BcScores*> pointers;
+  pointers.reserve(partials->size());
+  for (BcScores& partial : *partials) pointers.push_back(&partial);
+  TreeReduceScores(merge_pool_.get(), pointers);
+  return (*partials)[0];
+}
+
+Status ClusterCoordinator::PropagateShardHealth(const Shard& shard,
+                                                std::uint8_t health) {
+  switch (static_cast<ServiceHealth>(health)) {
+    case ServiceHealth::kHealthy:
+      return Status::OK();
+    case ServiceHealth::kDegraded:
+      // The rung propagates: reduced durability anywhere in the cluster
+      // is reduced durability of the cluster.
+      EnterDegraded(Status::FailedPrecondition(
+          ShardName(shard.index, shard.address) + " is degraded"));
+      return Status::OK();
+    case ServiceHealth::kReadOnly:
+    default:
+      return Status::FailedPrecondition(
+          ShardName(shard.index, shard.address) +
+          " is read-only — its writer is dead, so the cluster cannot "
+          "advance");
+  }
+}
+
+Status ClusterCoordinator::RecoverShard(Shard* shard,
+                                        std::uint64_t target_epoch,
+                                        ApplyAckMsg* final_ack) {
+  const std::string who = ShardName(shard->index, shard->address);
+  if (shard->conn != nullptr) {
+    shard->conn->Close();
+    shard->conn.reset();
+  }
+  const double deadline =
+      SteadyNowSeconds() + options_.shard_retry_seconds;
+  Status last_error = Status::IOError(who + " is unreachable");
+  while (SteadyNowSeconds() < deadline) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.reconnect_backoff_seconds));
+    auto conn = transport_->Connect(shard->address,
+                                    options_.connect_timeout_seconds);
+    if (!conn.ok()) {
+      last_error = conn.status();
+      continue;
+    }
+    auto hello = Handshake(conn->get(), graph_,
+                           options_.shard_ack_timeout_seconds);
+    if (!hello.ok()) {
+      last_error = hello.status();
+      continue;
+    }
+    if (hello->shard_index != shard->index ||
+        hello->shard_count != shards_.size() ||
+        !(hello->range == shard->range)) {
+      return Status::FailedPrecondition(
+          who + " came back with a different identity or partition; "
+          "re-bootstrap it from this cluster's checkpoints");
+    }
+    if (static_cast<ServiceHealth>(hello->health) ==
+        ServiceHealth::kReadOnly) {
+      return Status::FailedPrecondition(
+          who + " came back read-only; restart it from its checkpoint");
+    }
+    if (hello->epoch > target_epoch) {
+      return Status::Internal(who + " is at epoch " +
+                              std::to_string(hello->epoch) +
+                              ", ahead of the coordinator's " +
+                              std::to_string(target_epoch));
+    }
+    ApplyAckMsg ack;
+    if (hello->epoch < target_epoch) {
+      // Rejoin: resend every epoch it missed from the replay window.
+      // Duplicates are safe (the shard dedupes by epoch) — only a gap
+      // would be refused, and resending contiguously never leaves one.
+      if (window_.empty() || window_.front().epoch > hello->epoch + 1) {
+        return Status::FailedPrecondition(
+            who + " recovered to epoch " + std::to_string(hello->epoch) +
+            ", outside the coordinator's replay window (oldest " +
+            std::to_string(window_.empty() ? target_epoch
+                                           : window_.front().epoch) +
+            "); re-bootstrap it from a fresher checkpoint copy");
+      }
+      bool connection_ok = true;
+      for (std::uint64_t e = hello->epoch + 1; e <= target_epoch; ++e) {
+        const WindowEntry& entry = window_[e - window_.front().epoch];
+        ApplyMsg msg;
+        msg.epoch = entry.epoch;
+        msg.stream_position = entry.stream_position;
+        msg.updates = entry.updates;
+        if (!(*conn)->SendFrame(EncodeApply(msg)).ok()) {
+          connection_ok = false;
+          break;
+        }
+        std::string payload;
+        const Status recv_status =
+            RecvExpect(conn->get(), MsgType::kApplyAck,
+                       options_.shard_ack_timeout_seconds, &payload);
+        if (!recv_status.ok()) {
+          last_error = recv_status;
+          connection_ok = false;
+          break;
+        }
+        auto decoded = DecodeApplyAck(payload);
+        if (!decoded.ok()) {
+          last_error = decoded.status();
+          connection_ok = false;
+          break;
+        }
+        ack = std::move(*decoded);
+        if (!ack.ok) {
+          return Status(static_cast<StatusCode>(ack.status_code),
+                        who + " failed during resync: " + ack.message);
+        }
+        ++shard->resent_batches;
+      }
+      if (!connection_ok) continue;
+      if (ack.epoch != target_epoch) {
+        last_error = Status::Internal(
+            who + " acked epoch " + std::to_string(ack.epoch) +
+            " instead of " + std::to_string(target_epoch));
+        continue;
+      }
+    } else {
+      // The shard already holds the target epoch — the batch landed and
+      // only its ack was lost. Fetch the partial that ack carried.
+      if (!(*conn)->SendFrame(EncodeFetch()).ok()) continue;
+      std::string payload;
+      const Status recv_status =
+          RecvExpect(conn->get(), MsgType::kPartial,
+                     options_.shard_ack_timeout_seconds, &payload);
+      if (!recv_status.ok()) {
+        last_error = recv_status;
+        continue;
+      }
+      auto partial = DecodePartial(payload);
+      if (!partial.ok()) {
+        last_error = partial.status();
+        continue;
+      }
+      if (partial->epoch != target_epoch) {
+        last_error = Status::Internal(who + " moved during recovery");
+        continue;
+      }
+      ack.epoch = partial->epoch;
+      ack.stream_position = partial->stream_position;
+      ack.health = partial->health;
+      ack.partial = std::move(partial->partial);
+    }
+    shard->conn = std::move(*conn);
+    ++shard->reconnects;
+    *final_ack = std::move(ack);
+    return Status::OK();
+  }
+  return Status::IOError(
+      "retry budget (" + std::to_string(options_.shard_retry_seconds) +
+      "s) exhausted bringing back " + who + ": " + last_error.message());
+}
+
+Status ClusterCoordinator::ReplicateBatch(
+    std::uint64_t epoch, std::uint64_t stream_position,
+    const std::vector<EdgeUpdate>& updates, std::vector<BcScores>* partials,
+    std::uint64_t* sources_total, std::uint64_t* sources_prefiltered) {
+  ApplyMsg msg;
+  msg.epoch = epoch;
+  msg.stream_position = stream_position;
+  msg.updates = updates;
+  const std::string frame = EncodeApply(msg);
+
+  // Pipeline: every shard gets the frame before any ack is awaited, so
+  // one slow shard overlaps the others' apply work.
+  std::vector<bool> sent(shards_.size(), false);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].conn != nullptr) {
+      sent[i] = shards_[i].conn->SendFrame(frame).ok();
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    ApplyAckMsg ack;
+    bool have_ack = false;
+    if (sent[i]) {
+      std::string payload;
+      if (RecvExpect(shard.conn.get(), MsgType::kApplyAck,
+                     options_.shard_ack_timeout_seconds, &payload)
+              .ok()) {
+        auto decoded = DecodeApplyAck(payload);
+        if (decoded.ok()) {
+          ack = std::move(*decoded);
+          have_ack = true;
+        }
+      }
+    }
+    if (have_ack && !ack.ok) {
+      if (static_cast<StatusCode>(ack.status_code) ==
+          StatusCode::kFailedPrecondition) {
+        // The shard refused an epoch gap — it is behind (crashed and
+        // recovered to an older checkpoint). Resync it like a
+        // disconnect.
+        have_ack = false;
+      } else {
+        return Status(static_cast<StatusCode>(ack.status_code),
+                      ShardName(shard.index, shard.address) +
+                          " failed applying epoch " +
+                          std::to_string(epoch) + ": " + ack.message);
+      }
+    }
+    if (have_ack && ack.epoch != epoch) have_ack = false;
+    if (!have_ack) {
+      // Send failed, ack timed out / connection died, or the shard needs
+      // a resync: the per-shard watchdog path, bounded by the retry
+      // budget.
+      SOBC_RETURN_NOT_OK(RecoverShard(&shard, epoch, &ack));
+    }
+    SOBC_RETURN_NOT_OK(PropagateShardHealth(shard, ack.health));
+    shard.epoch = ack.epoch;
+    shard.health = ack.health;
+    *sources_total += ack.sources_total;
+    *sources_prefiltered += ack.sources_prefiltered;
+    (*partials)[i] = std::move(ack.partial);
+  }
+  return Status::OK();
+}
+
+void ClusterCoordinator::WriterLoop() {
+  std::uint64_t epoch = base_epoch_;
+  std::uint64_t position = base_position_;
+  const auto fail = [this](const Status& status) {
+    queue_.Close();
+    EnterReadOnly(status);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writer_status_ = status;
+      writer_done_ = true;
+    }
+    publish_cv_.notify_all();
+  };
+  DrainedBatch batch;
+  while (queue_.PopBatch(&batch)) {
+    const double batch_start = SteadyNowSeconds();
+    ++epoch;
+    position += batch.consumed;
+    // Validate against + advance the replica first: a poison batch (one
+    // the engine deterministically rejects) dies here, on the
+    // coordinator, before any shard ever sees its epoch.
+    Status replica_status;
+    for (const EdgeUpdate& update : batch.updates) {
+      replica_status = ApplyToGraph(&graph_, update);
+      if (!replica_status.ok()) break;
+    }
+    if (!replica_status.ok()) {
+      fail(replica_status);
+      return;
+    }
+    // Even a fully coalesced-away batch replicates: shard epochs and
+    // stream positions must advance in lockstep with the coordinator's,
+    // or the shards' WALs would replay to different positions.
+    window_.push_back(WindowEntry{epoch, position, batch.updates});
+    while (window_.size() > options_.replay_window_batches) {
+      window_.pop_front();
+    }
+    std::vector<BcScores> partials(shards_.size());
+    std::uint64_t sources_total = 0;
+    std::uint64_t sources_prefiltered = 0;
+    const Status replicated =
+        ReplicateBatch(epoch, position, batch.updates, &partials,
+                       &sources_total, &sources_prefiltered);
+    if (!replicated.ok()) {
+      fail(replicated);
+      return;
+    }
+    BcScores& merged = MergePartials(&partials);
+    snapshots_.Publish(BuildSnapshot(graph_, merged, epoch, position,
+                                     options_.top_k,
+                                     options_.snapshot_edge_scores));
+    const double now = SteadyNowSeconds();
+    for (double& stamp : batch.enqueue_seconds) stamp = now - stamp;
+    metrics_.RecordBatch(batch.updates.size(),
+                         batch.consumed - batch.updates.size(),
+                         now - batch_start, batch.enqueue_seconds, epoch,
+                         position, sources_total, sources_prefiltered);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      final_epoch_ = epoch;
+      final_position_ = position;
+      published_position_.store(position, std::memory_order_release);
+      RefreshShardStatusLocked();
+    }
+    publish_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_done_ = true;
+  }
+  publish_cv_.notify_all();
+}
+
+Status ClusterCoordinator::Drain() {
+  const std::uint64_t target = base_position_ + queue_.stats().received;
+  std::unique_lock<std::mutex> lock(mu_);
+  publish_cv_.wait(lock, [&] {
+    return writer_done_ || !writer_status_.ok() ||
+           published_position_.load(std::memory_order_acquire) >= target;
+  });
+  if (!writer_status_.ok()) return writer_status_;
+  if (published_position_.load(std::memory_order_acquire) >= target) {
+    return Status::OK();
+  }
+  return Status::FailedPrecondition(
+      "coordinator writer exited before draining every accepted update");
+}
+
+Status ClusterCoordinator::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return writer_status_;
+    stopped_ = true;
+  }
+  queue_.Close();
+  if (writer_.joinable()) writer_.join();
+  // Clean cluster shutdown: every reachable shard gets kShutdown (its
+  // Wait() returns, its own Stop commits the final checkpoint). Best
+  // effort — a dead connection means the shard is already gone or its
+  // operator stops it directly.
+  for (Shard& shard : shards_) {
+    if (shard.conn == nullptr) continue;
+    if (shard.conn->SendFrame(EncodeShutdown()).ok()) {
+      std::string payload;
+      (void)shard.conn->RecvFrame(&payload, 1.0);
+    }
+    shard.conn->Close();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_status_;
+}
+
+ServeMetricsSnapshot ClusterCoordinator::metrics() const {
+  ServeMetricsSnapshot snap = metrics_.Read();
+  const UpdateQueueStats queue_stats = queue_.stats();
+  snap.received = queue_stats.received;
+  snap.dropped = queue_stats.dropped;
+  const std::uint64_t received_absolute =
+      base_position_ + queue_stats.received;
+  snap.epoch_lag = received_absolute > snap.published_stream_position
+                       ? received_absolute - snap.published_stream_position
+                       : 0;
+  const ServiceHealth current_health = health();
+  snap.health_state = static_cast<std::uint64_t>(current_health);
+  snap.health = ServiceHealthName(current_health);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!health_error_.ok()) snap.last_error = health_error_.ToString();
+  }
+  const IoCounters io = ReadIoCounters();
+  snap.io_retries = io.retries;
+  snap.io_retries_exhausted = io.retries_exhausted;
+  snap.io_faults_injected = io.faults_injected;
+  return snap;
+}
+
+void ClusterCoordinator::EnterDegraded(const Status& why) {
+  int expected = static_cast<int>(ServiceHealth::kHealthy);
+  if (!health_.compare_exchange_strong(
+          expected, static_cast<int>(ServiceHealth::kDegraded),
+          std::memory_order_acq_rel)) {
+    return;  // already degraded or read-only; first cause wins
+  }
+  // Same backpressure response as a degraded single-process service: the
+  // cluster's durability is reduced somewhere, so accept less in flight.
+  queue_.SetCapacity(std::max<std::size_t>(1, queue_.capacity() / 2));
+  std::lock_guard<std::mutex> lock(mu_);
+  health_error_ = why;
+}
+
+void ClusterCoordinator::EnterReadOnly(const Status& why) {
+  health_.store(static_cast<int>(ServiceHealth::kReadOnly),
+                std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  health_error_ = why;
+}
+
+}  // namespace sobc

@@ -1,0 +1,238 @@
+#ifndef SOBC_CLUSTER_COORDINATOR_H_
+#define SOBC_CLUSTER_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "cluster/transport.h"
+#include "cluster/wire.h"
+#include "common/status.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+#include "server/bc_service.h"
+#include "server/score_snapshot.h"
+#include "server/serve_metrics.h"
+#include "server/update_queue.h"
+
+namespace sobc {
+
+/// Tuning of the replicating coordinator: the queue in front of it,
+/// snapshot shape (mirroring BcServiceOptions), and the wire-level
+/// failure-handling budgets.
+struct ClusterCoordinatorOptions {
+  /// Queue depth, batching, coalescing — the cluster's single coalescing
+  /// point, so every shard applies identical batch boundaries.
+  /// `directed` is overwritten from the graph.
+  UpdateQueueOptions queue;
+  std::size_t top_k = 16;
+  bool snapshot_edge_scores = true;
+  /// Replicated batches kept for resending to a shard that crashed and
+  /// rejoined behind the cluster epoch. A shard further behind than the
+  /// window cannot be resynced live and must be re-bootstrapped from a
+  /// fresher checkpoint copy.
+  std::size_t replay_window_batches = 1024;
+  /// Per-shard watchdog: how long one shard may sit on a batch (send to
+  /// ack) before the coordinator declares it stalled and reconnects.
+  double shard_ack_timeout_seconds = 30.0;
+  /// Total budget for bringing one failed shard back (reconnect +
+  /// re-handshake + resend) before the coordinator gives up and goes
+  /// read-only. The bounded-retry half of the failure story: a flapping
+  /// shard costs at most this much wall time per batch.
+  double shard_retry_seconds = 10.0;
+  /// Pause between reconnect attempts within the retry budget.
+  double reconnect_backoff_seconds = 0.05;
+  double connect_timeout_seconds = 5.0;
+  /// Threads for the partial-score merge tree. 0 = pick automatically
+  /// (serial for tiny clusters, a small pool once the tree has real
+  /// parallelism).
+  std::size_t merge_threads = 0;
+};
+
+/// Per-shard observability, surfaced next to the serve metrics.
+struct ShardStatus {
+  std::string address;
+  ShardRange range;
+  std::uint64_t epoch = 0;
+  ServiceHealth health = ServiceHealth::kHealthy;
+  /// Times this shard's connection was re-established (watchdog trips,
+  /// crashes, partitions).
+  std::uint64_t reconnects = 0;
+  /// Replayed batches resent to this shard after rejoins.
+  std::uint64_t resent_batches = 0;
+};
+
+/// The cluster head (DESIGN.md §13): accepts the update stream through the
+/// same Submit/snapshot/Drain surface as BcService, but instead of an
+/// in-process engine it replicates every coalesced batch to every shard
+/// worker over the wire, collects per-shard cumulative score partials from
+/// the acks, merges them through the score_reduce tree, and publishes the
+/// merged epoch-stamped snapshot.
+///
+/// Failure handling is the PR-6 health ladder stretched over the wire:
+/// a Degraded shard degrades the coordinator; a stalled or disconnected
+/// shard trips the per-shard ack watchdog and is reconnected +
+/// resynced from the replay window within a bounded retry budget; a
+/// ReadOnly shard — or a retry budget exhausted — takes the coordinator
+/// read-only (snapshots keep serving, Submit rejects). Exactly-once per
+/// shard comes from the shards' epoch dedupe: the coordinator may deliver
+/// a batch twice (lost ack), never skip one (a gap is refused and
+/// backfilled from the window).
+class ClusterCoordinator {
+ public:
+  /// Brings up the cluster head over already-listening shard workers:
+  /// connects to every address, handshakes (protocol version, graph
+  /// signature, shard-map tiling, equal epochs), fetches and merges the
+  /// initial partials, and publishes the bring-up snapshot before the
+  /// writer starts. `graph` is the coordinator's replica — it must be the
+  /// same graph every shard was started with.
+  static Result<std::unique_ptr<ClusterCoordinator>> Connect(
+      Graph graph, const std::vector<std::string>& shard_addresses,
+      Transport* transport, const ClusterCoordinatorOptions& options);
+
+  ~ClusterCoordinator();
+
+  ClusterCoordinator(const ClusterCoordinator&) = delete;
+  ClusterCoordinator& operator=(const ClusterCoordinator&) = delete;
+
+  /// Enqueues one update (any thread); same contract as BcService::Submit.
+  bool Submit(const EdgeUpdate& update);
+  std::size_t SubmitAll(const EdgeStream& stream);
+
+  /// The latest published merged snapshot (wait-free; epoch-stamped).
+  std::shared_ptr<const ScoreSnapshot> snapshot() const {
+    return snapshots_.Acquire();
+  }
+
+  /// Blocks until everything accepted is replicated, acked by every
+  /// shard, merged, and published (or the writer failed).
+  Status Drain();
+
+  /// Stops accepting updates, drains, joins the writer, and sends every
+  /// shard a clean shutdown. Idempotent.
+  Status Stop();
+
+  std::uint64_t final_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return final_epoch_;
+  }
+  std::uint64_t final_position() const {
+    return published_position_.load(std::memory_order_acquire);
+  }
+
+  ServeMetricsSnapshot metrics() const;
+  /// Wire-side view of every shard (address, range, epoch, health,
+  /// reconnect/resend counters), coherent as of the last published batch.
+  std::vector<ShardStatus> shard_status() const;
+  std::size_t num_shards() const { return shards_.size(); }
+
+  ServiceHealth health() const {
+    return static_cast<ServiceHealth>(
+        health_.load(std::memory_order_acquire));
+  }
+  Status last_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return health_error_;
+  }
+
+ private:
+  struct Shard {
+    std::string address;
+    std::uint32_t index = 0;
+    ShardRange range;
+    std::unique_ptr<Connection> conn;
+    std::uint64_t epoch = 0;
+    std::uint8_t health = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t resent_batches = 0;
+  };
+  /// One replicated batch retained for resending (contiguous epochs; the
+  /// front is the oldest epoch still live-resyncable).
+  struct WindowEntry {
+    std::uint64_t epoch = 0;
+    std::uint64_t stream_position = 0;
+    std::vector<EdgeUpdate> updates;
+  };
+
+  ClusterCoordinator(Graph graph, const ClusterCoordinatorOptions& options);
+
+  /// Hello/HelloAck over an open connection.
+  static Result<HelloAckMsg> Handshake(Connection* conn, const Graph& graph,
+                                       double timeout_seconds);
+
+  void WriterLoop();
+  /// Replicates one batch (already applied to the replica graph and
+  /// pushed to the window) to every shard and collects acked partials
+  /// into `partials`. Any shard failure is retried through RecoverShard
+  /// within the budget; a terminal failure comes back as the status.
+  Status ReplicateBatch(std::uint64_t epoch, std::uint64_t stream_position,
+                        const std::vector<EdgeUpdate>& updates,
+                        std::vector<BcScores>* partials,
+                        std::uint64_t* sources_total,
+                        std::uint64_t* sources_prefiltered);
+  /// Bounded-retry recovery of one shard to `target_epoch`: reconnect,
+  /// re-handshake, resend the missed window epochs (the shard dedupes
+  /// duplicates), and return the ack of the target epoch.
+  Status RecoverShard(Shard* shard, std::uint64_t target_epoch,
+                      ApplyAckMsg* final_ack);
+  /// Processes an ack's health byte: Degraded shard -> Degraded
+  /// coordinator; ReadOnly shard -> terminal error (returned).
+  Status PropagateShardHealth(const Shard& shard, std::uint8_t health);
+  /// Merges per-shard partials through the score_reduce tree into
+  /// partials[0] (mutating the vector) and returns a reference to it.
+  BcScores& MergePartials(std::vector<BcScores>* partials);
+
+  void EnterDegraded(const Status& why);
+  void EnterReadOnly(const Status& why);
+  /// Rebuilds shard_status_ from shards_ (mu_ held).
+  void RefreshShardStatusLocked();
+
+  ClusterCoordinatorOptions options_;
+  /// The coordinator's graph replica — advanced batch-by-batch in the
+  /// same order the shards advance theirs, and the snapshot's vertex/edge
+  /// counts. Owned by the writer thread once it starts.
+  Graph graph_;
+  Transport* transport_ = nullptr;
+  std::vector<Shard> shards_;
+  std::unique_ptr<ThreadPool> merge_pool_;
+
+  UpdateQueue queue_;
+  SnapshotStore snapshots_;
+  ServeMetrics metrics_;
+
+  /// Replay window (writer thread only): contiguous epochs, bounded by
+  /// options_.replay_window_batches.
+  std::deque<WindowEntry> window_;
+
+  std::uint64_t base_epoch_ = 0;
+  std::uint64_t base_position_ = 0;
+  std::atomic<std::uint64_t> published_position_{0};
+
+  mutable std::mutex mu_;  // writer_status_, final_*, shard status copy
+  std::condition_variable publish_cv_;
+  Status writer_status_;
+  bool writer_done_ = false;
+  bool stopped_ = false;
+  std::uint64_t final_epoch_ = 0;
+  std::uint64_t final_position_ = 0;
+  /// Coherent copy of shards_ wire state for shard_status(), refreshed by
+  /// the writer after each batch (shards_ itself is writer-owned).
+  std::vector<ShardStatus> shard_status_;
+
+  std::atomic<int> health_{static_cast<int>(ServiceHealth::kHealthy)};
+  Status health_error_;
+
+  std::thread writer_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,80 @@
+#include "cluster/shard_map.h"
+
+#include <cstdlib>
+
+namespace sobc {
+
+ShardRange ShardRangeOf(std::size_t n, std::size_t shards,
+                        std::size_t index) {
+  ShardRange range;
+  if (shards == 0) return range;
+  if (index >= shards) index = shards - 1;
+  range.begin = static_cast<VertexId>(index * n / shards);
+  range.end = index + 1 == shards
+                  ? kInvalidVertex
+                  : static_cast<VertexId>((index + 1) * n / shards);
+  return range;
+}
+
+std::vector<ShardRange> BuildShardMap(std::size_t n, std::size_t shards) {
+  std::vector<ShardRange> ranges;
+  ranges.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    ranges.push_back(ShardRangeOf(n, shards, i));
+  }
+  return ranges;
+}
+
+Status ValidateShardMap(const std::vector<ShardRange>& ranges,
+                        std::size_t n) {
+  if (ranges.empty()) return Status::InvalidArgument("no shards");
+  VertexId cursor = 0;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const ShardRange& range = ranges[i];
+    if (range.begin != cursor) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(i) + " owns sources from " +
+          std::to_string(range.begin) + " but the previous shard ends at " +
+          std::to_string(cursor) + " (gap or overlap in the shard map)");
+    }
+    const bool last = i + 1 == ranges.size();
+    if (last) {
+      if (!range.open_ended()) {
+        return Status::FailedPrecondition(
+            "last shard's partition must be open-ended so grown vertices "
+            "have an owner");
+      }
+    } else {
+      if (range.open_ended() || range.end < range.begin) {
+        return Status::FailedPrecondition(
+            "shard " + std::to_string(i) + " has an invalid partition");
+      }
+      cursor = range.end;
+    }
+  }
+  if (!ranges.back().open_ended() && cursor > n) {
+    return Status::FailedPrecondition("shard map overruns the vertex set");
+  }
+  return Status::OK();
+}
+
+Status ParseHostPort(const std::string& address, std::string* host,
+                     int* port) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return Status::InvalidArgument("address '" + address +
+                                   "' is not host:port");
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(address.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 0 || parsed > 65535) {
+    return Status::InvalidArgument("address '" + address +
+                                   "' has an invalid port");
+  }
+  *host = address.substr(0, colon);
+  *port = static_cast<int>(parsed);
+  return Status::OK();
+}
+
+}  // namespace sobc

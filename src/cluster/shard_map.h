@@ -1,0 +1,47 @@
+#ifndef SOBC_CLUSTER_SHARD_MAP_H_
+#define SOBC_CLUSTER_SHARD_MAP_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// One shard's contiguous source partition. `end == kInvalidVertex` marks
+/// an open-ended partition (it adopts every source the graph grows).
+struct ShardRange {
+  VertexId begin = 0;
+  VertexId end = kInvalidVertex;
+
+  bool open_ended() const { return end == kInvalidVertex; }
+  bool operator==(const ShardRange&) const = default;
+};
+
+/// The partition of shard `index` among `shards` over an `n`-vertex graph:
+/// [index*n/shards, (index+1)*n/shards), sizes differing by at most one.
+/// The LAST shard's partition is open-ended, so vertices that arrive after
+/// deployment (edge updates naming new ids) always have an owner — the
+/// cluster analog of the single store's kInvalidVertex limit.
+ShardRange ShardRangeOf(std::size_t n, std::size_t shards, std::size_t index);
+
+/// All `shards` partitions, in shard order. They tile [0, n) exactly and
+/// the union is open-ended.
+std::vector<ShardRange> BuildShardMap(std::size_t n, std::size_t shards);
+
+/// Checks that `ranges` (in shard order) tile the vertex set: start at 0,
+/// are contiguous with no gap or overlap, and end open-ended. The
+/// coordinator runs this over the handshake-reported ranges before serving
+/// — a mis-started cluster (wrong --shards, duplicate index) must fail
+/// bring-up, not produce silently wrong merged scores.
+Status ValidateShardMap(const std::vector<ShardRange>& ranges, std::size_t n);
+
+/// Splits "host:port" (the only address form the TCP transport speaks).
+Status ParseHostPort(const std::string& address, std::string* host,
+                     int* port);
+
+}  // namespace sobc
+
+#endif  // SOBC_CLUSTER_SHARD_MAP_H_

@@ -1,0 +1,217 @@
+#include "cluster/shard_worker.h"
+
+#include <utility>
+
+namespace sobc {
+
+namespace {
+
+Result<std::unique_ptr<Listener>> ListenResolved(
+    Transport* transport, const std::string& listen_address) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("shard worker needs a transport");
+  }
+  return transport->Listen(listen_address);
+}
+
+}  // namespace
+
+ShardWorker::ShardWorker(std::unique_ptr<BcService> service,
+                         std::unique_ptr<Listener> listener,
+                         const ShardWorkerOptions& options, ShardRange range)
+    : options_(options),
+      range_(range),
+      service_(std::move(service)),
+      listener_(std::move(listener)),
+      address_(listener_->address()) {}
+
+Result<std::unique_ptr<ShardWorker>> ShardWorker::Start(
+    Graph graph, Transport* transport, const std::string& listen_address,
+    const ShardWorkerOptions& options) {
+  if (options.shard_count == 0 ||
+      options.shard_index >= options.shard_count) {
+    return Status::InvalidArgument("shard index outside the shard count");
+  }
+  const ShardRange range = ShardRangeOf(graph.NumVertices(),
+                                        options.shard_count,
+                                        options.shard_index);
+  BcServiceOptions service_options = options.service;
+  service_options.replicated = true;
+  service_options.bc.source_begin = range.begin;
+  service_options.bc.source_end = range.end;
+  auto service = BcService::Create(std::move(graph), service_options);
+  if (!service.ok()) return service.status();
+  auto listener = ListenResolved(transport, listen_address);
+  if (!listener.ok()) return listener.status();
+  auto worker = std::unique_ptr<ShardWorker>(new ShardWorker(
+      std::move(*service), std::move(*listener), options, range));
+  worker->serve_thread_ =
+      std::thread([raw = worker.get()] { raw->ServeLoop(); });
+  return worker;
+}
+
+Result<std::unique_ptr<ShardWorker>> ShardWorker::Recover(
+    Transport* transport, const std::string& listen_address,
+    const ShardWorkerOptions& options, RecoveryInfo* info) {
+  BcServiceOptions service_options = options.service;
+  service_options.replicated = true;
+  auto service = BcService::Recover(service_options, info);
+  if (!service.ok()) return service.status();
+  // The manifest decided the partition; report the recovered one.
+  const ShardRange range{(*service)->options().bc.source_begin,
+                         (*service)->options().bc.source_end};
+  auto listener = ListenResolved(transport, listen_address);
+  if (!listener.ok()) return listener.status();
+  auto worker = std::unique_ptr<ShardWorker>(new ShardWorker(
+      std::move(*service), std::move(*listener), options, range));
+  worker->serve_thread_ =
+      std::thread([raw = worker.get()] { raw->ServeLoop(); });
+  return worker;
+}
+
+ShardWorker::~ShardWorker() { (void)Stop(); }
+
+HelloAckMsg ShardWorker::MakeHelloAck() const {
+  HelloAckMsg ack;
+  ack.shard_index = static_cast<std::uint32_t>(options_.shard_index);
+  ack.shard_count = static_cast<std::uint32_t>(options_.shard_count);
+  ack.range = range_;
+  ack.epoch = service_->final_epoch();
+  ack.stream_position = service_->final_position();
+  ack.health = static_cast<std::uint8_t>(service_->health());
+  const Graph& graph = service_->framework()->graph();
+  ack.num_vertices = graph.NumVertices();
+  ack.num_edges = graph.NumEdges();
+  ack.directed = graph.directed();
+  return ack;
+}
+
+ApplyAckMsg ShardWorker::HandleApply(const ApplyMsg& msg) {
+  const Status st = service_->ApplyReplicatedBatch(
+      msg.epoch, msg.stream_position, msg.updates);
+  ApplyAckMsg ack;
+  ack.epoch = service_->final_epoch();
+  ack.stream_position = service_->final_position();
+  ack.health = static_cast<std::uint8_t>(service_->health());
+  if (!st.ok()) {
+    ack.ok = false;
+    ack.status_code = static_cast<std::uint8_t>(st.code());
+    ack.message = st.message();
+    return ack;
+  }
+  // Success (including an idempotent duplicate): the cumulative partial
+  // is the merge input either way.
+  const UpdateStats& stats = service_->framework()->last_update_stats();
+  ack.sources_total = stats.sources_total;
+  ack.sources_prefiltered = stats.sources_prefiltered;
+  ack.partial = service_->framework()->scores();
+  return ack;
+}
+
+bool ShardWorker::Session(Connection* conn) {
+  std::string payload;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const Status st = conn->RecvFrame(&payload, options_.poll_seconds);
+    if (IsTransportTimeout(st)) continue;
+    if (!st.ok()) return true;  // connection died; accept the next one
+    auto type = PeekType(payload);
+    if (!type.ok()) return true;
+    switch (*type) {
+      case MsgType::kHello: {
+        auto msg = DecodeHello(payload);
+        if (!msg.ok()) return true;
+        if (msg->protocol_version != kClusterProtocolVersion) {
+          // Refusing loudly beats mis-parsing every later frame; the
+          // coordinator sees the close and reports the bring-up failure.
+          return true;
+        }
+        if (!conn->SendFrame(EncodeHelloAck(MakeHelloAck())).ok()) {
+          return true;
+        }
+        break;
+      }
+      case MsgType::kApply: {
+        auto msg = DecodeApply(payload);
+        if (!msg.ok()) return true;
+        if (!conn->SendFrame(EncodeApplyAck(HandleApply(*msg))).ok()) {
+          return true;
+        }
+        break;
+      }
+      case MsgType::kFetch: {
+        PartialMsg partial;
+        partial.epoch = service_->final_epoch();
+        partial.stream_position = service_->final_position();
+        partial.health = static_cast<std::uint8_t>(service_->health());
+        partial.partial = service_->framework()->scores();
+        if (!conn->SendFrame(EncodePartial(partial)).ok()) return true;
+        break;
+      }
+      case MsgType::kShutdown: {
+        (void)conn->SendFrame(EncodeShutdownAck());
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          shutdown_requested_ = true;
+        }
+        done_cv_.notify_all();
+        return false;
+      }
+      default:
+        // A message this side never expects (an ack, a stray type):
+        // protocol desync — drop the connection and let the coordinator
+        // re-handshake.
+        return true;
+    }
+  }
+  return false;
+}
+
+void ShardWorker::ServeLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto conn = listener_->Accept(options_.poll_seconds);
+    if (!conn.ok()) {
+      if (IsTransportTimeout(conn.status())) continue;
+      if (stop_.load(std::memory_order_acquire)) break;
+      // Listener error (closed fd during Stop, transient accept failure):
+      // keep polling; Stop() is the only way out of a persistent one.
+      continue;
+    }
+    if (!Session(conn->get())) break;
+  }
+}
+
+void ShardWorker::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return shutdown_requested_ || stop_.load(std::memory_order_acquire);
+  });
+}
+
+Status ShardWorker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return service_ != nullptr ? service_->last_error()
+                                             : Status::OK();
+    stopped_ = true;
+  }
+  stop_.store(true, std::memory_order_release);
+  done_cv_.notify_all();
+  if (serve_thread_.joinable()) serve_thread_.join();
+  listener_->Close();
+  return service_->Stop();
+}
+
+void ShardWorker::Halt() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stop_.store(true, std::memory_order_release);
+  done_cv_.notify_all();
+  if (serve_thread_.joinable()) serve_thread_.join();
+  listener_->Close();
+  service_->Halt();
+}
+
+}  // namespace sobc

@@ -1,0 +1,116 @@
+#ifndef SOBC_CLUSTER_SHARD_WORKER_H_
+#define SOBC_CLUSTER_SHARD_WORKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cluster/shard_map.h"
+#include "cluster/transport.h"
+#include "cluster/wire.h"
+#include "server/bc_service.h"
+
+namespace sobc {
+
+/// Configuration of one shard worker process (or in-process worker, in
+/// tests).
+struct ShardWorkerOptions {
+  /// This worker's slot in the shard map; the owned source partition is
+  /// ShardRangeOf(n, shard_count, shard_index).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// The underlying replicated BcService: variant, storage, durability
+  /// (per-shard WAL + checkpoint dirs), threads. `replicated` is forced
+  /// on and `bc.source_begin/source_end` are overwritten from the shard
+  /// map (Start) or the recovered manifest (Recover).
+  BcServiceOptions service;
+  /// Poll interval of the accept/receive loops — how quickly Stop() and a
+  /// coordinator reconnect are noticed.
+  double poll_seconds = 0.1;
+};
+
+/// One cluster shard: a scoped, replicated BcService behind a Transport
+/// listener. The worker accepts one coordinator connection at a time
+/// (a reconnecting coordinator closes the old one, whose EOF ends the old
+/// session) and serves the wire protocol: handshake, replicated batches
+/// (acked with this shard's cumulative score partial), partial fetches,
+/// and shutdown. All engine work runs on the session thread — the single
+/// caller ApplyReplicatedBatch requires.
+class ShardWorker {
+ public:
+  /// Fresh deployment: Step 1 (Brandes) over the owned partition only,
+  /// then listen. `listen_address` may use port 0; address() reports the
+  /// resolved one.
+  static Result<std::unique_ptr<ShardWorker>> Start(
+      Graph graph, Transport* transport, const std::string& listen_address,
+      const ShardWorkerOptions& options);
+
+  /// Restarted shard: checkpoint + WAL-tail recovery (BcService::Recover;
+  /// the manifest's source partition wins), then listen. The rejoin
+  /// itself happens over the wire: the coordinator reads this shard's
+  /// recovered epoch from the handshake and resends what it missed.
+  static Result<std::unique_ptr<ShardWorker>> Recover(
+      Transport* transport, const std::string& listen_address,
+      const ShardWorkerOptions& options, RecoveryInfo* info = nullptr);
+
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// The resolved listen address (host:port).
+  const std::string& address() const { return address_; }
+  ShardRange range() const { return range_; }
+
+  /// Blocks until the coordinator sent kShutdown or Stop() was called.
+  void Wait();
+
+  /// Clean stop: ends the serve loop, then BcService::Stop (final
+  /// checkpoint). Idempotent.
+  Status Stop();
+
+  /// Crash-shaped stop for tests: ends the serve loop, then
+  /// BcService::Halt — no final checkpoint, so a following Recover walks
+  /// the real checkpoint + WAL-tail path (the in-process stand-in for
+  /// kill -9, which the CLI exercises for real via --kill-after).
+  void Halt();
+
+  /// The underlying service (metrics, health). The session thread owns
+  /// the engine while the worker runs; only metrics()/health()-style
+  /// accessors are safe from other threads.
+  BcService* service() { return service_.get(); }
+
+ private:
+  ShardWorker(std::unique_ptr<BcService> service,
+              std::unique_ptr<Listener> listener,
+              const ShardWorkerOptions& options, ShardRange range);
+
+  void ServeLoop();
+  /// Serves one coordinator connection until it dies, shutdown, or
+  /// Stop(). Returns false when the serve loop should exit.
+  bool Session(Connection* conn);
+  ApplyAckMsg HandleApply(const ApplyMsg& msg);
+  HelloAckMsg MakeHelloAck() const;
+
+  ShardWorkerOptions options_;
+  ShardRange range_;
+  std::unique_ptr<BcService> service_;
+  std::unique_ptr<Listener> listener_;
+  std::string address_;
+
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+
+  std::thread serve_thread_;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_CLUSTER_SHARD_WORKER_H_

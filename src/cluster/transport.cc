@@ -1,0 +1,304 @@
+#include "cluster/transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "cluster/shard_map.h"
+#include "common/crc32.h"
+
+namespace sobc {
+
+namespace {
+
+/// Frames larger than this are corruption, not messages (the largest real
+/// payload — a full score partial — is tens of MB only on graphs far past
+/// what a frame should carry in one piece).
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+Status Timeout(const char* what) {
+  return Status(StatusCode::kIOError,
+                std::string(what) + " timed out", ETIMEDOUT);
+}
+
+Status Errno(const char* what) {
+  const int err = errno;
+  return Status(StatusCode::kIOError,
+                std::string(what) + " failed: " + std::strerror(err), err);
+}
+
+/// Resolves "host" to an IPv4 address ("localhost" or dotted-quad; the
+/// cluster protocol is explicitly a LAN/localhost protocol, so a resolver
+/// dependency buys nothing).
+Status ResolveHost(const std::string& host, in_addr* out) {
+  const std::string effective =
+      (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, effective.c_str(), out) != 1) {
+    return Status::InvalidArgument("cannot parse host '" + host +
+                                   "' (use a numeric IPv4 or localhost)");
+  }
+  return Status::OK();
+}
+
+/// Waits for `events` on fd. deadline <= 0 waits forever.
+Status WaitFd(int fd, short events, double timeout_seconds,
+              const char* what) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int timeout_ms =
+      timeout_seconds <= 0
+          ? -1
+          : static_cast<int>(timeout_seconds * 1000.0) + 1;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Timeout(what);
+    if (errno == EINTR) continue;
+    return Errno(what);
+  }
+}
+
+void PutU32(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint32_t GetU32(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+class TcpConnection : public Connection {
+ public:
+  TcpConnection(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override { Close(); }
+
+  Status SendFrame(const std::string& payload) override {
+    if (fd_ < 0) return Status::IOError("connection to " + peer_ + " closed");
+    if (payload.size() > kMaxFrameBytes) {
+      return Status::InvalidArgument("frame exceeds the size limit");
+    }
+    char header[8];
+    PutU32(header, static_cast<std::uint32_t>(payload.size()));
+    PutU32(header + 4, Crc32(payload.data(), payload.size()));
+    SOBC_RETURN_NOT_OK(WriteAll(header, sizeof(header)));
+    return WriteAll(payload.data(), payload.size());
+  }
+
+  Status RecvFrame(std::string* payload, double timeout_seconds) override {
+    if (fd_ < 0) return Status::IOError("connection to " + peer_ + " closed");
+    char header[8];
+    SOBC_RETURN_NOT_OK(ReadAll(header, sizeof(header), timeout_seconds));
+    const std::uint32_t length = GetU32(header);
+    const std::uint32_t expected_crc = GetU32(header + 4);
+    if (length > kMaxFrameBytes) {
+      return Status::IOError("frame from " + peer_ +
+                             " exceeds the size limit (corrupt length)");
+    }
+    payload->resize(length);
+    if (length > 0) {
+      SOBC_RETURN_NOT_OK(ReadAll(payload->data(), length, timeout_seconds));
+    }
+    if (Crc32(payload->data(), payload->size()) != expected_crc) {
+      return Status::IOError("frame from " + peer_ + " failed its CRC");
+    }
+    return Status::OK();
+  }
+
+  std::string peer() const override { return peer_; }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  Status WriteAll(const char* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+      const ssize_t n =
+          ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          SOBC_RETURN_NOT_OK(WaitFd(fd_, POLLOUT, -1.0, "send"));
+          continue;
+        }
+        return Errno("send");
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status ReadAll(char* data, std::size_t size, double timeout_seconds) {
+    std::size_t got = 0;
+    while (got < size) {
+      SOBC_RETURN_NOT_OK(WaitFd(fd_, POLLIN, timeout_seconds, "recv"));
+      const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+      if (n == 0) {
+        return Status::IOError("peer " + peer_ + " closed the connection");
+      }
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        return Errno("recv");
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+  std::string peer_;
+};
+
+class TcpListener : public Listener {
+ public:
+  TcpListener(int fd, std::string address)
+      : fd_(fd), address_(std::move(address)) {}
+
+  ~TcpListener() override { Close(); }
+
+  Result<std::unique_ptr<Connection>> Accept(
+      double timeout_seconds) override {
+    if (fd_ < 0) return Status::IOError("listener closed");
+    SOBC_RETURN_NOT_OK(WaitFd(fd_, POLLIN, timeout_seconds, "accept"));
+    struct sockaddr_in peer {};
+    socklen_t peer_len = sizeof(peer);
+    const int conn =
+        ::accept(fd_, reinterpret_cast<struct sockaddr*>(&peer), &peer_len);
+    if (conn < 0) return Errno("accept");
+    char host[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &peer.sin_addr, host, sizeof(host));
+    return std::unique_ptr<Connection>(new TcpConnection(
+        conn,
+        std::string(host) + ":" + std::to_string(ntohs(peer.sin_port))));
+  }
+
+  std::string address() const override { return address_; }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+  std::string address_;
+};
+
+}  // namespace
+
+bool IsTransportTimeout(const Status& status) {
+  return status.code() == StatusCode::kIOError &&
+         status.sys_errno() == ETIMEDOUT;
+}
+
+Result<std::unique_ptr<Listener>> TcpTransport::Listen(
+    const std::string& address) {
+  std::string host;
+  int port = 0;
+  SOBC_RETURN_NOT_OK(ParseHostPort(address, &host, &port));
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  SOBC_RETURN_NOT_OK(ResolveHost(host, &addr.sin_addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  // Report the actual port — "host:0" asked the kernel to pick one.
+  struct sockaddr_in bound {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  char bound_host[INET_ADDRSTRLEN] = "?";
+  ::inet_ntop(AF_INET, &bound.sin_addr, bound_host, sizeof(bound_host));
+  return std::unique_ptr<Listener>(new TcpListener(
+      fd, std::string(bound_host) + ":" +
+              std::to_string(ntohs(bound.sin_port))));
+}
+
+Result<std::unique_ptr<Connection>> TcpTransport::Connect(
+    const std::string& address, double timeout_seconds) {
+  std::string host;
+  int port = 0;
+  SOBC_RETURN_NOT_OK(ParseHostPort(address, &host, &port));
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  SOBC_RETURN_NOT_OK(ResolveHost(host, &addr.sin_addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  // Non-blocking connect + poll gives the deadline; the socket goes back
+  // to blocking afterwards (frame I/O deadlines come from poll, not
+  // O_NONBLOCK).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    const Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  if (Status st = WaitFd(fd, POLLOUT, timeout_seconds, "connect");
+      !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+      err != 0) {
+    ::close(fd);
+    return Status(StatusCode::kIOError,
+                  "connect to " + address + " failed: " +
+                      std::strerror(err != 0 ? err : errno),
+                  err);
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return std::unique_ptr<Connection>(new TcpConnection(fd, address));
+}
+
+}  // namespace sobc

@@ -1,0 +1,83 @@
+#ifndef SOBC_CLUSTER_TRANSPORT_H_
+#define SOBC_CLUSTER_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace sobc {
+
+/// One frame-oriented, ordered, reliable connection between coordinator
+/// and shard. Frames are the protocol unit: SendFrame writes one
+/// [u32 length][u32 crc][payload] envelope, RecvFrame reads one and
+/// verifies the CRC (src/common/crc32), so a decoder never sees a torn or
+/// corrupted payload — the wire analog of the WAL's frame discipline.
+///
+/// A connection is used by one thread at a time per direction. RecvFrame
+/// timeouts surface as IOError with sys_errno() == ETIMEDOUT (see
+/// IsTransportTimeout), distinct from a dead peer, because the caller's
+/// reaction differs: a timeout trips the per-shard watchdog and a bounded
+/// retry; a dead peer goes straight to reconnect.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  virtual Status SendFrame(const std::string& payload) = 0;
+  /// Reads one frame, waiting at most `timeout_seconds` (<= 0 waits
+  /// forever) for the FIRST byte; once a frame header arrives the rest is
+  /// read with the same per-wait deadline.
+  virtual Status RecvFrame(std::string* payload, double timeout_seconds) = 0;
+  /// A human-readable peer address for log lines.
+  virtual std::string peer() const = 0;
+  virtual void Close() = 0;
+};
+
+/// A bound, listening endpoint.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accepts one connection, waiting at most `timeout_seconds` (<= 0
+  /// waits forever). Timeout surfaces like RecvFrame's.
+  virtual Result<std::unique_ptr<Connection>> Accept(
+      double timeout_seconds) = 0;
+  /// The actual bound address (host:port — with the ephemeral port
+  /// resolved, which is how tests listen on port 0).
+  virtual std::string address() const = 0;
+  virtual void Close() = 0;
+};
+
+/// The pluggable transport seam, mirroring the sobc::Io philosophy: the
+/// coordinator and shard workers speak only this interface, the real
+/// deployment plugs in TcpTransport, and tests plug in a
+/// ChaosTransport wrapper that injects partitions, dead connects, and
+/// slow shards without touching a socket option.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Result<std::unique_ptr<Listener>> Listen(
+      const std::string& address) = 0;
+  virtual Result<std::unique_ptr<Connection>> Connect(
+      const std::string& address, double timeout_seconds) = 0;
+};
+
+/// Whether a transport error is a deadline expiry (retryable wait) rather
+/// than a dead peer or corrupt frame.
+bool IsTransportTimeout(const Status& status);
+
+/// The real thing: IPv4 TCP with TCP_NODELAY, ephemeral-port support
+/// ("host:0"), and poll()-based deadlines. Addresses are "host:port" with
+/// a numeric host or "localhost".
+class TcpTransport : public Transport {
+ public:
+  Result<std::unique_ptr<Listener>> Listen(
+      const std::string& address) override;
+  Result<std::unique_ptr<Connection>> Connect(
+      const std::string& address, double timeout_seconds) override;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_CLUSTER_TRANSPORT_H_

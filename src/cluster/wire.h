@@ -1,0 +1,120 @@
+#ifndef SOBC_CLUSTER_WIRE_H_
+#define SOBC_CLUSTER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bc/bc_types.h"
+#include "cluster/shard_map.h"
+#include "common/status.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+
+namespace sobc {
+
+/// Coordinator <-> shard protocol version. Bumped on any incompatible
+/// change; the Hello/HelloAck exchange refuses a mismatch at bring-up
+/// instead of mis-parsing frames mid-stream.
+inline constexpr std::uint32_t kClusterProtocolVersion = 1;
+
+/// Every message is one transport frame; the frame layer (transport.h)
+/// adds the [u32 length][u32 crc] envelope, so a payload reaching a
+/// decoder has already passed its CRC. The first payload byte is the
+/// message type; all integers are little-endian, doubles are IEEE-754
+/// bit patterns.
+enum class MsgType : std::uint8_t {
+  kHello = 1,        // coordinator -> shard: identity + graph signature
+  kHelloAck = 2,     // shard -> coordinator: partition, epoch, health
+  kApply = 3,        // coordinator -> shard: one coalesced batch
+  kApplyAck = 4,     // shard -> coordinator: result + partial scores
+  kFetch = 5,        // coordinator -> shard: request current partials
+  kPartial = 6,      // shard -> coordinator: current partial scores
+  kShutdown = 7,     // coordinator -> shard: clean stop
+  kShutdownAck = 8,  // shard -> coordinator: stopping
+};
+
+/// Coordinator's opening message: the graph signature both sides must
+/// agree on (a shard started over a different edge list would silently
+/// produce wrong partials — refuse at handshake instead).
+struct HelloMsg {
+  std::uint32_t protocol_version = kClusterProtocolVersion;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  bool directed = false;
+};
+
+/// Shard's handshake reply: who it is, what it owns, and where its
+/// replicated log stands. The coordinator uses `epoch` to decide between
+/// resuming (equal epochs), resending from its replay window (behind), or
+/// refusing bring-up (ahead / inconsistent).
+struct HelloAckMsg {
+  std::uint32_t protocol_version = kClusterProtocolVersion;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  ShardRange range;
+  std::uint64_t epoch = 0;
+  std::uint64_t stream_position = 0;
+  std::uint8_t health = 0;  // ServiceHealth as int
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  bool directed = false;
+};
+
+/// One replicated batch under the coordinator's absolute epoch numbering.
+/// Batches are pre-coalesced by the coordinator's queue — the single
+/// coalescing point, so every shard applies identical batch boundaries.
+struct ApplyMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t stream_position = 0;
+  std::vector<EdgeUpdate> updates;
+};
+
+/// Shard's per-batch reply. On success it carries the shard's CUMULATIVE
+/// score partial (dense vbc over every vertex + its ebc contributions) —
+/// the coordinator's merge input. On failure `ok` is false and
+/// status_code/message carry the shard-side error; `health` always
+/// reflects the shard's ladder position so Degraded propagates even while
+/// batches still succeed.
+struct ApplyAckMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t stream_position = 0;
+  bool ok = true;
+  std::uint8_t status_code = 0;  // StatusCode as int, 0 when ok
+  std::string message;
+  std::uint8_t health = 0;
+  std::uint64_t sources_total = 0;
+  std::uint64_t sources_prefiltered = 0;
+  BcScores partial;
+};
+
+/// Reply to kFetch: the shard's current state, for coordinator bring-up
+/// (the epoch-0 merge) and post-rejoin resync.
+struct PartialMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t stream_position = 0;
+  std::uint8_t health = 0;
+  BcScores partial;
+};
+
+/// First payload byte, or InvalidArgument on an empty payload.
+Result<MsgType> PeekType(const std::string& payload);
+
+std::string EncodeHello(const HelloMsg& msg);
+std::string EncodeHelloAck(const HelloAckMsg& msg);
+std::string EncodeApply(const ApplyMsg& msg);
+std::string EncodeApplyAck(const ApplyAckMsg& msg);
+std::string EncodeFetch();
+std::string EncodePartial(const PartialMsg& msg);
+std::string EncodeShutdown();
+std::string EncodeShutdownAck();
+
+Result<HelloMsg> DecodeHello(const std::string& payload);
+Result<HelloAckMsg> DecodeHelloAck(const std::string& payload);
+Result<ApplyMsg> DecodeApply(const std::string& payload);
+Result<ApplyAckMsg> DecodeApplyAck(const std::string& payload);
+Result<PartialMsg> DecodePartial(const std::string& payload);
+
+}  // namespace sobc
+
+#endif  // SOBC_CLUSTER_WIRE_H_

@@ -71,11 +71,14 @@ Result<std::unique_ptr<BcService>> BcService::Create(
     SOBC_RETURN_NOT_OK(
         service->StartDurability(/*next_epoch=*/1, /*initial_checkpoint=*/true));
   }
-  if (resolved.writer_stall_timeout_seconds > 0) {
-    service->watchdog_ =
-        std::thread([raw = service.get()] { raw->WatchdogLoop(); });
+  if (!resolved.replicated) {
+    if (resolved.writer_stall_timeout_seconds > 0) {
+      service->watchdog_ =
+          std::thread([raw = service.get()] { raw->WatchdogLoop(); });
+    }
+    service->writer_ =
+        std::thread([raw = service.get()] { raw->WriterLoop(); });
   }
-  service->writer_ = std::thread([raw = service.get()] { raw->WriterLoop(); });
   return service;
 }
 
@@ -100,6 +103,11 @@ Result<std::unique_ptr<BcService>> BcService::Recover(
   out.manifest_stream_position = manifest.stream_position;
   out.variant = manifest.variant;
   resolved.queue.directed = manifest.directed;
+  // The manifest is authoritative for the source partition: a recovered
+  // shard must rebuild the same scoped framework so its scores stay the
+  // same per-shard partials it checkpointed.
+  resolved.bc.source_begin = manifest.source_begin;
+  resolved.bc.source_end = manifest.source_end;
 
   std::unique_ptr<DynamicBc> bc;
   if (manifest.variant == "do") {
@@ -211,11 +219,14 @@ Result<std::unique_ptr<BcService>> BcService::Recover(
   // them (a second crash before then replays the same tail again).
   SOBC_RETURN_NOT_OK(
       service->StartDurability(epoch + 1, /*initial_checkpoint=*/false));
-  if (resolved.writer_stall_timeout_seconds > 0) {
-    service->watchdog_ =
-        std::thread([raw = service.get()] { raw->WatchdogLoop(); });
+  if (!resolved.replicated) {
+    if (resolved.writer_stall_timeout_seconds > 0) {
+      service->watchdog_ =
+          std::thread([raw = service.get()] { raw->WatchdogLoop(); });
+    }
+    service->writer_ =
+        std::thread([raw = service.get()] { raw->WriterLoop(); });
   }
-  service->writer_ = std::thread([raw = service.get()] { raw->WriterLoop(); });
   return service;
 }
 
@@ -312,6 +323,8 @@ Result<CheckpointWriter::Job> BcService::CaptureCheckpointJob(
   job.graph = bc_->graph();
   job.scores = bc_->scores();
   job.variant = VariantName(options_.bc.variant);
+  job.source_begin = options_.bc.source_begin;
+  job.source_end = options_.bc.source_end;
   if (options_.bc.variant == BcVariant::kOutOfCore) {
     auto* disk = dynamic_cast<DiskBdStore*>(bc_->store());
     if (disk == nullptr) {
@@ -367,6 +380,9 @@ Status BcService::MaybeCheckpoint(std::uint64_t epoch,
 BcService::~BcService() { (void)Stop(); }
 
 bool BcService::Submit(const EdgeUpdate& update) {
+  // A replicated shard has no writer draining the queue: every batch
+  // arrives from the coordinator through ApplyReplicatedBatch.
+  if (options_.replicated) return false;
   // Fail fast once the writer is dead: no producer should block (or even
   // take the queue lock chain) to learn the service is read-only.
   if (health() == ServiceHealth::kReadOnly) return false;
@@ -475,47 +491,136 @@ void BcService::WriterLoop() {
     }
     position += batch.consumed;
     ++epoch;
-    snapshots_.Publish(BuildSnapshot(bc_->graph(), bc_->scores(), epoch,
-                                     position, options_.top_k,
-                                     options_.snapshot_edge_scores));
-    // Latency is submit-to-publish: the moment a consumed update's effect
-    // (possibly "no effect", for coalesced churn) became readable.
-    const double now = SteadyNowSeconds();
-    for (double& t : batch.enqueue_seconds) t = now - t;
-    const UpdateStats& update_stats = bc_->last_update_stats();
-    metrics_.RecordBatch(batch.updates.size(),
-                         batch.consumed - batch.updates.size(), apply_seconds,
-                         batch.enqueue_seconds, epoch, position,
-                         update_stats.sources_total,
-                         update_stats.sources_prefiltered);
-    {
-      // The store must happen under mu_ so a Drain caller between its
-      // predicate check and its sleep cannot miss this publication.
-      std::lock_guard<std::mutex> lock(mu_);
-      published_position_.store(position, std::memory_order_release);
-      final_epoch_ = epoch;
-      final_position_ = position;
-    }
-    publish_cv_.notify_all();
-    if (checkpointer_ != nullptr) {
-      // A background checkpoint that failed since the last batch degrades
-      // the service (checkpoints suspended, WAL-only) without killing it.
-      if (Status background = checkpointer_->PeekError(); !background.ok()) {
-        EnterDegraded(background);
-      }
-      if (!checkpoints_suspended_.load(std::memory_order_acquire)) {
-        updates_since_checkpoint_ += batch.consumed;
-        if (Status ck = MaybeCheckpoint(epoch, position); !ck.ok()) {
-          fail(std::move(ck));
-          return;
-        }
-      }
+    if (Status commit =
+            CommitBatch(epoch, position, batch.updates.size(), batch.consumed,
+                        apply_seconds, &batch.enqueue_seconds);
+        !commit.ok()) {
+      fail(std::move(commit));
+      return;
     }
     batch_started_.store(0.0, std::memory_order_relaxed);
   }
   std::lock_guard<std::mutex> lock(mu_);
   writer_done_ = true;
   publish_cv_.notify_all();
+}
+
+Status BcService::CommitBatch(std::uint64_t epoch, std::uint64_t position,
+                              std::size_t applied, std::uint64_t consumed,
+                              double apply_seconds,
+                              std::vector<double>* latencies) {
+  snapshots_.Publish(BuildSnapshot(bc_->graph(), bc_->scores(), epoch,
+                                   position, options_.top_k,
+                                   options_.snapshot_edge_scores));
+  // Latency is submit-to-publish: the moment a consumed update's effect
+  // (possibly "no effect", for coalesced churn) became readable.
+  const double now = SteadyNowSeconds();
+  for (double& t : *latencies) t = now - t;
+  const UpdateStats& update_stats = bc_->last_update_stats();
+  metrics_.RecordBatch(applied, consumed - applied, apply_seconds, *latencies,
+                       epoch, position, update_stats.sources_total,
+                       update_stats.sources_prefiltered);
+  {
+    // The store must happen under mu_ so a Drain caller between its
+    // predicate check and its sleep cannot miss this publication.
+    std::lock_guard<std::mutex> lock(mu_);
+    published_position_.store(position, std::memory_order_release);
+    final_epoch_ = epoch;
+    final_position_ = position;
+  }
+  publish_cv_.notify_all();
+  if (checkpointer_ != nullptr) {
+    // A background checkpoint that failed since the last batch degrades
+    // the service (checkpoints suspended, WAL-only) without killing it.
+    if (Status background = checkpointer_->PeekError(); !background.ok()) {
+      EnterDegraded(background);
+    }
+    if (!checkpoints_suspended_.load(std::memory_order_acquire)) {
+      updates_since_checkpoint_ += consumed;
+      SOBC_RETURN_NOT_OK(MaybeCheckpoint(epoch, position));
+    }
+  }
+  return Status::OK();
+}
+
+Status BcService::ApplyReplicatedBatch(std::uint64_t epoch,
+                                       std::uint64_t stream_position,
+                                       std::span<const EdgeUpdate> updates) {
+  if (!options_.replicated) {
+    return Status::FailedPrecondition(
+        "ApplyReplicatedBatch requires a replicated-mode service");
+  }
+  if (health() == ServiceHealth::kReadOnly) {
+    Status why = last_error();
+    return why.ok() ? Status::FailedPrecondition("shard is read-only")
+                    : why;
+  }
+  std::uint64_t current = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current = final_epoch_;
+  }
+  // Exactly-once under coordinator retries: a redelivered epoch was fully
+  // applied (and logged) before — acknowledging it again is the idempotent
+  // half of the delivery argument (DESIGN.md §13).
+  if (epoch <= current) return Status::OK();
+  if (epoch != current + 1) {
+    return Status::FailedPrecondition(
+        "replicated batch epoch " + std::to_string(epoch) +
+        " leaves a gap after " + std::to_string(current) +
+        "; resend the missing epochs first");
+  }
+  auto fail = [this](Status st) -> Status {
+    EnterReadOnly(st);
+    batch_started_.store(0.0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_status_ = st;
+    writer_done_ = true;
+    publish_cv_.notify_all();
+    return st;
+  };
+  const double started = SteadyNowSeconds();
+  batch_started_.store(started, std::memory_order_relaxed);
+  if (options_.writer_batch_hook) options_.writer_batch_hook();
+  if (wal_ != nullptr) {
+    // Same log-before-apply discipline as the writer loop, under the
+    // coordinator's absolute epoch numbering.
+    if (Status st = wal_->Append(epoch, stream_position, updates); !st.ok()) {
+      return fail(std::move(st));
+    }
+    if (options_.durability.kill_after_appends > 0 &&
+        wal_->stats().appends >= options_.durability.kill_after_appends) {
+      (void)wal_->Sync();
+      std::_Exit(137);
+    }
+  }
+  WallTimer apply_timer;
+  Status st = updates.empty() ? Status::OK() : bc_->ApplyBatch(updates);
+  const double apply_seconds = apply_timer.Seconds();
+  if (!st.ok()) return fail(std::move(st));
+  const std::uint64_t previous =
+      published_position_.load(std::memory_order_acquire);
+  const std::uint64_t consumed =
+      stream_position > previous ? stream_position - previous : 0;
+  // Latency on a shard is receive-to-publish (the coordinator owns the
+  // submit-to-publish number; the queue lives there).
+  std::vector<double> latencies(updates.size(), started);
+  if (Status commit = CommitBatch(epoch, stream_position, updates.size(),
+                                  std::max<std::uint64_t>(consumed,
+                                                          updates.size()),
+                                  apply_seconds, &latencies);
+      !commit.ok()) {
+    return fail(std::move(commit));
+  }
+  batch_started_.store(0.0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void BcService::Halt() {
+  // Skipping the clean-shutdown checkpoint leaves exactly what a kill
+  // leaves behind: the last periodic checkpoint plus the WAL tail.
+  final_checkpoint_done_ = true;
+  (void)Stop();
 }
 
 Status BcService::Drain() {

@@ -7,7 +7,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "bc/dynamic_bc.h"
 #include "common/status.h"
@@ -127,6 +129,13 @@ struct BcServiceOptions {
   /// (before the WAL append). Lets fault tests deterministically stall or
   /// observe the writer; never set in production.
   std::function<void()> writer_batch_hook;
+  /// Shard-worker (cluster) mode: no internal writer or watchdog thread.
+  /// Batches arrive pre-coalesced from the coordinator connection through
+  /// ApplyReplicatedBatch, which runs the exact writer-loop sequence
+  /// (log-before-apply, publish, checkpoint policy) on the caller's
+  /// thread. Submit rejects — the coordinator's queue is the only
+  /// coalescing point, so every shard sees the same batch boundaries.
+  bool replicated = false;
 };
 
 /// The concurrent serving layer over the online framework (DESIGN.md §8):
@@ -189,6 +198,35 @@ class BcService {
   /// Idempotent; returns the writer's terminal status.
   Status Stop();
 
+  /// Crash-shaped stop for tests: shuts the service down WITHOUT the
+  /// clean-shutdown checkpoint, so the next Recover exercises the real
+  /// checkpoint + WAL-tail path exactly as after a process kill (the WAL
+  /// already holds every applied batch — log-before-apply).
+  void Halt();
+
+  /// Replicated-mode apply (options.replicated only; one caller thread —
+  /// the shard's coordinator session). Runs one coalesced batch through
+  /// the writer-loop sequence under the coordinator's epoch numbering:
+  /// `epoch` must be exactly final_epoch()+1 and `stream_position` the
+  /// coordinator's raw-update position after the batch. Exactly-once under
+  /// retries: a duplicate delivery (epoch <= the current epoch) is a
+  /// silent OK no-op, a gap is FailedPrecondition (the coordinator must
+  /// backfill from its replay window), and any WAL/apply failure takes the
+  /// shard ReadOnly and sticks as last_error().
+  Status ApplyReplicatedBatch(std::uint64_t epoch,
+                              std::uint64_t stream_position,
+                              std::span<const EdgeUpdate> updates);
+
+  /// Published epoch of the newest snapshot (any thread).
+  std::uint64_t final_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return final_epoch_;
+  }
+  /// Raw-stream position of the newest snapshot (any thread).
+  std::uint64_t final_position() const {
+    return published_position_.load(std::memory_order_acquire);
+  }
+
   /// Writer-side metrics merged with the queue's push accounting.
   ServeMetricsSnapshot metrics() const;
 
@@ -219,14 +257,31 @@ class BcService {
 
   /// The underlying framework — for post-mortem inspection (store
   /// footprint, checkpoint). Safe to touch only after Stop() returned;
-  /// while the service runs, the writer thread owns it.
+  /// while the service runs, the writer thread owns it. In replicated
+  /// mode there is no writer thread: the single ApplyReplicatedBatch
+  /// caller (the shard's session loop) owns it and may read it between
+  /// applies — that is how a shard serializes its score partials.
   DynamicBc* framework() { return bc_.get(); }
+
+  /// The resolved options this service runs with. Recover rewrites the
+  /// variant and source partition from the manifest; a restarted shard
+  /// reads its recovered partition back from here.
+  const BcServiceOptions& options() const { return options_; }
 
  private:
   BcService(std::unique_ptr<DynamicBc> bc, const BcServiceOptions& options);
 
   void WriterLoop();
   Status WriterStatusLocked() const { return writer_status_; }
+  /// The post-apply half of one batch, shared by the writer loop and
+  /// ApplyReplicatedBatch: publish the snapshot, record metrics (latency
+  /// stamps become submit-to-publish latencies here, after the publish),
+  /// advance final_epoch_/final_position_ under mu_, and run the
+  /// checkpoint policy. `consumed` is the raw-stream update count the
+  /// batch covers (applied + coalesced-away).
+  Status CommitBatch(std::uint64_t epoch, std::uint64_t position,
+                     std::size_t applied, std::uint64_t consumed,
+                     double apply_seconds, std::vector<double>* latencies);
   /// Durability plumbing shared by Create and Recover: checkpoint writer +
   /// WAL writer, with the first WAL segment starting at `next_epoch`.
   /// With `initial_checkpoint` (Create only) it first refuses a reused

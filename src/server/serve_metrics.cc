@@ -133,6 +133,7 @@ ServeMetricsSnapshot ServeMetrics::Read() const {
 
 std::string ServeMetricsSnapshot::ToJson() const {
   std::string out = "{";
+  AppendField(&out, "schema_version", kSchemaVersion);
   AppendField(&out, "received", received);
   AppendField(&out, "dropped", dropped);
   AppendField(&out, "applied", applied);

@@ -16,6 +16,14 @@ namespace sobc {
 /// BcService::metrics() from the queue's own stats (the single source of
 /// truth for push accounting).
 struct ServeMetricsSnapshot {
+  /// Version of the JSON object ToJson emits, as its `schema_version`
+  /// field — bumped whenever a key is added, renamed, or removed, so
+  /// dashboards can detect a schema they don't understand instead of
+  /// silently charting missing keys as zero. (v1 predates the field.)
+  /// metrics_schema_test pins the emitted key set against the documented
+  /// table in docs/OPERATIONS.md §3; changing either side alone fails it.
+  static constexpr std::uint64_t kSchemaVersion = 2;
+
   std::uint64_t received = 0;   // accepted into the queue
   std::uint64_t dropped = 0;    // rejected by backpressure
   std::uint64_t applied = 0;    // reached the engine, post-coalescing

@@ -92,6 +92,13 @@ std::string RenderManifest(const CheckpointManifest& manifest) {
   out << "directed " << (manifest.directed ? 1 : 0) << "\n";
   out << "num_vertices " << manifest.num_vertices << "\n";
   out << "variant " << manifest.variant << "\n";
+  // Written only for scoped (cluster-shard) deployments: pre-cluster
+  // readers skip unknown keys, and absent keys parse back as the
+  // full-range defaults, so the format stays compatible both ways.
+  if (manifest.source_begin != 0 || manifest.source_end != kInvalidVertex) {
+    out << "source_begin " << manifest.source_begin << "\n";
+    out << "source_end " << manifest.source_end << "\n";
+  }
   out << "graph " << manifest.graph_file << "\n";
   out << "scores " << manifest.scores_file << "\n";
   char crc_buf[16];
@@ -165,6 +172,12 @@ Result<CheckpointManifest> ReadManifest(const std::string& path) {
       manifest.num_vertices = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "variant") {
       manifest.variant = value;
+    } else if (key == "source_begin") {
+      manifest.source_begin = static_cast<VertexId>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "source_end") {
+      manifest.source_end = static_cast<VertexId>(
+          std::strtoul(value.c_str(), nullptr, 10));
     } else if (key == "graph") {
       manifest.graph_file = value;
     } else if (key == "scores") {
@@ -474,6 +487,8 @@ Status CheckpointWriter::WriteJob(const Job& job) {
   manifest.directed = job.graph.directed();
   manifest.num_vertices = job.graph.NumVertices();
   manifest.variant = job.variant;
+  manifest.source_begin = job.source_begin;
+  manifest.source_end = job.source_end;
   // Adjacency dump, not an edge list: neighbor order must survive the
   // round trip or recovery replay diverges by summation order.
   manifest.graph_file = "graph-" + epoch_tag + ".adj";

@@ -31,6 +31,14 @@ struct CheckpointManifest {
   /// Storage variant the deployment ran ("mo", "mp", or "do"); recovery
   /// rebuilds the same one.
   std::string variant = "mo";
+  /// Source partition [source_begin, source_end) the deployment owned —
+  /// the full range for a single-process service, one shard's share for a
+  /// cluster worker. Recovery rebuilds the same scoped framework, so a
+  /// restored shard's scores stay the same *partials* it checkpointed.
+  /// source_end == kInvalidVertex (the default) is open-ended. Absent in
+  /// pre-cluster manifests; the defaults reproduce their behavior.
+  VertexId source_begin = 0;
+  VertexId source_end = kInvalidVertex;
   /// Files relative to the checkpoint directory.
   std::string graph_file;
   std::string scores_file;
@@ -123,6 +131,9 @@ class CheckpointWriter {
     Graph graph;
     BcScores scores;
     std::string variant;
+    /// Owned source partition (see CheckpointManifest).
+    VertexId source_begin = 0;
+    VertexId source_end = kInvalidVertex;
     /// Pre-placed BD store copy inside the checkpoint dir ("do" only),
     /// with the CRC the capture's CopyFile computed over it.
     std::string store_file;

@@ -1,0 +1,495 @@
+// End-to-end coverage of the cluster embodiment (DESIGN.md §13): a real
+// ClusterCoordinator over real in-process ShardWorkers on loopback TCP,
+// differentially verified against the single-process BcService on the
+// same stream. The acceptance bar of the distributed-serving PR: N ∈
+// {1, 2, 4} shards must match the single process within 1e-7 on add/remove
+// churn — including a shard crash + checkpoint/WAL rejoin mid-stream —
+// plus the failure ladder over the wire: chaos-transport partitions heal
+// through the bounded reconnect path, an exhausted retry budget takes the
+// coordinator read-only (snapshots keep serving), and a Degraded shard
+// degrades the coordinator.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bc/brandes.h"
+#include "cluster/chaos_transport.h"
+#include "cluster/coordinator.h"
+#include "cluster/shard_worker.h"
+#include "cluster/transport.h"
+#include "common/fault_io.h"
+#include "common/io.h"
+#include "common/rng.h"
+#include "gen/stream_generators.h"
+#include "graph/graph.h"
+#include "server/bc_service.h"
+#include "tests/test_util.h"
+
+namespace sobc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testutil::ExpectScoresNear;
+using testutil::RandomConnectedGraph;
+
+constexpr double kTol = 1e-7;
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/sobc_cluster_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    Io::Install(nullptr);
+    fs::remove_all(root_);
+  }
+
+  ShardWorkerOptions WorkerOptions(std::size_t index, std::size_t count) {
+    ShardWorkerOptions options;
+    options.shard_index = index;
+    options.shard_count = count;
+    options.poll_seconds = 0.02;
+    return options;
+  }
+
+  ClusterCoordinatorOptions CoordinatorOptions() {
+    ClusterCoordinatorOptions options;
+    // Small batches so a stream spans many epochs — the replay window,
+    // resync, and merge paths all see real multi-epoch traffic.
+    options.queue.max_batch = 8;
+    options.queue.batch_latency_budget_seconds = 0.002;
+    options.reconnect_backoff_seconds = 0.02;
+    return options;
+  }
+
+  /// The single-process truth: the same stream through one BcService.
+  std::shared_ptr<const ScoreSnapshot> ReferenceSnapshot(
+      const Graph& base, const EdgeStream& stream) {
+    BcServiceOptions options;
+    options.queue.max_batch = 8;
+    auto service = BcService::Create(Graph(base), options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_EQ((*service)->SubmitAll(stream), stream.size());
+    EXPECT_TRUE((*service)->Drain().ok());
+    auto snap = (*service)->snapshot();
+    EXPECT_TRUE((*service)->Stop().ok());
+    return snap;
+  }
+
+  std::string root_;
+};
+
+// --- the acceptance differential --------------------------------------------
+
+TEST_F(ClusterTest, ShardedClusterMatchesSingleProcessOnChurn) {
+  Rng rng(41);
+  const Graph base = RandomConnectedGraph(30, 24, &rng);
+  const EdgeStream stream = MixedUpdateStream(base, 60, 0.3, &rng);
+  const auto reference = ReferenceSnapshot(base, stream);
+
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    TcpTransport transport;
+    std::vector<std::unique_ptr<ShardWorker>> workers;
+    std::vector<std::string> addresses;
+    for (std::size_t i = 0; i < shards; ++i) {
+      auto worker = ShardWorker::Start(Graph(base), &transport, "127.0.0.1:0",
+                                       WorkerOptions(i, shards));
+      ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+      addresses.push_back((*worker)->address());
+      workers.push_back(std::move(*worker));
+    }
+
+    auto coordinator = ClusterCoordinator::Connect(
+        Graph(base), addresses, &transport, CoordinatorOptions());
+    ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+    // The bring-up snapshot is the merged Step-1 truth at epoch 0.
+    const auto bringup = (*coordinator)->snapshot();
+    EXPECT_EQ(bringup->epoch, 0u);
+    ExpectScoresNear(ComputeBrandes(base),
+                     BcScores{bringup->vbc, bringup->ebc}, kTol,
+                     std::to_string(shards) + "-shard bring-up");
+
+    EXPECT_EQ((*coordinator)->SubmitAll(stream), stream.size());
+    ASSERT_TRUE((*coordinator)->Drain().ok())
+        << (*coordinator)->last_error().ToString();
+
+    const auto snap = (*coordinator)->snapshot();
+    EXPECT_EQ(snap->stream_position, stream.size());
+    EXPECT_EQ((*coordinator)->final_position(), stream.size());
+    EXPECT_EQ((*coordinator)->health(), ServiceHealth::kHealthy);
+    ExpectScoresNear(BcScores{reference->vbc, reference->ebc},
+                     BcScores{snap->vbc, snap->ebc}, kTol,
+                     std::to_string(shards) + "-shard cluster");
+    EXPECT_EQ(snap->num_vertices, reference->num_vertices);
+    EXPECT_EQ(snap->num_edges, reference->num_edges);
+
+    // Epochs advanced in lockstep on every shard.
+    for (const ShardStatus& status : (*coordinator)->shard_status()) {
+      EXPECT_EQ(status.epoch, (*coordinator)->final_epoch());
+      EXPECT_EQ(status.health, ServiceHealth::kHealthy);
+      EXPECT_EQ(status.reconnects, 0u);
+    }
+
+    EXPECT_TRUE((*coordinator)->Stop().ok());
+    // The clean shutdown reached every worker; Wait returns promptly.
+    for (auto& worker : workers) {
+      worker->Wait();
+      EXPECT_TRUE(worker->Stop().ok());
+    }
+  }
+}
+
+TEST_F(ClusterTest, ShardCrashAndCheckpointRejoinMidStreamStillConverges) {
+  Rng rng(42);
+  const Graph base = RandomConnectedGraph(28, 20, &rng);
+  const EdgeStream stream = MixedUpdateStream(base, 48, 0.3, &rng);
+  const auto reference = ReferenceSnapshot(base, stream);
+
+  TcpTransport transport;
+  const std::size_t shards = 2;
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<std::string> addresses;
+  std::vector<ShardWorkerOptions> worker_options;
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardWorkerOptions options = WorkerOptions(i, shards);
+    // Durable shards: the crashed one recovers from its base checkpoint +
+    // WAL tail, exactly the process-kill path.
+    const std::string tag = root_ + "/s" + std::to_string(i);
+    options.service.durability.wal_dir = tag + "_wal";
+    options.service.durability.checkpoint_dir = tag + "_cp";
+    auto worker = ShardWorker::Start(Graph(base), &transport, "127.0.0.1:0",
+                                     options);
+    ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+    addresses.push_back((*worker)->address());
+    workers.push_back(std::move(*worker));
+    worker_options.push_back(options);
+  }
+
+  ClusterCoordinatorOptions options = CoordinatorOptions();
+  options.shard_retry_seconds = 8.0;
+  auto coordinator = ClusterCoordinator::Connect(Graph(base), addresses,
+                                                 &transport, options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  const std::size_t half = stream.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE((*coordinator)->Submit(stream[i]));
+  }
+  ASSERT_TRUE((*coordinator)->Drain().ok());
+
+  // Crash shard 1 the hard way: no clean shutdown, no final checkpoint.
+  workers[1]->Halt();
+  // Restart it on the same address from its durable state. The rejoin is
+  // wire-driven: the handshake reports the recovered epoch and the
+  // coordinator resends what the crash lost from its replay window.
+  RecoveryInfo info;
+  auto restarted = ShardWorker::Recover(&transport, addresses[1],
+                                        worker_options[1], &info);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  EXPECT_TRUE(restarted->get()->range() == workers[1]->range());
+  workers[1] = std::move(*restarted);
+
+  for (std::size_t i = half; i < stream.size(); ++i) {
+    ASSERT_TRUE((*coordinator)->Submit(stream[i]));
+  }
+  ASSERT_TRUE((*coordinator)->Drain().ok())
+      << (*coordinator)->last_error().ToString();
+  EXPECT_EQ((*coordinator)->health(), ServiceHealth::kHealthy);
+
+  const auto snap = (*coordinator)->snapshot();
+  EXPECT_EQ(snap->stream_position, stream.size());
+  ExpectScoresNear(BcScores{reference->vbc, reference->ebc},
+                   BcScores{snap->vbc, snap->ebc}, kTol,
+                   "crash+rejoin cluster");
+
+  const std::vector<ShardStatus> status = (*coordinator)->shard_status();
+  ASSERT_EQ(status.size(), shards);
+  EXPECT_GE(status[1].reconnects, 1u) << "the crash must have been healed "
+                                         "through the reconnect path";
+  EXPECT_EQ(status[1].epoch, (*coordinator)->final_epoch());
+  EXPECT_EQ(status[0].reconnects, 0u);
+
+  EXPECT_TRUE((*coordinator)->Stop().ok());
+  for (auto& worker : workers) EXPECT_TRUE(worker->Stop().ok());
+}
+
+// --- failure ladder over the wire -------------------------------------------
+
+TEST_F(ClusterTest, PartitionedShardHealsThroughBoundedReconnects) {
+  Rng rng(43);
+  const Graph base = RandomConnectedGraph(26, 18, &rng);
+  const EdgeStream stream = MixedUpdateStream(base, 48, 0.3, &rng);
+  const auto reference = ReferenceSnapshot(base, stream);
+
+  TcpTransport inner;
+  ChaosTransport chaos(&inner);
+  const std::size_t shards = 2;
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<std::string> addresses;
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto worker = ShardWorker::Start(Graph(base), &inner, "127.0.0.1:0",
+                                     WorkerOptions(i, shards));
+    ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+    addresses.push_back((*worker)->address());
+    workers.push_back(std::move(*worker));
+  }
+
+  // Every connection the coordinator makes to shard 0 dies after 3 frames
+  // — repeated partitions mid-replication. Bring-up (hello + fetch = 2
+  // frames) fits under the break; each replication connection then loses
+  // its first ack and each reconnect makes at least one epoch of progress
+  // (handshake + one resend/fetch fit under the break), so replication
+  // keeps converging through the faults. The plan is armed before Connect
+  // because ChaosTransport binds a plan to connections made after SetPlan.
+  ChaosPlan plan;
+  plan.drop_after_sends = 3;
+  chaos.SetPlan(addresses[0], plan);
+
+  ClusterCoordinatorOptions options = CoordinatorOptions();
+  options.shard_retry_seconds = 8.0;
+  auto coordinator = ClusterCoordinator::Connect(Graph(base), addresses,
+                                                 &chaos, options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  EXPECT_EQ((*coordinator)->SubmitAll(stream), stream.size());
+  ASSERT_TRUE((*coordinator)->Drain().ok())
+      << (*coordinator)->last_error().ToString();
+  EXPECT_EQ((*coordinator)->health(), ServiceHealth::kHealthy);
+
+  const auto snap = (*coordinator)->snapshot();
+  EXPECT_EQ(snap->stream_position, stream.size());
+  ExpectScoresNear(BcScores{reference->vbc, reference->ebc},
+                   BcScores{snap->vbc, snap->ebc}, kTol,
+                   "partitioned cluster");
+
+  const std::vector<ShardStatus> status = (*coordinator)->shard_status();
+  EXPECT_GE(status[0].reconnects, 1u);
+  EXPECT_EQ(status[1].reconnects, 0u);
+
+  // Heal the plan so shutdown reaches shard 0 cleanly.
+  chaos.SetPlan(addresses[0], ChaosPlan{});
+  (void)(*coordinator)->Stop();
+  for (auto& worker : workers) EXPECT_TRUE(worker->Stop().ok());
+}
+
+TEST_F(ClusterTest, ExhaustedRetryBudgetTakesTheCoordinatorReadOnly) {
+  Rng rng(44);
+  const Graph base = RandomConnectedGraph(24, 16, &rng);
+  const EdgeStream stream = MixedUpdateStream(base, 32, 0.3, &rng);
+
+  TcpTransport transport;
+  const std::size_t shards = 2;
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<std::string> addresses;
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto worker = ShardWorker::Start(Graph(base), &transport, "127.0.0.1:0",
+                                     WorkerOptions(i, shards));
+    ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+    addresses.push_back((*worker)->address());
+    workers.push_back(std::move(*worker));
+  }
+
+  ClusterCoordinatorOptions options = CoordinatorOptions();
+  options.shard_ack_timeout_seconds = 1.0;
+  options.shard_retry_seconds = 0.5;
+  options.connect_timeout_seconds = 0.5;
+  auto coordinator = ClusterCoordinator::Connect(Graph(base), addresses,
+                                                 &transport, options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  const std::size_t half = stream.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE((*coordinator)->Submit(stream[i]));
+  }
+  ASSERT_TRUE((*coordinator)->Drain().ok());
+  const auto last_good = (*coordinator)->snapshot();
+
+  // Kill shard 0 and never bring it back: the per-batch recovery loop
+  // burns its whole retry budget on refused connects, and the coordinator
+  // goes read-only instead of hanging.
+  workers[0]->Halt();
+  for (std::size_t i = half; i < stream.size(); ++i) {
+    (void)(*coordinator)->Submit(stream[i]);
+  }
+  const Status drain = (*coordinator)->Drain();
+  EXPECT_FALSE(drain.ok());
+  EXPECT_EQ((*coordinator)->health(), ServiceHealth::kReadOnly);
+  EXPECT_FALSE((*coordinator)->last_error().ok());
+
+  // Read-only, not down: the last published merge still serves, and new
+  // submissions are rejected fast.
+  const auto snap = (*coordinator)->snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_GE(snap->stream_position, last_good->stream_position);
+  EXPECT_FALSE((*coordinator)->Submit(stream[0]));
+
+  const ServeMetricsSnapshot metrics = (*coordinator)->metrics();
+  EXPECT_EQ(metrics.health, "readonly");
+  EXPECT_FALSE(metrics.last_error.empty());
+
+  EXPECT_FALSE((*coordinator)->Stop().ok());
+  EXPECT_TRUE(workers[1]->Stop().ok());
+}
+
+TEST_F(ClusterTest, DegradedShardDegradesTheCoordinator) {
+  Rng rng(45);
+  const Graph base = RandomConnectedGraph(26, 18, &rng);
+  const EdgeStream stream = MixedUpdateStream(base, 40, 0.3, &rng);
+  const auto reference = ReferenceSnapshot(base, stream);
+
+  TcpTransport transport;
+  const std::size_t shards = 2;
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<std::string> addresses;
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardWorkerOptions options = WorkerOptions(i, shards);
+    const std::string tag = root_ + "/s" + std::to_string(i);
+    options.service.durability.wal_dir = tag + "_wal";
+    // Only shard 0's checkpoint dir carries the fault filter substring, so
+    // the process-global fault Io hits exactly one shard.
+    options.service.durability.checkpoint_dir =
+        tag + (i == 0 ? "_faultckpt" : "_cp");
+    options.service.durability.checkpoint_every_updates = 8;
+    options.service.durability.wal_fsync_every = 0;
+    auto worker = ShardWorker::Start(Graph(base), &transport, "127.0.0.1:0",
+                                     options);
+    ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+    addresses.push_back((*worker)->address());
+    workers.push_back(std::move(*worker));
+  }
+
+  auto coordinator = ClusterCoordinator::Connect(Graph(base), addresses,
+                                                 &transport,
+                                                 CoordinatorOptions());
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  {
+    // Armed after bring-up: the next background checkpoint under shard 0's
+    // checkpoint dir hits ENOSPC and degrades that shard; the degradation
+    // must ride the next ack to the coordinator.
+    FaultInjectingIo fault(*FaultSchedule::Parse("fsync~faultckpt@1=ENOSPC"));
+    Io::Install(&fault);
+
+    const std::size_t half = stream.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE((*coordinator)->Submit(stream[i]));
+    }
+    ASSERT_TRUE((*coordinator)->Drain().ok());
+    // Let shard 0's background checkpoint fail, then drive more batches so
+    // its session observes the failure and acks with degraded health.
+    (void)workers[0]->service()->QuiesceCheckpoints();
+    for (std::size_t i = half; i < stream.size(); ++i) {
+      ASSERT_TRUE((*coordinator)->Submit(stream[i]))
+          << "a degraded cluster must keep accepting updates";
+    }
+    ASSERT_TRUE((*coordinator)->Drain().ok())
+        << (*coordinator)->last_error().ToString();
+    // Both shards' background checkpoint threads run through the
+    // process-global Io; they must be idle before the fault Io dies.
+    for (auto& worker : workers) (void)worker->service()->QuiesceCheckpoints();
+    Io::Install(nullptr);
+  }
+
+  EXPECT_EQ(workers[0]->service()->health(), ServiceHealth::kDegraded);
+  EXPECT_EQ((*coordinator)->health(), ServiceHealth::kDegraded);
+  EXPECT_FALSE((*coordinator)->last_error().ok());
+
+  const std::vector<ShardStatus> status = (*coordinator)->shard_status();
+  EXPECT_EQ(status[0].health, ServiceHealth::kDegraded);
+  EXPECT_EQ(status[1].health, ServiceHealth::kHealthy);
+
+  // Degraded serving stayed correct the whole time.
+  const auto snap = (*coordinator)->snapshot();
+  EXPECT_EQ(snap->stream_position, stream.size());
+  ExpectScoresNear(BcScores{reference->vbc, reference->ebc},
+                   BcScores{snap->vbc, snap->ebc}, kTol, "degraded cluster");
+  const ServeMetricsSnapshot metrics = (*coordinator)->metrics();
+  EXPECT_EQ(metrics.health, "degraded");
+
+  (void)(*coordinator)->Stop();
+  for (auto& worker : workers) (void)worker->Stop();
+}
+
+// --- bring-up validation and the exactly-once contract ----------------------
+
+TEST_F(ClusterTest, ConnectRefusesAnIncompleteShardRoster) {
+  Rng rng(46);
+  const Graph base = RandomConnectedGraph(20, 12, &rng);
+  TcpTransport transport;
+  // Two workers that each believe they are half of a 2-shard cluster...
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<std::string> addresses;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto worker = ShardWorker::Start(Graph(base), &transport, "127.0.0.1:0",
+                                     WorkerOptions(i, 2));
+    ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+    addresses.push_back((*worker)->address());
+    workers.push_back(std::move(*worker));
+  }
+  // ...must be refused when the coordinator was only given one of them:
+  // the shard map would not tile the source space.
+  auto partial = ClusterCoordinator::Connect(
+      Graph(base), {addresses[0]}, &transport, CoordinatorOptions());
+  EXPECT_FALSE(partial.ok());
+
+  // And a graph that does not match what the shards were started with is
+  // refused at the handshake, before any batch flows.
+  Graph other = RandomConnectedGraph(21, 12, &rng);
+  auto mismatched = ClusterCoordinator::Connect(
+      std::move(other), addresses, &transport, CoordinatorOptions());
+  EXPECT_FALSE(mismatched.ok());
+
+  for (auto& worker : workers) EXPECT_TRUE(worker->Stop().ok());
+}
+
+TEST_F(ClusterTest, ReplicatedApplyIsExactlyOnceUnderRetries) {
+  Rng rng(47);
+  const Graph base = RandomConnectedGraph(16, 10, &rng);
+  EdgeStream stream = MixedUpdateStream(base, 6, 0.0, &rng);
+
+  BcServiceOptions options;
+  options.replicated = true;
+  auto service = BcService::Create(Graph(base), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  // Replicated mode has no internal coalescing point; Submit rejects.
+  EXPECT_FALSE((*service)->Submit(stream[0]));
+
+  std::span<const EdgeUpdate> all(stream);
+  ASSERT_TRUE((*service)->ApplyReplicatedBatch(1, 3, all.subspan(0, 3)).ok());
+  EXPECT_EQ((*service)->final_epoch(), 1u);
+  const auto after_first = (*service)->snapshot();
+
+  // A duplicate delivery (the coordinator lost the ack and resent) is a
+  // silent no-op: same epoch, same published scores.
+  ASSERT_TRUE((*service)->ApplyReplicatedBatch(1, 3, all.subspan(0, 3)).ok());
+  EXPECT_EQ((*service)->final_epoch(), 1u);
+  EXPECT_EQ((*service)->snapshot()->stream_position,
+            after_first->stream_position);
+
+  // A gap is refused — the coordinator must backfill epoch 2 first.
+  const Status gap = (*service)->ApplyReplicatedBatch(3, 6, all.subspan(3));
+  EXPECT_FALSE(gap.ok());
+  EXPECT_EQ(gap.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*service)->final_epoch(), 1u);
+
+  // The contiguous next epoch lands normally after the refused gap.
+  ASSERT_TRUE((*service)->ApplyReplicatedBatch(2, 6, all.subspan(3)).ok());
+  EXPECT_EQ((*service)->final_epoch(), 2u);
+  EXPECT_EQ((*service)->final_position(), 6u);
+  EXPECT_EQ((*service)->health(), ServiceHealth::kHealthy);
+  EXPECT_TRUE((*service)->Stop().ok());
+}
+
+}  // namespace
+}  // namespace sobc

@@ -1,0 +1,308 @@
+// Unit coverage for the cluster plumbing under the coordinator: shard-map
+// partition math, wire-format encode/decode round-trips (including
+// truncation and bogus-count corruption the bounds-checked reader must
+// refuse), and the framed TCP transport over loopback — real frames, CRC
+// verification against a byte flipped on the wire, and receive deadlines.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "cluster/transport.h"
+#include "cluster/wire.h"
+#include "common/crc32.h"
+
+namespace sobc {
+namespace {
+
+// --- shard map --------------------------------------------------------------
+
+TEST(ShardMapTest, RangesTileTheSourceSpace) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 5u, 8u}) {
+      const std::vector<ShardRange> ranges = BuildShardMap(n, shards);
+      ASSERT_EQ(ranges.size(), shards);
+      EXPECT_EQ(ranges.front().begin, 0u);
+      for (std::size_t i = 0; i + 1 < shards; ++i) {
+        EXPECT_EQ(ranges[i].end, ranges[i + 1].begin)
+            << "gap/overlap at shard " << i << " (n=" << n << ")";
+      }
+      // The last shard is open-ended so vertices added by later updates
+      // always have an owner.
+      EXPECT_TRUE(ranges.back().open_ended());
+      EXPECT_TRUE(ValidateShardMap(ranges, n).ok());
+      // Sizes differ by at most one across shards.
+      for (std::size_t i = 0; i + 1 < shards; ++i) {
+        const std::size_t size = ranges[i].end - ranges[i].begin;
+        EXPECT_NEAR(static_cast<double>(size),
+                    static_cast<double>(n) / shards, 1.0);
+      }
+    }
+  }
+}
+
+TEST(ShardMapTest, ValidateRejectsBrokenTilings) {
+  const VertexId end = kInvalidVertex;
+  // Gap between shards.
+  EXPECT_FALSE(
+      ValidateShardMap({ShardRange{0, 5}, ShardRange{6, end}}, 10).ok());
+  // Overlap.
+  EXPECT_FALSE(
+      ValidateShardMap({ShardRange{0, 5}, ShardRange{4, end}}, 10).ok());
+  // First shard not starting at 0.
+  EXPECT_FALSE(ValidateShardMap({ShardRange{1, end}}, 10).ok());
+  // Last shard closed before n.
+  EXPECT_FALSE(
+      ValidateShardMap({ShardRange{0, 5}, ShardRange{5, 8}}, 10).ok());
+  // Empty map.
+  EXPECT_FALSE(ValidateShardMap({}, 10).ok());
+}
+
+TEST(ShardMapTest, ParseHostPort) {
+  std::string host;
+  int port = 0;
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:9000", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9000);
+  ASSERT_TRUE(ParseHostPort("localhost:0", &host, &port).ok());
+  EXPECT_EQ(host, "localhost");
+  EXPECT_EQ(port, 0);
+  EXPECT_FALSE(ParseHostPort("no-port-here", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort(":123", &host, &port).ok());
+}
+
+// --- wire format ------------------------------------------------------------
+
+TEST(WireTest, HelloRoundTrip) {
+  HelloMsg msg;
+  msg.num_vertices = 12345;
+  msg.num_edges = 67890;
+  msg.directed = true;
+  const std::string payload = EncodeHello(msg);
+  auto type = PeekType(payload);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, MsgType::kHello);
+  auto decoded = DecodeHello(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->protocol_version, kClusterProtocolVersion);
+  EXPECT_EQ(decoded->num_vertices, 12345u);
+  EXPECT_EQ(decoded->num_edges, 67890u);
+  EXPECT_TRUE(decoded->directed);
+}
+
+TEST(WireTest, HelloAckRoundTrip) {
+  HelloAckMsg msg;
+  msg.shard_index = 2;
+  msg.shard_count = 4;
+  msg.range = ShardRange{50, 75};
+  msg.epoch = 99;
+  msg.stream_position = 1234;
+  msg.health = 1;
+  msg.num_vertices = 100;
+  msg.num_edges = 200;
+  const std::string payload = EncodeHelloAck(msg);
+  auto decoded = DecodeHelloAck(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->shard_index, 2u);
+  EXPECT_EQ(decoded->shard_count, 4u);
+  EXPECT_TRUE(decoded->range == (ShardRange{50, 75}));
+  EXPECT_EQ(decoded->epoch, 99u);
+  EXPECT_EQ(decoded->stream_position, 1234u);
+  EXPECT_EQ(decoded->health, 1);
+  EXPECT_EQ(decoded->num_vertices, 100u);
+  EXPECT_EQ(decoded->num_edges, 200u);
+  EXPECT_FALSE(decoded->directed);
+}
+
+TEST(WireTest, ApplyRoundTripPreservesUpdates) {
+  ApplyMsg msg;
+  msg.epoch = 7;
+  msg.stream_position = 321;
+  msg.updates.push_back(EdgeUpdate{1, 2, EdgeOp::kAdd, 0.5});
+  msg.updates.push_back(EdgeUpdate{9, 3, EdgeOp::kRemove, 1.25});
+  const std::string payload = EncodeApply(msg);
+  auto decoded = DecodeApply(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, 7u);
+  EXPECT_EQ(decoded->stream_position, 321u);
+  ASSERT_EQ(decoded->updates.size(), 2u);
+  EXPECT_EQ(decoded->updates[0].u, 1u);
+  EXPECT_EQ(decoded->updates[0].v, 2u);
+  EXPECT_EQ(decoded->updates[0].op, EdgeOp::kAdd);
+  EXPECT_EQ(decoded->updates[0].timestamp, 0.5);
+  EXPECT_EQ(decoded->updates[1].u, 9u);
+  EXPECT_EQ(decoded->updates[1].op, EdgeOp::kRemove);
+}
+
+TEST(WireTest, ApplyAckRoundTripCarriesPartialScores) {
+  ApplyAckMsg msg;
+  msg.epoch = 11;
+  msg.stream_position = 500;
+  msg.ok = false;
+  msg.status_code = 6;  // kFailedPrecondition
+  msg.message = "epoch gap";
+  msg.health = 2;
+  msg.sources_total = 40;
+  msg.sources_prefiltered = 15;
+  msg.partial.vbc = {0.0, 1.5, 2.25};
+  msg.partial.ebc[EdgeKey{1, 2}] = 3.75;
+  const std::string payload = EncodeApplyAck(msg);
+  auto decoded = DecodeApplyAck(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, 11u);
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->status_code, 6);
+  EXPECT_EQ(decoded->message, "epoch gap");
+  EXPECT_EQ(decoded->health, 2);
+  EXPECT_EQ(decoded->sources_total, 40u);
+  EXPECT_EQ(decoded->sources_prefiltered, 15u);
+  EXPECT_EQ(decoded->partial.vbc, (std::vector<double>{0.0, 1.5, 2.25}));
+  EXPECT_EQ(decoded->partial.ebc.at(EdgeKey{1, 2}), 3.75);
+}
+
+TEST(WireTest, PartialAndControlRoundTrips) {
+  PartialMsg msg;
+  msg.epoch = 3;
+  msg.stream_position = 77;
+  msg.health = 0;
+  msg.partial.vbc = {4.0};
+  const std::string payload = EncodePartial(msg);
+  auto decoded = DecodePartial(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, 3u);
+  EXPECT_EQ(decoded->partial.vbc, (std::vector<double>{4.0}));
+
+  auto fetch = PeekType(EncodeFetch());
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(*fetch, MsgType::kFetch);
+  auto shutdown = PeekType(EncodeShutdown());
+  ASSERT_TRUE(shutdown.ok());
+  EXPECT_EQ(*shutdown, MsgType::kShutdown);
+  auto shutdown_ack = PeekType(EncodeShutdownAck());
+  ASSERT_TRUE(shutdown_ack.ok());
+  EXPECT_EQ(*shutdown_ack, MsgType::kShutdownAck);
+}
+
+TEST(WireTest, DecoderRefusesTruncationAndBogusCounts) {
+  EXPECT_FALSE(PeekType("").ok());
+
+  ApplyMsg msg;
+  msg.epoch = 1;
+  msg.updates.push_back(EdgeUpdate{1, 2, EdgeOp::kAdd, 0.0});
+  const std::string payload = EncodeApply(msg);
+  // Every truncation point must be an error, never a partial decode.
+  for (std::size_t cut = 1; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeApply(payload.substr(0, cut)).ok())
+        << "truncation at byte " << cut << " decoded";
+  }
+  // Wrong type byte routed to the wrong decoder.
+  EXPECT_FALSE(DecodeHello(payload).ok());
+
+  // A corrupted element count claiming more entries than the payload
+  // could hold must be refused before any allocation-sized resize.
+  std::string corrupt = payload;
+  // The update-count u32 sits right after [type][epoch u64][position u64].
+  const std::size_t count_offset = 1 + 8 + 8;
+  const std::uint32_t huge = 0x7fffffff;
+  std::memcpy(corrupt.data() + count_offset, &huge, sizeof(huge));
+  EXPECT_FALSE(DecodeApply(corrupt).ok());
+
+  // Trailing garbage after a complete message is a framing error too.
+  EXPECT_FALSE(DecodeApply(payload + "x").ok());
+}
+
+// --- transport --------------------------------------------------------------
+
+TEST(TransportTest, LoopbackFrameRoundTrip) {
+  TcpTransport transport;
+  auto listener = transport.Listen("127.0.0.1:0");
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const std::string address = (*listener)->address();
+
+  std::thread server([&] {
+    auto conn = (*listener)->Accept(5.0);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    std::string payload;
+    ASSERT_TRUE((*conn)->RecvFrame(&payload, 5.0).ok());
+    // Echo it back with a marker.
+    ASSERT_TRUE((*conn)->SendFrame(payload + "!").ok());
+  });
+
+  auto client = transport.Connect(address, 5.0);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::string big(100000, 'a');
+  big += "tail";
+  ASSERT_TRUE((*client)->SendFrame(big).ok());
+  std::string reply;
+  ASSERT_TRUE((*client)->RecvFrame(&reply, 5.0).ok());
+  EXPECT_EQ(reply, big + "!");
+  server.join();
+}
+
+TEST(TransportTest, RecvTimesOutWhenNoFrameArrives) {
+  TcpTransport transport;
+  auto listener = transport.Listen("127.0.0.1:0");
+  ASSERT_TRUE(listener.ok());
+  auto client = transport.Connect((*listener)->address(), 5.0);
+  ASSERT_TRUE(client.ok());
+  auto server_conn = (*listener)->Accept(5.0);
+  ASSERT_TRUE(server_conn.ok());
+  std::string payload;
+  const Status st = (*server_conn)->RecvFrame(&payload, 0.1);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(IsTransportTimeout(st)) << st.ToString();
+  // Accept with nothing pending times out the same way.
+  auto no_conn = (*listener)->Accept(0.1);
+  EXPECT_FALSE(no_conn.ok());
+  EXPECT_TRUE(IsTransportTimeout(no_conn.status()));
+}
+
+TEST(TransportTest, CorruptedFrameFailsTheCrcCheck) {
+  TcpTransport transport;
+  auto listener = transport.Listen("127.0.0.1:0");
+  ASSERT_TRUE(listener.ok());
+  std::string host;
+  int port = 0;
+  ASSERT_TRUE(ParseHostPort((*listener)->address(), &host, &port).ok());
+
+  // Raw client socket so the test controls the exact bytes on the wire.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ASSERT_EQ(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  auto server_conn = (*listener)->Accept(5.0);
+  ASSERT_TRUE(server_conn.ok());
+
+  const std::string payload = "hello cluster";
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  std::uint32_t crc = Crc32(payload.data(), payload.size());
+  crc ^= 0x1;  // one flipped bit: the frame must be refused
+  std::string frame;
+  frame.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  frame += payload;
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+
+  std::string received;
+  const Status st = (*server_conn)->RecvFrame(&received, 5.0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(IsTransportTimeout(st)) << "CRC failure, not a timeout";
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace sobc

@@ -382,7 +382,14 @@ TEST_F(FaultSoakTest, RandomizedScheduleMatrixAlwaysRecoversToTheTruth) {
                                       : v.variant == BcVariant::kOutOfCore
                                           ? 2
                                           : 1));
-      SCOPED_TRACE(tag + " schedule: " + schedule_text);
+      // Any assertion below reports everything a reproduction needs: the
+      // matrix seed, the generator input, the raw schedule text, and the
+      // parsed schedule's canonical rendering (what the injector actually
+      // armed — grammar defaults filled in).
+      const FaultSchedule parsed_schedule = MustParse(schedule_text);
+      SCOPED_TRACE(tag + " seed=" + std::to_string(seed) +
+                   " schedule: " + schedule_text +
+                   " canonical: " + parsed_schedule.ToString());
       schedules.insert(schedule_text);
 
       Rng rng(seed * 977 + 5);
@@ -397,7 +404,7 @@ TEST_F(FaultSoakTest, RandomizedScheduleMatrixAlwaysRecoversToTheTruth) {
       ServiceHealth health = ServiceHealth::kHealthy;
       std::shared_ptr<const ScoreSnapshot> live;
       {
-        ScopedFaultIo fault(MustParse(schedule_text));
+        ScopedFaultIo fault(parsed_schedule);
         accepted = (*service)->SubmitAll(stream);
         const Status drain = (*service)->Drain();
         live = (*service)->snapshot();

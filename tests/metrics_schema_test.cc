@@ -1,0 +1,102 @@
+// Drift gate between the serve-metrics JSON and its operator documentation
+// (docs/OPERATIONS.md §3): every key ToJson emits must be documented in
+// the metrics table, every documented key must be emitted, and the object
+// must carry the schema_version stamp dashboards key off. Adding, renaming,
+// or removing a metric without updating the docs — or vice versa — fails
+// here, not in someone's dashboard.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "server/serve_metrics.h"
+
+namespace sobc {
+namespace {
+
+#ifndef SOBC_SOURCE_DIR
+#error "metrics_schema_test needs SOBC_SOURCE_DIR (set by CMakeLists.txt)"
+#endif
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Keys of the documented metrics table: every `backticked` token in the
+/// Field column (the first cell) between the metrics-keys markers.
+std::set<std::string> DocumentedKeys(const std::string& operations_md) {
+  const std::size_t begin = operations_md.find("<!-- metrics-keys-begin");
+  const std::size_t end = operations_md.find("<!-- metrics-keys-end");
+  EXPECT_NE(begin, std::string::npos) << "metrics-keys-begin marker missing";
+  EXPECT_NE(end, std::string::npos) << "metrics-keys-end marker missing";
+  EXPECT_LT(begin, end);
+  std::set<std::string> keys;
+  std::istringstream lines(operations_md.substr(begin, end - begin));
+  const std::regex token("`([a-z][a-z0-9_]*)`");
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    // First cell only — the Meaning column backticks values and flag
+    // names that are not JSON keys.
+    const std::size_t cell_end = line.find('|', 1);
+    if (cell_end == std::string::npos) continue;
+    const std::string cell = line.substr(0, cell_end);
+    for (std::sregex_iterator it(cell.begin(), cell.end(), token), last;
+         it != last; ++it) {
+      keys.insert((*it)[1].str());
+    }
+  }
+  return keys;
+}
+
+/// Keys of the emitted JSON object: everything quoted and followed by a
+/// colon (values are never — string values are followed by a comma).
+std::set<std::string> EmittedKeys(const std::string& json) {
+  std::set<std::string> keys;
+  const std::regex key("\"([a-z][a-z0-9_]*)\":");
+  for (std::sregex_iterator it(json.begin(), json.end(), key), last;
+       it != last; ++it) {
+    keys.insert((*it)[1].str());
+  }
+  return keys;
+}
+
+TEST(MetricsSchemaTest, EveryDocumentedKeyIsEmittedAndViceVersa) {
+  const std::string docs =
+      ReadFileOrDie(std::string(SOBC_SOURCE_DIR) + "/docs/OPERATIONS.md");
+  const std::set<std::string> documented = DocumentedKeys(docs);
+  const std::set<std::string> emitted =
+      EmittedKeys(ServeMetricsSnapshot{}.ToJson());
+  ASSERT_FALSE(documented.empty());
+  ASSERT_FALSE(emitted.empty());
+  for (const std::string& key : emitted) {
+    EXPECT_TRUE(documented.count(key) > 0)
+        << "ToJson emits `" << key
+        << "` but docs/OPERATIONS.md §3 does not document it";
+  }
+  for (const std::string& key : documented) {
+    EXPECT_TRUE(emitted.count(key) > 0)
+        << "docs/OPERATIONS.md §3 documents `" << key
+        << "` but ToJson does not emit it";
+  }
+}
+
+TEST(MetricsSchemaTest, SchemaVersionIsStampedFirst) {
+  const std::string json = ServeMetricsSnapshot{}.ToJson();
+  const std::string expected =
+      "{\"schema_version\": " +
+      std::to_string(ServeMetricsSnapshot::kSchemaVersion);
+  EXPECT_EQ(json.substr(0, expected.size()), expected)
+      << "schema_version must lead the object: " << json.substr(0, 80);
+}
+
+}  // namespace
+}  // namespace sobc

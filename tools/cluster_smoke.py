@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""End-to-end cluster smoke: coordinator + 3 shard workers on localhost.
+
+The CI rehearsal of docs/OPERATIONS.md section 7: three `sobc_cli shard`
+processes and one `sobc_cli cluster` coordinator run a deterministic churn
+stream; one shard is hard-killed mid-stream (--kill-after, _exit(137)
+right after a WAL append) and restarted with `shard --recover`, so the
+rejoin walks the real checkpoint + WAL-tail + wire-resync path. The final
+top-K block must be byte-identical to a single-process `sobc_cli serve`
+of the same stream — the cluster differential.
+
+Usage: tools/cluster_smoke.py [--cli build/sobc_cli] [--workdir DIR]
+Exit code 0 on success; every failure prints the offending output.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+UPDATES = 400
+CHURN = 0.4
+SEED = 7
+TOP = 5
+SHARDS = 3
+KILL_AFTER = 4  # WAL appends on the doomed shard before _exit(137)
+STARTUP_TIMEOUT = 60.0
+RUN_TIMEOUT = 180.0
+
+
+def fail(message, *outputs):
+    print(f"FAIL: {message}", file=sys.stderr)
+    for name, text in outputs:
+        print(f"--- {name} ---\n{text}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_line(path, pattern, timeout, proc=None, what=""):
+    """Polls a log file until a line matches `pattern`; returns the match."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            with open(path, errors="replace") as f:
+                for line in f:
+                    m = re.search(pattern, line)
+                    if m:
+                        return m
+        if proc is not None and proc.poll() is not None:
+            with open(path, errors="replace") as f:
+                fail(f"{what} exited rc={proc.returncode} before '{pattern}'",
+                     (path, f.read()))
+        time.sleep(0.05)
+    with open(path, errors="replace") as f:
+        fail(f"timed out waiting for '{pattern}' in {path}", (path, f.read()))
+
+
+def top_block(text):
+    """The `top-K vertices ... top-K edges ...` block of a run's stdout."""
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith(f"top-{TOP} vertices"):
+            return "\n".join(lines[i:i + 2 * (TOP + 1)])
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", default="build/sobc_cli")
+    parser.add_argument("--workdir", default=None)
+    args = parser.parse_args()
+    cli = os.path.abspath(args.cli)
+    if not os.path.exists(cli):
+        fail(f"no sobc_cli at {cli} (build first)")
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="sobc_cluster_smoke_")
+    os.makedirs(workdir, exist_ok=True)
+    os.chdir(workdir)
+    print(f"cluster smoke in {workdir}")
+
+    stream_flags = [f"--updates={UPDATES}", f"--churn={CHURN}",
+                    f"--seed={SEED}", f"--top={TOP}"]
+
+    subprocess.run([cli, "generate", "social", "200", "--seed=3",
+                    "--out=g.txt"], check=True)
+
+    # The single-process truth for the same deterministic stream.
+    serve = subprocess.run(
+        [cli, "serve", "g.txt", "--readers=0"] + stream_flags,
+        capture_output=True, text=True, timeout=RUN_TIMEOUT)
+    if serve.returncode != 0:
+        fail("single-process serve failed", ("serve", serve.stdout + serve.stderr))
+    reference = top_block(serve.stdout)
+    if reference is None:
+        fail("no top-K block in serve output", ("serve", serve.stdout))
+
+    # Three durable shard workers on ephemeral ports; shard 1 is doomed.
+    workers = {}
+    addresses = []
+    logs = []
+    try:
+        for i in range(SHARDS):
+            log = f"shard{i}.log"
+            logs.append(log)
+            cmd = [cli, "shard", "g.txt", "--listen=127.0.0.1:0",
+                   f"--shard-index={i}", f"--shards={SHARDS}",
+                   f"--wal-dir=w{i}"]
+            if i == 1:
+                cmd.append(f"--kill-after={KILL_AFTER}")
+            workers[i] = subprocess.Popen(
+                cmd, stdout=open(log, "w"), stderr=subprocess.STDOUT)
+            m = wait_for_line(log, r" on (127\.0\.0\.1:\d+)\s*$",
+                              STARTUP_TIMEOUT, workers[i], f"shard {i}")
+            addresses.append(m.group(1))
+        print(f"shards up on {', '.join(addresses)} (shard 1 will die after "
+              f"{KILL_AFTER} WAL appends)")
+
+        cluster_log = "cluster.log"
+        logs.append(cluster_log)
+        coordinator = subprocess.Popen(
+            [cli, "cluster", "g.txt", f"--shards={','.join(addresses)}",
+             "--retry-seconds=60"] + stream_flags,
+            stdout=open(cluster_log, "w"), stderr=subprocess.STDOUT)
+
+        # The kill: shard 1 _exit(137)s mid-stream; restart it from its
+        # durable state on the same address. The coordinator resyncs it
+        # from the replay window inside its retry budget — no other step.
+        rc = workers[1].wait(timeout=RUN_TIMEOUT)
+        if rc != 137:
+            fail(f"doomed shard exited rc={rc}, expected 137 (--kill-after)",
+                 *((log, open(log, errors="replace").read()) for log in logs))
+        print("shard 1 killed (rc=137); restarting with --recover")
+        logs.append("shard1_recovered.log")
+        workers[1] = subprocess.Popen(
+            [cli, "shard", "--recover", "--wal-dir=w1",
+             f"--listen={addresses[1]}", "--shard-index=1",
+             f"--shards={SHARDS}"],
+            stdout=open("shard1_recovered.log", "w"),
+            stderr=subprocess.STDOUT)
+        wait_for_line("shard1_recovered.log", r"recovered from checkpoint",
+                      STARTUP_TIMEOUT, workers[1], "recovered shard 1")
+
+        rc = coordinator.wait(timeout=RUN_TIMEOUT)
+        cluster_out = open(cluster_log, errors="replace").read()
+        if rc != 0:
+            fail(f"coordinator exited rc={rc}", (cluster_log, cluster_out))
+
+        # The coordinator's clean shutdown reaches every worker.
+        for i, proc in workers.items():
+            rc = proc.wait(timeout=STARTUP_TIMEOUT)
+            if rc != 0:
+                fail(f"shard {i} exited rc={rc} after shutdown",
+                     *((log, open(log, errors="replace").read())
+                       for log in logs))
+
+        # The differential: byte-identical top-K, full stream consumed,
+        # and the crash visibly healed through the reconnect path.
+        cluster_top = top_block(cluster_out)
+        if cluster_top is None:
+            fail("no top-K block in cluster output", (cluster_log, cluster_out))
+        if cluster_top != reference:
+            fail("cluster top-K differs from single-process serve",
+                 ("single-process", reference), ("cluster", cluster_top))
+        if not re.search(rf"stream position {UPDATES}\b", cluster_out):
+            fail(f"cluster did not reach stream position {UPDATES}",
+                 (cluster_log, cluster_out))
+        m = re.search(rf"shard {re.escape(addresses[1])}: .*?(\d+) reconnects",
+                      cluster_out)
+        if not m or int(m.group(1)) < 1:
+            fail("shard 1 shows no reconnects — the kill never exercised "
+                 "the rejoin path", (cluster_log, cluster_out))
+
+        print("cluster smoke OK: top-K matches single-process run after "
+              f"crash + rejoin ({m.group(1)} reconnects on shard 1)")
+        return 0
+    finally:
+        for proc in workers.values():
+            if proc.poll() is None:
+                proc.kill()
+        if args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

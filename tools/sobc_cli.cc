@@ -55,6 +55,28 @@
 //       recovered epoch/position and top-K, then commits a clean-shutdown
 //       checkpoint. The storage variant comes from the checkpoint
 //       manifest; tuning flags still apply.
+//   sobc_cli shard <graph> --listen=HOST:PORT --shard-index=I --shards=N
+//            [--directed] [--variant=mo|mp|do] [--store=f.bd] [--threads=T]
+//            [--no-prefilter] [--wal-dir=D] [--checkpoint-dir=D]
+//            [--checkpoint-every=N] [--checkpoint-interval=S] [--fsync=N]
+//            [--kill-after=N]
+//       One cluster shard worker: runs a replicated BcService scoped to
+//       source partition I of N (its own BD store, WAL, checkpoints) and
+//       serves the coordinator protocol on the listen address until the
+//       coordinator sends shutdown. With --recover (and no graph
+//       argument) the shard restarts from its checkpoint + WAL tail and
+//       rejoins over the wire; --kill-after=N hard-kills the process
+//       after N WAL appends (the cluster smoke's crash lever).
+//   sobc_cli cluster <graph> --shards=H:P,H:P,... [--directed]
+//            [--stream=file|--updates=N] [--churn=F] [--batch=B]
+//            [--budget-ms=M] [--queue-cap=C] [--no-coalesce] [--top=K]
+//            [--seed=S] [--retry-seconds=S] [--json=report.json]
+//       The cluster head: connects to already-listening shard workers,
+//       replicates the (deterministically generated or file-loaded)
+//       update stream to every shard, merges the acked score partials,
+//       and prints the same metrics + top-K block as `serve` — the
+//       differential the cluster smoke compares against a single-process
+//       run. Shards are sent a clean shutdown at the end.
 //
 // Exit code 0 on success; errors go to stderr.
 
@@ -70,6 +92,9 @@
 #include "analysis/graph_stats.h"
 #include "analysis/top_k.h"
 #include "bc/bd_store_disk.h"
+#include "cluster/coordinator.h"
+#include "cluster/shard_worker.h"
+#include "cluster/transport.h"
 #include "bc/brandes.h"
 #include "bc/dynamic_bc.h"
 #include "bc/score_io.h"
@@ -123,6 +148,13 @@ struct CliArgs {
   std::size_t kill_after = 0;
   // fault injection (serve): armed after bring-up, see CmdServe
   std::string fault_schedule;
+  // cluster (shard + cluster commands)
+  std::string listen;
+  std::size_t shard_index = 0;
+  // shard: the worker count; cluster: a comma-separated address list
+  std::string shards_spec;
+  bool recover_mode = false;
+  double retry_seconds = 10.0;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -198,6 +230,16 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->kill_after = std::strtoul(arg.c_str() + 13, nullptr, 10);
     } else if (arg.rfind("--fault-schedule=", 0) == 0) {
       args->fault_schedule = arg.substr(17);
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      args->listen = arg.substr(9);
+    } else if (arg.rfind("--shard-index=", 0) == 0) {
+      args->shard_index = std::strtoul(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      args->shards_spec = arg.substr(9);
+    } else if (arg == "--recover") {
+      args->recover_mode = true;
+    } else if (arg.rfind("--retry-seconds=", 0) == 0) {
+      args->retry_seconds = std::strtod(arg.c_str() + 16, nullptr);
     } else if (arg.rfind("--json=", 0) == 0) {
       args->json_path = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
@@ -388,20 +430,20 @@ int CmdStream(const CliArgs& args) {
   return MaybeWrite((*bc)->scores(), args.out_path);
 }
 
-int CmdServe(const CliArgs& args) {
-  auto graph = ReadEdgeList(args.positional[0], args.directed);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  EdgeStream stream;
+/// The update stream `serve` and `cluster` run: loaded from --stream=file,
+/// or generated deterministically from (--updates, --churn, --seed) — the
+/// same flags produce the same stream in both commands, which is what
+/// makes the cluster-vs-single-process differential smoke meaningful.
+/// False (with a message on stderr) on failure.
+bool BuildServeStream(const CliArgs& args, const Graph& graph,
+                      EdgeStream* stream) {
   if (!args.stream_file.empty()) {
     auto loaded = ReadEdgeStream(args.stream_file);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
+      return false;
     }
-    stream = std::move(*loaded);
+    *stream = std::move(*loaded);
   } else {
     // Churn-heavy synthetic stream: a mixed add/remove prefix followed by
     // a same-edge-pool churn tail (--churn fraction of the updates). The
@@ -409,29 +451,40 @@ int CmdServe(const CliArgs& args) {
     // stays applicable in order.
     if (args.churn < 0.0 || args.churn > 1.0) {
       std::fprintf(stderr, "--churn must be in [0, 1]\n");
-      return 1;
+      return false;
     }
     Rng rng(args.seed);
     const std::size_t churn_count =
         static_cast<std::size_t>(args.churn * args.serve_updates);
-    stream = MixedUpdateStream(*graph, args.serve_updates - churn_count, 0.3,
-                               &rng);
-    Graph scratch = *graph;
-    for (const EdgeUpdate& update : stream) {
+    *stream = MixedUpdateStream(graph, args.serve_updates - churn_count, 0.3,
+                                &rng);
+    Graph scratch = graph;
+    for (const EdgeUpdate& update : *stream) {
       if (!ApplyToGraph(&scratch, update).ok()) {
         std::fprintf(stderr, "internal: generated prefix not applicable\n");
-        return 1;
+        return false;
       }
     }
     EdgeStream churn = ChurnStream(
         scratch, churn_count,
         std::max<std::size_t>(8, scratch.NumVertices() / 64), &rng);
-    stream.insert(stream.end(), churn.begin(), churn.end());
+    stream->insert(stream->end(), churn.begin(), churn.end());
   }
-  if (stream.empty()) {
+  if (stream->empty()) {
     std::fprintf(stderr, "empty update stream\n");
+    return false;
+  }
+  return true;
+}
+
+int CmdServe(const CliArgs& args) {
+  auto graph = ReadEdgeList(args.positional[0], args.directed);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
   }
+  EdgeStream stream;
+  if (!BuildServeStream(args, *graph, &stream)) return 1;
 
   BcServiceOptions options;
   options.queue.capacity = args.queue_cap;
@@ -714,6 +767,239 @@ int CmdRecover(const CliArgs& args) {
   return 0;
 }
 
+/// The BcServiceOptions a shard worker runs with, from the same flags
+/// `serve` uses (variant, storage engine, durability, threading).
+bool BuildShardServiceOptions(const CliArgs& args, BcServiceOptions* options,
+                              const std::string& default_store) {
+  options->top_k = args.top;
+  options->bc.num_threads = args.threads;
+  options->bc.prefilter = args.prefilter;
+  if (args.variant == "mp") {
+    options->bc.variant = BcVariant::kMemoryPredecessors;
+  } else if (args.variant == "do") {
+    options->bc.variant = BcVariant::kOutOfCore;
+    options->bc.storage_path =
+        args.store_path.empty() ? default_store : args.store_path;
+  } else if (args.variant != "mo") {
+    std::fprintf(stderr, "unknown variant %s (mo|mp|do)\n",
+                 args.variant.c_str());
+    return false;
+  }
+  if (args.recover_mode) {
+    // Recover takes the variant from the manifest; --store names where
+    // the checkpointed BD file is installed (empty = default).
+    options->bc.storage_path = args.store_path;
+  }
+  if (!ApplyStorageFlags(args, &options->bc)) return false;
+  options->durability.wal_dir = args.wal_dir;
+  options->durability.checkpoint_dir = args.checkpoint_dir;
+  options->durability.wal_fsync_every = args.fsync_every;
+  options->durability.checkpoint_every_updates = args.checkpoint_every;
+  options->durability.checkpoint_interval_seconds = args.checkpoint_interval;
+  options->durability.kill_after_appends = args.kill_after;
+  return true;
+}
+
+int CmdShard(const CliArgs& args) {
+  if (args.listen.empty() || args.shards_spec.empty()) {
+    std::fprintf(stderr,
+                 "shard requires --listen=HOST:PORT, --shard-index=I and "
+                 "--shards=N\n");
+    return 2;
+  }
+  const std::size_t shard_count =
+      std::strtoul(args.shards_spec.c_str(), nullptr, 10);
+  if (shard_count == 0 || args.shard_index >= shard_count) {
+    std::fprintf(stderr, "--shard-index=%zu outside --shards=%s\n",
+                 args.shard_index, args.shards_spec.c_str());
+    return 2;
+  }
+  ShardWorkerOptions options;
+  options.shard_index = args.shard_index;
+  options.shard_count = shard_count;
+  const std::string default_store =
+      args.positional.empty()
+          ? "shard" + std::to_string(args.shard_index) + ".bd"
+          : args.positional[0] + ".shard" + std::to_string(args.shard_index) +
+                ".bd";
+  if (!BuildShardServiceOptions(args, &options.service, default_store)) {
+    return 2;
+  }
+  static TcpTransport transport;
+  Result<std::unique_ptr<ShardWorker>> worker =
+      Status::InvalidArgument("unreachable");
+  if (args.recover_mode) {
+    if (args.wal_dir.empty()) {
+      std::fprintf(stderr, "shard --recover requires --wal-dir=DIR\n");
+      return 2;
+    }
+    RecoveryInfo info;
+    worker = ShardWorker::Recover(&transport, args.listen, options, &info);
+    if (worker.ok()) {
+      std::printf(
+          "shard %zu/%zu recovered from checkpoint epoch %llu; replayed "
+          "%llu wal batches to epoch %llu\n",
+          args.shard_index, shard_count,
+          static_cast<unsigned long long>(info.manifest_epoch),
+          static_cast<unsigned long long>(info.replayed_batches),
+          static_cast<unsigned long long>(info.recovered_epoch));
+    }
+  } else {
+    auto graph = ReadEdgeList(args.positional[0], args.directed);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    worker = ShardWorker::Start(std::move(*graph), &transport, args.listen,
+                                options);
+  }
+  if (!worker.ok()) {
+    std::fprintf(stderr, "shard: %s\n", worker.status().ToString().c_str());
+    return 1;
+  }
+  const ShardRange range = (*worker)->range();
+  std::printf("shard %zu/%zu serving sources [%u, %s) on %s\n",
+              args.shard_index, shard_count, range.begin,
+              range.open_ended() ? "end" : std::to_string(range.end).c_str(),
+              (*worker)->address().c_str());
+  std::fflush(stdout);
+  (*worker)->Wait();
+  const Status st = (*worker)->Stop();
+  const ServiceHealth health = (*worker)->service()->health();
+  std::printf("shard %zu stopped at epoch %llu (health: %s)\n",
+              args.shard_index,
+              static_cast<unsigned long long>(
+                  (*worker)->service()->final_epoch()),
+              ServiceHealthName(health));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return health == ServiceHealth::kHealthy ? 0 : 1;
+}
+
+int CmdCluster(const CliArgs& args) {
+  if (args.shards_spec.empty()) {
+    std::fprintf(stderr, "cluster requires --shards=HOST:PORT,HOST:PORT,...\n");
+    return 2;
+  }
+  std::vector<std::string> addresses;
+  for (std::size_t start = 0; start <= args.shards_spec.size();) {
+    std::size_t comma = args.shards_spec.find(',', start);
+    if (comma == std::string::npos) comma = args.shards_spec.size();
+    if (comma > start) {
+      addresses.push_back(args.shards_spec.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+  if (addresses.empty()) {
+    std::fprintf(stderr, "no shard addresses in --shards\n");
+    return 2;
+  }
+  auto graph = ReadEdgeList(args.positional[0], args.directed);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  EdgeStream stream;
+  if (!BuildServeStream(args, *graph, &stream)) return 1;
+
+  ClusterCoordinatorOptions options;
+  options.queue.capacity = args.queue_cap;
+  options.queue.max_batch = args.batch;
+  options.queue.batch_latency_budget_seconds = args.budget_ms / 1e3;
+  options.queue.coalesce = args.coalesce;
+  options.top_k = args.top;
+  options.shard_retry_seconds = args.retry_seconds;
+  static TcpTransport transport;
+  WallTimer connect_timer;
+  auto coordinator = ClusterCoordinator::Connect(std::move(*graph), addresses,
+                                                 &transport, options);
+  if (!coordinator.ok()) {
+    std::fprintf(stderr, "cluster bring-up: %s\n",
+                 coordinator.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("cluster up in %.3fs: %zu shards, epoch %llu\n",
+              connect_timer.Seconds(), (*coordinator)->num_shards(),
+              static_cast<unsigned long long>((*coordinator)->final_epoch()));
+
+  WallTimer serve_timer;
+  const std::size_t accepted = (*coordinator)->SubmitAll(stream);
+  const Status drain_status = (*coordinator)->Drain();
+  const double serve_seconds = serve_timer.Seconds();
+  if (!drain_status.ok()) {
+    std::fprintf(stderr, "cluster failed: %s\n",
+                 drain_status.ToString().c_str());
+    (void)(*coordinator)->Stop();
+    std::fprintf(stderr, "coordinator health: %s\n",
+                 ServiceHealthName((*coordinator)->health()));
+    return 1;
+  }
+  const Status stop_status = (*coordinator)->Stop();
+  if (!stop_status.ok()) {
+    std::fprintf(stderr, "%s\n", stop_status.ToString().c_str());
+    return 1;
+  }
+
+  const ServeMetricsSnapshot metrics = (*coordinator)->metrics();
+  std::printf(
+      "replicated %zu/%zu updates in %.3fs (%.0f updates/s): applied %llu, "
+      "coalesced %llu, %llu publishes\n",
+      accepted, stream.size(), serve_seconds,
+      serve_seconds > 0 ? accepted / serve_seconds : 0.0,
+      static_cast<unsigned long long>(metrics.applied),
+      static_cast<unsigned long long>(metrics.coalesced),
+      static_cast<unsigned long long>(metrics.publishes));
+  std::printf(
+      "latency p50 %.3fms p99 %.3fms; batch replicate+merge p50 %.3fms "
+      "p99 %.3fms\n",
+      1e3 * metrics.p50_update_latency_seconds,
+      1e3 * metrics.p99_update_latency_seconds,
+      1e3 * metrics.p50_batch_apply_seconds,
+      1e3 * metrics.p99_batch_apply_seconds);
+  for (const ShardStatus& shard : (*coordinator)->shard_status()) {
+    std::printf(
+        "  shard %s: sources [%u, %s), epoch %llu, health %s, "
+        "%llu reconnects, %llu resent batches\n",
+        shard.address.c_str(), shard.range.begin,
+        shard.range.open_ended() ? "end"
+                                 : std::to_string(shard.range.end).c_str(),
+        static_cast<unsigned long long>(shard.epoch),
+        ServiceHealthName(shard.health),
+        static_cast<unsigned long long>(shard.reconnects),
+        static_cast<unsigned long long>(shard.resent_batches));
+  }
+
+  const auto snap = (*coordinator)->snapshot();
+  std::printf("final epoch %llu at stream position %llu\n",
+              static_cast<unsigned long long>(snap->epoch),
+              static_cast<unsigned long long>(snap->stream_position));
+  PrintTop(BcScores{snap->vbc, snap->ebc}, args.top);
+  if (const int rc =
+          MaybeWrite(BcScores{snap->vbc, snap->ebc}, args.out_path);
+      rc != 0) {
+    return rc;
+  }
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", metrics.ToJson().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  if ((*coordinator)->health() != ServiceHealth::kHealthy) {
+    std::fprintf(stderr, "coordinator health: %s (%s)\n",
+                 ServiceHealthName((*coordinator)->health()),
+                 (*coordinator)->last_error().ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int CmdStats(const CliArgs& args) {
   auto graph = ReadEdgeList(args.positional[0], args.directed);
   if (!graph.ok()) {
@@ -808,6 +1094,19 @@ int Usage() {
                "       sobc_cli recover --wal-dir=D [--checkpoint-dir=D] "
                "[--store=live.bd] [--threads=T] [--no-prefilter] "
                "[--cache-mb=M] [--no-prefetch] [--top=K] [--out=f.tsv] "
+               "[--json=report.json]\n"
+               "       sobc_cli shard <graph> --listen=H:P --shard-index=I "
+               "--shards=N [--directed] [--variant=mo|mp|do] [--store=f.bd] "
+               "[--threads=T] [--no-prefilter] [--wal-dir=D] "
+               "[--checkpoint-dir=D] [--checkpoint-every=N] "
+               "[--checkpoint-interval=S] [--fsync=N] [--kill-after=N]\n"
+               "       sobc_cli shard --recover --wal-dir=D --listen=H:P "
+               "--shard-index=I --shards=N [--checkpoint-dir=D] "
+               "[--store=live.bd] [--threads=T]\n"
+               "       sobc_cli cluster <graph> --shards=H:P,H:P,... "
+               "[--directed] [--stream=file|--updates=N] [--churn=F] "
+               "[--batch=B] [--budget-ms=M] [--queue-cap=C] [--no-coalesce] "
+               "[--top=K] [--seed=S] [--retry-seconds=S] [--out=f.tsv] "
                "[--json=report.json]\n");
   return 2;
 }
@@ -831,6 +1130,14 @@ int Main(int argc, char** argv) {
   }
   if (command == "recover" && args.positional.empty()) {
     return CmdRecover(args);
+  }
+  if (command == "shard" &&
+      (args.positional.size() == 1 ||
+       (args.recover_mode && args.positional.empty()))) {
+    return CmdShard(args);
+  }
+  if (command == "cluster" && args.positional.size() == 1) {
+    return CmdCluster(args);
   }
   if (command == "generate" && args.positional.size() == 2) {
     return CmdGenerate(args);
