@@ -6,13 +6,21 @@
 // time: fan-out, ack collection, score-reduce merge, snapshot publish) —
 // so the replication overhead trajectory is tracked across PRs.
 //
+// Also measures the cluster-plane failover gap: a 2-shard run with a warm
+// standby, the primary hard-killed at mid-stream, the takeover timed. The
+// gap lands in the JSON as failover_gap_ms and is gated by
+// SOBC_CLUSTER_FAILOVER_GATE_MS (default 10000): a regression that makes
+// takeover crawl fails the bench, not just shifts a number.
+//
 // Env knobs: SOBC_CLUSTER_VERTICES (default 512), SOBC_CLUSTER_UPDATES
 // (default 2000), SOBC_CLUSTER_POOL (default 16), SOBC_CLUSTER_OUT
-// (default BENCH_cluster.json).
+// (default BENCH_cluster.json), SOBC_CLUSTER_FAILOVER_GATE_MS.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/coordinator.h"
@@ -98,6 +106,75 @@ RunResult RunCluster(const Graph& graph, const EdgeStream& stream,
   return result;
 }
 
+/// The failover measurement: a 2-shard cluster with an attached warm
+/// standby runs the first half of the stream, the primary dies
+/// crash-shaped (Halt — no shutdown frames), and the standby takes over
+/// and finishes. Returns the takeover gap in milliseconds (death detected
+/// to publication resumed, as the coordinator measures it).
+double RunFailover(const Graph& graph, const EdgeStream& stream) {
+  TcpTransport transport;
+  const std::size_t shards = 2;
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<std::string> addresses;
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardWorkerOptions options;
+    options.shard_index = i;
+    options.shard_count = shards;
+    auto worker =
+        ShardWorker::Start(Graph(graph), &transport, "127.0.0.1:0", options);
+    if (!worker.ok()) Die("shard start", worker.status());
+    addresses.push_back((*worker)->address());
+    workers.push_back(std::move(*worker));
+  }
+  ClusterCoordinatorOptions options;
+  options.queue.max_batch = 64;
+  options.queue.batch_latency_budget_seconds = 0.0005;
+  options.standby_listen = "127.0.0.1:0";
+  options.heartbeat_interval_seconds = 0.05;
+  options.lease_timeout_seconds = 1.0;
+  auto primary = ClusterCoordinator::Connect(Graph(graph), addresses,
+                                             &transport, options);
+  if (!primary.ok()) Die("primary connect", primary.status());
+  auto standby = ClusterCoordinator::Standby(Graph(graph), addresses,
+                                             &transport,
+                                             (*primary)->standby_address(),
+                                             options);
+  if (!standby.ok()) Die("standby connect", standby.status());
+  WallTimer attach_timer;
+  while (!(*primary)->standby_attached()) {
+    if (attach_timer.Seconds() > 30.0) {
+      Die("standby attach", Status::IOError("standby never attached"));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const std::size_t half = stream.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    (void)(*primary)->Submit(stream[i]);
+  }
+  if (Status st = (*primary)->Drain(); !st.ok()) Die("primary drain", st);
+  (*primary)->Halt();
+
+  if (Status st = (*standby)->WaitUntilActive(60.0); !st.ok()) {
+    Die("takeover", st);
+  }
+  const std::size_t resume =
+      static_cast<std::size_t>((*standby)->final_position());
+  for (std::size_t i = resume; i < stream.size(); ++i) {
+    (void)(*standby)->Submit(stream[i]);
+  }
+  if (Status st = (*standby)->Drain(); !st.ok()) Die("standby drain", st);
+  if ((*standby)->final_position() != stream.size()) {
+    Die("failover stream", Status::Internal("stream not fully consumed"));
+  }
+  const double gap_ms = 1e3 * (*standby)->metrics().failover_gap_seconds;
+  if (Status st = (*standby)->Stop(); !st.ok()) Die("standby stop", st);
+  for (auto& worker : workers) {
+    if (Status st = worker->Stop(); !st.ok()) Die("shard stop", st);
+  }
+  return gap_ms;
+}
+
 void AppendRun(std::string* out, const RunResult& run, bool trailing_comma) {
   char buf[320];
   std::snprintf(
@@ -157,6 +234,12 @@ int Main() {
     PrintRun(label, runs.back());
   }
 
+  const double gate_ms = static_cast<double>(
+      GetEnvInt("SOBC_CLUSTER_FAILOVER_GATE_MS", 10000));
+  const double failover_gap_ms = RunFailover(graph, stream);
+  std::printf("failover         takeover gap %.1fms (gate %.0fms)\n",
+              failover_gap_ms, gate_ms);
+
   std::string json = "{\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -177,7 +260,12 @@ int Main() {
   for (std::size_t i = 0; i < runs.size(); ++i) {
     AppendRun(&json, runs[i], i + 1 < runs.size());
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"failover_gap_ms\": %.3f,\n"
+                "  \"failover_gate_ms\": %.0f\n}\n",
+                failover_gap_ms, gate_ms);
+  json += buf;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -187,6 +275,13 @@ int Main() {
   std::fputs(json.c_str(), out);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
+  if (failover_gap_ms > gate_ms) {
+    std::fprintf(stderr,
+                 "FAIL: failover gap %.1fms exceeds the %.0fms gate "
+                 "(SOBC_CLUSTER_FAILOVER_GATE_MS)\n",
+                 failover_gap_ms, gate_ms);
+    return 1;
+  }
   return 0;
 }
 

@@ -19,7 +19,16 @@ class ChaosConnection : public Connection {
       return Status::IOError("chaos: connection to " + inner_->peer() +
                              " is partitioned");
     }
+    if (plan_.send_delay_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(plan_.send_delay_seconds));
+    }
     SOBC_RETURN_NOT_OK(inner_->SendFrame(payload));
+    if (sends_ < plan_.duplicate_sends) {
+      // Deliver the identical frame a second time — the receiver must
+      // treat it as the duplicate it is, not as new work.
+      SOBC_RETURN_NOT_OK(inner_->SendFrame(payload));
+    }
     ++sends_;
     if (plan_.drop_after_sends > 0 && sends_ >= plan_.drop_after_sends) {
       // The frame left, the ack never comes back: the classic lost-ack

@@ -24,6 +24,13 @@ struct ChaosPlan {
   /// Sleep this long before every frame receive (slow-shard emulation —
   /// long enough values trip the coordinator's per-shard ack watchdog).
   double recv_delay_seconds = 0.0;
+  /// Sleep this long before every frame send (slow-link emulation on the
+  /// outbound path: frames arrive late but intact and in order).
+  double send_delay_seconds = 0.0;
+  /// Send each of the first N frames TWICE (a retransmitting middlebox /
+  /// naive client retry) — the duplicated-delivery case the shard-side
+  /// epoch dedupe must absorb; 0 = never duplicate.
+  std::size_t duplicate_sends = 0;
 };
 
 /// A Transport decorator: every Listen/Connect goes to the inner (real)

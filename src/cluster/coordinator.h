@@ -46,7 +46,8 @@ struct ClusterCoordinatorOptions {
   /// Total budget for bringing one failed shard back (reconnect +
   /// re-handshake + resend) before the coordinator gives up and goes
   /// read-only. The bounded-retry half of the failure story: a flapping
-  /// shard costs at most this much wall time per batch.
+  /// shard costs at most this much wall time per batch. Also the budget a
+  /// takeover spends per shard reconciling the roster.
   double shard_retry_seconds = 10.0;
   /// Pause between reconnect attempts within the retry budget.
   double reconnect_backoff_seconds = 0.05;
@@ -55,6 +56,23 @@ struct ClusterCoordinatorOptions {
   /// (serial for tiny clusters, a small pool once the tree has real
   /// parallelism).
   std::size_t merge_threads = 0;
+  /// Warm-standby feed: non-empty makes Connect listen here (port 0
+  /// resolves) and stream every replicated batch to an attached standby
+  /// coordinator BEFORE the shard fan-out — the ordering that makes
+  /// takeover reconciliation exactly-once (the standby's epoch is never
+  /// behind any shard's once attached; DESIGN.md §13). Empty = no feed.
+  std::string standby_listen;
+  /// Primary -> standby heartbeat cadence while the feed is idle.
+  double heartbeat_interval_seconds = 0.5;
+  /// Standby-side lease: silence on the primary feed longer than this is
+  /// a dead primary and triggers takeover. Must comfortably exceed the
+  /// heartbeat interval. The standby reads the clock through LeaseClock,
+  /// so tests script expiry deterministically.
+  double lease_timeout_seconds = 3.0;
+  /// Budget for the blocking halves of a live rebalance: the donor's
+  /// image stream + the recipient's scoped Step 1 (split), or the
+  /// surviving shard's rescope rebuild (merge).
+  double migrate_timeout_seconds = 120.0;
 };
 
 /// Per-shard observability, surfaced next to the serve metrics.
@@ -68,6 +86,10 @@ struct ShardStatus {
   std::uint64_t reconnects = 0;
   /// Replayed batches resent to this shard after rejoins.
   std::uint64_t resent_batches = 0;
+  /// True while this shard is the recipient of an in-flight migration:
+  /// it double-applies every batch but its partial is not merged until
+  /// the map-version commit.
+  bool joining = false;
 };
 
 /// The cluster head (DESIGN.md §13): accepts the update stream through the
@@ -86,8 +108,27 @@ struct ShardStatus {
 /// shard comes from the shards' epoch dedupe: the coordinator may deliver
 /// a batch twice (lost ack), never skip one (a gap is refused and
 /// backfilled from the window).
+///
+/// The coordinator itself is no longer a single point of failure: a
+/// warm standby (Standby) tails the primary's replay window over the
+/// replicate feed and, when the primary's lease expires, re-handshakes
+/// the shard roster, reconciles each shard's last-acked epoch against
+/// its own window, and resumes publication (WaitUntilActive). Live
+/// rebalancing (SplitShard/MergeShards) re-cuts the source partition
+/// under a versioned shard map without stopping the stream.
 class ClusterCoordinator {
  public:
+  /// Where this coordinator stands in the failover protocol. A Connect
+  /// coordinator is kPrimary for life; a Standby one starts tailing and
+  /// ends in exactly one of the three terminal states.
+  enum class Role {
+    kPrimary,
+    kStandbyTailing,
+    kStandbyActive,    // took over; full primary surface
+    kStandbyFinished,  // primary stopped cleanly; nothing to take over
+    kStandbyFailed,    // tail or takeover failed terminally
+  };
+
   /// Brings up the cluster head over already-listening shard workers:
   /// connects to every address, handshakes (protocol version, graph
   /// signature, shard-map tiling, equal epochs), fetches and merges the
@@ -98,17 +139,36 @@ class ClusterCoordinator {
       Graph graph, const std::vector<std::string>& shard_addresses,
       Transport* transport, const ClusterCoordinatorOptions& options);
 
+  /// Brings up a warm standby: connects to the primary's standby feed
+  /// (options.standby_listen on the primary; its resolved address), reads
+  /// the bootstrap frame, validates the graph replica against the
+  /// primary's bring-up signature, and starts tailing the replicated
+  /// batch stream. `shard_addresses` is the roster a takeover will
+  /// re-handshake — it must match the primary's. Submit/Drain reject
+  /// until WaitUntilActive reports a takeover.
+  static Result<std::unique_ptr<ClusterCoordinator>> Standby(
+      Graph graph, const std::vector<std::string>& shard_addresses,
+      Transport* transport, const std::string& primary_address,
+      const ClusterCoordinatorOptions& options);
+
   ~ClusterCoordinator();
 
   ClusterCoordinator(const ClusterCoordinator&) = delete;
   ClusterCoordinator& operator=(const ClusterCoordinator&) = delete;
 
   /// Enqueues one update (any thread); same contract as BcService::Submit.
+  /// A standby rejects until its takeover completed.
   bool Submit(const EdgeUpdate& update);
   std::size_t SubmitAll(const EdgeStream& stream);
 
   /// The latest published merged snapshot (wait-free; epoch-stamped).
+  /// Null on a standby that has not taken over — the store's empty
+  /// placeholder would masquerade as a real epoch-0 publication.
   std::shared_ptr<const ScoreSnapshot> snapshot() const {
+    const Role role = role_.load(std::memory_order_acquire);
+    if (role != Role::kPrimary && role != Role::kStandbyActive) {
+      return nullptr;
+    }
     return snapshots_.Acquire();
   }
 
@@ -117,8 +177,48 @@ class ClusterCoordinator {
   Status Drain();
 
   /// Stops accepting updates, drains, joins the writer, and sends every
-  /// shard a clean shutdown. Idempotent.
+  /// shard — and an attached standby — a clean shutdown (the standby
+  /// finishes without taking over). Idempotent.
   Status Stop();
+
+  /// Crash-shaped stop for tests: kills the writer mid-queue and drops
+  /// every connection WITHOUT shutdown frames, which is exactly what the
+  /// roster observes when the process dies — shards see EOF and
+  /// re-accept, an attached standby sees silence and takes over.
+  void Halt();
+
+  /// Standby only: blocks until the tail resolves — OK once this
+  /// coordinator took over as primary; FailedPrecondition when the
+  /// primary stopped cleanly (nothing to take over); the terminal error
+  /// when the tail or takeover failed; IOError on timeout.
+  Status WaitUntilActive(double timeout_seconds);
+
+  Role role() const { return role_.load(std::memory_order_acquire); }
+
+  /// Primary: 1 while a standby is attached (caught up and receiving the
+  /// batch feed). Standby: 1 once its own catch-up completed.
+  bool standby_attached() const {
+    return standby_attached_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Resolved address of the standby feed ("" when standby_listen was
+  /// empty) — what an operator passes to `--standby-of`.
+  const std::string& standby_address() const { return standby_address_; }
+
+  /// Live rebalance (active coordinator only; blocks until committed):
+  /// splits shard `donor_index`'s source range in half, migrating the
+  /// upper half to the AwaitMigration worker at `recipient_address`. The
+  /// stream keeps flowing: after the checkpoint-consistent image ships,
+  /// batches double-apply on donor and recipient until the atomic
+  /// map-version commit rescopes the donor. Refused while a standby is
+  /// attached or another rebalance is in flight.
+  Status SplitShard(std::size_t donor_index,
+                    const std::string& recipient_address);
+
+  /// Live rebalance: merges shard `left_index+1`'s range into shard
+  /// `left_index` (which rescopes to the union) and retires the right
+  /// shard. Single writer turn — atomic under the map-version bump.
+  Status MergeShards(std::size_t left_index);
 
   std::uint64_t final_epoch() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -132,7 +232,10 @@ class ClusterCoordinator {
   /// Wire-side view of every shard (address, range, epoch, health,
   /// reconnect/resend counters), coherent as of the last published batch.
   std::vector<ShardStatus> shard_status() const;
-  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_shards() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shard_status_.size();
+  }
 
   ServiceHealth health() const {
     return static_cast<ServiceHealth>(
@@ -147,12 +250,21 @@ class ClusterCoordinator {
   struct Shard {
     std::string address;
     std::uint32_t index = 0;
+    /// Identity the shard process reported at its LAST handshake; a
+    /// reconnect must reproduce it exactly. reported_count is per-shard
+    /// (not shards_.size()): after a split the roster holds workers
+    /// started for different counts, all legitimately part of this
+    /// cluster.
+    std::uint32_t reported_count = 0;
     ShardRange range;
     std::unique_ptr<Connection> conn;
     std::uint64_t epoch = 0;
     std::uint8_t health = 0;
     std::uint64_t reconnects = 0;
     std::uint64_t resent_batches = 0;
+    /// Migration recipient before the commit: in the Apply fan-out,
+    /// excluded from the merge.
+    bool joining = false;
   };
   /// One replicated batch retained for resending (contiguous epochs; the
   /// front is the oldest epoch still live-resyncable).
@@ -160,6 +272,27 @@ class ClusterCoordinator {
     std::uint64_t epoch = 0;
     std::uint64_t stream_position = 0;
     std::vector<EdgeUpdate> updates;
+  };
+  /// One blocking rebalance call parked for the writer thread to execute
+  /// between batches.
+  struct ControlRequest {
+    enum class Kind { kSplit, kMerge };
+    Kind kind = Kind::kSplit;
+    std::size_t index = 0;
+    std::string recipient_address;
+    Status result;
+    bool done = false;
+  };
+  /// Writer-owned state of the in-flight split migration.
+  struct Migration {
+    bool active = false;
+    std::size_t donor = 0;
+    std::size_t joining = 0;
+    std::uint64_t new_version = 0;
+    ShardRange donor_new_range;
+    std::uint64_t double_applied = 0;
+    Status joining_status;
+    ControlRequest* request = nullptr;
   };
 
   ClusterCoordinator(Graph graph, const ClusterCoordinatorOptions& options);
@@ -169,10 +302,12 @@ class ClusterCoordinator {
                                        double timeout_seconds);
 
   void WriterLoop();
-  /// Replicates one batch (already applied to the replica graph and
-  /// pushed to the window) to every shard and collects acked partials
-  /// into `partials`. Any shard failure is retried through RecoverShard
-  /// within the budget; a terminal failure comes back as the status.
+  /// Replicates one batch (already applied to the replica graph, pushed
+  /// to the window, and shipped to the standby) to every shard and
+  /// collects acked partials into `partials`. Any shard failure is
+  /// retried through RecoverShard within the budget; a terminal failure
+  /// comes back as the status. A failing JOINING shard never fails the
+  /// batch — it aborts the migration (migration_.joining_status).
   Status ReplicateBatch(std::uint64_t epoch, std::uint64_t stream_position,
                         const std::vector<EdgeUpdate>& updates,
                         std::vector<BcScores>* partials,
@@ -190,6 +325,49 @@ class ClusterCoordinator {
   /// partials[0] (mutating the vector) and returns a reference to it.
   BcScores& MergePartials(std::vector<BcScores>* partials);
 
+  /// --- standby feed (primary side; acceptor thread) ---
+  void StandbyAcceptorLoop();
+  /// Bootstraps + catches one standby connection up from the window,
+  /// attaches it (writer takes over batch replication), then heartbeats
+  /// until the connection breaks or the coordinator stops.
+  void ServeStandby(std::unique_ptr<Connection> conn);
+  /// Ships one window entry over the feed and awaits its ack.
+  Status ReplicateEntryTo(Connection* conn, const WindowEntry& entry);
+  /// Writer-side: pushes the batch into the window (trimming) and ships
+  /// it to the attached standby, detaching the standby on failure.
+  void PushWindowAndReplicate(WindowEntry entry);
+
+  /// --- standby side (tail thread) ---
+  void TailLoop();
+  /// Lease expired or the feed died: reconcile the roster and become the
+  /// primary. Runs on the tail thread; on success starts the writer.
+  void Takeover(std::uint64_t epoch, std::uint64_t position,
+                const std::string& reason);
+  /// Connects + handshakes the roster, resyncs lagging shards from the
+  /// window, fetches the partials at (epoch, position).
+  Status ReconcileShards(std::uint64_t epoch, std::uint64_t position,
+                         std::vector<Shard>* roster,
+                         std::vector<BcScores>* partials);
+  void FailStandby(const Status& why);
+
+  /// --- rebalance (writer thread) ---
+  void RunPendingControl(std::uint64_t epoch, std::uint64_t position);
+  Status BeginSplit(ControlRequest* request, std::uint64_t epoch,
+                    std::uint64_t position);
+  Status ExecuteMerge(ControlRequest* request);
+  /// Commits the in-flight migration (donor rescope + map-version bump)
+  /// once at least one batch double-applied, or unconditionally on an
+  /// idle tick.
+  void MaybeCommitMigration(bool idle);
+  void AbortMigration(const Status& why);
+  void CompleteControl(ControlRequest* request, Status result);
+  /// Fails a parked request when the writer can no longer run it.
+  void FailPendingControl(const Status& why);
+  /// Sends one control frame and awaits its ReplicateAck within
+  /// migrate_timeout_seconds.
+  Status ControlRoundTrip(Connection* conn, const std::string& frame,
+                          ReplicateAckMsg* ack);
+
   void EnterDegraded(const Status& why);
   void EnterReadOnly(const Status& why);
   /// Rebuilds shard_status_ from shards_ (mu_ held).
@@ -198,7 +376,8 @@ class ClusterCoordinator {
   ClusterCoordinatorOptions options_;
   /// The coordinator's graph replica — advanced batch-by-batch in the
   /// same order the shards advance theirs, and the snapshot's vertex/edge
-  /// counts. Owned by the writer thread once it starts.
+  /// counts. Owned by the writer thread once it starts (on a standby: the
+  /// tail thread until takeover, the writer after).
   Graph graph_;
   Transport* transport_ = nullptr;
   std::vector<Shard> shards_;
@@ -208,13 +387,21 @@ class ClusterCoordinator {
   SnapshotStore snapshots_;
   ServeMetrics metrics_;
 
-  /// Replay window (writer thread only): contiguous epochs, bounded by
-  /// options_.replay_window_batches.
+  /// Replay window: contiguous epochs, bounded by
+  /// options_.replay_window_batches. Mutated only by the batch-stream
+  /// owner (writer, or the standby tail before takeover), but read by the
+  /// standby acceptor during catch-up — every mutation and catch-up scan
+  /// holds standby_mu_.
   std::deque<WindowEntry> window_;
 
   std::uint64_t base_epoch_ = 0;
   std::uint64_t base_position_ = 0;
   std::atomic<std::uint64_t> published_position_{0};
+  /// Graph signature at bring-up, carried by the standby bootstrap frame
+  /// (the standby's replica must equal the primary's bring-up replica).
+  std::uint64_t boot_vertices_ = 0;
+  std::uint64_t boot_edges_ = 0;
+  bool boot_directed_ = false;
 
   mutable std::mutex mu_;  // writer_status_, final_*, shard status copy
   std::condition_variable publish_cv_;
@@ -229,6 +416,45 @@ class ClusterCoordinator {
 
   std::atomic<int> health_{static_cast<int>(ServiceHealth::kHealthy)};
   Status health_error_;
+
+  /// --- standby feed state (primary) ---
+  std::unique_ptr<Listener> standby_listener_;
+  std::string standby_address_;
+  std::mutex standby_mu_;  // window_ mutations + standby_conn_
+  std::unique_ptr<Connection> standby_conn_;
+  std::thread standby_acceptor_;
+  std::atomic<bool> acceptor_stop_{false};
+
+  /// --- standby (tail) state ---
+  std::atomic<Role> role_{Role::kPrimary};
+  std::vector<std::string> shard_addresses_;
+  std::unique_ptr<Connection> primary_conn_;
+  std::thread tail_thread_;
+  std::atomic<bool> tail_stop_{false};
+  Status standby_status_;  // terminal tail/takeover error (mu_)
+
+  /// --- rebalance state ---
+  std::mutex control_mu_;
+  std::condition_variable control_cv_;
+  ControlRequest* pending_control_ = nullptr;
+  Migration migration_;  // writer-owned
+  std::atomic<bool> migration_active_{false};
+  /// Shard-map generation: 1 at bring-up, +1 per committed split/merge.
+  /// The plain copy is the writer's working value; the atomic mirrors it
+  /// for metrics().
+  std::uint64_t map_version_plain_ = 1;
+  std::atomic<std::uint64_t> map_version_{0};
+
+  std::atomic<bool> halted_{false};
+
+  /// --- cluster-plane metrics ---
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<double> failover_gap_seconds_{0.0};
+  std::atomic<std::uint64_t> standby_attached_{0};
+  std::atomic<std::uint64_t> replicated_batches_{0};
+  std::atomic<std::uint64_t> migrations_started_{0};
+  std::atomic<std::uint64_t> migrations_completed_{0};
+  std::atomic<std::uint64_t> migration_lag_batches_{0};
 
   std::thread writer_;
 };

@@ -1,0 +1,69 @@
+#include "cluster/lease.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace sobc {
+
+namespace {
+
+class SteadyLeaseClock : public LeaseClock {
+ public:
+  double Now() override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+std::atomic<LeaseClock*>& InstalledClock() {
+  static std::atomic<LeaseClock*> installed{nullptr};
+  return installed;
+}
+
+}  // namespace
+
+LeaseClock* LeaseClock::Default() {
+  static SteadyLeaseClock* clock = new SteadyLeaseClock();
+  return clock;
+}
+
+LeaseClock* LeaseClock::Get() {
+  LeaseClock* clock = InstalledClock().load(std::memory_order_acquire);
+  return clock != nullptr ? clock : Default();
+}
+
+LeaseClock* LeaseClock::Install(LeaseClock* clock) {
+  return InstalledClock().exchange(clock, std::memory_order_acq_rel);
+}
+
+Lease::Lease(double timeout_seconds)
+    : timeout_(timeout_seconds), renewed_at_(LeaseClock::Get()->Now()) {}
+
+void Lease::Renew() { renewed_at_ = LeaseClock::Get()->Now(); }
+
+bool Lease::Expired() const {
+  return LeaseClock::Get()->Now() - renewed_at_ > timeout_;
+}
+
+double Lease::SilenceSeconds() const {
+  const double silence = LeaseClock::Get()->Now() - renewed_at_;
+  return silence > 0 ? silence : 0.0;
+}
+
+double ScriptedLeaseClock::Now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void ScriptedLeaseClock::Advance(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ += seconds;
+}
+
+void ScriptedLeaseClock::Set(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ = seconds;
+}
+
+}  // namespace sobc

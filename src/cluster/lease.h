@@ -1,0 +1,66 @@
+#ifndef SOBC_CLUSTER_LEASE_H_
+#define SOBC_CLUSTER_LEASE_H_
+
+#include <mutex>
+
+namespace sobc {
+
+/// The time source of the failover detector, seamed the way Io seams the
+/// durability syscalls (DESIGN.md §12): production runs on the steady
+/// clock; tests install a ScriptedLeaseClock and advance it by hand, so
+/// "the primary's heartbeats stopped arriving" is a deterministic event a
+/// test can schedule — even while the underlying TCP connection is still
+/// technically open.
+class LeaseClock {
+ public:
+  virtual ~LeaseClock() = default;
+
+  /// Monotonic seconds; only differences are meaningful.
+  virtual double Now() = 0;
+
+  /// The steady-clock implementation (a process-lifetime singleton).
+  static LeaseClock* Default();
+
+  /// The currently installed instance; Default() unless a test swapped it.
+  static LeaseClock* Get();
+
+  /// Atomically installs `clock` (nullptr restores Default()) and returns
+  /// the previous instance. The caller keeps the installed object alive
+  /// until every lease-holding thread has quiesced.
+  static LeaseClock* Install(LeaseClock* clock);
+};
+
+/// One side of a heartbeat contract: the holder renews on every frame
+/// received from its peer; Expired() after `timeout_seconds` of silence
+/// is the takeover trigger.
+class Lease {
+ public:
+  explicit Lease(double timeout_seconds);
+
+  void Renew();
+  bool Expired() const;
+
+  /// Seconds of silence so far (for the failover gap metric).
+  double SilenceSeconds() const;
+
+ private:
+  double timeout_;
+  double renewed_at_;
+};
+
+/// Hand-cranked clock for failover tests: Advance() past the lease
+/// timeout scripts a primary death without waiting wall-clock time.
+class ScriptedLeaseClock : public LeaseClock {
+ public:
+  double Now() override;
+  void Advance(double seconds);
+  void Set(double seconds);
+
+ private:
+  mutable std::mutex mu_;
+  double now_ = 0.0;
+};
+
+}  // namespace sobc
+
+#endif  // SOBC_CLUSTER_LEASE_H_

@@ -58,6 +58,18 @@ Status ValidateShardMap(const std::vector<ShardRange>& ranges,
   return Status::OK();
 }
 
+Status CheckMapVersion(std::uint64_t msg_version,
+                       std::uint64_t current_version, const char* what) {
+  if (msg_version == 0 || msg_version <= current_version) {
+    return Status::FailedPrecondition(
+        std::string("stale shard-map version ") +
+        std::to_string(msg_version) + " in " + what +
+        " (this shard already holds version " +
+        std::to_string(current_version) + ")");
+  }
+  return Status::OK();
+}
+
 Status ParseHostPort(const std::string& address, std::string* host,
                      int* port) {
   const std::size_t colon = address.rfind(':');

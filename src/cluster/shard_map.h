@@ -38,6 +38,16 @@ std::vector<ShardRange> BuildShardMap(std::size_t n, std::size_t shards);
 /// bring-up, not produce silently wrong merged scores.
 Status ValidateShardMap(const std::vector<ShardRange>& ranges, std::size_t n);
 
+/// Guards a range-carrying control message against a stale shard map:
+/// `msg_version` must be strictly newer than the version the receiver
+/// already applied (`current_version`). 0 never counts as newer — a
+/// version-0 message predates versioning entirely. FailedPrecondition
+/// with a "stale shard-map version" message otherwise, so a coordinator
+/// replaying an old plan (or a delayed duplicate) is refused instead of
+/// silently re-cutting ranges.
+Status CheckMapVersion(std::uint64_t msg_version,
+                       std::uint64_t current_version, const char* what);
+
 /// Splits "host:port" (the only address form the TCP transport speaks).
 Status ParseHostPort(const std::string& address, std::string* host,
                      int* port);

@@ -20,17 +20,24 @@ namespace sobc {
 /// tests).
 struct ShardWorkerOptions {
   /// This worker's slot in the shard map; the owned source partition is
-  /// ShardRangeOf(n, shard_count, shard_index).
+  /// ShardRangeOf(n, shard_count, shard_index). A migration recipient
+  /// (AwaitMigration) ignores both — the MigrateBegin frame carries its
+  /// slot and range.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   /// The underlying replicated BcService: variant, storage, durability
   /// (per-shard WAL + checkpoint dirs), threads. `replicated` is forced
   /// on and `bc.source_begin/source_end` are overwritten from the shard
-  /// map (Start) or the recovered manifest (Recover).
+  /// map (Start), the recovered manifest (Recover), or the migration
+  /// offer (AwaitMigration).
   BcServiceOptions service;
   /// Poll interval of the accept/receive loops — how quickly Stop() and a
   /// coordinator reconnect are noticed.
   double poll_seconds = 0.1;
+  /// Budget for the blocking halves of a live migration: the donor's
+  /// connect + image stream + recipient ack, and the recipient's wait for
+  /// the next chunk once an offer arrived.
+  double migrate_timeout_seconds = 60.0;
 };
 
 /// One cluster shard: a scoped, replicated BcService behind a Transport
@@ -38,6 +45,7 @@ struct ShardWorkerOptions {
 /// (a reconnecting coordinator closes the old one, whose EOF ends the old
 /// session) and serves the wire protocol: handshake, replicated batches
 /// (acked with this shard's cumulative score partial), partial fetches,
+/// live-rebalance control frames (SplitRange/MergeRange/MigrateBegin),
 /// and shutdown. All engine work runs on the session thread — the single
 /// caller ApplyReplicatedBatch requires.
 class ShardWorker {
@@ -57,6 +65,16 @@ class ShardWorker {
       Transport* transport, const std::string& listen_address,
       const ShardWorkerOptions& options, RecoveryInfo* info = nullptr);
 
+  /// Migration recipient: listen with NO service yet. The first donor
+  /// that connects with a MigrateBegin offer streams the graph image
+  /// over; the worker rebuilds the graph, runs scoped Step 1 over the
+  /// offered source range, and only then starts answering the normal
+  /// protocol (a Hello before the handoff is dropped). Slot, range, map
+  /// version, and base epoch/position all come from the offer.
+  static Result<std::unique_ptr<ShardWorker>> AwaitMigration(
+      Transport* transport, const std::string& listen_address,
+      const ShardWorkerOptions& options);
+
   ~ShardWorker();
 
   ShardWorker(const ShardWorker&) = delete;
@@ -64,7 +82,10 @@ class ShardWorker {
 
   /// The resolved listen address (host:port).
   const std::string& address() const { return address_; }
-  ShardRange range() const { return range_; }
+  ShardRange range() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return range_;
+  }
 
   /// Blocks until the coordinator sent kShutdown or Stop() was called.
   void Wait();
@@ -79,14 +100,18 @@ class ShardWorker {
   /// kill -9, which the CLI exercises for real via --kill-after).
   void Halt();
 
-  /// The underlying service (metrics, health). The session thread owns
-  /// the engine while the worker runs; only metrics()/health()-style
+  /// The underlying service (metrics, health); null on an AwaitMigration
+  /// worker until its handoff completed. The session thread owns the
+  /// engine while the worker runs; only metrics()/health()-style
   /// accessors are safe from other threads.
-  BcService* service() { return service_.get(); }
+  BcService* service() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return service_.get();
+  }
 
  private:
   ShardWorker(std::unique_ptr<BcService> service,
-              std::unique_ptr<Listener> listener,
+              std::unique_ptr<Listener> listener, Transport* transport,
               const ShardWorkerOptions& options, ShardRange range);
 
   void ServeLoop();
@@ -95,18 +120,40 @@ class ShardWorker {
   bool Session(Connection* conn);
   ApplyAckMsg HandleApply(const ApplyMsg& msg);
   HelloAckMsg MakeHelloAck() const;
+  /// Commit step of a split/merge on this shard: version-check, rescope
+  /// the engine to `range`, adopt the new map version. The ack carries
+  /// the failure for the coordinator to surface.
+  ReplicateAckMsg HandleRescope(std::uint64_t map_version, ShardRange range,
+                                const char* what);
+  /// Donor half of a live migration: export the graph image, stream it to
+  /// msg.recipient_address, wait for the recipient's handshake.
+  ReplicateAckMsg HandleMigrateOut(const MigrateBeginMsg& msg);
+  /// Recipient half: consume the chunk stream from `conn`, rebuild the
+  /// graph, create the scoped service, answer with a HelloAck. Returns
+  /// false when the stream failed (connection is dropped; the worker
+  /// keeps waiting for another offer).
+  bool HandleMigrateIn(Connection* conn, const MigrateBeginMsg& msg);
 
   ShardWorkerOptions options_;
-  ShardRange range_;
-  std::unique_ptr<BcService> service_;
+  Transport* transport_;
   std::unique_ptr<Listener> listener_;
   std::string address_;
 
   std::atomic<bool> stop_{false};
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable done_cv_;
   bool shutdown_requested_ = false;
   bool stopped_ = false;
+  /// Mutable identity (mu_): a split/merge rescopes range_ and bumps
+  /// map_version_; a migration handoff fills service_ and the slot.
+  ShardRange range_;
+  std::unique_ptr<BcService> service_;
+  std::size_t shard_index_ = 0;
+  std::size_t shard_count_ = 1;
+  /// Newest shard-map version a range-carrying frame told this shard
+  /// about; 0 means never told (bring-up default). Reported in the
+  /// HelloAck so a takeover coordinator can spot a shard from the future.
+  std::uint64_t map_version_ = 0;
 
   std::thread serve_thread_;
 };

@@ -15,6 +15,7 @@
 
 #include "cluster/shard_map.h"
 #include "common/crc32.h"
+#include "common/io.h"
 
 namespace sobc {
 
@@ -134,19 +135,35 @@ class TcpConnection : public Connection {
   }
 
  private:
+  // Short transfers and transient errnos (EINTR, spurious EAGAIN after a
+  // successful poll) retry through the common/io.h bounded-backoff
+  // machinery — same accounting, same cap — so a signal storm degrades
+  // into a counted, reported error instead of either a hard failure on
+  // the first EINTR or an unbounded spin. Progress resets the attempt
+  // counter: only CONSECUTIVE fruitless wakeups count against the cap.
   Status WriteAll(const char* data, std::size_t size) {
     std::size_t sent = 0;
+    int attempts = 0;
     while (sent < size) {
       const ssize_t n =
           ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
       if (n < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          SOBC_RETURN_NOT_OK(WaitFd(fd_, POLLOUT, -1.0, "send"));
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (++attempts >= kMaxTransientIoAttempts) {
+            RecordIoRetriesExhausted();
+            return Errno("send (transient-retry budget exhausted)");
+          }
+          RecordIoRetry();
+          if (errno == EINTR) {
+            IoBackoff(attempts - 1);
+          } else {
+            SOBC_RETURN_NOT_OK(WaitFd(fd_, POLLOUT, -1.0, "send"));
+          }
           continue;
         }
         return Errno("send");
       }
+      attempts = 0;
       sent += static_cast<std::size_t>(n);
     }
     return Status::OK();
@@ -154,6 +171,7 @@ class TcpConnection : public Connection {
 
   Status ReadAll(char* data, std::size_t size, double timeout_seconds) {
     std::size_t got = 0;
+    int attempts = 0;
     while (got < size) {
       SOBC_RETURN_NOT_OK(WaitFd(fd_, POLLIN, timeout_seconds, "recv"));
       const ssize_t n = ::recv(fd_, data + got, size - got, 0);
@@ -162,10 +180,17 @@ class TcpConnection : public Connection {
       }
       if (n < 0) {
         if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (++attempts >= kMaxTransientIoAttempts) {
+            RecordIoRetriesExhausted();
+            return Errno("recv (transient-retry budget exhausted)");
+          }
+          RecordIoRetry();
+          if (errno == EINTR) IoBackoff(attempts - 1);
           continue;
         }
         return Errno("recv");
       }
+      attempts = 0;
       got += static_cast<std::size_t>(n);
     }
     return Status::OK();
@@ -217,6 +242,10 @@ class TcpListener : public Listener {
 bool IsTransportTimeout(const Status& status) {
   return status.code() == StatusCode::kIOError &&
          status.sys_errno() == ETIMEDOUT;
+}
+
+std::unique_ptr<Connection> WrapFdAsConnection(int fd, std::string peer) {
+  return std::unique_ptr<Connection>(new TcpConnection(fd, std::move(peer)));
 }
 
 Result<std::unique_ptr<Listener>> TcpTransport::Listen(

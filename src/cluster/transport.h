@@ -67,6 +67,12 @@ class Transport {
 /// than a dead peer or corrupt frame.
 bool IsTransportTimeout(const Status& status);
 
+/// Wraps an already-connected stream socket (an accepted fd, or one end
+/// of a socketpair) in the CRC-framed Connection. Takes ownership of
+/// `fd`. Exists for tests that need byte-level control of delivery —
+/// partial frames, short reads — to drive the transient-retry loops.
+std::unique_ptr<Connection> WrapFdAsConnection(int fd, std::string peer);
+
 /// The real thing: IPv4 TCP with TCP_NODELAY, ephemeral-port support
 /// ("host:0"), and poll()-based deadlines. Addresses are "host:port" with
 /// a numeric host or "localhost".

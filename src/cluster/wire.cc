@@ -142,6 +142,30 @@ class WireReader {
   bool ok_ = true;
 };
 
+void PutUpdates(std::string* out, const std::vector<EdgeUpdate>& updates) {
+  PutU32(out, static_cast<std::uint32_t>(updates.size()));
+  for (const EdgeUpdate& update : updates) {
+    PutU32(out, update.u);
+    PutU32(out, update.v);
+    PutU8(out, static_cast<std::uint8_t>(update.op));
+    PutDouble(out, update.timestamp);
+  }
+}
+
+std::vector<EdgeUpdate> ReadUpdates(WireReader* reader) {
+  std::vector<EdgeUpdate> updates;
+  const std::uint32_t count = reader->U32();
+  for (std::uint32_t i = 0; i < count && reader->ok(); ++i) {
+    EdgeUpdate update;
+    update.u = reader->U32();
+    update.v = reader->U32();
+    update.op = static_cast<EdgeOp>(reader->U8());
+    update.timestamp = reader->Double();
+    updates.push_back(update);
+  }
+  return updates;
+}
+
 Status Malformed(const char* what) {
   return Status::IOError(std::string("malformed ") + what + " message");
 }
@@ -197,6 +221,7 @@ std::string EncodeHelloAck(const HelloAckMsg& msg) {
   PutU64(&out, msg.num_vertices);
   PutU64(&out, msg.num_edges);
   PutU8(&out, msg.directed ? 1 : 0);
+  PutU64(&out, msg.map_version);
   return out;
 }
 
@@ -215,6 +240,7 @@ Result<HelloAckMsg> DecodeHelloAck(const std::string& payload) {
   msg.num_vertices = reader.U64();
   msg.num_edges = reader.U64();
   msg.directed = reader.U8() != 0;
+  msg.map_version = reader.U64();
   if (!reader.Finished()) return Malformed("hello-ack");
   return msg;
 }
@@ -224,13 +250,7 @@ std::string EncodeApply(const ApplyMsg& msg) {
   PutU8(&out, static_cast<std::uint8_t>(MsgType::kApply));
   PutU64(&out, msg.epoch);
   PutU64(&out, msg.stream_position);
-  PutU32(&out, static_cast<std::uint32_t>(msg.updates.size()));
-  for (const EdgeUpdate& update : msg.updates) {
-    PutU32(&out, update.u);
-    PutU32(&out, update.v);
-    PutU8(&out, static_cast<std::uint8_t>(update.op));
-    PutDouble(&out, update.timestamp);
-  }
+  PutUpdates(&out, msg.updates);
   return out;
 }
 
@@ -240,15 +260,7 @@ Result<ApplyMsg> DecodeApply(const std::string& payload) {
   ApplyMsg msg;
   msg.epoch = reader.U64();
   msg.stream_position = reader.U64();
-  const std::uint32_t count = reader.U32();
-  for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
-    EdgeUpdate update;
-    update.u = reader.U32();
-    update.v = reader.U32();
-    update.op = static_cast<EdgeOp>(reader.U8());
-    update.timestamp = reader.Double();
-    msg.updates.push_back(update);
-  }
+  msg.updates = ReadUpdates(&reader);
   if (!reader.Finished()) return Malformed("apply");
   return msg;
 }
@@ -323,6 +335,166 @@ std::string EncodeShutdownAck() {
   std::string out;
   PutU8(&out, static_cast<std::uint8_t>(MsgType::kShutdownAck));
   return out;
+}
+
+std::string EncodeReplicate(const ReplicateMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<std::uint8_t>(MsgType::kReplicate));
+  PutU8(&out, msg.kind);
+  PutU64(&out, msg.epoch);
+  PutU64(&out, msg.stream_position);
+  PutU64(&out, msg.num_vertices);
+  PutU64(&out, msg.num_edges);
+  PutU8(&out, msg.directed ? 1 : 0);
+  PutUpdates(&out, msg.updates);
+  return out;
+}
+
+Result<ReplicateMsg> DecodeReplicate(const std::string& payload) {
+  WireReader reader(payload);
+  SOBC_RETURN_NOT_OK(CheckType(&reader, MsgType::kReplicate, "replicate"));
+  ReplicateMsg msg;
+  msg.kind = reader.U8();
+  msg.epoch = reader.U64();
+  msg.stream_position = reader.U64();
+  msg.num_vertices = reader.U64();
+  msg.num_edges = reader.U64();
+  msg.directed = reader.U8() != 0;
+  msg.updates = ReadUpdates(&reader);
+  if (!reader.Finished()) return Malformed("replicate");
+  return msg;
+}
+
+std::string EncodeReplicateAck(const ReplicateAckMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<std::uint8_t>(MsgType::kReplicateAck));
+  PutU64(&out, msg.epoch);
+  PutU8(&out, msg.ok ? 1 : 0);
+  PutString(&out, msg.message);
+  return out;
+}
+
+Result<ReplicateAckMsg> DecodeReplicateAck(const std::string& payload) {
+  WireReader reader(payload);
+  SOBC_RETURN_NOT_OK(
+      CheckType(&reader, MsgType::kReplicateAck, "replicate-ack"));
+  ReplicateAckMsg msg;
+  msg.epoch = reader.U64();
+  msg.ok = reader.U8() != 0;
+  msg.message = reader.String();
+  if (!reader.Finished()) return Malformed("replicate-ack");
+  return msg;
+}
+
+std::string EncodeSplitRange(const SplitRangeMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<std::uint8_t>(MsgType::kSplitRange));
+  PutU64(&out, msg.map_version);
+  PutU32(&out, msg.range.begin);
+  PutU32(&out, msg.range.end);
+  return out;
+}
+
+Result<SplitRangeMsg> DecodeSplitRange(const std::string& payload) {
+  WireReader reader(payload);
+  SOBC_RETURN_NOT_OK(CheckType(&reader, MsgType::kSplitRange, "split-range"));
+  SplitRangeMsg msg;
+  msg.map_version = reader.U64();
+  msg.range.begin = reader.U32();
+  msg.range.end = reader.U32();
+  if (!reader.Finished()) return Malformed("split-range");
+  return msg;
+}
+
+std::string EncodeMergeRange(const MergeRangeMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<std::uint8_t>(MsgType::kMergeRange));
+  PutU64(&out, msg.map_version);
+  PutU32(&out, msg.range.begin);
+  PutU32(&out, msg.range.end);
+  return out;
+}
+
+Result<MergeRangeMsg> DecodeMergeRange(const std::string& payload) {
+  WireReader reader(payload);
+  SOBC_RETURN_NOT_OK(CheckType(&reader, MsgType::kMergeRange, "merge-range"));
+  MergeRangeMsg msg;
+  msg.map_version = reader.U64();
+  msg.range.begin = reader.U32();
+  msg.range.end = reader.U32();
+  if (!reader.Finished()) return Malformed("merge-range");
+  return msg;
+}
+
+std::string EncodeMigrateBegin(const MigrateBeginMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<std::uint8_t>(MsgType::kMigrateBegin));
+  PutU64(&out, msg.epoch);
+  PutU64(&out, msg.stream_position);
+  PutU64(&out, msg.map_version);
+  PutU32(&out, msg.range.begin);
+  PutU32(&out, msg.range.end);
+  PutU32(&out, msg.shard_index);
+  PutU32(&out, msg.shard_count);
+  PutU64(&out, msg.total_bytes);
+  PutString(&out, msg.recipient_address);
+  return out;
+}
+
+Result<MigrateBeginMsg> DecodeMigrateBegin(const std::string& payload) {
+  WireReader reader(payload);
+  SOBC_RETURN_NOT_OK(
+      CheckType(&reader, MsgType::kMigrateBegin, "migrate-begin"));
+  MigrateBeginMsg msg;
+  msg.epoch = reader.U64();
+  msg.stream_position = reader.U64();
+  msg.map_version = reader.U64();
+  msg.range.begin = reader.U32();
+  msg.range.end = reader.U32();
+  msg.shard_index = reader.U32();
+  msg.shard_count = reader.U32();
+  msg.total_bytes = reader.U64();
+  msg.recipient_address = reader.String();
+  if (!reader.Finished()) return Malformed("migrate-begin");
+  return msg;
+}
+
+std::string EncodeMigrateChunk(const MigrateChunkMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<std::uint8_t>(MsgType::kMigrateChunk));
+  PutU64(&out, msg.offset);
+  PutString(&out, msg.data);
+  return out;
+}
+
+Result<MigrateChunkMsg> DecodeMigrateChunk(const std::string& payload) {
+  WireReader reader(payload);
+  SOBC_RETURN_NOT_OK(
+      CheckType(&reader, MsgType::kMigrateChunk, "migrate-chunk"));
+  MigrateChunkMsg msg;
+  msg.offset = reader.U64();
+  msg.data = reader.String();
+  if (!reader.Finished()) return Malformed("migrate-chunk");
+  return msg;
+}
+
+std::string EncodeMigrateCommit(const MigrateCommitMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<std::uint8_t>(MsgType::kMigrateCommit));
+  PutU64(&out, msg.total_bytes);
+  PutU32(&out, msg.crc);
+  return out;
+}
+
+Result<MigrateCommitMsg> DecodeMigrateCommit(const std::string& payload) {
+  WireReader reader(payload);
+  SOBC_RETURN_NOT_OK(
+      CheckType(&reader, MsgType::kMigrateCommit, "migrate-commit"));
+  MigrateCommitMsg msg;
+  msg.total_bytes = reader.U64();
+  msg.crc = reader.U32();
+  if (!reader.Finished()) return Malformed("migrate-commit");
+  return msg;
 }
 
 }  // namespace sobc

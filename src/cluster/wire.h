@@ -15,8 +15,10 @@ namespace sobc {
 
 /// Coordinator <-> shard protocol version. Bumped on any incompatible
 /// change; the Hello/HelloAck exchange refuses a mismatch at bring-up
-/// instead of mis-parsing frames mid-stream.
-inline constexpr std::uint32_t kClusterProtocolVersion = 1;
+/// instead of mis-parsing frames mid-stream. v2: standby replication
+/// (Replicate/ReplicateAck), live rebalancing (SplitRange/MergeRange/
+/// Migrate*), and the shard-map version in HelloAck.
+inline constexpr std::uint32_t kClusterProtocolVersion = 2;
 
 /// Every message is one transport frame; the frame layer (transport.h)
 /// adds the [u32 length][u32 crc] envelope, so a payload reaching a
@@ -30,8 +32,15 @@ enum class MsgType : std::uint8_t {
   kApplyAck = 4,     // shard -> coordinator: result + partial scores
   kFetch = 5,        // coordinator -> shard: request current partials
   kPartial = 6,      // shard -> coordinator: current partial scores
-  kShutdown = 7,     // coordinator -> shard: clean stop
-  kShutdownAck = 8,  // shard -> coordinator: stopping
+  kShutdown = 7,      // coordinator -> shard: clean stop
+  kShutdownAck = 8,   // shard -> coordinator: stopping
+  kReplicate = 9,     // primary -> standby: batch / heartbeat / bootstrap
+  kReplicateAck = 10, // standby -> primary; also the generic control ack
+  kSplitRange = 11,   // coordinator -> donor: shrink to the new range
+  kMergeRange = 12,   // coordinator -> shard: expand to the merged range
+  kMigrateBegin = 13, // coordinator -> donor, and donor -> recipient
+  kMigrateChunk = 14, // donor -> recipient: one slice of the image
+  kMigrateCommit = 15,// donor -> recipient: image complete, CRC attached
 };
 
 /// Coordinator's opening message: the graph signature both sides must
@@ -59,6 +68,10 @@ struct HelloAckMsg {
   std::uint64_t num_vertices = 0;
   std::uint64_t num_edges = 0;
   bool directed = false;
+  /// Newest shard-map version this worker has applied; 0 means "never
+  /// told" (a fresh or checkpoint-recovered worker), which the
+  /// coordinator accepts against any current version.
+  std::uint64_t map_version = 0;
 };
 
 /// One replicated batch under the coordinator's absolute epoch numbering.
@@ -97,6 +110,83 @@ struct PartialMsg {
   BcScores partial;
 };
 
+/// One frame of the primary -> standby replication feed. kind
+/// distinguishes the three shapes sharing the codec: a real batch (the
+/// standby applies and acks it), a heartbeat (lease renewal only, never
+/// acked), and the bootstrap frame that opens the feed (carries the
+/// primary's base epoch/position plus the graph signature the standby's
+/// replica must match).
+struct ReplicateMsg {
+  static constexpr std::uint8_t kBatch = 0;
+  static constexpr std::uint8_t kHeartbeat = 1;
+  static constexpr std::uint8_t kBootstrap = 2;
+
+  std::uint8_t kind = kBatch;
+  std::uint64_t epoch = 0;
+  std::uint64_t stream_position = 0;
+  /// Graph signature, meaningful on kBootstrap only.
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  bool directed = false;
+  std::vector<EdgeUpdate> updates;
+};
+
+/// Ack for a kBatch/kBootstrap replicate, and the generic reply to the
+/// rebalancing control messages (SplitRange/MergeRange/MigrateBegin):
+/// ok=false carries a human-readable refusal.
+struct ReplicateAckMsg {
+  std::uint64_t epoch = 0;
+  bool ok = true;
+  std::string message;
+};
+
+/// Shrinks the receiving shard to `range` under the new map version; the
+/// shard rebuilds its scoped framework over the smaller range and acks
+/// with its (unchanged) epoch.
+struct SplitRangeMsg {
+  std::uint64_t map_version = 0;
+  ShardRange range;
+};
+
+/// Expands the receiving shard to the union `range` (absorbing a
+/// neighbor being retired) under the new map version.
+struct MergeRangeMsg {
+  std::uint64_t map_version = 0;
+  ShardRange range;
+};
+
+/// Opens a range migration. Coordinator -> donor: recipient_address
+/// names where to stream (total_bytes 0). Donor -> recipient:
+/// recipient_address is empty and total_bytes is the migration-image
+/// size about to arrive in MigrateChunk frames. `range` is the slice the
+/// recipient will own; shard_index/shard_count are its slot in the
+/// post-split map; epoch/stream_position stamp the checkpoint-consistent
+/// cut the image was taken at.
+struct MigrateBeginMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t stream_position = 0;
+  std::uint64_t map_version = 0;
+  ShardRange range;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;
+  std::uint64_t total_bytes = 0;
+  std::string recipient_address;
+};
+
+/// One slice of the migration image, offset-stamped so a reordered or
+/// repeated chunk is detected instead of corrupting the image.
+struct MigrateChunkMsg {
+  std::uint64_t offset = 0;
+  std::string data;
+};
+
+/// Closes the migration stream: the recipient verifies it holds exactly
+/// total_bytes with this CRC-32 before building state from the image.
+struct MigrateCommitMsg {
+  std::uint64_t total_bytes = 0;
+  std::uint32_t crc = 0;
+};
+
 /// First payload byte, or InvalidArgument on an empty payload.
 Result<MsgType> PeekType(const std::string& payload);
 
@@ -108,12 +198,26 @@ std::string EncodeFetch();
 std::string EncodePartial(const PartialMsg& msg);
 std::string EncodeShutdown();
 std::string EncodeShutdownAck();
+std::string EncodeReplicate(const ReplicateMsg& msg);
+std::string EncodeReplicateAck(const ReplicateAckMsg& msg);
+std::string EncodeSplitRange(const SplitRangeMsg& msg);
+std::string EncodeMergeRange(const MergeRangeMsg& msg);
+std::string EncodeMigrateBegin(const MigrateBeginMsg& msg);
+std::string EncodeMigrateChunk(const MigrateChunkMsg& msg);
+std::string EncodeMigrateCommit(const MigrateCommitMsg& msg);
 
 Result<HelloMsg> DecodeHello(const std::string& payload);
 Result<HelloAckMsg> DecodeHelloAck(const std::string& payload);
 Result<ApplyMsg> DecodeApply(const std::string& payload);
 Result<ApplyAckMsg> DecodeApplyAck(const std::string& payload);
 Result<PartialMsg> DecodePartial(const std::string& payload);
+Result<ReplicateMsg> DecodeReplicate(const std::string& payload);
+Result<ReplicateAckMsg> DecodeReplicateAck(const std::string& payload);
+Result<SplitRangeMsg> DecodeSplitRange(const std::string& payload);
+Result<MergeRangeMsg> DecodeMergeRange(const std::string& payload);
+Result<MigrateBeginMsg> DecodeMigrateBegin(const std::string& payload);
+Result<MigrateChunkMsg> DecodeMigrateChunk(const std::string& payload);
+Result<MigrateCommitMsg> DecodeMigrateCommit(const std::string& payload);
 
 }  // namespace sobc
 

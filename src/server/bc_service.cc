@@ -50,13 +50,29 @@ Result<std::unique_ptr<BcService>> BcService::Create(
   resolved.queue.directed = graph.directed();
   auto bc = DynamicBc::Create(std::move(graph), resolved.bc);
   if (!bc.ok()) return bc.status();
+  if (!resolved.replicated && (resolved.replicated_base_epoch != 0 ||
+                               resolved.replicated_base_position != 0)) {
+    return Status::InvalidArgument(
+        "replicated_base_epoch/position require a replicated-mode service");
+  }
   auto service = std::unique_ptr<BcService>(
       new BcService(std::move(*bc), resolved));
-  // Epoch 0: the Step-1 scores are queryable before any update arrives,
-  // and before the writer exists — no publication ever races with it.
+  // The base epoch (0 for a fresh deployment, the donor's cut for a
+  // migration recipient): the Step-1 scores are queryable before any
+  // update arrives, and before the writer exists — no publication ever
+  // races with it.
+  service->base_epoch_ = resolved.replicated_base_epoch;
+  service->base_position_ = resolved.replicated_base_position;
+  service->final_epoch_ = resolved.replicated_base_epoch;
+  service->final_position_ = resolved.replicated_base_position;
+  service->published_position_.store(resolved.replicated_base_position,
+                                     std::memory_order_release);
+  service->metrics_.SeedPublication(resolved.replicated_base_epoch,
+                                    resolved.replicated_base_position);
   service->snapshots_.Publish(BuildSnapshot(
-      service->bc_->graph(), service->bc_->scores(), /*epoch=*/0,
-      /*stream_position=*/0, resolved.top_k, resolved.snapshot_edge_scores));
+      service->bc_->graph(), service->bc_->scores(),
+      resolved.replicated_base_epoch, resolved.replicated_base_position,
+      resolved.top_k, resolved.snapshot_edge_scores));
   if (resolved.durability.enabled()) {
     // Refuse pre-existing durable state in either directory: a log is
     // Recover's job, and stale higher-epoch manifests from a previous
@@ -68,8 +84,8 @@ Result<std::unique_ptr<BcService>> BcService::Create(
           "wal dir " + resolved.durability.wal_dir +
           " already holds a log; Recover it or point at a fresh directory");
     }
-    SOBC_RETURN_NOT_OK(
-        service->StartDurability(/*next_epoch=*/1, /*initial_checkpoint=*/true));
+    SOBC_RETURN_NOT_OK(service->StartDurability(
+        resolved.replicated_base_epoch + 1, /*initial_checkpoint=*/true));
   }
   if (!resolved.replicated) {
     if (resolved.writer_stall_timeout_seconds > 0) {
@@ -613,6 +629,59 @@ Status BcService::ApplyReplicatedBatch(std::uint64_t epoch,
     return fail(std::move(commit));
   }
   batch_started_.store(0.0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status BcService::RescopeSourceRange(VertexId begin, VertexId end) {
+  if (!options_.replicated) {
+    return Status::FailedPrecondition(
+        "RescopeSourceRange requires a replicated-mode service");
+  }
+  if (health() == ServiceHealth::kReadOnly) {
+    Status why = last_error();
+    return why.ok() ? Status::FailedPrecondition("shard is read-only") : why;
+  }
+  if (options_.bc.variant == BcVariant::kOutOfCore) {
+    return Status::FailedPrecondition(
+        "rescope an out-of-core shard by re-bootstrapping it from a "
+        "checkpoint: its BD store file is scoped to the old range");
+  }
+  // Exact maintenance keeps the framework equal to a from-scratch build on
+  // the current graph, so a scoped Step 1 over a copy of that graph IS the
+  // exact partial for the new range at the current epoch (DESIGN.md §13).
+  Graph graph = bc_->graph();
+  options_.bc.source_begin = begin;
+  options_.bc.source_end = end;
+  auto rebuilt = DynamicBc::Create(std::move(graph), options_.bc);
+  if (!rebuilt.ok()) return rebuilt.status();
+  bc_ = std::move(*rebuilt);
+  std::uint64_t epoch = 0;
+  std::uint64_t position = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = final_epoch_;
+    position = final_position_;
+  }
+  // Republished at the UNCHANGED epoch/position: no snapshot (and thus no
+  // merged cluster epoch) is ever computed under two shard maps at once.
+  snapshots_.Publish(BuildSnapshot(bc_->graph(), bc_->scores(), epoch,
+                                   position, options_.top_k,
+                                   options_.snapshot_edge_scores));
+  if (checkpointer_ != nullptr) {
+    // Force a checkpoint under the new scope so a crash after the commit
+    // recovers the new range (the manifest is authoritative for the
+    // partition). Its failure costs durability, not the rescope.
+    Status background = checkpointer_->WaitIdle();
+    if (!background.ok()) EnterDegraded(background);
+    if (!checkpoints_suspended_.load(std::memory_order_acquire)) {
+      auto job = CaptureCheckpointJob(epoch, position);
+      Status wrote = job.ok() ? checkpointer_->WriteNow(std::move(*job))
+                              : job.status();
+      if (!wrote.ok()) EnterDegraded(wrote);
+    }
+    updates_since_checkpoint_ = 0;
+    last_checkpoint_stamp_ = SteadyNowSeconds();
+  }
   return Status::OK();
 }
 

@@ -136,6 +136,14 @@ struct BcServiceOptions {
   /// thread. Submit rejects — the coordinator's queue is the only
   /// coalescing point, so every shard sees the same batch boundaries.
   bool replicated = false;
+  /// Replicated mode only: the absolute epoch/position this service's
+  /// initial state corresponds to. A freshly sharded deployment starts at
+  /// 0; a migration recipient joins at the donor's cut (DESIGN.md §13),
+  /// so its first ApplyReplicatedBatch epoch is replicated_base_epoch+1.
+  /// Create publishes the initial snapshot at this epoch and, when
+  /// durable, starts the WAL at epoch+1.
+  std::uint64_t replicated_base_epoch = 0;
+  std::uint64_t replicated_base_position = 0;
 };
 
 /// The concurrent serving layer over the online framework (DESIGN.md §8):
@@ -216,6 +224,20 @@ class BcService {
   Status ApplyReplicatedBatch(std::uint64_t epoch,
                               std::uint64_t stream_position,
                               std::span<const EdgeUpdate> updates);
+
+  /// Replicated mode only (same single-caller discipline as
+  /// ApplyReplicatedBatch): re-scopes this shard's owned source range to
+  /// [begin, end) at the CURRENT epoch — the commit step of a live range
+  /// migration (DESIGN.md §13). Because exact maintenance keeps the
+  /// framework's state equal to a from-scratch build on the current graph,
+  /// the rescope reruns scoped Step 1 over a copy of that graph, which IS
+  /// the exact partial for the new range at this epoch; the snapshot is
+  /// republished at the unchanged epoch/position so no publication ever
+  /// mixes two maps. When durable, a post-rescope checkpoint is forced so
+  /// recovery rebuilds the new scope (its failure degrades, not fails).
+  /// Unimplemented for the out-of-core variant — re-bootstrap such a
+  /// shard from a checkpoint instead.
+  Status RescopeSourceRange(VertexId begin, VertexId end);
 
   /// Published epoch of the newest snapshot (any thread).
   std::uint64_t final_epoch() const {

@@ -168,6 +168,14 @@ std::string ServeMetricsSnapshot::ToJson() const {
   AppendField(&out, "io_retries", io_retries);
   AppendField(&out, "io_retries_exhausted", io_retries_exhausted);
   AppendField(&out, "io_faults_injected", io_faults_injected);
+  AppendField(&out, "failovers", failovers);
+  AppendField(&out, "failover_gap_seconds", failover_gap_seconds);
+  AppendField(&out, "standby_attached", standby_attached);
+  AppendField(&out, "replicated_batches", replicated_batches);
+  AppendField(&out, "migrations_started", migrations_started);
+  AppendField(&out, "migrations_completed", migrations_completed);
+  AppendField(&out, "migration_lag_batches", migration_lag_batches);
+  AppendField(&out, "shard_map_version", shard_map_version);
   AppendField(&out, "p50_update_latency_seconds", p50_update_latency_seconds);
   AppendField(&out, "p99_update_latency_seconds", p99_update_latency_seconds);
   AppendField(&out, "p50_batch_apply_seconds", p50_batch_apply_seconds);

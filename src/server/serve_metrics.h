@@ -22,7 +22,8 @@ struct ServeMetricsSnapshot {
   /// silently charting missing keys as zero. (v1 predates the field.)
   /// metrics_schema_test pins the emitted key set against the documented
   /// table in docs/OPERATIONS.md §3; changing either side alone fails it.
-  static constexpr std::uint64_t kSchemaVersion = 2;
+  /// (v3 added the cluster failover/migration keys.)
+  static constexpr std::uint64_t kSchemaVersion = 3;
 
   std::uint64_t received = 0;   // accepted into the queue
   std::uint64_t dropped = 0;    // rejected by backpressure
@@ -81,6 +82,27 @@ struct ServeMetricsSnapshot {
   std::uint64_t io_retries = 0;
   std::uint64_t io_retries_exhausted = 0;
   std::uint64_t io_faults_injected = 0;
+
+  /// Cluster-plane counters, filled by ClusterCoordinator::metrics()
+  /// (all zero for a single-process service). `failovers` counts standby
+  /// takeovers this process performed; `failover_gap_seconds` is the
+  /// detect-to-first-publish gap of the most recent one.
+  /// `standby_attached` is 1 while a standby tails this primary's replay
+  /// window, and `replicated_batches` counts batches shipped over (or
+  /// tailed from) the standby feed. The migration trio tracks live
+  /// rebalances: started/completed counts plus the double-apply lag of
+  /// the in-flight one (batches applied on both donor and recipient
+  /// while the handoff is open — 0 when no migration is running).
+  /// `shard_map_version` is the current map generation (0 outside
+  /// cluster mode, 1 at bring-up, +1 per committed split/merge).
+  std::uint64_t failovers = 0;
+  double failover_gap_seconds = 0.0;
+  std::uint64_t standby_attached = 0;
+  std::uint64_t replicated_batches = 0;
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migration_lag_batches = 0;
+  std::uint64_t shard_map_version = 0;
 
   /// Submit-to-publish latency per consumed update (coalesced ones
   /// included — their effect was published even if they never ran).

@@ -44,7 +44,30 @@ bool UpdateQueue::PopBatch(DrainedBatch* out) {
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
   if (items_.empty()) return false;  // closed and drained
+  DrainLocked(&lock, out);
+  return true;
+}
 
+UpdateQueue::PopResult UpdateQueue::PopBatchFor(DrainedBatch* out,
+                                                double timeout_seconds) {
+  out->updates.clear();
+  out->enqueue_seconds.clear();
+  out->consumed = 0;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto wait = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(timeout_seconds));
+  not_empty_.wait_for(lock, wait,
+                      [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return closed_ ? PopResult::kClosed : PopResult::kTimeout;
+  DrainLocked(&lock, out);
+  return PopResult::kBatch;
+}
+
+void UpdateQueue::DrainLocked(std::unique_lock<std::mutex>* lock_ptr,
+                              DrainedBatch* out) {
+  std::unique_lock<std::mutex>& lock = *lock_ptr;
   if (options_.batch_latency_budget_seconds > 0.0 &&
       items_.size() < options_.max_batch && !closed_) {
     // Trade a bounded slice of latency for a fuller (more coalescible)
@@ -75,7 +98,6 @@ bool UpdateQueue::PopBatch(DrainedBatch* out) {
   }
   stats_.coalesced += removed;
   stats_.drained += out->updates.size();
-  return true;
 }
 
 void UpdateQueue::Close() {

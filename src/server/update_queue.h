@@ -87,6 +87,16 @@ class UpdateQueue {
   /// when the whole batch collapsed to a no-op.
   bool PopBatch(DrainedBatch* out);
 
+  /// PopBatch outcome for the timed variant: a consumer that also runs
+  /// control work (the cluster coordinator's rebalance commands) needs to
+  /// distinguish "nothing arrived yet" from "queue closed and drained".
+  enum class PopResult { kBatch, kTimeout, kClosed };
+
+  /// PopBatch with a bounded wait: kTimeout after `timeout_seconds` with
+  /// no update available (the queue stays open, `out` is empty), kClosed
+  /// once the queue is closed and drained, kBatch otherwise.
+  PopResult PopBatchFor(DrainedBatch* out, double timeout_seconds);
+
   /// Stops accepting pushes and wakes everyone; already-queued updates
   /// remain drainable.
   void Close();
@@ -106,6 +116,10 @@ class UpdateQueue {
     EdgeUpdate update;
     double enqueue_seconds = 0.0;
   };
+
+  /// The shared drain tail of PopBatch/PopBatchFor: latency-budget wait,
+  /// take, coalesce. Requires at least one item (lock held).
+  void DrainLocked(std::unique_lock<std::mutex>* lock, DrainedBatch* out);
 
   UpdateQueueOptions options_;
   mutable std::mutex mu_;

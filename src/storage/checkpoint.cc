@@ -546,4 +546,90 @@ CheckpointStats CheckpointWriter::stats() const {
   return stats;
 }
 
+namespace {
+
+// Little-endian scalar helpers of the migration-image format. The image
+// is already CRC-protected at the frame layer and again end-to-end by
+// MigrateCommit, so the codec only needs structure checks.
+
+void ImagePutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+bool ImageGetU32(const std::string& in, std::size_t* pos, std::uint32_t* v) {
+  if (in.size() - *pos < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<std::uint32_t>(
+              static_cast<std::uint8_t>(in[*pos + i]))
+          << (8 * i);
+  }
+  *pos += 4;
+  return true;
+}
+
+void ImagePutLists(std::string* out,
+                   const Graph& graph, bool inbound) {
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto list = inbound ? graph.InNeighbors(v) : graph.OutNeighbors(v);
+    ImagePutU32(out, static_cast<std::uint32_t>(list.size()));
+    for (VertexId id : list) ImagePutU32(out, id);
+  }
+}
+
+Result<std::vector<std::vector<VertexId>>> ImageGetLists(
+    const std::string& image, std::size_t* pos, std::uint32_t n) {
+  std::vector<std::vector<VertexId>> lists(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint32_t count = 0;
+    if (!ImageGetU32(image, pos, &count) ||
+        count > (image.size() - *pos) / 4) {
+      return Status::IOError("truncated migration image");
+    }
+    lists[v].reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t id = 0;
+      ImageGetU32(image, pos, &id);
+      lists[v].push_back(id);
+    }
+  }
+  return lists;
+}
+
+}  // namespace
+
+std::string ExportMigrationImage(const Graph& graph) {
+  std::string out;
+  out.push_back(graph.directed() ? 1 : 0);
+  ImagePutU32(&out, static_cast<std::uint32_t>(graph.NumVertices()));
+  ImagePutLists(&out, graph, /*inbound=*/false);
+  if (graph.directed()) ImagePutLists(&out, graph, /*inbound=*/true);
+  return out;
+}
+
+Result<Graph> ImportMigrationImage(const std::string& image) {
+  if (image.empty()) return Status::IOError("empty migration image");
+  std::size_t pos = 0;
+  const bool directed = image[pos++] != 0;
+  std::uint32_t n = 0;
+  if (!ImageGetU32(image, &pos, &n)) {
+    return Status::IOError("truncated migration image");
+  }
+  auto out_lists = ImageGetLists(image, &pos, n);
+  SOBC_RETURN_NOT_OK(out_lists.status());
+  std::vector<std::vector<VertexId>> in_lists;
+  if (directed) {
+    auto in = ImageGetLists(image, &pos, n);
+    SOBC_RETURN_NOT_OK(in.status());
+    in_lists = std::move(*in);
+  }
+  if (pos != image.size()) {
+    return Status::IOError("trailing bytes after the migration image");
+  }
+  return Graph::FromAdjacency(directed, std::move(*out_lists),
+                              std::move(in_lists));
+}
+
 }  // namespace sobc

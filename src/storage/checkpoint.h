@@ -108,6 +108,23 @@ Status CopyFile(const std::string& from, const std::string& to,
 /// CRC-32 of a whole file's content.
 Result<std::uint32_t> FileCrc32(const std::string& path);
 
+/// Serializes a checkpoint-consistent graph image for a live range
+/// migration (DESIGN.md §13): the donor captures its graph between
+/// batches and streams these bytes to the recipient in MigrateChunk
+/// frames; the recipient rebuilds the graph and runs a scoped Step 1
+/// over its new source range, which reproduces the donor's maintained
+/// BD/partial state for that range exactly (exact maintenance ==
+/// from-scratch state on the current graph). Adjacency-list ORDER is
+/// preserved verbatim — the same bit-identity requirement the
+/// checkpoint format has (Graph::FromAdjacency), since traversal order
+/// fixes floating-point summation order downstream.
+std::string ExportMigrationImage(const Graph& graph);
+
+/// Rebuilds the graph from ExportMigrationImage bytes. The caller has
+/// already CRC-checked the stream (MigrateCommit); this validates
+/// structure and bounds.
+Result<Graph> ImportMigrationImage(const std::string& image);
+
 /// Background counters, snapshot-readable from any thread.
 struct CheckpointStats {
   std::uint64_t written = 0;       // checkpoints committed (manifest durable)

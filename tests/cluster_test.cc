@@ -11,9 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bc/brandes.h"
@@ -21,6 +25,7 @@
 #include "cluster/coordinator.h"
 #include "cluster/shard_worker.h"
 #include "cluster/transport.h"
+#include "cluster/wire.h"
 #include "common/fault_io.h"
 #include "common/io.h"
 #include "common/rng.h"
@@ -38,6 +43,17 @@ using testutil::ExpectScoresNear;
 using testutil::RandomConnectedGraph;
 
 constexpr double kTol = 1e-7;
+
+/// Polls `cond` every 5ms until true or the timeout lapses.
+bool WaitFor(const std::function<bool()>& cond, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
 
 class ClusterTest : public ::testing::Test {
  protected:
@@ -489,6 +505,427 @@ TEST_F(ClusterTest, ReplicatedApplyIsExactlyOnceUnderRetries) {
   EXPECT_EQ((*service)->final_position(), 6u);
   EXPECT_EQ((*service)->health(), ServiceHealth::kHealthy);
   EXPECT_TRUE((*service)->Stop().ok());
+}
+
+// --- coordinator failover ---------------------------------------------------
+
+// The tentpole acceptance: hard-kill the primary at 10 different points in
+// the stream; every trial the warm standby must take over, resume exactly
+// where its tailed window stands (no lost and no duplicated epochs — the
+// shards' dedupe + gap refusal make the reconciliation exactly-once), and
+// finish the stream to the same scores as the single process.
+TEST_F(ClusterTest, CoordinatorFailoverAtRandomKillPoints) {
+  Rng rng(48);
+  const Graph base = RandomConnectedGraph(24, 18, &rng);
+  const EdgeStream stream = MixedUpdateStream(base, 40, 0.3, &rng);
+  const auto reference = ReferenceSnapshot(base, stream);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    TcpTransport transport;
+    const std::size_t shards = 2;
+    std::vector<std::unique_ptr<ShardWorker>> workers;
+    std::vector<std::string> addresses;
+    for (std::size_t i = 0; i < shards; ++i) {
+      auto worker = ShardWorker::Start(Graph(base), &transport, "127.0.0.1:0",
+                                       WorkerOptions(i, shards));
+      ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+      addresses.push_back((*worker)->address());
+      workers.push_back(std::move(*worker));
+    }
+
+    ClusterCoordinatorOptions options = CoordinatorOptions();
+    options.standby_listen = "127.0.0.1:0";
+    options.heartbeat_interval_seconds = 0.05;
+    options.lease_timeout_seconds = 1.0;
+    options.shard_retry_seconds = 8.0;
+    auto primary = ClusterCoordinator::Connect(Graph(base), addresses,
+                                               &transport, options);
+    ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+    ASSERT_FALSE((*primary)->standby_address().empty());
+
+    auto standby = ClusterCoordinator::Standby(
+        Graph(base), addresses, &transport, (*primary)->standby_address(),
+        options);
+    ASSERT_TRUE(standby.ok()) << standby.status().ToString();
+    ASSERT_TRUE(WaitFor([&] { return (*primary)->standby_attached(); }, 10.0))
+        << "standby never finished catching up";
+    EXPECT_EQ((*standby)->role(),
+              ClusterCoordinator::Role::kStandbyTailing);
+    // A standby that has not taken over serves nothing and accepts nothing.
+    EXPECT_EQ((*standby)->snapshot(), nullptr);
+    EXPECT_FALSE((*standby)->Submit(stream[0]));
+
+    // The kill point: a different published position each trial. The
+    // primary dies crash-shaped — no shutdown frames — so the standby sees
+    // the feed go silent and the shards see EOF.
+    const std::size_t kill_at = 1 + rng.Next() % stream.size();
+    EXPECT_EQ((*primary)->SubmitAll(stream), stream.size());
+    ASSERT_TRUE(WaitFor(
+        [&] { return (*primary)->final_position() >= kill_at; }, 20.0))
+        << "primary never published position " << kill_at;
+    (*primary)->Halt();
+
+    const Status active = (*standby)->WaitUntilActive(30.0);
+    ASSERT_TRUE(active.ok()) << active.ToString();
+    EXPECT_EQ((*standby)->role(), ClusterCoordinator::Role::kStandbyActive);
+
+    // Replicate-before-fanout: the standby's resume point can never be
+    // behind anything the primary published.
+    const std::uint64_t resume = (*standby)->final_position();
+    EXPECT_GE(resume, kill_at);
+    ASSERT_LE(resume, stream.size());
+    for (std::size_t i = resume; i < stream.size(); ++i) {
+      ASSERT_TRUE((*standby)->Submit(stream[i]));
+    }
+    ASSERT_TRUE((*standby)->Drain().ok())
+        << (*standby)->last_error().ToString();
+
+    const auto snap = (*standby)->snapshot();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->stream_position, stream.size());
+    EXPECT_EQ((*standby)->final_position(), stream.size());
+    EXPECT_EQ((*standby)->health(), ServiceHealth::kHealthy);
+    ExpectScoresNear(BcScores{reference->vbc, reference->ebc},
+                     BcScores{snap->vbc, snap->ebc}, kTol,
+                     "failover trial " + std::to_string(trial));
+
+    // No shard lost or double-counted an epoch across the takeover.
+    for (const ShardStatus& status : (*standby)->shard_status()) {
+      EXPECT_EQ(status.epoch, (*standby)->final_epoch());
+    }
+    const ServeMetricsSnapshot metrics = (*standby)->metrics();
+    EXPECT_EQ(metrics.failovers, 1u);
+    EXPECT_GE(metrics.failover_gap_seconds, 0.0);
+
+    EXPECT_TRUE((*standby)->Stop().ok());
+    for (auto& worker : workers) {
+      worker->Wait();
+      EXPECT_TRUE(worker->Stop().ok());
+    }
+  }
+}
+
+// --- live rebalancing --------------------------------------------------------
+
+// Split a shard in half while the stream keeps flowing, then merge it
+// back, and at both waypoints the merged scores must match the
+// single-process truth — the double-apply window and the atomic
+// map-version commit never lose or double-count a batch.
+TEST_F(ClusterTest, LiveSplitAndMergeUnderLoadMatchDifferential) {
+  Rng rng(49);
+  const Graph base = RandomConnectedGraph(30, 24, &rng);
+  const EdgeStream stream = MixedUpdateStream(base, 60, 0.3, &rng);
+  const auto reference = ReferenceSnapshot(base, stream);
+  const std::size_t third = stream.size() / 3;
+  const EdgeStream prefix(stream.begin(), stream.begin() + 2 * third);
+  const auto mid_reference = ReferenceSnapshot(base, prefix);
+
+  TcpTransport transport;
+  const std::size_t shards = 2;
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<std::string> addresses;
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto worker = ShardWorker::Start(Graph(base), &transport, "127.0.0.1:0",
+                                     WorkerOptions(i, shards));
+    ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+    addresses.push_back((*worker)->address());
+    workers.push_back(std::move(*worker));
+  }
+
+  ClusterCoordinatorOptions options = CoordinatorOptions();
+  options.shard_retry_seconds = 8.0;
+  auto coordinator = ClusterCoordinator::Connect(Graph(base), addresses,
+                                                 &transport, options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  for (std::size_t i = 0; i < third; ++i) {
+    ASSERT_TRUE((*coordinator)->Submit(stream[i]));
+  }
+  ASSERT_TRUE((*coordinator)->Drain().ok());
+
+  // An empty worker waiting for the image; the split blocks until the
+  // migration committed while the feeder keeps the stream flowing — some
+  // batches MUST ride the double-apply window.
+  auto recipient = ShardWorker::AwaitMigration(&transport, "127.0.0.1:0",
+                                               WorkerOptions(0, 1));
+  ASSERT_TRUE(recipient.ok()) << recipient.status().ToString();
+  std::thread feeder([&] {
+    for (std::size_t i = third; i < 2 * third; ++i) {
+      EXPECT_TRUE((*coordinator)->Submit(stream[i]));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const Status split = (*coordinator)->SplitShard(0, (*recipient)->address());
+  feeder.join();
+  ASSERT_TRUE(split.ok()) << split.ToString();
+  ASSERT_TRUE((*coordinator)->Drain().ok())
+      << (*coordinator)->last_error().ToString();
+
+  {
+    const std::vector<ShardStatus> status = (*coordinator)->shard_status();
+    ASSERT_EQ(status.size(), 3u);
+    for (const ShardStatus& shard : status) {
+      EXPECT_FALSE(shard.joining) << "the commit must clear the handoff";
+      EXPECT_EQ(shard.epoch, (*coordinator)->final_epoch());
+    }
+    EXPECT_EQ(status[1].address, (*recipient)->address());
+    const auto snap = (*coordinator)->snapshot();
+    EXPECT_EQ(snap->stream_position, prefix.size());
+    ExpectScoresNear(BcScores{mid_reference->vbc, mid_reference->ebc},
+                     BcScores{snap->vbc, snap->ebc}, kTol,
+                     "post-split cluster");
+    const ServeMetricsSnapshot metrics = (*coordinator)->metrics();
+    EXPECT_EQ(metrics.migrations_started, 1u);
+    EXPECT_EQ(metrics.migrations_completed, 1u);
+    EXPECT_EQ(metrics.shard_map_version, 2u);
+  }
+
+  // Merge the split pair back under load: the survivor rescopes to the
+  // union range and the recipient retires, again without a publication
+  // landing between the rescope and the roster change.
+  std::thread feeder2([&] {
+    for (std::size_t i = 2 * third; i < stream.size(); ++i) {
+      EXPECT_TRUE((*coordinator)->Submit(stream[i]));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const Status merged = (*coordinator)->MergeShards(0);
+  feeder2.join();
+  ASSERT_TRUE(merged.ok()) << merged.ToString();
+  ASSERT_TRUE((*coordinator)->Drain().ok())
+      << (*coordinator)->last_error().ToString();
+
+  const auto snap = (*coordinator)->snapshot();
+  EXPECT_EQ(snap->stream_position, stream.size());
+  EXPECT_EQ((*coordinator)->health(), ServiceHealth::kHealthy);
+  ExpectScoresNear(BcScores{reference->vbc, reference->ebc},
+                   BcScores{snap->vbc, snap->ebc}, kTol,
+                   "post-merge cluster");
+  const std::vector<ShardStatus> status = (*coordinator)->shard_status();
+  ASSERT_EQ(status.size(), 2u);
+  for (const ShardStatus& shard : status) {
+    EXPECT_EQ(shard.epoch, (*coordinator)->final_epoch());
+  }
+  EXPECT_EQ((*coordinator)->metrics().shard_map_version, 3u);
+
+  EXPECT_TRUE((*coordinator)->Stop().ok());
+  // The merge retired the recipient with a clean shutdown.
+  (*recipient)->Wait();
+  EXPECT_TRUE((*recipient)->Stop().ok());
+  for (auto& worker : workers) EXPECT_TRUE(worker->Stop().ok());
+}
+
+// --- shard-map versioning over the wire --------------------------------------
+
+// Every range-carrying control frame must be refused when its map version
+// is not strictly newer than what the shard already applied — a replayed
+// plan or a delayed duplicate cannot silently re-cut ranges.
+TEST_F(ClusterTest, StaleShardMapVersionIsRefusedOnEveryRangeFrame) {
+  Rng rng(50);
+  const Graph base = RandomConnectedGraph(20, 14, &rng);
+  TcpTransport transport;
+  auto worker = ShardWorker::Start(Graph(base), &transport, "127.0.0.1:0",
+                                   WorkerOptions(0, 1));
+  ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+
+  auto conn = transport.Connect((*worker)->address(), 5.0);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  const auto round_trip = [&](const std::string& frame) {
+    Status sent = (*conn)->SendFrame(frame);
+    EXPECT_TRUE(sent.ok()) << sent.ToString();
+    std::string payload;
+    Status received = (*conn)->RecvFrame(&payload, 10.0);
+    EXPECT_TRUE(received.ok()) << received.ToString();
+    return payload;
+  };
+
+  HelloMsg hello;
+  hello.num_vertices = base.NumVertices();
+  hello.num_edges = base.NumEdges();
+  hello.directed = base.directed();
+  {
+    auto ack = DecodeHelloAck(round_trip(EncodeHello(hello)));
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    EXPECT_EQ(ack->map_version, 0u) << "a fresh worker was never told";
+  }
+
+  // Version 1 against a never-told worker is strictly newer: applied.
+  SplitRangeMsg shrink;
+  shrink.map_version = 1;
+  shrink.range = ShardRange{0, static_cast<VertexId>(base.NumVertices() / 2)};
+  {
+    auto ack = DecodeReplicateAck(round_trip(EncodeSplitRange(shrink)));
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    EXPECT_TRUE(ack->ok) << ack->message;
+  }
+  {
+    auto ack = DecodeHelloAck(round_trip(EncodeHello(hello)));
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack->map_version, 1u) << "the applied version must stick";
+  }
+
+  // The same version replayed — and an older one — are stale on every
+  // range-carrying message type.
+  {
+    auto ack = DecodeReplicateAck(round_trip(EncodeSplitRange(shrink)));
+    ASSERT_TRUE(ack.ok());
+    EXPECT_FALSE(ack->ok);
+    EXPECT_NE(ack->message.find("stale shard-map version"), std::string::npos)
+        << ack->message;
+  }
+  MergeRangeMsg expand;
+  expand.map_version = 1;
+  expand.range = ShardRange{};  // full open-ended range
+  {
+    auto ack = DecodeReplicateAck(round_trip(EncodeMergeRange(expand)));
+    ASSERT_TRUE(ack.ok());
+    EXPECT_FALSE(ack->ok);
+    EXPECT_NE(ack->message.find("stale shard-map version"), std::string::npos)
+        << ack->message;
+  }
+  MigrateBeginMsg donate;
+  donate.epoch = 0;  // matches, so the version check is what refuses
+  donate.map_version = 1;
+  donate.range = shrink.range;
+  donate.recipient_address = "127.0.0.1:1";
+  {
+    auto ack = DecodeReplicateAck(round_trip(EncodeMigrateBegin(donate)));
+    ASSERT_TRUE(ack.ok());
+    EXPECT_FALSE(ack->ok);
+    EXPECT_NE(ack->message.find("stale shard-map version"), std::string::npos)
+        << ack->message;
+  }
+
+  // A strictly newer version still lands after the refusals.
+  expand.map_version = 2;
+  {
+    auto ack = DecodeReplicateAck(round_trip(EncodeMergeRange(expand)));
+    ASSERT_TRUE(ack.ok());
+    EXPECT_TRUE(ack->ok) << ack->message;
+  }
+  EXPECT_TRUE((*worker)->range().open_ended());
+
+  EXPECT_TRUE((*worker)->Stop().ok());
+}
+
+// --- chaos: duplication and delay --------------------------------------------
+
+// A retransmitting path delivers every coordinator frame twice; the
+// shard-side epoch dedupe must absorb the duplicates — each one acked,
+// none applied twice.
+TEST_F(ClusterTest, DuplicatedApplyFramesAreIdempotentOverTheWire) {
+  Rng rng(51);
+  const Graph base = RandomConnectedGraph(18, 12, &rng);
+  EdgeStream stream = MixedUpdateStream(base, 6, 0.0, &rng);
+
+  TcpTransport inner;
+  ChaosTransport chaos(&inner);
+  auto worker = ShardWorker::Start(Graph(base), &inner, "127.0.0.1:0",
+                                   WorkerOptions(0, 1));
+  ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+
+  ChaosPlan plan;
+  plan.duplicate_sends = 8;  // every frame this test sends goes out twice
+  chaos.SetPlan((*worker)->address(), plan);
+  auto conn = chaos.Connect((*worker)->address(), 5.0);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  const auto recv = [&] {
+    std::string payload;
+    Status received = (*conn)->RecvFrame(&payload, 10.0);
+    EXPECT_TRUE(received.ok()) << received.ToString();
+    return payload;
+  };
+
+  HelloMsg hello;
+  hello.num_vertices = base.NumVertices();
+  hello.num_edges = base.NumEdges();
+  hello.directed = base.directed();
+  ASSERT_TRUE((*conn)->SendFrame(EncodeHello(hello)).ok());
+  // The duplicated Hello earns two identical acks.
+  auto ack1 = DecodeHelloAck(recv());
+  auto ack2 = DecodeHelloAck(recv());
+  ASSERT_TRUE(ack1.ok() && ack2.ok());
+  EXPECT_EQ(ack1->epoch, ack2->epoch);
+
+  ApplyMsg apply;
+  apply.epoch = 1;
+  apply.stream_position = 3;
+  apply.updates.assign(stream.begin(), stream.begin() + 3);
+  ASSERT_TRUE((*conn)->SendFrame(EncodeApply(apply)).ok());
+  auto first = DecodeApplyAck(recv());
+  auto duplicate = DecodeApplyAck(recv());
+  ASSERT_TRUE(first.ok() && duplicate.ok());
+  EXPECT_TRUE(first->ok) << first->message;
+  EXPECT_TRUE(duplicate->ok) << "the duplicate must be a silent no-op, not "
+                                "an error: " << duplicate->message;
+  EXPECT_EQ(first->epoch, 1u);
+  EXPECT_EQ(duplicate->epoch, 1u);
+  // Same cumulative partial on both acks: the duplicate applied nothing.
+  ExpectScoresNear(first->partial, duplicate->partial, 0.0,
+                   "duplicated apply ack");
+  EXPECT_EQ((*worker)->service()->final_epoch(), 1u);
+  EXPECT_EQ((*worker)->service()->final_position(), 3u);
+
+  // The next real epoch still lands exactly once after the duplicates.
+  apply.epoch = 2;
+  apply.stream_position = 6;
+  apply.updates.assign(stream.begin() + 3, stream.end());
+  ASSERT_TRUE((*conn)->SendFrame(EncodeApply(apply)).ok());
+  auto next = DecodeApplyAck(recv());
+  auto next_duplicate = DecodeApplyAck(recv());
+  ASSERT_TRUE(next.ok() && next_duplicate.ok());
+  EXPECT_TRUE(next->ok && next_duplicate->ok);
+  EXPECT_EQ((*worker)->service()->final_epoch(), 2u);
+  EXPECT_EQ((*worker)->service()->final_position(), 6u);
+
+  EXPECT_TRUE((*worker)->Stop().ok());
+}
+
+// A slow link (per-frame send delay) must change nothing but latency: the
+// cluster converges to the exact single-process scores with no reconnects.
+TEST_F(ClusterTest, DelayedFramesOnlySlowTheClusterNotItsAnswers) {
+  Rng rng(52);
+  const Graph base = RandomConnectedGraph(24, 16, &rng);
+  const EdgeStream stream = MixedUpdateStream(base, 24, 0.3, &rng);
+  const auto reference = ReferenceSnapshot(base, stream);
+
+  TcpTransport inner;
+  ChaosTransport chaos(&inner);
+  const std::size_t shards = 2;
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  std::vector<std::string> addresses;
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto worker = ShardWorker::Start(Graph(base), &inner, "127.0.0.1:0",
+                                     WorkerOptions(i, shards));
+    ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+    addresses.push_back((*worker)->address());
+    workers.push_back(std::move(*worker));
+  }
+
+  ChaosPlan plan;
+  plan.send_delay_seconds = 0.002;
+  chaos.SetPlan(addresses[0], plan);
+
+  auto coordinator = ClusterCoordinator::Connect(Graph(base), addresses,
+                                                 &chaos,
+                                                 CoordinatorOptions());
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+  EXPECT_EQ((*coordinator)->SubmitAll(stream), stream.size());
+  ASSERT_TRUE((*coordinator)->Drain().ok())
+      << (*coordinator)->last_error().ToString();
+
+  const auto snap = (*coordinator)->snapshot();
+  EXPECT_EQ(snap->stream_position, stream.size());
+  ExpectScoresNear(BcScores{reference->vbc, reference->ebc},
+                   BcScores{snap->vbc, snap->ebc}, kTol, "delayed cluster");
+  for (const ShardStatus& status : (*coordinator)->shard_status()) {
+    EXPECT_EQ(status.reconnects, 0u) << "delay is not a failure";
+  }
+
+  EXPECT_TRUE((*coordinator)->Stop().ok());
+  for (auto& worker : workers) EXPECT_TRUE(worker->Stop().ok());
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -67,6 +69,21 @@ TEST(ShardMapTest, ValidateRejectsBrokenTilings) {
   EXPECT_FALSE(ValidateShardMap({}, 10).ok());
 }
 
+TEST(ShardMapTest, CheckMapVersionRequiresStrictlyNewer) {
+  // Strictly newer than current: accepted.
+  EXPECT_TRUE(CheckMapVersion(2, 1, "split-range").ok());
+  EXPECT_TRUE(CheckMapVersion(7, 3, "merge-range").ok());
+  // Equal or older: a stale frame from a pre-rebalance coordinator.
+  const Status equal = CheckMapVersion(3, 3, "split-range");
+  EXPECT_FALSE(equal.ok());
+  EXPECT_NE(equal.message().find("stale shard-map version"),
+            std::string::npos);
+  EXPECT_FALSE(CheckMapVersion(2, 3, "merge-range").ok());
+  // 0 means "never told" and is never newer than anything.
+  EXPECT_FALSE(CheckMapVersion(0, 0, "migrate-begin").ok());
+  EXPECT_FALSE(CheckMapVersion(0, 5, "migrate-begin").ok());
+}
+
 TEST(ShardMapTest, ParseHostPort) {
   std::string host;
   int port = 0;
@@ -109,9 +126,11 @@ TEST(WireTest, HelloAckRoundTrip) {
   msg.health = 1;
   msg.num_vertices = 100;
   msg.num_edges = 200;
+  msg.map_version = 6;
   const std::string payload = EncodeHelloAck(msg);
   auto decoded = DecodeHelloAck(payload);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->map_version, 6u);
   EXPECT_EQ(decoded->shard_index, 2u);
   EXPECT_EQ(decoded->shard_count, 4u);
   EXPECT_TRUE(decoded->range == (ShardRange{50, 75}));
@@ -190,6 +209,174 @@ TEST(WireTest, PartialAndControlRoundTrips) {
   auto shutdown_ack = PeekType(EncodeShutdownAck());
   ASSERT_TRUE(shutdown_ack.ok());
   EXPECT_EQ(*shutdown_ack, MsgType::kShutdownAck);
+}
+
+TEST(WireTest, ReplicateRoundTripAllKinds) {
+  ReplicateMsg batch;
+  batch.kind = ReplicateMsg::kBatch;
+  batch.epoch = 42;
+  batch.stream_position = 900;
+  batch.updates.push_back(EdgeUpdate{3, 4, EdgeOp::kAdd, 1.0});
+  auto type = PeekType(EncodeReplicate(batch));
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, MsgType::kReplicate);
+  auto decoded = DecodeReplicate(EncodeReplicate(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, ReplicateMsg::kBatch);
+  EXPECT_EQ(decoded->epoch, 42u);
+  EXPECT_EQ(decoded->stream_position, 900u);
+  ASSERT_EQ(decoded->updates.size(), 1u);
+  EXPECT_EQ(decoded->updates[0].v, 4u);
+
+  ReplicateMsg boot;
+  boot.kind = ReplicateMsg::kBootstrap;
+  boot.epoch = 5;
+  boot.stream_position = 123;
+  boot.num_vertices = 64;
+  boot.num_edges = 200;
+  boot.directed = true;
+  decoded = DecodeReplicate(EncodeReplicate(boot));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, ReplicateMsg::kBootstrap);
+  EXPECT_EQ(decoded->num_vertices, 64u);
+  EXPECT_EQ(decoded->num_edges, 200u);
+  EXPECT_TRUE(decoded->directed);
+
+  ReplicateMsg heartbeat;
+  heartbeat.kind = ReplicateMsg::kHeartbeat;
+  decoded = DecodeReplicate(EncodeReplicate(heartbeat));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, ReplicateMsg::kHeartbeat);
+  EXPECT_TRUE(decoded->updates.empty());
+}
+
+TEST(WireTest, ReplicateAckRoundTrip) {
+  ReplicateAckMsg msg;
+  msg.epoch = 17;
+  msg.ok = false;
+  msg.message = "stale shard-map version";
+  auto decoded = DecodeReplicateAck(EncodeReplicateAck(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, 17u);
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->message, "stale shard-map version");
+}
+
+TEST(WireTest, RebalanceControlRoundTrips) {
+  SplitRangeMsg split;
+  split.map_version = 2;
+  split.range = ShardRange{0, 32};
+  auto split_decoded = DecodeSplitRange(EncodeSplitRange(split));
+  ASSERT_TRUE(split_decoded.ok()) << split_decoded.status().ToString();
+  EXPECT_EQ(split_decoded->map_version, 2u);
+  EXPECT_TRUE(split_decoded->range == (ShardRange{0, 32}));
+
+  MergeRangeMsg merge;
+  merge.map_version = 3;
+  merge.range = ShardRange{0, kInvalidVertex};
+  auto merge_decoded = DecodeMergeRange(EncodeMergeRange(merge));
+  ASSERT_TRUE(merge_decoded.ok()) << merge_decoded.status().ToString();
+  EXPECT_EQ(merge_decoded->map_version, 3u);
+  EXPECT_TRUE(merge_decoded->range.open_ended());
+
+  MigrateBeginMsg begin;
+  begin.epoch = 10;
+  begin.stream_position = 456;
+  begin.map_version = 2;
+  begin.range = ShardRange{32, kInvalidVertex};
+  begin.shard_index = 1;
+  begin.shard_count = 3;
+  begin.total_bytes = 9999;
+  begin.recipient_address = "127.0.0.1:7070";
+  auto begin_decoded = DecodeMigrateBegin(EncodeMigrateBegin(begin));
+  ASSERT_TRUE(begin_decoded.ok()) << begin_decoded.status().ToString();
+  EXPECT_EQ(begin_decoded->epoch, 10u);
+  EXPECT_EQ(begin_decoded->stream_position, 456u);
+  EXPECT_EQ(begin_decoded->map_version, 2u);
+  EXPECT_TRUE(begin_decoded->range == (ShardRange{32, kInvalidVertex}));
+  EXPECT_EQ(begin_decoded->shard_index, 1u);
+  EXPECT_EQ(begin_decoded->shard_count, 3u);
+  EXPECT_EQ(begin_decoded->total_bytes, 9999u);
+  EXPECT_EQ(begin_decoded->recipient_address, "127.0.0.1:7070");
+
+  MigrateChunkMsg chunk;
+  chunk.offset = 65536;
+  chunk.data = std::string("\x00\x01raw image bytes\xff", 18);
+  auto chunk_decoded = DecodeMigrateChunk(EncodeMigrateChunk(chunk));
+  ASSERT_TRUE(chunk_decoded.ok()) << chunk_decoded.status().ToString();
+  EXPECT_EQ(chunk_decoded->offset, 65536u);
+  EXPECT_EQ(chunk_decoded->data, chunk.data);
+
+  MigrateCommitMsg commit;
+  commit.total_bytes = 123456;
+  commit.crc = 0xdeadbeef;
+  auto commit_decoded = DecodeMigrateCommit(EncodeMigrateCommit(commit));
+  ASSERT_TRUE(commit_decoded.ok()) << commit_decoded.status().ToString();
+  EXPECT_EQ(commit_decoded->total_bytes, 123456u);
+  EXPECT_EQ(commit_decoded->crc, 0xdeadbeefu);
+}
+
+TEST(WireTest, EveryNewMessageRefusesEveryTruncationPoint) {
+  // Same every-byte sweep the v1 messages get: a truncated payload must
+  // be an error at EVERY cut point, never a partial decode. The
+  // (encoder, decoder) pairs cover all seven v2 messages.
+  ReplicateMsg replicate;
+  replicate.kind = ReplicateMsg::kBatch;
+  replicate.epoch = 1;
+  replicate.updates.push_back(EdgeUpdate{1, 2, EdgeOp::kAdd, 0.0});
+  ReplicateAckMsg replicate_ack;
+  replicate_ack.ok = false;
+  replicate_ack.message = "why";
+  SplitRangeMsg split;
+  split.range = ShardRange{0, 9};
+  MergeRangeMsg merge;
+  merge.range = ShardRange{0, kInvalidVertex};
+  MigrateBeginMsg begin;
+  begin.recipient_address = "h:1";
+  MigrateChunkMsg chunk;
+  chunk.data = "abcdef";
+  MigrateCommitMsg commit;
+
+  struct Case {
+    const char* name;
+    std::string payload;
+    bool (*decodes)(const std::string&);
+  };
+  const Case cases[] = {
+      {"replicate", EncodeReplicate(replicate),
+       [](const std::string& p) { return DecodeReplicate(p).ok(); }},
+      {"replicate-ack", EncodeReplicateAck(replicate_ack),
+       [](const std::string& p) { return DecodeReplicateAck(p).ok(); }},
+      {"split-range", EncodeSplitRange(split),
+       [](const std::string& p) { return DecodeSplitRange(p).ok(); }},
+      {"merge-range", EncodeMergeRange(merge),
+       [](const std::string& p) { return DecodeMergeRange(p).ok(); }},
+      {"migrate-begin", EncodeMigrateBegin(begin),
+       [](const std::string& p) { return DecodeMigrateBegin(p).ok(); }},
+      {"migrate-chunk", EncodeMigrateChunk(chunk),
+       [](const std::string& p) { return DecodeMigrateChunk(p).ok(); }},
+      {"migrate-commit", EncodeMigrateCommit(commit),
+       [](const std::string& p) { return DecodeMigrateCommit(p).ok(); }},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(c.decodes(c.payload)) << c.name;
+    for (std::size_t cut = 1; cut < c.payload.size(); ++cut) {
+      EXPECT_FALSE(c.decodes(c.payload.substr(0, cut)))
+          << c.name << " truncated at byte " << cut << " decoded";
+    }
+    // Trailing garbage is a framing error too.
+    EXPECT_FALSE(c.decodes(c.payload + "x")) << c.name;
+    // And the type byte routes to exactly one decoder.
+    EXPECT_FALSE(DecodeApply(c.payload).ok()) << c.name;
+  }
+
+  // A bogus update count in a replicate batch must be refused before any
+  // allocation-sized resize (mirrors the Apply corruption case).
+  std::string corrupt = EncodeReplicate(replicate);
+  const std::size_t count_offset = 1 + 1 + 8 + 8 + 8 + 8 + 1;
+  const std::uint32_t huge = 0x7fffffff;
+  std::memcpy(corrupt.data() + count_offset, &huge, sizeof(huge));
+  EXPECT_FALSE(DecodeReplicate(corrupt).ok());
 }
 
 TEST(WireTest, DecoderRefusesTruncationAndBogusCounts) {
@@ -302,6 +489,65 @@ TEST(TransportTest, CorruptedFrameFailsTheCrcCheck) {
   EXPECT_FALSE(st.ok());
   EXPECT_FALSE(IsTransportTimeout(st)) << "CRC failure, not a timeout";
   ::close(fd);
+}
+
+TEST(TransportTest, PartialFramesDribbledOverSocketpairReassemble) {
+  // A frame delivered a few bytes at a time exercises the short-read
+  // handling in ReadAll: every recv() returning less than requested must
+  // be treated as progress, not an error, and the frame must reassemble
+  // byte-identically. socketpair + a raw writer gives the test exact
+  // control of delivery boundaries.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  auto conn = WrapFdAsConnection(fds[0], "socketpair");
+
+  ApplyMsg msg;
+  msg.epoch = 3;
+  msg.stream_position = 50;
+  for (VertexId i = 0; i < 40; ++i) {
+    msg.updates.push_back(EdgeUpdate{i, i + 1, EdgeOp::kAdd, 0.25 * i});
+  }
+  const std::string payload = EncodeApply(msg);
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = Crc32(payload.data(), payload.size());
+  std::string frame;
+  frame.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  frame += payload;
+
+  std::thread dribbler([&] {
+    // 7-byte pieces split the length header, the CRC, and the payload
+    // across reads; the pauses make each piece a separate short read.
+    for (std::size_t at = 0; at < frame.size(); at += 7) {
+      const std::size_t n = std::min<std::size_t>(7, frame.size() - at);
+      ASSERT_EQ(::send(fds[1], frame.data() + at, n, 0),
+                static_cast<ssize_t>(n));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::string received;
+  ASSERT_TRUE(conn->RecvFrame(&received, 10.0).ok());
+  dribbler.join();
+  EXPECT_EQ(received, payload);
+  auto decoded = DecodeApply(received);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->updates.size(), 40u);
+
+  // The wrapped side sends a frame the raw side can parse back.
+  ASSERT_TRUE(conn->SendFrame("pong").ok());
+  char buf[16];
+  ssize_t got = 0;
+  std::string raw;
+  while (raw.size() < 8 + 4 &&
+         (got = ::recv(fds[1], buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(got));
+  }
+  std::uint32_t reply_len = 0;
+  std::memcpy(&reply_len, raw.data(), sizeof(reply_len));
+  EXPECT_EQ(reply_len, 4u);
+  EXPECT_EQ(raw.substr(8), "pong");
+  conn->Close();
+  ::close(fds[1]);
 }
 
 }  // namespace

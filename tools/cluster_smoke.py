@@ -1,13 +1,23 @@
 #!/usr/bin/env python3
-"""End-to-end cluster smoke: coordinator + 3 shard workers on localhost.
+"""End-to-end cluster smoke: coordinator + shard workers on localhost.
 
-The CI rehearsal of docs/OPERATIONS.md section 7: three `sobc_cli shard`
-processes and one `sobc_cli cluster` coordinator run a deterministic churn
-stream; one shard is hard-killed mid-stream (--kill-after, _exit(137)
-right after a WAL append) and restarted with `shard --recover`, so the
-rejoin walks the real checkpoint + WAL-tail + wire-resync path. The final
-top-K block must be byte-identical to a single-process `sobc_cli serve`
-of the same stream — the cluster differential.
+The CI rehearsal of docs/OPERATIONS.md section 7, in two phases:
+
+1. Crash + rejoin: three `sobc_cli shard` processes and one `sobc_cli
+   cluster` coordinator run a deterministic churn stream; one shard is
+   hard-killed mid-stream (--kill-after, _exit(137) right after a WAL
+   append) and restarted with `shard --recover`, so the rejoin walks the
+   real checkpoint + WAL-tail + wire-resync path.
+2. Coordinator failover: a fresh 2-shard cluster runs the same stream
+   paced (--pace-ms) with a warm standby tailing the primary's feed
+   (--standby-listen / --standby-of); the primary is SIGKILLed
+   mid-stream and the standby must take over the roster and finish the
+   stream, inside the SOBC_CLUSTER_FAILOVER_GATE_MS gap gate (default
+   10000 ms).
+
+In both phases the final top-K block must be byte-identical to a
+single-process `sobc_cli serve` of the same stream — the cluster
+differential.
 
 Usage: tools/cluster_smoke.py [--cli build/sobc_cli] [--workdir DIR]
 Exit code 0 on success; every failure prints the offending output.
@@ -28,6 +38,7 @@ SEED = 7
 TOP = 5
 SHARDS = 3
 KILL_AFTER = 4  # WAL appends on the doomed shard before _exit(137)
+PACE_MS = 20    # primary's per-update pacing in the failover phase
 STARTUP_TIMEOUT = 60.0
 RUN_TIMEOUT = 180.0
 
@@ -175,6 +186,85 @@ def main():
 
         print("cluster smoke OK: top-K matches single-process run after "
               f"crash + rejoin ({m.group(1)} reconnects on shard 1)")
+
+        # --- phase 2: coordinator failover ------------------------------
+        print("failover smoke: fresh 2-shard cluster with a warm standby")
+        fo_workers = {}
+        fo_addresses = []
+        for i in range(2):
+            log = f"fo_shard{i}.log"
+            logs.append(log)
+            fo_workers[i] = subprocess.Popen(
+                [cli, "shard", "g.txt", "--listen=127.0.0.1:0",
+                 f"--shard-index={i}", "--shards=2"],
+                stdout=open(log, "w"), stderr=subprocess.STDOUT)
+            workers[f"fo{i}"] = fo_workers[i]
+            m = wait_for_line(log, r" on (127\.0\.0\.1:\d+)\s*$",
+                              STARTUP_TIMEOUT, fo_workers[i],
+                              f"failover shard {i}")
+            fo_addresses.append(m.group(1))
+
+        primary_log = "primary.log"
+        logs.append(primary_log)
+        primary = subprocess.Popen(
+            [cli, "cluster", "g.txt", f"--shards={','.join(fo_addresses)}",
+             "--retry-seconds=60", "--standby-listen=127.0.0.1:0",
+             f"--pace-ms={PACE_MS}"] + stream_flags,
+            stdout=open(primary_log, "w"), stderr=subprocess.STDOUT)
+        workers["primary"] = primary
+        m = wait_for_line(primary_log, r"standby feed on (127\.0\.0\.1:\d+)",
+                          STARTUP_TIMEOUT, primary, "primary")
+        feed = m.group(1)
+
+        standby_log = "standby.log"
+        logs.append(standby_log)
+        standby = subprocess.Popen(
+            [cli, "cluster", "g.txt", f"--shards={','.join(fo_addresses)}",
+             "--retry-seconds=60", f"--standby-of={feed}"] + stream_flags,
+            stdout=open(standby_log, "w"), stderr=subprocess.STDOUT)
+        workers["standby"] = standby
+        wait_for_line(standby_log, r"standby attached to primary",
+                      STARTUP_TIMEOUT, standby, "standby")
+
+        # Let the paced primary get well into the stream, then kill -9 —
+        # no shutdown frames, the real process-death shape.
+        time.sleep(1.5)
+        primary.kill()
+        print("primary hard-killed mid-stream; waiting for takeover")
+        m = wait_for_line(standby_log,
+                          r"standby took over at epoch \d+ \(gap (\d+) ms\)",
+                          STARTUP_TIMEOUT, standby, "standby")
+        gap_ms = int(m.group(1))
+
+        rc = standby.wait(timeout=RUN_TIMEOUT)
+        standby_out = open(standby_log, errors="replace").read()
+        if rc != 0:
+            fail(f"standby exited rc={rc}", (standby_log, standby_out))
+        # The standby's clean shutdown reaches the roster it adopted.
+        for i, proc in fo_workers.items():
+            rc = proc.wait(timeout=STARTUP_TIMEOUT)
+            if rc != 0:
+                fail(f"failover shard {i} exited rc={rc} after takeover",
+                     *((log, open(log, errors="replace").read())
+                       for log in logs))
+
+        standby_top = top_block(standby_out)
+        if standby_top is None:
+            fail("no top-K block in standby output",
+                 (standby_log, standby_out))
+        if standby_top != reference:
+            fail("post-failover top-K differs from single-process serve",
+                 ("single-process", reference), ("standby", standby_top))
+        if not re.search(rf"stream position {UPDATES}\b", standby_out):
+            fail(f"standby did not reach stream position {UPDATES}",
+                 (standby_log, standby_out))
+        gate_ms = float(os.environ.get("SOBC_CLUSTER_FAILOVER_GATE_MS",
+                                       "10000"))
+        if gap_ms > gate_ms:
+            fail(f"failover gap {gap_ms} ms exceeds the {gate_ms:.0f} ms "
+                 "gate", (standby_log, standby_out))
+        print(f"failover smoke OK: standby took over in {gap_ms} ms and "
+              "its top-K matches the single-process run")
         return 0
     finally:
         for proc in workers.values():

@@ -70,19 +70,31 @@
 //   sobc_cli cluster <graph> --shards=H:P,H:P,... [--directed]
 //            [--stream=file|--updates=N] [--churn=F] [--batch=B]
 //            [--budget-ms=M] [--queue-cap=C] [--no-coalesce] [--top=K]
-//            [--seed=S] [--retry-seconds=S] [--json=report.json]
+//            [--seed=S] [--retry-seconds=S] [--pace-ms=M] [--json=report.json]
+//            [--standby-listen=H:P] [--standby-of=H:P]
+//            [--split=I --split-recipient=H:P] [--merge=I]
 //       The cluster head: connects to already-listening shard workers,
 //       replicates the (deterministically generated or file-loaded)
 //       update stream to every shard, merges the acked score partials,
 //       and prints the same metrics + top-K block as `serve` — the
 //       differential the cluster smoke compares against a single-process
-//       run. Shards are sent a clean shutdown at the end.
+//       run. Shards are sent a clean shutdown at the end. --pace-ms
+//       spaces submissions out so failures can land mid-stream.
+//       --standby-listen arms the warm-standby feed (the resolved address
+//       is printed); a second cluster process started with --standby-of
+//       and the SAME graph/stream flags tails that feed and, if the
+//       primary dies, takes over the shard roster and finishes the stream
+//       to the same final block. --split migrates the upper half of shard
+//       I's range to a `shard --await-migration` worker at the recipient
+//       address midway through the stream, --merge folds shard I+1 back
+//       into shard I — both without restarting the coordinator.
 //
 // Exit code 0 on success; errors go to stderr.
 
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -155,6 +167,14 @@ struct CliArgs {
   std::string shards_spec;
   bool recover_mode = false;
   double retry_seconds = 10.0;
+  // cluster failover + live rebalancing
+  std::string standby_listen;   // primary: arm the standby feed here
+  std::string standby_of;       // run as warm standby of this feed address
+  double pace_ms = 0.0;         // sleep between submitted updates
+  long split_index = -1;        // split this shard's range mid-stream...
+  std::string split_recipient;  // ...migrating to this awaiting worker
+  long merge_index = -1;        // merge shard I+1 into shard I mid-stream
+  bool await_migration = false; // shard: start empty, wait for the image
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -240,6 +260,20 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->recover_mode = true;
     } else if (arg.rfind("--retry-seconds=", 0) == 0) {
       args->retry_seconds = std::strtod(arg.c_str() + 16, nullptr);
+    } else if (arg.rfind("--standby-listen=", 0) == 0) {
+      args->standby_listen = arg.substr(17);
+    } else if (arg.rfind("--standby-of=", 0) == 0) {
+      args->standby_of = arg.substr(13);
+    } else if (arg.rfind("--pace-ms=", 0) == 0) {
+      args->pace_ms = std::strtod(arg.c_str() + 10, nullptr);
+    } else if (arg.rfind("--split=", 0) == 0) {
+      args->split_index = std::strtol(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--split-recipient=", 0) == 0) {
+      args->split_recipient = arg.substr(18);
+    } else if (arg.rfind("--merge=", 0) == 0) {
+      args->merge_index = std::strtol(arg.c_str() + 8, nullptr, 10);
+    } else if (arg == "--await-migration") {
+      args->await_migration = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       args->json_path = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
@@ -801,14 +835,22 @@ bool BuildShardServiceOptions(const CliArgs& args, BcServiceOptions* options,
 }
 
 int CmdShard(const CliArgs& args) {
-  if (args.listen.empty() || args.shards_spec.empty()) {
+  if (args.await_migration) {
+    if (args.listen.empty()) {
+      std::fprintf(stderr,
+                   "shard --await-migration requires --listen=HOST:PORT\n");
+      return 2;
+    }
+  } else if (args.listen.empty() || args.shards_spec.empty()) {
     std::fprintf(stderr,
                  "shard requires --listen=HOST:PORT, --shard-index=I and "
                  "--shards=N\n");
     return 2;
   }
   const std::size_t shard_count =
-      std::strtoul(args.shards_spec.c_str(), nullptr, 10);
+      args.await_migration ? 1
+                           : std::strtoul(args.shards_spec.c_str(), nullptr,
+                                          10);
   if (shard_count == 0 || args.shard_index >= shard_count) {
     std::fprintf(stderr, "--shard-index=%zu outside --shards=%s\n",
                  args.shard_index, args.shards_spec.c_str());
@@ -818,17 +860,23 @@ int CmdShard(const CliArgs& args) {
   options.shard_index = args.shard_index;
   options.shard_count = shard_count;
   const std::string default_store =
-      args.positional.empty()
-          ? "shard" + std::to_string(args.shard_index) + ".bd"
-          : args.positional[0] + ".shard" + std::to_string(args.shard_index) +
-                ".bd";
+      args.await_migration
+          ? "joining.bd"
+          : (args.positional.empty()
+                 ? "shard" + std::to_string(args.shard_index) + ".bd"
+                 : args.positional[0] + ".shard" +
+                       std::to_string(args.shard_index) + ".bd");
   if (!BuildShardServiceOptions(args, &options.service, default_store)) {
     return 2;
   }
   static TcpTransport transport;
   Result<std::unique_ptr<ShardWorker>> worker =
       Status::InvalidArgument("unreachable");
-  if (args.recover_mode) {
+  if (args.await_migration) {
+    // An empty recipient: slot, range, and base state all arrive with the
+    // first donor's migration offer (a coordinator --split names us).
+    worker = ShardWorker::AwaitMigration(&transport, args.listen, options);
+  } else if (args.recover_mode) {
     if (args.wal_dir.empty()) {
       std::fprintf(stderr, "shard --recover requires --wal-dir=DIR\n");
       return 2;
@@ -857,14 +905,25 @@ int CmdShard(const CliArgs& args) {
     std::fprintf(stderr, "shard: %s\n", worker.status().ToString().c_str());
     return 1;
   }
-  const ShardRange range = (*worker)->range();
-  std::printf("shard %zu/%zu serving sources [%u, %s) on %s\n",
-              args.shard_index, shard_count, range.begin,
-              range.open_ended() ? "end" : std::to_string(range.end).c_str(),
-              (*worker)->address().c_str());
+  if (args.await_migration) {
+    std::printf("shard awaiting migration on %s\n",
+                (*worker)->address().c_str());
+  } else {
+    const ShardRange range = (*worker)->range();
+    std::printf("shard %zu/%zu serving sources [%u, %s) on %s\n",
+                args.shard_index, shard_count, range.begin,
+                range.open_ended() ? "end"
+                                   : std::to_string(range.end).c_str(),
+                (*worker)->address().c_str());
+  }
   std::fflush(stdout);
   (*worker)->Wait();
   const Status st = (*worker)->Stop();
+  if ((*worker)->service() == nullptr) {
+    // An await-migration worker stopped before any donor showed up.
+    std::printf("shard stopped before any migration arrived\n");
+    return st.ok() ? 0 : 1;
+  }
   const ServiceHealth health = (*worker)->service()->health();
   std::printf("shard %zu stopped at epoch %llu (health: %s)\n",
               args.shard_index,
@@ -876,6 +935,142 @@ int CmdShard(const CliArgs& args) {
     return 1;
   }
   return health == ServiceHealth::kHealthy ? 0 : 1;
+}
+
+/// Submits stream[begin, end) to the coordinator, sleeping --pace-ms
+/// between updates so a failover smoke can kill the primary mid-stream
+/// with work still in flight.
+std::size_t SubmitPaced(ClusterCoordinator* coordinator,
+                        const EdgeStream& stream, std::size_t begin,
+                        std::size_t end, double pace_ms) {
+  std::size_t accepted = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!coordinator->Submit(stream[i])) break;
+    ++accepted;
+    if (pace_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(pace_ms));
+    }
+  }
+  return accepted;
+}
+
+/// The shared tail of every cluster run (primary or post-takeover
+/// standby): per-shard status, the final snapshot + top-K block the smoke
+/// byte-compares, optional score/JSON dumps, and the health-based exit
+/// code.
+int PrintClusterTail(ClusterCoordinator* coordinator, const CliArgs& args) {
+  for (const ShardStatus& shard : coordinator->shard_status()) {
+    std::printf(
+        "  shard %s: sources [%u, %s), epoch %llu, health %s, "
+        "%llu reconnects, %llu resent batches\n",
+        shard.address.c_str(), shard.range.begin,
+        shard.range.open_ended() ? "end"
+                                 : std::to_string(shard.range.end).c_str(),
+        static_cast<unsigned long long>(shard.epoch),
+        ServiceHealthName(shard.health),
+        static_cast<unsigned long long>(shard.reconnects),
+        static_cast<unsigned long long>(shard.resent_batches));
+  }
+
+  const auto snap = coordinator->snapshot();
+  std::printf("final epoch %llu at stream position %llu\n",
+              static_cast<unsigned long long>(snap->epoch),
+              static_cast<unsigned long long>(snap->stream_position));
+  PrintTop(BcScores{snap->vbc, snap->ebc}, args.top);
+  if (const int rc = MaybeWrite(BcScores{snap->vbc, snap->ebc}, args.out_path);
+      rc != 0) {
+    return rc;
+  }
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", coordinator->metrics().ToJson().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  if (coordinator->health() != ServiceHealth::kHealthy) {
+    std::fprintf(stderr, "coordinator health: %s (%s)\n",
+                 ServiceHealthName(coordinator->health()),
+                 coordinator->last_error().ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// The warm-standby flow of `cluster --standby-of`: tail the primary's
+/// feed, and either exit quietly when the primary stops cleanly or take
+/// over — resume the deterministic stream at the replicated position and
+/// finish it to the same final block a never-failed run prints.
+int CmdClusterStandby(const CliArgs& args,
+                      const std::vector<std::string>& addresses, Graph graph,
+                      const EdgeStream& stream,
+                      const ClusterCoordinatorOptions& options) {
+  static TcpTransport transport;
+  auto standby = ClusterCoordinator::Standby(std::move(graph), addresses,
+                                             &transport, args.standby_of,
+                                             options);
+  if (!standby.ok()) {
+    std::fprintf(stderr, "standby bring-up: %s\n",
+                 standby.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("standby tailing %s\n", args.standby_of.c_str());
+  std::fflush(stdout);
+
+  bool announced = false;
+  while ((*standby)->role() == ClusterCoordinator::Role::kStandbyTailing) {
+    if (!announced && (*standby)->standby_attached()) {
+      announced = true;
+      std::printf("standby attached to primary (epoch %llu)\n",
+                  static_cast<unsigned long long>((*standby)->final_epoch()));
+      std::fflush(stdout);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const Status active = (*standby)->WaitUntilActive(60.0);
+  if ((*standby)->role() == ClusterCoordinator::Role::kStandbyFinished) {
+    std::printf("primary stopped cleanly; standby exiting\n");
+    return 0;
+  }
+  if (!active.ok()) {
+    std::fprintf(stderr, "standby failed: %s\n", active.ToString().c_str());
+    return 1;
+  }
+
+  const ServeMetricsSnapshot at_takeover = (*standby)->metrics();
+  std::printf("standby took over at epoch %llu (gap %.0f ms)\n",
+              static_cast<unsigned long long>((*standby)->final_epoch()),
+              1e3 * at_takeover.failover_gap_seconds);
+  std::fflush(stdout);
+
+  // The stream is deterministic (same seed/file as the primary), so the
+  // replicated position tells us exactly where to resume.
+  const std::size_t resume =
+      static_cast<std::size_t>((*standby)->final_position());
+  if (resume > stream.size()) {
+    std::fprintf(stderr,
+                 "replicated position %zu is beyond the %zu-update stream — "
+                 "the standby was started with different stream flags than "
+                 "the primary\n",
+                 resume, stream.size());
+    return 1;
+  }
+  SubmitPaced(standby->get(), stream, resume, stream.size(), args.pace_ms);
+  if (Status drained = (*standby)->Drain(); !drained.ok()) {
+    std::fprintf(stderr, "standby drain: %s\n", drained.ToString().c_str());
+    (void)(*standby)->Stop();
+    return 1;
+  }
+  const int rc = PrintClusterTail(standby->get(), args);
+  if (Status stopped = (*standby)->Stop(); !stopped.ok()) {
+    std::fprintf(stderr, "%s\n", stopped.ToString().c_str());
+    return 1;
+  }
+  return rc;
 }
 
 int CmdCluster(const CliArgs& args) {
@@ -911,6 +1106,12 @@ int CmdCluster(const CliArgs& args) {
   options.queue.coalesce = args.coalesce;
   options.top_k = args.top;
   options.shard_retry_seconds = args.retry_seconds;
+  options.standby_listen = args.standby_listen;
+  if (!args.standby_of.empty()) {
+    return CmdClusterStandby(args, addresses, std::move(*graph), stream,
+                             options);
+  }
+
   static TcpTransport transport;
   WallTimer connect_timer;
   auto coordinator = ClusterCoordinator::Connect(std::move(*graph), addresses,
@@ -923,9 +1124,55 @@ int CmdCluster(const CliArgs& args) {
   std::printf("cluster up in %.3fs: %zu shards, epoch %llu\n",
               connect_timer.Seconds(), (*coordinator)->num_shards(),
               static_cast<unsigned long long>((*coordinator)->final_epoch()));
+  if (!(*coordinator)->standby_address().empty()) {
+    std::printf("standby feed on %s\n",
+                (*coordinator)->standby_address().c_str());
+  }
+  std::fflush(stdout);
 
+  // A requested live rebalance cuts the stream in half so the split/merge
+  // runs with updates still flowing on both sides of the commit.
+  const bool rebalance = args.split_index >= 0 || args.merge_index >= 0;
+  const std::size_t first_leg = rebalance ? stream.size() / 2 : stream.size();
   WallTimer serve_timer;
-  const std::size_t accepted = (*coordinator)->SubmitAll(stream);
+  std::size_t accepted =
+      SubmitPaced(coordinator->get(), stream, 0, first_leg, args.pace_ms);
+  if (args.split_index >= 0) {
+    if (args.split_recipient.empty()) {
+      std::fprintf(stderr, "--split requires --split-recipient=HOST:PORT\n");
+      (void)(*coordinator)->Stop();
+      return 2;
+    }
+    const Status split = (*coordinator)->SplitShard(
+        static_cast<std::size_t>(args.split_index), args.split_recipient);
+    if (!split.ok()) {
+      std::fprintf(stderr, "split failed: %s\n", split.ToString().c_str());
+      (void)(*coordinator)->Stop();
+      return 1;
+    }
+    std::printf("split shard %ld: now %zu shards (map v%llu)\n",
+                args.split_index, (*coordinator)->num_shards(),
+                static_cast<unsigned long long>(
+                    (*coordinator)->metrics().shard_map_version));
+    std::fflush(stdout);
+  }
+  if (args.merge_index >= 0) {
+    const Status merged = (*coordinator)->MergeShards(
+        static_cast<std::size_t>(args.merge_index));
+    if (!merged.ok()) {
+      std::fprintf(stderr, "merge failed: %s\n", merged.ToString().c_str());
+      (void)(*coordinator)->Stop();
+      return 1;
+    }
+    std::printf("merged shard %ld into %ld: now %zu shards (map v%llu)\n",
+                args.merge_index + 1, args.merge_index,
+                (*coordinator)->num_shards(),
+                static_cast<unsigned long long>(
+                    (*coordinator)->metrics().shard_map_version));
+    std::fflush(stdout);
+  }
+  accepted += SubmitPaced(coordinator->get(), stream, first_leg,
+                          stream.size(), args.pace_ms);
   const Status drain_status = (*coordinator)->Drain();
   const double serve_seconds = serve_timer.Seconds();
   if (!drain_status.ok()) {
@@ -934,11 +1181,6 @@ int CmdCluster(const CliArgs& args) {
     (void)(*coordinator)->Stop();
     std::fprintf(stderr, "coordinator health: %s\n",
                  ServiceHealthName((*coordinator)->health()));
-    return 1;
-  }
-  const Status stop_status = (*coordinator)->Stop();
-  if (!stop_status.ok()) {
-    std::fprintf(stderr, "%s\n", stop_status.ToString().c_str());
     return 1;
   }
 
@@ -958,46 +1200,13 @@ int CmdCluster(const CliArgs& args) {
       1e3 * metrics.p99_update_latency_seconds,
       1e3 * metrics.p50_batch_apply_seconds,
       1e3 * metrics.p99_batch_apply_seconds);
-  for (const ShardStatus& shard : (*coordinator)->shard_status()) {
-    std::printf(
-        "  shard %s: sources [%u, %s), epoch %llu, health %s, "
-        "%llu reconnects, %llu resent batches\n",
-        shard.address.c_str(), shard.range.begin,
-        shard.range.open_ended() ? "end"
-                                 : std::to_string(shard.range.end).c_str(),
-        static_cast<unsigned long long>(shard.epoch),
-        ServiceHealthName(shard.health),
-        static_cast<unsigned long long>(shard.reconnects),
-        static_cast<unsigned long long>(shard.resent_batches));
-  }
-
-  const auto snap = (*coordinator)->snapshot();
-  std::printf("final epoch %llu at stream position %llu\n",
-              static_cast<unsigned long long>(snap->epoch),
-              static_cast<unsigned long long>(snap->stream_position));
-  PrintTop(BcScores{snap->vbc, snap->ebc}, args.top);
-  if (const int rc =
-          MaybeWrite(BcScores{snap->vbc, snap->ebc}, args.out_path);
-      rc != 0) {
-    return rc;
-  }
-  if (!args.json_path.empty()) {
-    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
-      return 1;
-    }
-    std::fprintf(f, "%s\n", metrics.ToJson().c_str());
-    std::fclose(f);
-    std::printf("wrote %s\n", args.json_path.c_str());
-  }
-  if ((*coordinator)->health() != ServiceHealth::kHealthy) {
-    std::fprintf(stderr, "coordinator health: %s (%s)\n",
-                 ServiceHealthName((*coordinator)->health()),
-                 (*coordinator)->last_error().ToString().c_str());
+  const int rc = PrintClusterTail(coordinator->get(), args);
+  const Status stop_status = (*coordinator)->Stop();
+  if (!stop_status.ok()) {
+    std::fprintf(stderr, "%s\n", stop_status.ToString().c_str());
     return 1;
   }
-  return 0;
+  return rc;
 }
 
 int CmdStats(const CliArgs& args) {
@@ -1103,11 +1312,17 @@ int Usage() {
                "       sobc_cli shard --recover --wal-dir=D --listen=H:P "
                "--shard-index=I --shards=N [--checkpoint-dir=D] "
                "[--store=live.bd] [--threads=T]\n"
+               "       sobc_cli shard --await-migration --listen=H:P "
+               "[--variant=mo|mp|do] [--store=f.bd] [--threads=T] "
+               "[--wal-dir=D] [--checkpoint-dir=D]\n"
                "       sobc_cli cluster <graph> --shards=H:P,H:P,... "
                "[--directed] [--stream=file|--updates=N] [--churn=F] "
                "[--batch=B] [--budget-ms=M] [--queue-cap=C] [--no-coalesce] "
-               "[--top=K] [--seed=S] [--retry-seconds=S] [--out=f.tsv] "
-               "[--json=report.json]\n");
+               "[--top=K] [--seed=S] [--retry-seconds=S] [--pace-ms=M] "
+               "[--standby-listen=H:P] [--split=I --split-recipient=H:P] "
+               "[--merge=I] [--out=f.tsv] [--json=report.json]\n"
+               "       sobc_cli cluster <graph> --shards=H:P,H:P,... "
+               "--standby-of=H:P [same stream flags as the primary]\n");
   return 2;
 }
 
@@ -1133,7 +1348,8 @@ int Main(int argc, char** argv) {
   }
   if (command == "shard" &&
       (args.positional.size() == 1 ||
-       (args.recover_mode && args.positional.empty()))) {
+       ((args.recover_mode || args.await_migration) &&
+        args.positional.empty()))) {
     return CmdShard(args);
   }
   if (command == "cluster" && args.positional.size() == 1) {
