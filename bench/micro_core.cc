@@ -21,6 +21,7 @@
 #include "gen/stream_generators.h"
 #include "graph/csr_view.h"
 #include "graph/graph.h"
+#include "graph/msbfs.h"
 #include "server/score_snapshot.h"
 #include "server/update_queue.h"
 
@@ -86,6 +87,63 @@ void BM_TraversalSweepCsr(benchmark::State& state) {
   TraversalSweepBench(state, g, g.csr());
 }
 BENCHMARK(BM_TraversalSweepCsr)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
+
+// ---------------------------------------------------------------------------
+// Bit-parallel MS-BFS (DESIGN.md §14): one 64-lane batch vs the 64 scalar
+// sweeps it replaces, and the direction-optimizing switch on/off. Both
+// report items_per_second in edges * sources so the pair is comparable.
+// ---------------------------------------------------------------------------
+
+void BM_ScalarBfs64Sources(benchmark::State& state) {
+  const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+  const CsrView& adj = g.csr();
+  std::vector<Distance> dist(g.NumVertices());
+  std::vector<VertexId> queue;
+  VertexId s = 0;
+  for (auto _ : state) {
+    std::size_t visited = 0;
+    for (std::size_t i = 0; i < MsBfsScratch::kLanes; ++i) {
+      visited += BfsSweep(adj, s, &dist, &queue);
+      s = static_cast<VertexId>((s + 1) % g.NumVertices());
+    }
+    benchmark::DoNotOptimize(visited);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(MsBfsScratch::kLanes * g.NumEdges()));
+}
+BENCHMARK(BM_ScalarBfs64Sources)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_MsBfs64Sources(benchmark::State& state) {
+  const Graph g = MakeSocial(static_cast<std::size_t>(state.range(0)));
+  const bool direction_optimizing = state.range(1) != 0;
+  const CsrView& adj = g.csr();
+  const std::size_t n = g.NumVertices();
+  MsBfsScratch scratch;
+  scratch.ReserveLanes(n);
+  std::vector<VertexId> sources(MsBfsScratch::kLanes);
+  std::vector<Distance*> dist(MsBfsScratch::kLanes);
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    dist[i] = scratch.LaneDistances(i);
+  }
+  MsBfsOptions options;
+  options.direction_optimizing = direction_optimizing;
+  VertexId s = 0;
+  for (auto _ : state) {
+    for (VertexId& src : sources) {
+      src = s;
+      s = static_cast<VertexId>((s + 1) % n);
+    }
+    MsBfsRun(adj, std::span<const VertexId>(sources), /*reverse=*/false,
+             options, &scratch, std::span<Distance* const>(dist));
+    benchmark::DoNotOptimize(dist[0][0]);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(MsBfsScratch::kLanes * g.NumEdges()));
+  state.SetLabel(direction_optimizing ? "direction-optimizing" : "top-down");
+}
+BENCHMARK(BM_MsBfs64Sources)->ArgsProduct({{1024, 4096, 16384}, {0, 1}});
 
 /// Incremental-update throughput through the full engine pipeline on the
 /// synthetic social workload: state.range(1) == 0 walks the mutable

@@ -15,13 +15,20 @@
 //              use, and the one comparable across heterogeneous CI
 //              machines; the speedup gate keys on it.
 //
+// The report also carries the kernel-level MS-BFS number (`msbfs_speedup`):
+// one 64-lane bit-parallel batch vs the 64 per-source scalar sweeps it
+// replaces, on the same graph — the win every traversal hot path inherits.
+// CI gates it at >= 2x alongside the modeled-@4-workers gate.
+//
 // Env knobs: SOBC_PAR_VERTICES (default 600), SOBC_PAR_UPDATES (default
 // 240), SOBC_PAR_POOL (churn pool size, default vertices/64, min 8),
 // SOBC_PAR_MAX_THREADS (default 8, curve is 1,2,4,..,max),
+// SOBC_PAR_MSBFS_ROUNDS (64-source batches per side, default 8),
 // SOBC_PAR_OUT (default BENCH_parallel_apply.json).
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +39,8 @@
 #include "common/timer.h"
 #include "gen/social_generator.h"
 #include "gen/stream_generators.h"
+#include "graph/csr_view.h"
+#include "graph/msbfs.h"
 #include "parallel/mapreduce.h"
 
 namespace sobc {
@@ -70,6 +79,79 @@ double MeasuredApplySeconds(const Graph& graph, const EdgeStream& stream,
     if (totals != nullptr) totals->Merge((*bc)->last_update_stats());
   }
   return timer.Seconds();
+}
+
+/// One 64-lane MS-BFS batch vs the 64 per-source scalar sweeps it
+/// replaces, on the bench graph, repeated `rounds` times over a rolling
+/// source window. This is the kernel-level win the traversal hot paths
+/// (prefilter, structural re-BFS, full rebuilds) inherit; the CI gate
+/// keys on its speedup.
+struct MsBfsComparison {
+  std::size_t rounds = 0;
+  double scalar_seconds = 0.0;
+  double msbfs_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+MsBfsComparison CompareMsBfsToScalar(const Graph& graph, std::size_t rounds) {
+  const CsrView& adj = graph.csr();
+  const std::size_t n = graph.NumVertices();
+  MsBfsComparison result;
+  result.rounds = rounds;
+
+  std::vector<VertexId> sources(MsBfsScratch::kLanes);
+  auto fill_sources = [&](std::size_t round) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      sources[i] = static_cast<VertexId>((round * sources.size() + i) % n);
+    }
+  };
+
+  {
+    std::vector<Distance> dist(n);
+    std::vector<VertexId> queue;
+    queue.reserve(n);
+    WallTimer timer;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      fill_sources(r);
+      for (const VertexId s : sources) {
+        std::fill(dist.begin(), dist.end(), kUnreachable);
+        queue.clear();
+        dist[s] = 0;
+        queue.push_back(s);
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+          const VertexId v = queue[head];
+          for (const VertexId w : adj.OutNeighbors(v)) {
+            if (dist[w] == kUnreachable) {
+              dist[w] = dist[v] + 1;
+              queue.push_back(w);
+            }
+          }
+        }
+      }
+    }
+    result.scalar_seconds = timer.Seconds();
+  }
+
+  {
+    MsBfsScratch scratch;
+    scratch.ReserveLanes(n);
+    std::vector<Distance*> dist(MsBfsScratch::kLanes);
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      dist[i] = scratch.LaneDistances(i);
+    }
+    WallTimer timer;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      fill_sources(r);
+      MsBfsRun(adj, std::span<const VertexId>(sources), /*reverse=*/false,
+               MsBfsOptions{}, &scratch, std::span<Distance* const>(dist));
+    }
+    result.msbfs_seconds = timer.Seconds();
+  }
+
+  result.speedup = result.msbfs_seconds > 0
+                       ? result.scalar_seconds / result.msbfs_seconds
+                       : 0.0;
+  return result;
 }
 
 double ModeledApplySeconds(const Graph& graph, const EdgeStream& stream,
@@ -155,6 +237,15 @@ int Main() {
     modeled.push_back(run);
   }
 
+  // Kernel-level MS-BFS win: one 64-lane batch vs 64 scalar sweeps.
+  const auto msbfs_rounds =
+      static_cast<std::size_t>(GetEnvInt("SOBC_PAR_MSBFS_ROUNDS", 8));
+  const MsBfsComparison msbfs = CompareMsBfsToScalar(graph, msbfs_rounds);
+  std::printf("msbfs: %zu rounds of 64 sources, batched %.3fs vs scalar "
+              "%.3fs (%.2fx)\n",
+              msbfs.rounds, msbfs.msbfs_seconds, msbfs.scalar_seconds,
+              msbfs.speedup);
+
   // Prefilter skip-rate and serial win on the non-structural stream.
   UpdateStats totals;
   const double serial_with =
@@ -216,13 +307,19 @@ int Main() {
                 "  ],\n"
                 "  \"speedup_at_4_threads_measured\": %.4f,\n"
                 "  \"speedup_at_4_threads_modeled\": %.4f,\n"
+                "  \"msbfs\": {\n"
+                "    \"rounds\": %zu,\n"
+                "    \"scalar_seconds\": %.6f,\n"
+                "    \"msbfs_seconds\": %.6f\n  },\n"
+                "  \"msbfs_speedup\": %.4f,\n"
                 "  \"prefilter\": {\n"
                 "    \"sources_total\": %llu,\n"
                 "    \"sources_prefiltered\": %llu,\n"
                 "    \"skip_rate\": %.4f,\n"
                 "    \"serial_seconds_with\": %.6f,\n"
                 "    \"serial_seconds_without\": %.6f\n  }\n}\n",
-                speedup_4_measured, speedup_4_modeled,
+                speedup_4_measured, speedup_4_modeled, msbfs.rounds,
+                msbfs.scalar_seconds, msbfs.msbfs_seconds, msbfs.speedup,
                 static_cast<unsigned long long>(totals.sources_total),
                 static_cast<unsigned long long>(totals.sources_prefiltered),
                 skip_rate, serial_with, serial_without);

@@ -7,6 +7,7 @@
 #include "bc/bd_store.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/msbfs.h"
 
 namespace sobc {
 
@@ -21,6 +22,14 @@ struct BrandesOptions {
   /// mutable adjacency lists. The list path exists for the before/after
   /// comparison in bench/micro_core.cc.
   bool use_csr = true;
+  /// Multi-source entry points (ComputeBrandesRange, InitializeFromScratch)
+  /// run their searches 64 sources at a time through the bit-parallel
+  /// MS-BFS kernel, then finish each source with a level-ordered sigma pass
+  /// and dependency sweep over a contiguous BFS-order slab (DESIGN.md §14).
+  /// Distances and sigmas are identical to the per-source search; delta/ebc
+  /// doubles may differ in the last ulps (summation order).
+  bool use_msbfs = true;
+  MsBfsOptions msbfs;
 };
 
 /// Runs one source's BFS and dependency accumulation. Fills `data`

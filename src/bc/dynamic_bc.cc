@@ -33,7 +33,20 @@ DiskBdStoreOptions MakeDiskOptions(const DynamicBcOptions& options) {
 /// about to compute — the double-buffer depth of the prefetch pipeline.
 constexpr std::size_t kSerialPrefetchSlab = 128;
 
+MsBfsOptions MakeMsBfsOptions(const DynamicBcOptions& options) {
+  MsBfsOptions msbfs;
+  msbfs.direction_optimizing = options.do_switch_threshold > 0.0;
+  if (msbfs.direction_optimizing) msbfs.alpha = options.do_switch_threshold;
+  return msbfs;
+}
+
 }  // namespace
+
+void DynamicBc::ConfigureKernels() {
+  const MsBfsOptions msbfs = MakeMsBfsOptions(options_);
+  engine_.ConfigureMsBfs(options_.msbfs, msbfs);
+  prefilter_.ConfigureMsBfs(options_.msbfs, msbfs);
+}
 
 Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
     Graph graph, const DynamicBcOptions& options) {
@@ -81,9 +94,12 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
     // patches it in O(degree) (asserted via CsrView::stats().builds).
     bc->graph_.csr();
   }
+  bc->ConfigureKernels();
   BrandesOptions brandes;
   brandes.pred_mode = pred_mode;
   brandes.use_csr = options.use_csr;
+  brandes.use_msbfs = options.msbfs;
+  brandes.msbfs = MakeMsBfsOptions(options);
   SOBC_RETURN_NOT_OK(InitializeFromScratch(
       bc->graph_, brandes, bc->store_.get(), &bc->scores_,
       options.source_begin, options.source_end));
@@ -127,6 +143,7 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
         static_cast<std::size_t>(resolved.num_threads));
   }
   if (options.use_csr) bc->graph_.csr();
+  bc->ConfigureKernels();
   bc->scores_ = std::move(*scores);
   return bc;
 }
@@ -153,6 +170,17 @@ Status DynamicBc::RestoreScores(BcScores scores) {
 
 int DynamicBc::num_threads() const {
   return pool_ == nullptr ? 1 : static_cast<int>(pool_->num_threads());
+}
+
+std::uint64_t DynamicBc::MsBfsScratchAllocations() const {
+  std::uint64_t total = engine_.msbfs_scratch().allocation_events() +
+                        prefilter_.scratch().allocation_events();
+  for (const ApplyWorker& wk : workers_) {
+    if (wk.engine != nullptr) {
+      total += wk.engine->msbfs_scratch().allocation_events();
+    }
+  }
+  return total;
 }
 
 Status DynamicBc::Apply(const EdgeUpdate& update) {
@@ -213,6 +241,10 @@ Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
   if (options_.prefilter) {
     SOBC_RETURN_NOT_OK(
         prefilter_.Build(graph_, update, options_.use_csr, &worklist_));
+    // The prefilter's 2-lane endpoint fold counts toward the update's
+    // kernel totals alongside the engine's structural batches.
+    last_stats_.msbfs_batches += prefilter_.last_stats().batches;
+    last_stats_.bottom_up_levels += prefilter_.last_stats().bottom_up_levels;
     if (owned != n) {
       worklist_.erase(
           std::remove_if(worklist_.begin(), worklist_.end(),
@@ -275,6 +307,7 @@ Status DynamicBc::EnsureWorkers(std::size_t w, std::size_t n) {
       wk.engine = std::make_unique<IncrementalEngine>(engine_.pred_mode(),
                                                       options_.use_csr);
     }
+    wk.engine->ConfigureMsBfs(options_.msbfs, MakeMsBfsOptions(options_));
     if (disk && (wk.disk_store == nullptr ||
                  wk.disk_store->num_vertices() != store_->num_vertices())) {
       // Fresh or stale (a Grow changed the layout or swapped the backing
@@ -298,6 +331,9 @@ Status DynamicBc::ParallelDrain(const EdgeUpdate& update) {
   FillSourceCostWeights(graph_, options_.use_csr, worklist_, &weights_);
   SourceSharderOptions sharding;
   sharding.num_workers = pool_->num_threads();
+  // Chunk cuts snap to the kernel's lane width so every chunk drains in
+  // whole 64-source batches (ragged tails waste lane occupancy).
+  if (options_.msbfs) sharding.batch_align = MsBfsScratch::kLanes;
   sharder_.Reset(worklist_, weights_, sharding);
   const std::size_t w = std::min(pool_->num_threads(), sharder_.num_chunks());
   SOBC_RETURN_NOT_OK(EnsureWorkers(w, n));

@@ -65,6 +65,15 @@ struct DynamicBcOptions {
   /// source_prefilter.h). Off = probe BD[s] per source, the paper's
   /// original discipline — kept selectable so the win stays measurable.
   bool prefilter = true;
+  /// Drive the traversal hot paths — the endpoint prefilter, the engine's
+  /// structural re-BFS batches, and the Step-1 rebuild — through the
+  /// bit-parallel MS-BFS kernel (graph/msbfs.h, DESIGN.md §14). Off =
+  /// per-source scalar BFS everywhere, the paper's original discipline.
+  bool msbfs = true;
+  /// Direction-optimizing switch threshold (Beamer's alpha): a BFS level
+  /// expands bottom-up once frontier_edges * alpha exceeds the unexplored
+  /// edge count. <= 0 pins the kernel top-down.
+  double do_switch_threshold = 14.0;
   /// Contiguous source partition [source_begin, source_end) this framework
   /// owns — one shard's share of the cluster embodiment (Section 5.2). The
   /// default owns every source. A scoped framework stores BD[s] and
@@ -147,6 +156,12 @@ class DynamicBc {
   /// Apply workers actually in use (1 when serial).
   int num_threads() const;
 
+  /// Capacity-growth events summed over every MS-BFS scratch the framework
+  /// owns (serial engine, per-worker engines, prefilter). Test hook for
+  /// the reuse guarantee: once the drains are warmed this must stop
+  /// moving — steady-state traversal allocates nothing.
+  std::uint64_t MsBfsScratchAllocations() const;
+
   BdStore* store() { return store_.get(); }
 
  private:
@@ -169,6 +184,8 @@ class DynamicBc {
         store_(std::move(store)),
         engine_(pred_mode, options.use_csr) {}
 
+  /// Applies the MS-BFS configuration to the engine and prefilter.
+  void ConfigureKernels();
   /// Worklist + dispatch for one update; `graph_` must already reflect it.
   Status ApplyPrepared(const EdgeUpdate& update);
   /// Drains the current worklist across the pool and folds the partials.

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
+#include <span>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -134,6 +135,37 @@ class EdgeScoreMap {
       ++size_;
     }
     return entries_[i].second;
+  }
+
+  /// Batched `map[key] += value` over a contiguous slab of contributions.
+  /// The slab form exists for the probe loop itself: each hashed slot is a
+  /// random cache line, so the scalar loop eats one full miss per entry.
+  /// Reserving once up front pins the table (no rehash mid-loop, `mask_`
+  /// loop-invariant) and a software prefetch issued `kProbeAhead` entries
+  /// early overlaps the slot fetches with the probes in flight. Duplicate
+  /// keys in the slab accumulate in slab order.
+  void AddAll(std::span<const value_type> slab) {
+    if (slab.empty()) return;
+    reserve(size_ + tombstones_ + slab.size());
+    constexpr std::size_t kProbeAhead = 8;
+    const std::size_t lookahead = std::min(kProbeAhead, slab.size());
+    for (std::size_t i = 0; i < lookahead; ++i) {
+      __builtin_prefetch(&entries_[EdgeKeyHash{}(slab[i].first) & mask_]);
+    }
+    for (std::size_t i = 0; i < slab.size(); ++i) {
+      if (i + kProbeAhead < slab.size()) {
+        __builtin_prefetch(
+            &entries_[EdgeKeyHash{}(slab[i + kProbeAhead].first) & mask_]);
+      }
+      const std::size_t slot = Probe(slab[i].first);
+      if (!IsLive(entries_[slot].first)) {
+        if (IsTombstone(entries_[slot].first)) --tombstones_;
+        entries_[slot].first = slab[i].first;
+        entries_[slot].second = 0.0;
+        ++size_;
+      }
+      entries_[slot].second += slab[i].second;
+    }
   }
 
   iterator find(const EdgeKey& key) {

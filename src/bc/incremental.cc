@@ -208,6 +208,52 @@ void IncrementalEngine::RepairDistancesRemoval(const Adj& adj,
 }
 
 // ---------------------------------------------------------------------------
+// Batched seeding (DESIGN.md §14): a MS-BFS batch already computed this
+// source's final post-update distances, so instead of discovering the moved
+// region through per-source relaxation the repair queues are seeded with
+// final levels directly. RepairSigmas' relax conditions compare neighbor
+// distances one level apart; against final BFS distances the triangle
+// inequality makes them unsatisfiable, so the sweep degenerates to the pure
+// sigma recount — same pops, same integer results, same touched set.
+// ---------------------------------------------------------------------------
+
+// Addition: the moved set is exactly {v : d_new(v) != d_old(v)} (additions
+// only shrink distances). A flat two-column compare over the distance
+// arrays — branch-light and auto-vectorizable — replaces the relax-BFS.
+void IncrementalEngine::SeedMovedFromDistances(const SourceContext& cx,
+                                               std::size_t n,
+                                               const Distance* new_d) {
+  // `n` is the adjacency's vertex count — the lane slab's extent. The BD
+  // store may already hold columns for vertices a later update of the same
+  // batch introduces (cx.view.n > n); those are isolated, hence unmoved.
+  SOBC_DCHECK(n <= cx.view.n);
+  const Distance* old_d = cx.view.d;
+  for (VertexId v = 0; v < n; ++v) {
+    if (new_d[v] == old_d[v]) continue;
+    SOBC_DCHECK(new_d[v] != kUnreachable);
+    Touch(cx, v, kPending);
+    overlay_[v].d = new_d[v];
+    moved_list_.push_back(v);
+    PushRepair(v, new_d[v]);
+  }
+}
+
+// Removal: the moved set is the orphan set ClassifyOrphans already found
+// (a vertex's distance grows iff it lost every old shortest path); give
+// each orphan its final distance — kUnreachable ones are the split-off
+// component, settled by RepairSigmas' pending sweep exactly as before.
+void IncrementalEngine::SeedOrphansFromDistances(const SourceContext& cx,
+                                                 const Distance* new_d) {
+  for (const VertexId v : moved_list_) {
+    Touch(cx, v, kPending);
+    overlay_[v].d = new_d[v];
+    overlay_[v].sigma = 0;
+    overlay_[v].delta = 0.0;
+    if (new_d[v] != kUnreachable) PushRepair(v, new_d[v]);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Phase 2: sigma repair (and, folded in, the remaining distance relaxation).
 //
 // Level-ascending sweep with lazy queue deletion. Popping a vertex at its
@@ -422,16 +468,20 @@ template <class Adj>
 Status IncrementalEngine::RunForSource(const Adj& adj,
                                        const EdgeUpdate& update, VertexId s,
                                        BdStore* store, BcScores* scores,
-                                       UpdateStats* stats) {
+                                       UpdateStats* stats, bool peeked,
+                                       Distance peek_du, Distance peek_dv,
+                                       const Distance* new_d) {
   const std::size_t n = adj.NumVertices();
   EnsureScratch(n);
   if (scores->vbc.size() < n) scores->vbc.resize(n, 0.0);
   ++stats->sources_total;
 
   const bool addition = update.op == EdgeOp::kAdd;
-  Distance du = kUnreachable;
-  Distance dv = kUnreachable;
-  SOBC_RETURN_NOT_OK(store->PeekDistances(s, update.u, update.v, &du, &dv));
+  Distance du = peek_du;
+  Distance dv = peek_dv;
+  if (!peeked) {
+    SOBC_RETURN_NOT_OK(store->PeekDistances(s, update.u, update.v, &du, &dv));
+  }
 
   // Case dispatch on the endpoint distances (Section 3.1). For undirected
   // graphs uH is the endpoint closer to the source; for directed graphs the
@@ -511,20 +561,108 @@ Status IncrementalEngine::RunForSource(const Adj& adj,
     PushRepair(u_low, cx.view.d[u_low]);
   } else if (addition) {
     ++stats->sources_structural;
-    Touch(cx, u_low, kPending);
-    overlay_[u_low].d = cx.view.d[u_high] + 1;
-    moved_list_.push_back(u_low);
-    PushRepair(u_low, overlay_[u_low].d);
+    if (new_d != nullptr) {
+      SeedMovedFromDistances(cx, n, new_d);
+    } else {
+      Touch(cx, u_low, kPending);
+      overlay_[u_low].d = cx.view.d[u_high] + 1;
+      moved_list_.push_back(u_low);
+      PushRepair(u_low, overlay_[u_low].d);
+    }
   } else {
     ++stats->sources_structural;
     ClassifyOrphans(adj, cx);
-    RepairDistancesRemoval(adj, cx);
+    if (new_d != nullptr) {
+      SeedOrphansFromDistances(cx, new_d);
+    } else {
+      RepairDistancesRemoval(adj, cx);
+    }
   }
 
   RepairSigmas(adj, cx);
   if (!unreachable_.empty()) ++stats->sources_disconnected;
   Accumulate(adj, cx, stats);
   return EmitPatches(cx, store, stats);
+}
+
+// Whether a source's repair should wait for a MS-BFS batch: every source
+// whose repair may need new distances — structural additions (decidable
+// from the peeked endpoint distances alone) and every non-skipped removal
+// (structural-vs-not needs uL's predecessor scan, which runs after View;
+// a removal that refines to non-structural simply ignores its lane).
+static bool ShouldDeferForBatch(bool directed, bool addition, Distance du,
+                                Distance dv) {
+  if (directed) {
+    if (du == kUnreachable) return false;  // skipped either way
+    if (addition) return dv == kUnreachable || dv > du + 1;
+    return dv == du + 1;
+  }
+  if (du == dv) return false;  // Proposition 3.1 skip (incl. both infinite)
+  if (!addition) return true;
+  const Distance dh = std::min(du, dv);
+  const Distance dl = std::max(du, dv);
+  return dl == kUnreachable || dl > dh + 1;
+}
+
+template <class Adj>
+Status IncrementalEngine::RunForSourceSpan(const Adj& adj,
+                                           const EdgeUpdate& update,
+                                           std::span<const VertexId> sources,
+                                           BdStore* store, BcScores* scores,
+                                           UpdateStats* stats) {
+  if (!msbfs_enabled_ || sources.size() < 2) {
+    for (const VertexId s : sources) {
+      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats));
+    }
+    return Status::OK();
+  }
+  const bool addition = update.op == EdgeOp::kAdd;
+  const bool directed = adj.directed();
+  // Pass 1: classify on the peeked endpoint distances (the same store
+  // probes the scalar loop pays); skipped and non-structural-addition
+  // sources run to completion right here, structural candidates queue for
+  // a shared traversal.
+  deferred_.clear();
+  for (const VertexId s : sources) {
+    Distance du = kUnreachable;
+    Distance dv = kUnreachable;
+    SOBC_RETURN_NOT_OK(store->PeekDistances(s, update.u, update.v, &du, &dv));
+    if (ShouldDeferForBatch(directed, addition, du, dv)) {
+      deferred_.push_back({s, du, dv});
+    } else {
+      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats,
+                                      /*peeked=*/true, du, dv));
+    }
+  }
+  if (deferred_.empty()) return Status::OK();
+  // Pass 2: one bit-parallel MS-BFS per 64 deferred sources computes their
+  // final post-update distances in a shared pass over the adjacency, then
+  // each source's repair pipeline runs seeded with its lane.
+  msbfs_scratch_.ReserveLanes(adj.NumVertices());
+  for (std::size_t off = 0; off < deferred_.size();
+       off += MsBfsScratch::kLanes) {
+    const std::size_t lanes =
+        std::min(MsBfsScratch::kLanes, deferred_.size() - off);
+    batch_sources_.clear();
+    batch_dist_.clear();
+    for (std::size_t i = 0; i < lanes; ++i) {
+      batch_sources_.push_back(deferred_[off + i].s);
+      batch_dist_.push_back(msbfs_scratch_.LaneDistances(i));
+    }
+    MsBfsStats batch_stats;
+    MsBfsRun(adj, std::span<const VertexId>(batch_sources_),
+             /*reverse=*/false, msbfs_options_, &msbfs_scratch_,
+             std::span<Distance* const>(batch_dist_), &batch_stats);
+    stats->msbfs_batches += batch_stats.batches;
+    stats->bottom_up_levels += batch_stats.bottom_up_levels;
+    for (std::size_t i = 0; i < lanes; ++i) {
+      const DeferredSource& ds = deferred_[off + i];
+      SOBC_RETURN_NOT_OK(RunForSource(adj, update, ds.s, store, scores, stats,
+                                      /*peeked=*/true, ds.du, ds.dv,
+                                      msbfs_scratch_.LaneDistances(i)));
+    }
+  }
+  return Status::OK();
 }
 
 Status IncrementalEngine::ApplyUpdateForSource(const Graph& graph,
@@ -543,19 +681,19 @@ Status IncrementalEngine::ApplyUpdateRange(const Graph& graph,
                                            VertexId begin, VertexId end,
                                            BdStore* store, BcScores* scores,
                                            UpdateStats* stats) {
+  // Materialize the range once so it flows through the same batched span
+  // driver the worklist path uses (the scratch vector is reused across
+  // updates).
+  range_sources_.clear();
+  range_sources_.reserve(end > begin ? end - begin : 0);
+  for (VertexId s = begin; s < end; ++s) range_sources_.push_back(s);
   // Dispatch on the adjacency provider once per range, not per source.
   if (use_csr_) {
-    const CsrView& adj = graph.csr();
-    for (VertexId s = begin; s < end; ++s) {
-      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats));
-    }
-  } else {
-    const GraphAdjacency adj(graph);
-    for (VertexId s = begin; s < end; ++s) {
-      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats));
-    }
+    return RunForSourceSpan(graph.csr(), update, range_sources_, store,
+                            scores, stats);
   }
-  return Status::OK();
+  return RunForSourceSpan(GraphAdjacency(graph), update, range_sources_,
+                          store, scores, stats);
 }
 
 Status IncrementalEngine::ApplyUpdateForSources(
@@ -563,17 +701,11 @@ Status IncrementalEngine::ApplyUpdateForSources(
     std::span<const VertexId> sources, BdStore* store, BcScores* scores,
     UpdateStats* stats) {
   if (use_csr_) {
-    const CsrView& adj = graph.csr();
-    for (VertexId s : sources) {
-      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats));
-    }
-  } else {
-    const GraphAdjacency adj(graph);
-    for (VertexId s : sources) {
-      SOBC_RETURN_NOT_OK(RunForSource(adj, update, s, store, scores, stats));
-    }
+    return RunForSourceSpan(graph.csr(), update, sources, store, scores,
+                            stats);
   }
-  return Status::OK();
+  return RunForSourceSpan(GraphAdjacency(graph), update, sources, store,
+                          scores, stats);
 }
 
 Status IncrementalEngine::ApplyUpdate(const Graph& graph,

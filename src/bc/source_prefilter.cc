@@ -31,9 +31,24 @@ void SourcePrefilter::Bfs(const Adj& adj, VertexId root,
 template <class Adj>
 void SourcePrefilter::Run(const Adj& adj, const EdgeUpdate& update,
                           std::vector<VertexId>* dirty) {
-  Bfs(adj, update.u, &du_);
-  Bfs(adj, update.v, &dv_);
   const std::size_t n = adj.NumVertices();
+  last_stats_ = MsBfsStats{};
+  if (use_msbfs_) {
+    // One 2-lane MS-BFS fills d(·,u) and d(·,v) in a single adjacency
+    // pass. The reverse flag reproduces the directed orientation of the
+    // scalar fill below; distances (integers) come out bit-identical, so
+    // the skip set — and the equivalence proof it rests on — is unchanged.
+    du_.resize(n);
+    dv_.resize(n);
+    const VertexId endpoints[2] = {update.u, update.v};
+    Distance* lanes[2] = {du_.data(), dv_.data()};
+    MsBfsRun(adj, std::span<const VertexId>(endpoints), adj.directed(),
+             msbfs_options_, &scratch_, std::span<Distance* const>(lanes),
+             &last_stats_);
+  } else {
+    Bfs(adj, update.u, &du_);
+    Bfs(adj, update.v, &dv_);
+  }
   dirty->clear();
   if (adj.directed()) {
     // Affected iff s reaches u and d(s,v) > d(s,u): for additions that

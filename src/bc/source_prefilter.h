@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "graph/edge_stream.h"
 #include "graph/graph.h"
+#include "graph/msbfs.h"
 
 namespace sobc {
 
@@ -21,6 +22,12 @@ namespace sobc {
 /// falls out of O(n + m) work per update without touching a single BD
 /// column. What remains is a compact dirty-source worklist — the unit the
 /// parallel apply shards across workers.
+///
+/// The two endpoint traversals run as one 2-lane MS-BFS call (msbfs.h) by
+/// default: one pass over the adjacency fills d(·,u) and d(·,v) together,
+/// halving the cache traffic of the filter. Distances are integers, so the
+/// skip set is bit-identical to the two-pass scalar fill whichever kernel
+/// runs — the equivalence proof of DESIGN.md §9 is untouched (§14).
 ///
 /// The filter runs against the graph *after* the update has been applied to
 /// it (the state every engine entry point already requires). Equivalence
@@ -41,12 +48,32 @@ class SourcePrefilter {
   Status Build(const Graph& graph, const EdgeUpdate& update, bool use_csr,
                std::vector<VertexId>* dirty);
 
+  /// Selects the traversal kernel: 2-lane MS-BFS (default) or the scalar
+  /// two-pass baseline, with the direction-switch tuning to use.
+  void ConfigureMsBfs(bool enabled, const MsBfsOptions& options) {
+    use_msbfs_ = enabled;
+    msbfs_options_ = options;
+  }
+
+  /// Kernel counters of the most recent Build (zeroed per call; empty when
+  /// the scalar path ran).
+  const MsBfsStats& last_stats() const { return last_stats_; }
+
+  /// The reusable 2-lane scratch — exposed so tests can assert the
+  /// steady-state allocation-free guarantee.
+  const MsBfsScratch& scratch() const { return scratch_; }
+
  private:
   template <class Adj>
   void Run(const Adj& adj, const EdgeUpdate& update,
            std::vector<VertexId>* dirty);
   template <class Adj>
   void Bfs(const Adj& adj, VertexId root, std::vector<Distance>* dist);
+
+  bool use_msbfs_ = true;
+  MsBfsOptions msbfs_options_;
+  MsBfsStats last_stats_;
+  MsBfsScratch scratch_;
 
   // Scratch reused across updates: d(·,u), d(·,v) and the BFS queue.
   std::vector<Distance> du_;

@@ -1,0 +1,38 @@
+#include "graph/msbfs.h"
+
+namespace sobc {
+
+void MsBfsScratch::Reserve(std::size_t n) {
+  // assign() zeroes without releasing capacity, so a steady-state batch at
+  // a fixed graph size costs two memsets and no allocator traffic. The
+  // frontier lists are reserved to their worst case (every vertex) up
+  // front for the same reason: push_back must never grow mid-run.
+  auto grew = [this](std::size_t have, std::size_t want) {
+    if (have < want) ++allocation_events_;
+  };
+  grew(visit_.capacity(), n);
+  visit_.assign(n, 0);
+  grew(front_.capacity(), n);
+  front_.assign(n, 0);
+  grew(next_.capacity(), n);
+  next_.assign(n, 0);
+  if (frontier_.capacity() < n) {
+    ++allocation_events_;
+    frontier_.reserve(n);
+  }
+  if (next_frontier_.capacity() < n) {
+    ++allocation_events_;
+    next_frontier_.reserve(n);
+  }
+  frontier_.clear();
+  next_frontier_.clear();
+}
+
+void MsBfsScratch::ReserveLanes(std::size_t n) {
+  const std::size_t want = n * kLanes;
+  if (lane_dist_.capacity() < want) ++allocation_events_;
+  if (lane_dist_.size() < want) lane_dist_.resize(want);
+  lane_n_ = n;
+}
+
+}  // namespace sobc

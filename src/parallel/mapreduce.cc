@@ -12,6 +12,17 @@
 
 namespace sobc {
 
+namespace {
+
+MsBfsOptions MakeKernelOptions(const ParallelBcOptions& options) {
+  MsBfsOptions msbfs;
+  msbfs.direction_optimizing = options.do_switch_threshold > 0.0;
+  if (msbfs.direction_optimizing) msbfs.alpha = options.do_switch_threshold;
+  return msbfs;
+}
+
+}  // namespace
+
 double ParallelUpdateTiming::CumulativeSeconds() const {
   double total = merge_seconds + prefilter_seconds;
   for (double s : mapper_seconds) total += s;
@@ -108,22 +119,24 @@ Result<std::unique_ptr<ParallelDynamicBc>> ParallelDynamicBc::Create(
   // the first csr() call builds (mutates) it, every later one is a plain
   // read, so all p mappers share this one snapshot safely.
   if (options.use_csr) bc->graph_.csr();
+  bc->prefilter_.ConfigureMsBfs(options.msbfs, MakeKernelOptions(options));
   bc->init_seconds_.assign(p, 0.0);
   BrandesOptions brandes;
   brandes.pred_mode = pred_mode;
   brandes.use_csr = options.use_csr;
+  brandes.use_msbfs = options.msbfs;
+  brandes.msbfs = MakeKernelOptions(options);
   std::vector<BcScores> init_deltas(p);
   std::vector<Status> init_status(p);
   ParallelFor(bc->pool_.get(), p, [&](std::size_t i) {
     Mapper& m = bc->mappers_[i];
     WallTimer timer;
-    init_deltas[i].vbc.assign(bc->graph_.NumVertices(), 0.0);
-    SourceBcData data;
-    const VertexId end = bc->MapperEnd(m);
-    for (VertexId s = m.begin; s < end && init_status[i].ok(); ++s) {
-      BrandesSingleSource(bc->graph_, s, brandes, &data, &init_deltas[i]);
-      init_status[i] = m.store->PutInitial(s, std::move(data));
-    }
+    // InitializeFromScratch walks the partition through the batched
+    // MS-BFS rebuild (64 sources per kernel call) when enabled, the
+    // per-source scalar search otherwise.
+    init_status[i] = InitializeFromScratch(bc->graph_, brandes, m.store.get(),
+                                           &init_deltas[i], m.begin,
+                                           bc->MapperEnd(m));
     bc->init_seconds_[i] = timer.Seconds();
   });
   bc->reduced_.vbc.assign(n, 0.0);
@@ -143,6 +156,7 @@ Status ParallelDynamicBc::EnsureMapWorkers(std::size_t w, std::size_t n) {
       wk.engine =
           std::make_unique<IncrementalEngine>(pred_mode_, options_.use_csr);
     }
+    wk.engine->ConfigureMsBfs(options_.msbfs, MakeKernelOptions(options_));
     if (disk) {
       wk.disk_handles.resize(mappers_.size());
       for (std::size_t m = 0; m < wk.disk_handles.size(); ++m) {
@@ -206,6 +220,8 @@ Status ParallelDynamicBc::Apply(const EdgeUpdate& update,
   if (options_.prefilter) {
     SOBC_RETURN_NOT_OK(
         prefilter_.Build(graph_, update, options_.use_csr, &worklist_));
+    last_stats_.msbfs_batches += prefilter_.last_stats().batches;
+    last_stats_.bottom_up_levels += prefilter_.last_stats().bottom_up_levels;
     const auto skipped = static_cast<std::uint64_t>(n - worklist_.size());
     last_stats_.sources_total += skipped;
     last_stats_.sources_skipped += skipped;
@@ -230,6 +246,7 @@ Status ParallelDynamicBc::Apply(const EdgeUpdate& update,
   }
   SourceSharderOptions sharding;
   sharding.num_workers = pool_->num_threads();
+  if (options_.msbfs) sharding.batch_align = MsBfsScratch::kLanes;
   sharder_.Reset(worklist_, weights_, sharding, hard_breaks_);
 
   const std::size_t chunks = sharder_.num_chunks();

@@ -54,6 +54,13 @@ struct ParallelBcOptions {
   /// so mappers only ever touch dirty sources (source_prefilter.h). Off =
   /// the paper's original full-range sweep with per-source BD probes.
   bool prefilter = true;
+  /// Drive the traversal hot paths (prefilter, per-mapper Step-1 rebuild,
+  /// engine structural batches) through the bit-parallel MS-BFS kernel
+  /// (graph/msbfs.h, DESIGN.md §14); off = per-source scalar BFS.
+  bool msbfs = true;
+  /// Direction-optimizing switch threshold (Beamer's alpha); <= 0 pins the
+  /// kernel top-down.
+  double do_switch_threshold = 14.0;
 };
 
 /// Timing of one parallel update, in the paper's accounting:

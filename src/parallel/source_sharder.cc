@@ -56,8 +56,9 @@ void SourceSharder::Reset(std::span<const VertexId> worklist,
       }
       ++next_break;
     }
+    const std::size_t align = std::max<std::size_t>(1, options.batch_align);
     if (acc >= target_weight && i + 1 < worklist.size() &&
-        bounds_.back() != i + 1) {
+        bounds_.back() != i + 1 && (i + 1 - bounds_.back()) % align == 0) {
       bounds_.push_back(i + 1);
       acc = 0;
     }

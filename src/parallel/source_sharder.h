@@ -41,6 +41,11 @@ struct SourceSharderOptions {
   /// Floor on a chunk's total weight so tiny worklists do not shatter into
   /// one-source tasks.
   std::uint64_t min_chunk_weight = 64;
+  /// Snap weight-triggered chunk cuts to multiples of this many sources
+  /// from the chunk's start, so every chunk hands the engine whole MS-BFS
+  /// batches (64 lanes) instead of ragged tails that waste lane occupancy.
+  /// 1 disables alignment; hard partition breaks still cut exactly.
+  std::size_t batch_align = 1;
 };
 
 /// Degree-weighted dynamic work distribution over a dirty-source worklist

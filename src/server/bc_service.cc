@@ -535,7 +535,9 @@ Status BcService::CommitBatch(std::uint64_t epoch, std::uint64_t position,
   const UpdateStats& update_stats = bc_->last_update_stats();
   metrics_.RecordBatch(applied, consumed - applied, apply_seconds, *latencies,
                        epoch, position, update_stats.sources_total,
-                       update_stats.sources_prefiltered);
+                       update_stats.sources_prefiltered,
+                       update_stats.msbfs_batches,
+                       update_stats.bottom_up_levels);
   {
     // The store must happen under mu_ so a Drain caller between its
     // predicate check and its sleep cannot miss this publication.

@@ -75,12 +75,16 @@ void ServeMetrics::RecordBatch(std::size_t applied, std::size_t coalesced,
                                std::uint64_t publish_epoch,
                                std::uint64_t stream_position,
                                std::uint64_t sources_total,
-                               std::uint64_t sources_prefiltered) {
+                               std::uint64_t sources_prefiltered,
+                               std::uint64_t msbfs_batches,
+                               std::uint64_t bottom_up_levels) {
   applied_.fetch_add(applied, std::memory_order_relaxed);
   coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
   sources_total_.fetch_add(sources_total, std::memory_order_relaxed);
   sources_prefiltered_.fetch_add(sources_prefiltered,
                                  std::memory_order_relaxed);
+  msbfs_batches_.fetch_add(msbfs_batches, std::memory_order_relaxed);
+  bottom_up_levels_.fetch_add(bottom_up_levels, std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
   publishes_.fetch_add(1, std::memory_order_relaxed);
   publish_epoch_.store(publish_epoch, std::memory_order_relaxed);
@@ -111,6 +115,8 @@ ServeMetricsSnapshot ServeMetrics::Read() const {
   snap.sources_total = sources_total_.load(std::memory_order_relaxed);
   snap.sources_prefiltered =
       sources_prefiltered_.load(std::memory_order_relaxed);
+  snap.msbfs_batches = msbfs_batches_.load(std::memory_order_relaxed);
+  snap.bottom_up_levels = bottom_up_levels_.load(std::memory_order_relaxed);
   std::vector<double> latencies;
   std::vector<double> batch_seconds;
   {
@@ -149,6 +155,8 @@ std::string ServeMetricsSnapshot::ToJson() const {
               sources_total > 0 ? static_cast<double>(sources_prefiltered) /
                                       static_cast<double>(sources_total)
                                 : 0.0);
+  AppendField(&out, "msbfs_batches", msbfs_batches);
+  AppendField(&out, "bottom_up_levels", bottom_up_levels);
   AppendField(&out, "wal_appends", wal_appends);
   AppendField(&out, "wal_appended_updates", wal_appended_updates);
   AppendField(&out, "wal_bytes", wal_bytes);

@@ -22,8 +22,9 @@ struct ServeMetricsSnapshot {
   /// silently charting missing keys as zero. (v1 predates the field.)
   /// metrics_schema_test pins the emitted key set against the documented
   /// table in docs/OPERATIONS.md §3; changing either side alone fails it.
-  /// (v3 added the cluster failover/migration keys.)
-  static constexpr std::uint64_t kSchemaVersion = 3;
+  /// (v3 added the cluster failover/migration keys; v4 the MS-BFS kernel
+  /// counters.)
+  static constexpr std::uint64_t kSchemaVersion = 4;
 
   std::uint64_t received = 0;   // accepted into the queue
   std::uint64_t dropped = 0;    // rejected by backpressure
@@ -45,6 +46,14 @@ struct ServeMetricsSnapshot {
   /// the JSON — is the skip-rate `sobc_cli serve` surfaces.
   std::uint64_t sources_total = 0;
   std::uint64_t sources_prefiltered = 0;
+
+  /// Bit-parallel MS-BFS accounting, summed over every applied batch:
+  /// kernel batches run (prefilter 2-lane folds plus the engine's 64-lane
+  /// structural batches) and how many of their BFS levels the
+  /// direction-optimizing heuristic expanded bottom-up. Both stay zero
+  /// when the deployment runs with --no-msbfs.
+  std::uint64_t msbfs_batches = 0;
+  std::uint64_t bottom_up_levels = 0;
 
   /// Durability-side counters, filled by BcService::metrics() from the
   /// WAL writer's and checkpoint writer's own stats (all zero when the
@@ -134,7 +143,9 @@ class ServeMetrics {
                    std::span<const double> update_latencies,
                    std::uint64_t publish_epoch, std::uint64_t stream_position,
                    std::uint64_t sources_total = 0,
-                   std::uint64_t sources_prefiltered = 0);
+                   std::uint64_t sources_prefiltered = 0,
+                   std::uint64_t msbfs_batches = 0,
+                   std::uint64_t bottom_up_levels = 0);
 
   ServeMetricsSnapshot Read() const;
 
@@ -155,6 +166,8 @@ class ServeMetrics {
   std::atomic<std::uint64_t> published_stream_position_{0};
   std::atomic<std::uint64_t> sources_total_{0};
   std::atomic<std::uint64_t> sources_prefiltered_{0};
+  std::atomic<std::uint64_t> msbfs_batches_{0};
+  std::atomic<std::uint64_t> bottom_up_levels_{0};
 
   mutable std::mutex sample_mu_;
   std::vector<double> latency_samples_;

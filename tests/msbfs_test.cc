@@ -1,0 +1,190 @@
+#include "graph/msbfs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/csr_view.h"
+#include "graph/graph.h"
+#include "tests/test_util.h"
+
+namespace sobc {
+namespace {
+
+/// Scalar reference: plain queue BFS plus the canonical min-id parent rule,
+/// implemented independently of the kernel so the differential means
+/// something.
+void ScalarBfs(const Graph& g, VertexId root, bool reverse,
+               std::vector<Distance>* dist, std::vector<VertexId>* parent) {
+  const std::size_t n = g.NumVertices();
+  dist->assign(n, kUnreachable);
+  (*dist)[root] = 0;
+  std::vector<VertexId> queue = {root};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId x = queue[head];
+    const auto out = reverse ? g.InNeighbors(x) : g.OutNeighbors(x);
+    for (const VertexId w : out) {
+      if ((*dist)[w] == kUnreachable) {
+        (*dist)[w] = (*dist)[x] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  parent->assign(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if ((*dist)[v] == kUnreachable || (*dist)[v] == 0) continue;
+    const auto in = reverse ? g.OutNeighbors(v) : g.InNeighbors(v);
+    for (const VertexId u : in) {
+      if ((*dist)[u] != kUnreachable && (*dist)[u] + 1 == (*dist)[v] &&
+          ((*parent)[v] == kInvalidVertex || u < (*parent)[v])) {
+        (*parent)[v] = u;
+      }
+    }
+  }
+}
+
+/// Runs `sources` through the kernel 64 lanes at a time (the way every
+/// integration layer drives it) and checks distances and canonical parents
+/// against the scalar reference, lane by lane.
+void ExpectMatchesScalar(const Graph& g, std::span<const VertexId> sources,
+                         bool reverse, const MsBfsOptions& options,
+                         MsBfsStats* stats = nullptr) {
+  const std::size_t n = g.NumVertices();
+  MsBfsScratch scratch;
+  const CsrView& csr = g.csr();
+  std::vector<std::vector<Distance>> lane_dist;
+  std::vector<Distance> ref_dist;
+  std::vector<VertexId> ref_parent;
+  std::vector<VertexId> got_parent;
+  for (std::size_t off = 0; off < sources.size();
+       off += MsBfsScratch::kLanes) {
+    const std::size_t lanes =
+        std::min(MsBfsScratch::kLanes, sources.size() - off);
+    lane_dist.assign(lanes, std::vector<Distance>(n));
+    std::vector<Distance*> dist_ptrs(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      dist_ptrs[i] = lane_dist[i].data();
+    }
+    MsBfsRun(csr, sources.subspan(off, lanes), reverse, options, &scratch,
+             dist_ptrs, stats);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      const VertexId s = sources[off + i];
+      ScalarBfs(g, s, reverse, &ref_dist, &ref_parent);
+      ASSERT_EQ(ref_dist, lane_dist[i])
+          << "distance mismatch for source " << s << " (lane " << i << ")";
+      MsBfsCanonicalParents(csr, reverse, lane_dist[i], &got_parent);
+      ASSERT_EQ(ref_parent, got_parent)
+          << "parent mismatch for source " << s << " (lane " << i << ")";
+    }
+  }
+}
+
+std::vector<VertexId> FirstSources(std::size_t count, std::size_t n) {
+  std::vector<VertexId> sources;
+  for (std::size_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<VertexId>(i % n));
+  }
+  return sources;
+}
+
+TEST(MsBfsTest, MatchesScalarAcrossBatchSizes) {
+  Rng rng(7);
+  for (const bool directed : {false, true}) {
+    for (const bool connected : {false, true}) {
+      Graph g = connected
+                    ? testutil::RandomConnectedGraph(160, 240, &rng)
+                    : testutil::RandomGraph(160, 180, &rng, directed);
+      if (connected && directed) continue;  // helper is undirected-only
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{63},
+                                      std::size_t{64}, std::size_t{65}}) {
+        const auto sources = FirstSources(batch, g.NumVertices());
+        for (const bool dir_opt : {false, true}) {
+          MsBfsOptions options;
+          options.direction_optimizing = dir_opt;
+          ExpectMatchesScalar(g, sources, /*reverse=*/false, options);
+        }
+      }
+    }
+  }
+}
+
+TEST(MsBfsTest, MatchesScalarOnSmallGraphFullBatch) {
+  // n < 64: one ragged batch covering every vertex as a source.
+  Rng rng(21);
+  Graph g = testutil::RandomGraph(20, 35, &rng, /*directed=*/false);
+  std::vector<VertexId> sources(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) sources[v] = v;
+  ExpectMatchesScalar(g, sources, /*reverse=*/false, MsBfsOptions{});
+}
+
+TEST(MsBfsTest, MatchesScalarReverseDirected) {
+  // The prefilter's orientation: distances *to* the root over in-edges.
+  Rng rng(33);
+  Graph g = testutil::RandomGraph(120, 300, &rng, /*directed=*/true);
+  const auto sources = FirstSources(64, g.NumVertices());
+  ExpectMatchesScalar(g, sources, /*reverse=*/true, MsBfsOptions{});
+}
+
+TEST(MsBfsTest, DirectionSwitchForcedAndIdentical) {
+  // Star + path: the star explodes the frontier at level 1 (forcing the
+  // bottom-up switch), the path tail shrinks it again (forcing the switch
+  // back). Distances and parents must be identical either way.
+  Graph g;
+  constexpr VertexId kStar = 400;
+  constexpr VertexId kPath = 40;
+  for (VertexId leaf = 1; leaf <= kStar; ++leaf) {
+    ASSERT_TRUE(g.AddEdge(0, leaf).ok());
+  }
+  for (VertexId i = 0; i < kPath; ++i) {
+    ASSERT_TRUE(g.AddEdge(kStar + i, kStar + i + 1).ok());
+  }
+  ASSERT_TRUE(g.AddEdge(1, kStar + 1).ok());  // bridge star -> path
+
+  std::vector<VertexId> sources = {0, 1, 2, kStar + kPath};
+  MsBfsOptions on;
+  on.direction_optimizing = true;
+  on.alpha = 4.0;  // switch eagerly so the dense level goes bottom-up
+  MsBfsStats stats_on;
+  ExpectMatchesScalar(g, sources, /*reverse=*/false, on, &stats_on);
+  EXPECT_GT(stats_on.bottom_up_levels, 0u);
+  EXPECT_GT(stats_on.top_down_levels, 0u);
+
+  MsBfsOptions off;
+  off.direction_optimizing = false;
+  MsBfsStats stats_off;
+  ExpectMatchesScalar(g, sources, /*reverse=*/false, off, &stats_off);
+  EXPECT_EQ(stats_off.bottom_up_levels, 0u);
+}
+
+TEST(MsBfsTest, DuplicateSourcesShareLanes) {
+  Rng rng(5);
+  Graph g = testutil::RandomConnectedGraph(50, 60, &rng);
+  const std::vector<VertexId> sources = {3, 3, 7, 3};
+  ExpectMatchesScalar(g, sources, /*reverse=*/false, MsBfsOptions{});
+}
+
+TEST(MsBfsTest, ScratchStopsAllocatingAfterFirstRun) {
+  Rng rng(11);
+  Graph g = testutil::RandomConnectedGraph(200, 300, &rng);
+  const CsrView& csr = g.csr();
+  MsBfsScratch scratch;
+  scratch.ReserveLanes(g.NumVertices());
+  std::vector<Distance*> dist_ptrs(MsBfsScratch::kLanes);
+  for (std::size_t i = 0; i < dist_ptrs.size(); ++i) {
+    dist_ptrs[i] = scratch.LaneDistances(i);
+  }
+  const auto sources = FirstSources(MsBfsScratch::kLanes, g.NumVertices());
+  MsBfsRun(csr, std::span<const VertexId>(sources), false, MsBfsOptions{},
+           &scratch, dist_ptrs);
+  const std::uint64_t after_first = scratch.allocation_events();
+  for (int round = 0; round < 5; ++round) {
+    MsBfsRun(csr, std::span<const VertexId>(sources), false, MsBfsOptions{},
+             &scratch, dist_ptrs);
+  }
+  EXPECT_EQ(scratch.allocation_events(), after_first);
+}
+
+}  // namespace
+}  // namespace sobc

@@ -262,6 +262,40 @@ TEST(ParallelApply, BatchedParallelApplyMatchesPerUpdate) {
                    "batched parallel");
 }
 
+TEST(ParallelApply, MsBfsScratchIsReusedAcrossParallelDrains) {
+  // The MS-BFS scratch (per-worker engines + the prefilter's 2-lane
+  // fold) must stop allocating once the drains are warmed: lane slabs
+  // and frontier masks are sized to the vertex count, which this stream
+  // never grows, so steady-state traversal has to reuse the same backing
+  // memory. This is the same sharded path the TSAN job exercises — a
+  // fresh allocation here would also be a racing one.
+  Rng rng(1009);
+  const Graph base = RandomConnectedGraph(48, 80, &rng);
+  const EdgeStream warmup = MixedUpdateStream(base, 6, 0.4, &rng);
+
+  DynamicBcOptions options;
+  options.num_threads = 4;
+  auto bc = DynamicBc::Create(base, options);
+  ASSERT_TRUE(bc.ok());
+  Graph replay = base;
+  for (const EdgeUpdate& update : warmup) {
+    ASSERT_TRUE(ApplyToGraph(&replay, update).ok());
+    ASSERT_TRUE((*bc)->Apply(update).ok());
+  }
+  const std::uint64_t warmed = (*bc)->MsBfsScratchAllocations();
+  EXPECT_GT(warmed, 0u) << "warmup never reached the MS-BFS kernel";
+
+  const EdgeStream steady = MixedUpdateStream(replay, 10, 0.4, &rng);
+  for (const EdgeUpdate& update : steady) {
+    ASSERT_TRUE(ApplyToGraph(&replay, update).ok());
+    ASSERT_TRUE((*bc)->Apply(update).ok());
+  }
+  EXPECT_EQ((*bc)->MsBfsScratchAllocations(), warmed)
+      << "MS-BFS scratch allocated during steady-state drains";
+  ExpectScoresNear(ComputeBrandes(replay), (*bc)->scores(), kTol,
+                   "scratch reuse");
+}
+
 TEST(ParallelApply, VertexGrowthWithParallelDiskStore) {
   // New vertices arriving mid-stream force the store to grow past its
   // reserved capacity (rebuild + swap for the DO variant) while apply

@@ -7,13 +7,17 @@
 //   sobc_cli stream <graph.txt> <stream.txt> [--directed] [--variant=mo|mp|do]
 //            [--store=bd.bin] [--store-codec=raw|delta] [--cache-mb=M]
 //            [--no-prefetch] [--out=scores.tsv] [--top=K] [--threads=T]
-//            [--no-prefilter]
+//            [--no-prefilter] [--no-msbfs] [--do-switch-threshold=A]
 //       Step 1 + incremental replay of an update stream ("+ u v t" /
 //       "- u v t" lines; see WriteEdgeStream), printing per-update stats
-//       (including the prefilter skip-rate) and the final top-K elements.
+//       (including the prefilter skip-rate and the MS-BFS kernel report)
+//       and the final top-K elements.
 //       --threads fans each update's source loop across T workers
 //       (0 = hardware concurrency). The storage flags tune the DO engine:
 //       record codec, shared hot-record cache budget, async prefetch.
+//       --no-msbfs pins every traversal to the per-source scalar BFS;
+//       --do-switch-threshold=A tunes the direction-optimizing alpha
+//       (<= 0 pins the kernel top-down).
 //   sobc_cli stats <graph.txt> [--directed] [--store=bd.bin]
 //       Dataset statistics (the Table 2 columns). With --store, also the
 //       store file's footprint — file bytes, encoded vs decoded bytes per
@@ -27,6 +31,7 @@
 //   sobc_cli serve <graph.txt> [--directed] [--stream=file|--updates=N]
 //            [--churn=F] [--readers=R] [--batch=B] [--budget-ms=M]
 //            [--queue-cap=C] [--no-coalesce] [--threads=T] [--no-prefilter]
+//            [--no-msbfs] [--do-switch-threshold=A]
 //            [--variant=mo|mp|do] [--store=bd.bin] [--store-codec=raw|delta]
 //            [--cache-mb=M] [--no-prefetch] [--top=K] [--seed=S]
 //            [--json=report.json] [--wal-dir=D] [--checkpoint-dir=D]
@@ -36,7 +41,7 @@
 //       batches — fanning each batch's source work across T apply workers
 //       — while R reader threads query top-k snapshots lock-free; prints
 //       (and optionally writes as JSON) the serve metrics, prefilter
-//       skip-rate included. --variant=do serves out of core; the store is
+//       skip-rate and MS-BFS kernel counters included. --variant=do serves out of core; the store is
 //       flushed at shutdown, so it can be inspected with `stats --store`.
 //       --wal-dir makes the deployment durable: every accepted batch is
 //       logged before apply (fdatasync every --fsync batches; 0 = never)
@@ -139,6 +144,9 @@ struct CliArgs {
   // apply-path threading (stream replay and serve writer; 0 = hardware)
   int threads = 1;
   bool prefilter = true;
+  // bit-parallel MS-BFS traversal kernel (stream + serve; default on)
+  bool msbfs = true;
+  double do_switch_threshold = 14.0;
   // out-of-core storage engine
   std::string store_codec = "raw";
   std::size_t cache_mb = 64;
@@ -226,6 +234,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
           static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
     } else if (arg == "--no-prefilter") {
       args->prefilter = false;
+    } else if (arg == "--msbfs") {
+      args->msbfs = true;
+    } else if (arg == "--no-msbfs") {
+      args->msbfs = false;
+    } else if (arg.rfind("--do-switch-threshold=", 0) == 0) {
+      args->do_switch_threshold = std::strtod(arg.c_str() + 22, nullptr);
     } else if (arg.rfind("--store-codec=", 0) == 0) {
       args->store_codec = arg.substr(14);
     } else if (arg.rfind("--cache-mb=", 0) == 0) {
@@ -419,6 +433,8 @@ int CmdStream(const CliArgs& args) {
   }
   options.num_threads = args.threads;
   options.prefilter = args.prefilter;
+  options.msbfs = args.msbfs;
+  options.do_switch_threshold = args.do_switch_threshold;
   if (!ApplyStorageFlags(args, &options)) return 1;
   WallTimer init_timer;
   auto bc = DynamicBc::Create(std::move(*graph), options);
@@ -457,6 +473,10 @@ int CmdStream(const CliArgs& args) {
           : 0.0,
       static_cast<unsigned long long>(totals.sources_non_structural),
       static_cast<unsigned long long>(totals.sources_structural));
+  std::printf("msbfs kernel: %s; %llu batches, %llu bottom-up levels\n",
+              args.msbfs ? "on" : "off",
+              static_cast<unsigned long long>(totals.msbfs_batches),
+              static_cast<unsigned long long>(totals.bottom_up_levels));
   if (auto* disk = dynamic_cast<DiskBdStore*>((*bc)->store())) {
     PrintStoreFootprint(*disk);
   }
@@ -528,6 +548,8 @@ int CmdServe(const CliArgs& args) {
   options.top_k = args.top;
   options.bc.num_threads = args.threads;
   options.bc.prefilter = args.prefilter;
+  options.bc.msbfs = args.msbfs;
+  options.bc.do_switch_threshold = args.do_switch_threshold;
   options.durability.wal_dir = args.wal_dir;
   options.durability.checkpoint_dir = args.checkpoint_dir;
   options.durability.wal_fsync_every = args.fsync_every;
@@ -553,10 +575,11 @@ int CmdServe(const CliArgs& args) {
     return 1;
   }
   std::printf("step 1 done in %.3fs; serving with batch=%zu budget=%.1fms "
-              "coalesce=%s readers=%d apply-threads=%d prefilter=%s\n",
+              "coalesce=%s readers=%d apply-threads=%d prefilter=%s "
+              "msbfs=%s\n",
               init_timer.Seconds(), args.batch, args.budget_ms,
               args.coalesce ? "on" : "off", args.readers, args.threads,
-              args.prefilter ? "on" : "off");
+              args.prefilter ? "on" : "off", args.msbfs ? "on" : "off");
   if (!args.fault_schedule.empty()) {
     auto schedule = FaultSchedule::Parse(args.fault_schedule);
     if (!schedule.ok()) {
@@ -654,6 +677,10 @@ int CmdServe(const CliArgs& args) {
           ? 100.0 * static_cast<double>(metrics.sources_prefiltered) /
                 static_cast<double>(metrics.sources_total)
           : 0.0);
+  std::printf("msbfs kernel: %s; %llu batches, %llu bottom-up levels\n",
+              args.msbfs ? "on" : "off",
+              static_cast<unsigned long long>(metrics.msbfs_batches),
+              static_cast<unsigned long long>(metrics.bottom_up_levels));
   std::printf(
       "latency p50 %.3fms p99 %.3fms; batch apply p50 %.3fms p99 %.3fms; "
       "%llu snapshot reads across %d readers\n",
@@ -709,6 +736,8 @@ int CmdRecover(const CliArgs& args) {
   options.top_k = args.top;
   options.bc.num_threads = args.threads;
   options.bc.prefilter = args.prefilter;
+  options.bc.msbfs = args.msbfs;
+  options.bc.do_switch_threshold = args.do_switch_threshold;
   // For the out-of-core variant this is where the checkpointed store is
   // installed as the live file (default: <checkpoint-dir>/live.bd).
   options.bc.storage_path = args.store_path;
@@ -808,6 +837,8 @@ bool BuildShardServiceOptions(const CliArgs& args, BcServiceOptions* options,
   options->top_k = args.top;
   options->bc.num_threads = args.threads;
   options->bc.prefilter = args.prefilter;
+  options->bc.msbfs = args.msbfs;
+  options->bc.do_switch_threshold = args.do_switch_threshold;
   if (args.variant == "mp") {
     options->bc.variant = BcVariant::kMemoryPredecessors;
   } else if (args.variant == "do") {
@@ -1287,14 +1318,16 @@ int Usage() {
                "       sobc_cli stream <graph> <stream> [--directed] "
                "[--variant=mo|mp|do] [--store=f.bd] "
                "[--store-codec=raw|delta] [--cache-mb=M] [--no-prefetch] "
-               "[--out=f.tsv] [--top=K] [--threads=T] [--no-prefilter]\n"
+               "[--out=f.tsv] [--top=K] [--threads=T] [--no-prefilter] "
+               "[--no-msbfs] [--do-switch-threshold=A]\n"
                "       sobc_cli stats <graph> [--directed] [--store=f.bd]\n"
                "       sobc_cli generate <profile|social|tree> <vertices> "
                "[--seed=S] [--out=g.txt] [--stream=N] [--stream-out=s.txt]\n"
                "       sobc_cli serve <graph> [--directed] "
                "[--stream=file|--updates=N] [--churn=F] [--readers=R] "
                "[--batch=B] [--budget-ms=M] [--queue-cap=C] [--no-coalesce] "
-               "[--threads=T] [--no-prefilter] [--variant=mo|mp|do] "
+               "[--threads=T] [--no-prefilter] [--no-msbfs] "
+               "[--do-switch-threshold=A] [--variant=mo|mp|do] "
                "[--store=f.bd] [--store-codec=raw|delta] [--cache-mb=M] "
                "[--no-prefetch] [--top=K] [--seed=S] [--json=report.json] "
                "[--wal-dir=D] [--checkpoint-dir=D] [--checkpoint-every=N] "
