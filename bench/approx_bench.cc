@@ -1,0 +1,185 @@
+// Sampled-approximation benchmark: runs the same generated churn stream
+// through an exact framework and a sampled one at equal n and reports the
+// two numbers the mode is sold on — how much cheaper each update gets, and
+// how much leaderboard accuracy that buys away. Emits BENCH_approx.json;
+// CI runs it on every push and gates on rank-fidelity >= 0.9 @ k=100 and
+// an approx per-update cost <= 0.3x exact.
+//
+// Rank fidelity is overlap@k: |top-k(exact) ∩ top-k(estimates)| / k over
+// the final vertex scores. The update-cost ratio is stream apply time
+// only — Step 1 initialization is reported separately (it shrinks from
+// O(nm) to O(km), which is the mode's other win, but the serving-path
+// gate is about steady-state updates).
+//
+// Env knobs: SOBC_APPROX_VERTICES (default 1024), SOBC_APPROX_UPDATES
+// (default 1500), SOBC_APPROX_SAMPLES (default n/4),
+// SOBC_APPROX_EPSILON_PCT (epsilon as a percentage, default 10),
+// SOBC_APPROX_TOPK (default 100), SOBC_APPROX_OUT
+// (default BENCH_approx.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/top_k.h"
+#include "bc/dynamic_bc.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/social_generator.h"
+#include "gen/stream_generators.h"
+#include "graph/graph.h"
+
+namespace sobc {
+namespace {
+
+struct RunResult {
+  double init_seconds = 0.0;
+  double apply_seconds = 0.0;
+  BcScores final_scores;
+  ApproxStatus status;
+};
+
+RunResult Run(const Graph& graph, const EdgeStream& stream,
+              std::size_t samples, double epsilon) {
+  DynamicBcOptions options;
+  options.approx_samples = samples;
+  options.approx_epsilon = epsilon;
+  options.approx_seed = 4242;
+  WallTimer init_timer;
+  auto bc = DynamicBc::Create(graph, options);
+  if (!bc.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 bc.status().ToString().c_str());
+    std::exit(1);
+  }
+  RunResult result;
+  result.init_seconds = init_timer.Seconds();
+  WallTimer apply_timer;
+  if (Status st = (*bc)->ApplyAll(stream); !st.ok()) {
+    std::fprintf(stderr, "apply failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  result.apply_seconds = apply_timer.Seconds();
+  result.final_scores = (*bc)->EstimatedScores();
+  result.status = (*bc)->approx_status();
+  return result;
+}
+
+/// overlap@k of the two final vertex leaderboards.
+double RankFidelity(const std::vector<double>& exact,
+                    const std::vector<double>& estimated, std::size_t k) {
+  const auto top_exact = TopKVertices(exact, k);
+  const auto top_estimated = TopKVertices(estimated, k);
+  std::set<VertexId> exact_ids;
+  for (const auto& [v, score] : top_exact) exact_ids.insert(v);
+  std::size_t common = 0;
+  for (const auto& [v, score] : top_estimated) {
+    common += exact_ids.count(v);
+  }
+  return top_exact.empty()
+             ? 1.0
+             : static_cast<double>(common) /
+                   static_cast<double>(top_exact.size());
+}
+
+int Main() {
+  const std::size_t n = static_cast<std::size_t>(
+      GetEnvInt("SOBC_APPROX_VERTICES", 1024));
+  const std::size_t updates = static_cast<std::size_t>(
+      GetEnvInt("SOBC_APPROX_UPDATES", 1500));
+  const std::size_t samples = static_cast<std::size_t>(
+      GetEnvInt("SOBC_APPROX_SAMPLES", static_cast<std::int64_t>(n / 4)));
+  const double epsilon =
+      GetEnvInt("SOBC_APPROX_EPSILON_PCT", 10) / 100.0;
+  const std::size_t top_k = static_cast<std::size_t>(
+      GetEnvInt("SOBC_APPROX_TOPK", 100));
+  const std::string out_path =
+      GetEnvString("SOBC_APPROX_OUT", "BENCH_approx.json");
+
+  Rng rng(4242);
+  const Graph graph =
+      GenerateSocialGraph(n, SocialGraphParams::PaperDefaults(), &rng);
+  const EdgeStream stream = ChurnStream(
+      graph, updates, std::max<std::size_t>(16, n / 32), &rng);
+  std::printf(
+      "approx bench: %zu vertices, %zu edges, %zu churn updates; "
+      "k=%zu (n/k scale %.1f), epsilon=%.2f\n",
+      graph.NumVertices(), graph.NumEdges(), stream.size(), samples,
+      static_cast<double>(n) / static_cast<double>(samples), epsilon);
+
+  const RunResult exact = Run(graph, stream, /*samples=*/0, epsilon);
+  const RunResult approx = Run(graph, stream, samples, epsilon);
+
+  const double cost_ratio =
+      exact.apply_seconds > 0 ? approx.apply_seconds / exact.apply_seconds
+                              : 0.0;
+  const double init_ratio =
+      exact.init_seconds > 0 ? approx.init_seconds / exact.init_seconds
+                             : 0.0;
+  const double fidelity =
+      RankFidelity(exact.final_scores.vbc, approx.final_scores.vbc, top_k);
+  const double per_update_exact_ms =
+      stream.empty() ? 0.0 : 1e3 * exact.apply_seconds / stream.size();
+  const double per_update_approx_ms =
+      stream.empty() ? 0.0 : 1e3 * approx.apply_seconds / stream.size();
+
+  std::printf("exact:  init %.3fs, stream %.3fs (%.3f ms/update)\n",
+              exact.init_seconds, exact.apply_seconds, per_update_exact_ms);
+  std::printf(
+      "approx: init %.3fs (%.2fx), stream %.3fs (%.3f ms/update, %.2fx); "
+      "%llu resample rounds, %llu swaps, drift %.3f\n",
+      approx.init_seconds, init_ratio, approx.apply_seconds,
+      per_update_approx_ms, cost_ratio,
+      static_cast<unsigned long long>(approx.status.resample_rounds),
+      static_cast<unsigned long long>(approx.status.source_swaps),
+      approx.status.drift);
+  std::printf("rank fidelity overlap@%zu: %.3f\n", top_k, fidelity);
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"vertices\": %zu,\n"
+      "  \"edges\": %zu,\n"
+      "  \"updates\": %zu,\n"
+      "  \"samples\": %zu,\n"
+      "  \"epsilon\": %.4f,\n"
+      "  \"top_k\": %zu,\n"
+      "  \"exact_init_seconds\": %.6f,\n"
+      "  \"exact_apply_seconds\": %.6f,\n"
+      "  \"approx_init_seconds\": %.6f,\n"
+      "  \"approx_apply_seconds\": %.6f,\n"
+      "  \"update_cost_ratio\": %.4f,\n"
+      "  \"init_cost_ratio\": %.4f,\n"
+      "  \"rank_fidelity\": %.4f,\n"
+      "  \"resample_rounds\": %llu,\n"
+      "  \"source_swaps\": %llu,\n"
+      "  \"sample_epoch\": %llu,\n"
+      "  \"drift\": %.4f\n"
+      "}\n",
+      graph.NumVertices(), graph.NumEdges(), stream.size(), samples,
+      epsilon, top_k, exact.init_seconds, exact.apply_seconds,
+      approx.init_seconds, approx.apply_seconds, cost_ratio, init_ratio,
+      fidelity,
+      static_cast<unsigned long long>(approx.status.resample_rounds),
+      static_cast<unsigned long long>(approx.status.source_swaps),
+      static_cast<unsigned long long>(approx.status.sample_epoch),
+      approx.status.drift);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(buf, f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sobc
+
+int main() { return sobc::Main(); }

@@ -68,7 +68,7 @@ Result<CodecReport> RunCodec(const Graph& graph, const EdgeStream& stream,
     times.push_back(seconds);
 
     if (run + 1 == runs) {
-      auto* disk = dynamic_cast<DiskBdStore*>((*bc)->store());
+      DiskBdStore* disk = (*bc)->disk_store();
       if (disk == nullptr) return Status::Internal("DO without disk store");
       auto fp = disk->Footprint();
       if (!fp.ok()) return fp.status();

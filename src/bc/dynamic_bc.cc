@@ -1,7 +1,9 @@
 #include "bc/dynamic_bc.h"
 
 #include <algorithm>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -33,6 +35,11 @@ DiskBdStoreOptions MakeDiskOptions(const DynamicBcOptions& options) {
 /// about to compute — the double-buffer depth of the prefetch pipeline.
 constexpr std::size_t kSerialPrefetchSlab = 128;
 
+/// Sample-state sidecar written beside the score file by Checkpoint() in
+/// approx mode (the CLI resume path; the service path carries the blob in
+/// its checkpoint manifest instead).
+constexpr char kApproxSidecarSuffix[] = ".approx";
+
 MsBfsOptions MakeMsBfsOptions(const DynamicBcOptions& options) {
   MsBfsOptions msbfs;
   msbfs.direction_optimizing = options.do_switch_threshold > 0.0;
@@ -57,15 +64,58 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
       options.source_end < options.source_begin) {
     return Status::InvalidArgument("source_end precedes source_begin");
   }
+  // The sampled mode owns the whole source universe by construction: its
+  // estimates are scaled sums over a uniform draw from every vertex, which
+  // a scoped partition would bias. Cluster shards therefore stay exact.
+  std::unique_ptr<OnlineApproxState> approx;
+  // A restore blob alone activates the mode (the recovery path knows it is
+  // rebuilding a sampled deployment from the blob, not from flag values).
+  if (options.approx_samples > 0 || !options.approx_restore_blob.empty()) {
+    if (options.source_begin != 0 || options.source_end != kInvalidVertex) {
+      return Status::InvalidArgument(
+          "sampled approximation requires the full source range; scoped "
+          "shards must run exact");
+    }
+    if (!options.approx_restore_blob.empty()) {
+      auto restored = OnlineApproxState::Restore(options.approx_restore_blob);
+      if (!restored.ok()) return restored.status();
+      approx = std::move(*restored);
+      for (const VertexId id : approx->samples().ids()) {
+        if (id >= n) {
+          return Status::FailedPrecondition(
+              "restored sample set references vertex " + std::to_string(id) +
+              " beyond the graph");
+        }
+      }
+      approx->mutable_samples()->GrowPopulation(n);
+    } else {
+      OnlineApproxOptions aopts;
+      aopts.num_samples = options.approx_samples;
+      aopts.epsilon = options.approx_epsilon;
+      aopts.seed = options.approx_seed;
+      aopts.max_swaps_per_batch = options.approx_max_swaps_per_batch;
+      auto fresh = OnlineApproxState::Fresh(aopts, n);
+      if (!fresh.ok()) return fresh.status();
+      approx = std::move(*fresh);
+    }
+  }
+  // In approx mode the backing store holds one record per sample slot,
+  // [0, k) — the adapter translates global sampled ids to slots — so the
+  // BD footprint is O(k * n) wherever exact mode pays O(n^2).
+  const VertexId store_begin =
+      approx ? 0 : options.source_begin;
+  const VertexId store_limit =
+      approx ? static_cast<VertexId>(approx->samples().size())
+             : options.source_end;
   switch (options.variant) {
     case BcVariant::kMemoryPredecessors:
       pred_mode = PredMode::kPredecessorLists;
-      store = std::make_unique<InMemoryBdStore>(pred_mode, options.source_begin,
-                                                options.source_end);
+      store = std::make_unique<InMemoryBdStore>(pred_mode, store_begin,
+                                                store_limit);
       break;
     case BcVariant::kMemory:
-      store = std::make_unique<InMemoryBdStore>(pred_mode, options.source_begin,
-                                                options.source_end);
+      store = std::make_unique<InMemoryBdStore>(pred_mode, store_begin,
+                                                store_limit);
       break;
     case BcVariant::kOutOfCore: {
       if (options.storage_path.empty()) {
@@ -73,8 +123,8 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
             "kOutOfCore variant needs a storage_path");
       }
       auto disk = DiskBdStore::Create(
-          options.storage_path, n, options.vertex_capacity,
-          options.source_begin, options.source_end, MakeDiskOptions(options));
+          options.storage_path, n, options.vertex_capacity, store_begin,
+          store_limit, MakeDiskOptions(options));
       if (!disk.ok()) return disk.status();
       store = std::move(*disk);
       break;
@@ -84,7 +134,14 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
   resolved.num_threads = ResolveThreads(options.num_threads);
   auto bc = std::unique_ptr<DynamicBc>(
       new DynamicBc(std::move(graph), std::move(store), pred_mode, resolved));
-  bc->disk_root_ = dynamic_cast<DiskBdStore*>(bc->store_.get());
+  if (approx != nullptr) {
+    bc->approx_ = std::move(approx);
+    bc->disk_root_ = dynamic_cast<DiskBdStore*>(bc->store_.get());
+    bc->store_ = std::make_unique<SampledBdStore>(
+        std::move(bc->store_), &bc->approx_->samples());
+  } else {
+    bc->disk_root_ = dynamic_cast<DiskBdStore*>(bc->store_.get());
+  }
   if (resolved.num_threads > 1) {
     bc->pool_ = std::make_unique<ThreadPool>(
         static_cast<std::size_t>(resolved.num_threads));
@@ -100,10 +157,30 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Create(
   brandes.use_csr = options.use_csr;
   brandes.use_msbfs = options.msbfs;
   brandes.msbfs = MakeMsBfsOptions(options);
-  SOBC_RETURN_NOT_OK(InitializeFromScratch(
-      bc->graph_, brandes, bc->store_.get(), &bc->scores_,
-      options.source_begin, options.source_end));
+  if (bc->approx_ != nullptr) {
+    SOBC_RETURN_NOT_OK(bc->InitializeSampled(brandes));
+  } else {
+    SOBC_RETURN_NOT_OK(InitializeFromScratch(
+        bc->graph_, brandes, bc->store_.get(), &bc->scores_,
+        options.source_begin, options.source_end));
+  }
   return bc;
+}
+
+Status DynamicBc::InitializeSampled(const BrandesOptions& brandes) {
+  // Step 1 of the sampled mode: one sweep per sampled source, accumulated
+  // unscaled into the maintained sums. Sample ids are scattered across the
+  // id space, so this runs the per-source kernel rather than the
+  // contiguous-range MS-BFS batcher — k sweeps, not n.
+  const std::size_t n = graph_.NumVertices();
+  scores_.vbc.assign(n, 0.0);
+  scores_.ebc.clear();
+  for (const VertexId s : approx_->samples().ids()) {
+    SourceBcData data;
+    BrandesSingleSource(graph_, s, brandes, &data, &scores_);
+    SOBC_RETURN_NOT_OK(store_->PutInitial(s, std::move(data)));
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
@@ -127,17 +204,71 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
     return Status::FailedPrecondition(
         "score file does not match the graph's vertex count");
   }
+  // Sample state travels beside the scores: the service recovery path
+  // hands the checkpoint's blob through the options; the CLI path reads
+  // the sidecar Checkpoint() wrote. Its presence decides the mode — an
+  // approx deployment can only resume approx (the store holds k slots,
+  // not n records).
+  std::string approx_blob = options.approx_restore_blob;
+  if (approx_blob.empty()) {
+    std::ifstream sidecar(scores_path + kApproxSidecarSuffix,
+                          std::ios::binary);
+    if (sidecar) {
+      std::ostringstream buffer;
+      buffer << sidecar.rdbuf();
+      approx_blob = buffer.str();
+    }
+  }
+  if (approx_blob.empty() && options.approx_samples > 0) {
+    return Status::FailedPrecondition(
+        "no sample state found beside the score file; the checkpoint was "
+        "written by an exact deployment");
+  }
+  std::unique_ptr<OnlineApproxState> approx;
+  if (!approx_blob.empty()) {
+    auto restored = OnlineApproxState::Restore(approx_blob);
+    if (!restored.ok()) return restored.status();
+    approx = std::move(*restored);
+  }
   DynamicBcOptions resolved = options;
   resolved.num_threads = ResolveThreads(options.num_threads);
-  // The store header is authoritative for the partition: a resumed shard
-  // must scope its source loop exactly as the deployment that wrote the
-  // file did, whatever the caller passed.
-  resolved.source_begin = (*disk)->source_begin();
-  resolved.source_end = (*disk)->source_limit();
+  if (approx != nullptr) {
+    const auto k = static_cast<VertexId>(approx->samples().size());
+    if ((*disk)->source_begin() != 0 || (*disk)->source_limit() != k) {
+      return Status::FailedPrecondition(
+          "store slot range does not match the checkpointed sample set");
+    }
+    for (const VertexId id : approx->samples().ids()) {
+      if (id >= graph.NumVertices()) {
+        return Status::FailedPrecondition(
+            "restored sample set references vertex " + std::to_string(id) +
+            " beyond the graph");
+      }
+    }
+    approx->mutable_samples()->GrowPopulation(graph.NumVertices());
+    resolved.source_begin = 0;
+    resolved.source_end = kInvalidVertex;
+    resolved.approx_samples = approx->samples().size();
+    resolved.approx_epsilon = approx->options().epsilon;
+    resolved.approx_seed = approx->options().seed;
+    resolved.approx_max_swaps_per_batch =
+        approx->options().max_swaps_per_batch;
+  } else {
+    // The store header is authoritative for the partition: a resumed shard
+    // must scope its source loop exactly as the deployment that wrote the
+    // file did, whatever the caller passed.
+    resolved.source_begin = (*disk)->source_begin();
+    resolved.source_end = (*disk)->source_limit();
+  }
   auto bc = std::unique_ptr<DynamicBc>(
       new DynamicBc(std::move(graph), std::move(*disk),
                     PredMode::kScanNeighbors, resolved));
   bc->disk_root_ = dynamic_cast<DiskBdStore*>(bc->store_.get());
+  if (approx != nullptr) {
+    bc->approx_ = std::move(approx);
+    bc->store_ = std::make_unique<SampledBdStore>(
+        std::move(bc->store_), &bc->approx_->samples());
+  }
   if (resolved.num_threads > 1) {
     bc->pool_ = std::make_unique<ThreadPool>(
         static_cast<std::size_t>(resolved.num_threads));
@@ -150,6 +281,20 @@ Result<std::unique_ptr<DynamicBc>> DynamicBc::Resume(
 
 Status DynamicBc::Checkpoint(const std::string& scores_path) {
   SOBC_RETURN_NOT_OK(WriteScores(scores_, scores_path));
+  if (approx_ != nullptr) {
+    // The sidecar makes the sample state part of every score checkpoint;
+    // Resume refuses approx stores without it, so the pair stays atomic
+    // enough for the CLI path (the service path carries the blob inside
+    // its manifest-committed checkpoint instead).
+    const std::string path = scores_path + kApproxSidecarSuffix;
+    std::ofstream sidecar(path, std::ios::binary | std::ios::trunc);
+    const std::string blob = approx_->Serialize();
+    sidecar.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!sidecar.good()) {
+      return Status::IOError("cannot write sample state sidecar: " + path);
+    }
+    sidecar.close();
+  }
   if (disk_root_ == nullptr) {
     return Status::FailedPrecondition(
         "Checkpoint is only durable with the out-of-core variant");
@@ -225,7 +370,34 @@ Status DynamicBc::ApplyBatch(std::span<const EdgeUpdate> batch) {
       scores_.ebc.erase(graph_.MakeKey(update.u, update.v));
     }
   }
+  if (approx_ != nullptr) {
+    // Drift accounting + at most max_swaps_per_batch resampling swaps,
+    // after the batch's repairs landed (swap sweeps must run on the
+    // current graph for the subtract-then-replace arithmetic to hold).
+    SOBC_RETURN_NOT_OK(approx_->AfterBatch(graph_, last_stats_,
+                                           SweepOptions(), store_.get(),
+                                           &scores_));
+  }
   return Status::OK();
+}
+
+BrandesOptions DynamicBc::SweepOptions() const {
+  BrandesOptions brandes;
+  brandes.pred_mode = engine_.pred_mode();
+  brandes.use_csr = options_.use_csr;
+  brandes.use_msbfs = options_.msbfs;
+  brandes.msbfs = MakeMsBfsOptions(options_);
+  return brandes;
+}
+
+BcScores DynamicBc::EstimatedScores() const {
+  BcScores estimates = scores_;
+  const double scale = approx_scale();
+  if (scale != 1.0) {
+    for (double& value : estimates.vbc) value *= scale;
+    for (auto& [key, value] : estimates.ebc) value *= scale;
+  }
+  return estimates;
 }
 
 Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
@@ -237,7 +409,10 @@ Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
       static_cast<VertexId>(std::min<std::size_t>(options_.source_begin, n));
   const auto owned_end = static_cast<VertexId>(std::min<std::size_t>(
       options_.source_end == kInvalidVertex ? n : options_.source_end, n));
-  const std::size_t owned = owned_end - owned_begin;
+  // The approx mode's "partition" is the sampled set: k scattered sources
+  // instead of a contiguous range, same accounting.
+  const std::size_t owned =
+      approx_ != nullptr ? approx_->samples().size() : owned_end - owned_begin;
   if (options_.prefilter) {
     SOBC_RETURN_NOT_OK(
         prefilter_.Build(graph_, update, options_.use_csr, &worklist_));
@@ -245,7 +420,9 @@ Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
     // kernel totals alongside the engine's structural batches.
     last_stats_.msbfs_batches += prefilter_.last_stats().batches;
     last_stats_.bottom_up_levels += prefilter_.last_stats().bottom_up_levels;
-    if (owned != n) {
+    if (approx_ != nullptr) {
+      FilterToSamples(approx_->samples(), &worklist_);
+    } else if (owned != n) {
       worklist_.erase(
           std::remove_if(worklist_.begin(), worklist_.end(),
                          [owned_begin, owned_end](VertexId s) {
@@ -261,6 +438,11 @@ Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
     last_stats_.sources_total += skipped;
     last_stats_.sources_skipped += skipped;
     last_stats_.sources_prefiltered += skipped;
+  } else if (approx_ != nullptr) {
+    // Without the prefilter the drain probes BD[s] per source, so the
+    // worklist is simply every sampled source, in stable slot order.
+    const std::span<const VertexId> ids = approx_->samples().ids();
+    worklist_.assign(ids.begin(), ids.end());
   } else {
     worklist_.resize(owned);
     std::iota(worklist_.begin(), worklist_.end(), owned_begin);
@@ -272,15 +454,17 @@ Status DynamicBc::ApplyPrepared(const EdgeUpdate& update) {
       // Double-buffered serial drain: hint the next slab before computing
       // the current one, so the background reader decodes records while
       // the engine repairs the previous batch.
+      // Hints go through store_ (not disk_root_): in approx mode the
+      // adapter translates the sampled ids to their slots first.
       const std::span<const VertexId> all = worklist_;
-      disk_root_->Hint(all.subspan(0, kSerialPrefetchSlab));
+      store_->Hint(all.subspan(0, kSerialPrefetchSlab));
       for (std::size_t off = 0; off < all.size();
            off += kSerialPrefetchSlab) {
         const std::size_t count =
             std::min(kSerialPrefetchSlab, all.size() - off);
         const std::size_t next = off + count;
         if (next < all.size()) {
-          disk_root_->Hint(all.subspan(
+          store_->Hint(all.subspan(
               next, std::min(kSerialPrefetchSlab, all.size() - next)));
         }
         SOBC_RETURN_NOT_OK(engine_.ApplyUpdateForSources(
@@ -313,10 +497,17 @@ Status DynamicBc::EnsureWorkers(std::size_t w, std::size_t n) {
       // Fresh or stale (a Grow changed the layout or swapped the backing
       // file): reopen onto the current file. OpenShared keeps every worker
       // on the root's record cache and epochs, which is what lets handles
-      // read each other's writes without any invalidation call.
+      // read each other's writes without any invalidation call. In approx
+      // mode each worker gets its own slot-translating adapter over its
+      // handle (the adapter is stateless past the shared SampleSet).
       auto handle = disk_root_->OpenShared();
       if (!handle.ok()) return handle.status();
-      wk.disk_store = std::move(*handle);
+      if (approx_ != nullptr) {
+        wk.disk_store = std::make_unique<SampledBdStore>(
+            std::move(*handle), &approx_->samples());
+      } else {
+        wk.disk_store = std::move(*handle);
+      }
     }
     wk.delta.vbc.assign(n, 0.0);
     wk.delta.ebc.clear();
@@ -348,7 +539,7 @@ Status DynamicBc::ParallelDrain(const EdgeUpdate& update) {
   const std::size_t lookahead = w + 1;
   if (prefetch) {
     for (std::size_t c = 0; c < std::min(lookahead, chunks); ++c) {
-      disk_root_->Hint(sharder_.ChunkSources(c));
+      store_->Hint(sharder_.ChunkSources(c));
     }
   }
 
@@ -359,7 +550,7 @@ Status DynamicBc::ParallelDrain(const EdgeUpdate& update) {
     std::size_t idx = 0;
     while (sharder_.Next(&chunk, &idx)) {
       if (prefetch && idx + lookahead < chunks) {
-        disk_root_->Hint(sharder_.ChunkSources(idx + lookahead));
+        store_->Hint(sharder_.ChunkSources(idx + lookahead));
       }
       const Status st = wk.engine->ApplyUpdateForSources(
           graph_, update, chunk, store, &wk.delta, &wk.stats);

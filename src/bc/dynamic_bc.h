@@ -10,6 +10,7 @@
 #include "bc/bd_store.h"
 #include "bc/brandes.h"
 #include "bc/incremental.h"
+#include "bc/online_approx.h"
 #include "bc/source_prefilter.h"
 #include "common/status.h"
 #include "graph/edge_stream.h"
@@ -84,6 +85,25 @@ struct DynamicBcOptions {
   /// vertex ids always have an owner).
   VertexId source_begin = 0;
   VertexId source_end = kInvalidVertex;
+  /// Online sampled approximation (DESIGN.md §15): maintain BD[s] for only
+  /// this many seeded uniformly sampled sources through the exact
+  /// incremental machinery and publish n/k-scaled estimates, with drift
+  /// tracking and adaptive resampling. 0 (the default) = exact mode.
+  /// Incompatible with a scoped source partition — shards stay exact.
+  std::size_t approx_samples = 0;
+  /// Accuracy target epsilon in (0, 1) of the approx mode: the drift
+  /// ledger starts a resampling round when its staleness estimate reaches
+  /// this bound (see OnlineApproxState).
+  double approx_epsilon = 0.1;
+  /// Seed of the approx sampling schedule (initial draw + replacements).
+  std::uint64_t approx_seed = 42;
+  /// Source swaps a resampling round performs per applied batch (approx
+  /// mode; the latency-amortization knob).
+  std::size_t approx_max_swaps_per_batch = 4;
+  /// Serialized OnlineApproxState to restore instead of drawing fresh —
+  /// the recovery path hands the checkpointed sample state through here.
+  /// Empty = fresh draw from approx_seed.
+  std::string approx_restore_blob;
 };
 
 /// The full framework of Figure 1: Step 1 runs Brandes once to build BD[s]
@@ -164,6 +184,40 @@ class DynamicBc {
 
   BdStore* store() { return store_.get(); }
 
+  /// The out-of-core storage engine behind this framework, or null for the
+  /// in-memory variants. In approx mode store() is the slot-translating
+  /// sample adapter; this reaches through it to the actual disk store
+  /// (footprint reports, checkpoint byte copies).
+  DiskBdStore* disk_store() { return disk_root_; }
+
+  /// Whether this framework maintains sampled estimates instead of exact
+  /// scores.
+  bool approx() const { return approx_ != nullptr; }
+  /// Estimate scale factor n/k applied at publish time (1.0 in exact mode).
+  double approx_scale() const {
+    return approx_ == nullptr ? 1.0 : approx_->scale(graph_.NumVertices());
+  }
+  /// The current sampled source ids (empty in exact mode). Slot order is
+  /// stable across updates; entries change only via resampling swaps.
+  std::span<const VertexId> sample_sources() const {
+    return approx_ == nullptr ? std::span<const VertexId>()
+                              : approx_->samples().ids();
+  }
+  /// Progress gauges of the approximation (zeros in exact mode).
+  ApproxStatus approx_status() const {
+    return approx_ == nullptr ? ApproxStatus{} : approx_->status();
+  }
+  /// Serialized sample state for the checkpoint protocol ("" exact).
+  std::string SerializeApproxState() const {
+    return approx_ == nullptr ? std::string() : approx_->Serialize();
+  }
+
+  /// The published estimates: scores() scaled by n/k. In exact mode this
+  /// is a plain copy of scores(). The maintained sums themselves stay
+  /// unscaled so incremental repairs and checkpoint round trips never
+  /// compound a changing scale into them.
+  BcScores EstimatedScores() const;
+
  private:
   /// One lane of the sharded parallel apply: a private engine (scratch is
   /// not shareable), a private score partial, and — for the out-of-core
@@ -186,6 +240,11 @@ class DynamicBc {
 
   /// Applies the MS-BFS configuration to the engine and prefilter.
   void ConfigureKernels();
+  /// Step 1 of the approx mode: sweeps each sampled source into the
+  /// maintained sums and its BD slot.
+  Status InitializeSampled(const BrandesOptions& brandes);
+  /// Brandes configuration matching the engine, for resampling sweeps.
+  BrandesOptions SweepOptions() const;
   /// Worklist + dispatch for one update; `graph_` must already reflect it.
   Status ApplyPrepared(const EdgeUpdate& update);
   /// Drains the current worklist across the pool and folds the partials.
@@ -196,6 +255,10 @@ class DynamicBc {
 
   DynamicBcOptions options_;
   Graph graph_;
+  /// Sample bookkeeping + drift ledger of the approx mode; null when
+  /// exact. Declared before store_: the sampled store adapter holds a
+  /// pointer into the SampleSet, so the set must outlive it.
+  std::unique_ptr<OnlineApproxState> approx_;
   std::unique_ptr<BdStore> store_;
   /// store_ downcast when the variant is out-of-core (hint/prefetch entry
   /// points live on the disk store); null otherwise.

@@ -1,0 +1,59 @@
+#include "common/flag_parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace sobc {
+
+Result<double> ParseFiniteDouble(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected a number, got an empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("not a number: \"" + text + "\"");
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    return Status::InvalidArgument("value is not finite: \"" + text + "\"");
+  }
+  return value;
+}
+
+Result<double> ParseFiniteDoubleInRange(const std::string& text, double min,
+                                        double max) {
+  auto value = ParseFiniteDouble(text);
+  if (!value.ok()) return value;
+  if (*value < min || *value > max) {
+    return Status::InvalidArgument("value " + text + " out of range [" +
+                                   std::to_string(min) + ", " +
+                                   std::to_string(max) + "]");
+  }
+  return value;
+}
+
+Result<std::uint64_t> ParseUint64(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected an integer, got an empty value");
+  }
+  // strtoull accepts "-1" and wraps it to 2^64-1; reject any non-digit up
+  // front so the only accepted spelling is a plain decimal integer.
+  for (const char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      return Status::InvalidArgument("not an unsigned integer: \"" + text +
+                                     "\"");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return Status::InvalidArgument("integer out of range: \"" + text + "\"");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace sobc

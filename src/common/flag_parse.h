@@ -1,0 +1,33 @@
+#ifndef SOBC_COMMON_FLAG_PARSE_H_
+#define SOBC_COMMON_FLAG_PARSE_H_
+
+// Validated numeric parsing for command-line flag values. The std::strtod /
+// std::strtoul idiom silently accepts trailing junk ("--epsilon=0.1x"),
+// empty values, "inf"/"nan", and (for the unsigned variants) negative
+// numbers that wrap — all of which turn an operator typo into a quietly
+// wrong deployment. These helpers parse the WHOLE token or fail.
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sobc {
+
+/// Parses `text` as a double. The entire token must be consumed and the
+/// value must be finite — "inf", "nan", "", and "1.5abc" are all
+/// InvalidArgument.
+Result<double> ParseFiniteDouble(const std::string& text);
+
+/// ParseFiniteDouble plus an inclusive range check [min, max].
+Result<double> ParseFiniteDoubleInRange(const std::string& text, double min,
+                                        double max);
+
+/// Parses `text` as a base-10 unsigned integer. The entire token must be
+/// consumed; a leading '-' (which strtoull would wrap to a huge value) and
+/// out-of-range magnitudes are InvalidArgument.
+Result<std::uint64_t> ParseUint64(const std::string& text);
+
+}  // namespace sobc
+
+#endif  // SOBC_COMMON_FLAG_PARSE_H_

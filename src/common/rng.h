@@ -1,6 +1,7 @@
 #ifndef SOBC_COMMON_RNG_H_
 #define SOBC_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -59,6 +60,16 @@ class Rng {
 
   /// Standard normal via Box-Muller.
   double Normal();
+
+  /// Raw xoshiro state, for checkpointing a deterministic sampling schedule.
+  /// Restoring the state continues the output stream exactly where it left
+  /// off, which is what makes resampling decisions replayable after recovery.
+  std::array<std::uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void RestoreState(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {

@@ -26,6 +26,20 @@ const char* VariantName(BcVariant variant) {
   return "mo";
 }
 
+/// Estimate provenance for a publication: exact deployments get the
+/// default tag, sampled ones their scale and sample-generation identity.
+SnapshotEstimateInfo EstimateInfoOf(const DynamicBc& bc) {
+  SnapshotEstimateInfo info;
+  if (bc.approx()) {
+    const ApproxStatus status = bc.approx_status();
+    info.approximate = true;
+    info.scale = bc.approx_scale();
+    info.sample_count = status.num_samples;
+    info.sample_epoch = status.sample_epoch;
+  }
+  return info;
+}
+
 }  // namespace
 
 const char* ServiceHealthName(ServiceHealth health) {
@@ -48,6 +62,16 @@ Result<std::unique_ptr<BcService>> BcService::Create(
     Graph graph, const BcServiceOptions& options) {
   BcServiceOptions resolved = options;
   resolved.queue.directed = graph.directed();
+  if (resolved.replicated && (resolved.bc.approx_samples > 0 ||
+                              !resolved.bc.approx_restore_blob.empty())) {
+    // Replicated shards are scoped partials by design; the sampled mode
+    // owns the full source universe (DynamicBc enforces the same), and
+    // mixing estimated partials into an exact merge would silently bias
+    // the cluster's scores.
+    return Status::InvalidArgument(
+        "sampled approximation is a single-process mode; replicated "
+        "shards must run exact");
+  }
   auto bc = DynamicBc::Create(std::move(graph), resolved.bc);
   if (!bc.ok()) return bc.status();
   if (!resolved.replicated && (resolved.replicated_base_epoch != 0 ||
@@ -72,7 +96,8 @@ Result<std::unique_ptr<BcService>> BcService::Create(
   service->snapshots_.Publish(BuildSnapshot(
       service->bc_->graph(), service->bc_->scores(),
       resolved.replicated_base_epoch, resolved.replicated_base_position,
-      resolved.top_k, resolved.snapshot_edge_scores));
+      resolved.top_k, resolved.snapshot_edge_scores,
+      EstimateInfoOf(*service->bc_)));
   if (resolved.durability.enabled()) {
     // Refuse pre-existing durable state in either directory: a log is
     // Recover's job, and stale higher-epoch manifests from a previous
@@ -124,6 +149,16 @@ Result<std::unique_ptr<BcService>> BcService::Recover(
   // same per-shard partials it checkpointed.
   resolved.bc.source_begin = manifest.source_begin;
   resolved.bc.source_end = manifest.source_end;
+  // The checkpointed sample-set state (empty for exact deployments) is
+  // authoritative: the framework restores the exact sample ids, drift
+  // ledger, and RNG trajectory the crashed run carried, so WAL replay
+  // makes the same resampling decisions it did.
+  resolved.bc.approx_restore_blob = loaded->samples_blob;
+  if (loaded->samples_blob.empty() && resolved.bc.approx_samples > 0) {
+    return Status::FailedPrecondition(
+        "recovery requested sampled approximation but the checkpoint was "
+        "written by an exact deployment; recover exact or redeploy fresh");
+  }
 
   std::unique_ptr<DynamicBc> bc;
   if (manifest.variant == "do") {
@@ -229,7 +264,8 @@ Result<std::unique_ptr<BcService>> BcService::Recover(
   service->metrics_.SeedPublication(epoch, position);
   service->snapshots_.Publish(BuildSnapshot(
       service->bc_->graph(), service->bc_->scores(), epoch, position,
-      resolved.top_k, resolved.snapshot_edge_scores));
+      resolved.top_k, resolved.snapshot_edge_scores,
+      EstimateInfoOf(*service->bc_)));
   // New appends land in a fresh segment starting right after the
   // recovered epoch; the replayed segments stay until a checkpoint covers
   // them (a second crash before then replays the same tail again).
@@ -341,8 +377,11 @@ Result<CheckpointWriter::Job> BcService::CaptureCheckpointJob(
   job.variant = VariantName(options_.bc.variant);
   job.source_begin = options_.bc.source_begin;
   job.source_end = options_.bc.source_end;
+  job.samples_blob = bc_->SerializeApproxState();
   if (options_.bc.variant == BcVariant::kOutOfCore) {
-    auto* disk = dynamic_cast<DiskBdStore*>(bc_->store());
+    // disk_store() is the root disk handle even in approx mode, where
+    // store() is the slot-translating adapter wrapped around it.
+    DiskBdStore* disk = bc_->disk_store();
     if (disk == nullptr) {
       return Status::Internal("out-of-core framework without a disk store");
     }
@@ -527,7 +566,8 @@ Status BcService::CommitBatch(std::uint64_t epoch, std::uint64_t position,
                               std::vector<double>* latencies) {
   snapshots_.Publish(BuildSnapshot(bc_->graph(), bc_->scores(), epoch,
                                    position, options_.top_k,
-                                   options_.snapshot_edge_scores));
+                                   options_.snapshot_edge_scores,
+                                   EstimateInfoOf(*bc_)));
   // Latency is submit-to-publish: the moment a consumed update's effect
   // (possibly "no effect", for coalesced churn) became readable.
   const double now = SteadyNowSeconds();
@@ -538,6 +578,12 @@ Status BcService::CommitBatch(std::uint64_t epoch, std::uint64_t position,
                        update_stats.sources_prefiltered,
                        update_stats.msbfs_batches,
                        update_stats.bottom_up_levels);
+  if (bc_->approx()) {
+    const ApproxStatus approx = bc_->approx_status();
+    metrics_.RecordApprox(approx.num_samples, approx.sample_epoch,
+                          approx.resample_rounds, approx.source_swaps,
+                          approx.drift);
+  }
   {
     // The store must happen under mu_ so a Drain caller between its
     // predicate check and its sleep cannot miss this publication.

@@ -6,15 +6,38 @@ namespace sobc {
 
 std::shared_ptr<const ScoreSnapshot> BuildSnapshot(
     const Graph& graph, const BcScores& scores, std::uint64_t epoch,
-    std::uint64_t stream_position, std::size_t top_k, bool with_edge_scores) {
+    std::uint64_t stream_position, std::size_t top_k, bool with_edge_scores,
+    const SnapshotEstimateInfo& estimate) {
   auto snapshot = std::make_shared<ScoreSnapshot>();
   snapshot->epoch = epoch;
   snapshot->stream_position = stream_position;
   snapshot->directed = graph.directed();
   snapshot->num_vertices = graph.NumVertices();
   snapshot->num_edges = graph.NumEdges();
+  snapshot->approximate = estimate.approximate;
+  snapshot->estimate_scale = estimate.approximate ? estimate.scale : 1.0;
+  snapshot->approx_samples = estimate.approximate ? estimate.sample_count : 0;
+  snapshot->sample_epoch = estimate.approximate ? estimate.sample_epoch : 0;
   snapshot->vbc = scores.vbc;
   if (with_edge_scores) snapshot->ebc = scores.ebc;
+  // Sampled deployments keep the maintained sums unscaled; the publication
+  // is where the n/k extrapolation happens, so every reader-facing surface
+  // (columns and leaderboards alike) speaks estimated-betweenness units.
+  if (snapshot->approximate && snapshot->estimate_scale != 1.0) {
+    const double scale = snapshot->estimate_scale;
+    for (double& value : snapshot->vbc) value *= scale;
+    for (auto& [key, value] : snapshot->ebc) value *= scale;
+    snapshot->top_vertices = TopKVertices(snapshot->vbc, top_k);
+    EbcMap scaled_ebc;
+    const EbcMap* leaderboard_source = &snapshot->ebc;
+    if (!with_edge_scores) {
+      scaled_ebc = scores.ebc;
+      for (auto& [key, value] : scaled_ebc) value *= scale;
+      leaderboard_source = &scaled_ebc;
+    }
+    snapshot->top_edges = TopKEdges(*leaderboard_source, top_k);
+    return snapshot;
+  }
   snapshot->top_vertices = TopKVertices(scores.vbc, top_k);
   snapshot->top_edges = TopKEdges(scores.ebc, top_k);
   return snapshot;

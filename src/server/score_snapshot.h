@@ -34,6 +34,18 @@ struct ScoreSnapshot {
   std::size_t num_vertices = 0;
   std::size_t num_edges = 0;
 
+  /// Estimate provenance (DESIGN.md §15). When `approximate` is true the
+  /// score columns are sampled estimates — maintained sums over
+  /// `approx_samples` sources, published pre-multiplied by n/k — and
+  /// `sample_epoch` identifies the sample generation that produced them
+  /// (it increments when a resampling round completes, so two snapshots
+  /// with equal epochs but different sample_epochs are not comparable
+  /// point-for-point). Exact deployments leave all four at defaults.
+  bool approximate = false;
+  double estimate_scale = 1.0;
+  std::size_t approx_samples = 0;
+  std::uint64_t sample_epoch = 0;
+
   /// Vertex betweenness, indexed by vertex id.
   std::vector<double> vbc;
   /// Edge betweenness; empty when the service publishes leaderboards only
@@ -112,12 +124,24 @@ class SnapshotStore {
 #endif
 };
 
+/// Provenance tag for BuildSnapshot: exact publications use the default;
+/// a sampled deployment passes its scale (n/k) and sample identity, and
+/// BuildSnapshot multiplies the published columns by the scale (the
+/// maintained sums stay unscaled inside the engine).
+struct SnapshotEstimateInfo {
+  bool approximate = false;
+  double scale = 1.0;
+  std::size_t sample_count = 0;
+  std::uint64_t sample_epoch = 0;
+};
+
 /// Builds a publication from the current scores: copies the score columns
 /// and precomputes the top-k leaderboards. `with_edge_scores=false` skips
 /// the edge map copy (leaderboards still cover edges).
 std::shared_ptr<const ScoreSnapshot> BuildSnapshot(
     const Graph& graph, const BcScores& scores, std::uint64_t epoch,
-    std::uint64_t stream_position, std::size_t top_k, bool with_edge_scores);
+    std::uint64_t stream_position, std::size_t top_k, bool with_edge_scores,
+    const SnapshotEstimateInfo& estimate = {});
 
 }  // namespace sobc
 

@@ -103,6 +103,17 @@ void ServeMetrics::SeedPublication(std::uint64_t epoch,
   published_stream_position_.store(stream_position, std::memory_order_relaxed);
 }
 
+void ServeMetrics::RecordApprox(std::uint64_t samples,
+                                std::uint64_t sample_epoch,
+                                std::uint64_t resamples,
+                                std::uint64_t source_swaps, double drift) {
+  approx_samples_.store(samples, std::memory_order_relaxed);
+  approx_sample_epoch_.store(sample_epoch, std::memory_order_relaxed);
+  approx_resamples_.store(resamples, std::memory_order_relaxed);
+  approx_source_swaps_.store(source_swaps, std::memory_order_relaxed);
+  approx_drift_.store(drift, std::memory_order_relaxed);
+}
+
 ServeMetricsSnapshot ServeMetrics::Read() const {
   ServeMetricsSnapshot snap;
   snap.applied = applied_.load(std::memory_order_relaxed);
@@ -117,6 +128,13 @@ ServeMetricsSnapshot ServeMetrics::Read() const {
       sources_prefiltered_.load(std::memory_order_relaxed);
   snap.msbfs_batches = msbfs_batches_.load(std::memory_order_relaxed);
   snap.bottom_up_levels = bottom_up_levels_.load(std::memory_order_relaxed);
+  snap.approx_samples = approx_samples_.load(std::memory_order_relaxed);
+  snap.approx_sample_epoch =
+      approx_sample_epoch_.load(std::memory_order_relaxed);
+  snap.approx_resamples = approx_resamples_.load(std::memory_order_relaxed);
+  snap.approx_source_swaps =
+      approx_source_swaps_.load(std::memory_order_relaxed);
+  snap.approx_drift = approx_drift_.load(std::memory_order_relaxed);
   std::vector<double> latencies;
   std::vector<double> batch_seconds;
   {
@@ -157,6 +175,11 @@ std::string ServeMetricsSnapshot::ToJson() const {
                                 : 0.0);
   AppendField(&out, "msbfs_batches", msbfs_batches);
   AppendField(&out, "bottom_up_levels", bottom_up_levels);
+  AppendField(&out, "approx_samples", approx_samples);
+  AppendField(&out, "approx_sample_epoch", approx_sample_epoch);
+  AppendField(&out, "approx_resamples", approx_resamples);
+  AppendField(&out, "approx_source_swaps", approx_source_swaps);
+  AppendField(&out, "approx_drift", approx_drift);
   AppendField(&out, "wal_appends", wal_appends);
   AppendField(&out, "wal_appended_updates", wal_appended_updates);
   AppendField(&out, "wal_bytes", wal_bytes);

@@ -23,8 +23,8 @@ struct ServeMetricsSnapshot {
   /// metrics_schema_test pins the emitted key set against the documented
   /// table in docs/OPERATIONS.md §3; changing either side alone fails it.
   /// (v3 added the cluster failover/migration keys; v4 the MS-BFS kernel
-  /// counters.)
-  static constexpr std::uint64_t kSchemaVersion = 4;
+  /// counters; v5 the sampled-approximation gauges.)
+  static constexpr std::uint64_t kSchemaVersion = 5;
 
   std::uint64_t received = 0;   // accepted into the queue
   std::uint64_t dropped = 0;    // rejected by backpressure
@@ -113,6 +113,20 @@ struct ServeMetricsSnapshot {
   std::uint64_t migration_lag_batches = 0;
   std::uint64_t shard_map_version = 0;
 
+  /// Sampled-approximation gauges (DESIGN.md §15), filled by
+  /// BcService::metrics() from the engine's ApproxStatus after each batch.
+  /// All zero for an exact deployment (approx_samples == 0 is the
+  /// "approximation off" signal). `approx_drift` is the current drift
+  /// ledger value — the estimate of accumulated staleness the resampling
+  /// policy compares against epsilon; `approx_sample_epoch` increments
+  /// when a resampling round completes, so dashboards can correlate
+  /// estimate jumps with sample-set generations.
+  std::uint64_t approx_samples = 0;
+  std::uint64_t approx_sample_epoch = 0;
+  std::uint64_t approx_resamples = 0;
+  std::uint64_t approx_source_swaps = 0;
+  double approx_drift = 0.0;
+
   /// Submit-to-publish latency per consumed update (coalesced ones
   /// included — their effect was published even if they never ran).
   double p50_update_latency_seconds = 0.0;
@@ -154,6 +168,12 @@ class ServeMetrics {
   /// (publishes, batches) are untouched — they cover this process's work.
   void SeedPublication(std::uint64_t epoch, std::uint64_t stream_position);
 
+  /// Publishes the approximation gauges after a batch (no-op values for
+  /// exact deployments are fine — zeros read as "approximation off").
+  void RecordApprox(std::uint64_t samples, std::uint64_t sample_epoch,
+                    std::uint64_t resamples, std::uint64_t source_swaps,
+                    double drift);
+
  private:
   static void PushSample(std::vector<double>* ring, std::size_t* next,
                          double value);
@@ -168,6 +188,11 @@ class ServeMetrics {
   std::atomic<std::uint64_t> sources_prefiltered_{0};
   std::atomic<std::uint64_t> msbfs_batches_{0};
   std::atomic<std::uint64_t> bottom_up_levels_{0};
+  std::atomic<std::uint64_t> approx_samples_{0};
+  std::atomic<std::uint64_t> approx_sample_epoch_{0};
+  std::atomic<std::uint64_t> approx_resamples_{0};
+  std::atomic<std::uint64_t> approx_source_swaps_{0};
+  std::atomic<double> approx_drift_{0.0};
 
   mutable std::mutex sample_mu_;
   std::vector<double> latency_samples_;

@@ -112,6 +112,12 @@ std::string RenderManifest(const CheckpointManifest& manifest) {
     std::snprintf(crc_buf, sizeof(crc_buf), "%08x", manifest.store_crc);
     out << "store_crc " << crc_buf << "\n";
   }
+  // Sampled deployments only; pre-approx readers skip the unknown keys.
+  if (!manifest.samples_file.empty()) {
+    out << "samples " << manifest.samples_file << "\n";
+    std::snprintf(crc_buf, sizeof(crc_buf), "%08x", manifest.samples_crc);
+    out << "samples_crc " << crc_buf << "\n";
+  }
   std::string body = out.str();
   char crc_line[32];
   std::snprintf(crc_line, sizeof(crc_line), "crc %08x\n",
@@ -195,6 +201,11 @@ Result<CheckpointManifest> ReadManifest(const std::string& path) {
     } else if (key == "store_crc") {
       manifest.store_crc = static_cast<std::uint32_t>(
           std::strtoul(value.c_str(), nullptr, 16));
+    } else if (key == "samples") {
+      manifest.samples_file = value;
+    } else if (key == "samples_crc") {
+      manifest.samples_crc = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 16));
     }
   }
   if (manifest.graph_file.empty() || manifest.scores_file.empty()) {
@@ -251,6 +262,22 @@ Result<LoadedCheckpoint> LoadFromManifest(const std::string& dir,
     if (!fs::exists(loaded.store_path)) {
       return Status::IOError("checkpoint store file missing: " +
                              loaded.store_path);
+    }
+  }
+  if (!manifest->samples_file.empty()) {
+    const std::string samples_path = dir + "/" + manifest->samples_file;
+    std::ifstream samples_in(samples_path, std::ios::binary);
+    if (!samples_in) {
+      return Status::IOError("checkpoint samples file missing: " +
+                             samples_path);
+    }
+    std::ostringstream samples_buffer;
+    samples_buffer << samples_in.rdbuf();
+    loaded.samples_blob = samples_buffer.str();
+    if (Crc32(loaded.samples_blob.data(), loaded.samples_blob.size()) !=
+        manifest->samples_crc) {
+      return Status::IOError("checkpoint samples file corrupt (crc): " +
+                             manifest->samples_file);
     }
   }
   loaded.manifest = std::move(*manifest);
@@ -323,6 +350,9 @@ Result<std::size_t> PruneCheckpoints(const std::string& dir,
       (void)io->Unlink((dir + "/" + manifest->scores_file).c_str());
       if (!manifest->store_file.empty()) {
         (void)io->Unlink((dir + "/" + manifest->store_file).c_str());
+      }
+      if (!manifest->samples_file.empty()) {
+        (void)io->Unlink((dir + "/" + manifest->samples_file).c_str());
       }
     }
   }
@@ -506,6 +536,15 @@ Status CheckpointWriter::WriteJob(const Job& job) {
                      &manifest.scores_crc);
   }
   if (st.ok()) st = SyncFile(dir_ + "/" + manifest.scores_file);
+  if (st.ok() && !job.samples_blob.empty()) {
+    // The sample-set state rides the same commit protocol as the score
+    // columns: durable before the manifest names it, CRC of the in-memory
+    // blob (WriteFileAtomic fsyncs, so no read-back needed).
+    manifest.samples_file = "samples-" + epoch_tag + ".bin";
+    manifest.samples_crc =
+        Crc32(job.samples_blob.data(), job.samples_blob.size());
+    st = WriteFileAtomic(dir_, manifest.samples_file, job.samples_blob);
+  }
   // The manifest is the commit point: state files are durable before it
   // exists, so no manifest ever names half-written state.
   if (st.ok()) st = WriteManifest(dir_, manifest);

@@ -47,6 +47,11 @@ struct CheckpointManifest {
   std::string store_file;
   /// Record codec of store_file, informational (the file header rules).
   std::string store_codec;
+  /// Serialized sampled-approximation state (sample ids, drift ledger,
+  /// RNG — see OnlineApproxState::Serialize), present only for sampled
+  /// deployments. Pre-approx readers skip the key; exact deployments
+  /// never write it.
+  std::string samples_file;
   /// Whole-file CRCs of the state files, verified at load. The WAL
   /// frames and the manifest text are CRC-framed; without these the much
   /// larger state payloads would accept silent content corruption (a bit
@@ -55,6 +60,7 @@ struct CheckpointManifest {
   std::uint32_t graph_crc = 0;
   std::uint32_t scores_crc = 0;
   std::uint32_t store_crc = 0;
+  std::uint32_t samples_crc = 0;
 };
 
 /// One fully loaded checkpoint: the manifest plus the graph and score state
@@ -67,6 +73,10 @@ struct LoadedCheckpoint {
   /// Absolute path of the checkpointed BD store file; empty for in-memory
   /// variants.
   std::string store_path;
+  /// Serialized sampled-approximation state; empty for exact deployments.
+  /// The recovery path hands it to the framework via
+  /// DynamicBcOptions::approx_restore_blob.
+  std::string samples_blob;
 };
 
 /// Name of the manifest file for `epoch` (MANIFEST-<epoch>).
@@ -156,6 +166,10 @@ class CheckpointWriter {
     std::string store_file;
     std::string store_codec;
     std::uint32_t store_crc = 0;
+    /// Serialized sampled-approximation state captured with the scores
+    /// (same moment, same epoch); empty for exact deployments. The
+    /// checkpoint thread persists it as samples-<epoch>.bin.
+    std::string samples_blob;
   };
 
   /// Serializes into `dir` (created if missing), keeping the `retain`

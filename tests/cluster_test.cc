@@ -33,6 +33,7 @@
 #include "graph/graph.h"
 #include "server/bc_service.h"
 #include "tests/test_util.h"
+#include "tests/testlib/scenarios.h"
 
 namespace sobc {
 namespace {
@@ -106,9 +107,8 @@ class ClusterTest : public ::testing::Test {
 // --- the acceptance differential --------------------------------------------
 
 TEST_F(ClusterTest, ShardedClusterMatchesSingleProcessOnChurn) {
-  Rng rng(41);
-  const Graph base = RandomConnectedGraph(30, 24, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 60, 0.3, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/41, /*n=*/30, /*extra_edges=*/24, /*updates=*/60);
   const auto reference = ReferenceSnapshot(base, stream);
 
   for (std::size_t shards : {1u, 2u, 4u}) {
@@ -166,9 +166,8 @@ TEST_F(ClusterTest, ShardedClusterMatchesSingleProcessOnChurn) {
 }
 
 TEST_F(ClusterTest, ShardCrashAndCheckpointRejoinMidStreamStillConverges) {
-  Rng rng(42);
-  const Graph base = RandomConnectedGraph(28, 20, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 48, 0.3, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/42, /*n=*/28, /*extra_edges=*/20, /*updates=*/48);
   const auto reference = ReferenceSnapshot(base, stream);
 
   TcpTransport transport;
@@ -242,9 +241,8 @@ TEST_F(ClusterTest, ShardCrashAndCheckpointRejoinMidStreamStillConverges) {
 // --- failure ladder over the wire -------------------------------------------
 
 TEST_F(ClusterTest, PartitionedShardHealsThroughBoundedReconnects) {
-  Rng rng(43);
-  const Graph base = RandomConnectedGraph(26, 18, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 48, 0.3, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/43, /*n=*/26, /*extra_edges=*/18, /*updates=*/48);
   const auto reference = ReferenceSnapshot(base, stream);
 
   TcpTransport inner;
@@ -299,9 +297,8 @@ TEST_F(ClusterTest, PartitionedShardHealsThroughBoundedReconnects) {
 }
 
 TEST_F(ClusterTest, ExhaustedRetryBudgetTakesTheCoordinatorReadOnly) {
-  Rng rng(44);
-  const Graph base = RandomConnectedGraph(24, 16, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 32, 0.3, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/44, /*n=*/24, /*extra_edges=*/16, /*updates=*/32);
 
   TcpTransport transport;
   const std::size_t shards = 2;
@@ -358,9 +355,8 @@ TEST_F(ClusterTest, ExhaustedRetryBudgetTakesTheCoordinatorReadOnly) {
 }
 
 TEST_F(ClusterTest, DegradedShardDegradesTheCoordinator) {
-  Rng rng(45);
-  const Graph base = RandomConnectedGraph(26, 18, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 40, 0.3, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/45, /*n=*/26, /*extra_edges=*/18, /*updates=*/40);
   const auto reference = ReferenceSnapshot(base, stream);
 
   TcpTransport transport;
@@ -469,9 +465,9 @@ TEST_F(ClusterTest, ConnectRefusesAnIncompleteShardRoster) {
 }
 
 TEST_F(ClusterTest, ReplicatedApplyIsExactlyOnceUnderRetries) {
-  Rng rng(47);
-  const Graph base = RandomConnectedGraph(16, 10, &rng);
-  EdgeStream stream = MixedUpdateStream(base, 6, 0.0, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/47, /*n=*/16, /*extra_edges=*/10, /*updates=*/6,
+      /*remove_fraction=*/0.0);
 
   BcServiceOptions options;
   options.replicated = true;
@@ -515,9 +511,9 @@ TEST_F(ClusterTest, ReplicatedApplyIsExactlyOnceUnderRetries) {
 // shards' dedupe + gap refusal make the reconciliation exactly-once), and
 // finish the stream to the same scores as the single process.
 TEST_F(ClusterTest, CoordinatorFailoverAtRandomKillPoints) {
-  Rng rng(48);
-  const Graph base = RandomConnectedGraph(24, 18, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 40, 0.3, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/48, /*n=*/24, /*extra_edges=*/18, /*updates=*/40);
+  Rng rng(48);  // kill-point schedule only; the scenario is seed-complete
   const auto reference = ReferenceSnapshot(base, stream);
 
   for (int trial = 0; trial < 10; ++trial) {
@@ -613,9 +609,8 @@ TEST_F(ClusterTest, CoordinatorFailoverAtRandomKillPoints) {
 // single-process truth — the double-apply window and the atomic
 // map-version commit never lose or double-count a batch.
 TEST_F(ClusterTest, LiveSplitAndMergeUnderLoadMatchDifferential) {
-  Rng rng(49);
-  const Graph base = RandomConnectedGraph(30, 24, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 60, 0.3, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/49, /*n=*/30, /*extra_edges=*/24, /*updates=*/60);
   const auto reference = ReferenceSnapshot(base, stream);
   const std::size_t third = stream.size() / 3;
   const EdgeStream prefix(stream.begin(), stream.begin() + 2 * third);
@@ -815,9 +810,9 @@ TEST_F(ClusterTest, StaleShardMapVersionIsRefusedOnEveryRangeFrame) {
 // shard-side epoch dedupe must absorb the duplicates — each one acked,
 // none applied twice.
 TEST_F(ClusterTest, DuplicatedApplyFramesAreIdempotentOverTheWire) {
-  Rng rng(51);
-  const Graph base = RandomConnectedGraph(18, 12, &rng);
-  EdgeStream stream = MixedUpdateStream(base, 6, 0.0, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/51, /*n=*/18, /*extra_edges=*/12, /*updates=*/6,
+      /*remove_fraction=*/0.0);
 
   TcpTransport inner;
   ChaosTransport chaos(&inner);
@@ -886,9 +881,8 @@ TEST_F(ClusterTest, DuplicatedApplyFramesAreIdempotentOverTheWire) {
 // A slow link (per-frame send delay) must change nothing but latency: the
 // cluster converges to the exact single-process scores with no reconnects.
 TEST_F(ClusterTest, DelayedFramesOnlySlowTheClusterNotItsAnswers) {
-  Rng rng(52);
-  const Graph base = RandomConnectedGraph(24, 16, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 24, 0.3, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/52, /*n=*/24, /*extra_edges=*/16, /*updates=*/24);
   const auto reference = ReferenceSnapshot(base, stream);
 
   TcpTransport inner;

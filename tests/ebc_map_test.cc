@@ -131,6 +131,58 @@ TEST(EdgeScoreMapTest, ChurnLoopKeepsCapacityAtLiveScale) {
   EXPECT_LE(4 * map.tombstone_count(), map.capacity() + 4);
 }
 
+TEST(EdgeScoreMapTest, AddAllAccumulatesDuplicatesAndRevivesTombstones) {
+  EdgeScoreMap map;
+  map[Key(0, 1)] = 1.0;
+  map[Key(0, 2)] = 2.0;
+  map.erase(Key(0, 2));  // a tombstone on the slab's probe path
+  const std::vector<std::pair<EdgeKey, double>> slab = {
+      {Key(0, 1), 0.5},  {Key(0, 2), 3.0}, {Key(3, 4), 1.0},
+      {Key(0, 1), 0.25}, {Key(3, 4), 1.0},
+  };
+  map.AddAll(slab);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_DOUBLE_EQ(map.at(Key(0, 1)), 1.75);  // existing + two slab hits
+  // Revival through the tombstone must start from zero, not the erased
+  // value.
+  EXPECT_DOUBLE_EQ(map.at(Key(0, 2)), 3.0);
+  EXPECT_DOUBLE_EQ(map.at(Key(3, 4)), 2.0);  // duplicate fresh key
+}
+
+TEST(EdgeScoreMapTest, AddAllMatchesUnorderedMapThroughGrowth) {
+  // A slab much larger than the table's current capacity: the up-front
+  // reserve must rehash once, and the prefetch lookahead (slots hashed
+  // against the pre-insert mask) must not skip or double-apply any entry.
+  // Keys are drawn from a small id pool so probe chains collide heavily.
+  Rng rng(17);
+  EdgeScoreMap map;
+  std::unordered_map<EdgeKey, double, EdgeKeyHash> reference;
+  for (int i = 0; i < 8; ++i) {  // a few pre-existing entries + tombstones
+    const EdgeKey key = Key(static_cast<VertexId>(rng.Uniform(12)),
+                            static_cast<VertexId>(12 + rng.Uniform(12)));
+    map[key] += 0.5;
+    reference[key] += 0.5;
+    if (i % 3 == 0) {
+      EXPECT_EQ(map.erase(key), reference.erase(key));
+    }
+  }
+  std::vector<std::pair<EdgeKey, double>> slab;
+  for (int i = 0; i < 5000; ++i) {
+    const EdgeKey key = Key(static_cast<VertexId>(rng.Uniform(40)),
+                            static_cast<VertexId>(40 + rng.Uniform(40)));
+    slab.push_back({key, 1.0 + static_cast<double>(rng.Uniform(8))});
+  }
+  map.AddAll(slab);
+  for (const auto& [key, value] : slab) reference[key] += value;
+  ASSERT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(map.find(key), map.end())
+        << "(" << key.u << "," << key.v << ")";
+    EXPECT_DOUBLE_EQ(map.at(key), value)
+        << "(" << key.u << "," << key.v << ")";
+  }
+}
+
 TEST(EdgeScoreMapTest, MatchesUnorderedMapUnderRandomChurn) {
   Rng rng(99);
   EdgeScoreMap map;

@@ -29,6 +29,7 @@
 #include "graph/graph_io.h"
 #include "server/bc_service.h"
 #include "tests/test_util.h"
+#include "tests/testlib/scenarios.h"
 
 namespace sobc {
 namespace {
@@ -135,9 +136,9 @@ class FaultSoakTest : public ::testing::Test {
 // --- Targeted ladder rungs --------------------------------------------------
 
 TEST_F(FaultSoakTest, CheckpointEnospcDegradesServiceButServingContinues) {
-  Rng rng(11);
-  const Graph base = RandomConnectedGraph(30, 22, &rng);
-  EdgeStream stream = MixedUpdateStream(base, 36, 0.3, &rng);
+  const auto [base, stream] =
+      testlib::ChurnScenario(/*seed=*/11, /*n=*/30, /*extra_edges=*/22,
+                             /*updates=*/36);
   BcServiceOptions options =
       DurableOptions("degrade", BcVariant::kMemory, /*checkpoint_every=*/10,
                      /*fsync_every=*/0);
@@ -197,9 +198,9 @@ TEST_F(FaultSoakTest, CheckpointEnospcDegradesServiceButServingContinues) {
 }
 
 TEST_F(FaultSoakTest, WalFsyncFailureIsFatalAndNeverReportsTheEpochDurable) {
-  Rng rng(12);
-  const Graph base = RandomConnectedGraph(30, 22, &rng);
-  EdgeStream stream = MixedUpdateStream(base, 24, 0.3, &rng);
+  const auto [base, stream] =
+      testlib::ChurnScenario(/*seed=*/12, /*n=*/30, /*extra_edges=*/22,
+                             /*updates=*/24);
   BcServiceOptions options =
       DurableOptions("fsyncgate", BcVariant::kMemory, /*checkpoint_every=*/0,
                      /*fsync_every=*/1);
@@ -293,9 +294,9 @@ TEST_F(FaultSoakTest, ShortWritesAndTransientErrnosAreAbsorbedEndToEnd) {
   // Shortened WAL/checkpoint writes and EINTR interruptions are the
   // faults the retry/continuation machinery must swallow: the run stays
   // Healthy and the recovered scores are the full-stream truth.
-  Rng rng(14);
-  const Graph base = RandomConnectedGraph(30, 22, &rng);
-  EdgeStream stream = MixedUpdateStream(base, 30, 0.3, &rng);
+  const auto [base, stream] =
+      testlib::ChurnScenario(/*seed=*/14, /*n=*/30, /*extra_edges=*/22,
+                             /*updates=*/30);
   BcServiceOptions options =
       DurableOptions("absorb", BcVariant::kMemory, /*checkpoint_every=*/10,
                      /*fsync_every=*/1);
@@ -392,9 +393,8 @@ TEST_F(FaultSoakTest, RandomizedScheduleMatrixAlwaysRecoversToTheTruth) {
                    " canonical: " + parsed_schedule.ToString());
       schedules.insert(schedule_text);
 
-      Rng rng(seed * 977 + 5);
-      const Graph base = RandomConnectedGraph(28, 20, &rng);
-      EdgeStream stream = MixedUpdateStream(base, 36, 0.3, &rng);
+      const auto [base, stream] = testlib::ChurnScenario(
+          seed * 977 + 5, /*n=*/28, /*extra_edges=*/20, /*updates=*/36);
       BcServiceOptions options = DurableOptions(
           tag, v.variant, /*checkpoint_every=*/12, /*fsync_every=*/1);
       auto service = BcService::Create(base, options);

@@ -1,0 +1,70 @@
+// Regression tests for the validated CLI flag parsing (common/flag_parse).
+// The original sobc_cli used bare strtod/strtoull, so
+// `--do-switch-threshold=inf` and `--epsilon=0.5x` were silently accepted
+// and deployed a nonsense configuration; these pin the helpers that now
+// back every numeric flag.
+
+#include "common/flag_parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace sobc {
+namespace {
+
+TEST(ParseFiniteDoubleTest, AcceptsPlainNumbers) {
+  ASSERT_TRUE(ParseFiniteDouble("14").ok());
+  EXPECT_DOUBLE_EQ(*ParseFiniteDouble("14"), 14.0);
+  EXPECT_DOUBLE_EQ(*ParseFiniteDouble("0.05"), 0.05);
+  EXPECT_DOUBLE_EQ(*ParseFiniteDouble("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(*ParseFiniteDouble("1e2"), 100.0);
+}
+
+TEST(ParseFiniteDoubleTest, RejectsEmptyAndTrailingJunk) {
+  EXPECT_FALSE(ParseFiniteDouble("").ok());
+  EXPECT_FALSE(ParseFiniteDouble("1.5x").ok());
+  EXPECT_FALSE(ParseFiniteDouble("abc").ok());
+  // strtod would stop at the space and return 1.0 — the whole-token rule
+  // is what rejects this.
+  EXPECT_FALSE(ParseFiniteDouble("1.0 2.0").ok());
+}
+
+TEST(ParseFiniteDoubleTest, RejectsNonFiniteSpellingsAndOverflow) {
+  EXPECT_FALSE(ParseFiniteDouble("inf").ok());
+  EXPECT_FALSE(ParseFiniteDouble("-inf").ok());
+  EXPECT_FALSE(ParseFiniteDouble("nan").ok());
+  EXPECT_FALSE(ParseFiniteDouble("1e400").ok());  // overflows to +inf
+}
+
+TEST(ParseFiniteDoubleTest, RangeVariantChecksInclusiveBounds) {
+  EXPECT_TRUE(ParseFiniteDoubleInRange("0.5", 0.0, 1.0).ok());
+  EXPECT_TRUE(ParseFiniteDoubleInRange("0", 0.0, 1.0).ok());
+  EXPECT_TRUE(ParseFiniteDoubleInRange("1", 0.0, 1.0).ok());
+  EXPECT_FALSE(ParseFiniteDoubleInRange("1.01", 0.0, 1.0).ok());
+  EXPECT_FALSE(ParseFiniteDoubleInRange("-0.01", 0.0, 1.0).ok());
+  EXPECT_FALSE(ParseFiniteDoubleInRange("nan", 0.0, 1.0).ok());
+}
+
+TEST(ParseUint64Test, AcceptsPlainDecimals) {
+  ASSERT_TRUE(ParseUint64("0").ok());
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+  EXPECT_EQ(*ParseUint64("128"), 128u);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseUint64Test, RejectsSignsJunkAndOverflow) {
+  EXPECT_FALSE(ParseUint64("").ok());
+  // strtoull accepts "-1" and wraps it to 2^64-1 — the digit pre-scan is
+  // what rejects it.
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("+1").ok());
+  EXPECT_FALSE(ParseUint64("12x").ok());
+  EXPECT_FALSE(ParseUint64("1.5").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());  // 2^64
+}
+
+}  // namespace
+}  // namespace sobc

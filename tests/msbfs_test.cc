@@ -158,6 +158,72 @@ TEST(MsBfsTest, DirectionSwitchForcedAndIdentical) {
   EXPECT_EQ(stats_off.bottom_up_levels, 0u);
 }
 
+TEST(MsBfsTest, DisconnectedComponentsStayUnreachable) {
+  // Three islands plus two fully isolated vertices: lanes rooted in one
+  // component must leave every other component at kUnreachable, including
+  // under a forced bottom-up switch (the bottom-up scan probes EVERY
+  // unvisited vertex, so a bug there typically invents parents across
+  // components).
+  Graph g;
+  Rng rng(61);
+  for (VertexId offset : {VertexId{0}, VertexId{12}, VertexId{24}}) {
+    const Graph island = testutil::RandomConnectedGraph(10, 8, &rng);
+    island.ForEachEdge([&](VertexId u, VertexId v) {
+      ASSERT_TRUE(g.AddEdge(u + offset, v + offset).ok());
+    });
+  }
+  g.EnsureVertex(35);  // 34 and 35 are isolated
+  std::vector<VertexId> sources = {0, 5, 12, 24, 33, 34, 35};
+  for (const bool dir_opt : {false, true}) {
+    MsBfsOptions options;
+    options.direction_optimizing = dir_opt;
+    if (dir_opt) options.alpha = 1.0;  // switch as eagerly as possible
+    ExpectMatchesScalar(g, sources, /*reverse=*/false, options);
+  }
+}
+
+TEST(MsBfsTest, DirectedSinksAndZeroOutDegreeSources) {
+  // Directed chain into a sink fan: several vertices have zero out-degree,
+  // and lanes rooted AT a sink must terminate at level 0 with everything
+  // else unreachable. Reverse orientation flips the roles (sources become
+  // the unreachable-from side), covering the prefilter's direction.
+  Graph g(/*directed=*/true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());  // 3 is a sink
+  ASSERT_TRUE(g.AddEdge(2, 4).ok());  // 4 is a sink
+  ASSERT_TRUE(g.AddEdge(5, 2).ok());  // 5 is a source-only vertex
+  ASSERT_TRUE(g.AddEdge(6, 7).ok());  // separate 2-vertex component
+  std::vector<VertexId> sources = {0, 3, 4, 5, 6, 7};
+  for (const bool dir_opt : {false, true}) {
+    MsBfsOptions options;
+    options.direction_optimizing = dir_opt;
+    if (dir_opt) options.alpha = 1.0;
+    ExpectMatchesScalar(g, sources, /*reverse=*/false, options);
+    ExpectMatchesScalar(g, sources, /*reverse=*/true, options);
+  }
+}
+
+TEST(MsBfsTest, SmallGraphSingleBatchBothKernelModes) {
+  // n < 64 with every vertex enlisted as a source in ONE ragged batch —
+  // the lane mask is partially populated and the frontier words are
+  // narrower than the lane count. Both kernel modes must agree with the
+  // scalar reference (the default-options variant above only covers the
+  // default mode).
+  Rng rng(62);
+  for (const bool directed : {false, true}) {
+    Graph g = testutil::RandomGraph(23, 40, &rng, directed);
+    std::vector<VertexId> sources(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) sources[v] = v;
+    for (const bool dir_opt : {false, true}) {
+      MsBfsOptions options;
+      options.direction_optimizing = dir_opt;
+      if (dir_opt) options.alpha = 2.0;
+      ExpectMatchesScalar(g, sources, /*reverse=*/false, options);
+    }
+  }
+}
+
 TEST(MsBfsTest, DuplicateSourcesShareLanes) {
   Rng rng(5);
   Graph g = testutil::RandomConnectedGraph(50, 60, &rng);

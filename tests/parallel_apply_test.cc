@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "gen/stream_generators.h"
 #include "tests/test_util.h"
+#include "tests/testlib/scenarios.h"
 
 namespace sobc {
 namespace {
@@ -222,9 +223,9 @@ TEST(ParallelApply, AdjacencyListFallbackMatchesUnderThreads) {
   // use_csr=false routes prefilter BFS and repair kernels through the
   // pointer-chasing GraphAdjacency provider; the sharded drain must not
   // care which provider it monomorphized against.
-  Rng rng(1008);
-  const Graph base = RandomConnectedGraph(28, 30, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 12, 0.4, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/1008, /*n=*/28, /*extra_edges=*/30, /*updates=*/12,
+      /*remove_fraction=*/0.4);
 
   DynamicBcOptions options;
   options.use_csr = false;
@@ -241,9 +242,9 @@ TEST(ParallelApply, AdjacencyListFallbackMatchesUnderThreads) {
 }
 
 TEST(ParallelApply, BatchedParallelApplyMatchesPerUpdate) {
-  Rng rng(1006);
-  const Graph base = RandomConnectedGraph(32, 40, &rng);
-  const EdgeStream stream = MixedUpdateStream(base, 24, 0.35, &rng);
+  const auto [base, stream] = testlib::ChurnScenario(
+      /*seed=*/1006, /*n=*/32, /*extra_edges=*/40, /*updates=*/24,
+      /*remove_fraction=*/0.35);
 
   DynamicBcOptions serial;
   auto expected = DynamicBc::Create(base, serial);

@@ -9,9 +9,15 @@
 #include "bc/bc_types.h"
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "tests/testlib/scenarios.h"
 
 namespace sobc {
 namespace testutil {
+
+// The seeded generators live in tests/testlib/ (shared scenario profiles);
+// re-exported here so the existing suites keep their testutil:: spelling.
+using testlib::RandomConnectedGraph;
+using testlib::RandomGraph;
 
 /// Reference betweenness computed from all-pairs BFS data, independent of
 /// Brandes' dependency accumulation: a pair (s, t) contributes
@@ -100,45 +106,6 @@ inline void ExpectScoresNear(const BcScores& expected, const BcScores& actual,
           << ")";
     }
   }
-}
-
-/// Erdős–Rényi G(n, m)-style random graph (exactly `m` distinct edges when
-/// possible), connected-ish but not necessarily connected — the algorithms
-/// must handle disconnection anyway.
-inline Graph RandomGraph(std::size_t n, std::size_t m, Rng* rng,
-                         bool directed = false) {
-  Graph g(directed);
-  g.EnsureVertex(static_cast<VertexId>(n - 1));
-  std::size_t attempts = 0;
-  while (g.NumEdges() < m && attempts < 50 * m) {
-    ++attempts;
-    const auto u = static_cast<VertexId>(rng->Uniform(n));
-    const auto v = static_cast<VertexId>(rng->Uniform(n));
-    if (u == v) continue;
-    (void)g.AddEdge(u, v);
-  }
-  return g;
-}
-
-/// Random spanning tree plus `extra` chords: always connected, so removal
-/// tests start from one component.
-inline Graph RandomConnectedGraph(std::size_t n, std::size_t extra, Rng* rng) {
-  Graph g;
-  g.EnsureVertex(static_cast<VertexId>(n - 1));
-  for (VertexId v = 1; v < n; ++v) {
-    const auto parent = static_cast<VertexId>(rng->Uniform(v));
-    (void)g.AddEdge(parent, v);
-  }
-  std::size_t added = 0;
-  std::size_t attempts = 0;
-  while (added < extra && attempts < 50 * (extra + 1)) {
-    ++attempts;
-    const auto u = static_cast<VertexId>(rng->Uniform(n));
-    const auto v = static_cast<VertexId>(rng->Uniform(n));
-    if (u == v) continue;
-    if (g.AddEdge(u, v).ok()) ++added;
-  }
-  return g;
 }
 
 }  // namespace testutil

@@ -1,0 +1,175 @@
+#ifndef SOBC_TESTS_TESTLIB_SCENARIOS_H_
+#define SOBC_TESTS_TESTLIB_SCENARIOS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/stream_generators.h"
+#include "graph/edge_stream.h"
+#include "graph/graph.h"
+
+namespace sobc {
+namespace testlib {
+
+/// Deterministic seeded graph + stream generators shared by the
+/// differential test suites (parallel apply, fault soak, cluster, online
+/// approx). One seeded Rng drives each scenario end to end, so a scenario
+/// is reproducible from its seed alone and two tests that pass the same
+/// seed exercise byte-identical inputs.
+
+/// Erdős–Rényi G(n, m)-style random graph (exactly `m` distinct edges when
+/// possible), connected-ish but not necessarily connected — the algorithms
+/// must handle disconnection anyway.
+inline Graph RandomGraph(std::size_t n, std::size_t m, Rng* rng,
+                         bool directed = false) {
+  Graph g(directed);
+  g.EnsureVertex(static_cast<VertexId>(n - 1));
+  std::size_t attempts = 0;
+  while (g.NumEdges() < m && attempts < 50 * m) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng->Uniform(n));
+    const auto v = static_cast<VertexId>(rng->Uniform(n));
+    if (u == v) continue;
+    (void)g.AddEdge(u, v);
+  }
+  return g;
+}
+
+/// Random spanning tree plus `extra` chords: always connected, so removal
+/// tests start from one component.
+inline Graph RandomConnectedGraph(std::size_t n, std::size_t extra, Rng* rng) {
+  Graph g;
+  g.EnsureVertex(static_cast<VertexId>(n - 1));
+  for (VertexId v = 1; v < n; ++v) {
+    const auto parent = static_cast<VertexId>(rng->Uniform(v));
+    (void)g.AddEdge(parent, v);
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extra && attempts < 50 * (extra + 1)) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng->Uniform(n));
+    const auto v = static_cast<VertexId>(rng->Uniform(n));
+    if (u == v) continue;
+    if (g.AddEdge(u, v).ok()) ++added;
+  }
+  return g;
+}
+
+/// One seeded scenario: the base graph the framework is built over plus
+/// the ordered update stream it then absorbs.
+struct Scenario {
+  Graph base;
+  EdgeStream stream;
+};
+
+/// Churn profile: a connected base and a mixed add/remove stream over the
+/// existing population (no growth). The bread-and-butter differential
+/// input — structural repairs in both directions, one component
+/// throughout most of the run.
+inline Scenario ChurnScenario(std::uint64_t seed, std::size_t n,
+                              std::size_t extra_edges, std::size_t updates,
+                              double remove_fraction = 0.3) {
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.base = RandomConnectedGraph(n, extra_edges, &rng);
+  scenario.stream =
+      MixedUpdateStream(scenario.base, updates, remove_fraction, &rng);
+  return scenario;
+}
+
+/// Grow profile: the stream attaches brand-new vertex ids (n, n+1, ...) to
+/// random existing vertices, interleaved with internal churn. Exercises
+/// store growth, score resizing — and, for the sampled engine, the drift
+/// term of vertices that had zero inclusion probability at draw time.
+inline Scenario GrowScenario(std::uint64_t seed, std::size_t n,
+                             std::size_t extra_edges,
+                             std::size_t new_vertices,
+                             std::size_t churn_updates = 0) {
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.base = RandomConnectedGraph(n, extra_edges, &rng);
+  EdgeStream churn;
+  if (churn_updates > 0) {
+    churn = MixedUpdateStream(scenario.base, churn_updates, 0.3, &rng);
+  }
+  std::size_t churn_at = 0;
+  std::size_t population = n;
+  for (std::size_t i = 0; i < new_vertices; ++i) {
+    const auto arrival = static_cast<VertexId>(population++);
+    const auto anchor = static_cast<VertexId>(rng.Uniform(arrival));
+    scenario.stream.push_back({anchor, arrival, EdgeOp::kAdd, 0.0});
+    // Interleave the churn tail evenly between arrivals so growth and
+    // structural repairs overlap instead of forming two phases.
+    for (std::size_t take = 0;
+         churn_at < churn.size() &&
+         take < (churn.size() + new_vertices - 1) / new_vertices;
+         ++take) {
+      scenario.stream.push_back(churn[churn_at++]);
+    }
+  }
+  while (churn_at < churn.size()) {
+    scenario.stream.push_back(churn[churn_at++]);
+  }
+  return scenario;
+}
+
+/// Disconnect profile: two seeded connected clusters joined by a single
+/// bridge edge; the stream cuts and re-adds the bridge for `cycles`
+/// rounds, with intra-cluster churn between flips. Exercises component
+/// splits/rejoins — unreachable distances, disconnected-source repairs,
+/// and (for MS-BFS) frontiers that die in one component.
+inline Scenario DisconnectScenario(std::uint64_t seed,
+                                   std::size_t cluster_size,
+                                   std::size_t extra_edges,
+                                   std::size_t cycles,
+                                   std::size_t churn_per_cycle = 2) {
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.base = RandomConnectedGraph(cluster_size, extra_edges, &rng);
+  // Second cluster: same generator recipe, ids offset by cluster_size.
+  {
+    const Graph other = RandomConnectedGraph(cluster_size, extra_edges, &rng);
+    scenario.base.EnsureVertex(
+        static_cast<VertexId>(2 * cluster_size - 1));
+    other.ForEachEdge([&](VertexId u, VertexId v) {
+      (void)scenario.base.AddEdge(
+          static_cast<VertexId>(u + cluster_size),
+          static_cast<VertexId>(v + cluster_size));
+    });
+  }
+  const VertexId bridge_u = 0;
+  const auto bridge_v = static_cast<VertexId>(cluster_size);
+  (void)scenario.base.AddEdge(bridge_u, bridge_v);
+  EdgeStream churn =
+      MixedUpdateStream(scenario.base, cycles * churn_per_cycle, 0.3, &rng);
+  // Keep intra-cluster churn only: dropping EVERY element of an edge keeps
+  // the remaining stream applicable in order (each edge's add/remove
+  // alternation is internally consistent), and it leaves the scripted
+  // cadence below as the only traffic that can join the two components.
+  churn.erase(std::remove_if(churn.begin(), churn.end(),
+                             [&](const EdgeUpdate& u) {
+                               return (u.u < cluster_size) !=
+                                      (u.v < cluster_size);
+                             }),
+              churn.end());
+  std::size_t churn_at = 0;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    scenario.stream.push_back({bridge_u, bridge_v, EdgeOp::kRemove, 0.0});
+    for (std::size_t take = 0;
+         take < churn_per_cycle && churn_at < churn.size(); ++take) {
+      scenario.stream.push_back(churn[churn_at++]);
+    }
+    scenario.stream.push_back({bridge_u, bridge_v, EdgeOp::kAdd, 0.0});
+  }
+  return scenario;
+}
+
+}  // namespace testlib
+}  // namespace sobc
+
+#endif  // SOBC_TESTS_TESTLIB_SCENARIOS_H_

@@ -8,6 +8,7 @@
 //            [--store=bd.bin] [--store-codec=raw|delta] [--cache-mb=M]
 //            [--no-prefetch] [--out=scores.tsv] [--top=K] [--threads=T]
 //            [--no-prefilter] [--no-msbfs] [--do-switch-threshold=A]
+//            [--approx=K --epsilon=E]
 //       Step 1 + incremental replay of an update stream ("+ u v t" /
 //       "- u v t" lines; see WriteEdgeStream), printing per-update stats
 //       (including the prefilter skip-rate and the MS-BFS kernel report)
@@ -17,7 +18,12 @@
 //       record codec, shared hot-record cache budget, async prefetch.
 //       --no-msbfs pins every traversal to the per-source scalar BFS;
 //       --do-switch-threshold=A tunes the direction-optimizing alpha
-//       (<= 0 pins the kernel top-down).
+//       (<= 0 pins the kernel top-down). --approx=K runs the sampled
+//       approximation (DESIGN.md §15): BD state is maintained for K
+//       seeded sample sources only and published scores are n/K-scaled
+//       estimates; --epsilon=E (in (0,1), default 0.1) tightens the
+//       drift controller that triggers adaptive resampling, and --seed
+//       pins the sampling schedule.
 //   sobc_cli stats <graph.txt> [--directed] [--store=bd.bin]
 //       Dataset statistics (the Table 2 columns). With --store, also the
 //       store file's footprint — file bytes, encoded vs decoded bytes per
@@ -31,7 +37,7 @@
 //   sobc_cli serve <graph.txt> [--directed] [--stream=file|--updates=N]
 //            [--churn=F] [--readers=R] [--batch=B] [--budget-ms=M]
 //            [--queue-cap=C] [--no-coalesce] [--threads=T] [--no-prefilter]
-//            [--no-msbfs] [--do-switch-threshold=A]
+//            [--no-msbfs] [--do-switch-threshold=A] [--approx=K --epsilon=E]
 //            [--variant=mo|mp|do] [--store=bd.bin] [--store-codec=raw|delta]
 //            [--cache-mb=M] [--no-prefetch] [--top=K] [--seed=S]
 //            [--json=report.json] [--wal-dir=D] [--checkpoint-dir=D]
@@ -116,6 +122,7 @@
 #include "bc/dynamic_bc.h"
 #include "bc/score_io.h"
 #include "common/fault_io.h"
+#include "common/flag_parse.h"
 #include "common/io.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -147,6 +154,9 @@ struct CliArgs {
   // bit-parallel MS-BFS traversal kernel (stream + serve; default on)
   bool msbfs = true;
   double do_switch_threshold = 14.0;
+  // sampled approximation (stream + serve + recover; 0 = exact)
+  std::size_t approx_samples = 0;
+  double epsilon = 0.1;
   // out-of-core storage engine
   std::string store_codec = "raw";
   std::size_t cache_mb = 64;
@@ -239,7 +249,33 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     } else if (arg == "--no-msbfs") {
       args->msbfs = false;
     } else if (arg.rfind("--do-switch-threshold=", 0) == 0) {
-      args->do_switch_threshold = std::strtod(arg.c_str() + 22, nullptr);
+      auto value = ParseFiniteDouble(arg.substr(22));
+      if (!value.ok()) {
+        std::fprintf(stderr, "--do-switch-threshold: %s\n",
+                     value.status().ToString().c_str());
+        return false;
+      }
+      args->do_switch_threshold = *value;
+    } else if (arg.rfind("--approx=", 0) == 0) {
+      auto value = ParseUint64(arg.substr(9));
+      if (!value.ok() || *value == 0) {
+        std::fprintf(stderr,
+                     "--approx: expected a positive sample count: %s\n",
+                     value.ok() ? "got 0"
+                                : value.status().ToString().c_str());
+        return false;
+      }
+      args->approx_samples = static_cast<std::size_t>(*value);
+    } else if (arg.rfind("--epsilon=", 0) == 0) {
+      auto value = ParseFiniteDouble(arg.substr(10));
+      if (!value.ok() || *value <= 0.0 || *value >= 1.0) {
+        std::fprintf(
+            stderr, "--epsilon: expected a finite value in (0, 1): %s\n",
+            value.ok() ? arg.substr(10).c_str()
+                       : value.status().ToString().c_str());
+        return false;
+      }
+      args->epsilon = *value;
     } else if (arg.rfind("--store-codec=", 0) == 0) {
       args->store_codec = arg.substr(14);
     } else if (arg.rfind("--cache-mb=", 0) == 0) {
@@ -435,6 +471,9 @@ int CmdStream(const CliArgs& args) {
   options.prefilter = args.prefilter;
   options.msbfs = args.msbfs;
   options.do_switch_threshold = args.do_switch_threshold;
+  options.approx_samples = args.approx_samples;
+  options.approx_epsilon = args.epsilon;
+  options.approx_seed = args.seed;
   if (!ApplyStorageFlags(args, &options)) return 1;
   WallTimer init_timer;
   auto bc = DynamicBc::Create(std::move(*graph), options);
@@ -447,6 +486,13 @@ int CmdStream(const CliArgs& args) {
               init_timer.Seconds(), (*bc)->graph().NumVertices(),
               (*bc)->graph().NumEdges(), args.variant.c_str(),
               (*bc)->num_threads());
+  if ((*bc)->approx()) {
+    std::printf(
+        "sampled approximation: %zu sources (scale %.2f, epsilon %.3g, "
+        "seed %llu) — printed scores are estimates\n",
+        (*bc)->sample_sources().size(), (*bc)->approx_scale(), args.epsilon,
+        static_cast<unsigned long long>(args.seed));
+  }
 
   WallTimer stream_timer;
   UpdateStats totals;
@@ -477,11 +523,24 @@ int CmdStream(const CliArgs& args) {
               args.msbfs ? "on" : "off",
               static_cast<unsigned long long>(totals.msbfs_batches),
               static_cast<unsigned long long>(totals.bottom_up_levels));
-  if (auto* disk = dynamic_cast<DiskBdStore*>((*bc)->store())) {
+  if ((*bc)->approx()) {
+    const ApproxStatus approx = (*bc)->approx_status();
+    std::printf(
+        "approx: sample epoch %llu, %llu resample rounds, %llu source "
+        "swaps, drift %.3f\n",
+        static_cast<unsigned long long>(approx.sample_epoch),
+        static_cast<unsigned long long>(approx.resample_rounds),
+        static_cast<unsigned long long>(approx.source_swaps), approx.drift);
+  }
+  if (DiskBdStore* disk = (*bc)->disk_store()) {
     PrintStoreFootprint(*disk);
   }
-  PrintTop((*bc)->scores(), args.top);
-  return MaybeWrite((*bc)->scores(), args.out_path);
+  // EstimatedScores applies the n/k extrapolation in approx mode (and is
+  // a plain copy in exact mode), so stdout and --out always speak
+  // betweenness units, never raw sampled sums.
+  const BcScores published = (*bc)->EstimatedScores();
+  PrintTop(published, args.top);
+  return MaybeWrite(published, args.out_path);
 }
 
 /// The update stream `serve` and `cluster` run: loaded from --stream=file,
@@ -550,6 +609,9 @@ int CmdServe(const CliArgs& args) {
   options.bc.prefilter = args.prefilter;
   options.bc.msbfs = args.msbfs;
   options.bc.do_switch_threshold = args.do_switch_threshold;
+  options.bc.approx_samples = args.approx_samples;
+  options.bc.approx_epsilon = args.epsilon;
+  options.bc.approx_seed = args.seed;
   options.durability.wal_dir = args.wal_dir;
   options.durability.checkpoint_dir = args.checkpoint_dir;
   options.durability.wal_fsync_every = args.fsync_every;
@@ -648,8 +710,7 @@ int CmdServe(const CliArgs& args) {
     return 1;
   }
   // Stop() flushed the store; the footprint below reflects the serve run.
-  if (auto* disk = dynamic_cast<DiskBdStore*>(
-          (*service)->framework()->store())) {
+  if (DiskBdStore* disk = (*service)->framework()->disk_store()) {
     PrintStoreFootprint(*disk);
   }
   if (!reader_ok.load()) {
@@ -681,6 +742,16 @@ int CmdServe(const CliArgs& args) {
               args.msbfs ? "on" : "off",
               static_cast<unsigned long long>(metrics.msbfs_batches),
               static_cast<unsigned long long>(metrics.bottom_up_levels));
+  if (metrics.approx_samples > 0) {
+    std::printf(
+        "approx: %llu samples (epoch %llu), %llu resample rounds, %llu "
+        "source swaps, drift %.3f — published scores are estimates\n",
+        static_cast<unsigned long long>(metrics.approx_samples),
+        static_cast<unsigned long long>(metrics.approx_sample_epoch),
+        static_cast<unsigned long long>(metrics.approx_resamples),
+        static_cast<unsigned long long>(metrics.approx_source_swaps),
+        metrics.approx_drift);
+  }
   std::printf(
       "latency p50 %.3fms p99 %.3fms; batch apply p50 %.3fms p99 %.3fms; "
       "%llu snapshot reads across %d readers\n",
@@ -738,6 +809,12 @@ int CmdRecover(const CliArgs& args) {
   options.bc.prefilter = args.prefilter;
   options.bc.msbfs = args.msbfs;
   options.bc.do_switch_threshold = args.do_switch_threshold;
+  // --approx on recover asserts the deployment being recovered was a
+  // sampled one (BcService::Recover fails if the checkpoint disagrees);
+  // the sample set itself always comes from the checkpoint blob.
+  options.bc.approx_samples = args.approx_samples;
+  options.bc.approx_epsilon = args.epsilon;
+  options.bc.approx_seed = args.seed;
   // For the out-of-core variant this is where the checkpointed store is
   // installed as the live file (default: <checkpoint-dir>/live.bd).
   options.bc.storage_path = args.store_path;
@@ -1319,7 +1396,8 @@ int Usage() {
                "[--variant=mo|mp|do] [--store=f.bd] "
                "[--store-codec=raw|delta] [--cache-mb=M] [--no-prefetch] "
                "[--out=f.tsv] [--top=K] [--threads=T] [--no-prefilter] "
-               "[--no-msbfs] [--do-switch-threshold=A]\n"
+               "[--no-msbfs] [--do-switch-threshold=A] "
+               "[--approx=K --epsilon=E]\n"
                "       sobc_cli stats <graph> [--directed] [--store=f.bd]\n"
                "       sobc_cli generate <profile|social|tree> <vertices> "
                "[--seed=S] [--out=g.txt] [--stream=N] [--stream-out=s.txt]\n"
@@ -1327,7 +1405,8 @@ int Usage() {
                "[--stream=file|--updates=N] [--churn=F] [--readers=R] "
                "[--batch=B] [--budget-ms=M] [--queue-cap=C] [--no-coalesce] "
                "[--threads=T] [--no-prefilter] [--no-msbfs] "
-               "[--do-switch-threshold=A] [--variant=mo|mp|do] "
+               "[--do-switch-threshold=A] [--approx=K --epsilon=E] "
+               "[--variant=mo|mp|do] "
                "[--store=f.bd] [--store-codec=raw|delta] [--cache-mb=M] "
                "[--no-prefetch] [--top=K] [--seed=S] [--json=report.json] "
                "[--wal-dir=D] [--checkpoint-dir=D] [--checkpoint-every=N] "
@@ -1335,8 +1414,8 @@ int Usage() {
                "[--fault-schedule=SPEC]\n"
                "       sobc_cli recover --wal-dir=D [--checkpoint-dir=D] "
                "[--store=live.bd] [--threads=T] [--no-prefilter] "
-               "[--cache-mb=M] [--no-prefetch] [--top=K] [--out=f.tsv] "
-               "[--json=report.json]\n"
+               "[--cache-mb=M] [--no-prefetch] [--approx=K] [--top=K] "
+               "[--out=f.tsv] [--json=report.json]\n"
                "       sobc_cli shard <graph> --listen=H:P --shard-index=I "
                "--shards=N [--directed] [--variant=mo|mp|do] [--store=f.bd] "
                "[--threads=T] [--no-prefilter] [--wal-dir=D] "
